@@ -1,0 +1,26 @@
+//! Area-equivalent baseline models for the CAPE evaluation (Table III).
+//!
+//! The paper compares CAPE against gem5 models of (a) an out-of-order
+//! RISC-V core with three cache levels, (b) multicore versions of it, and
+//! (c) an ARM core with SVE SIMD. Here those baselines are rebuilt from
+//! first principles as *instrumented analytic models*: workload kernels
+//! execute natively (producing bit-exact results for cross-checking
+//! against CAPE) while reporting their operation mix and streaming every
+//! memory access through the cache-hierarchy simulator of `cape-mem`.
+//! Cycle counts then follow an overlap model — the maximum of the
+//! issue-limited, unit-limited, miss-latency-limited and bandwidth-
+//! limited times — which preserves the compute-bound/memory-bound
+//! behaviour that drives the paper's figures.
+//!
+//! See DESIGN.md ("Substitutions") for why this stands in for gem5.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod multicore;
+mod ooo;
+mod simd;
+
+pub use multicore::MulticoreModel;
+pub use ooo::{BaselineReport, OooConfig, OooCore};
+pub use simd::{SimdProfile, SveModel, SveWidth};

@@ -1,0 +1,106 @@
+//! Multicore scaling of the baseline (the 2- and 3-core bars of Fig. 11).
+
+use crate::ooo::BaselineReport;
+use serde::{Deserialize, Serialize};
+
+/// Amdahl-style multicore model over a single-core [`BaselineReport`].
+///
+/// Each additional core replicates the private L1/L2 but shares the L3
+/// and the memory bandwidth, so the parallel fraction's *compute* scales
+/// with the core count while bandwidth-bound time does not — matching
+/// the saturating multicore bars of the paper's Fig. 11.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MulticoreModel {
+    /// Fraction of the single-core execution that the thread-parallel
+    /// version distributes across cores (workload-specific).
+    pub parallel_fraction: f64,
+    /// Synchronization/work-distribution overhead per extra core, as a
+    /// fraction of the serial time.
+    pub sync_overhead: f64,
+}
+
+impl MulticoreModel {
+    /// A model with the given parallel fraction and 1% per-core sync
+    /// overhead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parallel_fraction` is outside `[0, 1]`.
+    pub fn new(parallel_fraction: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&parallel_fraction),
+            "parallel fraction must be in [0, 1]"
+        );
+        Self { parallel_fraction, sync_overhead: 0.01 }
+    }
+
+    /// Time in milliseconds on `cores` cores, given the single-core
+    /// report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is zero.
+    pub fn time_ms(&self, single_core: &BaselineReport, cores: u32) -> f64 {
+        assert!(cores > 0, "need at least one core");
+        let t1 = single_core.time_ms();
+        // Bandwidth-bound time cannot shrink: the memory system is shared.
+        let bw_ms = single_core.bandwidth_cycles as f64 / (single_core.freq_ghz * 1e6);
+        let serial = t1 * (1.0 - self.parallel_fraction);
+        let parallel = t1 * self.parallel_fraction / f64::from(cores);
+        let overhead = t1 * self.sync_overhead * f64::from(cores - 1);
+        (serial + parallel + overhead).max(bw_ms)
+    }
+
+    /// Speedup over the single core.
+    pub fn speedup(&self, single_core: &BaselineReport, cores: u32) -> f64 {
+        single_core.time_ms() / self.time_ms(single_core, cores)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ooo::OooCore;
+
+    fn compute_report() -> BaselineReport {
+        let mut core = OooCore::table3();
+        core.op(40_000_000);
+        core.finish()
+    }
+
+    #[test]
+    fn perfectly_parallel_scales_nearly_linearly() {
+        let r = compute_report();
+        let m = MulticoreModel::new(1.0);
+        let s2 = m.speedup(&r, 2);
+        let s3 = m.speedup(&r, 3);
+        assert!((1.8..=2.0).contains(&s2), "2-core speedup {s2}");
+        assert!((2.6..=3.0).contains(&s3), "3-core speedup {s3}");
+    }
+
+    #[test]
+    fn serial_work_caps_scaling() {
+        let r = compute_report();
+        let m = MulticoreModel::new(0.5);
+        assert!(m.speedup(&r, 3) < 1.6);
+    }
+
+    #[test]
+    fn bandwidth_bound_work_does_not_scale() {
+        let mut core = OooCore::table3();
+        for i in 0..(256 * 1024 * 1024u64 / 64) {
+            core.load(i * 64);
+        }
+        let r = core.finish();
+        let m = MulticoreModel::new(1.0);
+        let s3 = m.speedup(&r, 3);
+        assert!(s3 < 2.0, "bandwidth floor must cap scaling: {s3}");
+    }
+
+    #[test]
+    fn one_core_is_identity() {
+        let r = compute_report();
+        let m = MulticoreModel::new(0.9);
+        assert!((m.speedup(&r, 1) - 1.0).abs() < 1e-9);
+    }
+}

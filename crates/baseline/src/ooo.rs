@@ -1,0 +1,312 @@
+//! The out-of-order baseline core model.
+
+use cape_mem::{CacheHierarchy, CacheStats};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the baseline out-of-order core (Table III).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OooConfig {
+    /// Clock in GHz.
+    pub freq_ghz: f64,
+    /// Front-end issue width.
+    pub issue_width: u32,
+    /// Integer ALUs.
+    pub int_units: u32,
+    /// Integer multiply units.
+    pub mul_units: u32,
+    /// Load/store units.
+    pub mem_units: u32,
+    /// Branch units.
+    pub branch_units: u32,
+    /// Memory-level parallelism the 224-entry ROB / 72-entry LQ can
+    /// sustain against main-memory misses (outstanding misses whose
+    /// latencies overlap).
+    pub mlp: f64,
+    /// Main-memory latency in core cycles.
+    pub mem_latency: u64,
+    /// Main-memory bandwidth available to the core, bytes/ns.
+    pub mem_gbps: f64,
+    /// Branch misprediction penalty in cycles (tournament predictor,
+    /// amortized residual rate applied by the model).
+    pub branch_penalty: f64,
+    /// Residual misprediction rate of the tournament predictor.
+    pub mispredict_rate: f64,
+    /// Fraction of the peak issue width the front end sustains on
+    /// integer code (gem5-class aggressive cores sustain roughly half
+    /// their peak width once fetch gaps, dependences and partial stalls
+    /// are accounted for).
+    pub sustained_issue_fraction: f64,
+    /// Serialization charged per dependent read-modify-write (shared
+    /// table updates: load-to-use plus forwarding), in cycles.
+    pub rmw_dep_cycles: f64,
+}
+
+impl Default for OooConfig {
+    fn default() -> Self {
+        Self {
+            freq_ghz: 3.6,
+            issue_width: 8,
+            int_units: 4,
+            mul_units: 4,
+            mem_units: 3,
+            branch_units: 1,
+            mlp: 16.0,
+            mem_latency: 300,
+            mem_gbps: 128.0,
+            branch_penalty: 14.0,
+            mispredict_rate: 0.02,
+            sustained_issue_fraction: 0.5,
+            rmw_dep_cycles: 2.0,
+        }
+    }
+}
+
+/// Timing summary of one kernel on the baseline core.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BaselineReport {
+    /// Modeled cycles.
+    pub cycles: u64,
+    /// Clock used for time conversion.
+    pub freq_ghz: f64,
+    /// Dynamic instructions retired (approximate, from the op counts).
+    pub instructions: u64,
+    /// Issue-limited cycles (front-end bound).
+    pub issue_cycles: u64,
+    /// Functional-unit-limited cycles.
+    pub unit_cycles: u64,
+    /// Miss-latency-limited cycles (after MLP overlap).
+    pub miss_cycles: u64,
+    /// Bandwidth-limited cycles.
+    pub bandwidth_cycles: u64,
+    /// Dependence-chain-limited cycles (serialized RMW updates).
+    pub dependency_cycles: u64,
+    /// Per-level cache statistics, innermost first.
+    pub cache_stats: Vec<CacheStats>,
+    /// Bytes fetched from main memory.
+    pub memory_bytes: u64,
+}
+
+impl BaselineReport {
+    /// Wall-clock time in milliseconds.
+    pub fn time_ms(&self) -> f64 {
+        self.cycles as f64 / (self.freq_ghz * 1e6)
+    }
+
+    /// The binding resource, for reporting.
+    pub fn bound_by(&self) -> &'static str {
+        let m = self
+            .issue_cycles
+            .max(self.unit_cycles)
+            .max(self.miss_cycles)
+            .max(self.bandwidth_cycles);
+        let m = m.max(self.dependency_cycles);
+        if m == self.dependency_cycles && self.dependency_cycles > 0 {
+            "dependences"
+        } else if m == self.bandwidth_cycles && self.bandwidth_cycles > 0 {
+            "bandwidth"
+        } else if m == self.miss_cycles && self.miss_cycles > 0 {
+            "miss-latency"
+        } else if m == self.unit_cycles {
+            "functional-units"
+        } else {
+            "issue"
+        }
+    }
+}
+
+/// The instrumented out-of-order core: workload kernels call the `op` /
+/// `load` / `store` hooks while computing natively, and [`finish`]
+/// converts the gathered profile into cycles.
+///
+/// [`finish`]: OooCore::finish
+#[derive(Debug)]
+pub struct OooCore {
+    config: OooConfig,
+    caches: CacheHierarchy,
+    int_ops: u64,
+    mul_ops: u64,
+    branches: u64,
+    loads: u64,
+    stores: u64,
+    /// Accumulated L2/L3-hit latency beyond the pipelined L1 hit.
+    mid_latency_cycles: u64,
+    /// Accumulated main-memory miss latency.
+    mem_latency_cycles: u64,
+    /// Dependent read-modify-write count.
+    rmw_ops: u64,
+}
+
+impl OooCore {
+    /// Creates a core with the Table III three-level hierarchy.
+    pub fn new(config: OooConfig) -> Self {
+        Self {
+            config,
+            caches: CacheHierarchy::baseline_three_level(config.mem_latency),
+            int_ops: 0,
+            mul_ops: 0,
+            branches: 0,
+            loads: 0,
+            stores: 0,
+            mid_latency_cycles: 0,
+            mem_latency_cycles: 0,
+            rmw_ops: 0,
+        }
+    }
+
+    /// With the default Table III configuration.
+    pub fn table3() -> Self {
+        Self::new(OooConfig::default())
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> OooConfig {
+        self.config
+    }
+
+    /// Records `n` simple integer ALU operations.
+    pub fn op(&mut self, n: u64) {
+        self.int_ops += n;
+    }
+
+    /// Records `n` integer multiplies (or divides).
+    pub fn mul(&mut self, n: u64) {
+        self.mul_ops += n;
+    }
+
+    /// Records `n` conditional branches.
+    pub fn branch(&mut self, n: u64) {
+        self.branches += n;
+    }
+
+    /// Records a load from `addr` (streams through the cache simulator).
+    pub fn load(&mut self, addr: u64) {
+        self.loads += 1;
+        let lat = self.caches.access(addr, false);
+        self.account_access(lat);
+    }
+
+    /// Records a store to `addr`.
+    pub fn store(&mut self, addr: u64) {
+        self.stores += 1;
+        let lat = self.caches.access(addr, true);
+        self.account_access(lat);
+    }
+
+    /// Records a dependent read-modify-write of a shared table entry
+    /// (histogram buckets, word-count tables, …): a load and a store
+    /// plus partial serialization on the update chain.
+    pub fn rmw(&mut self, addr: u64) {
+        self.load(addr);
+        self.op(1);
+        self.store(addr);
+        self.rmw_ops += 1;
+    }
+
+    fn account_access(&mut self, latency: u64) {
+        // L1-hit latency is fully pipelined in an OoO core. Accesses that
+        // reach main memory pay the long latency (overlapped up to the
+        // MLP); L2/L3 hits exert much milder pressure since the deep LSQ
+        // overlaps them almost completely.
+        let l1 = 2;
+        if latency >= self.config.mem_latency {
+            self.mem_latency_cycles += self.config.mem_latency;
+        } else if latency > l1 {
+            self.mid_latency_cycles += latency - l1;
+        }
+    }
+
+    /// Converts the gathered profile into a timing report.
+    pub fn finish(&self) -> BaselineReport {
+        let c = self.config;
+        let instructions = self.int_ops + self.mul_ops + self.branches + self.loads + self.stores;
+        let sustained = (f64::from(c.issue_width) * c.sustained_issue_fraction).max(1.0);
+        let issue_cycles = (instructions as f64 / sustained).ceil() as u64;
+        let unit_cycles = (self.int_ops.div_ceil(u64::from(c.int_units)))
+            .max(self.mul_ops.div_ceil(u64::from(c.mul_units)))
+            .max((self.loads + self.stores).div_ceil(u64::from(c.mem_units)))
+            .max(self.branches.div_ceil(u64::from(c.branch_units)));
+        let branch_stalls =
+            (self.branches as f64 * c.mispredict_rate * c.branch_penalty) as u64;
+        let miss_cycles = (self.mem_latency_cycles as f64 / c.mlp
+            + self.mid_latency_cycles as f64 / (c.mlp * 4.0)) as u64;
+        let line_bytes = 512u64; // L3 line / memory transfer granule
+        let memory_bytes = self.caches.memory_fetches() * line_bytes;
+        let bandwidth_cycles =
+            (memory_bytes as f64 / c.mem_gbps * c.freq_ghz) as u64;
+        let dependency_cycles = (self.rmw_ops as f64 * c.rmw_dep_cycles) as u64;
+        let cycles = issue_cycles
+            .max(unit_cycles + branch_stalls)
+            .max(miss_cycles)
+            .max(bandwidth_cycles)
+            .max(dependency_cycles)
+            .max(1);
+        BaselineReport {
+            cycles,
+            freq_ghz: c.freq_ghz,
+            instructions,
+            issue_cycles,
+            unit_cycles,
+            miss_cycles,
+            bandwidth_cycles,
+            dependency_cycles,
+            cache_stats: self.caches.stats(),
+            memory_bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compute_bound_kernel_is_unit_limited() {
+        let mut core = OooCore::table3();
+        core.op(8_000_000);
+        core.branch(100_000);
+        let r = core.finish();
+        // 8M int ops over 4 units = 2M cycles minimum.
+        assert!(r.cycles >= 2_000_000);
+        assert!(matches!(r.bound_by(), "functional-units" | "issue"), "{}", r.bound_by());
+    }
+
+    #[test]
+    fn streaming_kernel_is_memory_limited() {
+        let mut core = OooCore::table3();
+        // Stream 64 MiB with one add per element: far beyond the LLC.
+        for i in 0..(64 * 1024 * 1024 / 64) {
+            core.load(i * 64);
+        }
+        core.op(1024 * 1024);
+        let r = core.finish();
+        assert!(matches!(r.bound_by(), "bandwidth" | "miss-latency"), "{}", r.bound_by());
+        assert!(r.memory_bytes >= 64 * 1024 * 1024);
+    }
+
+    #[test]
+    fn cache_resident_kernel_avoids_memory() {
+        let mut core = OooCore::table3();
+        // 16 KiB working set touched 100 times: L1-resident after pass 1.
+        for _ in 0..100 {
+            for i in 0..256 {
+                core.load(i * 64);
+            }
+        }
+        let r = core.finish();
+        assert_eq!(r.cache_stats[0].misses, 256, "only cold misses");
+        assert!(r.memory_bytes <= 256 * 512);
+    }
+
+    #[test]
+    fn reports_convert_to_time() {
+        let mut core = OooCore::table3();
+        core.op(36_000_000); // 9M cycles at 4/cycle = 2.5 ms at 3.6 GHz
+        let r = core.finish();
+        assert!((r.time_ms() - 2.5).abs() < 0.1, "time {}", r.time_ms());
+    }
+
+    #[test]
+    fn empty_profile_is_one_cycle() {
+        assert_eq!(OooCore::table3().finish().cycles, 1);
+    }
+}

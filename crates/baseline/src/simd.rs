@@ -1,0 +1,178 @@
+//! The SVE-like SIMD baseline (the Fig. 12 experiment).
+//!
+//! The paper augments an ARM core matching the RISC-V baseline's size and
+//! latency (Table III) with four SIMD ALUs at 128-, 256- and 512-bit
+//! vector widths, and hand-vectorizes the Phoenix applications with SVE
+//! intrinsics. Here the same comparison is an analytic model over each
+//! workload's *vectorizable profile*: element operations that SIMD lanes
+//! can absorb versus scalar operations that cannot, plus the memory
+//! traffic both share.
+
+use crate::ooo::{BaselineReport, OooConfig};
+use serde::{Deserialize, Serialize};
+
+/// SVE vector width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SveWidth {
+    /// 128-bit vectors (4 x 32-bit lanes).
+    W128,
+    /// 256-bit vectors.
+    W256,
+    /// 512-bit vectors (comparable to AVX-512).
+    W512,
+}
+
+impl SveWidth {
+    /// 32-bit lanes per vector register.
+    pub fn lanes(self) -> u64 {
+        match self {
+            SveWidth::W128 => 4,
+            SveWidth::W256 => 8,
+            SveWidth::W512 => 16,
+        }
+    }
+
+    /// All three widths, narrow to wide.
+    pub fn all() -> [SveWidth; 3] {
+        [SveWidth::W128, SveWidth::W256, SveWidth::W512]
+    }
+}
+
+/// A workload's vectorization profile, produced by the instrumented
+/// kernels in `cape-workloads`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct SimdProfile {
+    /// Vectorizable simple element operations (add/sub/logic/compare).
+    pub vec_ops: u64,
+    /// Vectorizable element multiplies.
+    pub vec_mul_ops: u64,
+    /// Element operations belonging to horizontal reductions (SIMD needs
+    /// log-depth shuffles for these; CAPE has the reduction tree).
+    pub vec_red_ops: u64,
+    /// Scalar (non-vectorizable) operations.
+    pub scalar_ops: u64,
+}
+
+/// The SVE SIMD timing model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SveModel {
+    /// Number of SIMD ALUs (the paper equips four).
+    pub simd_units: u64,
+    /// Scalar pipeline configuration (shared with the OoO baseline).
+    pub core: OooConfig,
+    /// Fraction of peak SIMD throughput hand-vectorized Phoenix-style
+    /// code sustains. Intrinsics code pays predication, loop-control,
+    /// alignment and tail overheads; published SVE studies land near
+    /// half of peak on irregular integer kernels.
+    pub vectorization_efficiency: f64,
+}
+
+impl Default for SveModel {
+    fn default() -> Self {
+        Self {
+            simd_units: 4,
+            core: OooConfig::default(),
+            vectorization_efficiency: 0.55,
+        }
+    }
+}
+
+impl SveModel {
+    /// Cycles for `profile` at the given vector width, reusing the
+    /// scalar/memory cycles from the workload's single-core report.
+    ///
+    /// The memory-bound component is unchanged (same cache hierarchy,
+    /// same traffic); the compute component shrinks by the SIMD
+    /// throughput; reductions pay a log2(lanes) shuffle factor.
+    pub fn cycles(&self, profile: &SimdProfile, scalar_run: &BaselineReport, width: SveWidth) -> u64 {
+        let lanes = width.lanes();
+        let tput = ((lanes * self.simd_units) as f64 * self.vectorization_efficiency)
+            .max(1.0) as u64; // sustained element ops per cycle
+        let vec_cycles = profile.vec_ops.div_ceil(tput)
+            + profile.vec_mul_ops.div_ceil(tput) * 2 // multiplies: 2x occupancy
+            + reduction_cycles(profile.vec_red_ops, lanes, self.simd_units);
+        let scalar_cycles = profile
+            .scalar_ops
+            .div_ceil(u64::from(self.core.int_units));
+        let mem_cycles = scalar_run.miss_cycles.max(scalar_run.bandwidth_cycles);
+        (vec_cycles + scalar_cycles).max(mem_cycles).max(1)
+    }
+
+    /// Time in milliseconds.
+    pub fn time_ms(&self, profile: &SimdProfile, scalar_run: &BaselineReport, width: SveWidth) -> f64 {
+        self.cycles(profile, scalar_run, width) as f64 / (self.core.freq_ghz * 1e6)
+    }
+
+    /// Speedup over the scalar-only run of the same kernel.
+    pub fn speedup(&self, profile: &SimdProfile, scalar_run: &BaselineReport, width: SveWidth) -> f64 {
+        scalar_run.cycles as f64 / self.cycles(profile, scalar_run, width) as f64
+    }
+}
+
+/// Horizontal reductions on SIMD: each group of `lanes` elements costs a
+/// vertical pass plus a log2(lanes)-depth shuffle/add tail.
+fn reduction_cycles(red_ops: u64, lanes: u64, units: u64) -> u64 {
+    if red_ops == 0 {
+        return 0;
+    }
+    let vertical = red_ops.div_ceil(lanes * units);
+    let tails = red_ops.div_ceil(lanes).div_ceil(units);
+    vertical + tails * lanes.ilog2() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ooo::OooCore;
+
+    fn scalar_run(ops: u64) -> BaselineReport {
+        let mut core = OooCore::table3();
+        core.op(ops);
+        core.finish()
+    }
+
+    #[test]
+    fn wider_vectors_are_faster_on_vectorizable_code() {
+        let p = SimdProfile { vec_ops: 10_000_000, ..Default::default() };
+        let run = scalar_run(10_000_000);
+        let m = SveModel::default();
+        let s128 = m.speedup(&p, &run, SveWidth::W128);
+        let s512 = m.speedup(&p, &run, SveWidth::W512);
+        assert!(s512 > s128, "512-bit {s512} must beat 128-bit {s128}");
+        // Ideal 512-bit: 64 element ops/cycle x efficiency vs 4 scalar.
+        assert!(s512 <= 17.0 * m.vectorization_efficiency.max(0.1));
+    }
+
+    #[test]
+    fn scalar_tail_caps_simd_speedup() {
+        let p = SimdProfile { vec_ops: 5_000_000, scalar_ops: 5_000_000, ..Default::default() };
+        let run = scalar_run(10_000_000);
+        let s = SveModel::default().speedup(&p, &run, SveWidth::W512);
+        assert!(s < 2.1, "Amdahl bound violated: {s}");
+    }
+
+    #[test]
+    fn memory_bound_kernels_see_little_simd_benefit() {
+        let mut core = OooCore::table3();
+        for i in 0..(128 * 1024 * 1024u64 / 64) {
+            core.load(i * 64);
+        }
+        core.op(2_000_000);
+        let run = core.finish();
+        let p = SimdProfile { vec_ops: 2_000_000, ..Default::default() };
+        let s = SveModel::default().speedup(&p, &run, SveWidth::W512);
+        assert!(s < 1.5, "memory-bound SIMD speedup {s}");
+    }
+
+    #[test]
+    fn reductions_pay_shuffle_tails() {
+        let p_red = SimdProfile { vec_red_ops: 1_000_000, ..Default::default() };
+        let p_vert = SimdProfile { vec_ops: 1_000_000, ..Default::default() };
+        let run = scalar_run(1_000_000);
+        let m = SveModel::default();
+        assert!(
+            m.cycles(&p_red, &run, SveWidth::W512) > m.cycles(&p_vert, &run, SveWidth::W512),
+            "reductions must cost more than vertical ops"
+        );
+    }
+}

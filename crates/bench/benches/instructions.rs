@@ -1,0 +1,35 @@
+//! Criterion benchmarks of whole vector instructions through the
+//! sequencer — the per-instruction counterpart of Table I.
+
+use cape_csb::{Csb, CsbGeometry};
+use cape_ucode::{Sequencer, VectorOp};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn prepared() -> Csb {
+    let mut csb = Csb::new(CsbGeometry::new(64));
+    let data: Vec<u32> = (0..2048u32).map(|i| i.wrapping_mul(0x9E37_79B9)).collect();
+    csb.write_vector(1, &data);
+    csb.write_vector(2, &data);
+    csb
+}
+
+fn bench_instructions(c: &mut Criterion) {
+    let cases = [
+        ("vadd_vv", VectorOp::Add { vd: 3, vs1: 1, vs2: 2 }),
+        ("vmul_vv", VectorOp::Mul { vd: 3, vs1: 1, vs2: 2 }),
+        ("vand_vv", VectorOp::And { vd: 3, vs1: 1, vs2: 2 }),
+        ("vmseq_vx", VectorOp::MseqScalar { vd: 3, vs1: 1, rs: 42 }),
+        ("vmslt_vv", VectorOp::Mslt { vd: 3, vs1: 1, vs2: 2, signed: true }),
+        ("vredsum", VectorOp::RedSum { vd: 3, vs: 1 }),
+        ("vmerge", VectorOp::Merge { vd: 3, vs1: 1, vs2: 2 }),
+    ];
+    let mut g = c.benchmark_group("instruction");
+    for (name, op) in cases {
+        let mut csb = prepared();
+        g.bench_function(name, |b| b.iter(|| Sequencer::new(&mut csb).execute(&op)));
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_instructions);
+criterion_main!(benches);

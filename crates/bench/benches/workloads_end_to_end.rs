@@ -1,0 +1,38 @@
+//! End-to-end Criterion benchmarks: whole workload programs on a small
+//! CAPE machine (program build + run + digest).
+
+use cape_core::CapeConfig;
+use cape_workloads::{micro, phoenix, run_cape, Workload};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_micro(c: &mut Criterion) {
+    let config = CapeConfig::tiny(8);
+    let mut g = c.benchmark_group("micro_e2e");
+    g.sample_size(10);
+    for w in micro::suite(2000) {
+        g.bench_function(w.name(), |b| b.iter(|| run_cape(w.as_ref(), &config)));
+    }
+    g.finish();
+}
+
+fn bench_phoenix(c: &mut Criterion) {
+    let config = CapeConfig::tiny(8);
+    let mut g = c.benchmark_group("phoenix_e2e");
+    g.sample_size(10);
+    for w in phoenix::tiny_suite() {
+        g.bench_function(w.name(), |b| b.iter(|| run_cape(w.as_ref(), &config)));
+    }
+    g.finish();
+}
+
+fn bench_baselines(c: &mut Criterion) {
+    let mut g = c.benchmark_group("baseline_kernels");
+    g.sample_size(10);
+    for w in phoenix::tiny_suite() {
+        g.bench_function(w.name(), |b| b.iter(|| w.run_baseline()));
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_micro, bench_phoenix, bench_baselines);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Regenerates Fig. 11: Phoenix application speedups — CAPE32k against
+//! one area-equivalent out-of-order core, CAPE131k against two, with a
+//! three-core system for reference.
+
+use cape_bench::{geomean, quick_scale, section, Measurement};
+use cape_core::CapeConfig;
+use cape_workloads::phoenix;
+
+fn main() {
+    let suite = if quick_scale() { phoenix::tiny_suite() } else { phoenix::suite() };
+    section("Fig. 11 — Phoenix speedups (CAPE32k vs 1 core, CAPE131k vs 2 cores)");
+
+    let c32 = CapeConfig::cape32k();
+    let c131 = CapeConfig::cape131k();
+    println!(
+        "{:<10} {:>12} {:>12} {:>12} | {:>9} {:>9} {:>9}",
+        "app", "1-core ms", "cape32k ms", "cape131k ms", "s32k/1c", "s131k/2c", "3c/1c"
+    );
+    println!("{}", "-".repeat(84));
+    let mut s32 = Vec::new();
+    let mut s131 = Vec::new();
+    for w in &suite {
+        let m32 = Measurement::take(w.as_ref(), &c32);
+        let m131 = Measurement::take(w.as_ref(), &c131);
+        let sp32 = m32.speedup_1core();
+        let sp131 = m131.speedup_ncore(2);
+        let three_core = m32.baseline.report.time_ms()
+            / cape_baseline::MulticoreModel::new(m32.baseline.parallel_fraction)
+                .time_ms(&m32.baseline.report, 3);
+        s32.push(sp32);
+        s131.push(sp131);
+        println!(
+            "{:<10} {:>12.3} {:>12.3} {:>12.3} | {:>8.1}x {:>8.1}x {:>8.2}x",
+            m32.name,
+            m32.baseline.report.time_ms(),
+            m32.cape.report.time_ms(),
+            m131.cape.report.time_ms(),
+            sp32,
+            sp131,
+            three_core,
+        );
+    }
+    println!("{}", "-".repeat(84));
+    println!(
+        "geomean: CAPE32k {:.1}x over 1 core | CAPE131k {:.1}x over 2 cores",
+        geomean(&s32),
+        geomean(&s131)
+    );
+    println!();
+    println!("Shape checks against the paper (Section VI-E):");
+    println!("* kmeans: dataset fits CAPE131k's CSB but not CAPE32k's, so its");
+    println!("  speedup jumps dramatically at 131k (the 426x outlier effect);");
+    println!("* wrdcnt/revidx/strmatch: the sequential traversal and serialized");
+    println!("  match post-processing cap scaling — their 131k speedups do NOT");
+    println!("  improve over 32k (and can regress with the longer command");
+    println!("  distribution);");
+    println!("* pca: inter-iteration dependences block the replica-load trick,");
+    println!("  so it stays flat from 32k to 131k.");
+}

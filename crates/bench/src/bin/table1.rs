@@ -1,0 +1,95 @@
+//! Regenerates Table I: per-instruction metrics of the RISC-V vector
+//! instructions CAPE supports — truth-table entries, cycle counts and
+//! energy per lane — comparing the paper's published values against this
+//! emulator's measured microop counts and Table-II-derived energies.
+
+use cape_bench::section;
+use cape_core::microop_energy_pj;
+use cape_csb::{Csb, CsbGeometry};
+use cape_ucode::metrics::{all_kinds, extension_cycles, measure, paper_row};
+use cape_ucode::truth_table::BitSerialAlgorithm;
+use cape_ucode::{Sequencer, VectorOp, VectorOpKind};
+
+fn measured_energy_per_lane(kind: VectorOpKind) -> Option<f64> {
+    let op = match kind {
+        VectorOpKind::Add => VectorOp::Add { vd: 3, vs1: 1, vs2: 2 },
+        VectorOpKind::Sub => VectorOp::Sub { vd: 3, vs1: 1, vs2: 2 },
+        VectorOpKind::Mul => VectorOp::Mul { vd: 3, vs1: 1, vs2: 2 },
+        VectorOpKind::And => VectorOp::And { vd: 3, vs1: 1, vs2: 2 },
+        VectorOpKind::Or => VectorOp::Or { vd: 3, vs1: 1, vs2: 2 },
+        VectorOpKind::Xor => VectorOp::Xor { vd: 3, vs1: 1, vs2: 2 },
+        VectorOpKind::MseqVv => VectorOp::Mseq { vd: 3, vs1: 1, vs2: 2 },
+        VectorOpKind::MseqVx => VectorOp::MseqScalar { vd: 3, vs1: 1, rs: 42 },
+        VectorOpKind::Mslt => VectorOp::Mslt { vd: 3, vs1: 1, vs2: 2, signed: true },
+        VectorOpKind::Merge => VectorOp::Merge { vd: 3, vs1: 1, vs2: 2 },
+        VectorOpKind::RedSum => VectorOp::RedSum { vd: 3, vs: 1 },
+        _ => return None,
+    };
+    let mut csb = Csb::new(CsbGeometry::new(1));
+    let a: Vec<u32> = (0..32u32).map(|i| i.wrapping_mul(0x9E37_79B9)).collect();
+    csb.write_vector(0, &a);
+    csb.write_vector(1, &a);
+    csb.write_vector(2, &a);
+    let out = Sequencer::new(&mut csb).execute(&op);
+    Some(microop_energy_pj(&out.stats, 1) / 32.0)
+}
+
+fn main() {
+    section("Table I — RISC-V vector instruction metrics (n = 32 bits)");
+    println!(
+        "{:<12} {:>8} {:>8} | {:>14} {:>10} | {:>10} {:>10}",
+        "instr", "TT(pap)", "TT(ours)", "cycles(paper)", "uops(ours)", "pJ/l(pap)", "pJ/l(ours)"
+    );
+    println!("{}", "-".repeat(86));
+    for &kind in all_kinds() {
+        let m = measure(kind);
+        let ours_entries = match kind {
+            VectorOpKind::Add | VectorOpKind::Mul => BitSerialAlgorithm::adder().entries(),
+            VectorOpKind::Sub => BitSerialAlgorithm::subtractor().entries(),
+            VectorOpKind::Increment => BitSerialAlgorithm::incrementer().entries(),
+            VectorOpKind::And | VectorOpKind::Or | VectorOpKind::MseqVx => 1,
+            VectorOpKind::Xor | VectorOpKind::MseqVv => 2,
+            VectorOpKind::Mslt => 4,
+            VectorOpKind::Merge => 2,
+            VectorOpKind::RedSum | VectorOpKind::Cpop => 1,
+            _ => 0,
+        };
+        let energy = measured_energy_per_lane(kind);
+        match paper_row(kind) {
+            Some(row) => {
+                println!(
+                    "{:<12} {:>8} {:>8} | {:>10} ={:>3} {:>10} | {:>10.1} {:>10}",
+                    row.mnemonic,
+                    row.tt_entries,
+                    ours_entries,
+                    row.total_cycles.to_string(),
+                    row.total_cycles.eval(32),
+                    m.microops,
+                    row.energy_pj_per_lane,
+                    energy.map_or("-".into(), |e| format!("{e:.1}")),
+                );
+            }
+            None => {
+                let cyc = extension_cycles(kind)
+                    .map_or("-".into(), |f| format!("{} ={}", f, f.eval(32)));
+                println!(
+                    "{:<12} {:>8} {:>8} | {:>14} {:>10} | {:>10} {:>10}",
+                    format!("{kind:?}").to_lowercase(),
+                    "-",
+                    ours_entries,
+                    cyc,
+                    m.microops,
+                    "-",
+                    energy.map_or("-".into(), |e| format!("{e:.1}")),
+                );
+            }
+        }
+    }
+    println!();
+    println!("Notes:");
+    println!("* 'cycles(paper)' is Table I's closed form (the timing model);");
+    println!("  'uops(ours)' is the exact microop count the emulator executes.");
+    println!("* energies derive from Table II per-microop constants x the");
+    println!("  emulated microop mix; rows below the rule are documented");
+    println!("  extensions the paper does not list individually.");
+}

@@ -1,0 +1,90 @@
+//! Shared helpers for the table/figure regeneration binaries.
+//!
+//! Every binary prints a self-contained report to stdout; EXPERIMENTS.md
+//! records paper-vs-measured for each. Set `CAPE_BENCH_SCALE=quick` to
+//! run the figure harnesses at reduced input sizes (same shapes, faster).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use cape_baseline::MulticoreModel;
+use cape_core::CapeConfig;
+use cape_workloads::{run_cape, BaselineRun, CapeRun, Workload};
+
+/// One workload evaluated on one CAPE configuration plus its baseline.
+#[derive(Debug)]
+pub struct Measurement {
+    /// Workload name.
+    pub name: &'static str,
+    /// CAPE run.
+    pub cape: CapeRun,
+    /// Baseline single-core run.
+    pub baseline: BaselineRun,
+}
+
+impl Measurement {
+    /// Runs a workload on `config` and its baseline, asserting that both
+    /// implementations produced identical results.
+    pub fn take(workload: &dyn Workload, config: &CapeConfig) -> Self {
+        let cape = run_cape(workload, config);
+        let baseline = workload.run_baseline();
+        assert_eq!(
+            cape.digest, baseline.digest,
+            "{}: CAPE and baseline results diverge",
+            workload.name()
+        );
+        Self { name: workload.name(), cape, baseline }
+    }
+
+    /// Speedup of the CAPE run over the single-core baseline.
+    pub fn speedup_1core(&self) -> f64 {
+        self.baseline.report.time_ms() / self.cape.report.time_ms()
+    }
+
+    /// Speedup over an `n`-core baseline (Amdahl + bandwidth model).
+    pub fn speedup_ncore(&self, cores: u32) -> f64 {
+        let multi = MulticoreModel::new(self.baseline.parallel_fraction);
+        multi.time_ms(&self.baseline.report, cores) / self.cape.report.time_ms()
+    }
+}
+
+/// Geometric mean of a non-empty slice.
+///
+/// # Panics
+///
+/// Panics on an empty slice.
+pub fn geomean(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty(), "geomean of nothing");
+    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+/// True when the harness should run at reduced scale.
+pub fn quick_scale() -> bool {
+    std::env::var("CAPE_BENCH_SCALE").is_ok_and(|v| v == "quick")
+}
+
+/// Prints a rule-delimited section header.
+pub fn section(title: &str) {
+    println!("\n{}", "=".repeat(72));
+    println!("{title}");
+    println!("{}", "=".repeat(72));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_of_constants() {
+        assert!((geomean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn measurement_cross_checks_digests() {
+        let w = cape_workloads::micro::Vvadd { n: 300 };
+        let m = Measurement::take(&w, &CapeConfig::tiny(2));
+        assert!(m.speedup_1core() > 0.0);
+        assert!(m.speedup_ncore(2) > 0.0);
+    }
+}

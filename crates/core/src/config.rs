@@ -1,0 +1,98 @@
+//! System configurations (Table III of the paper).
+
+use cape_csb::CsbGeometry;
+use cape_mem::HbmConfig;
+use serde::{Deserialize, Serialize};
+
+/// A CAPE system configuration.
+///
+/// The paper evaluates two design points sized to match one and two
+/// out-of-order core tiles respectively (slightly under 9 mm² at 7 nm per
+/// tile): [`CapeConfig::cape32k`] (1,024 chains = 32,768 lanes) and
+/// [`CapeConfig::cape131k`] (4,096 chains = 131,072 lanes).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CapeConfig {
+    /// Configuration name for reports.
+    pub name: &'static str,
+    /// Number of CSB chains.
+    pub chains: usize,
+    /// CAPE clock in GHz. The critical path is the 237 ps read microop
+    /// (4.22 GHz), derated 65% for clock skew and uncertainty → 2.7 GHz.
+    pub freq_ghz: f64,
+    /// Main-memory latency in CP cycles (HBM ~100 ns at 2.7 GHz).
+    pub mem_latency_cycles: u64,
+    /// The HBM main-memory system (8 channels, 16 GB/s each).
+    pub hbm: HbmConfig,
+    /// Instruction budget guard for program runs.
+    pub max_instructions: u64,
+}
+
+impl CapeConfig {
+    /// The CAPE32k design point: area-equivalent to one baseline core.
+    pub fn cape32k() -> Self {
+        Self {
+            name: "CAPE32k",
+            chains: 1024,
+            freq_ghz: 2.7,
+            mem_latency_cycles: 270,
+            hbm: HbmConfig::default(),
+            max_instructions: 500_000_000,
+        }
+    }
+
+    /// The CAPE131k design point: area-equivalent to two baseline cores.
+    pub fn cape131k() -> Self {
+        Self {
+            name: "CAPE131k",
+            chains: 4096,
+            ..Self::cape32k()
+        }
+    }
+
+    /// A small configuration for tests and examples (`chains` chains,
+    /// `chains * 32` lanes), with the full timing model intact.
+    pub fn tiny(chains: usize) -> Self {
+        Self {
+            name: "CAPE-tiny",
+            chains,
+            ..Self::cape32k()
+        }
+    }
+
+    /// The CSB geometry of this configuration.
+    pub fn geometry(&self) -> CsbGeometry {
+        CsbGeometry::new(self.chains)
+    }
+
+    /// Maximum vector length in 32-bit elements.
+    pub fn max_vl(&self) -> usize {
+        self.geometry().max_vl()
+    }
+
+    /// CSB storage capacity in bytes.
+    pub fn capacity_bytes(&self) -> usize {
+        self.geometry().capacity_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_design_points() {
+        let small = CapeConfig::cape32k();
+        assert_eq!(small.max_vl(), 32_768);
+        assert_eq!(small.capacity_bytes(), 4 << 20);
+        let big = CapeConfig::cape131k();
+        assert_eq!(big.max_vl(), 131_072);
+        assert_eq!(big.freq_ghz, 2.7);
+    }
+
+    #[test]
+    fn tiny_keeps_model_parameters() {
+        let t = CapeConfig::tiny(2);
+        assert_eq!(t.max_vl(), 64);
+        assert_eq!(t.freq_ghz, CapeConfig::cape32k().freq_ghz);
+    }
+}

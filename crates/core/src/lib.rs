@@ -1,0 +1,46 @@
+//! The full CAPE system model: control processor + VCU + VMU +
+//! compute-storage block + HBM, integrated into a runnable
+//! [`CapeMachine`] with cycle-approximate timing, energy accounting and
+//! roofline extraction (Section VI of the paper).
+//!
+//! # Example
+//!
+//! ```
+//! use cape_core::{CapeConfig, CapeMachine};
+//! use cape_isa::assemble;
+//! use cape_mem::MainMemory;
+//!
+//! let mut machine = CapeMachine::new(CapeConfig::tiny(4));
+//! let mut mem = MainMemory::new();
+//! mem.write_u32_slice(0x1000, &[1, 2, 3, 4]);
+//!
+//! let prog = assemble(r"
+//!     li t0, 4
+//!     vsetvli t1, t0, e32,m1
+//!     li a0, 0x1000
+//!     vle32.v v1, (a0)
+//!     vadd.vx v2, v1, t0
+//!     li a1, 0x2000
+//!     vse32.v v2, (a1)
+//!     halt
+//! ").unwrap();
+//!
+//! let report = machine.run(&prog, &mut mem).unwrap();
+//! assert_eq!(mem.read_u32_slice(0x2000, 4), vec![5, 6, 7, 8]);
+//! assert!(report.cycles > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod machine;
+mod report;
+mod roofline;
+mod timing;
+
+pub use config::CapeConfig;
+pub use machine::CapeMachine;
+pub use report::RunReport;
+pub use roofline::{Roofline, RooflinePoint};
+pub use timing::{microop_energy_pj, MicroOpEnergy, MicroOpTiming, TABLE2_BS, TABLE2_BP, TABLE2_DELAYS};

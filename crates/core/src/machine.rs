@@ -1,0 +1,653 @@
+//! The integrated CAPE machine.
+
+use cape_cp::{Coprocessor, ControlProcessor, CpError, VectorCommit};
+use cape_csb::Csb;
+use cape_isa::{Instr, Program, Sew, VAluOp};
+use cape_mem::{Hbm, MainMemory};
+use cape_ucode::{LogicOp, VectorOp};
+use cape_vcu::Vcu;
+use cape_vmu::Vmu;
+
+use crate::config::CapeConfig;
+use crate::report::RunReport;
+use crate::timing::microop_energy_pj;
+
+/// A complete CAPE system: control processor, VCU, VMU, CSB and HBM
+/// (Fig. 2 of the paper), runnable on [`Program`]s.
+#[derive(Debug)]
+pub struct CapeMachine {
+    config: CapeConfig,
+    csb: Csb,
+    vcu: Vcu,
+    vmu: Vmu,
+    hbm: Hbm,
+    energy_pj: f64,
+    lane_ops: u64,
+    vmu_cycles: u64,
+    vcu_cycles: u64,
+    /// Selected element width (set by `vsetvli`).
+    sew: Sew,
+    /// Pending page-fault injection for the next vector load/store: the
+    /// element index at which the transfer faults once (testing hook for
+    /// the Section V-C restart mechanism).
+    fault_at_element: Option<usize>,
+    /// Page faults taken by vector memory instructions.
+    faults_taken: u64,
+}
+
+impl CapeMachine {
+    /// Builds a machine for the given configuration.
+    pub fn new(config: CapeConfig) -> Self {
+        Self {
+            config,
+            csb: Csb::new(config.geometry()),
+            vcu: Vcu::new(config.chains),
+            vmu: Vmu::new(config.freq_ghz),
+            hbm: Hbm::new(config.hbm),
+            energy_pj: 0.0,
+            lane_ops: 0,
+            vmu_cycles: 0,
+            vcu_cycles: 0,
+            sew: Sew::E32,
+            fault_at_element: None,
+            faults_taken: 0,
+        }
+    }
+
+    /// The machine's configuration.
+    pub fn config(&self) -> CapeConfig {
+        self.config
+    }
+
+    /// Read access to the CSB (for checking results in tests/examples).
+    pub fn csb(&self) -> &Csb {
+        &self.csb
+    }
+
+    /// Mutable access to the CSB (bring-up hook).
+    pub fn csb_mut(&mut self) -> &mut Csb {
+        &mut self.csb
+    }
+
+    /// Clears all run counters and CSB statistics (contents are kept).
+    pub fn reset_counters(&mut self) {
+        self.csb.reset_stats();
+        self.hbm.reset();
+        self.energy_pj = 0.0;
+        self.lane_ops = 0;
+        self.vmu_cycles = 0;
+        self.vcu_cycles = 0;
+    }
+
+    /// Runs a program to its `halt`, returning the run report.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CpError`] when the program escapes its address range or
+    /// exceeds the configured instruction budget.
+    pub fn run(&mut self, program: &Program, mem: &mut MainMemory) -> Result<RunReport, CpError> {
+        self.reset_counters();
+        let mut cp = ControlProcessor::new(self.config.mem_latency_cycles);
+        let max = self.config.max_instructions;
+        // Split borrow: the CP drives `self` as the coprocessor.
+        let cp_stats = {
+            let this: &mut CapeMachine = self;
+            let mut driver = MachineCoprocessor { machine: this };
+            cp.run(program, mem, &mut driver, max)?
+        };
+        Ok(RunReport {
+            cycles: cp_stats.cycles,
+            freq_ghz: self.config.freq_ghz,
+            cp: cp_stats,
+            microops: self.csb.stats(),
+            csb_energy_uj: self.energy_pj / 1e6,
+            hbm_bytes_read: self.hbm.bytes_read(),
+            hbm_bytes_written: self.hbm.bytes_written(),
+            lane_ops: self.lane_ops,
+            vmu_cycles: self.vmu_cycles,
+            vcu_cycles: self.vcu_cycles,
+        })
+    }
+
+    /// Arms a one-shot page fault at `elem` for the next vector memory
+    /// instruction, exercising the Section V-C restart path: the transfer
+    /// stops at the faulting index, `vstart` is set there, the fault is
+    /// "handled" (a fixed penalty), and the instruction restarts.
+    pub fn inject_page_fault(&mut self, elem: usize) {
+        self.fault_at_element = Some(elem);
+    }
+
+    /// Page faults taken by vector memory instructions so far.
+    pub fn faults_taken(&self) -> u64 {
+        self.faults_taken
+    }
+
+    /// Takes the pending fault if it lies inside the current window.
+    fn pending_fault_in_window(&mut self) -> Option<usize> {
+        let (vstart, vl) = (self.csb.vstart(), self.csb.vl());
+        match self.fault_at_element.take() {
+            Some(f) if f >= vstart && f < vl => {
+                self.faults_taken += 1;
+                Some(f)
+            }
+            other => {
+                self.fault_at_element = other;
+                None
+            }
+        }
+    }
+
+    /// Runs a vector memory transfer with Section V-C fault/restart
+    /// semantics: on a fault at element `f`, the transfer completes
+    /// `[vstart, f)`, the handler runs, and the instruction restarts at
+    /// `vstart = f` — element indexing is absolute, so the retry resumes
+    /// exactly where the first attempt stopped.
+    fn faultable_transfer(
+        &mut self,
+        mem: &mut MainMemory,
+        mut transfer: impl FnMut(&mut Self, &mut MainMemory) -> cape_vmu::VmuTransfer,
+    ) -> u64 {
+        const FAULT_HANDLER_CYCLES: u64 = 2000; // OS walk + fill, ~750 ns
+        match self.pending_fault_in_window() {
+            None => transfer(self, mem).cycles,
+            Some(f) => {
+                let (vstart, vl) = (self.csb.vstart(), self.csb.vl());
+                self.csb.set_active_window(vstart, f);
+                let first = transfer(self, mem).cycles;
+                self.csb.set_active_window(f, vl);
+                let second = transfer(self, mem).cycles;
+                // Architectural vstart returns to 0 once the restarted
+                // instruction commits.
+                self.csb.set_active_window(0, vl);
+                first + FAULT_HANDLER_CYCLES + second
+            }
+        }
+    }
+
+    fn active_lanes(&self) -> u64 {
+        (self.csb.vl() - self.csb.vstart()) as u64
+    }
+
+    fn active_chains(&self) -> u64 {
+        (self.config.chains - self.csb.idle_chains()) as u64
+    }
+
+    fn run_vcu(&mut self, op: &VectorOp) -> VectorCommit {
+        let r = self.vcu.execute_sew(&mut self.csb, op, self.sew.bits());
+        self.energy_pj += microop_energy_pj(&r.stats, self.active_chains());
+        self.lane_ops += self.active_lanes();
+        self.vcu_cycles += r.cycles;
+        VectorCommit { cycles: r.cycles, rd_value: r.scalar }
+    }
+
+    fn dispatch(&mut self, instr: &Instr, rs1: i64, rs2: i64, mem: &mut MainMemory) -> VectorCommit {
+        match *instr {
+            Instr::Vsetvli { sew, .. } => {
+                // Grant min(requested, VLMAX), select the element width,
+                // and reset vstart (RVV).
+                let granted = (rs1.max(0) as usize).min(self.config.max_vl());
+                self.csb.set_active_window(0, granted);
+                self.sew = sew;
+                VectorCommit {
+                    cycles: self.vcu.cmd_dist_cycles(),
+                    rd_value: Some(granted as i64),
+                }
+            }
+            Instr::Vsetstart { .. } => {
+                let vstart = (rs1.max(0) as usize).min(self.csb.vl());
+                let vl = self.csb.vl();
+                self.csb.set_active_window(vstart, vl);
+                VectorCommit { cycles: self.vcu.cmd_dist_cycles(), rd_value: None }
+            }
+            Instr::Vle32 { vd, .. } => {
+                let addr = rs1 as u64;
+                let reg = vd.index();
+                let cycles = self.faultable_transfer(mem, |m, mem| {
+                    m.vmu.load(&mut m.csb, mem, &mut m.hbm, reg, addr)
+                });
+                self.vmu_cycles += cycles;
+                VectorCommit { cycles, rd_value: None }
+            }
+            Instr::Vse32 { vs3, .. } => {
+                let addr = rs1 as u64;
+                let reg = vs3.index();
+                let cycles = self.faultable_transfer(mem, |m, mem| {
+                    m.vmu.store(&m.csb, mem, &mut m.hbm, reg, addr)
+                });
+                self.vmu_cycles += cycles;
+                VectorCommit { cycles, rd_value: None }
+            }
+            Instr::Vlrw { vd, .. } => {
+                let chunk = rs2.max(1) as usize;
+                let t = self.vmu.load_replica(
+                    &mut self.csb,
+                    mem,
+                    &mut self.hbm,
+                    vd.index(),
+                    rs1 as u64,
+                    chunk,
+                );
+                self.vmu_cycles += t.cycles;
+                VectorCommit { cycles: t.cycles, rd_value: None }
+            }
+            Instr::VOpVv { op, vd, lhs, rhs } => {
+                let (vd, vs1, vs2) = (vd.index(), lhs.index(), rhs.index());
+                let vop = match op {
+                    VAluOp::Add => VectorOp::Add { vd, vs1, vs2 },
+                    VAluOp::Sub => VectorOp::Sub { vd, vs1, vs2 },
+                    VAluOp::Mul => VectorOp::Mul { vd, vs1, vs2 },
+                    VAluOp::And => VectorOp::And { vd, vs1, vs2 },
+                    VAluOp::Or => VectorOp::Or { vd, vs1, vs2 },
+                    VAluOp::Xor => VectorOp::Xor { vd, vs1, vs2 },
+                    VAluOp::Mseq => VectorOp::Mseq { vd, vs1, vs2 },
+                    VAluOp::Msne => VectorOp::Msne { vd, vs1, vs2 },
+                    VAluOp::Mslt => VectorOp::Mslt { vd, vs1, vs2, signed: true },
+                    VAluOp::Msltu => VectorOp::Mslt { vd, vs1, vs2, signed: false },
+                    VAluOp::Min => VectorOp::MinMax { vd, vs1, vs2, max: false, signed: true },
+                    VAluOp::Minu => VectorOp::MinMax { vd, vs1, vs2, max: false, signed: false },
+                    VAluOp::Max => VectorOp::MinMax { vd, vs1, vs2, max: true, signed: true },
+                    VAluOp::Maxu => VectorOp::MinMax { vd, vs1, vs2, max: true, signed: false },
+                };
+                self.run_vcu(&vop)
+            }
+            Instr::VOpVx { op, vd, lhs, .. } => {
+                let (vd, vs1, rs) = (vd.index(), lhs.index(), rs1 as u32);
+                let vop = match op {
+                    VAluOp::Add => VectorOp::AddScalar { vd, vs1, rs },
+                    VAluOp::Sub => VectorOp::SubScalar { vd, vs1, rs },
+                    VAluOp::Mul => VectorOp::MulScalar { vd, vs1, rs },
+                    VAluOp::And => VectorOp::LogicScalar { op: LogicOp::And, vd, vs1, rs },
+                    VAluOp::Or => VectorOp::LogicScalar { op: LogicOp::Or, vd, vs1, rs },
+                    VAluOp::Xor => VectorOp::LogicScalar { op: LogicOp::Xor, vd, vs1, rs },
+                    VAluOp::Mseq => VectorOp::MseqScalar { vd, vs1, rs },
+                    VAluOp::Msne => VectorOp::MsneScalar { vd, vs1, rs },
+                    VAluOp::Mslt => VectorOp::MsltScalar { vd, vs1, rs, signed: true },
+                    VAluOp::Msltu => VectorOp::MsltScalar { vd, vs1, rs, signed: false },
+                    VAluOp::Min => VectorOp::MinMaxScalar { vd, vs1, rs, max: false, signed: true },
+                    VAluOp::Minu => {
+                        VectorOp::MinMaxScalar { vd, vs1, rs, max: false, signed: false }
+                    }
+                    VAluOp::Max => VectorOp::MinMaxScalar { vd, vs1, rs, max: true, signed: true },
+                    VAluOp::Maxu => {
+                        VectorOp::MinMaxScalar { vd, vs1, rs, max: true, signed: false }
+                    }
+                };
+                self.run_vcu(&vop)
+            }
+            Instr::VmergeVvm { vd, on_false, on_true } => self.run_vcu(&VectorOp::Merge {
+                vd: vd.index(),
+                vs1: on_true.index(),
+                vs2: on_false.index(),
+            }),
+            Instr::VredsumVs { vd, vs2, vs1 } => {
+                // vd[0] = vs1[0] + sum(vs2): run the tree reduction, then
+                // fold in the scalar seed held in vs1[0].
+                let seed = self.csb.read_element(vs1.index(), 0);
+                let commit = self.run_vcu(&VectorOp::RedSum { vd: vd.index(), vs: vs2.index() });
+                let sum = commit.rd_value.unwrap_or(0) as u32;
+                let total = sum.wrapping_add(seed);
+                self.csb.write_element(vd.index(), 0, total);
+                VectorCommit { cycles: commit.cycles, rd_value: None }
+            }
+            Instr::VmvVx { vd, .. } => {
+                self.run_vcu(&VectorOp::Broadcast { vd: vd.index(), rs: rs1 as u32 })
+            }
+            Instr::VmvVv { vd, vs } => {
+                self.run_vcu(&VectorOp::Mv { vd: vd.index(), vs: vs.index() })
+            }
+            Instr::VrsubVx { vd, lhs, .. } => self.run_vcu(&VectorOp::RsubScalar {
+                vd: vd.index(),
+                vs1: lhs.index(),
+                rs: rs1 as u32,
+            }),
+            Instr::VmaccVv { vd, vs1, vs2 } => self.run_vcu(&VectorOp::Macc {
+                vd: vd.index(),
+                vs1: vs1.index(),
+                vs2: vs2.index(),
+            }),
+            Instr::VsraVi { vd, vs, imm } => self.run_vcu(&VectorOp::ShiftRightArith {
+                vd: vd.index(),
+                vs: vs.index(),
+                sh: imm,
+            }),
+            Instr::VmvXs { vs, .. } => {
+                // A single-element read: one read microop through the
+                // element path, plus command distribution.
+                let value = self.csb.read_element(vs.index(), 0);
+                self.csb.execute(&cape_csb::MicroOp::Read { subarray: 0, row: vs.index() });
+                VectorCommit {
+                    cycles: self.vcu.cmd_dist_cycles() + 2,
+                    rd_value: Some(i64::from(value)),
+                }
+            }
+            Instr::VcpopM { vs, .. } => self.run_vcu(&VectorOp::Cpop { vs: vs.index() }),
+            Instr::VfirstM { vs, .. } => self.run_vcu(&VectorOp::First { vs: vs.index() }),
+            Instr::VidV { vd } => self.run_vcu(&VectorOp::Vid { vd: vd.index() }),
+            Instr::VsllVi { vd, vs, imm } => self.run_vcu(&VectorOp::ShiftLeft {
+                vd: vd.index(),
+                vs: vs.index(),
+                sh: imm,
+            }),
+            Instr::VsrlVi { vd, vs, imm } => self.run_vcu(&VectorOp::ShiftRight {
+                vd: vd.index(),
+                vs: vs.index(),
+                sh: imm,
+            }),
+            ref other => unreachable!("{other} is not a vector instruction"),
+        }
+    }
+}
+
+/// Adapter giving the control processor a `Coprocessor` view of the
+/// machine.
+struct MachineCoprocessor<'a> {
+    machine: &'a mut CapeMachine,
+}
+
+impl Coprocessor for MachineCoprocessor<'_> {
+    fn execute_vector(
+        &mut self,
+        instr: &Instr,
+        rs1: i64,
+        rs2: i64,
+        mem: &mut MainMemory,
+    ) -> VectorCommit {
+        self.machine.dispatch(instr, rs1, rs2, mem)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cape_isa::assemble;
+
+    fn machine() -> CapeMachine {
+        CapeMachine::new(CapeConfig::tiny(4))
+    }
+
+    #[test]
+    fn end_to_end_vector_add() {
+        let mut m = machine();
+        let mut mem = MainMemory::new();
+        let a: Vec<u32> = (0..100).collect();
+        let b: Vec<u32> = (0..100).map(|i| i * 3).collect();
+        mem.write_u32_slice(0x1000, &a);
+        mem.write_u32_slice(0x2000, &b);
+        let prog = assemble(
+            r"
+            li t0, 100
+            vsetvli t1, t0, e32,m1
+            li a0, 0x1000
+            li a1, 0x2000
+            li a2, 0x3000
+            vle32.v v1, (a0)
+            vle32.v v2, (a1)
+            vadd.vv v3, v1, v2
+            vse32.v v3, (a2)
+            halt
+        ",
+        )
+        .unwrap();
+        let report = m.run(&prog, &mut mem).unwrap();
+        let want: Vec<u32> = (0..100).map(|i| i * 4).collect();
+        assert_eq!(mem.read_u32_slice(0x3000, 100), want);
+        assert_eq!(report.lane_ops, 100);
+        assert!(report.csb_energy_uj > 0.0);
+        assert_eq!(report.hbm_bytes_read, 800);
+        assert_eq!(report.hbm_bytes_written, 400);
+    }
+
+    #[test]
+    fn strip_mined_loop_covers_long_vectors() {
+        // Process 300 elements on a 128-lane machine via vsetvli strip
+        // mining (the vector-length-agnostic pattern of Section V-F).
+        let mut m = machine();
+        let mut mem = MainMemory::new();
+        let a: Vec<u32> = (0..300).map(|i| i * 7).collect();
+        mem.write_u32_slice(0x1000, &a);
+        let prog = assemble(
+            r"
+            li t0, 300        # remaining
+            li a0, 0x1000     # src
+            li a1, 0x8000     # dst
+            loop:
+              vsetvli t1, t0, e32,m1
+              vle32.v v1, (a0)
+              vadd.vx v2, v1, t0   # add the remaining count (varies!)
+              vse32.v v2, (a1)
+              sub t0, t0, t1
+              slli t2, t1, 2
+              add a0, a0, t2
+              add a1, a1, t2
+              bnez t0, loop
+            halt
+        ",
+        )
+        .unwrap();
+        m.run(&prog, &mut mem).unwrap();
+        // First strip adds 300, second 172, third 44.
+        let out = mem.read_u32_slice(0x8000, 300);
+        assert_eq!(out[0], 300);
+        assert_eq!(out[127], 127 * 7 + 300);
+        assert_eq!(out[128], 128 * 7 + 172);
+        assert_eq!(out[299], 299 * 7 + 44);
+    }
+
+    #[test]
+    fn redsum_seeds_from_vs1() {
+        let mut m = machine();
+        let mut mem = MainMemory::new();
+        mem.write_u32_slice(0x100, &[5, 6, 7]);
+        let prog = assemble(
+            r"
+            li t0, 3
+            vsetvli t1, t0
+            li a0, 0x100
+            vle32.v v1, (a0)
+            li t2, 1000
+            vmv.v.x v2, t2
+            vredsum.vs v3, v1, v2   # v3[0] = v2[0] + sum(v1) = 1018
+            vse32.v v3, (a1)
+            halt
+        ",
+        )
+        .unwrap();
+        m.run(&prog, &mut mem).unwrap();
+        assert_eq!(mem.read_u32(0), 1018);
+    }
+
+    #[test]
+    fn cpop_and_first_reach_scalar_registers() {
+        let mut m = machine();
+        let mut mem = MainMemory::new();
+        let a: Vec<u32> = (0..50).collect();
+        mem.write_u32_slice(0x100, &a);
+        let prog = assemble(
+            r"
+            li t0, 50
+            vsetvli t1, t0
+            li a0, 0x100
+            vle32.v v1, (a0)
+            li t2, 25
+            vmslt.vx v2, v1, t2   # elements < 25
+            vcpop.m a2, v2
+            vfirst.m a3, v2
+            li a4, 0x200
+            sw a2, 0(a4)
+            sw a3, 4(a4)
+            halt
+        ",
+        )
+        .unwrap();
+        m.run(&prog, &mut mem).unwrap();
+        assert_eq!(mem.read_u32(0x200), 25);
+        assert_eq!(mem.read_u32(0x204), 0);
+    }
+
+    #[test]
+    fn replica_load_supports_matmul_inner_pattern() {
+        let mut m = machine();
+        let mut mem = MainMemory::new();
+        mem.write_u32_slice(0x100, &[1, 2, 3, 4]);
+        let prog = assemble(
+            r"
+            li t0, 12
+            vsetvli t1, t0
+            li a0, 0x100
+            li a1, 4
+            vlrw.v v1, a0, a1
+            li a2, 0x400
+            vse32.v v1, (a2)
+            halt
+        ",
+        )
+        .unwrap();
+        let report = m.run(&prog, &mut mem).unwrap();
+        assert_eq!(
+            mem.read_u32_slice(0x400, 12),
+            vec![1, 2, 3, 4, 1, 2, 3, 4, 1, 2, 3, 4]
+        );
+        // Replica load fetched 16 bytes, not 48.
+        assert_eq!(report.hbm_bytes_read, 16);
+    }
+
+    #[test]
+    fn narrow_elements_compute_mod_2_pow_sew() {
+        let mut m = machine();
+        let mut mem = MainMemory::new();
+        mem.write_u32_slice(0x1000, &[200, 100, 255, 7]);
+        let prog = assemble(
+            r"
+            li t0, 4
+            vsetvli t1, t0, e8, m1
+            li a0, 0x1000
+            vle32.v v1, (a0)
+            vadd.vv v2, v1, v1     # doubles, wrapping at 8 bits
+            li a1, 0x2000
+            vse32.v v2, (a1)
+            halt
+        ",
+        )
+        .unwrap();
+        m.run(&prog, &mut mem).unwrap();
+        assert_eq!(mem.read_u32_slice(0x2000, 4), vec![144, 200, 254, 14]);
+    }
+
+    #[test]
+    fn narrow_elements_are_faster() {
+        let run_with = |sew: &str| {
+            let mut m = machine();
+            let mut mem = MainMemory::new();
+            mem.write_u32_slice(0x1000, &[1; 64]);
+            let prog = assemble(&format!(
+                "li t0, 64
+vsetvli t1, t0, {sew}, m1
+li a0, 0x1000
+vle32.v v1, (a0)
+vadd.vv v2, v1, v1
+halt"
+            ))
+            .unwrap();
+            m.run(&prog, &mut mem).unwrap().cycles
+        };
+        let (e8, e32) = (run_with("e8"), run_with("e32"));
+        assert!(e8 < e32, "8-bit adds ({e8}) must beat 32-bit ({e32})");
+    }
+
+    #[test]
+    fn min_max_and_macc_instructions_work_end_to_end() {
+        let mut m = machine();
+        let mut mem = MainMemory::new();
+        mem.write_u32_slice(0x1000, &[5, 10, 15, 20]);
+        mem.write_u32_slice(0x2000, &[12, 8, 15, 2]);
+        let prog = assemble(
+            r"
+            li t0, 4
+            vsetvli t1, t0
+            li a0, 0x1000
+            li a1, 0x2000
+            vle32.v v1, (a0)
+            vle32.v v2, (a1)
+            vminu.vv v3, v1, v2
+            vmaxu.vv v4, v1, v2
+            vmacc.vv v3, v1, v2    # v3 += v1*v2
+            li a2, 0x3000
+            vse32.v v3, (a2)
+            li a3, 0x4000
+            vse32.v v4, (a3)
+            halt
+        ",
+        )
+        .unwrap();
+        m.run(&prog, &mut mem).unwrap();
+        assert_eq!(mem.read_u32_slice(0x3000, 4), vec![65, 88, 240, 42]);
+        assert_eq!(mem.read_u32_slice(0x4000, 4), vec![12, 10, 15, 20]);
+    }
+
+    #[test]
+    fn page_fault_restarts_the_load_at_the_faulting_index() {
+        // Section V-C: vector loads are restartable via vstart; the
+        // result must be identical to a fault-free run, with extra
+        // handler cycles and one fault recorded.
+        let data: Vec<u32> = (0..100).map(|i| i * 3 + 1).collect();
+        let prog = assemble(
+            r"
+            li t0, 100
+            vsetvli t1, t0
+            li a0, 0x1000
+            vle32.v v1, (a0)
+            li a1, 0x9000
+            vse32.v v1, (a1)
+            halt
+        ",
+        )
+        .unwrap();
+        let run = |fault: Option<usize>| {
+            let mut m = machine();
+            let mut mem = MainMemory::new();
+            mem.write_u32_slice(0x1000, &data);
+            if let Some(f) = fault {
+                m.inject_page_fault(f);
+            }
+            let r = m.run(&prog, &mut mem).unwrap();
+            (mem.read_u32_slice(0x9000, 100), r.cycles, m.faults_taken())
+        };
+        let (clean, clean_cycles, f0) = run(None);
+        let (faulted, faulted_cycles, f1) = run(Some(37));
+        assert_eq!(clean, data);
+        assert_eq!(faulted, data, "restart must not lose elements");
+        assert_eq!(f0, 0);
+        assert_eq!(f1, 1);
+        assert!(
+            faulted_cycles >= clean_cycles + 2000,
+            "handler cost missing: {faulted_cycles} vs {clean_cycles}"
+        );
+    }
+
+    #[test]
+    fn fault_outside_the_window_is_deferred() {
+        let mut m = machine();
+        let mut mem = MainMemory::new();
+        mem.write_u32_slice(0x1000, &[1, 2, 3, 4]);
+        m.inject_page_fault(90); // beyond vl=4
+        let prog = assemble(
+            "li t0, 4
+vsetvli t1, t0
+li a0, 0x1000
+vle32.v v1, (a0)
+halt",
+        )
+        .unwrap();
+        m.run(&prog, &mut mem).unwrap();
+        assert_eq!(m.faults_taken(), 0, "out-of-window fault must not fire");
+    }
+
+    #[test]
+    fn vsetvli_grants_at_most_max_vl() {
+        let mut m = machine();
+        let mut mem = MainMemory::new();
+        let prog = assemble("li t0, 100000\nvsetvli t1, t0\nli a0, 0\nsd t1, 0(a0)\nhalt").unwrap();
+        m.run(&prog, &mut mem).unwrap();
+        assert_eq!(mem.read_u64(0), 128);
+    }
+}

@@ -1,0 +1,109 @@
+//! Run reports: everything the evaluation harness needs from one run.
+
+use cape_cp::CpStats;
+use cape_csb::MicroOpStats;
+use serde::{Deserialize, Serialize};
+
+/// Summary of one program execution on a [`CapeMachine`](crate::CapeMachine).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Total cycles (control processor and vector engine overlapped).
+    pub cycles: u64,
+    /// Core frequency used to convert cycles to time.
+    pub freq_ghz: f64,
+    /// Control-processor statistics (instruction mix, branches, …).
+    pub cp: CpStats,
+    /// CSB microops emitted during the run.
+    pub microops: MicroOpStats,
+    /// CSB dynamic energy in microjoules.
+    pub csb_energy_uj: f64,
+    /// Bytes read from HBM.
+    pub hbm_bytes_read: u64,
+    /// Bytes written to HBM.
+    pub hbm_bytes_written: u64,
+    /// Element-wise vector operations executed (vector compute
+    /// instructions weighted by their active vector length) — the "ops"
+    /// numerator of the roofline model.
+    pub lane_ops: u64,
+    /// Cycles spent in VMU transfers.
+    pub vmu_cycles: u64,
+    /// Cycles spent in VCU compute.
+    pub vcu_cycles: u64,
+}
+
+impl RunReport {
+    /// Wall-clock time in milliseconds.
+    pub fn time_ms(&self) -> f64 {
+        self.cycles as f64 / (self.freq_ghz * 1e6)
+    }
+
+    /// Total HBM traffic in bytes.
+    pub fn hbm_bytes(&self) -> u64 {
+        self.hbm_bytes_read + self.hbm_bytes_written
+    }
+
+    /// Throughput in giga-(element)-operations per second.
+    pub fn gops(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.lane_ops as f64 * self.freq_ghz / self.cycles as f64
+        }
+    }
+
+    /// Operational intensity in element-operations per byte of HBM
+    /// traffic (infinite for runs with no memory traffic).
+    pub fn intensity(&self) -> f64 {
+        let bytes = self.hbm_bytes();
+        if bytes == 0 {
+            f64::INFINITY
+        } else {
+            self.lane_ops as f64 / bytes as f64
+        }
+    }
+
+    /// Speedup of this run relative to `baseline_time_ms` from another
+    /// model.
+    pub fn speedup_over(&self, baseline_time_ms: f64) -> f64 {
+        baseline_time_ms / self.time_ms()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(cycles: u64, lane_ops: u64, bytes: u64) -> RunReport {
+        RunReport {
+            cycles,
+            freq_ghz: 2.7,
+            cp: CpStats::default(),
+            microops: MicroOpStats::default(),
+            csb_energy_uj: 0.0,
+            hbm_bytes_read: bytes,
+            hbm_bytes_written: 0,
+            lane_ops,
+            vmu_cycles: 0,
+            vcu_cycles: 0,
+        }
+    }
+
+    #[test]
+    fn time_and_throughput() {
+        let r = report(2_700_000, 1_000_000, 4_000_000);
+        assert!((r.time_ms() - 1.0).abs() < 1e-9);
+        assert!((r.gops() - 1.0).abs() < 1e-9);
+        assert!((r.intensity() - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_traffic_has_infinite_intensity() {
+        assert!(report(100, 10, 0).intensity().is_infinite());
+    }
+
+    #[test]
+    fn speedup_is_time_ratio() {
+        let r = report(2_700_000, 0, 0); // 1 ms
+        assert!((r.speedup_over(14.0) - 14.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,128 @@
+//! Roofline model (Williams et al.) for CAPE configurations, used to
+//! regenerate the paper's Fig. 10-style analysis.
+
+use crate::config::CapeConfig;
+use crate::report::RunReport;
+use serde::{Deserialize, Serialize};
+
+/// A machine roofline: compute ceiling and memory-bandwidth slope.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Roofline {
+    /// Peak throughput in giga-element-operations per second.
+    pub peak_gops: f64,
+    /// Peak memory bandwidth in GB/s.
+    pub peak_gbps: f64,
+}
+
+impl Roofline {
+    /// The roofline of a CAPE configuration. The compute ceiling takes
+    /// `vadd` (8n+2 cycles over all lanes) as the representative
+    /// element-wise operation; the memory roof is the HBM aggregate.
+    pub fn cape(config: &CapeConfig) -> Self {
+        let vadd_cycles = 8.0 * 32.0 + 2.0;
+        Self {
+            peak_gops: config.max_vl() as f64 * config.freq_ghz / vadd_cycles,
+            peak_gbps: config.hbm.peak_bytes_per_ns(),
+        }
+    }
+
+    /// A custom roofline (used for the baseline models).
+    pub fn new(peak_gops: f64, peak_gbps: f64) -> Self {
+        Self { peak_gops, peak_gbps }
+    }
+
+    /// Attainable throughput at the given operational intensity
+    /// (ops/byte): `min(peak, intensity x bandwidth)`.
+    pub fn attainable_gops(&self, intensity: f64) -> f64 {
+        if intensity.is_infinite() {
+            self.peak_gops
+        } else {
+            self.peak_gops.min(intensity * self.peak_gbps)
+        }
+    }
+
+    /// The ridge point: the intensity where the machine turns
+    /// compute-bound.
+    pub fn ridge_intensity(&self) -> f64 {
+        self.peak_gops / self.peak_gbps
+    }
+}
+
+/// One application's position in roofline space.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RooflinePoint {
+    /// Workload name.
+    pub name: String,
+    /// Operational intensity in ops/byte.
+    pub intensity: f64,
+    /// Achieved throughput in Gops/s.
+    pub gops: f64,
+}
+
+impl RooflinePoint {
+    /// Extracts the roofline point of a run.
+    pub fn from_report(name: impl Into<String>, report: &RunReport) -> Self {
+        Self {
+            name: name.into(),
+            intensity: report.intensity(),
+            gops: report.gops(),
+        }
+    }
+
+    /// Fraction of the attainable roofline this point achieves.
+    pub fn efficiency(&self, roofline: &Roofline) -> f64 {
+        let attainable = roofline.attainable_gops(self.intensity);
+        if attainable == 0.0 {
+            0.0
+        } else {
+            self.gops / attainable
+        }
+    }
+
+    /// True when the point sits left of the ridge (memory-bound region).
+    pub fn is_memory_bound(&self, roofline: &Roofline) -> bool {
+        self.intensity < roofline.ridge_intensity()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cape32k_roofline_magnitudes() {
+        let r = Roofline::cape(&CapeConfig::cape32k());
+        // 32768 lanes x 2.7 GHz / 258 cycles = ~343 Gops.
+        assert!((r.peak_gops - 342.9).abs() < 1.0, "peak {}", r.peak_gops);
+        assert_eq!(r.peak_gbps, 128.0);
+        // Ridge around 2.7 ops/byte.
+        assert!((r.ridge_intensity() - 2.68).abs() < 0.1);
+    }
+
+    #[test]
+    fn cape131k_raises_only_the_compute_roof() {
+        let small = Roofline::cape(&CapeConfig::cape32k());
+        let big = Roofline::cape(&CapeConfig::cape131k());
+        assert!((big.peak_gops / small.peak_gops - 4.0).abs() < 1e-9);
+        assert_eq!(big.peak_gbps, small.peak_gbps);
+    }
+
+    #[test]
+    fn attainable_follows_the_min_rule() {
+        let r = Roofline::new(100.0, 10.0);
+        assert_eq!(r.attainable_gops(1.0), 10.0);
+        assert_eq!(r.attainable_gops(10.0), 100.0);
+        assert_eq!(r.attainable_gops(1000.0), 100.0);
+        assert_eq!(r.attainable_gops(f64::INFINITY), 100.0);
+    }
+
+    #[test]
+    fn memory_bound_classification() {
+        let r = Roofline::new(100.0, 10.0); // ridge at 10 ops/byte
+        let low = RooflinePoint { name: "streaming".into(), intensity: 1.0, gops: 5.0 };
+        let high = RooflinePoint { name: "compute".into(), intensity: 50.0, gops: 80.0 };
+        assert!(low.is_memory_bound(&r));
+        assert!(!high.is_memory_bound(&r));
+        assert!((low.efficiency(&r) - 0.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,176 @@
+//! Microoperation delay and energy constants (Table II of the paper) and
+//! the CSB energy model built on them.
+//!
+//! Table II reports, per chain, the delay and the dynamic energy of each
+//! microoperation in its bit-serial (BS, 1–2 active subarrays) and
+//! bit-parallel (BP, many active subarrays) flavours, extracted from
+//! ASAP7 circuit simulation and a synthesized chain layout. We transcribe
+//! those constants and multiply by the emulator's exact microop counts
+//! and the number of active chains; EXPERIMENTS.md shows this reproduces
+//! Table I's per-instruction energy-per-lane column.
+
+use cape_csb::MicroOpStats;
+use serde::{Deserialize, Serialize};
+
+/// Microoperation delays in picoseconds (Table II, one chain).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MicroOpTiming {
+    /// Single-row read (round-trip; the system critical path).
+    pub read_ps: f64,
+    /// Single-row write.
+    pub write_ps: f64,
+    /// Search driving up to 4 rows.
+    pub search_ps: f64,
+    /// Update without inter-subarray propagation.
+    pub update_ps: f64,
+    /// Update with propagation.
+    pub update_prop_ps: f64,
+    /// Reduction (per pipeline stage).
+    pub reduce_ps: f64,
+}
+
+/// Table II delays.
+pub const TABLE2_DELAYS: MicroOpTiming = MicroOpTiming {
+    read_ps: 237.0,
+    write_ps: 181.0,
+    search_ps: 227.0,
+    update_ps: 209.0,
+    update_prop_ps: 209.0,
+    reduce_ps: 217.0,
+};
+
+/// Per-chain dynamic energy of one microoperation flavour, in picojoules.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MicroOpEnergy {
+    /// Single-row read.
+    pub read_pj: f64,
+    /// Single-row write.
+    pub write_pj: f64,
+    /// Search.
+    pub search_pj: f64,
+    /// Update (without propagation).
+    pub update_pj: f64,
+    /// Update with propagation.
+    pub update_prop_pj: f64,
+    /// Reduction popcount + tree input.
+    pub reduce_pj: f64,
+    /// Tag-bus combine (not in Table II; estimated at a tenth of a
+    /// bit-serial search since only peripheral flip-flops toggle — see
+    /// DESIGN.md).
+    pub tag_combine_pj: f64,
+}
+
+/// Table II bit-serial energies (reads/writes/reductions have no
+/// bit-serial flavour; they reuse the bit-parallel numbers).
+pub const TABLE2_BS: MicroOpEnergy = MicroOpEnergy {
+    read_pj: 2.8,
+    write_pj: 2.4,
+    search_pj: 1.0,
+    update_pj: 1.2,
+    update_prop_pj: 1.2,
+    reduce_pj: 8.9,
+    tag_combine_pj: 0.1,
+};
+
+/// Table II bit-parallel energies.
+pub const TABLE2_BP: MicroOpEnergy = MicroOpEnergy {
+    read_pj: 2.8,
+    write_pj: 2.4,
+    search_pj: 5.7,
+    update_pj: 3.8,
+    // The paper reports no BP update-with-propagation flavour (carry
+    // propagation is inherently bit-serial); keep the BS number.
+    update_prop_pj: 1.2,
+    reduce_pj: 8.9,
+    tag_combine_pj: 0.1,
+};
+
+/// Total CSB dynamic energy in picojoules for the given microop mix,
+/// with `active_chains` chains toggling (idle chains are power-gated,
+/// Section V-F).
+pub fn microop_energy_pj(stats: &MicroOpStats, active_chains: u64) -> f64 {
+    let bs = TABLE2_BS;
+    let bp = TABLE2_BP;
+    // Table II's 8.9 pJ reduction energy covers the whole pipelined tree
+    // pass of one instruction (the paper: "the energy consumed by the
+    // reduction logic, 8.9 pJ"); a 32-bit reduction emits 32 per-bit
+    // popcount microops, so each carries 1/32 of it.
+    let reduce_per_uop = bp.reduce_pj / 32.0;
+    let per_chain = stats.searches_bs as f64 * bs.search_pj
+        + stats.searches_bp as f64 * bp.search_pj
+        + stats.updates_bs as f64 * bs.update_pj
+        + stats.updates_bp as f64 * bp.update_pj
+        + stats.updates_prop as f64 * bs.update_prop_pj
+        + stats.reads as f64 * bp.read_pj
+        + stats.writes as f64 * bp.write_pj
+        + stats.reduces as f64 * reduce_per_uop
+        + stats.tag_combines as f64 * bs.tag_combine_pj;
+    per_chain * active_chains as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cape_csb::{Csb, CsbGeometry};
+    use cape_ucode::{Sequencer, VectorOp};
+
+    /// Emulated microops x Table II energies must land near Table I's
+    /// per-lane energy column (the paper derives Table I the same way).
+    #[test]
+    fn derived_energy_matches_table_one_per_lane() {
+        let check = |op: VectorOp, paper_pj_per_lane: f64, tolerance: f64| {
+            let mut csb = Csb::new(CsbGeometry::new(1));
+            let a: Vec<u32> = (0..32u32).map(|i| i.wrapping_mul(2654435761) % 97).collect();
+            csb.write_vector(1, &a);
+            csb.write_vector(2, &a);
+            let out = Sequencer::new(&mut csb).execute(&op);
+            let lanes = 32.0;
+            let per_lane = microop_energy_pj(&out.stats, 1) / lanes;
+            assert!(
+                (per_lane - paper_pj_per_lane).abs() <= tolerance,
+                "{op:?}: derived {per_lane:.2} pJ/lane vs paper {paper_pj_per_lane}"
+            );
+        };
+        // Table I: vadd 8.4 pJ, vand 0.4, vxor 0.5, vmerge 0.5 per lane.
+        check(VectorOp::Add { vd: 3, vs1: 1, vs2: 2 }, 8.4, 2.0);
+        check(VectorOp::And { vd: 3, vs1: 1, vs2: 2 }, 0.4, 0.2);
+        check(VectorOp::Xor { vd: 3, vs1: 1, vs2: 2 }, 0.5, 0.2);
+        check(VectorOp::Merge { vd: 3, vs1: 1, vs2: 2 }, 0.5, 0.2);
+    }
+
+    #[test]
+    fn vmul_energy_dominates() {
+        let mut csb = Csb::new(CsbGeometry::new(1));
+        let a: Vec<u32> = (0..32).collect();
+        csb.write_vector(1, &a);
+        csb.write_vector(2, &a);
+        let mul = Sequencer::new(&mut csb).execute(&VectorOp::Mul { vd: 3, vs1: 1, vs2: 2 });
+        let add = Sequencer::new(&mut csb).execute(&VectorOp::Add { vd: 4, vs1: 1, vs2: 2 });
+        let e_mul = microop_energy_pj(&mul.stats, 1);
+        let e_add = microop_energy_pj(&add.stats, 1);
+        // Table I: 99.9 vs 8.4 pJ/lane, a ~12x gap.
+        assert!(e_mul / e_add > 8.0, "mul/add energy ratio {}", e_mul / e_add);
+    }
+
+    #[test]
+    fn energy_scales_with_active_chains() {
+        let stats = {
+            let mut csb = Csb::new(CsbGeometry::new(1));
+            Sequencer::new(&mut csb).execute(&VectorOp::Broadcast { vd: 1, rs: 7 }).stats
+        };
+        let one = microop_energy_pj(&stats, 1);
+        let thousand = microop_energy_pj(&stats, 1000);
+        assert!((thousand / one - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn all_microop_delays_fit_the_cycle() {
+        // 2.7 GHz -> 370 ps cycle; every Table II delay fits.
+        let d = TABLE2_DELAYS;
+        for ps in [d.read_ps, d.write_ps, d.search_ps, d.update_ps, d.update_prop_ps, d.reduce_ps] {
+            assert!(ps <= 370.0, "{ps} ps exceeds the 2.7 GHz cycle");
+        }
+        // And the read is the critical path.
+        assert!(d.read_ps >= d.write_ps.max(d.search_ps).max(d.update_ps).max(d.reduce_ps));
+    }
+}

@@ -1,0 +1,346 @@
+//! The full Compute-Storage Block: chains + reduction tree + accounting.
+
+use crate::chain::Chain;
+use crate::geometry::{CsbGeometry, ElementLocation};
+use crate::microop::MicroOp;
+use crate::reduction::ReductionTree;
+use crate::stats::{MicroOpKind, MicroOpStats};
+
+/// The Compute-Storage Block: an array of [`Chain`]s executing broadcast
+/// [`MicroOp`]s in lockstep, plus the global reduction tree.
+///
+/// The CSB also owns the *active window* (`vstart..vl`) that implements
+/// RISC-V vector-length-agnostic semantics: columns mapped to elements
+/// outside the window are masked out of every search and update, and tail
+/// elements keep their values as the RVV specification requires
+/// (Section V-F).
+#[derive(Debug, Clone)]
+pub struct Csb {
+    geometry: CsbGeometry,
+    chains: Vec<Chain>,
+    windows: Vec<u32>,
+    /// Chains whose window mask is non-zero (fully-masked chains are
+    /// power-gated and skipped, Section V-F).
+    active: Vec<usize>,
+    tree: ReductionTree,
+    vstart: usize,
+    vl: usize,
+    stats: MicroOpStats,
+    /// Worker threads for the broadcast fan-out (queried once; it is a
+    /// syscall).
+    threads: usize,
+}
+
+impl Csb {
+    /// Creates a zero-initialized CSB with the given geometry. The active
+    /// window starts fully open (`vstart = 0`, `vl = MAX_VL`).
+    pub fn new(geometry: CsbGeometry) -> Self {
+        let n = geometry.num_chains();
+        let mut csb = Self {
+            geometry,
+            chains: vec![Chain::new(); n],
+            windows: vec![u32::MAX; n],
+            active: (0..n).collect(),
+            tree: ReductionTree::new(n),
+            vstart: 0,
+            vl: geometry.max_vl(),
+            stats: MicroOpStats::new(),
+            threads: std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).min(16),
+        };
+        csb.recompute_windows();
+        csb
+    }
+
+    /// The CSB geometry.
+    pub fn geometry(&self) -> CsbGeometry {
+        self.geometry
+    }
+
+    /// Maximum hardware vector length.
+    pub fn max_vl(&self) -> usize {
+        self.geometry.max_vl()
+    }
+
+    /// Current vector length.
+    pub fn vl(&self) -> usize {
+        self.vl
+    }
+
+    /// Current vector start index.
+    pub fn vstart(&self) -> usize {
+        self.vstart
+    }
+
+    /// The global reduction tree model.
+    pub fn reduction_tree(&self) -> ReductionTree {
+        self.tree
+    }
+
+    /// Reconfigures the active window. Chain controllers locally compute
+    /// their column masks from the chain ID, `vstart` and `vl`
+    /// (Section V-F); fully-masked chains would power-gate their
+    /// peripherals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vl > MAX_VL` or `vstart > vl`.
+    pub fn set_active_window(&mut self, vstart: usize, vl: usize) {
+        assert!(vl <= self.max_vl(), "vl {vl} exceeds MAX_VL {}", self.max_vl());
+        assert!(vstart <= vl, "vstart {vstart} exceeds vl {vl}");
+        self.vstart = vstart;
+        self.vl = vl;
+        self.recompute_windows();
+    }
+
+    fn recompute_windows(&mut self) {
+        self.active.clear();
+        for c in 0..self.geometry.num_chains() {
+            self.windows[c] = self.geometry.window_mask(c, self.vstart, self.vl);
+            if self.windows[c] != 0 {
+                self.active.push(c);
+            }
+        }
+    }
+
+    /// Number of chains whose window is fully masked (candidates for
+    /// power gating).
+    pub fn idle_chains(&self) -> usize {
+        self.windows.iter().filter(|&&w| w == 0).count()
+    }
+
+    /// Executes one broadcast microop on every chain and records it in the
+    /// statistics. Returns the summed reduction popcount for
+    /// [`MicroOp::ReduceTags`], `None` otherwise (per-chain read data is
+    /// accessible through [`Csb::chain`]).
+    ///
+    /// Large CSBs (>= 512 chains) fan the lockstep broadcast out over a
+    /// thread pool — chains are fully independent, exactly as in the
+    /// hardware.
+    pub fn execute(&mut self, op: &MicroOp) -> Option<u64> {
+        self.record(op);
+        let is_reduce = matches!(op, MicroOp::ReduceTags { .. });
+        let threads = self.threads;
+        // Fully-masked chains are power-gated: their searches set no tags
+        // and their updates write nothing, and every consumer of their
+        // state masks by the (zero) window — skip them entirely.
+        if self.active.len() == self.geometry.num_chains() && threads > 1 && self.active.len() >= 512
+        {
+            // Lockstep broadcast over a thread pool; chains are fully
+            // independent, exactly as in the hardware.
+            let n = self.chains.len();
+            let chunk = n.div_ceil(threads);
+            let windows = &self.windows;
+            let mut sums = vec![0u64; n.div_ceil(chunk)];
+            crossbeam::thread::scope(|s| {
+                for ((chains, wins), sum) in self
+                    .chains
+                    .chunks_mut(chunk)
+                    .zip(windows.chunks(chunk))
+                    .zip(sums.iter_mut())
+                {
+                    s.spawn(move |_| {
+                        for (chain, window) in chains.iter_mut().zip(wins) {
+                            if let Some(r) = chain.execute(op, *window) {
+                                *sum += u64::from(r);
+                            }
+                        }
+                    });
+                }
+            })
+            .expect("chain worker panicked");
+            return is_reduce.then(|| sums.iter().sum());
+        }
+        let mut reduce_sum = is_reduce.then_some(0u64);
+        for &c in &self.active {
+            let r = self.chains[c].execute(op, self.windows[c]);
+            if let (Some(sum), Some(r)) = (reduce_sum.as_mut(), r) {
+                *sum += u64::from(r);
+            }
+        }
+        reduce_sum
+    }
+
+    fn record(&mut self, op: &MicroOp) {
+        let bp = op.is_bit_parallel();
+        let kind = match op {
+            MicroOp::Search { .. } => MicroOpKind::Search,
+            MicroOp::Update { .. } if op.propagates() => MicroOpKind::UpdateWithPropagation,
+            MicroOp::Update { .. } => MicroOpKind::Update,
+            MicroOp::Read { .. } => MicroOpKind::Read,
+            MicroOp::Write { .. } => MicroOpKind::Write,
+            MicroOp::ReduceTags { .. } => MicroOpKind::Reduce,
+            MicroOp::TagCombine { .. } => MicroOpKind::TagCombine,
+        };
+        self.stats.record(kind, bp);
+    }
+
+    /// Accumulated microop statistics.
+    pub fn stats(&self) -> MicroOpStats {
+        self.stats
+    }
+
+    /// Resets the microop statistics.
+    pub fn reset_stats(&mut self) {
+        self.stats = MicroOpStats::new();
+    }
+
+    /// Immutable access to chain `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn chain(&self, i: usize) -> &Chain {
+        &self.chains[i]
+    }
+
+    /// Mutable access to chain `i` (bring-up/test hook).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn chain_mut(&mut self, i: usize) -> &mut Chain {
+        &mut self.chains[i]
+    }
+
+    /// Location of vector element `elem`.
+    pub fn locate(&self, elem: usize) -> ElementLocation {
+        self.geometry.locate(elem)
+    }
+
+    /// Deposits `value` into element `elem` of vector register `reg`
+    /// (functional data-transfer path; the VMU accounts for its timing).
+    pub fn write_element(&mut self, reg: usize, elem: usize, value: u32) {
+        let loc = self.geometry.locate(elem);
+        self.chains[loc.chain].write_element(reg, loc.col, value);
+    }
+
+    /// Reads element `elem` of vector register `reg`.
+    pub fn read_element(&self, reg: usize, elem: usize) -> u32 {
+        let loc = self.geometry.locate(elem);
+        self.chains[loc.chain].read_element(reg, loc.col)
+    }
+
+    /// Reads the first `len` elements of register `reg` into a vector —
+    /// convenient for tests and result extraction.
+    pub fn read_vector(&self, reg: usize, len: usize) -> Vec<u32> {
+        (0..len).map(|e| self.read_element(reg, e)).collect()
+    }
+
+    /// Writes `values` into register `reg`, starting at element 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() > MAX_VL`.
+    pub fn write_vector(&mut self, reg: usize, values: &[u32]) {
+        for (e, &v) in values.iter().enumerate() {
+            self.write_element(reg, e, v);
+        }
+    }
+
+    /// Per-chain window mask for chain `i`.
+    pub fn window(&self, i: usize) -> u32 {
+        self.windows[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::microop::{ColSel, Probe, TagDest, TagMode, WriteSpec};
+
+    fn small() -> Csb {
+        Csb::new(CsbGeometry::new(4))
+    }
+
+    fn search1(subarray: usize, row: usize, want: bool) -> MicroOp {
+        MicroOp::Search {
+            probes: vec![Probe::row(subarray, row, want)],
+            gates: vec![],
+            dest: TagDest::Tags,
+            mode: TagMode::Set,
+        }
+    }
+
+    #[test]
+    fn vector_roundtrip_across_chains() {
+        let mut csb = small();
+        let data: Vec<u32> = (0..128).map(|i| i * 0x0101).collect();
+        csb.write_vector(6, &data);
+        assert_eq!(csb.read_vector(6, 128), data);
+    }
+
+    #[test]
+    fn broadcast_search_reaches_every_chain() {
+        let mut csb = small();
+        // Element e of v1 = e; search bit 0 == 1 finds the odd elements.
+        let data: Vec<u32> = (0..16).map(|i| i as u32).collect();
+        csb.write_vector(1, &data);
+        csb.set_active_window(0, 16);
+        csb.execute(&search1(0, 1, true));
+        let total = csb.execute(&MicroOp::ReduceTags { subarray: 0 }).unwrap();
+        assert_eq!(total, 8); // 8 odd values in 0..16
+    }
+
+    #[test]
+    fn active_window_masks_tail_elements() {
+        let mut csb = small();
+        let data: Vec<u32> = vec![1; 16];
+        csb.write_vector(2, &data);
+        csb.set_active_window(0, 5);
+        csb.execute(&search1(0, 2, true));
+        let total = csb.execute(&MicroOp::ReduceTags { subarray: 0 }).unwrap();
+        assert_eq!(total, 5);
+    }
+
+    #[test]
+    fn tail_elements_unchanged_by_update() {
+        let mut csb = small();
+        csb.write_vector(3, &vec![7u32; 8]);
+        csb.set_active_window(0, 4);
+        // Bulk-clear bit 0 of v3 inside the window.
+        csb.execute(&MicroOp::Update {
+            writes: vec![WriteSpec {
+                subarray: 0,
+                row: 3,
+                value: false,
+                cols: ColSel::Window,
+            }],
+        });
+        let out = csb.read_vector(3, 8);
+        assert_eq!(&out[..4], &[6, 6, 6, 6]);
+        assert_eq!(&out[4..], &[7, 7, 7, 7]); // tail untouched
+    }
+
+    #[test]
+    fn idle_chains_counts_fully_masked_chains() {
+        let mut csb = small();
+        // vl = 2 with 4 chains: chains 2 and 3 hold no active element.
+        csb.set_active_window(0, 2);
+        assert_eq!(csb.idle_chains(), 2);
+        csb.set_active_window(0, csb.max_vl());
+        assert_eq!(csb.idle_chains(), 0);
+    }
+
+    #[test]
+    fn stats_classify_ops() {
+        let mut csb = small();
+        csb.execute(&search1(0, 0, true));
+        csb.execute(&MicroOp::Update {
+            writes: vec![WriteSpec { subarray: 1, row: 0, value: true, cols: ColSel::Tags(0) }],
+        });
+        csb.execute(&MicroOp::ReduceTags { subarray: 0 });
+        let s = csb.stats();
+        assert_eq!(s.searches_bs, 1);
+        assert_eq!(s.updates_prop, 1);
+        assert_eq!(s.reduces, 1);
+        assert_eq!(s.total(), 3);
+        csb.reset_stats();
+        assert_eq!(csb.stats().total(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds MAX_VL")]
+    fn window_beyond_max_vl_panics() {
+        small().set_active_window(0, 129);
+    }
+}

@@ -1,0 +1,108 @@
+//! The global reduction tree used by `vredsum` (Sections IV-E, VI-C).
+//!
+//! Each chain has a local population counter over its tag bits; a pipelined
+//! global adder tree sums the per-chain counts, shifts the accumulator left
+//! by one, and adds — once per bit, from MSB to LSB (Fig. 6). The paper
+//! synthesizes a 5-stage pipeline for 1,024 chains at a 217 ps critical
+//! path; we scale the stage count with the chain count.
+
+use serde::{Deserialize, Serialize};
+
+/// Structural model of the pipelined global reduction tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReductionTree {
+    num_chains: usize,
+    stages: u32,
+}
+
+impl ReductionTree {
+    /// Builds the tree model for a CSB with `num_chains` chains.
+    ///
+    /// The stage count is calibrated so that 1,024 chains yield the paper's
+    /// 5 pipeline stages, growing by one stage per 4x chains (each stage
+    /// covers two adder levels of the binary tree).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_chains` is zero.
+    pub fn new(num_chains: usize) -> Self {
+        assert!(num_chains > 0, "reduction tree needs at least one chain");
+        let levels = usize::BITS - (num_chains - 1).leading_zeros(); // ceil(log2)
+        let stages = levels.div_ceil(2).max(1);
+        Self { num_chains, stages }
+    }
+
+    /// Number of pipeline stages (latency in cycles for one popcount wave
+    /// to traverse the tree).
+    pub fn stages(&self) -> u32 {
+        self.stages
+    }
+
+    /// Number of chains feeding the tree.
+    pub fn num_chains(&self) -> usize {
+        self.num_chains
+    }
+
+    /// Latency, in cycles, of a full `n`-bit reduction sum: the per-bit
+    /// searches pipeline through the tree, so total latency is `n` issue
+    /// cycles plus the tree drain.
+    pub fn redsum_cycles(&self, n_bits: u32) -> u64 {
+        u64::from(n_bits) + u64::from(self.stages)
+    }
+
+    /// Functionally reduces per-chain popcounts into a scalar: one step of
+    /// the Fig. 6 algorithm (`acc = (acc << 1) + sum(counts)`).
+    pub fn step(&self, acc: u64, per_chain_counts: &[u32]) -> u64 {
+        assert_eq!(
+            per_chain_counts.len(),
+            self.num_chains,
+            "popcount vector length must equal chain count"
+        );
+        (acc << 1) + per_chain_counts.iter().map(|&c| u64::from(c)).sum::<u64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_configuration_has_five_stages() {
+        assert_eq!(ReductionTree::new(1024).stages(), 5);
+    }
+
+    #[test]
+    fn cape131k_tree_is_one_stage_deeper() {
+        assert_eq!(ReductionTree::new(4096).stages(), 6);
+    }
+
+    #[test]
+    fn tiny_trees_have_at_least_one_stage() {
+        assert_eq!(ReductionTree::new(1).stages(), 1);
+        assert_eq!(ReductionTree::new(2).stages(), 1);
+        assert_eq!(ReductionTree::new(4).stages(), 1);
+        assert_eq!(ReductionTree::new(8).stages(), 2);
+    }
+
+    #[test]
+    fn redsum_cycles_is_bits_plus_drain() {
+        let t = ReductionTree::new(1024);
+        assert_eq!(t.redsum_cycles(32), 37);
+    }
+
+    #[test]
+    fn step_shifts_and_accumulates() {
+        let t = ReductionTree::new(4);
+        // MSB-first reduction of the 2-bit vector [1, 2, 3, 0]:
+        // bit 1 set in elements {2, 3} -> counts sum 2; bit 0 in {1, 3} -> 2.
+        let acc = t.step(0, &[0, 1, 1, 0]);
+        let acc = t.step(acc, &[1, 0, 1, 0]);
+        assert_eq!(acc, 2 * 2 + 2); // = 6 = 1 + 2 + 3 + 0
+    }
+
+    #[test]
+    #[should_panic(expected = "length must equal")]
+    fn step_validates_count_vector_length() {
+        ReductionTree::new(4).step(0, &[1, 2]);
+    }
+}

@@ -1,0 +1,175 @@
+//! Microoperation accounting, consumed by the timing/energy layer.
+
+use serde::{Deserialize, Serialize};
+
+/// Classification of a microop for statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MicroOpKind {
+    /// A content search (including cross-subarray searches).
+    Search,
+    /// A bulk update without inter-subarray tag propagation.
+    Update,
+    /// A bulk update that propagates tags into the next subarray.
+    UpdateWithPropagation,
+    /// A single-row read.
+    Read,
+    /// A single-row write.
+    Write,
+    /// A tag population count fed to the reduction tree.
+    Reduce,
+    /// A tag-bus transfer between neighbouring subarrays.
+    TagCombine,
+}
+
+/// Counters for every microop kind, split into bit-serial (1–2 active
+/// subarrays) and bit-parallel (3+ active subarrays) flavours, mirroring
+/// the BS/BP energy split of Table II.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MicroOpStats {
+    /// Bit-serial searches.
+    pub searches_bs: u64,
+    /// Bit-parallel searches.
+    pub searches_bp: u64,
+    /// Bit-serial updates without propagation.
+    pub updates_bs: u64,
+    /// Bit-parallel updates without propagation.
+    pub updates_bp: u64,
+    /// Updates with inter-subarray propagation (always bit-serial).
+    pub updates_prop: u64,
+    /// Single-row reads.
+    pub reads: u64,
+    /// Single-row writes.
+    pub writes: u64,
+    /// Reduction popcounts.
+    pub reduces: u64,
+    /// Tag-bus transfers between subarrays.
+    pub tag_combines: u64,
+}
+
+impl MicroOpStats {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one microop of `kind`, with `bit_parallel` flavour.
+    pub fn record(&mut self, kind: MicroOpKind, bit_parallel: bool) {
+        match (kind, bit_parallel) {
+            (MicroOpKind::Search, false) => self.searches_bs += 1,
+            (MicroOpKind::Search, true) => self.searches_bp += 1,
+            (MicroOpKind::Update, false) => self.updates_bs += 1,
+            (MicroOpKind::Update, true) => self.updates_bp += 1,
+            (MicroOpKind::UpdateWithPropagation, _) => self.updates_prop += 1,
+            (MicroOpKind::Read, _) => self.reads += 1,
+            (MicroOpKind::Write, _) => self.writes += 1,
+            (MicroOpKind::Reduce, _) => self.reduces += 1,
+            (MicroOpKind::TagCombine, _) => self.tag_combines += 1,
+        }
+    }
+
+    /// Total searches (both flavours).
+    pub fn searches(&self) -> u64 {
+        self.searches_bs + self.searches_bp
+    }
+
+    /// Total updates (all flavours).
+    pub fn updates(&self) -> u64 {
+        self.updates_bs + self.updates_bp + self.updates_prop
+    }
+
+    /// Total microop count: the emulator's cycle-count proxy, since each
+    /// microop takes one CSB cycle (Table II delays all fit in one cycle).
+    pub fn total(&self) -> u64 {
+        self.searches() + self.updates() + self.reads + self.writes + self.reduces
+            + self.tag_combines
+    }
+
+    /// Adds another stats block into this one.
+    pub fn merge(&mut self, other: &MicroOpStats) {
+        self.searches_bs += other.searches_bs;
+        self.searches_bp += other.searches_bp;
+        self.updates_bs += other.updates_bs;
+        self.updates_bp += other.updates_bp;
+        self.updates_prop += other.updates_prop;
+        self.reads += other.reads;
+        self.writes += other.writes;
+        self.reduces += other.reduces;
+        self.tag_combines += other.tag_combines;
+    }
+
+    /// Difference since an earlier snapshot (`self - earlier`), useful for
+    /// per-instruction accounting.
+    pub fn since(&self, earlier: &MicroOpStats) -> MicroOpStats {
+        MicroOpStats {
+            searches_bs: self.searches_bs - earlier.searches_bs,
+            searches_bp: self.searches_bp - earlier.searches_bp,
+            updates_bs: self.updates_bs - earlier.updates_bs,
+            updates_bp: self.updates_bp - earlier.updates_bp,
+            updates_prop: self.updates_prop - earlier.updates_prop,
+            reads: self.reads - earlier.reads,
+            writes: self.writes - earlier.writes,
+            reduces: self.reduces - earlier.reduces,
+            tag_combines: self.tag_combines - earlier.tag_combines,
+        }
+    }
+}
+
+impl std::fmt::Display for MicroOpStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "search(bs/bp)={}/{} update(bs/bp/prop)={}/{}/{} read={} write={} reduce={} tagc={} total={}",
+            self.searches_bs,
+            self.searches_bp,
+            self.updates_bs,
+            self.updates_bp,
+            self.updates_prop,
+            self.reads,
+            self.writes,
+            self.reduces,
+            self.tag_combines,
+            self.total()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_totals() {
+        let mut s = MicroOpStats::new();
+        s.record(MicroOpKind::Search, false);
+        s.record(MicroOpKind::Search, true);
+        s.record(MicroOpKind::Update, false);
+        s.record(MicroOpKind::UpdateWithPropagation, false);
+        s.record(MicroOpKind::Read, false);
+        s.record(MicroOpKind::Write, false);
+        s.record(MicroOpKind::Reduce, false);
+        assert_eq!(s.searches(), 2);
+        assert_eq!(s.updates(), 2);
+        assert_eq!(s.total(), 7);
+    }
+
+    #[test]
+    fn merge_and_since_are_inverses() {
+        let mut a = MicroOpStats::new();
+        a.record(MicroOpKind::Search, false);
+        let snapshot = a;
+        a.record(MicroOpKind::Update, true);
+        a.record(MicroOpKind::Reduce, false);
+        let delta = a.since(&snapshot);
+        assert_eq!(delta.updates_bp, 1);
+        assert_eq!(delta.reduces, 1);
+        assert_eq!(delta.searches_bs, 0);
+        let mut rebuilt = snapshot;
+        rebuilt.merge(&delta);
+        assert_eq!(rebuilt, a);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!MicroOpStats::new().to_string().is_empty());
+    }
+}

@@ -1,0 +1,228 @@
+//! The 6T BCAM subarray: CAPE's basic storage/compute element.
+
+use crate::geometry::SUBARRAY_COLS;
+
+/// Number of data rows per subarray — one per RISC-V vector register
+/// (`v0`..`v31`).
+pub const DATA_ROWS: usize = 32;
+
+/// Metadata row holding the running carry/borrow during bit-serial
+/// arithmetic (initialized per instruction, Section II).
+pub const ROW_CARRY: usize = 32;
+
+/// Metadata row holding per-element flags (e.g. the "still undecided" flag
+/// used by ordered comparisons such as `vmslt`).
+pub const ROW_FLAG: usize = 33;
+
+/// First general-purpose scratch metadata row.
+pub const ROW_SCRATCH0: usize = 34;
+
+/// Second general-purpose scratch metadata row.
+pub const ROW_SCRATCH1: usize = 35;
+
+/// Total rows per subarray: 32 data rows + 4 metadata rows, matching the
+/// 32x36 array simulated in Section VI-A of the paper.
+pub const TOTAL_ROWS: usize = 36;
+
+/// A 32-column x 36-row array of push-rule 6T SRAM bitcells with split
+/// wordlines (Jeloka et al.), able to read, write, **search** and
+/// bulk-**update**.
+///
+/// Rows are stored as 32-bit words; bit `c` of a row word is the cell at
+/// column `c`. A column is one vector lane.
+///
+/// The four microoperations map to hardware as follows (Fig. 3):
+///
+/// * *read/write* — conventional SRAM row access.
+/// * *search* — wordlines reused as searchlines: per searched row, `WLR/WLL`
+///   encode the key bit; AND-ing `BL` and `BLB` per column yields a
+///   per-column match line. Searching several rows at once ANDs their
+///   matches (all-row match). At most 4 rows participate per search.
+/// * *update* — both wordlines asserted for the written row; the columns to
+///   write are selected externally (by tag bits), so no address decoder or
+///   priority encoder is involved.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Subarray {
+    rows: [u32; TOTAL_ROWS],
+}
+
+impl Default for Subarray {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Subarray {
+    /// Creates a zero-initialized subarray.
+    pub fn new() -> Self {
+        Self {
+            rows: [0; TOTAL_ROWS],
+        }
+    }
+
+    /// Returns the 32 column bits of row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= TOTAL_ROWS`.
+    pub fn row(&self, r: usize) -> u32 {
+        self.rows[r]
+    }
+
+    /// Writes `data` into row `r` at the columns selected by `mask`
+    /// (other columns keep their value).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= TOTAL_ROWS`.
+    pub fn write_row(&mut self, r: usize, data: u32, mask: u32) {
+        self.rows[r] = (self.rows[r] & !mask) | (data & mask);
+    }
+
+    /// Sets every selected column of row `r` to `value` — the hardware
+    /// *update* primitive (column selection comes from tag bits).
+    pub fn update_row(&mut self, r: usize, value: bool, cols: u32) {
+        if value {
+            self.rows[r] |= cols;
+        } else {
+            self.rows[r] &= !cols;
+        }
+    }
+
+    /// Reads the bit at row `r`, column `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= TOTAL_ROWS` or `c >= 32`.
+    pub fn bit(&self, r: usize, c: usize) -> bool {
+        assert!(c < SUBARRAY_COLS, "column {c} out of range");
+        (self.rows[r] >> c) & 1 == 1
+    }
+
+    /// Sets the bit at row `r`, column `c` to `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= TOTAL_ROWS` or `c >= 32`.
+    pub fn set_bit(&mut self, r: usize, c: usize, value: bool) {
+        assert!(c < SUBARRAY_COLS, "column {c} out of range");
+        if value {
+            self.rows[r] |= 1 << c;
+        } else {
+            self.rows[r] &= !(1 << c);
+        }
+    }
+
+    /// Content search: returns the per-column match mask for `keys`, a set
+    /// of `(row, expected_bit)` pairs. A column matches iff *every* listed
+    /// row holds the expected bit in that column. Rows not listed are
+    /// "don't care" (both wordlines grounded).
+    ///
+    /// An empty key set matches every column, mirroring a search with all
+    /// rows masked out.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than 4 rows are searched (the hardware drives at most
+    /// four searchline pairs, Table I discussion) or if a row is repeated
+    /// with conflicting polarity.
+    pub fn search(&self, keys: &[(usize, bool)]) -> u32 {
+        assert!(
+            keys.len() <= 4,
+            "hardware searches at most 4 rows, got {}",
+            keys.len()
+        );
+        let mut m = u32::MAX;
+        for &(row, want) in keys {
+            let r = self.rows[row];
+            m &= if want { r } else { !r };
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_subarray_is_zero() {
+        let s = Subarray::new();
+        for r in 0..TOTAL_ROWS {
+            assert_eq!(s.row(r), 0);
+        }
+    }
+
+    #[test]
+    fn write_row_respects_mask() {
+        let mut s = Subarray::new();
+        s.write_row(3, 0xFFFF_FFFF, 0x0000_00FF);
+        assert_eq!(s.row(3), 0x0000_00FF);
+        s.write_row(3, 0x0, 0x0000_000F);
+        assert_eq!(s.row(3), 0x0000_00F0);
+    }
+
+    #[test]
+    fn bit_accessors_roundtrip() {
+        let mut s = Subarray::new();
+        s.set_bit(5, 31, true);
+        assert!(s.bit(5, 31));
+        assert!(!s.bit(5, 30));
+        s.set_bit(5, 31, false);
+        assert!(!s.bit(5, 31));
+    }
+
+    #[test]
+    fn search_single_row_for_one() {
+        let mut s = Subarray::new();
+        s.write_row(2, 0b1010, u32::MAX);
+        assert_eq!(s.search(&[(2, true)]), 0b1010);
+        assert_eq!(s.search(&[(2, false)]), !0b1010);
+    }
+
+    #[test]
+    fn search_multi_row_ands_matches() {
+        // Figure 3 of the paper: search "1 x 0" across three rows.
+        let mut s = Subarray::new();
+        s.write_row(0, 0b110, u32::MAX); // row 0 bits per column
+        s.write_row(1, 0b011, u32::MAX);
+        s.write_row(2, 0b001, u32::MAX);
+        // Want row0 == 1 and row2 == 0 (row1 don't care).
+        let m = s.search(&[(0, true), (2, false)]);
+        // col0: row0=0 -> no. col1: row0=1, row2=0 -> yes. col2: row0=1,row2=0 -> yes.
+        assert_eq!(m, 0b110);
+    }
+
+    #[test]
+    fn empty_search_matches_all_columns() {
+        let s = Subarray::new();
+        assert_eq!(s.search(&[]), u32::MAX);
+    }
+
+    #[test]
+    fn update_row_sets_and_clears_selected_columns() {
+        let mut s = Subarray::new();
+        s.update_row(7, true, 0b1100);
+        assert_eq!(s.row(7), 0b1100);
+        s.update_row(7, false, 0b0100);
+        assert_eq!(s.row(7), 0b1000);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 4 rows")]
+    fn search_rejects_more_than_four_rows() {
+        let s = Subarray::new();
+        s.search(&[(0, true), (1, true), (2, true), (3, true), (4, true)]);
+    }
+
+    #[test]
+    fn metadata_row_constants_are_distinct_and_in_range() {
+        let rows = [ROW_CARRY, ROW_FLAG, ROW_SCRATCH0, ROW_SCRATCH1];
+        for (i, &a) in rows.iter().enumerate() {
+            assert!(a >= DATA_ROWS && a < TOTAL_ROWS);
+            for &b in &rows[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+}

@@ -1,0 +1,478 @@
+//! A small text assembler for the supported instruction subset.
+//!
+//! The accepted syntax is the same one [`Instr`]'s `Display` produces,
+//! plus labels (`name:`), comments (`#` or `//` to end of line), and the
+//! usual pseudo-instructions (`li`, `mv`, `j`, `beqz`, `bnez`, `nop`,
+//! `halt`). Branch targets may be labels or numeric byte offsets.
+
+use crate::instr::{AluOp, BranchCond, Instr, VAluOp};
+use crate::program::{Program, ProgramBuilder, ProgramError};
+use crate::reg::{Reg, VReg};
+use std::fmt;
+
+/// An assembly error with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based line number in the source text.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+fn e(line: usize, message: impl Into<String>) -> AsmError {
+    AsmError { line, message: message.into() }
+}
+
+/// Assembles source text into a [`Program`].
+///
+/// # Errors
+///
+/// Returns an [`AsmError`] with the offending line for syntax problems,
+/// unknown mnemonics/registers, or unresolved labels.
+///
+/// # Example
+///
+/// ```
+/// let prog = cape_isa::assemble(r"
+///     li t0, 128
+///     vsetvli t1, t0, e32,m1
+///     vle32.v v1, (a0)
+///     vadd.vx v2, v1, t0
+///     vse32.v v2, (a1)
+///     halt
+/// ").unwrap();
+/// assert_eq!(prog.len(), 6);
+/// ```
+pub fn assemble(src: &str) -> Result<Program, AsmError> {
+    let mut b = ProgramBuilder::new();
+    for (li, raw) in src.lines().enumerate() {
+        let line = li + 1;
+        let mut text = raw;
+        for marker in ["#", "//"] {
+            if let Some(pos) = text.find(marker) {
+                text = &text[..pos];
+            }
+        }
+        let mut text = text.trim();
+        while let Some(colon) = text.find(':') {
+            let (label, rest) = text.split_at(colon);
+            let label = label.trim();
+            if label.is_empty() || label.contains(char::is_whitespace) {
+                return Err(e(line, format!("bad label {label:?}")));
+            }
+            b.label(label);
+            text = rest[1..].trim();
+        }
+        if text.is_empty() {
+            continue;
+        }
+        parse_instr(&mut b, text, line)?;
+    }
+    b.build().map_err(|pe| match &pe {
+        ProgramError::DuplicateLabel(_)
+        | ProgramError::UndefinedLabel(_)
+        | ProgramError::BranchOutOfRange { .. } => e(0, pe.to_string()),
+    })
+}
+
+fn parse_instr(b: &mut ProgramBuilder, text: &str, line: usize) -> Result<(), AsmError> {
+    let (mnemonic, rest) = match text.find(char::is_whitespace) {
+        Some(pos) => (&text[..pos], text[pos..].trim()),
+        None => (text, ""),
+    };
+    let ops: Vec<String> = if rest.is_empty() {
+        vec![]
+    } else {
+        rest.split(',').map(|s| s.trim().to_string()).collect()
+    };
+    let argc = |n: usize| -> Result<(), AsmError> {
+        if ops.len() == n {
+            Ok(())
+        } else {
+            Err(e(line, format!("{mnemonic} expects {n} operands, got {}", ops.len())))
+        }
+    };
+    let reg = |s: &str| s.parse::<Reg>().map_err(|m| e(line, m));
+    let vreg = |s: &str| s.parse::<VReg>().map_err(|m| e(line, m));
+    let imm = |s: &str| -> Result<i64, AsmError> {
+        let (neg, body) = match s.strip_prefix('-') {
+            Some(rest) => (true, rest),
+            None => (false, s),
+        };
+        let v = if let Some(hex) = body.strip_prefix("0x") {
+            i64::from_str_radix(hex, 16)
+        } else {
+            body.parse::<i64>()
+        }
+        .map_err(|_| e(line, format!("bad immediate {s:?}")))?;
+        Ok(if neg { -v } else { v })
+    };
+    // "offset(base)" memory operand.
+    let mem = |s: &str| -> Result<(i32, Reg), AsmError> {
+        let open = s.find('(').ok_or_else(|| e(line, format!("bad memory operand {s:?}")))?;
+        let close = s.rfind(')').ok_or_else(|| e(line, format!("bad memory operand {s:?}")))?;
+        let off = s[..open].trim();
+        let off = if off.is_empty() { 0 } else { imm(off)? as i32 };
+        Ok((off, reg(s[open + 1..close].trim())?))
+    };
+
+    let scalar_alu = |name: &str| -> Option<AluOp> {
+        Some(match name {
+            "add" => AluOp::Add,
+            "sub" => AluOp::Sub,
+            "sll" => AluOp::Sll,
+            "slt" => AluOp::Slt,
+            "sltu" => AluOp::Sltu,
+            "xor" => AluOp::Xor,
+            "srl" => AluOp::Srl,
+            "sra" => AluOp::Sra,
+            "or" => AluOp::Or,
+            "and" => AluOp::And,
+            "mul" => AluOp::Mul,
+            "div" => AluOp::Div,
+            "divu" => AluOp::Divu,
+            "rem" => AluOp::Rem,
+            "remu" => AluOp::Remu,
+        _ => return None,
+        })
+    };
+    let vector_alu = |name: &str| -> Option<VAluOp> {
+        Some(match name {
+            "vadd" => VAluOp::Add,
+            "vsub" => VAluOp::Sub,
+            "vmul" => VAluOp::Mul,
+            "vand" => VAluOp::And,
+            "vor" => VAluOp::Or,
+            "vxor" => VAluOp::Xor,
+            "vmseq" => VAluOp::Mseq,
+            "vmsne" => VAluOp::Msne,
+            "vmslt" => VAluOp::Mslt,
+            "vmsltu" => VAluOp::Msltu,
+            "vmin" => VAluOp::Min,
+            "vminu" => VAluOp::Minu,
+            "vmax" => VAluOp::Max,
+            "vmaxu" => VAluOp::Maxu,
+            _ => return None,
+        })
+    };
+    let branch_cond = |name: &str| -> Option<BranchCond> {
+        Some(match name {
+            "beq" => BranchCond::Eq,
+            "bne" => BranchCond::Ne,
+            "blt" => BranchCond::Lt,
+            "bge" => BranchCond::Ge,
+            "bltu" => BranchCond::Ltu,
+            "bgeu" => BranchCond::Geu,
+            _ => return None,
+        })
+    };
+
+    match mnemonic {
+        "nop" => {
+            argc(0)?;
+            b.nop();
+        }
+        "halt" | "ecall" => {
+            argc(0)?;
+            b.halt();
+        }
+        "li" => {
+            argc(2)?;
+            b.li(reg(&ops[0])?, imm(&ops[1])?);
+        }
+        "mv" => {
+            argc(2)?;
+            b.mv(reg(&ops[0])?, reg(&ops[1])?);
+        }
+        "j" => {
+            argc(1)?;
+            b.j(ops[0].clone());
+        }
+        "jal" => {
+            argc(2)?;
+            b.push(Instr::Jal { rd: reg(&ops[0])?, offset: imm(&ops[1])? as i32 });
+        }
+        "jalr" => {
+            argc(2)?;
+            let (offset, rs1) = mem(&ops[1])?;
+            b.push(Instr::Jalr { rd: reg(&ops[0])?, rs1, offset });
+        }
+        "lui" => {
+            argc(2)?;
+            b.push(Instr::Lui { rd: reg(&ops[0])?, imm20: imm(&ops[1])? as i32 });
+        }
+        "beqz" => {
+            argc(2)?;
+            b.beqz(reg(&ops[0])?, ops[1].clone());
+        }
+        "bnez" => {
+            argc(2)?;
+            b.bnez(reg(&ops[0])?, ops[1].clone());
+        }
+        "lw" | "lwu" | "ld" => {
+            argc(2)?;
+            let rd = reg(&ops[0])?;
+            let (offset, rs1) = mem(&ops[1])?;
+            b.push(match mnemonic {
+                "lw" => Instr::Lw { rd, rs1, offset },
+                "lwu" => Instr::Lwu { rd, rs1, offset },
+                _ => Instr::Ld { rd, rs1, offset },
+            });
+        }
+        "sw" | "sd" => {
+            argc(2)?;
+            let rs2 = reg(&ops[0])?;
+            let (offset, rs1) = mem(&ops[1])?;
+            b.push(match mnemonic {
+                "sw" => Instr::Sw { rs2, rs1, offset },
+                _ => Instr::Sd { rs2, rs1, offset },
+            });
+        }
+        "vsetvli" => {
+            // vsetvli rd, rs1[, e8|e16|e32][, m1] -- vtype tokens are
+            // optional; the width defaults to e32.
+            if ops.len() < 2 {
+                return Err(e(line, "vsetvli expects rd, rs1[, e32,m1]"));
+            }
+            let mut sew = crate::instr::Sew::E32;
+            for extra in &ops[2..] {
+                match extra.as_str() {
+                    "e8" => sew = crate::instr::Sew::E8,
+                    "e16" => sew = crate::instr::Sew::E16,
+                    "e32" => sew = crate::instr::Sew::E32,
+                    "m1" => {}
+                    other => return Err(e(line, format!("unsupported vtype token {other:?}"))),
+                }
+            }
+            b.vsetvli_sew(reg(&ops[0])?, reg(&ops[1])?, sew);
+        }
+        "vsetstart" => {
+            argc(1)?;
+            b.vsetstart(reg(&ops[0])?);
+        }
+        "vle32.v" => {
+            argc(2)?;
+            let (off, rs1) = mem(&ops[1])?;
+            if off != 0 {
+                return Err(e(line, "vector loads take no offset"));
+            }
+            b.vle32(vreg(&ops[0])?, rs1);
+        }
+        "vse32.v" => {
+            argc(2)?;
+            let (off, rs1) = mem(&ops[1])?;
+            if off != 0 {
+                return Err(e(line, "vector stores take no offset"));
+            }
+            b.vse32(vreg(&ops[0])?, rs1);
+        }
+        "vlrw.v" => {
+            argc(3)?;
+            b.vlrw(vreg(&ops[0])?, reg(&ops[1])?, reg(&ops[2])?);
+        }
+        "vmerge.vvm" => {
+            argc(4)?;
+            if ops[3] != "v0" {
+                return Err(e(line, "vmerge mask must be v0"));
+            }
+            b.vmerge(vreg(&ops[0])?, vreg(&ops[1])?, vreg(&ops[2])?);
+        }
+        "vredsum.vs" => {
+            argc(3)?;
+            b.vredsum(vreg(&ops[0])?, vreg(&ops[1])?, vreg(&ops[2])?);
+        }
+        "vmv.v.x" => {
+            argc(2)?;
+            b.vmv_vx(vreg(&ops[0])?, reg(&ops[1])?);
+        }
+        "vmv.v.v" => {
+            argc(2)?;
+            b.vmv_vv(vreg(&ops[0])?, vreg(&ops[1])?);
+        }
+        "vrsub.vx" => {
+            argc(3)?;
+            b.vrsub_vx(vreg(&ops[0])?, vreg(&ops[1])?, reg(&ops[2])?);
+        }
+        "vmacc.vv" => {
+            argc(3)?;
+            b.vmacc_vv(vreg(&ops[0])?, vreg(&ops[1])?, vreg(&ops[2])?);
+        }
+        "vsra.vi" => {
+            argc(3)?;
+            b.vsra_vi(vreg(&ops[0])?, vreg(&ops[1])?, imm(&ops[2])? as u32);
+        }
+        "vmv.x.s" => {
+            argc(2)?;
+            b.vmv_xs(reg(&ops[0])?, vreg(&ops[1])?);
+        }
+        "vcpop.m" => {
+            argc(2)?;
+            b.vcpop(reg(&ops[0])?, vreg(&ops[1])?);
+        }
+        "vfirst.m" => {
+            argc(2)?;
+            b.vfirst(reg(&ops[0])?, vreg(&ops[1])?);
+        }
+        "vid.v" => {
+            argc(1)?;
+            b.vid(vreg(&ops[0])?);
+        }
+        "vsll.vi" => {
+            argc(3)?;
+            b.vsll_vi(vreg(&ops[0])?, vreg(&ops[1])?, imm(&ops[2])? as u32);
+        }
+        "vsrl.vi" => {
+            argc(3)?;
+            b.vsrl_vi(vreg(&ops[0])?, vreg(&ops[1])?, imm(&ops[2])? as u32);
+        }
+        _ => {
+            // Families with systematic suffixes.
+            if let Some(cond) = branch_cond(mnemonic) {
+                argc(3)?;
+                let rs1 = reg(&ops[0])?;
+                let rs2 = reg(&ops[1])?;
+                if let Ok(off) = imm(&ops[2]) {
+                    b.push(Instr::Branch { cond, rs1, rs2, offset: off as i32 });
+                } else {
+                    b.branch(cond, rs1, rs2, ops[2].clone());
+                }
+                return Ok(());
+            }
+            if let Some((base, form)) = mnemonic.rsplit_once('.') {
+                if let Some(op) = vector_alu(base) {
+                    argc(3)?;
+                    match form {
+                        "vv" => {
+                            b.vop_vv(op, vreg(&ops[0])?, vreg(&ops[1])?, vreg(&ops[2])?);
+                        }
+                        "vx" => {
+                            b.vop_vx(op, vreg(&ops[0])?, vreg(&ops[1])?, reg(&ops[2])?);
+                        }
+                        _ => return Err(e(line, format!("unknown vector form .{form}"))),
+                    }
+                    return Ok(());
+                }
+            }
+            if let Some(base) = mnemonic.strip_suffix('i') {
+                if let Some(op) = scalar_alu(base) {
+                    argc(3)?;
+                    b.push(Instr::OpImm {
+                        op,
+                        rd: reg(&ops[0])?,
+                        rs1: reg(&ops[1])?,
+                        imm: imm(&ops[2])? as i32,
+                    });
+                    return Ok(());
+                }
+            }
+            if let Some(op) = scalar_alu(mnemonic) {
+                argc(3)?;
+                b.op(op, reg(&ops[0])?, reg(&ops[1])?, reg(&ops[2])?);
+                return Ok(());
+            }
+            return Err(e(line, format!("unknown mnemonic {mnemonic:?}")));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assembles_a_vector_loop() {
+        let prog = assemble(
+            r"
+            # stride through memory in MAX_VL chunks
+            li   t0, 256
+            loop:
+              vsetvli t1, t0, e32, m1
+              vle32.v v1, (a0)
+              vle32.v v2, (a1)
+              vadd.vv v3, v1, v2
+              vse32.v v3, (a2)
+              sub  t0, t0, t1
+              bnez t0, loop
+            halt
+        ",
+        )
+        .unwrap();
+        assert_eq!(prog.len(), 9);
+        assert!(prog.instr(1).is_vector());
+    }
+
+    #[test]
+    fn display_output_reassembles() {
+        let mut b = Program::builder();
+        b.li(Reg::T0, 7);
+        b.vsetvli_sew(Reg::T1, Reg::T0, crate::instr::Sew::E8);
+        b.vsetvli_sew(Reg::T1, Reg::T0, crate::instr::Sew::E16);
+        b.vmseq_vx(VReg::V2, VReg::V1, Reg::T0);
+        b.vmsne_vv(VReg::V3, VReg::V1, VReg::V2);
+        b.vmin_vv(VReg::V4, VReg::V1, VReg::V2);
+        b.vmaxu_vv(VReg::V5, VReg::V1, VReg::V2);
+        b.vmv_vv(VReg::V6, VReg::V1);
+        b.vrsub_vx(VReg::V7, VReg::V1, Reg::T0);
+        b.vmacc_vv(VReg::V8, VReg::V1, VReg::V2);
+        b.vsra_vi(VReg::V9, VReg::V1, 3);
+        b.vcpop(Reg::A0, VReg::V2);
+        b.sw(Reg::A0, 0, Reg::A1);
+        b.halt();
+        let prog = b.build().unwrap();
+        let text = prog
+            .iter()
+            .map(|i| i.to_string())
+            .collect::<Vec<_>>()
+            .join("\n");
+        let back = assemble(&text).unwrap();
+        assert_eq!(back, prog);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = assemble("nop\nbogus x1, x2\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("bogus"));
+    }
+
+    #[test]
+    fn rejects_wrong_operand_counts() {
+        assert!(assemble("vadd.vv v1, v2").is_err());
+        assert!(assemble("li t0").is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_registers() {
+        assert!(assemble("add t0, t1, q9").is_err());
+        assert!(assemble("vadd.vv v1, v2, v99").is_err());
+    }
+
+    #[test]
+    fn numeric_branch_offsets_are_accepted() {
+        let prog = assemble("bne t0, zero, -4\nhalt").unwrap();
+        assert_eq!(
+            *prog.instr(0),
+            Instr::Branch {
+                cond: BranchCond::Ne,
+                rs1: Reg::T0,
+                rs2: Reg::ZERO,
+                offset: -4
+            }
+        );
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored()  {
+        let prog = assemble("\n  # whole-line comment\n nop // trailing\n\nhalt\n").unwrap();
+        assert_eq!(prog.len(), 2);
+    }
+}

@@ -1,0 +1,601 @@
+//! Binary encoding and decoding of instructions.
+//!
+//! Scalar instructions use the standard RV64 R/I/S/B/U/J formats; vector
+//! instructions use the OP-V major opcode with the RVV 1.0 field layout
+//! (`funct6 | vm | vs2 | vs1 | funct3 | vd | opcode`); `vlrw` sits on the
+//! custom-0 opcode. Every encodable instruction round-trips:
+//! `Instr::decode(i.encode()) == Ok(i)`.
+
+use crate::instr::{AluOp, BranchCond, Instr, Sew, VAluOp};
+use crate::reg::{Reg, VReg};
+
+const OP_LUI: u32 = 0x37;
+const OP_JAL: u32 = 0x6F;
+const OP_JALR: u32 = 0x67;
+const OP_IMM: u32 = 0x13;
+const OP_OP: u32 = 0x33;
+const OP_LOAD: u32 = 0x03;
+const OP_STORE: u32 = 0x23;
+const OP_BRANCH: u32 = 0x63;
+const OP_SYSTEM: u32 = 0x73;
+const OP_V: u32 = 0x57;
+const OP_VLOAD: u32 = 0x07;
+const OP_VSTORE: u32 = 0x27;
+const OP_CUSTOM0: u32 = 0x0B;
+
+/// The `vtype` immediate for a SEW at LMUL=1 (vsew in bits [5:3]).
+fn vtype_for(sew: Sew) -> u32 {
+    let vsew = match sew {
+        Sew::E8 => 0b000,
+        Sew::E16 => 0b001,
+        Sew::E32 => 0b010,
+    };
+    vsew << 3
+}
+
+/// Error produced when a 32-bit word is not a recognized instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError {
+    /// The offending word.
+    pub word: u32,
+    /// Human-readable reason.
+    pub reason: String,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "cannot decode {:#010x}: {}", self.word, self.reason)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+fn err(word: u32, reason: impl Into<String>) -> DecodeError {
+    DecodeError { word, reason: reason.into() }
+}
+
+// ----- field helpers -----------------------------------------------------
+
+fn r_type(funct7: u32, rs2: u32, rs1: u32, funct3: u32, rd: u32, opcode: u32) -> u32 {
+    funct7 << 25 | rs2 << 20 | rs1 << 15 | funct3 << 12 | rd << 7 | opcode
+}
+
+fn i_type(imm: i32, rs1: u32, funct3: u32, rd: u32, opcode: u32) -> u32 {
+    ((imm as u32) & 0xFFF) << 20 | rs1 << 15 | funct3 << 12 | rd << 7 | opcode
+}
+
+fn s_type(imm: i32, rs2: u32, rs1: u32, funct3: u32, opcode: u32) -> u32 {
+    let imm = imm as u32;
+    (imm >> 5 & 0x7F) << 25 | rs2 << 20 | rs1 << 15 | funct3 << 12 | (imm & 0x1F) << 7 | opcode
+}
+
+fn b_type(imm: i32, rs2: u32, rs1: u32, funct3: u32, opcode: u32) -> u32 {
+    let imm = imm as u32;
+    (imm >> 12 & 1) << 31
+        | (imm >> 5 & 0x3F) << 25
+        | rs2 << 20
+        | rs1 << 15
+        | funct3 << 12
+        | (imm >> 1 & 0xF) << 8
+        | (imm >> 11 & 1) << 7
+        | opcode
+}
+
+fn j_type(imm: i32, rd: u32, opcode: u32) -> u32 {
+    let imm = imm as u32;
+    (imm >> 20 & 1) << 31
+        | (imm >> 1 & 0x3FF) << 21
+        | (imm >> 11 & 1) << 20
+        | (imm >> 12 & 0xFF) << 12
+        | rd << 7
+        | opcode
+}
+
+fn v_type(funct6: u32, vm: u32, vs2: u32, vs1: u32, funct3: u32, vd: u32) -> u32 {
+    funct6 << 26 | vm << 25 | vs2 << 20 | vs1 << 15 | funct3 << 12 | vd << 7 | OP_V
+}
+
+fn sext(value: u32, bits: u32) -> i32 {
+    let shift = 32 - bits;
+    ((value << shift) as i32) >> shift
+}
+
+// Vector funct3 encodings.
+const OPIVV: u32 = 0b000;
+const OPIVI: u32 = 0b011;
+const OPIVX: u32 = 0b100;
+const OPMVV: u32 = 0b010;
+const OPMVX: u32 = 0b110;
+
+fn valu_funct6(op: VAluOp) -> u32 {
+    match op {
+        VAluOp::Add => 0b000000,
+        VAluOp::Sub => 0b000010,
+        VAluOp::Minu => 0b000100,
+        VAluOp::Min => 0b000101,
+        VAluOp::Maxu => 0b000110,
+        VAluOp::Max => 0b000111,
+        VAluOp::And => 0b001001,
+        VAluOp::Or => 0b001010,
+        VAluOp::Xor => 0b001011,
+        VAluOp::Mseq => 0b011000,
+        VAluOp::Msne => 0b011001,
+        VAluOp::Msltu => 0b011010,
+        VAluOp::Mslt => 0b011011,
+        VAluOp::Mul => 0b100101, // OPMVV/OPMVX space
+    }
+}
+
+fn valu_from_funct6(funct6: u32, mul_space: bool) -> Option<VAluOp> {
+    Some(match (funct6, mul_space) {
+        (0b000000, false) => VAluOp::Add,
+        (0b000010, false) => VAluOp::Sub,
+        (0b000100, false) => VAluOp::Minu,
+        (0b000101, false) => VAluOp::Min,
+        (0b000110, false) => VAluOp::Maxu,
+        (0b000111, false) => VAluOp::Max,
+        (0b001001, false) => VAluOp::And,
+        (0b001010, false) => VAluOp::Or,
+        (0b001011, false) => VAluOp::Xor,
+        (0b011000, false) => VAluOp::Mseq,
+        (0b011001, false) => VAluOp::Msne,
+        (0b011010, false) => VAluOp::Msltu,
+        (0b011011, false) => VAluOp::Mslt,
+        (0b100101, true) => VAluOp::Mul,
+        _ => return None,
+    })
+}
+
+impl Instr {
+    /// Encodes the instruction into its 32-bit machine word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an `OpImm` carries an operation with no immediate form
+    /// (`sub`, `mul`, `div`, `rem`) or if an immediate/offset is out of
+    /// range for its encoding field.
+    pub fn encode(&self) -> u32 {
+        use Instr::*;
+        match *self {
+            Lui { rd, imm20 } => {
+                assert!((-(1 << 19)..1 << 19).contains(&imm20), "lui immediate out of range");
+                ((imm20 as u32) & 0xFFFFF) << 12 | (rd.index() as u32) << 7 | OP_LUI
+            }
+            Jal { rd, offset } => {
+                assert!(offset % 2 == 0 && (-(1 << 20)..1 << 20).contains(&offset));
+                j_type(offset, rd.index() as u32, OP_JAL)
+            }
+            Jalr { rd, rs1, offset } => {
+                i_type(offset, rs1.index() as u32, 0, rd.index() as u32, OP_JALR)
+            }
+            OpImm { op, rd, rs1, imm } => {
+                let (funct3, imm) = match op {
+                    AluOp::Add => (0b000, imm),
+                    AluOp::Slt => (0b010, imm),
+                    AluOp::Sltu => (0b011, imm),
+                    AluOp::Xor => (0b100, imm),
+                    AluOp::Or => (0b110, imm),
+                    AluOp::And => (0b111, imm),
+                    AluOp::Sll => (0b001, imm & 0x3F),
+                    AluOp::Srl => (0b101, imm & 0x3F),
+                    AluOp::Sra => (0b101, (imm & 0x3F) | 0x400),
+                    other => panic!("{other:?} has no immediate form"),
+                };
+                if !matches!(op, AluOp::Sll | AluOp::Srl | AluOp::Sra) {
+                    assert!((-2048..2048).contains(&imm), "imm out of range");
+                }
+                i_type(imm, rs1.index() as u32, funct3, rd.index() as u32, OP_IMM)
+            }
+            Op { op, rd, rs1, rs2 } => {
+                let (funct7, funct3) = match op {
+                    AluOp::Add => (0b0000000, 0b000),
+                    AluOp::Sub => (0b0100000, 0b000),
+                    AluOp::Sll => (0b0000000, 0b001),
+                    AluOp::Slt => (0b0000000, 0b010),
+                    AluOp::Sltu => (0b0000000, 0b011),
+                    AluOp::Xor => (0b0000000, 0b100),
+                    AluOp::Srl => (0b0000000, 0b101),
+                    AluOp::Sra => (0b0100000, 0b101),
+                    AluOp::Or => (0b0000000, 0b110),
+                    AluOp::And => (0b0000000, 0b111),
+                    AluOp::Mul => (0b0000001, 0b000),
+                    AluOp::Div => (0b0000001, 0b100),
+                    AluOp::Divu => (0b0000001, 0b101),
+                    AluOp::Rem => (0b0000001, 0b110),
+                    AluOp::Remu => (0b0000001, 0b111),
+                };
+                r_type(funct7, rs2.index() as u32, rs1.index() as u32, funct3, rd.index() as u32, OP_OP)
+            }
+            Lw { rd, rs1, offset } => i_type(offset, rs1.index() as u32, 0b010, rd.index() as u32, OP_LOAD),
+            Lwu { rd, rs1, offset } => i_type(offset, rs1.index() as u32, 0b110, rd.index() as u32, OP_LOAD),
+            Ld { rd, rs1, offset } => i_type(offset, rs1.index() as u32, 0b011, rd.index() as u32, OP_LOAD),
+            Sw { rs2, rs1, offset } => s_type(offset, rs2.index() as u32, rs1.index() as u32, 0b010, OP_STORE),
+            Sd { rs2, rs1, offset } => s_type(offset, rs2.index() as u32, rs1.index() as u32, 0b011, OP_STORE),
+            Branch { cond, rs1, rs2, offset } => {
+                assert!(offset % 2 == 0 && (-4096..4096).contains(&offset));
+                let funct3 = match cond {
+                    BranchCond::Eq => 0b000,
+                    BranchCond::Ne => 0b001,
+                    BranchCond::Lt => 0b100,
+                    BranchCond::Ge => 0b101,
+                    BranchCond::Ltu => 0b110,
+                    BranchCond::Geu => 0b111,
+                };
+                b_type(offset, rs2.index() as u32, rs1.index() as u32, funct3, OP_BRANCH)
+            }
+            Ecall => OP_SYSTEM,
+            Vsetvli { rd, rs1, sew } => {
+                vtype_for(sew) << 20
+                    | (rs1.index() as u32) << 15
+                    | 0b111 << 12
+                    | (rd.index() as u32) << 7
+                    | OP_V
+            }
+            Vle32 { vd, rs1 } => {
+                1 << 25 | (rs1.index() as u32) << 15 | 0b110 << 12 | (vd.index() as u32) << 7 | OP_VLOAD
+            }
+            Vse32 { vs3, rs1 } => {
+                1 << 25 | (rs1.index() as u32) << 15 | 0b110 << 12 | (vs3.index() as u32) << 7 | OP_VSTORE
+            }
+            Vsetstart { rs1 } => {
+                i_type(0, rs1.index() as u32, 0b001, 0, OP_CUSTOM0)
+            }
+            Vlrw { vd, rs1, rs2 } => r_type(
+                0,
+                rs2.index() as u32,
+                rs1.index() as u32,
+                0,
+                vd.index() as u32,
+                OP_CUSTOM0,
+            ),
+            VOpVv { op, vd, lhs, rhs } => {
+                let funct3 = if op == VAluOp::Mul { OPMVV } else { OPIVV };
+                v_type(valu_funct6(op), 1, lhs.index() as u32, rhs.index() as u32, funct3, vd.index() as u32)
+            }
+            VOpVx { op, vd, lhs, rs } => {
+                let funct3 = if op == VAluOp::Mul { OPMVX } else { OPIVX };
+                v_type(valu_funct6(op), 1, lhs.index() as u32, rs.index() as u32, funct3, vd.index() as u32)
+            }
+            VmergeVvm { vd, on_false, on_true } => v_type(
+                0b010111,
+                0,
+                on_false.index() as u32,
+                on_true.index() as u32,
+                OPIVV,
+                vd.index() as u32,
+            ),
+            VredsumVs { vd, vs2, vs1 } => v_type(
+                0b000000,
+                1,
+                vs2.index() as u32,
+                vs1.index() as u32,
+                OPMVV,
+                vd.index() as u32,
+            ),
+            VmvVx { vd, rs } => v_type(0b010111, 1, 0, rs.index() as u32, OPIVX, vd.index() as u32),
+            VmvXs { rd, vs } => v_type(0b010000, 1, vs.index() as u32, 0b00000, OPMVV, rd.index() as u32),
+            VmvVv { vd, vs } => v_type(0b010111, 1, 0, vs.index() as u32, OPIVV, vd.index() as u32),
+            VrsubVx { vd, lhs, rs } => {
+                v_type(0b000011, 1, lhs.index() as u32, rs.index() as u32, OPIVX, vd.index() as u32)
+            }
+            VmaccVv { vd, vs1, vs2 } => {
+                v_type(0b101101, 1, vs2.index() as u32, vs1.index() as u32, OPMVV, vd.index() as u32)
+            }
+            VsraVi { vd, vs, imm } => {
+                assert!(imm < 32, "vector shift immediate out of range");
+                v_type(0b101001, 1, vs.index() as u32, imm, OPIVI, vd.index() as u32)
+            }
+            VcpopM { rd, vs } => v_type(0b010000, 1, vs.index() as u32, 0b10000, OPMVV, rd.index() as u32),
+            VfirstM { rd, vs } => v_type(0b010000, 1, vs.index() as u32, 0b10001, OPMVV, rd.index() as u32),
+            VidV { vd } => v_type(0b010100, 1, 0, 0b10001, OPMVV, vd.index() as u32),
+            VsllVi { vd, vs, imm } => {
+                assert!(imm < 32, "vector shift immediate out of range");
+                v_type(0b100101, 1, vs.index() as u32, imm, OPIVI, vd.index() as u32)
+            }
+            VsrlVi { vd, vs, imm } => {
+                assert!(imm < 32, "vector shift immediate out of range");
+                v_type(0b101000, 1, vs.index() as u32, imm, OPIVI, vd.index() as u32)
+            }
+        }
+    }
+
+    /// Decodes a 32-bit machine word.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] naming the unrecognized opcode or field
+    /// combination.
+    pub fn decode(word: u32) -> Result<Instr, DecodeError> {
+        let opcode = word & 0x7F;
+        let rd = Reg::new((word >> 7 & 0x1F) as u8);
+        let funct3 = word >> 12 & 0x7;
+        let rs1 = Reg::new((word >> 15 & 0x1F) as u8);
+        let rs2 = Reg::new((word >> 20 & 0x1F) as u8);
+        let funct7 = word >> 25;
+        let i_imm = sext(word >> 20, 12);
+        match opcode {
+            OP_LUI => Ok(Instr::Lui { rd, imm20: sext(word >> 12, 20) }),
+            OP_JAL => {
+                let imm = (word >> 31 & 1) << 20
+                    | (word >> 21 & 0x3FF) << 1
+                    | (word >> 20 & 1) << 11
+                    | (word >> 12 & 0xFF) << 12;
+                Ok(Instr::Jal { rd, offset: sext(imm, 21) })
+            }
+            OP_JALR => Ok(Instr::Jalr { rd, rs1, offset: i_imm }),
+            OP_IMM => {
+                let op = match funct3 {
+                    0b000 => AluOp::Add,
+                    0b010 => AluOp::Slt,
+                    0b011 => AluOp::Sltu,
+                    0b100 => AluOp::Xor,
+                    0b110 => AluOp::Or,
+                    0b111 => AluOp::And,
+                    0b001 => AluOp::Sll,
+                    0b101 => {
+                        if word >> 30 & 1 == 1 {
+                            AluOp::Sra
+                        } else {
+                            AluOp::Srl
+                        }
+                    }
+                    _ => unreachable!(),
+                };
+                let imm = if matches!(op, AluOp::Sll | AluOp::Srl | AluOp::Sra) {
+                    (word >> 20 & 0x3F) as i32
+                } else {
+                    i_imm
+                };
+                Ok(Instr::OpImm { op, rd, rs1, imm })
+            }
+            OP_OP => {
+                let op = match (funct7, funct3) {
+                    (0b0000000, 0b000) => AluOp::Add,
+                    (0b0100000, 0b000) => AluOp::Sub,
+                    (0b0000000, 0b001) => AluOp::Sll,
+                    (0b0000000, 0b010) => AluOp::Slt,
+                    (0b0000000, 0b011) => AluOp::Sltu,
+                    (0b0000000, 0b100) => AluOp::Xor,
+                    (0b0000000, 0b101) => AluOp::Srl,
+                    (0b0100000, 0b101) => AluOp::Sra,
+                    (0b0000000, 0b110) => AluOp::Or,
+                    (0b0000000, 0b111) => AluOp::And,
+                    (0b0000001, 0b000) => AluOp::Mul,
+                    (0b0000001, 0b100) => AluOp::Div,
+                    (0b0000001, 0b101) => AluOp::Divu,
+                    (0b0000001, 0b110) => AluOp::Rem,
+                    (0b0000001, 0b111) => AluOp::Remu,
+                    _ => return Err(err(word, "unknown OP funct7/funct3")),
+                };
+                Ok(Instr::Op { op, rd, rs1, rs2 })
+            }
+            OP_LOAD => match funct3 {
+                0b010 => Ok(Instr::Lw { rd, rs1, offset: i_imm }),
+                0b110 => Ok(Instr::Lwu { rd, rs1, offset: i_imm }),
+                0b011 => Ok(Instr::Ld { rd, rs1, offset: i_imm }),
+                _ => Err(err(word, "unsupported load width")),
+            },
+            OP_STORE => {
+                let imm = sext((word >> 25) << 5 | (word >> 7 & 0x1F), 12);
+                match funct3 {
+                    0b010 => Ok(Instr::Sw { rs2, rs1, offset: imm }),
+                    0b011 => Ok(Instr::Sd { rs2, rs1, offset: imm }),
+                    _ => Err(err(word, "unsupported store width")),
+                }
+            }
+            OP_BRANCH => {
+                let cond = match funct3 {
+                    0b000 => BranchCond::Eq,
+                    0b001 => BranchCond::Ne,
+                    0b100 => BranchCond::Lt,
+                    0b101 => BranchCond::Ge,
+                    0b110 => BranchCond::Ltu,
+                    0b111 => BranchCond::Geu,
+                    _ => return Err(err(word, "unknown branch condition")),
+                };
+                let imm = (word >> 31 & 1) << 12
+                    | (word >> 7 & 1) << 11
+                    | (word >> 25 & 0x3F) << 5
+                    | (word >> 8 & 0xF) << 1;
+                Ok(Instr::Branch { cond, rs1, rs2, offset: sext(imm, 13) })
+            }
+            OP_SYSTEM if word == OP_SYSTEM => Ok(Instr::Ecall),
+            OP_SYSTEM => Err(err(word, "only ecall is supported on SYSTEM")),
+            OP_VLOAD if funct3 == 0b110 => Ok(Instr::Vle32 { vd: VReg::new((word >> 7 & 0x1F) as u8), rs1 }),
+            OP_VLOAD => Err(err(word, "unsupported vector load width")),
+            OP_VSTORE if funct3 == 0b110 => {
+                Ok(Instr::Vse32 { vs3: VReg::new((word >> 7 & 0x1F) as u8), rs1 })
+            }
+            OP_VSTORE => Err(err(word, "unsupported vector store width")),
+            OP_CUSTOM0 if funct3 == 0 && funct7 == 0 => {
+                Ok(Instr::Vlrw { vd: VReg::new((word >> 7 & 0x1F) as u8), rs1, rs2 })
+            }
+            OP_CUSTOM0 if funct3 == 1 => Ok(Instr::Vsetstart { rs1 }),
+            OP_CUSTOM0 => Err(err(word, "unknown custom-0 instruction")),
+            OP_V => decode_op_v(word),
+            _ => Err(err(word, format!("unknown major opcode {opcode:#04x}"))),
+        }
+    }
+}
+
+fn decode_op_v(word: u32) -> Result<Instr, DecodeError> {
+    let vd = VReg::new((word >> 7 & 0x1F) as u8);
+    let rd = Reg::new((word >> 7 & 0x1F) as u8);
+    let funct3 = word >> 12 & 0x7;
+    let vs1_bits = word >> 15 & 0x1F;
+    let vs2 = VReg::new((word >> 20 & 0x1F) as u8);
+    let vm = word >> 25 & 1;
+    let funct6 = word >> 26;
+    match funct3 {
+        0b111 => {
+            if word >> 31 != 0 {
+                return Err(err(word, "vsetvl register form is unsupported"));
+            }
+            let vtype = word >> 20 & 0x7FF;
+            let sew = match vtype {
+                v if v == vtype_for(Sew::E8) => Sew::E8,
+                v if v == vtype_for(Sew::E16) => Sew::E16,
+                v if v == vtype_for(Sew::E32) => Sew::E32,
+                _ => return Err(err(word, "unsupported vtype (e8/e16/e32, m1 only)")),
+            };
+            Ok(Instr::Vsetvli { rd, rs1: Reg::new(vs1_bits as u8), sew })
+        }
+        OPIVV => {
+            if funct6 == 0b010111 {
+                return Ok(if vm == 0 {
+                    Instr::VmergeVvm { vd, on_false: vs2, on_true: VReg::new(vs1_bits as u8) }
+                } else {
+                    Instr::VmvVv { vd, vs: VReg::new(vs1_bits as u8) }
+                });
+            }
+            let op = valu_from_funct6(funct6, false)
+                .ok_or_else(|| err(word, "unknown OPIVV funct6"))?;
+            Ok(Instr::VOpVv { op, vd, lhs: vs2, rhs: VReg::new(vs1_bits as u8) })
+        }
+        OPIVX => {
+            if funct6 == 0b010111 && vm == 1 {
+                return Ok(Instr::VmvVx { vd, rs: Reg::new(vs1_bits as u8) });
+            }
+            if funct6 == 0b000011 {
+                return Ok(Instr::VrsubVx { vd, lhs: vs2, rs: Reg::new(vs1_bits as u8) });
+            }
+            let op = valu_from_funct6(funct6, false)
+                .ok_or_else(|| err(word, "unknown OPIVX funct6"))?;
+            Ok(Instr::VOpVx { op, vd, lhs: vs2, rs: Reg::new(vs1_bits as u8) })
+        }
+        OPIVI => match funct6 {
+            0b100101 => Ok(Instr::VsllVi { vd, vs: vs2, imm: vs1_bits }),
+            0b101000 => Ok(Instr::VsrlVi { vd, vs: vs2, imm: vs1_bits }),
+            0b101001 => Ok(Instr::VsraVi { vd, vs: vs2, imm: vs1_bits }),
+            _ => Err(err(word, "unknown OPIVI funct6")),
+        },
+        OPMVV => match funct6 {
+            0b000000 => Ok(Instr::VredsumVs { vd, vs2, vs1: VReg::new(vs1_bits as u8) }),
+            0b100101 => Ok(Instr::VOpVv {
+                op: VAluOp::Mul,
+                vd,
+                lhs: vs2,
+                rhs: VReg::new(vs1_bits as u8),
+            }),
+            0b101101 => Ok(Instr::VmaccVv { vd, vs1: VReg::new(vs1_bits as u8), vs2 }),
+            0b010000 if vs1_bits == 0b00000 => Ok(Instr::VmvXs { rd, vs: vs2 }),
+            0b010000 if vs1_bits == 0b10000 => Ok(Instr::VcpopM { rd, vs: vs2 }),
+            0b010000 if vs1_bits == 0b10001 => Ok(Instr::VfirstM { rd, vs: vs2 }),
+            0b010100 if vs1_bits == 0b10001 => Ok(Instr::VidV { vd }),
+            _ => Err(err(word, "unknown OPMVV funct6")),
+        },
+        OPMVX => match funct6 {
+            0b100101 => Ok(Instr::VOpVx {
+                op: VAluOp::Mul,
+                vd,
+                lhs: vs2,
+                rs: Reg::new(vs1_bits as u8),
+            }),
+            _ => Err(err(word, "unknown OPMVX funct6")),
+        },
+        _ => Err(err(word, "unknown OP-V funct3")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_instrs() -> Vec<Instr> {
+        use Instr::*;
+        let mut v = vec![
+            Lui { rd: Reg::A0, imm20: -3 },
+            Jal { rd: Reg::RA, offset: -2048 },
+            Jalr { rd: Reg::ZERO, rs1: Reg::RA, offset: 0 },
+            Lw { rd: Reg::A0, rs1: Reg::SP, offset: -4 },
+            Lwu { rd: Reg::A1, rs1: Reg::SP, offset: 124 },
+            Ld { rd: Reg::A2, rs1: Reg::SP, offset: 8 },
+            Sw { rs2: Reg::A0, rs1: Reg::SP, offset: -32 },
+            Sd { rs2: Reg::T6, rs1: Reg::A5, offset: 2040 },
+            Ecall,
+            Vsetvli { rd: Reg::T1, rs1: Reg::T0, sew: Sew::E32 },
+            Vsetvli { rd: Reg::T1, rs1: Reg::T0, sew: Sew::E8 },
+            Vsetvli { rd: Reg::T1, rs1: Reg::T0, sew: Sew::E16 },
+            Vsetstart { rs1: Reg::T2 },
+            VmvVv { vd: VReg::V18, vs: VReg::V19 },
+            VrsubVx { vd: VReg::V20, lhs: VReg::V21, rs: Reg::S5 },
+            VmaccVv { vd: VReg::V22, vs1: VReg::V23, vs2: VReg::V24 },
+            VsraVi { vd: VReg::V25, vs: VReg::V26, imm: 7 },
+            Vle32 { vd: VReg::V4, rs1: Reg::A0 },
+            Vse32 { vs3: VReg::V5, rs1: Reg::A1 },
+            Vlrw { vd: VReg::V6, rs1: Reg::A2, rs2: Reg::A3 },
+            VmergeVvm { vd: VReg::V1, on_false: VReg::V2, on_true: VReg::V3 },
+            VredsumVs { vd: VReg::V9, vs2: VReg::V8, vs1: VReg::V7 },
+            VmvVx { vd: VReg::V10, rs: Reg::A4 },
+            VmvXs { rd: Reg::A5, vs: VReg::V9 },
+            VcpopM { rd: Reg::A0, vs: VReg::V11 },
+            VfirstM { rd: Reg::A1, vs: VReg::V12 },
+            VidV { vd: VReg::V13 },
+            VsllVi { vd: VReg::V14, vs: VReg::V15, imm: 31 },
+            VsrlVi { vd: VReg::V16, vs: VReg::V17, imm: 1 },
+        ];
+        for op in [
+            AluOp::Add, AluOp::Sub, AluOp::Sll, AluOp::Slt, AluOp::Sltu, AluOp::Xor,
+            AluOp::Srl, AluOp::Sra, AluOp::Or, AluOp::And, AluOp::Mul, AluOp::Div,
+            AluOp::Divu, AluOp::Rem, AluOp::Remu,
+        ] {
+            v.push(Op { op, rd: Reg::S2, rs1: Reg::S3, rs2: Reg::S4 });
+        }
+        for op in [AluOp::Add, AluOp::Slt, AluOp::Sltu, AluOp::Xor, AluOp::Or, AluOp::And] {
+            v.push(OpImm { op, rd: Reg::T2, rs1: Reg::T3, imm: -7 });
+        }
+        for op in [AluOp::Sll, AluOp::Srl, AluOp::Sra] {
+            v.push(OpImm { op, rd: Reg::T2, rs1: Reg::T3, imm: 33 });
+        }
+        for cond in [
+            BranchCond::Eq, BranchCond::Ne, BranchCond::Lt,
+            BranchCond::Ge, BranchCond::Ltu, BranchCond::Geu,
+        ] {
+            v.push(Branch { cond, rs1: Reg::A6, rs2: Reg::A7, offset: -256 });
+        }
+        for op in [
+            VAluOp::Add, VAluOp::Sub, VAluOp::Mul, VAluOp::And, VAluOp::Or,
+            VAluOp::Xor, VAluOp::Mseq, VAluOp::Msne, VAluOp::Mslt, VAluOp::Msltu,
+            VAluOp::Min, VAluOp::Minu, VAluOp::Max, VAluOp::Maxu,
+        ] {
+            v.push(VOpVv { op, vd: VReg::V20, lhs: VReg::V21, rhs: VReg::V22 });
+            v.push(VOpVx { op, vd: VReg::V23, lhs: VReg::V24, rs: Reg::S5 });
+        }
+        v
+    }
+
+    #[test]
+    fn every_instruction_roundtrips() {
+        for i in sample_instrs() {
+            let word = i.encode();
+            assert_eq!(Instr::decode(word), Ok(i), "word {word:#010x} for {i}");
+        }
+    }
+
+    #[test]
+    fn vadd_vv_matches_rvv_layout() {
+        // vadd.vv v3, v1, v2 (vd=3, vs2=1, vs1=2, unmasked):
+        // funct6=0, vm=1, vs2=1, vs1=2, funct3=000, vd=3, opcode=0x57.
+        let i = Instr::VOpVv { op: VAluOp::Add, vd: VReg::V3, lhs: VReg::V1, rhs: VReg::V2 };
+        assert_eq!(i.encode(), 1 << 25 | 1 << 20 | 2 << 15 | 3 << 7 | 0x57);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(Instr::decode(0xFFFF_FFFF).is_err());
+        assert!(Instr::decode(0x0000_0000).is_err());
+        // A SYSTEM word that is not ecall.
+        assert!(Instr::decode(0x0010_0073).is_err());
+    }
+
+    #[test]
+    fn ecall_is_the_canonical_word() {
+        assert_eq!(Instr::Ecall.encode(), 0x0000_0073);
+    }
+
+    #[test]
+    #[should_panic(expected = "no immediate form")]
+    fn sub_immediate_panics() {
+        Instr::OpImm { op: AluOp::Sub, rd: Reg::A0, rs1: Reg::A0, imm: 1 }.encode();
+    }
+}

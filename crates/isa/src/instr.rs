@@ -1,0 +1,339 @@
+//! The instruction set: RV64I/M scalar subset + RVV subset + `vlrw`.
+
+use crate::reg::{Reg, VReg};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One decoded instruction.
+///
+/// Scalar instructions follow RV64I plus the M extension's multiply and
+/// divide. Vector instructions follow the RVV convention that the
+/// assembly prints `vd, vs2, vs1` — here the operand carried in the `vs2`
+/// encoding field is named by its role (`lhs`, `on_false`, …) to keep call
+/// sites readable.
+///
+/// Branch and jump offsets are in *bytes* relative to the instruction's
+/// own address, as in real RISC-V.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[allow(missing_docs)] // operand roles are documented on the variant level
+pub enum Instr {
+    // ----- RV64I scalar ------------------------------------------------
+    /// Load upper immediate: `rd = imm << 12`.
+    Lui { rd: Reg, imm20: i32 },
+    /// Jump and link.
+    Jal { rd: Reg, offset: i32 },
+    /// Indirect jump and link.
+    Jalr { rd: Reg, rs1: Reg, offset: i32 },
+    /// Immediate ALU operation.
+    OpImm { op: AluOp, rd: Reg, rs1: Reg, imm: i32 },
+    /// Register-register ALU operation (including M-extension ops).
+    Op { op: AluOp, rd: Reg, rs1: Reg, rs2: Reg },
+    /// 32-bit signed load.
+    Lw { rd: Reg, rs1: Reg, offset: i32 },
+    /// 32-bit unsigned load.
+    Lwu { rd: Reg, rs1: Reg, offset: i32 },
+    /// 64-bit load.
+    Ld { rd: Reg, rs1: Reg, offset: i32 },
+    /// 32-bit store.
+    Sw { rs2: Reg, rs1: Reg, offset: i32 },
+    /// 64-bit store.
+    Sd { rs2: Reg, rs1: Reg, offset: i32 },
+    /// Conditional branch.
+    Branch { cond: BranchCond, rs1: Reg, rs2: Reg, offset: i32 },
+    /// Environment call — used as the halt convention by the control
+    /// processor model.
+    Ecall,
+
+    // ----- vector configuration ----------------------------------------
+    /// `vsetvli rd, rs1, e<sew>,m1` — request a vector length of `rs1`
+    /// elements at the given element width; `rd` receives the granted
+    /// length (Section V-F). Resets `vstart` to zero, as the RVV
+    /// specification requires. Narrow widths walk fewer bit positions —
+    /// the paper's "element types smaller than 32 bits" configuration.
+    Vsetvli { rd: Reg, rs1: Reg, sew: Sew },
+    /// `vsetstart rs1` — CAPE helper writing the `vstart` CSR: the index
+    /// of the first active element (Section V-F repurposes the standard
+    /// `vstart` CSR for windowed execution; this stands in for
+    /// `csrw vstart, rs1`).
+    Vsetstart { rs1: Reg },
+
+    // ----- vector memory ------------------------------------------------
+    /// `vle32.v vd, (rs1)` — unit-stride vector load.
+    Vle32 { vd: VReg, rs1: Reg },
+    /// `vse32.v vs3, (rs1)` — unit-stride vector store.
+    Vse32 { vs3: VReg, rs1: Reg },
+    /// `vlrw.v vd, rs1, rs2` — CAPE's replica vector load: load `rs2`
+    /// contiguous 32-bit values from address `rs1` and replicate the chunk
+    /// along the whole vector register (Section V-G).
+    Vlrw { vd: VReg, rs1: Reg, rs2: Reg },
+
+    // ----- vector compute -------------------------------------------------
+    /// `v<op>.vv vd, lhs, rhs` — element-wise vector-vector operation.
+    VOpVv { op: VAluOp, vd: VReg, lhs: VReg, rhs: VReg },
+    /// `v<op>.vx vd, lhs, rs` — element-wise vector-scalar operation.
+    VOpVx { op: VAluOp, vd: VReg, lhs: VReg, rs: Reg },
+    /// `vmerge.vvm vd, on_false, on_true, v0` — masked select.
+    VmergeVvm { vd: VReg, on_false: VReg, on_true: VReg },
+    /// `vredsum.vs vd, vs2, vs1` — `vd[0] = vs1[0] + sum(vs2[*])`.
+    VredsumVs { vd: VReg, vs2: VReg, vs1: VReg },
+    /// `vmv.v.x vd, rs` — broadcast a scalar.
+    VmvVx { vd: VReg, rs: Reg },
+    /// `vmv.x.s rd, vs` — move element 0 of `vs` to a scalar register.
+    VmvXs { rd: Reg, vs: VReg },
+    /// `vmv.v.v vd, vs` — vector register copy.
+    VmvVv { vd: VReg, vs: VReg },
+    /// `vrsub.vx vd, lhs, rs` — reversed subtraction `vd = rs - lhs`.
+    VrsubVx { vd: VReg, lhs: VReg, rs: Reg },
+    /// `vmacc.vv vd, vs1, vs2` — multiply-accumulate `vd += vs1 * vs2`.
+    VmaccVv { vd: VReg, vs1: VReg, vs2: VReg },
+    /// `vsra.vi vd, vs, imm` — arithmetic shift right by immediate.
+    VsraVi { vd: VReg, vs: VReg, imm: u32 },
+    /// `vcpop.m rd, vs` — mask population count into a scalar register.
+    VcpopM { rd: Reg, vs: VReg },
+    /// `vfirst.m rd, vs` — index of first set mask bit (or -1).
+    VfirstM { rd: Reg, vs: VReg },
+    /// `vid.v vd` — element indices.
+    VidV { vd: VReg },
+    /// `vsll.vi vd, vs, imm` — logical shift left by immediate.
+    VsllVi { vd: VReg, vs: VReg, imm: u32 },
+    /// `vsrl.vi vd, vs, imm` — logical shift right by immediate.
+    VsrlVi { vd: VReg, vs: VReg, imm: u32 },
+}
+
+/// Scalar ALU operations shared by `Op` and (where legal) `OpImm`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum AluOp {
+    Add,
+    Sub,
+    Sll,
+    Slt,
+    Sltu,
+    Xor,
+    Srl,
+    Sra,
+    Or,
+    And,
+    Mul,
+    Div,
+    Divu,
+    Rem,
+    Remu,
+}
+
+/// Branch conditions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum BranchCond {
+    Eq,
+    Ne,
+    Lt,
+    Ge,
+    Ltu,
+    Geu,
+}
+
+/// Vector ALU operations with `.vv` and/or `.vx` forms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum VAluOp {
+    Add,
+    Sub,
+    Mul,
+    And,
+    Or,
+    Xor,
+    Mseq,
+    Msne,
+    Mslt,
+    Msltu,
+    Min,
+    Minu,
+    Max,
+    Maxu,
+}
+
+/// Selected element width (`vtype.vsew`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Sew {
+    /// 8-bit elements.
+    E8,
+    /// 16-bit elements.
+    E16,
+    /// 32-bit elements.
+    E32,
+}
+
+impl Sew {
+    /// Element width in bits.
+    pub fn bits(self) -> u32 {
+        match self {
+            Sew::E8 => 8,
+            Sew::E16 => 16,
+            Sew::E32 => 32,
+        }
+    }
+}
+
+impl Instr {
+    /// True for vector instructions (offloaded to the VCU/VMU; the control
+    /// processor stalls subsequent vector instructions until commit).
+    pub fn is_vector(&self) -> bool {
+        matches!(
+            self,
+            Instr::Vsetvli { .. }
+                | Instr::Vsetstart { .. }
+                | Instr::Vle32 { .. }
+                | Instr::Vse32 { .. }
+                | Instr::Vlrw { .. }
+                | Instr::VOpVv { .. }
+                | Instr::VOpVx { .. }
+                | Instr::VmergeVvm { .. }
+                | Instr::VredsumVs { .. }
+                | Instr::VmvVx { .. }
+                | Instr::VmvXs { .. }
+                | Instr::VmvVv { .. }
+                | Instr::VrsubVx { .. }
+                | Instr::VmaccVv { .. }
+                | Instr::VsraVi { .. }
+                | Instr::VcpopM { .. }
+                | Instr::VfirstM { .. }
+                | Instr::VidV { .. }
+                | Instr::VsllVi { .. }
+                | Instr::VsrlVi { .. }
+        )
+    }
+
+    /// True for vector *memory* instructions (routed to the VMU rather
+    /// than the VCU).
+    pub fn is_vector_memory(&self) -> bool {
+        matches!(self, Instr::Vle32 { .. } | Instr::Vse32 { .. } | Instr::Vlrw { .. })
+    }
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use Instr::*;
+        match self {
+            Lui { rd, imm20 } => write!(f, "lui {rd}, {imm20}"),
+            Jal { rd, offset } => write!(f, "jal {rd}, {offset}"),
+            Jalr { rd, rs1, offset } => write!(f, "jalr {rd}, {offset}({rs1})"),
+            OpImm { op, rd, rs1, imm } => write!(f, "{}i {rd}, {rs1}, {imm}", alu_name(*op)),
+            Op { op, rd, rs1, rs2 } => write!(f, "{} {rd}, {rs1}, {rs2}", alu_name(*op)),
+            Lw { rd, rs1, offset } => write!(f, "lw {rd}, {offset}({rs1})"),
+            Lwu { rd, rs1, offset } => write!(f, "lwu {rd}, {offset}({rs1})"),
+            Ld { rd, rs1, offset } => write!(f, "ld {rd}, {offset}({rs1})"),
+            Sw { rs2, rs1, offset } => write!(f, "sw {rs2}, {offset}({rs1})"),
+            Sd { rs2, rs1, offset } => write!(f, "sd {rs2}, {offset}({rs1})"),
+            Branch { cond, rs1, rs2, offset } => {
+                write!(f, "{} {rs1}, {rs2}, {offset}", branch_name(*cond))
+            }
+            Ecall => write!(f, "ecall"),
+            Vsetvli { rd, rs1, sew } => {
+                let e = match sew {
+                    Sew::E8 => "e8",
+                    Sew::E16 => "e16",
+                    Sew::E32 => "e32",
+                };
+                write!(f, "vsetvli {rd}, {rs1}, {e},m1")
+            }
+            Vsetstart { rs1 } => write!(f, "vsetstart {rs1}"),
+            Vle32 { vd, rs1 } => write!(f, "vle32.v {vd}, ({rs1})"),
+            Vse32 { vs3, rs1 } => write!(f, "vse32.v {vs3}, ({rs1})"),
+            Vlrw { vd, rs1, rs2 } => write!(f, "vlrw.v {vd}, {rs1}, {rs2}"),
+            VOpVv { op, vd, lhs, rhs } => write!(f, "{}.vv {vd}, {lhs}, {rhs}", valu_name(*op)),
+            VOpVx { op, vd, lhs, rs } => write!(f, "{}.vx {vd}, {lhs}, {rs}", valu_name(*op)),
+            VmergeVvm { vd, on_false, on_true } => {
+                write!(f, "vmerge.vvm {vd}, {on_false}, {on_true}, v0")
+            }
+            VredsumVs { vd, vs2, vs1 } => write!(f, "vredsum.vs {vd}, {vs2}, {vs1}"),
+            VmvVx { vd, rs } => write!(f, "vmv.v.x {vd}, {rs}"),
+            VmvXs { rd, vs } => write!(f, "vmv.x.s {rd}, {vs}"),
+            VmvVv { vd, vs } => write!(f, "vmv.v.v {vd}, {vs}"),
+            VrsubVx { vd, lhs, rs } => write!(f, "vrsub.vx {vd}, {lhs}, {rs}"),
+            VmaccVv { vd, vs1, vs2 } => write!(f, "vmacc.vv {vd}, {vs1}, {vs2}"),
+            VsraVi { vd, vs, imm } => write!(f, "vsra.vi {vd}, {vs}, {imm}"),
+            VcpopM { rd, vs } => write!(f, "vcpop.m {rd}, {vs}"),
+            VfirstM { rd, vs } => write!(f, "vfirst.m {rd}, {vs}"),
+            VidV { vd } => write!(f, "vid.v {vd}"),
+            VsllVi { vd, vs, imm } => write!(f, "vsll.vi {vd}, {vs}, {imm}"),
+            VsrlVi { vd, vs, imm } => write!(f, "vsrl.vi {vd}, {vs}, {imm}"),
+        }
+    }
+}
+
+pub(crate) fn alu_name(op: AluOp) -> &'static str {
+    match op {
+        AluOp::Add => "add",
+        AluOp::Sub => "sub",
+        AluOp::Sll => "sll",
+        AluOp::Slt => "slt",
+        AluOp::Sltu => "sltu",
+        AluOp::Xor => "xor",
+        AluOp::Srl => "srl",
+        AluOp::Sra => "sra",
+        AluOp::Or => "or",
+        AluOp::And => "and",
+        AluOp::Mul => "mul",
+        AluOp::Div => "div",
+        AluOp::Divu => "divu",
+        AluOp::Rem => "rem",
+        AluOp::Remu => "remu",
+    }
+}
+
+pub(crate) fn branch_name(c: BranchCond) -> &'static str {
+    match c {
+        BranchCond::Eq => "beq",
+        BranchCond::Ne => "bne",
+        BranchCond::Lt => "blt",
+        BranchCond::Ge => "bge",
+        BranchCond::Ltu => "bltu",
+        BranchCond::Geu => "bgeu",
+    }
+}
+
+pub(crate) fn valu_name(op: VAluOp) -> &'static str {
+    match op {
+        VAluOp::Add => "vadd",
+        VAluOp::Sub => "vsub",
+        VAluOp::Mul => "vmul",
+        VAluOp::And => "vand",
+        VAluOp::Or => "vor",
+        VAluOp::Xor => "vxor",
+        VAluOp::Mseq => "vmseq",
+        VAluOp::Msne => "vmsne",
+        VAluOp::Mslt => "vmslt",
+        VAluOp::Msltu => "vmsltu",
+        VAluOp::Min => "vmin",
+        VAluOp::Minu => "vminu",
+        VAluOp::Max => "vmax",
+        VAluOp::Maxu => "vmaxu",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vector_classification() {
+        let v = Instr::VOpVv { op: VAluOp::Add, vd: VReg::V1, lhs: VReg::V2, rhs: VReg::V3 };
+        assert!(v.is_vector());
+        assert!(!v.is_vector_memory());
+        let m = Instr::Vle32 { vd: VReg::V1, rs1: Reg::A0 };
+        assert!(m.is_vector() && m.is_vector_memory());
+        let s = Instr::Op { op: AluOp::Add, rd: Reg::A0, rs1: Reg::A1, rs2: Reg::A2 };
+        assert!(!s.is_vector());
+    }
+
+    #[test]
+    fn display_produces_assembly() {
+        let i = Instr::VOpVv { op: VAluOp::Add, vd: VReg::V3, lhs: VReg::V1, rhs: VReg::V2 };
+        assert_eq!(i.to_string(), "vadd.vv v3, v1, v2");
+        let b = Instr::Branch { cond: BranchCond::Ne, rs1: Reg::T0, rs2: Reg::ZERO, offset: -8 };
+        assert_eq!(b.to_string(), "bne x5, x0, -8");
+        let l = Instr::Lw { rd: Reg::A0, rs1: Reg::SP, offset: 16 };
+        assert_eq!(l.to_string(), "lw x10, 16(x2)");
+    }
+}

@@ -1,0 +1,639 @@
+//! Programs and the label-resolving builder.
+
+use crate::instr::{AluOp, BranchCond, Instr, Sew, VAluOp};
+use crate::reg::{Reg, VReg};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// An executable CAPE program: a flat sequence of instructions starting at
+/// address 0, one word (4 bytes) each.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Program {
+    instrs: Vec<Instr>,
+}
+
+impl Program {
+    /// Starts building a program.
+    pub fn builder() -> ProgramBuilder {
+        ProgramBuilder::new()
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// True when the program has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// The instruction at index `i` (address `4*i`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn instr(&self, i: usize) -> &Instr {
+        &self.instrs[i]
+    }
+
+    /// Iterates over the instructions in address order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Instr> {
+        self.instrs.iter()
+    }
+
+    /// Encodes the whole program into machine words.
+    pub fn encode(&self) -> Vec<u32> {
+        self.instrs.iter().map(Instr::encode).collect()
+    }
+
+    /// Decodes a program from machine words.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first word that fails to decode.
+    pub fn decode(words: &[u32]) -> Result<Program, crate::encode::DecodeError> {
+        let instrs = words.iter().map(|&w| Instr::decode(w)).collect::<Result<_, _>>()?;
+        Ok(Program { instrs })
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, instr) in self.instrs.iter().enumerate() {
+            writeln!(f, "{:6}: {instr}", i * 4)?;
+        }
+        Ok(())
+    }
+}
+
+/// Errors produced while finalizing a program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProgramError {
+    /// A label was defined twice.
+    DuplicateLabel(String),
+    /// A branch or jump referenced an unknown label.
+    UndefinedLabel(String),
+    /// A resolved branch offset does not fit its encoding.
+    BranchOutOfRange {
+        /// The referenced label.
+        label: String,
+        /// The byte offset that did not fit.
+        offset: i64,
+    },
+}
+
+impl fmt::Display for ProgramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProgramError::DuplicateLabel(l) => write!(f, "label {l:?} defined twice"),
+            ProgramError::UndefinedLabel(l) => write!(f, "label {l:?} is not defined"),
+            ProgramError::BranchOutOfRange { label, offset } => {
+                write!(f, "branch to {label:?} out of range (offset {offset})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProgramError {}
+
+#[derive(Debug, Clone)]
+enum Item {
+    Fixed(Instr),
+    BranchTo { cond: BranchCond, rs1: Reg, rs2: Reg, label: String },
+    JalTo { rd: Reg, label: String },
+}
+
+/// Builds a [`Program`], resolving labels to branch offsets.
+///
+/// Besides one method per instruction, the builder provides the common
+/// pseudo-instructions (`li`, `mv`, `j`, `beqz`, `bnez`, `nop`, `halt`).
+///
+/// # Example
+///
+/// ```
+/// use cape_isa::{Program, Reg};
+///
+/// let mut p = Program::builder();
+/// p.li(Reg::T0, 3);
+/// p.label("loop");
+/// p.addi(Reg::T0, Reg::T0, -1);
+/// p.bnez(Reg::T0, "loop");
+/// p.halt();
+/// let prog = p.build()?;
+/// assert_eq!(prog.len(), 4);
+/// # Ok::<(), cape_isa::ProgramError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ProgramBuilder {
+    items: Vec<Item>,
+    labels: HashMap<String, usize>,
+    label_error: Option<ProgramError>,
+}
+
+impl ProgramBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Defines a label at the current position.
+    pub fn label(&mut self, name: impl Into<String>) -> &mut Self {
+        let name = name.into();
+        if self.labels.insert(name.clone(), self.items.len()).is_some() {
+            self.label_error.get_or_insert(ProgramError::DuplicateLabel(name));
+        }
+        self
+    }
+
+    /// Appends a raw instruction.
+    pub fn push(&mut self, instr: Instr) -> &mut Self {
+        self.items.push(Item::Fixed(instr));
+        self
+    }
+
+    /// Current instruction index (useful for computing sizes).
+    pub fn here(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Finalizes the program.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ProgramError`] for duplicate/undefined labels or
+    /// out-of-range branches.
+    pub fn build(&self) -> Result<Program, ProgramError> {
+        if let Some(e) = &self.label_error {
+            return Err(e.clone());
+        }
+        let mut instrs = Vec::with_capacity(self.items.len());
+        for (idx, item) in self.items.iter().enumerate() {
+            let resolve = |label: &String| -> Result<i64, ProgramError> {
+                let target = self
+                    .labels
+                    .get(label)
+                    .ok_or_else(|| ProgramError::UndefinedLabel(label.clone()))?;
+                Ok((*target as i64 - idx as i64) * 4)
+            };
+            let instr = match item {
+                Item::Fixed(i) => *i,
+                Item::BranchTo { cond, rs1, rs2, label } => {
+                    let offset = resolve(label)?;
+                    if !(-4096..4096).contains(&offset) {
+                        return Err(ProgramError::BranchOutOfRange { label: label.clone(), offset });
+                    }
+                    Instr::Branch { cond: *cond, rs1: *rs1, rs2: *rs2, offset: offset as i32 }
+                }
+                Item::JalTo { rd, label } => {
+                    let offset = resolve(label)?;
+                    if !(-(1 << 20)..1 << 20).contains(&offset) {
+                        return Err(ProgramError::BranchOutOfRange { label: label.clone(), offset });
+                    }
+                    Instr::Jal { rd: *rd, offset: offset as i32 }
+                }
+            };
+            instrs.push(instr);
+        }
+        Ok(Program { instrs })
+    }
+
+    // ----- scalar ------------------------------------------------------
+
+    /// `li rd, imm` — load a 32-bit-signed immediate (expands to
+    /// `lui`+`addi` when it does not fit 12 bits).
+    pub fn li(&mut self, rd: Reg, imm: i64) -> &mut Self {
+        assert!(
+            (-(1 << 31)..1 << 31).contains(&imm),
+            "li immediate {imm} exceeds 32 bits"
+        );
+        let imm = imm as i32;
+        if (-2048..2048).contains(&imm) {
+            self.push(Instr::OpImm { op: AluOp::Add, rd, rs1: Reg::ZERO, imm })
+        } else {
+            let low = (imm << 20) >> 20; // sign-extended low 12 bits
+            let high = imm.wrapping_sub(low) >> 12;
+            self.push(Instr::Lui { rd, imm20: high });
+            if low != 0 {
+                self.push(Instr::OpImm { op: AluOp::Add, rd, rs1: rd, imm: low });
+            }
+            self
+        }
+    }
+
+    /// `mv rd, rs`.
+    pub fn mv(&mut self, rd: Reg, rs: Reg) -> &mut Self {
+        self.push(Instr::OpImm { op: AluOp::Add, rd, rs1: rs, imm: 0 })
+    }
+
+    /// `nop`.
+    pub fn nop(&mut self) -> &mut Self {
+        self.push(Instr::OpImm { op: AluOp::Add, rd: Reg::ZERO, rs1: Reg::ZERO, imm: 0 })
+    }
+
+    /// `addi rd, rs1, imm`.
+    pub fn addi(&mut self, rd: Reg, rs1: Reg, imm: i32) -> &mut Self {
+        self.push(Instr::OpImm { op: AluOp::Add, rd, rs1, imm })
+    }
+
+    /// `slli rd, rs1, shamt`.
+    pub fn slli(&mut self, rd: Reg, rs1: Reg, shamt: i32) -> &mut Self {
+        self.push(Instr::OpImm { op: AluOp::Sll, rd, rs1, imm: shamt })
+    }
+
+    /// `srli rd, rs1, shamt`.
+    pub fn srli(&mut self, rd: Reg, rs1: Reg, shamt: i32) -> &mut Self {
+        self.push(Instr::OpImm { op: AluOp::Srl, rd, rs1, imm: shamt })
+    }
+
+    /// `andi rd, rs1, imm`.
+    pub fn andi(&mut self, rd: Reg, rs1: Reg, imm: i32) -> &mut Self {
+        self.push(Instr::OpImm { op: AluOp::And, rd, rs1, imm })
+    }
+
+    /// A register-register ALU operation.
+    pub fn op(&mut self, op: AluOp, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.push(Instr::Op { op, rd, rs1, rs2 })
+    }
+
+    /// `add rd, rs1, rs2`.
+    pub fn add(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.op(AluOp::Add, rd, rs1, rs2)
+    }
+
+    /// `sub rd, rs1, rs2`.
+    pub fn sub(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.op(AluOp::Sub, rd, rs1, rs2)
+    }
+
+    /// `mul rd, rs1, rs2`.
+    pub fn mul(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.op(AluOp::Mul, rd, rs1, rs2)
+    }
+
+    /// `lw rd, offset(rs1)`.
+    pub fn lw(&mut self, rd: Reg, offset: i32, rs1: Reg) -> &mut Self {
+        self.push(Instr::Lw { rd, rs1, offset })
+    }
+
+    /// `ld rd, offset(rs1)`.
+    pub fn ld(&mut self, rd: Reg, offset: i32, rs1: Reg) -> &mut Self {
+        self.push(Instr::Ld { rd, rs1, offset })
+    }
+
+    /// `sw rs2, offset(rs1)`.
+    pub fn sw(&mut self, rs2: Reg, offset: i32, rs1: Reg) -> &mut Self {
+        self.push(Instr::Sw { rs2, rs1, offset })
+    }
+
+    /// `sd rs2, offset(rs1)`.
+    pub fn sd(&mut self, rs2: Reg, offset: i32, rs1: Reg) -> &mut Self {
+        self.push(Instr::Sd { rs2, rs1, offset })
+    }
+
+    /// A conditional branch to a label.
+    pub fn branch(&mut self, cond: BranchCond, rs1: Reg, rs2: Reg, label: impl Into<String>) -> &mut Self {
+        self.items.push(Item::BranchTo { cond, rs1, rs2, label: label.into() });
+        self
+    }
+
+    /// `beq rs1, rs2, label`.
+    pub fn beq(&mut self, rs1: Reg, rs2: Reg, label: impl Into<String>) -> &mut Self {
+        self.branch(BranchCond::Eq, rs1, rs2, label)
+    }
+
+    /// `bne rs1, rs2, label`.
+    pub fn bne(&mut self, rs1: Reg, rs2: Reg, label: impl Into<String>) -> &mut Self {
+        self.branch(BranchCond::Ne, rs1, rs2, label)
+    }
+
+    /// `blt rs1, rs2, label`.
+    pub fn blt(&mut self, rs1: Reg, rs2: Reg, label: impl Into<String>) -> &mut Self {
+        self.branch(BranchCond::Lt, rs1, rs2, label)
+    }
+
+    /// `bge rs1, rs2, label`.
+    pub fn bge(&mut self, rs1: Reg, rs2: Reg, label: impl Into<String>) -> &mut Self {
+        self.branch(BranchCond::Ge, rs1, rs2, label)
+    }
+
+    /// `bltu rs1, rs2, label`.
+    pub fn bltu(&mut self, rs1: Reg, rs2: Reg, label: impl Into<String>) -> &mut Self {
+        self.branch(BranchCond::Ltu, rs1, rs2, label)
+    }
+
+    /// `beqz rs, label`.
+    pub fn beqz(&mut self, rs: Reg, label: impl Into<String>) -> &mut Self {
+        self.beq(rs, Reg::ZERO, label)
+    }
+
+    /// `bnez rs, label`.
+    pub fn bnez(&mut self, rs: Reg, label: impl Into<String>) -> &mut Self {
+        self.bne(rs, Reg::ZERO, label)
+    }
+
+    /// `j label` (unconditional jump).
+    pub fn j(&mut self, label: impl Into<String>) -> &mut Self {
+        self.items.push(Item::JalTo { rd: Reg::ZERO, label: label.into() });
+        self
+    }
+
+    /// `ecall` used as the halt convention.
+    pub fn halt(&mut self) -> &mut Self {
+        self.push(Instr::Ecall)
+    }
+
+    // ----- vector ------------------------------------------------------
+
+    /// `vsetvli rd, rs1, e32,m1`.
+    pub fn vsetvli(&mut self, rd: Reg, rs1: Reg) -> &mut Self {
+        self.push(Instr::Vsetvli { rd, rs1, sew: Sew::E32 })
+    }
+
+    /// `vsetvli rd, rs1, e<sew>,m1` with an explicit element width.
+    pub fn vsetvli_sew(&mut self, rd: Reg, rs1: Reg, sew: Sew) -> &mut Self {
+        self.push(Instr::Vsetvli { rd, rs1, sew })
+    }
+
+    /// `vmv.v.v vd, vs`.
+    pub fn vmv_vv(&mut self, vd: VReg, vs: VReg) -> &mut Self {
+        self.push(Instr::VmvVv { vd, vs })
+    }
+
+    /// `vrsub.vx vd, lhs, rs`.
+    pub fn vrsub_vx(&mut self, vd: VReg, lhs: VReg, rs: Reg) -> &mut Self {
+        self.push(Instr::VrsubVx { vd, lhs, rs })
+    }
+
+    /// `vmacc.vv vd, vs1, vs2`.
+    pub fn vmacc_vv(&mut self, vd: VReg, vs1: VReg, vs2: VReg) -> &mut Self {
+        self.push(Instr::VmaccVv { vd, vs1, vs2 })
+    }
+
+    /// `vsra.vi vd, vs, imm`.
+    pub fn vsra_vi(&mut self, vd: VReg, vs: VReg, imm: u32) -> &mut Self {
+        self.push(Instr::VsraVi { vd, vs, imm })
+    }
+
+    /// `vmin[u].vv` / `vmax[u].vv` convenience forms.
+    pub fn vmin_vv(&mut self, vd: VReg, lhs: VReg, rhs: VReg) -> &mut Self {
+        self.vop_vv(VAluOp::Min, vd, lhs, rhs)
+    }
+
+    /// `vminu.vv vd, lhs, rhs`.
+    pub fn vminu_vv(&mut self, vd: VReg, lhs: VReg, rhs: VReg) -> &mut Self {
+        self.vop_vv(VAluOp::Minu, vd, lhs, rhs)
+    }
+
+    /// `vmax.vv vd, lhs, rhs`.
+    pub fn vmax_vv(&mut self, vd: VReg, lhs: VReg, rhs: VReg) -> &mut Self {
+        self.vop_vv(VAluOp::Max, vd, lhs, rhs)
+    }
+
+    /// `vmaxu.vv vd, lhs, rhs`.
+    pub fn vmaxu_vv(&mut self, vd: VReg, lhs: VReg, rhs: VReg) -> &mut Self {
+        self.vop_vv(VAluOp::Maxu, vd, lhs, rhs)
+    }
+
+    /// `vmsne.vv vd, lhs, rhs`.
+    pub fn vmsne_vv(&mut self, vd: VReg, lhs: VReg, rhs: VReg) -> &mut Self {
+        self.vop_vv(VAluOp::Msne, vd, lhs, rhs)
+    }
+
+    /// `vmsne.vx vd, lhs, rs`.
+    pub fn vmsne_vx(&mut self, vd: VReg, lhs: VReg, rs: Reg) -> &mut Self {
+        self.vop_vx(VAluOp::Msne, vd, lhs, rs)
+    }
+
+    /// `vsetstart rs1` — set the first active element index.
+    pub fn vsetstart(&mut self, rs1: Reg) -> &mut Self {
+        self.push(Instr::Vsetstart { rs1 })
+    }
+
+    /// `vle32.v vd, (rs1)`.
+    pub fn vle32(&mut self, vd: VReg, rs1: Reg) -> &mut Self {
+        self.push(Instr::Vle32 { vd, rs1 })
+    }
+
+    /// `vse32.v vs3, (rs1)`.
+    pub fn vse32(&mut self, vs3: VReg, rs1: Reg) -> &mut Self {
+        self.push(Instr::Vse32 { vs3, rs1 })
+    }
+
+    /// `vlrw.v vd, rs1, rs2` — the CAPE replica load.
+    pub fn vlrw(&mut self, vd: VReg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.push(Instr::Vlrw { vd, rs1, rs2 })
+    }
+
+    /// Generic `v<op>.vv`.
+    pub fn vop_vv(&mut self, op: VAluOp, vd: VReg, lhs: VReg, rhs: VReg) -> &mut Self {
+        self.push(Instr::VOpVv { op, vd, lhs, rhs })
+    }
+
+    /// Generic `v<op>.vx`.
+    pub fn vop_vx(&mut self, op: VAluOp, vd: VReg, lhs: VReg, rs: Reg) -> &mut Self {
+        self.push(Instr::VOpVx { op, vd, lhs, rs })
+    }
+
+    /// `vadd.vv vd, lhs, rhs`.
+    pub fn vadd_vv(&mut self, vd: VReg, lhs: VReg, rhs: VReg) -> &mut Self {
+        self.vop_vv(VAluOp::Add, vd, lhs, rhs)
+    }
+
+    /// `vadd.vx vd, lhs, rs`.
+    pub fn vadd_vx(&mut self, vd: VReg, lhs: VReg, rs: Reg) -> &mut Self {
+        self.vop_vx(VAluOp::Add, vd, lhs, rs)
+    }
+
+    /// `vsub.vv vd, lhs, rhs`.
+    pub fn vsub_vv(&mut self, vd: VReg, lhs: VReg, rhs: VReg) -> &mut Self {
+        self.vop_vv(VAluOp::Sub, vd, lhs, rhs)
+    }
+
+    /// `vmul.vv vd, lhs, rhs`.
+    pub fn vmul_vv(&mut self, vd: VReg, lhs: VReg, rhs: VReg) -> &mut Self {
+        self.vop_vv(VAluOp::Mul, vd, lhs, rhs)
+    }
+
+    /// `vmul.vx vd, lhs, rs`.
+    pub fn vmul_vx(&mut self, vd: VReg, lhs: VReg, rs: Reg) -> &mut Self {
+        self.vop_vx(VAluOp::Mul, vd, lhs, rs)
+    }
+
+    /// `vand.vv vd, lhs, rhs`.
+    pub fn vand_vv(&mut self, vd: VReg, lhs: VReg, rhs: VReg) -> &mut Self {
+        self.vop_vv(VAluOp::And, vd, lhs, rhs)
+    }
+
+    /// `vor.vv vd, lhs, rhs`.
+    pub fn vor_vv(&mut self, vd: VReg, lhs: VReg, rhs: VReg) -> &mut Self {
+        self.vop_vv(VAluOp::Or, vd, lhs, rhs)
+    }
+
+    /// `vxor.vv vd, lhs, rhs`.
+    pub fn vxor_vv(&mut self, vd: VReg, lhs: VReg, rhs: VReg) -> &mut Self {
+        self.vop_vv(VAluOp::Xor, vd, lhs, rhs)
+    }
+
+    /// `vmseq.vv vd, lhs, rhs`.
+    pub fn vmseq_vv(&mut self, vd: VReg, lhs: VReg, rhs: VReg) -> &mut Self {
+        self.vop_vv(VAluOp::Mseq, vd, lhs, rhs)
+    }
+
+    /// `vmseq.vx vd, lhs, rs`.
+    pub fn vmseq_vx(&mut self, vd: VReg, lhs: VReg, rs: Reg) -> &mut Self {
+        self.vop_vx(VAluOp::Mseq, vd, lhs, rs)
+    }
+
+    /// `vmslt.vv vd, lhs, rhs`.
+    pub fn vmslt_vv(&mut self, vd: VReg, lhs: VReg, rhs: VReg) -> &mut Self {
+        self.vop_vv(VAluOp::Mslt, vd, lhs, rhs)
+    }
+
+    /// `vmslt.vx vd, lhs, rs`.
+    pub fn vmslt_vx(&mut self, vd: VReg, lhs: VReg, rs: Reg) -> &mut Self {
+        self.vop_vx(VAluOp::Mslt, vd, lhs, rs)
+    }
+
+    /// `vmsltu.vv vd, lhs, rhs`.
+    pub fn vmsltu_vv(&mut self, vd: VReg, lhs: VReg, rhs: VReg) -> &mut Self {
+        self.vop_vv(VAluOp::Msltu, vd, lhs, rhs)
+    }
+
+    /// `vmsltu.vx vd, lhs, rs`.
+    pub fn vmsltu_vx(&mut self, vd: VReg, lhs: VReg, rs: Reg) -> &mut Self {
+        self.vop_vx(VAluOp::Msltu, vd, lhs, rs)
+    }
+
+    /// `vmerge.vvm vd, on_false, on_true, v0`.
+    pub fn vmerge(&mut self, vd: VReg, on_false: VReg, on_true: VReg) -> &mut Self {
+        self.push(Instr::VmergeVvm { vd, on_false, on_true })
+    }
+
+    /// `vredsum.vs vd, vs2, vs1`.
+    pub fn vredsum(&mut self, vd: VReg, vs2: VReg, vs1: VReg) -> &mut Self {
+        self.push(Instr::VredsumVs { vd, vs2, vs1 })
+    }
+
+    /// `vmv.v.x vd, rs`.
+    pub fn vmv_vx(&mut self, vd: VReg, rs: Reg) -> &mut Self {
+        self.push(Instr::VmvVx { vd, rs })
+    }
+
+    /// `vmv.x.s rd, vs` — read element 0 into a scalar register.
+    pub fn vmv_xs(&mut self, rd: Reg, vs: VReg) -> &mut Self {
+        self.push(Instr::VmvXs { rd, vs })
+    }
+
+    /// `vcpop.m rd, vs`.
+    pub fn vcpop(&mut self, rd: Reg, vs: VReg) -> &mut Self {
+        self.push(Instr::VcpopM { rd, vs })
+    }
+
+    /// `vfirst.m rd, vs`.
+    pub fn vfirst(&mut self, rd: Reg, vs: VReg) -> &mut Self {
+        self.push(Instr::VfirstM { rd, vs })
+    }
+
+    /// `vid.v vd`.
+    pub fn vid(&mut self, vd: VReg) -> &mut Self {
+        self.push(Instr::VidV { vd })
+    }
+
+    /// `vsll.vi vd, vs, imm`.
+    pub fn vsll_vi(&mut self, vd: VReg, vs: VReg, imm: u32) -> &mut Self {
+        self.push(Instr::VsllVi { vd, vs, imm })
+    }
+
+    /// `vsrl.vi vd, vs, imm`.
+    pub fn vsrl_vi(&mut self, vd: VReg, vs: VReg, imm: u32) -> &mut Self {
+        self.push(Instr::VsrlVi { vd, vs, imm })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_resolve_to_byte_offsets() {
+        let mut p = Program::builder();
+        p.label("top");
+        p.addi(Reg::T0, Reg::T0, -1);
+        p.bnez(Reg::T0, "top");
+        p.halt();
+        let prog = p.build().unwrap();
+        assert_eq!(
+            *prog.instr(1),
+            Instr::Branch { cond: BranchCond::Ne, rs1: Reg::T0, rs2: Reg::ZERO, offset: -4 }
+        );
+    }
+
+    #[test]
+    fn forward_labels_resolve() {
+        let mut p = Program::builder();
+        p.beqz(Reg::A0, "done");
+        p.nop();
+        p.nop();
+        p.label("done");
+        p.halt();
+        let prog = p.build().unwrap();
+        assert_eq!(
+            *prog.instr(0),
+            Instr::Branch { cond: BranchCond::Eq, rs1: Reg::A0, rs2: Reg::ZERO, offset: 12 }
+        );
+    }
+
+    #[test]
+    fn li_expands_large_immediates() {
+        let mut p = Program::builder();
+        p.li(Reg::A0, 5);
+        p.li(Reg::A1, 0x12345);
+        p.li(Reg::A2, -100_000);
+        p.halt();
+        let prog = p.build().unwrap();
+        // 1 + 2 + 2 + 1 instructions.
+        assert_eq!(prog.len(), 6);
+    }
+
+    #[test]
+    fn undefined_label_is_an_error() {
+        let mut p = Program::builder();
+        p.j("nowhere");
+        assert_eq!(p.build(), Err(ProgramError::UndefinedLabel("nowhere".into())));
+    }
+
+    #[test]
+    fn duplicate_label_is_an_error() {
+        let mut p = Program::builder();
+        p.label("x");
+        p.nop();
+        p.label("x");
+        assert_eq!(p.build(), Err(ProgramError::DuplicateLabel("x".into())));
+    }
+
+    #[test]
+    fn program_words_roundtrip() {
+        let mut p = Program::builder();
+        p.li(Reg::T0, 64);
+        p.vsetvli(Reg::T1, Reg::T0);
+        p.vle32(VReg::V1, Reg::A0);
+        p.vadd_vv(VReg::V3, VReg::V1, VReg::V1);
+        p.vse32(VReg::V3, Reg::A1);
+        p.halt();
+        let prog = p.build().unwrap();
+        let words = prog.encode();
+        assert_eq!(Program::decode(&words).unwrap(), prog);
+    }
+
+    #[test]
+    fn display_lists_addresses() {
+        let mut p = Program::builder();
+        p.nop();
+        p.halt();
+        let text = p.build().unwrap().to_string();
+        assert!(text.contains("0:"));
+        assert!(text.contains("4: ecall"));
+    }
+}

@@ -1,0 +1,213 @@
+//! Scalar and vector register names.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// A scalar (integer) register, `x0`..`x31`, with the standard ABI
+/// aliases exposed as associated constants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// Hard-wired zero.
+    pub const ZERO: Reg = Reg(0);
+    /// Return address.
+    pub const RA: Reg = Reg(1);
+    /// Stack pointer.
+    pub const SP: Reg = Reg(2);
+    /// Argument/return registers.
+    pub const A0: Reg = Reg(10);
+    /// Second argument register.
+    pub const A1: Reg = Reg(11);
+    /// Third argument register.
+    pub const A2: Reg = Reg(12);
+    /// Fourth argument register.
+    pub const A3: Reg = Reg(13);
+    /// Fifth argument register.
+    pub const A4: Reg = Reg(14);
+    /// Sixth argument register.
+    pub const A5: Reg = Reg(15);
+    /// Seventh argument register.
+    pub const A6: Reg = Reg(16);
+    /// Eighth argument register.
+    pub const A7: Reg = Reg(17);
+    /// Temporaries.
+    pub const T0: Reg = Reg(5);
+    /// Second temporary.
+    pub const T1: Reg = Reg(6);
+    /// Third temporary.
+    pub const T2: Reg = Reg(7);
+    /// Fourth temporary.
+    pub const T3: Reg = Reg(28);
+    /// Fifth temporary.
+    pub const T4: Reg = Reg(29);
+    /// Sixth temporary.
+    pub const T5: Reg = Reg(30);
+    /// Seventh temporary.
+    pub const T6: Reg = Reg(31);
+    /// Saved registers.
+    pub const S0: Reg = Reg(8);
+    /// Second saved register.
+    pub const S1: Reg = Reg(9);
+    /// Third saved register.
+    pub const S2: Reg = Reg(18);
+    /// Fourth saved register.
+    pub const S3: Reg = Reg(19);
+    /// Fifth saved register.
+    pub const S4: Reg = Reg(20);
+    /// Sixth saved register.
+    pub const S5: Reg = Reg(21);
+    /// Seventh saved register.
+    pub const S6: Reg = Reg(22);
+    /// Eighth saved register.
+    pub const S7: Reg = Reg(23);
+    /// Ninth saved register.
+    pub const S8: Reg = Reg(24);
+    /// Tenth saved register.
+    pub const S9: Reg = Reg(25);
+    /// Eleventh saved register.
+    pub const S10: Reg = Reg(26);
+    /// Twelfth saved register.
+    pub const S11: Reg = Reg(27);
+
+    /// Creates a register from its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= 32`.
+    pub fn new(idx: u8) -> Self {
+        assert!(idx < 32, "scalar register index {idx} out of range");
+        Reg(idx)
+    }
+
+    /// The register index (`0..32`).
+    pub fn index(self) -> usize {
+        usize::from(self.0)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+impl FromStr for Reg {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let abi = [
+            ("zero", 0), ("ra", 1), ("sp", 2), ("gp", 3), ("tp", 4),
+            ("t0", 5), ("t1", 6), ("t2", 7), ("s0", 8), ("fp", 8), ("s1", 9),
+            ("a0", 10), ("a1", 11), ("a2", 12), ("a3", 13), ("a4", 14),
+            ("a5", 15), ("a6", 16), ("a7", 17), ("s2", 18), ("s3", 19),
+            ("s4", 20), ("s5", 21), ("s6", 22), ("s7", 23), ("s8", 24),
+            ("s9", 25), ("s10", 26), ("s11", 27), ("t3", 28), ("t4", 29),
+            ("t5", 30), ("t6", 31),
+        ];
+        if let Some(&(_, i)) = abi.iter().find(|(n, _)| *n == s) {
+            return Ok(Reg(i));
+        }
+        if let Some(num) = s.strip_prefix('x') {
+            let i: u8 = num.parse().map_err(|_| format!("bad register {s:?}"))?;
+            if i < 32 {
+                return Ok(Reg(i));
+            }
+        }
+        Err(format!("unknown scalar register {s:?}"))
+    }
+}
+
+/// A vector register, `v0`..`v31`. `v0` doubles as the mask register, as
+/// in the RVV specification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct VReg(u8);
+
+macro_rules! vreg_consts {
+    ($($name:ident = $i:expr),* $(,)?) => {
+        $(#[doc = concat!("Vector register v", stringify!($i), ".")]
+        pub const $name: VReg = VReg($i);)*
+    };
+}
+
+impl VReg {
+    vreg_consts! {
+        V0 = 0, V1 = 1, V2 = 2, V3 = 3, V4 = 4, V5 = 5, V6 = 6, V7 = 7,
+        V8 = 8, V9 = 9, V10 = 10, V11 = 11, V12 = 12, V13 = 13, V14 = 14,
+        V15 = 15, V16 = 16, V17 = 17, V18 = 18, V19 = 19, V20 = 20,
+        V21 = 21, V22 = 22, V23 = 23, V24 = 24, V25 = 25, V26 = 26,
+        V27 = 27, V28 = 28, V29 = 29, V30 = 30, V31 = 31,
+    }
+
+    /// Creates a vector register from its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= 32`.
+    pub fn new(idx: u8) -> Self {
+        assert!(idx < 32, "vector register index {idx} out of range");
+        VReg(idx)
+    }
+
+    /// The register index (`0..32`) — also the subarray row it occupies
+    /// in every CAPE chain.
+    pub fn index(self) -> usize {
+        usize::from(self.0)
+    }
+}
+
+impl fmt::Display for VReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl FromStr for VReg {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if let Some(num) = s.strip_prefix('v') {
+            if let Ok(i) = num.parse::<u8>() {
+                if i < 32 {
+                    return Ok(VReg(i));
+                }
+            }
+        }
+        Err(format!("unknown vector register {s:?}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn abi_names_parse() {
+        assert_eq!("zero".parse::<Reg>().unwrap(), Reg::ZERO);
+        assert_eq!("a0".parse::<Reg>().unwrap(), Reg::A0);
+        assert_eq!("t3".parse::<Reg>().unwrap(), Reg::T3);
+        assert_eq!("x17".parse::<Reg>().unwrap(), Reg::A7);
+        assert!("x32".parse::<Reg>().is_err());
+        assert!("q1".parse::<Reg>().is_err());
+    }
+
+    #[test]
+    fn vector_names_parse() {
+        assert_eq!("v0".parse::<VReg>().unwrap(), VReg::V0);
+        assert_eq!("v31".parse::<VReg>().unwrap(), VReg::V31);
+        assert!("v32".parse::<VReg>().is_err());
+    }
+
+    #[test]
+    fn display_is_canonical() {
+        assert_eq!(Reg::A0.to_string(), "x10");
+        assert_eq!(VReg::V7.to_string(), "v7");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn new_rejects_out_of_range() {
+        Reg::new(32);
+    }
+}

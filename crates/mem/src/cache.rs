@@ -1,0 +1,325 @@
+//! Set-associative cache simulator for the baseline core models.
+
+use serde::{Deserialize, Serialize};
+
+/// Geometry and latency of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Associativity.
+    pub ways: u32,
+    /// Line size in bytes.
+    pub line_bytes: u32,
+    /// Access (tag+data) latency in cycles.
+    pub latency: u64,
+}
+
+impl CacheConfig {
+    /// Number of sets.
+    pub fn sets(&self) -> u64 {
+        self.size_bytes / u64::from(self.line_bytes) / u64::from(self.ways)
+    }
+
+    /// 32 KiB, 8-way, Table III L1.
+    pub fn l1(line_bytes: u32) -> Self {
+        Self { size_bytes: 32 * 1024, ways: 8, line_bytes, latency: 2 }
+    }
+
+    /// 1 MiB, 16-way, Table III L2.
+    pub fn l2(line_bytes: u32) -> Self {
+        Self { size_bytes: 1024 * 1024, ways: 16, line_bytes, latency: 14 }
+    }
+
+    /// 5.5 MiB, 11-way, Table III shared L3.
+    pub fn l3(line_bytes: u32) -> Self {
+        Self { size_bytes: 5632 * 1024, ways: 11, line_bytes, latency: 50 }
+    }
+}
+
+/// Hit/miss/writeback counters of one cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Total accesses.
+    pub accesses: u64,
+    /// Hits.
+    pub hits: u64,
+    /// Misses.
+    pub misses: u64,
+    /// Dirty evictions.
+    pub writebacks: u64,
+}
+
+impl CacheStats {
+    /// Miss ratio in `[0, 1]`; zero for an untouched cache.
+    pub fn miss_ratio(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Line {
+    tag: u64,
+    dirty: bool,
+}
+
+/// One set-associative, write-back, write-allocate cache with true LRU
+/// replacement.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    config: CacheConfig,
+    /// Per set: lines in MRU-to-LRU order.
+    sets: Vec<Vec<Line>>,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Builds an empty cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is degenerate (zero sets or ways).
+    pub fn new(config: CacheConfig) -> Self {
+        let sets = config.sets();
+        assert!(sets > 0 && config.ways > 0, "degenerate cache geometry");
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        Self {
+            config,
+            sets: vec![Vec::with_capacity(config.ways as usize); sets as usize],
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> CacheConfig {
+        self.config
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Resets the statistics (contents are kept).
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    fn index(&self, addr: u64) -> (usize, u64) {
+        let line = addr / u64::from(self.config.line_bytes);
+        let set = (line % self.sets.len() as u64) as usize;
+        let tag = line / self.sets.len() as u64;
+        (set, tag)
+    }
+
+    /// Accesses `addr`; returns `true` on hit. On a miss the line is
+    /// allocated, possibly evicting the LRU line (counted as a writeback
+    /// if dirty).
+    pub fn access(&mut self, addr: u64, write: bool) -> bool {
+        self.stats.accesses += 1;
+        let (set_idx, tag) = self.index(addr);
+        let ways = self.config.ways as usize;
+        let set = &mut self.sets[set_idx];
+        if let Some(pos) = set.iter().position(|l| l.tag == tag) {
+            self.stats.hits += 1;
+            let mut line = set.remove(pos);
+            line.dirty |= write;
+            set.insert(0, line);
+            return true;
+        }
+        self.stats.misses += 1;
+        if set.len() == ways {
+            let evicted = set.pop().expect("full set has a victim");
+            if evicted.dirty {
+                self.stats.writebacks += 1;
+            }
+        }
+        set.insert(0, Line { tag, dirty: write });
+        false
+    }
+
+    /// Invalidates the whole cache (keeps statistics).
+    pub fn flush(&mut self) {
+        for set in &mut self.sets {
+            set.clear();
+        }
+    }
+}
+
+/// A multi-level (L1/L2/optional L3) hierarchy with inclusive allocation,
+/// as configured in Table III.
+#[derive(Debug, Clone)]
+pub struct CacheHierarchy {
+    levels: Vec<Cache>,
+    /// Cycles charged when every level misses.
+    memory_latency: u64,
+}
+
+impl CacheHierarchy {
+    /// Builds a hierarchy from innermost to outermost level.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels` is empty.
+    pub fn new(levels: Vec<Cache>, memory_latency: u64) -> Self {
+        assert!(!levels.is_empty(), "a hierarchy needs at least one level");
+        Self { levels, memory_latency }
+    }
+
+    /// The baseline out-of-order core's hierarchy: 32 KiB L1, 1 MiB L2,
+    /// 5.5 MiB L3, 512 B last-level lines (Table III).
+    pub fn baseline_three_level(memory_latency: u64) -> Self {
+        Self::new(
+            vec![
+                Cache::new(CacheConfig::l1(64)),
+                Cache::new(CacheConfig::l2(64)),
+                Cache::new(CacheConfig::l3(512)),
+            ],
+            memory_latency,
+        )
+    }
+
+    /// The CAPE control processor's hierarchy: L1 + L2 only, 512 B L2
+    /// lines (Table III; CAPE has no L3).
+    pub fn cape_cp_two_level(memory_latency: u64) -> Self {
+        Self::new(
+            vec![Cache::new(CacheConfig::l1(64)), Cache::new(CacheConfig::l2(512))],
+            memory_latency,
+        )
+    }
+
+    /// Accesses the hierarchy, returning the latency in cycles: the sum of
+    /// the latencies of every level probed, or the memory latency when all
+    /// levels miss. Missing levels allocate the line (inclusive).
+    pub fn access(&mut self, addr: u64, write: bool) -> u64 {
+        let mut latency = 0;
+        for level in &mut self.levels {
+            latency += level.config().latency;
+            if level.access(addr, write) {
+                return latency;
+            }
+        }
+        latency + self.memory_latency
+    }
+
+    /// Per-level statistics, innermost first.
+    pub fn stats(&self) -> Vec<CacheStats> {
+        self.levels.iter().map(Cache::stats).collect()
+    }
+
+    /// Number of accesses that missed every level (reads from memory).
+    pub fn memory_fetches(&self) -> u64 {
+        self.levels.last().map(|c| c.stats().misses).unwrap_or(0)
+    }
+
+    /// Resets all statistics.
+    pub fn reset_stats(&mut self) {
+        for level in &mut self.levels {
+            level.reset_stats();
+        }
+    }
+
+    /// Invalidates every level.
+    pub fn flush(&mut self) {
+        for level in &mut self.levels {
+            level.flush();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        // 4 sets x 2 ways x 16 B lines = 128 B.
+        Cache::new(CacheConfig { size_bytes: 128, ways: 2, line_bytes: 16, latency: 1 })
+    }
+
+    #[test]
+    fn first_touch_misses_second_hits() {
+        let mut c = tiny();
+        assert!(!c.access(0x40, false));
+        assert!(c.access(0x40, false));
+        assert!(c.access(0x4F, false), "same line");
+        assert!(!c.access(0x50, false), "next line");
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = tiny();
+        // Three lines mapping to the same set (stride = sets*line = 64).
+        c.access(0, false);
+        c.access(64, false);
+        c.access(0, false); // 0 is MRU, 64 is LRU
+        c.access(128, false); // evicts 64
+        assert!(c.access(0, false), "line 0 must survive");
+        assert!(!c.access(64, false), "line 64 was evicted");
+    }
+
+    #[test]
+    fn dirty_evictions_count_writebacks() {
+        let mut c = tiny();
+        c.access(0, true);
+        c.access(64, false);
+        c.access(128, false); // evicts dirty line 0
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn paper_geometries_are_consistent() {
+        assert_eq!(CacheConfig::l1(64).sets(), 64);
+        assert_eq!(CacheConfig::l2(64).sets(), 1024);
+        // 5.5 MiB, 11-way, 512 B lines -> 1024 sets.
+        assert_eq!(CacheConfig::l3(512).sets(), 1024);
+    }
+
+    #[test]
+    fn hierarchy_latencies_accumulate() {
+        let mut h = CacheHierarchy::baseline_three_level(300);
+        let miss_all = h.access(0x1000, false);
+        assert_eq!(miss_all, 2 + 14 + 50 + 300);
+        let l1_hit = h.access(0x1000, false);
+        assert_eq!(l1_hit, 2);
+    }
+
+    #[test]
+    fn hierarchy_is_inclusive_on_fill() {
+        let mut h = CacheHierarchy::baseline_three_level(300);
+        h.access(0x2000, false);
+        h.flush();
+        // After a flush everything misses again.
+        assert_eq!(h.access(0x2000, false), 2 + 14 + 50 + 300);
+    }
+
+    #[test]
+    fn working_set_larger_than_l1_spills_to_l2() {
+        let mut h = CacheHierarchy::baseline_three_level(300);
+        // Stream 256 KiB twice: fits L2, not L1 (32 KiB).
+        for pass in 0..2 {
+            for addr in (0..256 * 1024u64).step_by(64) {
+                h.access(addr, false);
+            }
+            let s = h.stats();
+            if pass == 1 {
+                // Second pass: L1 still misses a lot, L2 absorbs them.
+                assert!(s[1].hits > 0, "L2 must serve the second pass");
+                assert_eq!(h.memory_fetches(), 512, "256 KiB / 512 B L3 lines");
+            }
+        }
+    }
+
+    #[test]
+    fn miss_ratio_bounds() {
+        let mut c = tiny();
+        assert_eq!(c.stats().miss_ratio(), 0.0);
+        c.access(0, false);
+        assert_eq!(c.stats().miss_ratio(), 1.0);
+        c.access(0, false);
+        assert_eq!(c.stats().miss_ratio(), 0.5);
+    }
+}

@@ -1,0 +1,170 @@
+//! Bandwidth/latency model of the HBM main-memory system.
+
+use serde::{Deserialize, Serialize};
+
+/// HBM configuration (Table III of the paper: 4-high HBM, 8 channels,
+/// 16 GB/s and 512 MB per channel, 512-byte last-level packets).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HbmConfig {
+    /// Number of independent channels.
+    pub channels: u32,
+    /// Peak bandwidth per channel in GB/s.
+    pub gbps_per_channel: f64,
+    /// Capacity per channel in MiB.
+    pub mib_per_channel: u32,
+    /// Data-bus packet size in bytes (the memory system's transfer and
+    /// coherence granule; also the VMU sub-request size).
+    pub packet_bytes: u32,
+    /// Access latency for the first packet, in nanoseconds.
+    pub latency_ns: f64,
+}
+
+impl Default for HbmConfig {
+    fn default() -> Self {
+        Self {
+            channels: 8,
+            gbps_per_channel: 16.0,
+            mib_per_channel: 512,
+            packet_bytes: 512,
+            latency_ns: 100.0,
+        }
+    }
+}
+
+impl HbmConfig {
+    /// Aggregate peak bandwidth in bytes per nanosecond (= GB/s).
+    pub fn peak_bytes_per_ns(&self) -> f64 {
+        f64::from(self.channels) * self.gbps_per_channel
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        u64::from(self.channels) * u64::from(self.mib_per_channel) * 1024 * 1024
+    }
+}
+
+/// The HBM timing model: converts transfer sizes into core-clock cycles
+/// and tracks total traffic for roofline analysis.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Hbm {
+    config: HbmConfig,
+    bytes_read: u64,
+    bytes_written: u64,
+}
+
+impl Hbm {
+    /// Creates the model from a configuration.
+    pub fn new(config: HbmConfig) -> Self {
+        Self { config, bytes_read: 0, bytes_written: 0 }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> HbmConfig {
+        self.config
+    }
+
+    /// Number of packets (sub-requests) a transfer of `bytes` splits into.
+    pub fn packets(&self, bytes: u64) -> u64 {
+        bytes.div_ceil(u64::from(self.config.packet_bytes))
+    }
+
+    /// Cycles (at `freq_ghz`) to stream `bytes` in one direction:
+    /// first-packet latency plus bandwidth-limited streaming.
+    pub fn transfer_cycles(&self, bytes: u64, freq_ghz: f64) -> u64 {
+        if bytes == 0 {
+            return 0;
+        }
+        let stream_ns = bytes as f64 / self.config.peak_bytes_per_ns();
+        ((self.config.latency_ns + stream_ns) * freq_ghz).ceil() as u64
+    }
+
+    /// Records a read of `bytes` and returns its cycle cost.
+    pub fn read(&mut self, bytes: u64, freq_ghz: f64) -> u64 {
+        self.bytes_read += bytes;
+        self.transfer_cycles(bytes, freq_ghz)
+    }
+
+    /// Records a write of `bytes` and returns its cycle cost.
+    pub fn write(&mut self, bytes: u64, freq_ghz: f64) -> u64 {
+        self.bytes_written += bytes;
+        self.transfer_cycles(bytes, freq_ghz)
+    }
+
+    /// Total bytes read so far.
+    pub fn bytes_read(&self) -> u64 {
+        self.bytes_read
+    }
+
+    /// Total bytes written so far.
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes_written
+    }
+
+    /// Total traffic in both directions.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes_read + self.bytes_written
+    }
+
+    /// Resets the traffic counters.
+    pub fn reset(&mut self) {
+        self.bytes_read = 0;
+        self.bytes_written = 0;
+    }
+}
+
+impl Default for Hbm {
+    fn default() -> Self {
+        Self::new(HbmConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_configuration_aggregates() {
+        let c = HbmConfig::default();
+        assert_eq!(c.peak_bytes_per_ns(), 128.0); // 8 x 16 GB/s
+        assert_eq!(c.capacity_bytes(), 4 * 1024 * 1024 * 1024); // 4 GiB
+    }
+
+    #[test]
+    fn packets_round_up() {
+        let hbm = Hbm::default();
+        assert_eq!(hbm.packets(0), 0);
+        assert_eq!(hbm.packets(1), 1);
+        assert_eq!(hbm.packets(512), 1);
+        assert_eq!(hbm.packets(513), 2);
+        assert_eq!(hbm.packets(128 * 1024), 256);
+    }
+
+    #[test]
+    fn transfer_cycles_scale_with_size() {
+        let hbm = Hbm::default();
+        let small = hbm.transfer_cycles(512, 2.7);
+        let large = hbm.transfer_cycles(4 * 1024 * 1024, 2.7);
+        assert!(small > 0);
+        assert!(large > 10 * small, "streaming must dominate at 4 MiB");
+        // 4 MiB at 128 B/ns is ~32768 ns = ~88k cycles at 2.7 GHz.
+        let expect = ((100.0 + 4194304.0 / 128.0) * 2.7) as u64;
+        assert!((large as i64 - expect as i64).abs() <= 3);
+    }
+
+    #[test]
+    fn traffic_counters_accumulate() {
+        let mut hbm = Hbm::default();
+        hbm.read(1000, 2.7);
+        hbm.write(500, 2.7);
+        assert_eq!(hbm.bytes_read(), 1000);
+        assert_eq!(hbm.bytes_written(), 500);
+        assert_eq!(hbm.total_bytes(), 1500);
+        hbm.reset();
+        assert_eq!(hbm.total_bytes(), 0);
+    }
+
+    #[test]
+    fn zero_byte_transfer_is_free() {
+        assert_eq!(Hbm::default().transfer_cycles(0, 2.7), 0);
+    }
+}

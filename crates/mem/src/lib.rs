@@ -1,0 +1,23 @@
+//! Memory substrate for the CAPE reproduction.
+//!
+//! Three building blocks:
+//!
+//! * [`MainMemory`] — a sparse, paged functional memory holding program
+//!   data (both CAPE and the baselines execute against it).
+//! * [`Hbm`] — the bandwidth/latency model of the HBM main-memory system
+//!   both CAPE and the baseline attach to (Table III: 4-high HBM,
+//!   8 channels, 16 GB/s and 512 MB per channel, 512 B data-bus packets).
+//! * [`Cache`]/[`CacheHierarchy`] — a set-associative, LRU, write-back
+//!   cache simulator used by the baseline out-of-order core model (CAPE's
+//!   CSB is cacheless, Section V-E).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cache;
+mod hbm;
+mod main_memory;
+
+pub use cache::{Cache, CacheConfig, CacheHierarchy, CacheStats};
+pub use hbm::{Hbm, HbmConfig};
+pub use main_memory::MainMemory;

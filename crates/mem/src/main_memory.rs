@@ -1,0 +1,139 @@
+//! Sparse functional main memory.
+
+use std::collections::HashMap;
+
+const PAGE_BITS: u32 = 12;
+const PAGE_SIZE: usize = 1 << PAGE_BITS;
+
+/// A sparse, paged byte-addressable memory.
+///
+/// Pages are allocated on first touch, so multi-gigabyte address spaces
+/// cost only what is actually used. Reads of untouched memory return
+/// zeros, like freshly mapped pages.
+#[derive(Debug, Clone, Default)]
+pub struct MainMemory {
+    pages: HashMap<u64, Box<[u8; PAGE_SIZE]>>,
+}
+
+impl MainMemory {
+    /// Creates an empty memory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of resident (touched) pages.
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Reads one byte.
+    pub fn read_u8(&self, addr: u64) -> u8 {
+        match self.pages.get(&(addr >> PAGE_BITS)) {
+            Some(page) => page[(addr as usize) & (PAGE_SIZE - 1)],
+            None => 0,
+        }
+    }
+
+    /// Writes one byte.
+    pub fn write_u8(&mut self, addr: u64, value: u8) {
+        let page = self
+            .pages
+            .entry(addr >> PAGE_BITS)
+            .or_insert_with(|| Box::new([0; PAGE_SIZE]));
+        page[(addr as usize) & (PAGE_SIZE - 1)] = value;
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn read_u32(&self, addr: u64) -> u32 {
+        u32::from_le_bytes(std::array::from_fn(|i| self.read_u8(addr + i as u64)))
+    }
+
+    /// Writes a little-endian `u32`.
+    pub fn write_u32(&mut self, addr: u64, value: u32) {
+        for (i, b) in value.to_le_bytes().iter().enumerate() {
+            self.write_u8(addr + i as u64, *b);
+        }
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn read_u64(&self, addr: u64) -> u64 {
+        u64::from_le_bytes(std::array::from_fn(|i| self.read_u8(addr + i as u64)))
+    }
+
+    /// Writes a little-endian `u64`.
+    pub fn write_u64(&mut self, addr: u64, value: u64) {
+        for (i, b) in value.to_le_bytes().iter().enumerate() {
+            self.write_u8(addr + i as u64, *b);
+        }
+    }
+
+    /// Bulk-writes a `u32` slice starting at `addr`.
+    pub fn write_u32_slice(&mut self, addr: u64, values: &[u32]) {
+        for (i, &v) in values.iter().enumerate() {
+            self.write_u32(addr + (i as u64) * 4, v);
+        }
+    }
+
+    /// Bulk-reads `len` `u32`s starting at `addr`.
+    pub fn read_u32_slice(&self, addr: u64, len: usize) -> Vec<u32> {
+        (0..len).map(|i| self.read_u32(addr + (i as u64) * 4)).collect()
+    }
+
+    /// Bulk-writes raw bytes.
+    pub fn write_bytes(&mut self, addr: u64, bytes: &[u8]) {
+        for (i, &b) in bytes.iter().enumerate() {
+            self.write_u8(addr + i as u64, b);
+        }
+    }
+
+    /// Bulk-reads raw bytes.
+    pub fn read_bytes(&self, addr: u64, len: usize) -> Vec<u8> {
+        (0..len).map(|i| self.read_u8(addr + i as u64)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn untouched_memory_reads_zero() {
+        let m = MainMemory::new();
+        assert_eq!(m.read_u32(0xDEAD_BEEF), 0);
+        assert_eq!(m.resident_pages(), 0);
+    }
+
+    #[test]
+    fn u32_roundtrip_and_endianness() {
+        let mut m = MainMemory::new();
+        m.write_u32(100, 0x0403_0201);
+        assert_eq!(m.read_u8(100), 0x01);
+        assert_eq!(m.read_u8(103), 0x04);
+        assert_eq!(m.read_u32(100), 0x0403_0201);
+    }
+
+    #[test]
+    fn u64_roundtrip_across_page_boundary() {
+        let mut m = MainMemory::new();
+        let addr = (1 << 12) - 4; // straddles the first page boundary
+        m.write_u64(addr, 0x1122_3344_5566_7788);
+        assert_eq!(m.read_u64(addr), 0x1122_3344_5566_7788);
+        assert_eq!(m.resident_pages(), 2);
+    }
+
+    #[test]
+    fn slices_roundtrip() {
+        let mut m = MainMemory::new();
+        let data: Vec<u32> = (0..1000).collect();
+        m.write_u32_slice(0x10_0000, &data);
+        assert_eq!(m.read_u32_slice(0x10_0000, 1000), data);
+    }
+
+    #[test]
+    fn sparse_pages_stay_sparse() {
+        let mut m = MainMemory::new();
+        m.write_u8(0, 1);
+        m.write_u8(1 << 30, 2); // a gigabyte away
+        assert_eq!(m.resident_pages(), 2);
+    }
+}

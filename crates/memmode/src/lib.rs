@@ -1,0 +1,30 @@
+//! CAPE's memory-only modes (Section VII of the paper).
+//!
+//! When associative compute is not needed, the chip can reconfigure a
+//! CAPE tile's CSB as storage. Three modes are modeled:
+//!
+//! * [`Scratchpad`] — plain addressable memory (the VMU accepts remote
+//!   loads/stores and performs physical-address indexing).
+//! * [`KvStore`] — content-addressable key-value storage: a lookup is a
+//!   single bulk *search* over a key row, so it needs no index
+//!   structure. With 32-bit keys and values, a chain holds 16 x 32 = 512
+//!   pairs — about half a million pairs in CAPE32k, exactly the paper's
+//!   capacity arithmetic. The control processor maintains the free list,
+//!   as the paper suggests.
+//! * [`VictimCache`] — key-value storage specialized as a victim cache
+//!   (e.g. behind an L2): lines are found by searching their address tag.
+//!   We store lines column-wise (tag + data words bit-sliced in one
+//!   lane) rather than the paper's row-wise sketch; this keeps the same
+//!   content-addressable lookup while reusing the compute-mode layout —
+//!   the deviation is documented in DESIGN.md.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod kv;
+mod scratchpad;
+mod victim;
+
+pub use kv::{KvError, KvStore};
+pub use scratchpad::Scratchpad;
+pub use victim::VictimCache;

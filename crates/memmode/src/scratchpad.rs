@@ -1,0 +1,131 @@
+//! The CSB as plain addressable scratchpad memory.
+
+use cape_csb::{Csb, CsbGeometry};
+
+/// A CSB configured as a word-addressable scratchpad.
+///
+/// Capacity is the full register file: 32 rows x 4 bytes x lanes (4 MiB
+/// for CAPE32k). Word `w` maps to vector register `w / MAX_VL`, element
+/// `w % MAX_VL`, so consecutive words stripe across chains and a block
+/// transfer engages many chains at once — the same interleaving the VMU
+/// uses in compute mode.
+#[derive(Debug, Clone)]
+pub struct Scratchpad {
+    csb: Csb,
+}
+
+impl Scratchpad {
+    /// Configures a scratchpad of the given geometry.
+    pub fn new(geometry: CsbGeometry) -> Self {
+        Self { csb: Csb::new(geometry) }
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity_bytes(&self) -> usize {
+        self.csb.geometry().capacity_bytes()
+    }
+
+    /// Capacity in 32-bit words.
+    pub fn capacity_words(&self) -> usize {
+        self.capacity_bytes() / 4
+    }
+
+    fn locate(&self, word: usize) -> (usize, usize) {
+        assert!(word < self.capacity_words(), "scratchpad word {word} out of range");
+        let max_vl = self.csb.max_vl();
+        (word / max_vl, word % max_vl)
+    }
+
+    /// Reads word `word`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `word` is out of range.
+    pub fn read_word(&self, word: usize) -> u32 {
+        let (reg, elem) = self.locate(word);
+        self.csb.read_element(reg, elem)
+    }
+
+    /// Writes word `word`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `word` is out of range.
+    pub fn write_word(&mut self, word: usize, value: u32) {
+        let (reg, elem) = self.locate(word);
+        self.csb.write_element(reg, elem, value);
+    }
+
+    /// Bulk write starting at `word`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block exceeds the capacity.
+    pub fn write_block(&mut self, word: usize, values: &[u32]) {
+        for (i, &v) in values.iter().enumerate() {
+            self.write_word(word + i, v);
+        }
+    }
+
+    /// Bulk read of `len` words starting at `word`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block exceeds the capacity.
+    pub fn read_block(&self, word: usize, len: usize) -> Vec<u32> {
+        (0..len).map(|i| self.read_word(word + i)).collect()
+    }
+
+    /// Cycle estimate for a block transfer of `words` words: interleaving
+    /// engages every chain, so throughput is one word per chain per
+    /// cycle.
+    pub fn transfer_cycles(&self, words: usize) -> u64 {
+        words.div_ceil(self.csb.geometry().num_chains()) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_matches_paper_arithmetic() {
+        // CAPE32k: 4 MiB of scratchpad.
+        let s = Scratchpad::new(CsbGeometry::cape32k());
+        assert_eq!(s.capacity_bytes(), 4 * 1024 * 1024);
+    }
+
+    #[test]
+    fn word_roundtrip_across_whole_capacity_striping() {
+        let mut s = Scratchpad::new(CsbGeometry::new(2));
+        let n = s.capacity_words();
+        for w in (0..n).step_by(17) {
+            s.write_word(w, (w as u32) ^ 0xABCD_1234);
+        }
+        for w in (0..n).step_by(17) {
+            assert_eq!(s.read_word(w), (w as u32) ^ 0xABCD_1234);
+        }
+    }
+
+    #[test]
+    fn blocks_roundtrip() {
+        let mut s = Scratchpad::new(CsbGeometry::new(2));
+        let data: Vec<u32> = (0..300).collect();
+        s.write_block(40, &data);
+        assert_eq!(s.read_block(40, 300), data);
+    }
+
+    #[test]
+    fn transfer_cycles_scale_with_chains() {
+        let s2 = Scratchpad::new(CsbGeometry::new(2));
+        let s8 = Scratchpad::new(CsbGeometry::new(8));
+        assert_eq!(s2.transfer_cycles(64), 32);
+        assert_eq!(s8.transfer_cycles(64), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_word_panics() {
+        Scratchpad::new(CsbGeometry::new(1)).read_word(32 * 32);
+    }
+}

@@ -1,0 +1,363 @@
+//! Symbolic truth tables and their packed TTM encoding.
+//!
+//! Every chain controller stores the truth table of the current
+//! associative algorithm in a small truth-table memory (TTM); a decoder
+//! expands each entry into search/update data and masks for the subarray
+//! drivers (Section V-D, Fig. 7). Entries are encoded compactly: only the
+//! bits that participate in the operation carry a *valid* flag and a
+//! value, plus a group field selecting which match register the search
+//! feeds and which bulk update consumes it.
+//!
+//! The bit-serial arithmetic family (`vadd`, `vsub`, `vmul`'s inner adder,
+//! and the Fig. 1 increment) shares one structure, captured by
+//! [`BitSerialAlgorithm`]: per bit position, patterns over the triple
+//! `(d, a, c)` — destination bit, addend bit, running carry/borrow — are
+//! searched in three groups:
+//!
+//! 1. the **carry group**, searched first on pristine state, which only
+//!    writes the next bit's carry;
+//! 2. the **accumulator group**, latched into the tag-bit accumulator;
+//! 3. the **tag group**, latched into the tag bits.
+//!
+//! Latching the two destination-flipping groups into *separate* match
+//! registers before either update executes is what prevents an update
+//! from re-matching elements the other group already transformed — the
+//! classic search-order hazard of associative arithmetic.
+
+use serde::{Deserialize, Serialize};
+
+/// A search pattern over the `(d, a, c)` triple at one bit position.
+/// `None` is "don't care" (the row is masked out of the search).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Pattern {
+    /// Required value of the destination bit `vd[i]`.
+    pub d: Option<bool>,
+    /// Required value of the addend bit (`vs2[i]`, or `vs1[i]` for `vmul`).
+    pub a: Option<bool>,
+    /// Required value of the running carry/borrow.
+    pub c: Option<bool>,
+}
+
+impl Pattern {
+    /// Pattern requiring exact values for all three rows.
+    pub fn exact(d: bool, a: bool, c: bool) -> Self {
+        Self { d: Some(d), a: Some(a), c: Some(c) }
+    }
+
+    /// Number of rows this pattern actually searches.
+    pub fn search_rows(&self) -> usize {
+        usize::from(self.d.is_some()) + usize::from(self.a.is_some()) + usize::from(self.c.is_some())
+    }
+}
+
+/// What a group's bulk update writes once its searches have been latched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GroupUpdate {
+    /// New value for the destination bit, if it flips.
+    pub write_d: Option<bool>,
+    /// Whether the next bit position's carry/borrow row is set to 1
+    /// (through the Fig. 5 inter-subarray propagation link).
+    pub write_carry: bool,
+}
+
+/// A bit-serial associative algorithm: the TTM content for one arithmetic
+/// instruction.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BitSerialAlgorithm {
+    /// Human-readable name (e.g. `"adder"`).
+    pub name: &'static str,
+    /// Carry-only patterns, searched first (their update writes only the
+    /// next carry, so they can precede the destination-flipping groups).
+    pub carry_patterns: Vec<Pattern>,
+    /// Patterns latched into the tag-bit accumulator.
+    pub acc_patterns: Vec<Pattern>,
+    /// Patterns latched into the tag bits.
+    pub tag_patterns: Vec<Pattern>,
+    /// Update consuming the accumulator group.
+    pub acc_update: GroupUpdate,
+    /// Update consuming the tag group.
+    pub tag_update: GroupUpdate,
+    /// Initial value of the carry/borrow row at the least significant bit
+    /// (1 for increment, 0 for add/sub).
+    pub carry_init: bool,
+}
+
+impl BitSerialAlgorithm {
+    /// The full-adder truth table of `vadd` (Table I: 5 entries).
+    ///
+    /// With `vd` pre-loaded with `vs1` (in-place accumulation), only the
+    /// combinations where the destination bit or the carry changes need
+    /// search-update pairs; the crossed-out rows of Fig. 1's truth tables
+    /// are exactly the omitted ones.
+    pub fn adder() -> Self {
+        Self {
+            name: "adder",
+            // (a=1, c=1) always generates a carry regardless of d.
+            carry_patterns: vec![Pattern { d: None, a: Some(true), c: Some(true) }],
+            // d flips 0 -> 1: 0+0+1 and 0+1+0.
+            acc_patterns: vec![Pattern::exact(false, false, true), Pattern::exact(false, true, false)],
+            // d flips 1 -> 0 and generates a carry: 1+0+1 and 1+1+0.
+            tag_patterns: vec![Pattern::exact(true, false, true), Pattern::exact(true, true, false)],
+            acc_update: GroupUpdate { write_d: Some(true), write_carry: false },
+            tag_update: GroupUpdate { write_d: Some(false), write_carry: true },
+            carry_init: false,
+        }
+    }
+
+    /// The full-subtractor truth table of `vsub` (Table I: 5 entries).
+    ///
+    /// Remarkably, the *search* patterns are identical to the adder's —
+    /// only which groups generate a borrow differs: the borrow is
+    /// generated when the minuend bit underflows (`d` flips 0 -> 1) or
+    /// when both subtrahend and borrow are set.
+    pub fn subtractor() -> Self {
+        Self {
+            name: "subtractor",
+            // (a=1, br=1): covers 0-1-1 and 1-1-1, borrow propagates.
+            carry_patterns: vec![Pattern { d: None, a: Some(true), c: Some(true) }],
+            // d flips 0 -> 1 (underflow): 0-0-1 and 0-1-0; both borrow.
+            acc_patterns: vec![Pattern::exact(false, false, true), Pattern::exact(false, true, false)],
+            // d flips 1 -> 0, no borrow: 1-0-1 and 1-1-0.
+            tag_patterns: vec![Pattern::exact(true, false, true), Pattern::exact(true, true, false)],
+            acc_update: GroupUpdate { write_d: Some(true), write_carry: true },
+            tag_update: GroupUpdate { write_d: Some(false), write_carry: false },
+            carry_init: false,
+        }
+    }
+
+    /// The half-adder truth table of the Fig. 1 increment (2 entries).
+    pub fn incrementer() -> Self {
+        Self {
+            name: "incrementer",
+            carry_patterns: vec![],
+            // d flips 0 -> 1 where the carry is set; carry is consumed.
+            acc_patterns: vec![Pattern { d: Some(false), a: None, c: Some(true) }],
+            // d flips 1 -> 0 where the carry is set; carry propagates.
+            tag_patterns: vec![Pattern { d: Some(true), a: None, c: Some(true) }],
+            acc_update: GroupUpdate { write_d: Some(true), write_carry: false },
+            tag_update: GroupUpdate { write_d: Some(false), write_carry: true },
+            carry_init: true,
+        }
+    }
+
+    /// Total truth-table entry count — the "TT Ent." column of Table I.
+    pub fn entries(&self) -> usize {
+        self.carry_patterns.len() + self.acc_patterns.len() + self.tag_patterns.len()
+    }
+
+    /// Maximum rows searched by any pattern — the "Active Rows/Sub Srch"
+    /// column of Table I (excluding gate rows such as `vmul`'s multiplier
+    /// bit).
+    pub fn max_search_rows(&self) -> usize {
+        self.carry_patterns
+            .iter()
+            .chain(&self.acc_patterns)
+            .chain(&self.tag_patterns)
+            .map(Pattern::search_rows)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Encodes the algorithm into packed TTM words (one `u16` header plus
+    /// one `u16` per entry), the format distributed over the global
+    /// command bus at instruction start.
+    pub fn encode(&self) -> Vec<u16> {
+        let mut words = Vec::with_capacity(1 + self.entries());
+        let mut header = 0u16;
+        header |= encode_update(self.acc_update);
+        header |= encode_update(self.tag_update) << 3;
+        header |= u16::from(self.carry_init) << 6;
+        words.push(header);
+        for (group, patterns) in [
+            (0u16, &self.carry_patterns),
+            (1, &self.acc_patterns),
+            (2, &self.tag_patterns),
+        ] {
+            for p in patterns {
+                words.push(encode_pattern(*p) | (group << 6) | (1 << 8));
+            }
+        }
+        words
+    }
+
+    /// Decodes packed TTM words produced by [`encode`](Self::encode).
+    ///
+    /// # Errors
+    ///
+    /// Returns a descriptive error string when the words are truncated or
+    /// contain an invalid group code.
+    pub fn decode(words: &[u16]) -> Result<Self, String> {
+        let (&header, entries) = words
+            .split_first()
+            .ok_or_else(|| "empty TTM encoding".to_string())?;
+        let mut alg = Self {
+            name: "decoded",
+            carry_patterns: vec![],
+            acc_patterns: vec![],
+            tag_patterns: vec![],
+            acc_update: decode_update(header),
+            tag_update: decode_update(header >> 3),
+            carry_init: header >> 6 & 1 == 1,
+        };
+        for &w in entries {
+            if w >> 8 & 1 == 0 {
+                return Err(format!("TTM entry {w:#06x} has its valid bit clear"));
+            }
+            let p = decode_pattern(w);
+            match w >> 6 & 0b11 {
+                0 => alg.carry_patterns.push(p),
+                1 => alg.acc_patterns.push(p),
+                2 => alg.tag_patterns.push(p),
+                g => return Err(format!("invalid TTM group code {g}")),
+            }
+        }
+        Ok(alg)
+    }
+}
+
+fn encode_update(u: GroupUpdate) -> u16 {
+    let mut w = 0u16;
+    if let Some(v) = u.write_d {
+        w |= 1 | u16::from(v) << 1;
+    }
+    w |= u16::from(u.write_carry) << 2;
+    w
+}
+
+fn decode_update(w: u16) -> GroupUpdate {
+    GroupUpdate {
+        write_d: (w & 1 == 1).then(|| w >> 1 & 1 == 1),
+        write_carry: w >> 2 & 1 == 1,
+    }
+}
+
+fn encode_pattern(p: Pattern) -> u16 {
+    let enc = |v: Option<bool>, at: u16| -> u16 {
+        match v {
+            Some(b) => (1 | u16::from(b) << 1) << at,
+            None => 0,
+        }
+    };
+    enc(p.d, 0) | enc(p.a, 2) | enc(p.c, 4)
+}
+
+fn decode_pattern(w: u16) -> Pattern {
+    let dec = |at: u16| -> Option<bool> { (w >> at & 1 == 1).then(|| w >> (at + 1) & 1 == 1) };
+    Pattern { d: dec(0), a: dec(2), c: dec(4) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Software reference for one full-adder bit step, following the
+    /// algorithm's group semantics. Returns `(d', carry_out)`.
+    fn step(alg: &BitSerialAlgorithm, d: bool, a: bool, c: bool) -> (bool, bool) {
+        let matches = |p: &Pattern| {
+            p.d.is_none_or(|v| v == d) && p.a.is_none_or(|v| v == a) && p.c.is_none_or(|v| v == c)
+        };
+        let mut d_out = d;
+        let mut carry = false;
+        if alg.carry_patterns.iter().any(matches) {
+            carry = true;
+        }
+        if alg.acc_patterns.iter().any(matches) {
+            if let Some(v) = alg.acc_update.write_d {
+                d_out = v;
+            }
+            carry |= alg.acc_update.write_carry;
+        }
+        if alg.tag_patterns.iter().any(matches) {
+            if let Some(v) = alg.tag_update.write_d {
+                d_out = v;
+            }
+            carry |= alg.tag_update.write_carry;
+        }
+        (d_out, carry)
+    }
+
+    #[test]
+    fn adder_table_implements_a_full_adder() {
+        let alg = BitSerialAlgorithm::adder();
+        for d in [false, true] {
+            for a in [false, true] {
+                for c in [false, true] {
+                    let (s, co) = step(&alg, d, a, c);
+                    let sum = u8::from(d) + u8::from(a) + u8::from(c);
+                    assert_eq!(s, sum & 1 == 1, "sum for d={d} a={a} c={c}");
+                    assert_eq!(co, sum >= 2, "carry for d={d} a={a} c={c}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn subtractor_table_implements_a_full_subtractor() {
+        let alg = BitSerialAlgorithm::subtractor();
+        for d in [false, true] {
+            for a in [false, true] {
+                for c in [false, true] {
+                    let (diff, bo) = step(&alg, d, a, c);
+                    let v = i8::from(d) - i8::from(a) - i8::from(c);
+                    assert_eq!(diff, v.rem_euclid(2) == 1, "diff for d={d} a={a} br={c}");
+                    assert_eq!(bo, v < 0, "borrow for d={d} a={a} br={c}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn incrementer_table_implements_a_half_adder() {
+        let alg = BitSerialAlgorithm::incrementer();
+        for d in [false, true] {
+            for c in [false, true] {
+                let (s, co) = step(&alg, d, false, c);
+                let sum = u8::from(d) + u8::from(c);
+                assert_eq!(s, sum & 1 == 1);
+                assert_eq!(co, sum >= 2);
+            }
+        }
+    }
+
+    #[test]
+    fn entry_counts_match_table_one() {
+        assert_eq!(BitSerialAlgorithm::adder().entries(), 5);
+        assert_eq!(BitSerialAlgorithm::subtractor().entries(), 5);
+        assert_eq!(BitSerialAlgorithm::incrementer().entries(), 2);
+    }
+
+    #[test]
+    fn search_row_maxima_match_table_one() {
+        assert_eq!(BitSerialAlgorithm::adder().max_search_rows(), 3);
+        assert_eq!(BitSerialAlgorithm::subtractor().max_search_rows(), 3);
+        assert_eq!(BitSerialAlgorithm::incrementer().max_search_rows(), 2);
+    }
+
+    #[test]
+    fn ttm_encoding_roundtrips() {
+        for alg in [
+            BitSerialAlgorithm::adder(),
+            BitSerialAlgorithm::subtractor(),
+            BitSerialAlgorithm::incrementer(),
+        ] {
+            let words = alg.encode();
+            assert_eq!(words.len(), 1 + alg.entries());
+            let back = BitSerialAlgorithm::decode(&words).unwrap();
+            assert_eq!(back.carry_patterns, alg.carry_patterns);
+            assert_eq!(back.acc_patterns, alg.acc_patterns);
+            assert_eq!(back.tag_patterns, alg.tag_patterns);
+            assert_eq!(back.acc_update, alg.acc_update);
+            assert_eq!(back.tag_update, alg.tag_update);
+            assert_eq!(back.carry_init, alg.carry_init);
+        }
+    }
+
+    #[test]
+    fn decode_rejects_bad_words() {
+        assert!(BitSerialAlgorithm::decode(&[]).is_err());
+        // Valid header, entry with valid bit clear.
+        assert!(BitSerialAlgorithm::decode(&[0, 0]).is_err());
+        // Valid header, entry with group code 3.
+        assert!(BitSerialAlgorithm::decode(&[0, (1 << 8) | (3 << 6)]).is_err());
+    }
+}

@@ -1,0 +1,428 @@
+//! The vector operation set accepted by the VCU.
+
+use serde::{Deserialize, Serialize};
+
+/// A decoded vector operation, in terms of CSB vector register indices
+/// (`0..32`) and already-read scalar operands.
+///
+/// This is the semantic layer *below* the RISC-V encoding: the control
+/// processor reads any scalar register operands at issue time and hands
+/// the VCU a `VectorOp` (Section III). `vd`/`vs1`/`vs2` are row indices
+/// into every subarray; the mask register of `Merge` is the architectural
+/// `v0` as required by RVV.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum VectorOp {
+    /// `vadd.vv vd, vs1, vs2` — element-wise wrapping addition.
+    Add {
+        /// Destination register.
+        vd: usize,
+        /// First source.
+        vs1: usize,
+        /// Second source.
+        vs2: usize,
+    },
+    /// `vadd.vx vd, vs1, rs` — add a scalar to every element.
+    AddScalar {
+        /// Destination register.
+        vd: usize,
+        /// Vector source.
+        vs1: usize,
+        /// Scalar operand.
+        rs: u32,
+    },
+    /// `vsub.vv vd, vs1, vs2` — element-wise wrapping subtraction
+    /// (`vd = vs1 - vs2`).
+    Sub {
+        /// Destination register.
+        vd: usize,
+        /// Minuend.
+        vs1: usize,
+        /// Subtrahend.
+        vs2: usize,
+    },
+    /// `vsub.vx vd, vs1, rs` — subtract a scalar from every element.
+    SubScalar {
+        /// Destination register.
+        vd: usize,
+        /// Minuend vector.
+        vs1: usize,
+        /// Scalar subtrahend.
+        rs: u32,
+    },
+    /// `vmul.vv vd, vs1, vs2` — element-wise wrapping multiplication
+    /// (low 32 bits).
+    Mul {
+        /// Destination register (must not alias a source).
+        vd: usize,
+        /// First source.
+        vs1: usize,
+        /// Second source.
+        vs2: usize,
+    },
+    /// `vmul.vx vd, vs1, rs` — multiply every element by a scalar.
+    MulScalar {
+        /// Destination register (must not alias the source).
+        vd: usize,
+        /// Vector source.
+        vs1: usize,
+        /// Scalar multiplier.
+        rs: u32,
+    },
+    /// `vand.vv vd, vs1, vs2` — element-wise AND (bit-parallel).
+    And {
+        /// Destination register.
+        vd: usize,
+        /// First source.
+        vs1: usize,
+        /// Second source.
+        vs2: usize,
+    },
+    /// `vor.vv vd, vs1, vs2` — element-wise OR (bit-parallel).
+    Or {
+        /// Destination register.
+        vd: usize,
+        /// First source.
+        vs1: usize,
+        /// Second source.
+        vs2: usize,
+    },
+    /// `vxor.vv vd, vs1, vs2` — element-wise XOR (bit-parallel).
+    Xor {
+        /// Destination register.
+        vd: usize,
+        /// First source.
+        vs1: usize,
+        /// Second source.
+        vs2: usize,
+    },
+    /// `vmseq.vv vd, vs1, vs2` — per-element equality into a mask
+    /// (bit 0 of each `vd` element).
+    Mseq {
+        /// Mask destination register (must not alias a source).
+        vd: usize,
+        /// First source.
+        vs1: usize,
+        /// Second source.
+        vs2: usize,
+    },
+    /// `vmseq.vx vd, vs1, rs` — per-element equality against a scalar.
+    /// This is CAPE's signature bit-parallel search (Fig. 4).
+    MseqScalar {
+        /// Mask destination register (must not alias the source).
+        vd: usize,
+        /// Vector source.
+        vs1: usize,
+        /// Scalar key.
+        rs: u32,
+    },
+    /// `vmslt[u].vv vd, vs1, vs2` — per-element less-than into a mask.
+    Mslt {
+        /// Mask destination register (must not alias a source).
+        vd: usize,
+        /// Left operand.
+        vs1: usize,
+        /// Right operand.
+        vs2: usize,
+        /// Signed (`vmslt`) vs unsigned (`vmsltu`) comparison.
+        signed: bool,
+    },
+    /// `vmslt[u].vx vd, vs1, rs` — per-element less-than against a scalar.
+    MsltScalar {
+        /// Mask destination register (must not alias the source).
+        vd: usize,
+        /// Vector operand.
+        vs1: usize,
+        /// Scalar right operand.
+        rs: u32,
+        /// Signed vs unsigned comparison.
+        signed: bool,
+    },
+    /// `vand.vx` / `vor.vx` / `vxor.vx` — scalar-specialized logic: the
+    /// scalar's bits select per-subarray behaviour directly, keeping the
+    /// operation bit-parallel.
+    LogicScalar {
+        /// Which logic operation.
+        op: LogicOp,
+        /// Destination register.
+        vd: usize,
+        /// Vector source.
+        vs1: usize,
+        /// Scalar operand.
+        rs: u32,
+    },
+    /// `vmsne.vv vd, vs1, vs2` — per-element inequality into a mask.
+    Msne {
+        /// Mask destination register (must not alias a source).
+        vd: usize,
+        /// First source.
+        vs1: usize,
+        /// Second source.
+        vs2: usize,
+    },
+    /// `vmsne.vx vd, vs1, rs` — per-element inequality against a scalar.
+    MsneScalar {
+        /// Mask destination register (must not alias the source).
+        vd: usize,
+        /// Vector source.
+        vs1: usize,
+        /// Scalar key.
+        rs: u32,
+    },
+    /// `vmin[u].vv` / `vmax[u].vv` — element-wise minimum/maximum
+    /// (an ordered compare into a metadata row, then a masked select).
+    MinMax {
+        /// Destination register.
+        vd: usize,
+        /// First source.
+        vs1: usize,
+        /// Second source.
+        vs2: usize,
+        /// Maximum instead of minimum.
+        max: bool,
+        /// Signed comparison.
+        signed: bool,
+    },
+    /// `vmin[u].vx` / `vmax[u].vx` — element-wise min/max against a
+    /// scalar.
+    MinMaxScalar {
+        /// Destination register.
+        vd: usize,
+        /// Vector source.
+        vs1: usize,
+        /// Scalar operand.
+        rs: u32,
+        /// Maximum instead of minimum.
+        max: bool,
+        /// Signed comparison.
+        signed: bool,
+    },
+    /// `vrsub.vx vd, vs1, rs` — reversed subtraction `vd = rs - vs1`.
+    RsubScalar {
+        /// Destination register.
+        vd: usize,
+        /// Vector subtrahend.
+        vs1: usize,
+        /// Scalar minuend.
+        rs: u32,
+    },
+    /// `vmacc.vv vd, vs1, vs2` — multiply-accumulate `vd += vs1 * vs2`.
+    Macc {
+        /// Accumulator register (must not alias a source).
+        vd: usize,
+        /// First source.
+        vs1: usize,
+        /// Second source.
+        vs2: usize,
+    },
+    /// `vmv.v.v vd, vs` — register copy.
+    Mv {
+        /// Destination register.
+        vd: usize,
+        /// Source register.
+        vs: usize,
+    },
+    /// `vsra.vi vd, vs, sh` — arithmetic shift right by an immediate.
+    ShiftRightArith {
+        /// Destination register.
+        vd: usize,
+        /// Source register.
+        vs: usize,
+        /// Shift amount (`0..32`).
+        sh: u32,
+    },
+    /// `vmerge.vvm vd, vs2, vs1, v0` — element-wise select:
+    /// `vd[i] = v0.mask[i] ? vs1[i] : vs2[i]`.
+    Merge {
+        /// Destination register.
+        vd: usize,
+        /// Value taken where the mask is 1.
+        vs1: usize,
+        /// Value taken where the mask is 0.
+        vs2: usize,
+    },
+    /// `vredsum.vs vd, vs` — sum of all active elements; the scalar result
+    /// is also written to element 0 of `vd` (Section IV-E, Fig. 6).
+    RedSum {
+        /// Destination register (element 0 receives the sum).
+        vd: usize,
+        /// Source vector.
+        vs: usize,
+    },
+    /// `vcpop.m rd, vs` — population count of a mask register.
+    Cpop {
+        /// Mask source register.
+        vs: usize,
+    },
+    /// `vfirst.m rd, vs` — index of the first set mask bit, or `None`.
+    First {
+        /// Mask source register.
+        vs: usize,
+    },
+    /// `vmv.v.x vd, rs` — broadcast a scalar into every active element.
+    Broadcast {
+        /// Destination register.
+        vd: usize,
+        /// Scalar value.
+        rs: u32,
+    },
+    /// `vsll.vi vd, vs, sh` — logical shift left by an immediate. In the
+    /// bit-sliced layout a shift is a cross-subarray row copy, so it is
+    /// bit-parallel and cheap.
+    ShiftLeft {
+        /// Destination register.
+        vd: usize,
+        /// Source register.
+        vs: usize,
+        /// Shift amount (`0..32`).
+        sh: u32,
+    },
+    /// `vsrl.vi vd, vs, sh` — logical shift right by an immediate.
+    ShiftRight {
+        /// Destination register.
+        vd: usize,
+        /// Source register.
+        vs: usize,
+        /// Shift amount (`0..32`).
+        sh: u32,
+    },
+    /// `vid.v vd` — write each element's index (RVV `vid.v`; used by
+    /// index-search workloads).
+    Vid {
+        /// Destination register.
+        vd: usize,
+    },
+    /// The didactic associative increment of Fig. 1: `vd[i] += 1`.
+    Increment {
+        /// Register incremented in place.
+        vd: usize,
+    },
+}
+
+/// The three bit-parallel logic operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum LogicOp {
+    And,
+    Or,
+    Xor,
+}
+
+/// Instruction family, used to index the Table I metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum VectorOpKind {
+    /// `vadd.vv` / `vadd.vx`.
+    Add,
+    /// `vsub.vv` / `vsub.vx`.
+    Sub,
+    /// `vmul.vv` / `vmul.vx`.
+    Mul,
+    /// `vand.vv`.
+    And,
+    /// `vor.vv`.
+    Or,
+    /// `vxor.vv`.
+    Xor,
+    /// `vmseq.vv`.
+    MseqVv,
+    /// `vmseq.vx`.
+    MseqVx,
+    /// `vmslt[u]`.
+    Mslt,
+    /// `vmsne`.
+    Msne,
+    /// `vmin`/`vmax` (all signedness/scalar forms).
+    MinMax,
+    /// `vmacc.vv`.
+    Macc,
+    /// `vmv.v.v`.
+    Mv,
+    /// `vmerge.vvm`.
+    Merge,
+    /// `vredsum.vs`.
+    RedSum,
+    /// `vcpop.m`.
+    Cpop,
+    /// `vfirst.m`.
+    First,
+    /// `vmv.v.x`.
+    Broadcast,
+    /// `vsll.vi` / `vsrl.vi`.
+    Shift,
+    /// `vid.v`.
+    Vid,
+    /// The Fig. 1 increment.
+    Increment,
+}
+
+impl VectorOp {
+    /// The instruction family of this operation.
+    pub fn kind(&self) -> VectorOpKind {
+        match self {
+            VectorOp::Add { .. } | VectorOp::AddScalar { .. } => VectorOpKind::Add,
+            VectorOp::Sub { .. } | VectorOp::SubScalar { .. } => VectorOpKind::Sub,
+            VectorOp::Mul { .. } | VectorOp::MulScalar { .. } => VectorOpKind::Mul,
+            VectorOp::And { .. } => VectorOpKind::And,
+            VectorOp::Or { .. } => VectorOpKind::Or,
+            VectorOp::Xor { .. } => VectorOpKind::Xor,
+            VectorOp::LogicScalar { op: LogicOp::And, .. } => VectorOpKind::And,
+            VectorOp::LogicScalar { op: LogicOp::Or, .. } => VectorOpKind::Or,
+            VectorOp::LogicScalar { op: LogicOp::Xor, .. } => VectorOpKind::Xor,
+            VectorOp::Msne { .. } => VectorOpKind::Msne,
+            VectorOp::MsneScalar { .. } => VectorOpKind::Msne,
+            VectorOp::MinMax { .. } | VectorOp::MinMaxScalar { .. } => VectorOpKind::MinMax,
+            VectorOp::RsubScalar { .. } => VectorOpKind::Sub,
+            VectorOp::Macc { .. } => VectorOpKind::Macc,
+            VectorOp::Mv { .. } => VectorOpKind::Mv,
+            VectorOp::ShiftRightArith { .. } => VectorOpKind::Shift,
+            VectorOp::Mseq { .. } => VectorOpKind::MseqVv,
+            VectorOp::MseqScalar { .. } => VectorOpKind::MseqVx,
+            VectorOp::Mslt { .. } | VectorOp::MsltScalar { .. } => VectorOpKind::Mslt,
+            VectorOp::Merge { .. } => VectorOpKind::Merge,
+            VectorOp::RedSum { .. } => VectorOpKind::RedSum,
+            VectorOp::Cpop { .. } => VectorOpKind::Cpop,
+            VectorOp::First { .. } => VectorOpKind::First,
+            VectorOp::Broadcast { .. } => VectorOpKind::Broadcast,
+            VectorOp::ShiftLeft { .. } | VectorOp::ShiftRight { .. } => VectorOpKind::Shift,
+            VectorOp::Vid { .. } => VectorOpKind::Vid,
+            VectorOp::Increment { .. } => VectorOpKind::Increment,
+        }
+    }
+
+    /// True if the operation produces a scalar result for the control
+    /// processor (`vredsum`, `vcpop`, `vfirst`).
+    pub fn produces_scalar(&self) -> bool {
+        matches!(
+            self,
+            VectorOp::RedSum { .. } | VectorOp::Cpop { .. } | VectorOp::First { .. }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_group_vv_and_vx_forms() {
+        assert_eq!(
+            VectorOp::Add { vd: 0, vs1: 1, vs2: 2 }.kind(),
+            VectorOp::AddScalar { vd: 0, vs1: 1, rs: 7 }.kind()
+        );
+        assert_eq!(
+            VectorOp::Mslt { vd: 0, vs1: 1, vs2: 2, signed: true }.kind(),
+            VectorOp::MsltScalar { vd: 0, vs1: 1, rs: 7, signed: false }.kind()
+        );
+        assert_ne!(
+            VectorOp::Mseq { vd: 0, vs1: 1, vs2: 2 }.kind(),
+            VectorOp::MseqScalar { vd: 0, vs1: 1, rs: 0 }.kind()
+        );
+    }
+
+    #[test]
+    fn scalar_producers() {
+        assert!(VectorOp::RedSum { vd: 0, vs: 1 }.produces_scalar());
+        assert!(VectorOp::Cpop { vs: 1 }.produces_scalar());
+        assert!(VectorOp::First { vs: 1 }.produces_scalar());
+        assert!(!VectorOp::Add { vd: 0, vs1: 1, vs2: 2 }.produces_scalar());
+    }
+}

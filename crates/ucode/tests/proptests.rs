@@ -1,0 +1,129 @@
+//! Property-based tests: the associative algorithms must agree with
+//! native scalar semantics on arbitrary inputs, windows and aliasing.
+
+use cape_csb::{Csb, CsbGeometry};
+use cape_ucode::{Sequencer, VectorOp};
+use proptest::prelude::*;
+
+fn csb3(a: &[u32], b: &[u32]) -> Csb {
+    let mut csb = Csb::new(CsbGeometry::new(2));
+    csb.write_vector(1, a);
+    csb.write_vector(2, b);
+    csb.set_active_window(0, a.len());
+    csb
+}
+
+fn vecs() -> impl Strategy<Value = (Vec<u32>, Vec<u32>)> {
+    (1usize..=64).prop_flat_map(|len| {
+        (
+            proptest::collection::vec(any::<u32>(), len),
+            proptest::collection::vec(any::<u32>(), len),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn add_matches_wrapping_add((a, b) in vecs()) {
+        let mut csb = csb3(&a, &b);
+        Sequencer::new(&mut csb).execute(&VectorOp::Add { vd: 3, vs1: 1, vs2: 2 });
+        let want: Vec<u32> = a.iter().zip(&b).map(|(x, y)| x.wrapping_add(*y)).collect();
+        prop_assert_eq!(csb.read_vector(3, a.len()), want);
+    }
+
+    #[test]
+    fn sub_matches_wrapping_sub((a, b) in vecs()) {
+        let mut csb = csb3(&a, &b);
+        Sequencer::new(&mut csb).execute(&VectorOp::Sub { vd: 3, vs1: 1, vs2: 2 });
+        let want: Vec<u32> = a.iter().zip(&b).map(|(x, y)| x.wrapping_sub(*y)).collect();
+        prop_assert_eq!(csb.read_vector(3, a.len()), want);
+    }
+
+    #[test]
+    fn mul_matches_wrapping_mul((a, b) in vecs()) {
+        let mut csb = csb3(&a, &b);
+        Sequencer::new(&mut csb).execute(&VectorOp::Mul { vd: 3, vs1: 1, vs2: 2 });
+        let want: Vec<u32> = a.iter().zip(&b).map(|(x, y)| x.wrapping_mul(*y)).collect();
+        prop_assert_eq!(csb.read_vector(3, a.len()), want);
+    }
+
+    #[test]
+    fn add_scalar_matches((a, _) in vecs(), rs in any::<u32>()) {
+        let mut csb = csb3(&a, &a);
+        Sequencer::new(&mut csb).execute(&VectorOp::AddScalar { vd: 3, vs1: 1, rs });
+        let want: Vec<u32> = a.iter().map(|x| x.wrapping_add(rs)).collect();
+        prop_assert_eq!(csb.read_vector(3, a.len()), want);
+    }
+
+    #[test]
+    fn mul_scalar_matches((a, _) in vecs(), rs in any::<u32>()) {
+        let mut csb = csb3(&a, &a);
+        Sequencer::new(&mut csb).execute(&VectorOp::MulScalar { vd: 3, vs1: 1, rs });
+        let want: Vec<u32> = a.iter().map(|x| x.wrapping_mul(rs)).collect();
+        prop_assert_eq!(csb.read_vector(3, a.len()), want);
+    }
+
+    #[test]
+    fn comparisons_match((a, b) in vecs()) {
+        let mut csb = csb3(&a, &b);
+        {
+            let mut seq = Sequencer::new(&mut csb);
+            seq.execute(&VectorOp::Mseq { vd: 3, vs1: 1, vs2: 2 });
+            seq.execute(&VectorOp::Mslt { vd: 4, vs1: 1, vs2: 2, signed: false });
+            seq.execute(&VectorOp::Mslt { vd: 5, vs1: 1, vs2: 2, signed: true });
+        }
+        for e in 0..a.len() {
+            prop_assert_eq!(csb.read_element(3, e) & 1 == 1, a[e] == b[e]);
+            prop_assert_eq!(csb.read_element(4, e) & 1 == 1, a[e] < b[e]);
+            prop_assert_eq!(csb.read_element(5, e) & 1 == 1, (a[e] as i32) < (b[e] as i32));
+        }
+    }
+
+    #[test]
+    fn redsum_matches_wrapping_fold((a, _) in vecs()) {
+        let mut csb = csb3(&a, &a);
+        let out = Sequencer::new(&mut csb).execute(&VectorOp::RedSum { vd: 6, vs: 1 });
+        let want = a.iter().fold(0u32, |s, &x| s.wrapping_add(x));
+        prop_assert_eq!(out.scalar, Some(i64::from(want)));
+    }
+
+    #[test]
+    fn window_protects_tail((a, b) in vecs(), cut in 0usize..64) {
+        let vl = (cut % a.len()).max(1);
+        let mut csb = csb3(&a, &b);
+        csb.write_vector(3, &vec![0x5A5A_5A5A; a.len()]);
+        csb.set_active_window(0, vl);
+        Sequencer::new(&mut csb).execute(&VectorOp::Add { vd: 3, vs1: 1, vs2: 2 });
+        let got = csb.read_vector(3, a.len());
+        for e in 0..a.len() {
+            if e < vl {
+                prop_assert_eq!(got[e], a[e].wrapping_add(b[e]));
+            } else {
+                prop_assert_eq!(got[e], 0x5A5A_5A5A);
+            }
+        }
+    }
+
+    #[test]
+    fn mul_then_redsum_is_dot_product(
+        (a, b) in (1usize..=32).prop_flat_map(|len| {
+            (
+                proptest::collection::vec(0u32..1000, len),
+                proptest::collection::vec(0u32..1000, len),
+            )
+        })
+    ) {
+        let mut csb = csb3(&a, &b);
+        let out = {
+            let mut seq = Sequencer::new(&mut csb);
+            seq.execute(&VectorOp::Mul { vd: 3, vs1: 1, vs2: 2 });
+            seq.execute(&VectorOp::RedSum { vd: 4, vs: 3 })
+        };
+        let want: u32 = a.iter().zip(&b).fold(0u32, |s, (x, y)| {
+            s.wrapping_add(x.wrapping_mul(*y))
+        });
+        prop_assert_eq!(out.scalar, Some(i64::from(want)));
+    }
+}

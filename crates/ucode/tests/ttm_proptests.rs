@@ -1,0 +1,64 @@
+//! Property tests over the packed TTM encoding: arbitrary well-formed
+//! truth tables must round-trip through the command-bus format.
+
+use cape_ucode::truth_table::{BitSerialAlgorithm, GroupUpdate, Pattern};
+use proptest::prelude::*;
+
+fn pattern() -> impl Strategy<Value = Pattern> {
+    let bit = proptest::option::of(any::<bool>());
+    (bit.clone(), bit.clone(), bit).prop_map(|(d, a, c)| Pattern { d, a, c })
+}
+
+fn group_update() -> impl Strategy<Value = GroupUpdate> {
+    (proptest::option::of(any::<bool>()), any::<bool>())
+        .prop_map(|(write_d, write_carry)| GroupUpdate { write_d, write_carry })
+}
+
+fn algorithm() -> impl Strategy<Value = BitSerialAlgorithm> {
+    (
+        proptest::collection::vec(pattern(), 0..3),
+        proptest::collection::vec(pattern(), 0..4),
+        proptest::collection::vec(pattern(), 0..4),
+        group_update(),
+        group_update(),
+        any::<bool>(),
+    )
+        .prop_map(|(carry, acc, tag, acc_update, tag_update, carry_init)| BitSerialAlgorithm {
+            name: "generated",
+            carry_patterns: carry,
+            acc_patterns: acc,
+            tag_patterns: tag,
+            acc_update,
+            tag_update,
+            carry_init,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn ttm_encoding_roundtrips(alg in algorithm()) {
+        let words = alg.encode();
+        prop_assert_eq!(words.len(), 1 + alg.entries());
+        let back = BitSerialAlgorithm::decode(&words).unwrap();
+        prop_assert_eq!(back.carry_patterns, alg.carry_patterns);
+        prop_assert_eq!(back.acc_patterns, alg.acc_patterns);
+        prop_assert_eq!(back.tag_patterns, alg.tag_patterns);
+        prop_assert_eq!(back.acc_update, alg.acc_update);
+        prop_assert_eq!(back.tag_update, alg.tag_update);
+        prop_assert_eq!(back.carry_init, alg.carry_init);
+    }
+
+    #[test]
+    fn entry_counts_and_row_bounds_are_consistent(alg in algorithm()) {
+        prop_assert_eq!(
+            alg.entries(),
+            alg.carry_patterns.len() + alg.acc_patterns.len() + alg.tag_patterns.len()
+        );
+        // No pattern in the (d, a, c) space can drive more than 3 rows,
+        // which respects the hardware's 4-row search budget even with a
+        // vmul-style gate row added.
+        prop_assert!(alg.max_search_rows() <= 3);
+    }
+}

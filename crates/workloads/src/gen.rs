@@ -1,0 +1,140 @@
+//! Deterministic synthetic input generators.
+//!
+//! Each generator is seeded, so every run of every harness sees the same
+//! inputs. The distributions mirror the structural properties of the
+//! Phoenix suite's inputs: pixel histograms with realistic skew, Zipfian
+//! word frequencies for the text applications, Gaussian clusters for
+//! k-means, and dense matrices for the linear-algebra kernels.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A grayscale "image": `n` pixel values in `0..256`, drawn from a
+/// mixture of two broad peaks (sky/foreground) like natural photographs.
+pub fn image(n: usize, seed: u64) -> Vec<u32> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let (center, spread) = if rng.gen_bool(0.6) { (60.0, 30.0) } else { (180.0, 25.0) };
+            let g: f64 = sample_gaussian(&mut rng);
+            (center + spread * g).clamp(0.0, 255.0) as u32
+        })
+        .collect()
+}
+
+/// A Zipf-distributed word stream over a vocabulary of `vocab` word ids
+/// (`0..vocab`), `n` words long. Low ids are the frequent words.
+pub fn zipf_words(n: usize, vocab: usize, seed: u64) -> Vec<u32> {
+    assert!(vocab > 0, "vocabulary must be non-empty");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    // Precompute the Zipf CDF (s = 1.0).
+    let weights: Vec<f64> = (1..=vocab).map(|r| 1.0 / r as f64).collect();
+    let total: f64 = weights.iter().sum();
+    let mut cdf = Vec::with_capacity(vocab);
+    let mut acc = 0.0;
+    for w in &weights {
+        acc += w / total;
+        cdf.push(acc);
+    }
+    (0..n)
+        .map(|_| {
+            let u: f64 = rng.gen();
+            cdf.partition_point(|&c| c < u) as u32
+        })
+        .collect()
+}
+
+/// `n` 2-D points in `k` Gaussian clusters, as interleaved fixed-point
+/// coordinates scaled to `0..4096`. Returns `(xs, ys, true_centroids)`.
+pub fn gaussian_clusters(n: usize, k: usize, seed: u64) -> (Vec<u32>, Vec<u32>, Vec<(u32, u32)>) {
+    assert!(k > 0, "need at least one cluster");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let centroids: Vec<(u32, u32)> = (0..k)
+        .map(|_| (rng.gen_range(500..3500), rng.gen_range(500..3500)))
+        .collect();
+    let mut xs = Vec::with_capacity(n);
+    let mut ys = Vec::with_capacity(n);
+    for i in 0..n {
+        let (cx, cy) = centroids[i % k];
+        let dx = 80.0 * sample_gaussian(&mut rng);
+        let dy = 80.0 * sample_gaussian(&mut rng);
+        xs.push((f64::from(cx) + dx).clamp(0.0, 4095.0) as u32);
+        ys.push((f64::from(cy) + dy).clamp(0.0, 4095.0) as u32);
+    }
+    (xs, ys, centroids)
+}
+
+/// A dense `rows x cols` matrix of small values (`0..bound`), row-major.
+pub fn matrix(rows: usize, cols: usize, bound: u32, seed: u64) -> Vec<u32> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..rows * cols).map(|_| rng.gen_range(0..bound)).collect()
+}
+
+/// Noisy points along a line `y = slope*x + intercept` (fixed-point),
+/// for linear regression. Returns `(xs, ys)`.
+pub fn linear_points(n: usize, slope: u32, intercept: u32, seed: u64) -> (Vec<u32>, Vec<u32>) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let xs: Vec<u32> = (0..n).map(|_| rng.gen_range(0..1024)).collect();
+    let ys = xs
+        .iter()
+        .map(|&x| {
+            let noise = (8.0 * sample_gaussian(&mut rng)) as i64;
+            (i64::from(slope * x + intercept) + noise).max(0) as u32
+        })
+        .collect();
+    (xs, ys)
+}
+
+/// A standard-normal sample via Box–Muller.
+fn sample_gaussian(rng: &mut SmallRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(image(100, 7), image(100, 7));
+        assert_eq!(zipf_words(100, 32, 7), zipf_words(100, 32, 7));
+        assert_eq!(matrix(8, 8, 100, 7), matrix(8, 8, 100, 7));
+        assert_ne!(image(100, 7), image(100, 8));
+    }
+
+    #[test]
+    fn image_pixels_are_bytes() {
+        assert!(image(10_000, 1).iter().all(|&p| p < 256));
+    }
+
+    #[test]
+    fn zipf_is_skewed() {
+        let words = zipf_words(50_000, 64, 3);
+        let count = |w: u32| words.iter().filter(|&&x| x == w).count();
+        assert!(count(0) > 4 * count(20), "word 0 must dominate");
+        assert!(words.iter().all(|&w| w < 64));
+    }
+
+    #[test]
+    fn clusters_have_k_centroids_and_n_points() {
+        let (xs, ys, c) = gaussian_clusters(1000, 4, 9);
+        assert_eq!(xs.len(), 1000);
+        assert_eq!(ys.len(), 1000);
+        assert_eq!(c.len(), 4);
+        assert!(xs.iter().all(|&x| x < 4096));
+    }
+
+    #[test]
+    fn linear_points_follow_the_line() {
+        let (xs, ys) = linear_points(20_000, 3, 100, 5);
+        let n = xs.len() as f64;
+        let sx: f64 = xs.iter().map(|&x| f64::from(x)).sum();
+        let sy: f64 = ys.iter().map(|&y| f64::from(y)).sum();
+        let sxx: f64 = xs.iter().map(|&x| f64::from(x) * f64::from(x)).sum();
+        let sxy: f64 = xs.iter().zip(&ys).map(|(&x, &y)| f64::from(x) * f64::from(y)).sum();
+        let slope = (n * sxy - sx * sy) / (n * sxx - sx * sx);
+        assert!((slope - 3.0).abs() < 0.05, "fitted slope {slope}");
+    }
+}

@@ -1,0 +1,28 @@
+//! The evaluation workloads: the Phoenix application suite (Section VI-E
+//! of the paper) and the microbenchmark set (Section VI-D), each in two
+//! forms:
+//!
+//! * a **CAPE program** — real RISC-V vector assembly built with
+//!   `cape-isa` and executed on the full `cape-core` machine model;
+//! * a **baseline kernel** — the same computation in native Rust,
+//!   instrumented through `cape-baseline`'s out-of-order core model
+//!   (every memory access streams through the cache simulator) and
+//!   producing a vectorization profile for the SVE model.
+//!
+//! Both forms produce a result digest; the harness asserts they are
+//! **equal**, so every speedup in the figures is backed by a bit-exact
+//! cross-check of the two implementations.
+//!
+//! Inputs are deterministic: seeded synthetic generators with the same
+//! structural properties as the Phoenix inputs (see DESIGN.md).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod gen;
+pub mod micro;
+pub mod phoenix;
+
+mod harness;
+
+pub use harness::{run_cape, BaselineRun, CapeRun, Workload};

@@ -1,0 +1,73 @@
+//! The Phoenix application suite (Section VI-E of the paper), rebuilt as
+//! CAPE vector programs plus instrumented baseline kernels.
+//!
+//! The eight applications — matrix multiply, PCA, linear regression,
+//! histogram, k-means, word count, reverse index, string match — are the
+//! ones Fig. 11/12 evaluate (Ranger et al.'s MapReduce suite). Inputs
+//! come from the deterministic generators of [`crate::gen`].
+
+mod hist;
+mod kmeans;
+mod lreg;
+mod matmul;
+mod pca;
+mod revidx;
+mod strmatch;
+mod wrdcnt;
+
+pub use hist::Histogram;
+pub use kmeans::Kmeans;
+pub use lreg::LinearRegression;
+pub use matmul::Matmul;
+pub use pca::Pca;
+pub use revidx::ReverseIndex;
+pub use strmatch::StringMatch;
+pub use wrdcnt::WordCount;
+
+use crate::harness::Workload;
+
+/// Shared memory map for the Phoenix programs.
+pub(crate) mod map {
+    /// First input array.
+    pub const SRC1: i64 = 0x0001_0000;
+    /// Second input array.
+    pub const SRC2: i64 = 0x0100_0000;
+    /// Auxiliary input (centroids, needles, …).
+    pub const AUX: i64 = 0x0200_0000;
+    /// Scratch accumulators.
+    pub const ACC: i64 = 0x0280_0000;
+    /// Output region.
+    pub const OUT: i64 = 0x0300_0000;
+}
+
+/// The full Phoenix suite at its default (laptop-runnable) scales.
+///
+/// The k-means point count is chosen so the dataset fits in CAPE131k's
+/// CSB but not CAPE32k's — the capacity effect behind the paper's 426x
+/// outlier.
+pub fn suite() -> Vec<Box<dyn Workload>> {
+    vec![
+        Box::new(Matmul { n: 96 }),
+        Box::new(Pca { rows: 24_576, dims: 6 }),
+        Box::new(LinearRegression { n: 262_144 }),
+        Box::new(Histogram { n: 262_144 }),
+        Box::new(Kmeans { n: 60_000, k: 4, iters: 5 }),
+        Box::new(WordCount { n: 220_000, vocab: 512, top: 24 }),
+        Box::new(ReverseIndex { docs: 192, words_per_doc: 512, vocab: 24 }),
+        Box::new(StringMatch { n: 220_000, needles: 12 }),
+    ]
+}
+
+/// Smaller versions of every application, for tests.
+pub fn tiny_suite() -> Vec<Box<dyn Workload>> {
+    vec![
+        Box::new(Matmul { n: 12 }),
+        Box::new(Pca { rows: 300, dims: 3 }),
+        Box::new(LinearRegression { n: 400 }),
+        Box::new(Histogram { n: 500 }),
+        Box::new(Kmeans { n: 240, k: 3, iters: 3 }),
+        Box::new(WordCount { n: 600, vocab: 64, top: 8 }),
+        Box::new(ReverseIndex { docs: 6, words_per_doc: 32, vocab: 6 }),
+        Box::new(StringMatch { n: 500, needles: 4 }),
+    ]
+}

@@ -1,0 +1,47 @@
+//! Smoke tests at realistic scale (ignored by default; the fig harnesses
+//! exercise full scale).
+
+use cape_core::CapeConfig;
+use cape_workloads::micro::Vvadd;
+use cape_workloads::phoenix::Histogram;
+use cape_workloads::{run_cape, Workload};
+
+#[test]
+#[ignore = "multi-second full-scale probe; run explicitly"]
+fn vvadd_at_cape32k() {
+    let w = Vvadd { n: 200_000 };
+    let t = std::time::Instant::now();
+    let cape = run_cape(&w, &CapeConfig::cape32k());
+    eprintln!("vvadd 200k @32k: {:?} wall, {} cycles", t.elapsed(), cape.report.cycles);
+    assert_eq!(cape.digest, w.run_baseline().digest);
+}
+
+#[test]
+#[ignore = "multi-second full-scale probe; run explicitly"]
+fn hist_at_cape32k() {
+    let w = Histogram { n: 262_144 };
+    let t = std::time::Instant::now();
+    let cape = run_cape(&w, &CapeConfig::cape32k());
+    eprintln!("hist 262k @32k: {:?} wall, {} cycles", t.elapsed(), cape.report.cycles);
+    assert_eq!(cape.digest, w.run_baseline().digest);
+}
+
+#[test]
+#[ignore = "multi-second full-scale probe; run explicitly"]
+fn matmul_at_cape32k() {
+    let w = cape_workloads::phoenix::Matmul { n: 96 };
+    let t = std::time::Instant::now();
+    let cape = run_cape(&w, &CapeConfig::cape32k());
+    eprintln!("matmul 96 @32k: {:?} wall, {} cycles", t.elapsed(), cape.report.cycles);
+    assert_eq!(cape.digest, w.run_baseline().digest);
+}
+
+#[test]
+#[ignore = "multi-second full-scale probe; run explicitly"]
+fn kmeans_at_cape32k() {
+    let w = cape_workloads::phoenix::Kmeans { n: 60_000, k: 4, iters: 5 };
+    let t = std::time::Instant::now();
+    let cape = run_cape(&w, &CapeConfig::cape32k());
+    eprintln!("kmeans 60k @32k: {:?} wall, {} cycles", t.elapsed(), cape.report.cycles);
+    assert_eq!(cape.digest, w.run_baseline().digest);
+}

@@ -1,0 +1,62 @@
+//! Quickstart: build a CAPE machine, assemble a RISC-V vector program,
+//! run it, and inspect the report.
+//!
+//! ```text
+//! cargo run -p cape-examples --bin quickstart
+//! ```
+
+use cape_core::{CapeConfig, CapeMachine};
+use cape_isa::assemble;
+use cape_mem::MainMemory;
+
+fn main() {
+    // A small machine: 8 chains x 32 lanes = 256 vector lanes, with the
+    // full CAPE timing model (use CapeConfig::cape32k() for the paper's
+    // 32,768-lane design point).
+    let config = CapeConfig::tiny(8);
+    let mut machine = CapeMachine::new(config);
+    let mut mem = MainMemory::new();
+
+    // Inputs: two 200-element vectors.
+    let a: Vec<u32> = (0..200).collect();
+    let b: Vec<u32> = (0..200).map(|i| 1000 + i).collect();
+    mem.write_u32_slice(0x1000, &a);
+    mem.write_u32_slice(0x2000, &b);
+
+    // Standard RISC-V vector assembly, strip-mined the RVV way.
+    let program = assemble(
+        r"
+        li   s0, 200          # remaining elements
+        li   s1, 0x1000       # a
+        li   s2, 0x2000       # b
+        li   s3, 0x3000       # c
+        loop:
+          vsetvli t0, s0, e32, m1
+          vle32.v v1, (s1)
+          vle32.v v2, (s2)
+          vadd.vv v3, v1, v2
+          vse32.v v3, (s3)
+          sub  s0, s0, t0
+          slli t1, t0, 2
+          add  s1, s1, t1
+          add  s2, s2, t1
+          add  s3, s3, t1
+          bnez s0, loop
+        halt
+    ",
+    )
+    .expect("assembles");
+
+    let report = machine.run(&program, &mut mem).expect("runs");
+
+    let c = mem.read_u32_slice(0x3000, 200);
+    assert!(c.iter().enumerate().all(|(i, &v)| v == a[i] + b[i]));
+    println!("c[0..6]           = {:?}", &c[..6]);
+    println!("cycles            = {}", report.cycles);
+    println!("time              = {:.3} us", report.time_ms() * 1000.0);
+    println!("vector instrs     = {}", report.cp.vector);
+    println!("CSB microops      = {}", report.microops.total());
+    println!("CSB energy        = {:.3} uJ", report.csb_energy_uj);
+    println!("HBM read/written  = {} / {} bytes", report.hbm_bytes_read, report.hbm_bytes_written);
+    println!("op intensity      = {:.3} ops/byte", report.intensity());
+}

@@ -1,0 +1,5 @@
+//! Cross-crate integration tests for the CAPE system live in `tests/`.
+//!
+//! This crate intentionally exports nothing; it exists so the workspace
+//! has a single home for tests that span `cape-csb` → `cape-core` →
+//! `cape-workloads`.

@@ -1,0 +1,133 @@
+//! Whole-system tests: assembly text in, verified memory out.
+
+use cape_core::{CapeConfig, CapeMachine};
+use cape_isa::{assemble, Program};
+use cape_mem::MainMemory;
+
+fn run(config: CapeConfig, src: &str, setup: impl FnOnce(&mut MainMemory)) -> MainMemory {
+    let mut machine = CapeMachine::new(config);
+    let mut mem = MainMemory::new();
+    setup(&mut mem);
+    let prog = assemble(src).expect("assembles");
+    machine.run(&prog, &mut mem).expect("runs");
+    mem
+}
+
+#[test]
+fn saxpy_like_kernel_is_exact() {
+    let src = r"
+        li   s0, 500
+        li   s1, 0x1000
+        li   s2, 0x2000
+        li   s3, 0x3000
+        li   s4, 7          # scalar multiplier
+        loop:
+          vsetvli t0, s0
+          vle32.v v1, (s1)
+          vmul.vx v3, v1, s4
+          vle32.v v2, (s2)
+          vadd.vv v4, v3, v2
+          vse32.v v4, (s3)
+          sub s0, s0, t0
+          slli t1, t0, 2
+          add s1, s1, t1
+          add s2, s2, t1
+          add s3, s3, t1
+          bnez s0, loop
+        halt
+    ";
+    let a: Vec<u32> = (0..500u32).map(|i| i.wrapping_mul(2_654_435_761)).collect();
+    let b: Vec<u32> = (0..500u32).map(|i| i ^ 0xFFFF_0000).collect();
+    let (ac, bc) = (a.clone(), b.clone());
+    let mem = run(CapeConfig::tiny(4), src, move |m| {
+        m.write_u32_slice(0x1000, &ac);
+        m.write_u32_slice(0x2000, &bc);
+    });
+    for i in 0..500 {
+        let want = a[i].wrapping_mul(7).wrapping_add(b[i]);
+        assert_eq!(mem.read_u32(0x3000 + (i as u64) * 4), want, "element {i}");
+    }
+}
+
+#[test]
+fn results_are_identical_across_csb_sizes() {
+    // The same program must produce the same answers regardless of how
+    // many chains the machine has (vector-length agnosticism).
+    let src = r"
+        li   s0, 300
+        li   s1, 0x1000
+        li   s3, 0x3000
+        li   s4, 0
+        loop:
+          vsetvli t0, s0
+          vle32.v v1, (s1)
+          vmslt.vx v2, v1, s4   # negative elements (signed)
+          vcpop.m t2, v2
+          add s5, s5, t2
+          sub s0, s0, t0
+          slli t1, t0, 2
+          add s1, s1, t1
+          bnez s0, loop
+        sw s5, 0(s3)
+        halt
+    ";
+    let data: Vec<u32> = (0..300u32).map(|i| i.wrapping_mul(0x9E37_79B9)).collect();
+    let mut results = Vec::new();
+    for chains in [1usize, 2, 4, 16] {
+        let d = data.clone();
+        let mem = run(CapeConfig::tiny(chains), src, move |m| {
+            m.write_u32_slice(0x1000, &d);
+        });
+        results.push(mem.read_u32(0x3000));
+    }
+    let want = data.iter().filter(|&&x| (x as i32) < 0).count() as u32;
+    assert!(results.iter().all(|&r| r == want), "{results:?} vs {want}");
+}
+
+#[test]
+fn runs_are_deterministic() {
+    let w = cape_workloads::phoenix::Kmeans { n: 200, k: 3, iters: 2 };
+    let r1 = cape_workloads::run_cape(&w, &CapeConfig::tiny(4));
+    let r2 = cape_workloads::run_cape(&w, &CapeConfig::tiny(4));
+    assert_eq!(r1.digest, r2.digest);
+    assert_eq!(r1.report.cycles, r2.report.cycles);
+    assert_eq!(r1.report.microops, r2.report.microops);
+}
+
+#[test]
+fn binary_roundtrip_of_a_whole_workload_program() {
+    // Encode a real workload program to machine words and decode it back.
+    let w = cape_workloads::phoenix::Matmul { n: 8 };
+    let mut mem = MainMemory::new();
+    let prog = {
+        use cape_workloads::Workload;
+        w.cape_setup(&mut mem)
+    };
+    let words = prog.encode();
+    let back = Program::decode(&words).expect("decodes");
+    assert_eq!(back, prog);
+}
+
+#[test]
+fn larger_csb_is_never_slower_on_data_parallel_work() {
+    let w = cape_workloads::micro::Vvadd { n: 3000 };
+    let small = cape_workloads::run_cape(&w, &CapeConfig::tiny(2));
+    let big = cape_workloads::run_cape(&w, &CapeConfig::tiny(32));
+    assert_eq!(small.digest, big.digest);
+    assert!(
+        big.report.cycles <= small.report.cycles,
+        "32 chains ({}) must beat 2 chains ({})",
+        big.report.cycles,
+        small.report.cycles
+    );
+}
+
+#[test]
+fn vector_engine_reports_busy_cycles() {
+    let w = cape_workloads::micro::DotProd { n: 1000 };
+    let run = cape_workloads::run_cape(&w, &CapeConfig::tiny(4));
+    assert!(run.report.cp.vector_busy_cycles > 0);
+    assert!(run.report.cp.vector > 0);
+    assert!(run.report.vcu_cycles > 0);
+    assert!(run.report.vmu_cycles > 0);
+}

@@ -1,0 +1,56 @@
+//! Every workload's CAPE program must produce bit-identical results to
+//! its native baseline kernel, across machine sizes.
+
+use cape_core::CapeConfig;
+use cape_workloads::{micro, phoenix, run_cape};
+
+#[test]
+fn micro_suite_is_equivalent_on_two_machine_sizes() {
+    for w in micro::suite(800) {
+        for chains in [2usize, 8] {
+            let cape = run_cape(w.as_ref(), &CapeConfig::tiny(chains));
+            let base = w.run_baseline();
+            assert_eq!(
+                cape.digest,
+                base.digest,
+                "{} diverged on {chains} chains",
+                w.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn phoenix_suite_is_equivalent_on_two_machine_sizes() {
+    for w in phoenix::tiny_suite() {
+        for chains in [4usize, 16] {
+            let cape = run_cape(w.as_ref(), &CapeConfig::tiny(chains));
+            let base = w.run_baseline();
+            assert_eq!(
+                cape.digest,
+                base.digest,
+                "{} diverged on {chains} chains",
+                w.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn baselines_expose_nonzero_profiles() {
+    for w in phoenix::tiny_suite() {
+        let b = w.run_baseline();
+        assert!(b.report.instructions > 0, "{}", w.name());
+        assert!(
+            (0.0..=1.0).contains(&b.parallel_fraction),
+            "{} parallel fraction",
+            w.name()
+        );
+        let s = b.simd;
+        assert!(
+            s.vec_ops + s.vec_mul_ops + s.vec_red_ops + s.scalar_ops > 0,
+            "{} SIMD profile is empty",
+            w.name()
+        );
+    }
+}

@@ -1,0 +1,115 @@
+//! End-to-end tests of sub-32-bit element support (Section V-A) through
+//! the full machine, plus a realistic e8 use case: image thresholding.
+
+use cape_core::{CapeConfig, CapeMachine};
+use cape_isa::assemble;
+use cape_mem::MainMemory;
+
+fn run(src: &str, setup: impl FnOnce(&mut MainMemory)) -> (MainMemory, cape_core::RunReport) {
+    let mut machine = CapeMachine::new(CapeConfig::tiny(4));
+    let mut mem = MainMemory::new();
+    setup(&mut mem);
+    let prog = assemble(src).expect("assembles");
+    let report = machine.run(&prog, &mut mem).expect("runs");
+    (mem, report)
+}
+
+#[test]
+fn e8_image_threshold_pipeline() {
+    // Binarize an 8-bit image at a threshold: vmsltu.vx + vmerge, all at
+    // SEW=8 — the paper's narrow-element configuration on a workload
+    // where it genuinely applies (pixels are bytes).
+    let pixels: Vec<u32> = (0..300u32).map(|i| (i * 37) % 256).collect();
+    let src = r"
+        li   s0, 300
+        li   s1, 0x1000
+        li   s3, 0x9000
+        li   s4, 128          # threshold
+        li   s5, 255
+        loop:
+          vsetvli t0, s0, e8, m1
+          vle32.v v1, (s1)
+          vmsltu.vx v0, v1, s4   # below-threshold mask
+          vmv.v.x v2, zero
+          vmv.v.x v3, s5
+          vmerge.vvm v4, v3, v2, v0  # below -> 0, else -> 255
+          vse32.v v4, (s3)
+          sub  s0, s0, t0
+          slli t1, t0, 2
+          add  s1, s1, t1
+          add  s3, s3, t1
+          bnez s0, loop
+        halt
+    ";
+    let px = pixels.clone();
+    let (mem, report) = run(src, move |m| m.write_u32_slice(0x1000, &px));
+    let out = mem.read_u32_slice(0x9000, 300);
+    for (i, (&got, &p)) in out.iter().zip(&pixels).enumerate() {
+        let want = if p < 128 { 0 } else { 255 };
+        assert_eq!(got, want, "pixel {i} = {p}");
+    }
+    assert!(report.cycles > 0);
+}
+
+#[test]
+fn e16_dot_product_matches_mod_65536() {
+    let a: Vec<u32> = (0..200u32).map(|i| i % 251).collect();
+    let b: Vec<u32> = (0..200u32).map(|i| (i * 7) % 241).collect();
+    let src = r"
+        li   s0, 200
+        li   s1, 0x1000
+        li   s2, 0x40000
+        vsetvli t0, s0, e16, m1
+        vmv.v.x v6, zero
+        loop:
+          vsetvli t0, s0, e16, m1
+          vle32.v v1, (s1)
+          vle32.v v2, (s2)
+          vmul.vv v3, v1, v2
+          vredsum.vs v6, v3, v6
+          sub  s0, s0, t0
+          slli t1, t0, 2
+          add  s1, s1, t1
+          add  s2, s2, t1
+          bnez s0, loop
+        vmv.x.s t5, v6
+        li   a0, 0x90000
+        sw   t5, 0(a0)
+        halt
+    ";
+    let (ac, bc) = (a.clone(), b.clone());
+    let (mem, _) = run(src, move |m| {
+        m.write_u32_slice(0x1000, &ac);
+        m.write_u32_slice(0x40000, &bc);
+    });
+    let want = a
+        .iter()
+        .zip(&b)
+        .fold(0u16, |s, (&x, &y)| s.wrapping_add((x as u16).wrapping_mul(y as u16)));
+    assert_eq!(mem.read_u32(0x90000), u32::from(want));
+}
+
+#[test]
+fn sew_switch_mid_program_is_honored() {
+    // Compute at e8, then recompute the same data at e32: results differ
+    // exactly by the wrap width.
+    let src = r"
+        li   t0, 4
+        li   a0, 0x1000
+        vsetvli t1, t0, e8, m1
+        vle32.v v1, (a0)
+        vadd.vv v2, v1, v1
+        li   a1, 0x2000
+        vse32.v v2, (a1)
+        vsetvli t1, t0, e32, m1
+        vadd.vv v3, v1, v1
+        li   a2, 0x3000
+        vse32.v v3, (a2)
+        halt
+    ";
+    let (mem, _) = run(src, |m| m.write_u32_slice(0x1000, &[200, 100, 130, 7]));
+    assert_eq!(mem.read_u32_slice(0x2000, 4), vec![144, 200, 4, 14]); // mod 256
+    // The e32 pass reads the register reloaded? v1 was loaded once; its
+    // stored cells hold the full 32-bit values, so e32 doubling is exact.
+    assert_eq!(mem.read_u32_slice(0x3000, 4), vec![400, 200, 260, 14]);
+}

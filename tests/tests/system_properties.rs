@@ -1,0 +1,86 @@
+//! Property-based tests over the whole machine: random data through real
+//! RISC-V vector programs must match native semantics.
+
+use cape_core::{CapeConfig, CapeMachine};
+use cape_isa::{Program, Reg, VReg};
+use cape_mem::MainMemory;
+use proptest::prelude::*;
+
+fn machine() -> CapeMachine {
+    CapeMachine::new(CapeConfig::tiny(3))
+}
+
+/// Builds the canonical strip-mined two-input kernel for one vv op.
+fn two_input_program(n: usize, op: cape_isa::VAluOp) -> Program {
+    let mut p = Program::builder();
+    p.li(Reg::S0, n as i64);
+    p.li(Reg::S1, 0x1000);
+    p.li(Reg::S2, 0x40000);
+    p.li(Reg::S3, 0x80000);
+    p.label("loop");
+    p.vsetvli(Reg::T0, Reg::S0);
+    p.vle32(VReg::V1, Reg::S1);
+    p.vle32(VReg::V2, Reg::S2);
+    p.vop_vv(op, VReg::V3, VReg::V1, VReg::V2);
+    p.vse32(VReg::V3, Reg::S3);
+    p.sub(Reg::S0, Reg::S0, Reg::T0);
+    p.slli(Reg::T1, Reg::T0, 2);
+    p.add(Reg::S1, Reg::S1, Reg::T1);
+    p.add(Reg::S2, Reg::S2, Reg::T1);
+    p.add(Reg::S3, Reg::S3, Reg::T1);
+    p.bnez(Reg::S0, "loop");
+    p.halt();
+    p.build().expect("builds")
+}
+
+fn data() -> impl Strategy<Value = (Vec<u32>, Vec<u32>)> {
+    (1usize..200).prop_flat_map(|n| {
+        (
+            proptest::collection::vec(any::<u32>(), n),
+            proptest::collection::vec(any::<u32>(), n),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn vector_programs_match_native_semantics((a, b) in data()) {
+        use cape_isa::VAluOp;
+        let cases: [(VAluOp, fn(u32, u32) -> u32); 5] = [
+            (VAluOp::Add, |x, y| x.wrapping_add(y)),
+            (VAluOp::Sub, |x, y| x.wrapping_sub(y)),
+            (VAluOp::Mul, |x, y| x.wrapping_mul(y)),
+            (VAluOp::Xor, |x, y| x ^ y),
+            (VAluOp::And, |x, y| x & y),
+        ];
+        for (op, f) in cases {
+            let mut m = machine();
+            let mut mem = MainMemory::new();
+            mem.write_u32_slice(0x1000, &a);
+            mem.write_u32_slice(0x40000, &b);
+            let prog = two_input_program(a.len(), op);
+            m.run(&prog, &mut mem).expect("runs");
+            let got = mem.read_u32_slice(0x80000, a.len());
+            let want: Vec<u32> = a.iter().zip(&b).map(|(&x, &y)| f(x, y)).collect();
+            prop_assert_eq!(got, want, "op {:?}", op);
+        }
+    }
+
+    #[test]
+    fn cycle_counts_are_positive_and_traffic_is_accounted((a, b) in data()) {
+        let mut m = machine();
+        let mut mem = MainMemory::new();
+        mem.write_u32_slice(0x1000, &a);
+        mem.write_u32_slice(0x40000, &b);
+        let prog = two_input_program(a.len(), cape_isa::VAluOp::Add);
+        let report = m.run(&prog, &mut mem).expect("runs");
+        prop_assert!(report.cycles > 0);
+        // Two input streams + one output stream of n words each.
+        prop_assert_eq!(report.hbm_bytes_read, 2 * 4 * a.len() as u64);
+        prop_assert_eq!(report.hbm_bytes_written, 4 * a.len() as u64);
+        prop_assert_eq!(report.lane_ops, a.len() as u64);
+        prop_assert!(report.csb_energy_uj > 0.0);
+    }
+}

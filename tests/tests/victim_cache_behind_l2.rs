@@ -1,0 +1,79 @@
+//! Section VII's third memory-only mode, exercised in context: a CAPE
+//! tile emulating a victim cache behind an L2. On an L2 miss the
+//! controller probes the CAPE tile concurrently with the next level
+//! (the paper's description); evicted L2 lines are inserted as victims.
+
+use cape_csb::CsbGeometry;
+use cape_mem::{Cache, CacheConfig};
+use cape_memmode::VictimCache;
+
+/// A small L2 so the test working set thrashes it: 16 KiB, 4-way, 64 B.
+fn small_l2() -> Cache {
+    Cache::new(CacheConfig { size_bytes: 16 * 1024, ways: 4, line_bytes: 64, latency: 14 })
+}
+
+/// Drives a line-address trace through L2(+victim). Returns the number
+/// of accesses that had to go to the next memory level.
+fn run_trace(trace: &[u64], victim: Option<&mut VictimCache>) -> u64 {
+    let mut l2 = small_l2();
+    let mut memory_fetches = 0;
+    match victim {
+        None => {
+            for &addr in trace {
+                if !l2.access(addr, false) {
+                    memory_fetches += 1;
+                }
+            }
+        }
+        Some(vc) => {
+            for &addr in trace {
+                if !l2.access(addr, false) {
+                    let block = (addr / 64) as u32;
+                    if vc.probe(block).is_none() {
+                        memory_fetches += 1;
+                    }
+                    // The line now lives in L2; a displaced line becomes a
+                    // victim. (We approximate the victim as the probed
+                    // block's set neighbour by inserting every refill —
+                    // the CP-managed tile tolerates duplicates.)
+                    vc.insert(block, &[block; 16]);
+                }
+            }
+        }
+    }
+    memory_fetches
+}
+
+#[test]
+fn victim_tile_recovers_l2_thrash_misses() {
+    // A cyclic working set of 512 lines (32 KiB): twice the 16 KiB L2, but
+    // comfortably within a 16-chain CAPE victim tile (512 lines).
+    let lines: Vec<u64> = (0..512u64).map(|i| i * 64).collect();
+    let mut trace = Vec::new();
+    for _ in 0..8 {
+        trace.extend_from_slice(&lines);
+    }
+    let without = run_trace(&trace, None);
+    let mut vc = VictimCache::new(CsbGeometry::new(16)); // 512 lines
+    let with = run_trace(&trace, Some(&mut vc));
+    assert!(
+        with * 3 < without,
+        "victim tile must absorb most thrash misses: {with} vs {without}"
+    );
+    assert!(vc.hits() > 0);
+    // Cold misses can never be recovered.
+    assert!(with >= 512);
+}
+
+#[test]
+fn victim_tile_does_not_help_streaming() {
+    // A pure stream never revisits lines: the victim tile stays useless,
+    // matching the intuition that it only pays off for re-referenced
+    // evictions.
+    let trace: Vec<u64> = (0..4096u64).map(|i| i * 64).collect();
+    let without = run_trace(&trace, None);
+    let mut vc = VictimCache::new(CsbGeometry::new(16));
+    let with = run_trace(&trace, Some(&mut vc));
+    assert_eq!(with, without, "no reuse, no benefit");
+    assert_eq!(vc.hits(), 0);
+}
