@@ -31,7 +31,10 @@ impl MulticoreModel {
             (0.0..=1.0).contains(&parallel_fraction),
             "parallel fraction must be in [0, 1]"
         );
-        Self { parallel_fraction, sync_overhead: 0.01 }
+        Self {
+            parallel_fraction,
+            sync_overhead: 0.01,
+        }
     }
 
     /// Time in milliseconds on `cores` cores, given the single-core

@@ -225,14 +225,12 @@ impl OooCore {
             .max(self.mul_ops.div_ceil(u64::from(c.mul_units)))
             .max((self.loads + self.stores).div_ceil(u64::from(c.mem_units)))
             .max(self.branches.div_ceil(u64::from(c.branch_units)));
-        let branch_stalls =
-            (self.branches as f64 * c.mispredict_rate * c.branch_penalty) as u64;
+        let branch_stalls = (self.branches as f64 * c.mispredict_rate * c.branch_penalty) as u64;
         let miss_cycles = (self.mem_latency_cycles as f64 / c.mlp
             + self.mid_latency_cycles as f64 / (c.mlp * 4.0)) as u64;
         let line_bytes = 512u64; // L3 line / memory transfer granule
         let memory_bytes = self.caches.memory_fetches() * line_bytes;
-        let bandwidth_cycles =
-            (memory_bytes as f64 / c.mem_gbps * c.freq_ghz) as u64;
+        let bandwidth_cycles = (memory_bytes as f64 / c.mem_gbps * c.freq_ghz) as u64;
         let dependency_cycles = (self.rmw_ops as f64 * c.rmw_dep_cycles) as u64;
         let cycles = issue_cycles
             .max(unit_cycles + branch_stalls)
@@ -267,7 +265,11 @@ mod tests {
         let r = core.finish();
         // 8M int ops over 4 units = 2M cycles minimum.
         assert!(r.cycles >= 2_000_000);
-        assert!(matches!(r.bound_by(), "functional-units" | "issue"), "{}", r.bound_by());
+        assert!(
+            matches!(r.bound_by(), "functional-units" | "issue"),
+            "{}",
+            r.bound_by()
+        );
     }
 
     #[test]
@@ -279,7 +281,11 @@ mod tests {
         }
         core.op(1024 * 1024);
         let r = core.finish();
-        assert!(matches!(r.bound_by(), "bandwidth" | "miss-latency"), "{}", r.bound_by());
+        assert!(
+            matches!(r.bound_by(), "bandwidth" | "miss-latency"),
+            "{}",
+            r.bound_by()
+        );
         assert!(r.memory_bytes >= 64 * 1024 * 1024);
     }
 

@@ -84,27 +84,40 @@ impl SveModel {
     /// The memory-bound component is unchanged (same cache hierarchy,
     /// same traffic); the compute component shrinks by the SIMD
     /// throughput; reductions pay a log2(lanes) shuffle factor.
-    pub fn cycles(&self, profile: &SimdProfile, scalar_run: &BaselineReport, width: SveWidth) -> u64 {
+    pub fn cycles(
+        &self,
+        profile: &SimdProfile,
+        scalar_run: &BaselineReport,
+        width: SveWidth,
+    ) -> u64 {
         let lanes = width.lanes();
-        let tput = ((lanes * self.simd_units) as f64 * self.vectorization_efficiency)
-            .max(1.0) as u64; // sustained element ops per cycle
+        let tput =
+            ((lanes * self.simd_units) as f64 * self.vectorization_efficiency).max(1.0) as u64; // sustained element ops per cycle
         let vec_cycles = profile.vec_ops.div_ceil(tput)
             + profile.vec_mul_ops.div_ceil(tput) * 2 // multiplies: 2x occupancy
             + reduction_cycles(profile.vec_red_ops, lanes, self.simd_units);
-        let scalar_cycles = profile
-            .scalar_ops
-            .div_ceil(u64::from(self.core.int_units));
+        let scalar_cycles = profile.scalar_ops.div_ceil(u64::from(self.core.int_units));
         let mem_cycles = scalar_run.miss_cycles.max(scalar_run.bandwidth_cycles);
         (vec_cycles + scalar_cycles).max(mem_cycles).max(1)
     }
 
     /// Time in milliseconds.
-    pub fn time_ms(&self, profile: &SimdProfile, scalar_run: &BaselineReport, width: SveWidth) -> f64 {
+    pub fn time_ms(
+        &self,
+        profile: &SimdProfile,
+        scalar_run: &BaselineReport,
+        width: SveWidth,
+    ) -> f64 {
         self.cycles(profile, scalar_run, width) as f64 / (self.core.freq_ghz * 1e6)
     }
 
     /// Speedup over the scalar-only run of the same kernel.
-    pub fn speedup(&self, profile: &SimdProfile, scalar_run: &BaselineReport, width: SveWidth) -> f64 {
+    pub fn speedup(
+        &self,
+        profile: &SimdProfile,
+        scalar_run: &BaselineReport,
+        width: SveWidth,
+    ) -> f64 {
         scalar_run.cycles as f64 / self.cycles(profile, scalar_run, width) as f64
     }
 }
@@ -133,7 +146,10 @@ mod tests {
 
     #[test]
     fn wider_vectors_are_faster_on_vectorizable_code() {
-        let p = SimdProfile { vec_ops: 10_000_000, ..Default::default() };
+        let p = SimdProfile {
+            vec_ops: 10_000_000,
+            ..Default::default()
+        };
         let run = scalar_run(10_000_000);
         let m = SveModel::default();
         let s128 = m.speedup(&p, &run, SveWidth::W128);
@@ -145,7 +161,11 @@ mod tests {
 
     #[test]
     fn scalar_tail_caps_simd_speedup() {
-        let p = SimdProfile { vec_ops: 5_000_000, scalar_ops: 5_000_000, ..Default::default() };
+        let p = SimdProfile {
+            vec_ops: 5_000_000,
+            scalar_ops: 5_000_000,
+            ..Default::default()
+        };
         let run = scalar_run(10_000_000);
         let s = SveModel::default().speedup(&p, &run, SveWidth::W512);
         assert!(s < 2.1, "Amdahl bound violated: {s}");
@@ -159,15 +179,24 @@ mod tests {
         }
         core.op(2_000_000);
         let run = core.finish();
-        let p = SimdProfile { vec_ops: 2_000_000, ..Default::default() };
+        let p = SimdProfile {
+            vec_ops: 2_000_000,
+            ..Default::default()
+        };
         let s = SveModel::default().speedup(&p, &run, SveWidth::W512);
         assert!(s < 1.5, "memory-bound SIMD speedup {s}");
     }
 
     #[test]
     fn reductions_pay_shuffle_tails() {
-        let p_red = SimdProfile { vec_red_ops: 1_000_000, ..Default::default() };
-        let p_vert = SimdProfile { vec_ops: 1_000_000, ..Default::default() };
+        let p_red = SimdProfile {
+            vec_red_ops: 1_000_000,
+            ..Default::default()
+        };
+        let p_vert = SimdProfile {
+            vec_ops: 1_000_000,
+            ..Default::default()
+        };
         let run = scalar_run(1_000_000);
         let m = SveModel::default();
         assert!(

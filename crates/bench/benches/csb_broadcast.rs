@@ -1,0 +1,98 @@
+//! Per-microop vs program-granularity broadcast throughput.
+//!
+//! The PR 2 tentpole: compiling a vector instruction once and fanning the
+//! whole microop program out over the persistent worker pool should beat
+//! re-broadcasting (and re-deriving) each microop individually. This
+//! bench measures whole `vadd.vv` executions through both sequencer paths
+//! at 1k/2k/4k chains, plus the bulk transposed vector I/O against the
+//! per-element path it replaced.
+
+use cape_csb::{Csb, CsbGeometry};
+use cape_ucode::{CompiledOp, Sequencer, VectorOp};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+const VADD: VectorOp = VectorOp::Add {
+    vd: 3,
+    vs1: 1,
+    vs2: 2,
+};
+
+fn csb(chains: usize) -> Csb {
+    let mut csb = Csb::new(CsbGeometry::new(chains));
+    let vals: Vec<u32> = (0..csb.max_vl())
+        .map(|e| (e as u32).wrapping_mul(2_654_435_761))
+        .collect();
+    csb.write_vector(1, &vals);
+    csb.write_vector(2, &vals);
+    csb.set_active_window(0, csb.max_vl());
+    csb
+}
+
+fn bench_vadd_paths(c: &mut Criterion) {
+    let mut g = c.benchmark_group("vadd");
+    g.sample_size(10);
+    for chains in [1024usize, 2048, 4096] {
+        let compiled = CompiledOp::compile(&VADD, 32);
+        let mut per_op = csb(chains);
+        g.bench_with_input(BenchmarkId::new("per_microop", chains), &chains, |b, _| {
+            b.iter(|| Sequencer::new(&mut per_op).run_per_op(&compiled))
+        });
+        let mut program = csb(chains);
+        g.bench_with_input(BenchmarkId::new("program", chains), &chains, |b, _| {
+            b.iter(|| Sequencer::new(&mut program).run_program(&compiled))
+        });
+    }
+    g.finish();
+}
+
+fn bench_masked_window(c: &mut Criterion) {
+    // Partially-masked windows must still engage the pool (the old
+    // threaded-path guard fell back to serial whenever any chain idled).
+    let mut g = c.benchmark_group("vadd_masked");
+    g.sample_size(10);
+    let chains = 4096usize;
+    let compiled = CompiledOp::compile(&VADD, 32);
+    let mut m = csb(chains);
+    let vl = m.max_vl() - 5000;
+    m.set_active_window(3, vl);
+    g.bench_with_input(BenchmarkId::new("program", chains), &chains, |b, _| {
+        b.iter(|| Sequencer::new(&mut m).run_program(&compiled))
+    });
+    g.finish();
+}
+
+fn bench_vector_io(c: &mut Criterion) {
+    let mut g = c.benchmark_group("vector_io");
+    g.sample_size(10);
+    for chains in [1024usize, 4096] {
+        let mut m = csb(chains);
+        let n = m.max_vl();
+        let vals: Vec<u32> = (0..n).map(|e| e as u32 ^ 0xA5A5_5A5A).collect();
+        g.bench_with_input(BenchmarkId::new("bulk_write", chains), &chains, |b, _| {
+            b.iter(|| m.write_vector(4, &vals))
+        });
+        g.bench_with_input(BenchmarkId::new("bulk_read", chains), &chains, |b, _| {
+            b.iter(|| m.read_vector(4, n))
+        });
+        g.bench_with_input(
+            BenchmarkId::new("per_element_write", chains),
+            &chains,
+            |b, _| {
+                b.iter(|| {
+                    for (e, &v) in vals.iter().enumerate() {
+                        m.write_element(5, e, v);
+                    }
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_vadd_paths,
+    bench_masked_window,
+    bench_vector_io
+);
+criterion_main!(benches);

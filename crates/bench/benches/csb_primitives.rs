@@ -44,8 +44,18 @@ fn bench_update_and_reduce(c: &mut Criterion) {
         let mut m = csb(chains);
         let upd = MicroOp::Update {
             writes: vec![
-                WriteSpec { subarray: 3, row: 2, value: true, cols: ColSel::Tags(3) },
-                WriteSpec { subarray: 4, row: 32, value: true, cols: ColSel::Tags(3) },
+                WriteSpec {
+                    subarray: 3,
+                    row: 2,
+                    value: true,
+                    cols: ColSel::Tags(3),
+                },
+                WriteSpec {
+                    subarray: 4,
+                    row: 32,
+                    value: true,
+                    cols: ColSel::Tags(3),
+                },
             ],
         };
         g.bench_with_input(BenchmarkId::new("update_prop", chains), &chains, |b, _| {
@@ -70,5 +80,10 @@ fn bench_element_transfer(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_search, bench_update_and_reduce, bench_element_transfer);
+criterion_group!(
+    benches,
+    bench_search,
+    bench_update_and_reduce,
+    bench_element_transfer
+);
 criterion_main!(benches);

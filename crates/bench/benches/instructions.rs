@@ -15,13 +15,56 @@ fn prepared() -> Csb {
 
 fn bench_instructions(c: &mut Criterion) {
     let cases = [
-        ("vadd_vv", VectorOp::Add { vd: 3, vs1: 1, vs2: 2 }),
-        ("vmul_vv", VectorOp::Mul { vd: 3, vs1: 1, vs2: 2 }),
-        ("vand_vv", VectorOp::And { vd: 3, vs1: 1, vs2: 2 }),
-        ("vmseq_vx", VectorOp::MseqScalar { vd: 3, vs1: 1, rs: 42 }),
-        ("vmslt_vv", VectorOp::Mslt { vd: 3, vs1: 1, vs2: 2, signed: true }),
+        (
+            "vadd_vv",
+            VectorOp::Add {
+                vd: 3,
+                vs1: 1,
+                vs2: 2,
+            },
+        ),
+        (
+            "vmul_vv",
+            VectorOp::Mul {
+                vd: 3,
+                vs1: 1,
+                vs2: 2,
+            },
+        ),
+        (
+            "vand_vv",
+            VectorOp::And {
+                vd: 3,
+                vs1: 1,
+                vs2: 2,
+            },
+        ),
+        (
+            "vmseq_vx",
+            VectorOp::MseqScalar {
+                vd: 3,
+                vs1: 1,
+                rs: 42,
+            },
+        ),
+        (
+            "vmslt_vv",
+            VectorOp::Mslt {
+                vd: 3,
+                vs1: 1,
+                vs2: 2,
+                signed: true,
+            },
+        ),
         ("vredsum", VectorOp::RedSum { vd: 3, vs: 1 }),
-        ("vmerge", VectorOp::Merge { vd: 3, vs1: 1, vs2: 2 }),
+        (
+            "vmerge",
+            VectorOp::Merge {
+                vd: 3,
+                vs1: 1,
+                vs2: 2,
+            },
+        ),
     ];
     let mut g = c.benchmark_group("instruction");
     for (name, op) in cases {

@@ -55,5 +55,10 @@ fn bench_hbm_model(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_cache_hierarchy, bench_main_memory, bench_hbm_model);
+criterion_group!(
+    benches,
+    bench_cache_hierarchy,
+    bench_main_memory,
+    bench_hbm_model
+);
 criterion_main!(benches);

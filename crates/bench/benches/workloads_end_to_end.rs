@@ -2,7 +2,7 @@
 //! CAPE machine (program build + run + digest).
 
 use cape_core::CapeConfig;
-use cape_workloads::{micro, phoenix, run_cape, Workload};
+use cape_workloads::{micro, phoenix, run_cape};
 use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench_micro(c: &mut Criterion) {

@@ -11,9 +11,9 @@
 
 use cape_bench::{quick_scale, section, Measurement};
 use cape_core::CapeConfig;
+use cape_csb::{Csb, CsbGeometry};
 use cape_ucode::metrics::paper_row;
 use cape_ucode::VectorOpKind;
-use cape_csb::{Csb, CsbGeometry};
 use cape_ucode::{Sequencer, VectorOp};
 use cape_vcu::Vcu;
 use cape_workloads::phoenix::{Matmul, WordCount};
@@ -34,26 +34,49 @@ fn main() {
     let without = read + (n as u64) * blocks * (rows_per_block - 1) * (n as u64) * 4;
     println!("matmul n={n}: HBM reads with vlrw  = {read} B");
     println!("              HBM reads without    = {without} B (refetching replicas)");
-    println!("              traffic saved        = {:.1}x", without as f64 / read as f64);
+    println!(
+        "              traffic saved        = {:.1}x",
+        without as f64 / read as f64
+    );
 
     section("Ablation 2 — vredsum vs element-wise additions");
-    let add = paper_row(VectorOpKind::Add).expect("table row").total_cycles.eval(32);
-    let red = paper_row(VectorOpKind::RedSum).expect("table row").total_cycles.eval(32);
+    let add = paper_row(VectorOpKind::Add)
+        .expect("table row")
+        .total_cycles
+        .eval(32);
+    let red = paper_row(VectorOpKind::RedSum)
+        .expect("table row")
+        .total_cycles
+        .eval(32);
     let tree = cape_csb::ReductionTree::new(1024);
-    println!("vadd.vv: {add} cycles; vredsum.vs: {} cycles (incl. {}-stage tree)",
-        red + u64::from(tree.stages()), tree.stages());
+    println!(
+        "vadd.vv: {add} cycles; vredsum.vs: {} cycles (incl. {}-stage tree)",
+        red + u64::from(tree.stages()),
+        tree.stages()
+    );
     println!(
         "redsum advantage: {:.1}x (the paper quotes ~8x, Section V-G)",
         add as f64 / (red + u64::from(tree.stages())) as f64
     );
 
     section("Ablation 3 — command distribution vs chain count (wrdcnt)");
-    println!("{:<10} {:>10} {:>14} {:>12}", "chains", "lanes", "cmd-dist cyc", "speedup/1c");
+    println!(
+        "{:<10} {:>10} {:>14} {:>12}",
+        "chains", "lanes", "cmd-dist cyc", "speedup/1c"
+    );
     println!("{}", "-".repeat(50));
     let wc = if quick {
-        WordCount { n: 20_000, vocab: 128, top: 12 }
+        WordCount {
+            n: 20_000,
+            vocab: 128,
+            top: 12,
+        }
     } else {
-        WordCount { n: 120_000, vocab: 512, top: 24 }
+        WordCount {
+            n: 120_000,
+            vocab: 512,
+            top: 24,
+        }
     };
     for chains in [256usize, 1024, 4096] {
         let mut cfg = CapeConfig::cape32k();
@@ -75,18 +98,48 @@ fn main() {
     println!("{:<12} {:>10} {:>10} {:>10}", "instr", "e8", "e16", "e32");
     println!("{}", "-".repeat(46));
     for (name, op) in [
-        ("vadd.vv", VectorOp::Add { vd: 3, vs1: 1, vs2: 2 }),
-        ("vmul.vv", VectorOp::Mul { vd: 3, vs1: 1, vs2: 2 }),
-        ("vmseq.vx", VectorOp::MseqScalar { vd: 3, vs1: 1, rs: 42 }),
+        (
+            "vadd.vv",
+            VectorOp::Add {
+                vd: 3,
+                vs1: 1,
+                vs2: 2,
+            },
+        ),
+        (
+            "vmul.vv",
+            VectorOp::Mul {
+                vd: 3,
+                vs1: 1,
+                vs2: 2,
+            },
+        ),
+        (
+            "vmseq.vx",
+            VectorOp::MseqScalar {
+                vd: 3,
+                vs1: 1,
+                rs: 42,
+            },
+        ),
         ("vredsum.vs", VectorOp::RedSum { vd: 3, vs: 1 }),
     ] {
         let uops = |w: usize| {
             let mut csb = Csb::new(CsbGeometry::new(1));
             csb.write_vector(1, &[1, 2, 3]);
             csb.write_vector(2, &[4, 5, 6]);
-            Sequencer::with_width(&mut csb, w).execute(&op).stats.total()
+            Sequencer::with_width(&mut csb, w)
+                .execute(&op)
+                .stats
+                .total()
         };
-        println!("{:<12} {:>10} {:>10} {:>10}", name, uops(8), uops(16), uops(32));
+        println!(
+            "{:<12} {:>10} {:>10} {:>10}",
+            name,
+            uops(8),
+            uops(16),
+            uops(32)
+        );
     }
     println!("Bit-serial cost is linear (quadratic for vmul) in the element");
     println!("width, so e8 data gets a ~4x (vmul: ~16x) microop discount.");
@@ -94,12 +147,24 @@ fn main() {
     section("Ablation 5 — element interleaving vs blocked layout");
     let cfg = CapeConfig::cape32k();
     let packet_elems = u64::from(cfg.hbm.packet_bytes) / 4;
-    println!("A {}B sub-request carries {} elements.", cfg.hbm.packet_bytes, packet_elems);
-    println!("* interleaved (CAPE): consecutive elements land in {} distinct", packet_elems);
+    println!(
+        "A {}B sub-request carries {} elements.",
+        cfg.hbm.packet_bytes, packet_elems
+    );
+    println!(
+        "* interleaved (CAPE): consecutive elements land in {} distinct",
+        packet_elems
+    );
     println!("  chains -> one CSB cycle per sub-request (Section V-E).");
     let lanes_per_chain = 32u64;
     let chains_touched = packet_elems.div_ceil(lanes_per_chain);
-    println!("* blocked: the same {} elements hit only {} chains, which must", packet_elems, chains_touched);
-    println!("  each absorb {} element writes serially -> {}x slower intake.",
-        packet_elems / chains_touched, packet_elems / chains_touched);
+    println!(
+        "* blocked: the same {} elements hit only {} chains, which must",
+        packet_elems, chains_touched
+    );
+    println!(
+        "  each absorb {} element writes serially -> {}x slower intake.",
+        packet_elems / chains_touched,
+        packet_elems / chains_touched
+    );
 }

@@ -8,7 +8,11 @@ use cape_core::{CapeConfig, Roofline, RooflinePoint};
 use cape_workloads::{phoenix, run_cape};
 
 fn main() {
-    let suite = if quick_scale() { phoenix::tiny_suite() } else { phoenix::suite() };
+    let suite = if quick_scale() {
+        phoenix::tiny_suite()
+    } else {
+        phoenix::suite()
+    };
     section("Fig. 10 — Roofline placement of the Phoenix applications");
 
     for config in [CapeConfig::cape32k(), CapeConfig::cape131k()] {
@@ -34,7 +38,11 @@ fn main() {
                 p.intensity,
                 p.gops,
                 100.0 * p.efficiency(&roofline),
-                if p.is_memory_bound(&roofline) { "memory" } else { "compute" },
+                if p.is_memory_bound(&roofline) {
+                    "memory"
+                } else {
+                    "compute"
+                },
             );
         }
     }

@@ -7,16 +7,20 @@ use cape_core::CapeConfig;
 use cape_workloads::phoenix;
 
 fn main() {
-    let suite = if quick_scale() { phoenix::tiny_suite() } else { phoenix::suite() };
+    let suite = if quick_scale() {
+        phoenix::tiny_suite()
+    } else {
+        phoenix::suite()
+    };
     section("Fig. 11 — Phoenix speedups (CAPE32k vs 1 core, CAPE131k vs 2 cores)");
 
     let c32 = CapeConfig::cape32k();
     let c131 = CapeConfig::cape131k();
     println!(
-        "{:<10} {:>12} {:>12} {:>12} | {:>9} {:>9} {:>9}",
-        "app", "1-core ms", "cape32k ms", "cape131k ms", "s32k/1c", "s131k/2c", "3c/1c"
+        "{:<10} {:>12} {:>12} {:>12} | {:>9} {:>9} {:>9} {:>8}",
+        "app", "1-core ms", "cape32k ms", "cape131k ms", "s32k/1c", "s131k/2c", "3c/1c", "uc-hit"
     );
-    println!("{}", "-".repeat(84));
+    println!("{}", "-".repeat(93));
     let mut s32 = Vec::new();
     let mut s131 = Vec::new();
     for w in &suite {
@@ -30,7 +34,7 @@ fn main() {
         s32.push(sp32);
         s131.push(sp131);
         println!(
-            "{:<10} {:>12.3} {:>12.3} {:>12.3} | {:>8.1}x {:>8.1}x {:>8.2}x",
+            "{:<10} {:>12.3} {:>12.3} {:>12.3} | {:>8.1}x {:>8.1}x {:>8.2}x {:>7.1}%",
             m32.name,
             m32.baseline.report.time_ms(),
             m32.cape.report.time_ms(),
@@ -38,9 +42,10 @@ fn main() {
             sp32,
             sp131,
             three_core,
+            m32.cape.report.program_cache_hit_rate() * 100.0,
         );
     }
-    println!("{}", "-".repeat(84));
+    println!("{}", "-".repeat(93));
     println!(
         "geomean: CAPE32k {:.1}x over 1 core | CAPE131k {:.1}x over 2 cores",
         geomean(&s32),

@@ -9,7 +9,11 @@ use cape_core::CapeConfig;
 use cape_workloads::phoenix;
 
 fn main() {
-    let suite = if quick_scale() { phoenix::tiny_suite() } else { phoenix::suite() };
+    let suite = if quick_scale() {
+        phoenix::tiny_suite()
+    } else {
+        phoenix::suite()
+    };
     section("Fig. 12 — SVE SIMD speedups over scalar (vs CAPE32k)");
 
     let config = CapeConfig::cape32k();
@@ -31,7 +35,12 @@ fn main() {
         sve512_all.push(s512);
         println!(
             "{:<10} {:>8.2}x {:>8.2}x {:>8.2}x | {:>9.1}x {:>11.1}x",
-            m.name, s128, s256, s512, cape, cape / s512
+            m.name,
+            s128,
+            s256,
+            s512,
+            cape,
+            cape / s512
         );
     }
     println!("{}", "-".repeat(70));

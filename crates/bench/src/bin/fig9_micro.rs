@@ -9,7 +9,9 @@ use cape_workloads::micro;
 
 fn main() {
     let n = if quick_scale() { 20_000 } else { 200_000 };
-    section(&format!("Fig. 9 — microbenchmark speedups (n = {n}, CAPE32k vs 1 OoO core)"));
+    section(&format!(
+        "Fig. 9 — microbenchmark speedups (n = {n}, CAPE32k vs 1 OoO core)"
+    ));
 
     let config = CapeConfig::cape32k();
     let roofline = Roofline::cape(&config);
@@ -32,7 +34,11 @@ fn main() {
             s,
             point.intensity,
             point.gops,
-            if point.is_memory_bound(&roofline) { "memory" } else { "compute" },
+            if point.is_memory_bound(&roofline) {
+                "memory"
+            } else {
+                "compute"
+            },
         );
     }
     println!("{}", "-".repeat(78));

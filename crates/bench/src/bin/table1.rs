@@ -12,16 +12,57 @@ use cape_ucode::{Sequencer, VectorOp, VectorOpKind};
 
 fn measured_energy_per_lane(kind: VectorOpKind) -> Option<f64> {
     let op = match kind {
-        VectorOpKind::Add => VectorOp::Add { vd: 3, vs1: 1, vs2: 2 },
-        VectorOpKind::Sub => VectorOp::Sub { vd: 3, vs1: 1, vs2: 2 },
-        VectorOpKind::Mul => VectorOp::Mul { vd: 3, vs1: 1, vs2: 2 },
-        VectorOpKind::And => VectorOp::And { vd: 3, vs1: 1, vs2: 2 },
-        VectorOpKind::Or => VectorOp::Or { vd: 3, vs1: 1, vs2: 2 },
-        VectorOpKind::Xor => VectorOp::Xor { vd: 3, vs1: 1, vs2: 2 },
-        VectorOpKind::MseqVv => VectorOp::Mseq { vd: 3, vs1: 1, vs2: 2 },
-        VectorOpKind::MseqVx => VectorOp::MseqScalar { vd: 3, vs1: 1, rs: 42 },
-        VectorOpKind::Mslt => VectorOp::Mslt { vd: 3, vs1: 1, vs2: 2, signed: true },
-        VectorOpKind::Merge => VectorOp::Merge { vd: 3, vs1: 1, vs2: 2 },
+        VectorOpKind::Add => VectorOp::Add {
+            vd: 3,
+            vs1: 1,
+            vs2: 2,
+        },
+        VectorOpKind::Sub => VectorOp::Sub {
+            vd: 3,
+            vs1: 1,
+            vs2: 2,
+        },
+        VectorOpKind::Mul => VectorOp::Mul {
+            vd: 3,
+            vs1: 1,
+            vs2: 2,
+        },
+        VectorOpKind::And => VectorOp::And {
+            vd: 3,
+            vs1: 1,
+            vs2: 2,
+        },
+        VectorOpKind::Or => VectorOp::Or {
+            vd: 3,
+            vs1: 1,
+            vs2: 2,
+        },
+        VectorOpKind::Xor => VectorOp::Xor {
+            vd: 3,
+            vs1: 1,
+            vs2: 2,
+        },
+        VectorOpKind::MseqVv => VectorOp::Mseq {
+            vd: 3,
+            vs1: 1,
+            vs2: 2,
+        },
+        VectorOpKind::MseqVx => VectorOp::MseqScalar {
+            vd: 3,
+            vs1: 1,
+            rs: 42,
+        },
+        VectorOpKind::Mslt => VectorOp::Mslt {
+            vd: 3,
+            vs1: 1,
+            vs2: 2,
+            signed: true,
+        },
+        VectorOpKind::Merge => VectorOp::Merge {
+            vd: 3,
+            vs1: 1,
+            vs2: 2,
+        },
         VectorOpKind::RedSum => VectorOp::RedSum { vd: 3, vs: 1 },
         _ => return None,
     };
@@ -70,8 +111,8 @@ fn main() {
                 );
             }
             None => {
-                let cyc = extension_cycles(kind)
-                    .map_or("-".into(), |f| format!("{} ={}", f, f.eval(32)));
+                let cyc =
+                    extension_cycles(kind).map_or("-".into(), |f| format!("{} ={}", f, f.eval(32)));
                 println!(
                     "{:<12} {:>8} {:>8} | {:>14} {:>10} | {:>10} {:>10}",
                     format!("{kind:?}").to_lowercase(),

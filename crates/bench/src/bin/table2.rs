@@ -17,8 +17,14 @@ fn main() {
         "microop", "delay (ps)", "BS E (pJ)", "BP E (pJ)"
     );
     println!("{}", "-".repeat(60));
-    println!("{:<22} {:>10} {:>12} {:>12.1}", "read", d.read_ps, "-", bp.read_pj);
-    println!("{:<22} {:>10} {:>12} {:>12.1}", "write", d.write_ps, "-", bp.write_pj);
+    println!(
+        "{:<22} {:>10} {:>12} {:>12.1}",
+        "read", d.read_ps, "-", bp.read_pj
+    );
+    println!(
+        "{:<22} {:>10} {:>12} {:>12.1}",
+        "write", d.write_ps, "-", bp.write_pj
+    );
     println!(
         "{:<22} {:>10} {:>12.1} {:>12.1}",
         "search (4 rows)", d.search_ps, bs.search_pj, bp.search_pj
@@ -31,7 +37,10 @@ fn main() {
         "{:<22} {:>10} {:>12.1} {:>12}",
         "update w/ prop", d.update_prop_ps, bs.update_prop_pj, "-"
     );
-    println!("{:<22} {:>10} {:>12} {:>12.1}", "reduce", d.reduce_ps, "-", bp.reduce_pj);
+    println!(
+        "{:<22} {:>10} {:>12} {:>12.1}",
+        "reduce", d.reduce_ps, "-", bp.reduce_pj
+    );
     println!();
     println!(
         "cycle time: read is the critical path at {} ps (4.22 GHz), derated",
@@ -46,10 +55,38 @@ fn main() {
     );
     println!("{}", "-".repeat(66));
     let samples = [
-        ("vadd.vv", VectorOp::Add { vd: 3, vs1: 1, vs2: 2 }),
-        ("vmul.vv", VectorOp::Mul { vd: 3, vs1: 1, vs2: 2 }),
-        ("vand.vv", VectorOp::And { vd: 3, vs1: 1, vs2: 2 }),
-        ("vmseq.vx", VectorOp::MseqScalar { vd: 3, vs1: 1, rs: 7 }),
+        (
+            "vadd.vv",
+            VectorOp::Add {
+                vd: 3,
+                vs1: 1,
+                vs2: 2,
+            },
+        ),
+        (
+            "vmul.vv",
+            VectorOp::Mul {
+                vd: 3,
+                vs1: 1,
+                vs2: 2,
+            },
+        ),
+        (
+            "vand.vv",
+            VectorOp::And {
+                vd: 3,
+                vs1: 1,
+                vs2: 2,
+            },
+        ),
+        (
+            "vmseq.vx",
+            VectorOp::MseqScalar {
+                vd: 3,
+                vs1: 1,
+                rs: 7,
+            },
+        ),
         ("vredsum.vs", VectorOp::RedSum { vd: 3, vs: 1 }),
     ];
     for (name, op) in samples {
@@ -60,7 +97,12 @@ fn main() {
         let s = Sequencer::new(&mut csb).execute(&op).stats;
         println!(
             "{:<12} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",
-            name, s.searches_bs, s.searches_bp, s.updates_bs, s.updates_bp, s.updates_prop,
+            name,
+            s.searches_bs,
+            s.searches_bp,
+            s.updates_bs,
+            s.updates_bp,
+            s.updates_prop,
             s.reduces
         );
     }

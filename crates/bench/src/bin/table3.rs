@@ -23,8 +23,10 @@ fn main() {
 
     println!("\nBaseline core (out-of-order, per tile):");
     let b = OooConfig::default();
-    println!("  {}-issue @ {} GHz, 224 ROB / 72 LQ / 56 SQ (modeled as MLP {})",
-        b.issue_width, b.freq_ghz, b.mlp);
+    println!(
+        "  {}-issue @ {} GHz, 224 ROB / 72 LQ / 56 SQ (modeled as MLP {})",
+        b.issue_width, b.freq_ghz, b.mlp
+    );
     println!(
         "  {}/{}/{}/{} Int/Mul/Mem/Br units, tournament BP ({}% residual misses, {}-cycle redirect)",
         b.int_units, b.mul_units, b.mem_units, b.branch_units,
@@ -36,7 +38,10 @@ fn main() {
 
     println!("\nCAPE control processor (in-order):");
     let c32 = CapeConfig::cape32k();
-    println!("  2-issue in-order @ {} GHz, no L3 (CSB is cacheless)", c32.freq_ghz);
+    println!(
+        "  2-issue in-order @ {} GHz, no L3 (CSB is cacheless)",
+        c32.freq_ghz
+    );
     cache_line("L1", CacheConfig::l1(64));
     cache_line("L2", CacheConfig::l2(512));
 

@@ -29,11 +29,16 @@ impl Measurement {
         let cape = run_cape(workload, config);
         let baseline = workload.run_baseline();
         assert_eq!(
-            cape.digest, baseline.digest,
+            cape.digest,
+            baseline.digest,
             "{}: CAPE and baseline results diverge",
             workload.name()
         );
-        Self { name: workload.name(), cape, baseline }
+        Self {
+            name: workload.name(),
+            cape,
+            baseline,
+        }
     }
 
     /// Speedup of the CAPE run over the single-core baseline.

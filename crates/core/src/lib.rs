@@ -43,4 +43,6 @@ pub use config::CapeConfig;
 pub use machine::CapeMachine;
 pub use report::RunReport;
 pub use roofline::{Roofline, RooflinePoint};
-pub use timing::{microop_energy_pj, MicroOpEnergy, MicroOpTiming, TABLE2_BS, TABLE2_BP, TABLE2_DELAYS};
+pub use timing::{
+    microop_energy_pj, MicroOpEnergy, MicroOpTiming, TABLE2_BP, TABLE2_BS, TABLE2_DELAYS,
+};

@@ -1,11 +1,11 @@
 //! The integrated CAPE machine.
 
-use cape_cp::{Coprocessor, ControlProcessor, CpError, VectorCommit};
+use cape_cp::{ControlProcessor, Coprocessor, CpError, VectorCommit};
 use cape_csb::Csb;
 use cape_isa::{Instr, Program, Sew, VAluOp};
 use cape_mem::{Hbm, MainMemory};
 use cape_ucode::{LogicOp, VectorOp};
-use cape_vcu::Vcu;
+use cape_vcu::{ProgramCache, Vcu};
 use cape_vmu::Vmu;
 
 use crate::config::CapeConfig;
@@ -19,6 +19,10 @@ pub struct CapeMachine {
     config: CapeConfig,
     csb: Csb,
     vcu: Vcu,
+    /// Compiled microop programs, keyed by `(VectorOp, SEW)`. Persists
+    /// across runs — a warm cache models the chain controllers' TTM
+    /// staying loaded.
+    program_cache: ProgramCache,
     vmu: Vmu,
     hbm: Hbm,
     energy_pj: f64,
@@ -42,6 +46,7 @@ impl CapeMachine {
             config,
             csb: Csb::new(config.geometry()),
             vcu: Vcu::new(config.chains),
+            program_cache: ProgramCache::default(),
             vmu: Vmu::new(config.freq_ghz),
             hbm: Hbm::new(config.hbm),
             energy_pj: 0.0,
@@ -87,6 +92,9 @@ impl CapeMachine {
     /// exceeds the configured instruction budget.
     pub fn run(&mut self, program: &Program, mem: &mut MainMemory) -> Result<RunReport, CpError> {
         self.reset_counters();
+        // The cache itself stays warm across runs; the report counts this
+        // run's lookups only.
+        let (hits0, misses0) = (self.program_cache.hits(), self.program_cache.misses());
         let mut cp = ControlProcessor::new(self.config.mem_latency_cycles);
         let max = self.config.max_instructions;
         // Split borrow: the CP drives `self` as the coprocessor.
@@ -106,6 +114,8 @@ impl CapeMachine {
             lane_ops: self.lane_ops,
             vmu_cycles: self.vmu_cycles,
             vcu_cycles: self.vcu_cycles,
+            program_cache_hits: self.program_cache.hits() - hits0,
+            program_cache_misses: self.program_cache.misses() - misses0,
         })
     }
 
@@ -172,15 +182,34 @@ impl CapeMachine {
         (self.config.chains - self.csb.idle_chains()) as u64
     }
 
+    /// The VCU's microcode program cache (hit/miss observability).
+    pub fn program_cache(&self) -> &ProgramCache {
+        &self.program_cache
+    }
+
     fn run_vcu(&mut self, op: &VectorOp) -> VectorCommit {
-        let r = self.vcu.execute_sew(&mut self.csb, op, self.sew.bits());
+        let r = self.vcu.execute_sew_cached(
+            &mut self.csb,
+            op,
+            self.sew.bits(),
+            &mut self.program_cache,
+        );
         self.energy_pj += microop_energy_pj(&r.stats, self.active_chains());
         self.lane_ops += self.active_lanes();
         self.vcu_cycles += r.cycles;
-        VectorCommit { cycles: r.cycles, rd_value: r.scalar }
+        VectorCommit {
+            cycles: r.cycles,
+            rd_value: r.scalar,
+        }
     }
 
-    fn dispatch(&mut self, instr: &Instr, rs1: i64, rs2: i64, mem: &mut MainMemory) -> VectorCommit {
+    fn dispatch(
+        &mut self,
+        instr: &Instr,
+        rs1: i64,
+        rs2: i64,
+        mem: &mut MainMemory,
+    ) -> VectorCommit {
         match *instr {
             Instr::Vsetvli { sew, .. } => {
                 // Grant min(requested, VLMAX), select the element width,
@@ -197,7 +226,10 @@ impl CapeMachine {
                 let vstart = (rs1.max(0) as usize).min(self.csb.vl());
                 let vl = self.csb.vl();
                 self.csb.set_active_window(vstart, vl);
-                VectorCommit { cycles: self.vcu.cmd_dist_cycles(), rd_value: None }
+                VectorCommit {
+                    cycles: self.vcu.cmd_dist_cycles(),
+                    rd_value: None,
+                }
             }
             Instr::Vle32 { vd, .. } => {
                 let addr = rs1 as u64;
@@ -206,7 +238,10 @@ impl CapeMachine {
                     m.vmu.load(&mut m.csb, mem, &mut m.hbm, reg, addr)
                 });
                 self.vmu_cycles += cycles;
-                VectorCommit { cycles, rd_value: None }
+                VectorCommit {
+                    cycles,
+                    rd_value: None,
+                }
             }
             Instr::Vse32 { vs3, .. } => {
                 let addr = rs1 as u64;
@@ -215,7 +250,10 @@ impl CapeMachine {
                     m.vmu.store(&m.csb, mem, &mut m.hbm, reg, addr)
                 });
                 self.vmu_cycles += cycles;
-                VectorCommit { cycles, rd_value: None }
+                VectorCommit {
+                    cycles,
+                    rd_value: None,
+                }
             }
             Instr::Vlrw { vd, .. } => {
                 let chunk = rs2.max(1) as usize;
@@ -228,7 +266,10 @@ impl CapeMachine {
                     chunk,
                 );
                 self.vmu_cycles += t.cycles;
-                VectorCommit { cycles: t.cycles, rd_value: None }
+                VectorCommit {
+                    cycles: t.cycles,
+                    rd_value: None,
+                }
             }
             Instr::VOpVv { op, vd, lhs, rhs } => {
                 let (vd, vs1, vs2) = (vd.index(), lhs.index(), rhs.index());
@@ -241,12 +282,46 @@ impl CapeMachine {
                     VAluOp::Xor => VectorOp::Xor { vd, vs1, vs2 },
                     VAluOp::Mseq => VectorOp::Mseq { vd, vs1, vs2 },
                     VAluOp::Msne => VectorOp::Msne { vd, vs1, vs2 },
-                    VAluOp::Mslt => VectorOp::Mslt { vd, vs1, vs2, signed: true },
-                    VAluOp::Msltu => VectorOp::Mslt { vd, vs1, vs2, signed: false },
-                    VAluOp::Min => VectorOp::MinMax { vd, vs1, vs2, max: false, signed: true },
-                    VAluOp::Minu => VectorOp::MinMax { vd, vs1, vs2, max: false, signed: false },
-                    VAluOp::Max => VectorOp::MinMax { vd, vs1, vs2, max: true, signed: true },
-                    VAluOp::Maxu => VectorOp::MinMax { vd, vs1, vs2, max: true, signed: false },
+                    VAluOp::Mslt => VectorOp::Mslt {
+                        vd,
+                        vs1,
+                        vs2,
+                        signed: true,
+                    },
+                    VAluOp::Msltu => VectorOp::Mslt {
+                        vd,
+                        vs1,
+                        vs2,
+                        signed: false,
+                    },
+                    VAluOp::Min => VectorOp::MinMax {
+                        vd,
+                        vs1,
+                        vs2,
+                        max: false,
+                        signed: true,
+                    },
+                    VAluOp::Minu => VectorOp::MinMax {
+                        vd,
+                        vs1,
+                        vs2,
+                        max: false,
+                        signed: false,
+                    },
+                    VAluOp::Max => VectorOp::MinMax {
+                        vd,
+                        vs1,
+                        vs2,
+                        max: true,
+                        signed: true,
+                    },
+                    VAluOp::Maxu => VectorOp::MinMax {
+                        vd,
+                        vs1,
+                        vs2,
+                        max: true,
+                        signed: false,
+                    },
                 };
                 self.run_vcu(&vop)
             }
@@ -256,25 +331,74 @@ impl CapeMachine {
                     VAluOp::Add => VectorOp::AddScalar { vd, vs1, rs },
                     VAluOp::Sub => VectorOp::SubScalar { vd, vs1, rs },
                     VAluOp::Mul => VectorOp::MulScalar { vd, vs1, rs },
-                    VAluOp::And => VectorOp::LogicScalar { op: LogicOp::And, vd, vs1, rs },
-                    VAluOp::Or => VectorOp::LogicScalar { op: LogicOp::Or, vd, vs1, rs },
-                    VAluOp::Xor => VectorOp::LogicScalar { op: LogicOp::Xor, vd, vs1, rs },
+                    VAluOp::And => VectorOp::LogicScalar {
+                        op: LogicOp::And,
+                        vd,
+                        vs1,
+                        rs,
+                    },
+                    VAluOp::Or => VectorOp::LogicScalar {
+                        op: LogicOp::Or,
+                        vd,
+                        vs1,
+                        rs,
+                    },
+                    VAluOp::Xor => VectorOp::LogicScalar {
+                        op: LogicOp::Xor,
+                        vd,
+                        vs1,
+                        rs,
+                    },
                     VAluOp::Mseq => VectorOp::MseqScalar { vd, vs1, rs },
                     VAluOp::Msne => VectorOp::MsneScalar { vd, vs1, rs },
-                    VAluOp::Mslt => VectorOp::MsltScalar { vd, vs1, rs, signed: true },
-                    VAluOp::Msltu => VectorOp::MsltScalar { vd, vs1, rs, signed: false },
-                    VAluOp::Min => VectorOp::MinMaxScalar { vd, vs1, rs, max: false, signed: true },
-                    VAluOp::Minu => {
-                        VectorOp::MinMaxScalar { vd, vs1, rs, max: false, signed: false }
-                    }
-                    VAluOp::Max => VectorOp::MinMaxScalar { vd, vs1, rs, max: true, signed: true },
-                    VAluOp::Maxu => {
-                        VectorOp::MinMaxScalar { vd, vs1, rs, max: true, signed: false }
-                    }
+                    VAluOp::Mslt => VectorOp::MsltScalar {
+                        vd,
+                        vs1,
+                        rs,
+                        signed: true,
+                    },
+                    VAluOp::Msltu => VectorOp::MsltScalar {
+                        vd,
+                        vs1,
+                        rs,
+                        signed: false,
+                    },
+                    VAluOp::Min => VectorOp::MinMaxScalar {
+                        vd,
+                        vs1,
+                        rs,
+                        max: false,
+                        signed: true,
+                    },
+                    VAluOp::Minu => VectorOp::MinMaxScalar {
+                        vd,
+                        vs1,
+                        rs,
+                        max: false,
+                        signed: false,
+                    },
+                    VAluOp::Max => VectorOp::MinMaxScalar {
+                        vd,
+                        vs1,
+                        rs,
+                        max: true,
+                        signed: true,
+                    },
+                    VAluOp::Maxu => VectorOp::MinMaxScalar {
+                        vd,
+                        vs1,
+                        rs,
+                        max: true,
+                        signed: false,
+                    },
                 };
                 self.run_vcu(&vop)
             }
-            Instr::VmergeVvm { vd, on_false, on_true } => self.run_vcu(&VectorOp::Merge {
+            Instr::VmergeVvm {
+                vd,
+                on_false,
+                on_true,
+            } => self.run_vcu(&VectorOp::Merge {
                 vd: vd.index(),
                 vs1: on_true.index(),
                 vs2: on_false.index(),
@@ -283,18 +407,26 @@ impl CapeMachine {
                 // vd[0] = vs1[0] + sum(vs2): run the tree reduction, then
                 // fold in the scalar seed held in vs1[0].
                 let seed = self.csb.read_element(vs1.index(), 0);
-                let commit = self.run_vcu(&VectorOp::RedSum { vd: vd.index(), vs: vs2.index() });
+                let commit = self.run_vcu(&VectorOp::RedSum {
+                    vd: vd.index(),
+                    vs: vs2.index(),
+                });
                 let sum = commit.rd_value.unwrap_or(0) as u32;
                 let total = sum.wrapping_add(seed);
                 self.csb.write_element(vd.index(), 0, total);
-                VectorCommit { cycles: commit.cycles, rd_value: None }
+                VectorCommit {
+                    cycles: commit.cycles,
+                    rd_value: None,
+                }
             }
-            Instr::VmvVx { vd, .. } => {
-                self.run_vcu(&VectorOp::Broadcast { vd: vd.index(), rs: rs1 as u32 })
-            }
-            Instr::VmvVv { vd, vs } => {
-                self.run_vcu(&VectorOp::Mv { vd: vd.index(), vs: vs.index() })
-            }
+            Instr::VmvVx { vd, .. } => self.run_vcu(&VectorOp::Broadcast {
+                vd: vd.index(),
+                rs: rs1 as u32,
+            }),
+            Instr::VmvVv { vd, vs } => self.run_vcu(&VectorOp::Mv {
+                vd: vd.index(),
+                vs: vs.index(),
+            }),
             Instr::VrsubVx { vd, lhs, .. } => self.run_vcu(&VectorOp::RsubScalar {
                 vd: vd.index(),
                 vs1: lhs.index(),
@@ -314,7 +446,10 @@ impl CapeMachine {
                 // A single-element read: one read microop through the
                 // element path, plus command distribution.
                 let value = self.csb.read_element(vs.index(), 0);
-                self.csb.execute(&cape_csb::MicroOp::Read { subarray: 0, row: vs.index() });
+                self.csb.execute(&cape_csb::MicroOp::Read {
+                    subarray: 0,
+                    row: vs.index(),
+                });
                 VectorCommit {
                     cycles: self.vcu.cmd_dist_cycles() + 2,
                     rd_value: Some(i64::from(value)),

@@ -29,6 +29,11 @@ pub struct RunReport {
     pub vmu_cycles: u64,
     /// Cycles spent in VCU compute.
     pub vcu_cycles: u64,
+    /// Microcode program-cache hits during the run (vector instructions
+    /// whose compiled broadcast program was reused).
+    pub program_cache_hits: u64,
+    /// Microcode program-cache misses during the run (fresh compiles).
+    pub program_cache_misses: u64,
 }
 
 impl RunReport {
@@ -67,6 +72,17 @@ impl RunReport {
     pub fn speedup_over(&self, baseline_time_ms: f64) -> f64 {
         baseline_time_ms / self.time_ms()
     }
+
+    /// Fraction of vector compute instructions whose compiled program was
+    /// found in the VCU's program cache (0 when none executed).
+    pub fn program_cache_hit_rate(&self) -> f64 {
+        let total = self.program_cache_hits + self.program_cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.program_cache_hits as f64 / total as f64
+        }
+    }
 }
 
 #[cfg(test)]
@@ -85,6 +101,8 @@ mod tests {
             lane_ops,
             vmu_cycles: 0,
             vcu_cycles: 0,
+            program_cache_hits: 0,
+            program_cache_misses: 0,
         }
     }
 

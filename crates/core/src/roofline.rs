@@ -28,7 +28,10 @@ impl Roofline {
 
     /// A custom roofline (used for the baseline models).
     pub fn new(peak_gops: f64, peak_gbps: f64) -> Self {
-        Self { peak_gops, peak_gbps }
+        Self {
+            peak_gops,
+            peak_gbps,
+        }
     }
 
     /// Attainable throughput at the given operational intensity
@@ -119,8 +122,16 @@ mod tests {
     #[test]
     fn memory_bound_classification() {
         let r = Roofline::new(100.0, 10.0); // ridge at 10 ops/byte
-        let low = RooflinePoint { name: "streaming".into(), intensity: 1.0, gops: 5.0 };
-        let high = RooflinePoint { name: "compute".into(), intensity: 50.0, gops: 80.0 };
+        let low = RooflinePoint {
+            name: "streaming".into(),
+            intensity: 1.0,
+            gops: 5.0,
+        };
+        let high = RooflinePoint {
+            name: "compute".into(),
+            intensity: 50.0,
+            gops: 80.0,
+        };
         assert!(low.is_memory_bound(&r));
         assert!(!high.is_memory_bound(&r));
         assert!((low.efficiency(&r) - 0.5).abs() < 1e-9);

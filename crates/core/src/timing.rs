@@ -120,7 +120,9 @@ mod tests {
     fn derived_energy_matches_table_one_per_lane() {
         let check = |op: VectorOp, paper_pj_per_lane: f64, tolerance: f64| {
             let mut csb = Csb::new(CsbGeometry::new(1));
-            let a: Vec<u32> = (0..32u32).map(|i| i.wrapping_mul(2654435761) % 97).collect();
+            let a: Vec<u32> = (0..32u32)
+                .map(|i| i.wrapping_mul(2654435761) % 97)
+                .collect();
             csb.write_vector(1, &a);
             csb.write_vector(2, &a);
             let out = Sequencer::new(&mut csb).execute(&op);
@@ -132,10 +134,42 @@ mod tests {
             );
         };
         // Table I: vadd 8.4 pJ, vand 0.4, vxor 0.5, vmerge 0.5 per lane.
-        check(VectorOp::Add { vd: 3, vs1: 1, vs2: 2 }, 8.4, 2.0);
-        check(VectorOp::And { vd: 3, vs1: 1, vs2: 2 }, 0.4, 0.2);
-        check(VectorOp::Xor { vd: 3, vs1: 1, vs2: 2 }, 0.5, 0.2);
-        check(VectorOp::Merge { vd: 3, vs1: 1, vs2: 2 }, 0.5, 0.2);
+        check(
+            VectorOp::Add {
+                vd: 3,
+                vs1: 1,
+                vs2: 2,
+            },
+            8.4,
+            2.0,
+        );
+        check(
+            VectorOp::And {
+                vd: 3,
+                vs1: 1,
+                vs2: 2,
+            },
+            0.4,
+            0.2,
+        );
+        check(
+            VectorOp::Xor {
+                vd: 3,
+                vs1: 1,
+                vs2: 2,
+            },
+            0.5,
+            0.2,
+        );
+        check(
+            VectorOp::Merge {
+                vd: 3,
+                vs1: 1,
+                vs2: 2,
+            },
+            0.5,
+            0.2,
+        );
     }
 
     #[test]
@@ -144,19 +178,33 @@ mod tests {
         let a: Vec<u32> = (0..32).collect();
         csb.write_vector(1, &a);
         csb.write_vector(2, &a);
-        let mul = Sequencer::new(&mut csb).execute(&VectorOp::Mul { vd: 3, vs1: 1, vs2: 2 });
-        let add = Sequencer::new(&mut csb).execute(&VectorOp::Add { vd: 4, vs1: 1, vs2: 2 });
+        let mul = Sequencer::new(&mut csb).execute(&VectorOp::Mul {
+            vd: 3,
+            vs1: 1,
+            vs2: 2,
+        });
+        let add = Sequencer::new(&mut csb).execute(&VectorOp::Add {
+            vd: 4,
+            vs1: 1,
+            vs2: 2,
+        });
         let e_mul = microop_energy_pj(&mul.stats, 1);
         let e_add = microop_energy_pj(&add.stats, 1);
         // Table I: 99.9 vs 8.4 pJ/lane, a ~12x gap.
-        assert!(e_mul / e_add > 8.0, "mul/add energy ratio {}", e_mul / e_add);
+        assert!(
+            e_mul / e_add > 8.0,
+            "mul/add energy ratio {}",
+            e_mul / e_add
+        );
     }
 
     #[test]
     fn energy_scales_with_active_chains() {
         let stats = {
             let mut csb = Csb::new(CsbGeometry::new(1));
-            Sequencer::new(&mut csb).execute(&VectorOp::Broadcast { vd: 1, rs: 7 }).stats
+            Sequencer::new(&mut csb)
+                .execute(&VectorOp::Broadcast { vd: 1, rs: 7 })
+                .stats
         };
         let one = microop_energy_pj(&stats, 1);
         let thousand = microop_energy_pj(&stats, 1000);
@@ -167,10 +215,23 @@ mod tests {
     fn all_microop_delays_fit_the_cycle() {
         // 2.7 GHz -> 370 ps cycle; every Table II delay fits.
         let d = TABLE2_DELAYS;
-        for ps in [d.read_ps, d.write_ps, d.search_ps, d.update_ps, d.update_prop_ps, d.reduce_ps] {
+        for ps in [
+            d.read_ps,
+            d.write_ps,
+            d.search_ps,
+            d.update_ps,
+            d.update_prop_ps,
+            d.reduce_ps,
+        ] {
             assert!(ps <= 370.0, "{ps} ps exceeds the 2.7 GHz cycle");
         }
         // And the read is the critical path.
-        assert!(d.read_ps >= d.write_ps.max(d.search_ps).max(d.update_ps).max(d.reduce_ps));
+        assert!(
+            d.read_ps
+                >= d.write_ps
+                    .max(d.search_ps)
+                    .max(d.update_ps)
+                    .max(d.reduce_ps)
+        );
     }
 }

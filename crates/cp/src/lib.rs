@@ -196,7 +196,7 @@ impl ControlProcessor {
     ) -> Result<bool, CpError> {
         use cape_isa::Instr::*;
         let idx = (self.pc / 4) as usize;
-        if self.pc % 4 != 0 || idx >= program.len() {
+        if !self.pc.is_multiple_of(4) || idx >= program.len() {
             return Err(CpError::PcOutOfRange { pc: self.pc });
         }
         let instr = *program.instr(idx);
@@ -276,7 +276,12 @@ impl ControlProcessor {
                     self.charge(lat);
                     mem.write_u64(a, self.reg(rs2) as u64);
                 }
-                Branch { cond, rs1, rs2, offset } => {
+                Branch {
+                    cond,
+                    rs1,
+                    rs2,
+                    offset,
+                } => {
                     self.stats.branches += 1;
                     let taken = branch_taken(cond, self.reg(rs1), self.reg(rs2));
                     if taken {
@@ -388,7 +393,6 @@ fn branch_taken(cond: BranchCond, a: i64, b: i64) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cape_isa::Program;
 
     struct NullCop;
     impl Coprocessor for NullCop {
@@ -400,8 +404,14 @@ mod tests {
             _mem: &mut MainMemory,
         ) -> VectorCommit {
             match instr {
-                Instr::Vsetvli { .. } => VectorCommit { cycles: 1, rd_value: Some(rs1.min(64)) },
-                _ => VectorCommit { cycles: 100, rd_value: None },
+                Instr::Vsetvli { .. } => VectorCommit {
+                    cycles: 1,
+                    rd_value: Some(rs1.min(64)),
+                },
+                _ => VectorCommit {
+                    cycles: 100,
+                    rd_value: None,
+                },
             }
         }
     }
@@ -500,10 +510,13 @@ mod tests {
 
     #[test]
     fn back_to_back_vector_instructions_serialize() {
-        let (_, stats) = run_prog(
-            "li t0, 64\nvsetvli t1, t0\nvadd.vv v3, v1, v2\nvadd.vv v4, v1, v2\nhalt",
+        let (_, stats) =
+            run_prog("li t0, 64\nvsetvli t1, t0\nvadd.vv v3, v1, v2\nvadd.vv v4, v1, v2\nhalt");
+        assert!(
+            stats.cycles >= 200,
+            "two vector ops must serialize: {}",
+            stats.cycles
         );
-        assert!(stats.cycles >= 200, "two vector ops must serialize: {}", stats.cycles);
     }
 
     #[test]

@@ -1,0 +1,91 @@
+//! 32×32 bit-matrix transpose for bulk element transfers.
+//!
+//! An element transfer between lane-major data (one `u32` value per
+//! column) and the CSB's bit-sliced layout (one `u32` row word per
+//! subarray, bit `c` = column `c`) is exactly a 32×32 bit-matrix
+//! transpose. Doing it word-at-a-time turns the per-element, per-bit
+//! `set_bit` walk (1,024 single-bit pokes per chain) into 32 row-word
+//! accesses plus ~160 shift/xor ops.
+
+/// Transposes `a` in place: afterwards, bit `j` of `a[i]` equals bit `i`
+/// of the original `a[j]` (LSB-first in both indices).
+///
+/// Recursive block-swap scheme (Hacker's Delight §7-3), oriented for
+/// LSB-first bit numbering: at each level, the *high* half-bits of the
+/// low words trade places with the *low* half-bits of the high words.
+pub fn transpose32(a: &mut [u32; 32]) {
+    let mut j = 16;
+    let mut m: u32 = 0x0000_FFFF;
+    while j != 0 {
+        let mut k = 0;
+        while k < 32 {
+            let t = ((a[k] >> j) ^ a[k + j]) & m;
+            a[k] ^= t << j;
+            a[k + j] ^= t;
+            k = (k + j + 1) & !j;
+        }
+        j >>= 1;
+        m ^= m << j;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reference(a: &[u32; 32]) -> [u32; 32] {
+        let mut out = [0u32; 32];
+        for (i, o) in out.iter_mut().enumerate() {
+            for (j, &w) in a.iter().enumerate() {
+                *o |= ((w >> i) & 1) << j;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn matches_bitwise_reference() {
+        let mut a = [0u32; 32];
+        let mut x: u32 = 0x1234_5678;
+        for v in a.iter_mut() {
+            x = x.wrapping_mul(0x9E37_79B9).rotate_left(9);
+            *v = x;
+        }
+        let want = reference(&a);
+        let mut got = a;
+        transpose32(&mut got);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn identity_and_involution() {
+        // Identity matrix (diagonal) is its own transpose.
+        let mut diag = [0u32; 32];
+        for (i, v) in diag.iter_mut().enumerate() {
+            *v = 1 << i;
+        }
+        let mut t = diag;
+        transpose32(&mut t);
+        assert_eq!(t, diag);
+
+        // Transposing twice restores any matrix.
+        let mut a = [0u32; 32];
+        for (i, v) in a.iter_mut().enumerate() {
+            *v = (i as u32).wrapping_mul(0x85EB_CA6B) ^ 0x5A5A_5A5A;
+        }
+        let orig = a;
+        transpose32(&mut a);
+        transpose32(&mut a);
+        assert_eq!(a, orig);
+    }
+
+    #[test]
+    fn single_bit_moves_to_mirrored_position() {
+        let mut a = [0u32; 32];
+        a[3] = 1 << 17; // row 3, column 17
+        transpose32(&mut a);
+        let mut want = [0u32; 32];
+        want[17] = 1 << 3;
+        assert_eq!(a, want);
+    }
+}

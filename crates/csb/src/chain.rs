@@ -1,7 +1,9 @@
 //! A CAPE chain: 32 subarrays, tag bits, accumulators, and the tag bus.
 
+use crate::bitmat::transpose32;
 use crate::geometry::{SUBARRAYS_PER_CHAIN, SUBARRAY_COLS};
 use crate::microop::{ColSel, MicroOp, Probe, TagDest, TagMode, WriteSpec};
+use crate::program::{PlanOp, PlanProbe, PlanWrite};
 use crate::subarray::{Subarray, DATA_ROWS};
 
 /// A chain of 32 subarrays with per-subarray tag bits and accumulators.
@@ -14,7 +16,10 @@ use crate::subarray::{Subarray, DATA_ROWS};
 /// what keeps those microops fast and low-energy (Table II).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Chain {
-    subarrays: Vec<Subarray>,
+    /// Inline (not boxed): a chain is one contiguous ~4.9 KB block, so a
+    /// shard's chains form a single slab and the broadcast hot loop never
+    /// chases a heap pointer per subarray access.
+    subarrays: [Subarray; SUBARRAYS_PER_CHAIN],
     tags: [u32; SUBARRAYS_PER_CHAIN],
     acc: [u32; SUBARRAYS_PER_CHAIN],
 }
@@ -32,7 +37,7 @@ impl Chain {
     /// Creates a zero-initialized chain.
     pub fn new() -> Self {
         Self {
-            subarrays: vec![Subarray::new(); SUBARRAYS_PER_CHAIN],
+            subarrays: [Subarray::new(); SUBARRAYS_PER_CHAIN],
             tags: [0; SUBARRAYS_PER_CHAIN],
             acc: [0; SUBARRAYS_PER_CHAIN],
         }
@@ -104,15 +109,14 @@ impl Chain {
             }
             MicroOp::Update { writes } => {
                 self.check_one_row_per_subarray(writes);
-                // Snapshot the match registers first: all writes of one
-                // update happen in the same cycle, before any state change.
-                let tags = self.tags;
-                let acc = self.acc;
+                // All writes of one update happen in the same cycle, off
+                // the pre-update match registers — which holds for direct
+                // reads too, since updates write rows, never tags/acc.
                 for w in writes {
                     let cols = match w.cols {
                         ColSel::Window => window,
-                        ColSel::Tags(s) => tags[s] & window,
-                        ColSel::Acc(s) => acc[s] & window,
+                        ColSel::Tags(s) => self.tags[s] & window,
+                        ColSel::Acc(s) => self.acc[s] & window,
                     };
                     self.subarrays[w.subarray].update_row(w.row, w.value, cols);
                 }
@@ -128,9 +132,7 @@ impl Chain {
                 self.subarrays[*subarray].write_row(*row, *data, *mask & window);
                 None
             }
-            MicroOp::ReduceTags { subarray } => {
-                Some((self.tags[*subarray] & window).count_ones())
-            }
+            MicroOp::ReduceTags { subarray } => Some((self.tags[*subarray] & window).count_ones()),
             MicroOp::TagCombine { src, dst, op } => {
                 let m = self.tags[*src];
                 self.tags[*dst] = match op {
@@ -141,6 +143,117 @@ impl Chain {
                 None
             }
         }
+    }
+
+    /// Executes one *lowered* microop (see [`crate::program::lower`]).
+    ///
+    /// Semantically identical to [`Chain::execute`] on the op it was
+    /// lowered from, but with the structural validation already done at
+    /// compile time and the probe keys in branchless inline form — this is
+    /// the broadcast hot path, called once per chain per op per program.
+    pub(crate) fn execute_plan(&mut self, op: &PlanOp, window: u32) -> Option<u32> {
+        match op {
+            PlanOp::SearchOne { probe, dest, mode } => {
+                let m = self.probe_match(probe) & window;
+                self.accumulate(probe.subarray as usize, m, *dest, *mode, window);
+                None
+            }
+            PlanOp::Step {
+                probe,
+                dest,
+                mode,
+                nwrites,
+                writes,
+            } => {
+                let m = self.probe_match(probe) & window;
+                self.accumulate(probe.subarray as usize, m, *dest, *mode, window);
+                self.plan_write(&writes[0], window);
+                if *nwrites == 2 {
+                    self.plan_write(&writes[1], window);
+                }
+                None
+            }
+            PlanOp::Search {
+                probes,
+                gates,
+                dest,
+                mode,
+            } => {
+                let mut gate_match = u32::MAX;
+                for g in gates.iter() {
+                    gate_match &= self.probe_match(g);
+                }
+                for p in probes.iter() {
+                    let m = self.probe_match(p) & gate_match & window;
+                    self.accumulate(p.subarray as usize, m, *dest, *mode, window);
+                }
+                None
+            }
+            PlanOp::UpdateOne { write } => {
+                self.plan_write(write, window);
+                None
+            }
+            PlanOp::UpdateTwo { writes } => {
+                self.plan_write(&writes[0], window);
+                self.plan_write(&writes[1], window);
+                None
+            }
+            PlanOp::Update { writes } => {
+                for w in writes.iter() {
+                    self.plan_write(w, window);
+                }
+                None
+            }
+            PlanOp::Read { subarray, row } => {
+                Some(self.subarrays[*subarray as usize].row(*row as usize))
+            }
+            PlanOp::Write {
+                subarray,
+                row,
+                data,
+                mask,
+            } => {
+                self.subarrays[*subarray as usize].write_row(*row as usize, *data, *mask & window);
+                None
+            }
+            PlanOp::ReduceTags { subarray } => {
+                Some((self.tags[*subarray as usize] & window).count_ones())
+            }
+            PlanOp::TagCombine { src, dst, op } => {
+                let m = self.tags[*src as usize];
+                let dst = *dst as usize;
+                self.tags[dst] = match op {
+                    TagMode::Set => m,
+                    TagMode::And => self.tags[dst] & (m | !window),
+                    TagMode::Or => self.tags[dst] | (m & window),
+                };
+                None
+            }
+        }
+    }
+
+    /// Branchless lowered search: ANDs `row ^ inv` over the probe's inline
+    /// key list (`inv = 0` matches ones, `!0` matches zeros).
+    #[inline]
+    fn probe_match(&self, p: &PlanProbe) -> u32 {
+        let sub = &self.subarrays[p.subarray as usize];
+        let mut m = u32::MAX;
+        for k in 0..p.nkeys as usize {
+            m &= sub.row(p.rows[k] as usize) ^ p.inv[k];
+        }
+        m
+    }
+
+    /// One lowered row write: `sel` picks the column source (window, tags
+    /// or accumulator of `src`).
+    #[inline]
+    fn plan_write(&mut self, w: &PlanWrite, window: u32) {
+        let cols = match w.sel {
+            0 => window,
+            1 => self.tags[w.src as usize] & window,
+            _ => self.acc[w.src as usize] & window,
+        };
+        self.subarrays[w.subarray as usize].update_row(w.row as usize, w.value, cols);
     }
 
     fn accumulate(&mut self, subarray: usize, m: u32, dest: TagDest, mode: TagMode, window: u32) {
@@ -156,14 +269,15 @@ impl Chain {
     }
 
     fn check_one_row_per_subarray(&self, writes: &[WriteSpec]) {
-        for (i, a) in writes.iter().enumerate() {
-            for b in &writes[i + 1..] {
-                assert!(
-                    a.subarray != b.subarray,
-                    "update writes two rows of subarray {}",
-                    a.subarray
-                );
-            }
+        let mut seen = 0u32;
+        for w in writes {
+            let bit = 1u32 << w.subarray;
+            assert!(
+                seen & bit == 0,
+                "update writes two rows of subarray {}",
+                w.subarray
+            );
+            seen |= bit;
         }
     }
 
@@ -198,6 +312,42 @@ impl Chain {
         v
     }
 
+    /// Bulk-deposits up to 32 elements into vector register `reg`, one per
+    /// lane, in a single pass: `values[col]` goes to lane `col` for every
+    /// column selected by `col_mask`. The lane-major values are bit-sliced
+    /// with one 32×32 [`transpose32`] and written as 32 masked row words —
+    /// the wide-transfer path the VMU uses for vector loads (Section V-E)
+    /// — instead of 1,024 single-bit pokes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reg >= 32`.
+    pub fn write_column_block(&mut self, reg: usize, values: &[u32; SUBARRAY_COLS], col_mask: u32) {
+        assert!(reg < DATA_ROWS, "vector register {reg} out of range");
+        let mut m = *values;
+        transpose32(&mut m);
+        for (i, sub) in self.subarrays.iter_mut().enumerate() {
+            sub.write_row(reg, m[i], col_mask);
+        }
+    }
+
+    /// Bulk-reads vector register `reg` across all 32 lanes: returns one
+    /// value per column. Inverse of [`Chain::write_column_block`]; 32 row
+    /// reads plus one transpose instead of a per-element, per-bit walk.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reg >= 32`.
+    pub fn read_column_block(&self, reg: usize) -> [u32; SUBARRAY_COLS] {
+        assert!(reg < DATA_ROWS, "vector register {reg} out of range");
+        let mut m = [0u32; SUBARRAY_COLS];
+        for (i, sub) in self.subarrays.iter().enumerate() {
+            m[i] = sub.row(reg);
+        }
+        transpose32(&mut m);
+        m
+    }
+
     /// Convenience: builds a search probe for a single row of a single
     /// subarray.
     pub fn probe(subarray: usize, row: usize, want: bool) -> Probe {
@@ -211,7 +361,12 @@ mod tests {
     use crate::microop::{ColSel, WriteSpec};
 
     fn search(probes: Vec<Probe>, mode: TagMode) -> MicroOp {
-        MicroOp::Search { probes, gates: vec![], dest: TagDest::Tags, mode }
+        MicroOp::Search {
+            probes,
+            gates: vec![],
+            dest: TagDest::Tags,
+            mode,
+        }
     }
 
     #[test]
@@ -322,8 +477,18 @@ mod tests {
         c.set_tags(1, 0b0010);
         let op = MicroOp::Update {
             writes: vec![
-                WriteSpec { subarray: 1, row: 0, value: true, cols: ColSel::Tags(1) },
-                WriteSpec { subarray: 2, row: 0, value: true, cols: ColSel::Tags(1) },
+                WriteSpec {
+                    subarray: 1,
+                    row: 0,
+                    value: true,
+                    cols: ColSel::Tags(1),
+                },
+                WriteSpec {
+                    subarray: 2,
+                    row: 0,
+                    value: true,
+                    cols: ColSel::Tags(1),
+                },
             ],
         };
         c.execute(&op, u32::MAX);
@@ -336,12 +501,33 @@ mod tests {
         let mut c = Chain::new();
         c.set_tags(0, 0b0110);
         c.set_tags(1, 0b0011);
-        c.execute(&MicroOp::TagCombine { src: 0, dst: 1, op: TagMode::And }, u32::MAX);
+        c.execute(
+            &MicroOp::TagCombine {
+                src: 0,
+                dst: 1,
+                op: TagMode::And,
+            },
+            u32::MAX,
+        );
         assert_eq!(c.tags(1), 0b0010);
         c.set_tags(2, 0b1000);
-        c.execute(&MicroOp::TagCombine { src: 1, dst: 2, op: TagMode::Or }, u32::MAX);
+        c.execute(
+            &MicroOp::TagCombine {
+                src: 1,
+                dst: 2,
+                op: TagMode::Or,
+            },
+            u32::MAX,
+        );
         assert_eq!(c.tags(2), 0b1010);
-        c.execute(&MicroOp::TagCombine { src: 0, dst: 3, op: TagMode::Set }, u32::MAX);
+        c.execute(
+            &MicroOp::TagCombine {
+                src: 0,
+                dst: 3,
+                op: TagMode::Set,
+            },
+            u32::MAX,
+        );
         assert_eq!(c.tags(3), 0b0110);
     }
 
@@ -357,12 +543,59 @@ mod tests {
     #[test]
     fn read_returns_row_write_respects_window() {
         let mut c = Chain::new();
-        let w = MicroOp::Write { subarray: 3, row: 9, data: u32::MAX, mask: u32::MAX };
+        let w = MicroOp::Write {
+            subarray: 3,
+            row: 9,
+            data: u32::MAX,
+            mask: u32::MAX,
+        };
         c.execute(&w, 0x0000_FFFF);
         assert_eq!(
-            c.execute(&MicroOp::Read { subarray: 3, row: 9 }, u32::MAX),
+            c.execute(
+                &MicroOp::Read {
+                    subarray: 3,
+                    row: 9
+                },
+                u32::MAX
+            ),
             Some(0x0000_FFFF)
         );
+    }
+
+    #[test]
+    fn column_block_matches_per_element_path() {
+        let mut bulk = Chain::new();
+        let mut serial = Chain::new();
+        let mut vals = [0u32; SUBARRAY_COLS];
+        let mut x: u32 = 0xC0FF_EE01;
+        for v in vals.iter_mut() {
+            x = x.wrapping_mul(0x9E37_79B9).rotate_left(13);
+            *v = x;
+        }
+        bulk.write_column_block(6, &vals, u32::MAX);
+        for (col, &v) in vals.iter().enumerate() {
+            serial.write_element(6, col, v);
+        }
+        assert_eq!(bulk, serial);
+        assert_eq!(bulk.read_column_block(6), vals);
+    }
+
+    #[test]
+    fn masked_column_block_preserves_unselected_lanes() {
+        let mut c = Chain::new();
+        for col in 0..Chain::LANES {
+            c.write_element(2, col, 0xDEAD_0000 | col as u32);
+        }
+        let vals = [0x1234_5678u32; SUBARRAY_COLS];
+        c.write_column_block(2, &vals, 0x0000_00F0); // lanes 4..8 only
+        for col in 0..Chain::LANES {
+            let want = if (4..8).contains(&col) {
+                0x1234_5678
+            } else {
+                0xDEAD_0000 | col as u32
+            };
+            assert_eq!(c.read_element(2, col), want, "lane {col}");
+        }
     }
 
     #[test]
@@ -371,8 +604,18 @@ mod tests {
         let mut c = Chain::new();
         let op = MicroOp::Update {
             writes: vec![
-                WriteSpec { subarray: 1, row: 0, value: true, cols: ColSel::Window },
-                WriteSpec { subarray: 1, row: 1, value: true, cols: ColSel::Window },
+                WriteSpec {
+                    subarray: 1,
+                    row: 0,
+                    value: true,
+                    cols: ColSel::Window,
+                },
+                WriteSpec {
+                    subarray: 1,
+                    row: 1,
+                    value: true,
+                    cols: ColSel::Window,
+                },
             ],
         };
         c.execute(&op, u32::MAX);

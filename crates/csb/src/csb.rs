@@ -1,10 +1,19 @@
 //! The full Compute-Storage Block: chains + reduction tree + accounting.
 
+use std::slice;
+use std::sync::Arc;
+
 use crate::chain::Chain;
-use crate::geometry::{CsbGeometry, ElementLocation};
+use crate::geometry::{CsbGeometry, ElementLocation, SUBARRAY_COLS};
 use crate::microop::MicroOp;
+use crate::pool::{Shard, WorkerPool};
+use crate::program::{lower, MicroProgram};
 use crate::reduction::ReductionTree;
 use crate::stats::{MicroOpKind, MicroOpStats};
+
+/// Minimum number of *active* chains before a broadcast fans out over the
+/// worker pool; below this, channel transfers cost more than the work.
+const POOL_MIN_ACTIVE: usize = 512;
 
 /// The Compute-Storage Block: an array of [`Chain`]s executing broadcast
 /// [`MicroOp`]s in lockstep, plus the global reduction tree.
@@ -14,14 +23,22 @@ use crate::stats::{MicroOpKind, MicroOpStats};
 /// outside the window are masked out of every search and update, and tail
 /// elements keep their values as the RVV specification requires
 /// (Section V-F).
+///
+/// Chains are partitioned once, at construction, into contiguous *shards*
+/// — one per worker thread. A broadcast of a whole [`MicroProgram`]
+/// ([`Csb::execute_program`]) moves each shard to a persistent worker,
+/// runs every microop chain-locally, and joins exactly once to harvest
+/// per-shard reduction sums; single microops ([`Csb::execute`]) take the
+/// same path with a one-op program.
 #[derive(Debug, Clone)]
 pub struct Csb {
     geometry: CsbGeometry,
-    chains: Vec<Chain>,
-    windows: Vec<u32>,
+    shards: Vec<Shard>,
+    /// Chains per shard (the last shard may be shorter).
+    shard_size: usize,
     /// Chains whose window mask is non-zero (fully-masked chains are
     /// power-gated and skipped, Section V-F).
-    active: Vec<usize>,
+    active_count: usize,
     tree: ReductionTree,
     vstart: usize,
     vl: usize,
@@ -29,6 +46,7 @@ pub struct Csb {
     /// Worker threads for the broadcast fan-out (queried once; it is a
     /// syscall).
     threads: usize,
+    pool: WorkerPool,
 }
 
 impl Csb {
@@ -36,16 +54,25 @@ impl Csb {
     /// window starts fully open (`vstart = 0`, `vl = MAX_VL`).
     pub fn new(geometry: CsbGeometry) -> Self {
         let n = geometry.num_chains();
+        let threads = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+            .min(16);
+        let shard_size = n.div_ceil(threads.min(n).max(1));
+        let shards = (0..n.div_ceil(shard_size))
+            .map(|s| Shard::new(shard_size.min(n - s * shard_size)))
+            .collect();
         let mut csb = Self {
             geometry,
-            chains: vec![Chain::new(); n],
-            windows: vec![u32::MAX; n],
-            active: (0..n).collect(),
+            shards,
+            shard_size,
+            active_count: n,
             tree: ReductionTree::new(n),
             vstart: 0,
             vl: geometry.max_vl(),
             stats: MicroOpStats::new(),
-            threads: std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).min(16),
+            threads,
+            pool: WorkerPool::new(),
         };
         csb.recompute_windows();
         csb
@@ -85,7 +112,11 @@ impl Csb {
     ///
     /// Panics if `vl > MAX_VL` or `vstart > vl`.
     pub fn set_active_window(&mut self, vstart: usize, vl: usize) {
-        assert!(vl <= self.max_vl(), "vl {vl} exceeds MAX_VL {}", self.max_vl());
+        assert!(
+            vl <= self.max_vl(),
+            "vl {vl} exceeds MAX_VL {}",
+            self.max_vl()
+        );
         assert!(vstart <= vl, "vstart {vstart} exceeds vl {vl}");
         self.vstart = vstart;
         self.vl = vl;
@@ -93,11 +124,17 @@ impl Csb {
     }
 
     fn recompute_windows(&mut self) {
-        self.active.clear();
-        for c in 0..self.geometry.num_chains() {
-            self.windows[c] = self.geometry.window_mask(c, self.vstart, self.vl);
-            if self.windows[c] != 0 {
-                self.active.push(c);
+        self.active_count = 0;
+        for (s, shard) in self.shards.iter_mut().enumerate() {
+            shard.active.clear();
+            for (j, w) in shard.windows.iter_mut().enumerate() {
+                *w = self
+                    .geometry
+                    .window_mask(s * self.shard_size + j, self.vstart, self.vl);
+                if *w != 0 {
+                    shard.active.push(j as u32);
+                    self.active_count += 1;
+                }
             }
         }
     }
@@ -105,59 +142,73 @@ impl Csb {
     /// Number of chains whose window is fully masked (candidates for
     /// power gating).
     pub fn idle_chains(&self) -> usize {
-        self.windows.iter().filter(|&&w| w == 0).count()
+        self.geometry.num_chains() - self.active_count
     }
 
-    /// Executes one broadcast microop on every chain and records it in the
-    /// statistics. Returns the summed reduction popcount for
+    /// True when broadcasts fan out over the worker pool: enough *active*
+    /// chains to amortize the channel transfers, regardless of how many
+    /// tail chains the window masks off.
+    fn use_pool(&self) -> bool {
+        self.threads > 1 && self.active_count >= POOL_MIN_ACTIVE
+    }
+
+    /// Executes one broadcast microop on every active chain and records it
+    /// in the statistics. Returns the summed reduction popcount for
     /// [`MicroOp::ReduceTags`], `None` otherwise (per-chain read data is
     /// accessible through [`Csb::chain`]).
     ///
-    /// Large CSBs (>= 512 chains) fan the lockstep broadcast out over a
-    /// thread pool — chains are fully independent, exactly as in the
-    /// hardware.
+    /// This is the per-microop path; whole instructions go through
+    /// [`Csb::execute_program`], which pays the pool fan-out once per
+    /// program instead of once per microop.
     pub fn execute(&mut self, op: &MicroOp) -> Option<u64> {
         self.record(op);
-        let is_reduce = matches!(op, MicroOp::ReduceTags { .. });
-        let threads = self.threads;
-        // Fully-masked chains are power-gated: their searches set no tags
-        // and their updates write nothing, and every consumer of their
-        // state masks by the (zero) window — skip them entirely.
-        if self.active.len() == self.geometry.num_chains() && threads > 1 && self.active.len() >= 512
-        {
-            // Lockstep broadcast over a thread pool; chains are fully
-            // independent, exactly as in the hardware.
-            let n = self.chains.len();
-            let chunk = n.div_ceil(threads);
-            let windows = &self.windows;
-            let mut sums = vec![0u64; n.div_ceil(chunk)];
-            crossbeam::thread::scope(|s| {
-                for ((chains, wins), sum) in self
-                    .chains
-                    .chunks_mut(chunk)
-                    .zip(windows.chunks(chunk))
-                    .zip(sums.iter_mut())
-                {
-                    s.spawn(move |_| {
-                        for (chain, window) in chains.iter_mut().zip(wins) {
-                            if let Some(r) = chain.execute(op, *window) {
-                                *sum += u64::from(r);
-                            }
-                        }
-                    });
-                }
-            })
-            .expect("chain worker panicked");
-            return is_reduce.then(|| sums.iter().sum());
-        }
-        let mut reduce_sum = is_reduce.then_some(0u64);
-        for &c in &self.active {
-            let r = self.chains[c].execute(op, self.windows[c]);
-            if let (Some(sum), Some(r)) = (reduce_sum.as_mut(), r) {
-                *sum += u64::from(r);
+        let plan_op = lower(op);
+        if self.use_pool() {
+            let ops = Arc::new(vec![plan_op]);
+            self.pool.run(&mut self.shards, &ops);
+        } else {
+            for shard in &mut self.shards {
+                shard.run(slice::from_ref(&plan_op));
             }
         }
-        reduce_sum
+        matches!(op, MicroOp::ReduceTags { .. }).then(|| {
+            self.shards
+                .iter()
+                .map(|s| s.sums.first().copied().unwrap_or(0))
+                .sum()
+        })
+    }
+
+    /// Executes a whole compiled [`MicroProgram`] as one broadcast unit:
+    /// every shard runs every microop locally (skipping its power-gated
+    /// chains), and the single join harvests one summed popcount per
+    /// [`MicroOp::ReduceTags`] sync point, returned in program order.
+    ///
+    /// Functionally identical to calling [`Csb::execute`] per microop and
+    /// collecting the `Some` results — but the thread fan-out/fan-in and
+    /// the reduction-tree sum happen once per program.
+    pub fn execute_program(&mut self, program: &MicroProgram) -> Vec<u64> {
+        for op in program.ops() {
+            self.record(op);
+        }
+        if program.is_empty() {
+            return Vec::new();
+        }
+        if self.use_pool() {
+            let ops = program.plan_arc();
+            self.pool.run(&mut self.shards, &ops);
+        } else {
+            for shard in &mut self.shards {
+                shard.run(program.plan());
+            }
+        }
+        let mut sums = vec![0u64; program.reduce_count()];
+        for shard in &self.shards {
+            for (k, &s) in shard.sums.iter().enumerate() {
+                sums[k] += s;
+            }
+        }
+        sums
     }
 
     fn record(&mut self, op: &MicroOp) {
@@ -190,7 +241,7 @@ impl Csb {
     ///
     /// Panics if `i` is out of range.
     pub fn chain(&self, i: usize) -> &Chain {
-        &self.chains[i]
+        &self.shards[i / self.shard_size].chains[i % self.shard_size]
     }
 
     /// Mutable access to chain `i` (bring-up/test hook).
@@ -199,7 +250,7 @@ impl Csb {
     ///
     /// Panics if `i` is out of range.
     pub fn chain_mut(&mut self, i: usize) -> &mut Chain {
-        &mut self.chains[i]
+        &mut self.shards[i / self.shard_size].chains[i % self.shard_size]
     }
 
     /// Location of vector element `elem`.
@@ -211,19 +262,49 @@ impl Csb {
     /// (functional data-transfer path; the VMU accounts for its timing).
     pub fn write_element(&mut self, reg: usize, elem: usize, value: u32) {
         let loc = self.geometry.locate(elem);
-        self.chains[loc.chain].write_element(reg, loc.col, value);
+        self.chain_mut(loc.chain).write_element(reg, loc.col, value);
     }
 
     /// Reads element `elem` of vector register `reg`.
     pub fn read_element(&self, reg: usize, elem: usize) -> u32 {
         let loc = self.geometry.locate(elem);
-        self.chains[loc.chain].read_element(reg, loc.col)
+        self.chain(loc.chain).read_element(reg, loc.col)
     }
 
     /// Reads the first `len` elements of register `reg` into a vector —
     /// convenient for tests and result extraction.
     pub fn read_vector(&self, reg: usize, len: usize) -> Vec<u32> {
-        (0..len).map(|e| self.read_element(reg, e)).collect()
+        self.read_vector_at(reg, 0, len)
+    }
+
+    /// Reads `len` elements of register `reg` starting at element `start`,
+    /// as one bulk transfer: each chain holding in-range elements is read
+    /// with a single 32-row block transpose
+    /// ([`Chain::read_column_block`]) and the values are scattered into
+    /// element order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start + len > MAX_VL`.
+    pub fn read_vector_at(&self, reg: usize, start: usize, len: usize) -> Vec<u32> {
+        let end = start + len;
+        assert!(
+            end <= self.max_vl(),
+            "element range {start}..{end} exceeds MAX_VL"
+        );
+        let n = self.geometry.num_chains();
+        let mut out = vec![0u32; len];
+        for c in 0..n {
+            let (k_lo, k_hi) = Self::col_range(c, start, end, n);
+            if k_lo >= k_hi {
+                continue;
+            }
+            let vals = self.chain(c).read_column_block(reg);
+            for (k, &v) in vals.iter().enumerate().take(k_hi).skip(k_lo) {
+                out[k * n + c - start] = v;
+            }
+        }
+        out
     }
 
     /// Writes `values` into register `reg`, starting at element 0.
@@ -232,14 +313,60 @@ impl Csb {
     ///
     /// Panics if `values.len() > MAX_VL`.
     pub fn write_vector(&mut self, reg: usize, values: &[u32]) {
-        for (e, &v) in values.iter().enumerate() {
-            self.write_element(reg, e, v);
+        self.write_vector_at(reg, 0, values);
+    }
+
+    /// Writes `values` into register `reg` starting at element `start`, as
+    /// one bulk transfer: values are gathered per chain, bit-sliced with a
+    /// single 32×32 transpose ([`Chain::write_column_block`]) and written
+    /// as masked row words, leaving elements outside the range untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start + values.len() > MAX_VL`.
+    pub fn write_vector_at(&mut self, reg: usize, start: usize, values: &[u32]) {
+        let end = start + values.len();
+        assert!(
+            end <= self.max_vl(),
+            "element range {start}..{end} exceeds MAX_VL"
+        );
+        let n = self.geometry.num_chains();
+        for c in 0..n {
+            let (k_lo, k_hi) = Self::col_range(c, start, end, n);
+            if k_lo >= k_hi {
+                continue;
+            }
+            let mut vals = [0u32; SUBARRAY_COLS];
+            for (k, v) in vals.iter_mut().enumerate().take(k_hi).skip(k_lo) {
+                *v = values[k * n + c - start];
+            }
+            let col_mask = Self::col_mask(k_lo, k_hi);
+            self.chain_mut(c).write_column_block(reg, &vals, col_mask);
         }
+    }
+
+    /// Columns `k_lo..k_hi` of chain `c` hold the elements of `start..end`
+    /// that live in `c` (element `e` sits at chain `e % n`, column
+    /// `e / n`).
+    fn col_range(c: usize, start: usize, end: usize, n: usize) -> (usize, usize) {
+        let k_lo = if start > c {
+            (start - c).div_ceil(n)
+        } else {
+            0
+        };
+        let k_hi = if end > c { (end - c).div_ceil(n) } else { 0 };
+        (k_lo, k_hi)
+    }
+
+    /// Bit mask with bits `k_lo..k_hi` set (`k_hi <= 32`).
+    fn col_mask(k_lo: usize, k_hi: usize) -> u32 {
+        let below = |k: usize| if k >= 32 { u32::MAX } else { (1u32 << k) - 1 };
+        below(k_hi) & !below(k_lo)
     }
 
     /// Per-chain window mask for chain `i`.
     pub fn window(&self, i: usize) -> u32 {
-        self.windows[i]
+        self.shards[i / self.shard_size].windows[i % self.shard_size]
     }
 }
 
@@ -270,6 +397,38 @@ mod tests {
     }
 
     #[test]
+    fn bulk_write_matches_per_element_path_at_offsets() {
+        let mut bulk = small();
+        let mut serial = small();
+        let data: Vec<u32> = (0..50u32)
+            .map(|i| i.wrapping_mul(0x9E37_79B9) ^ 0xA5A5)
+            .collect();
+        bulk.write_vector_at(7, 13, &data);
+        for (e, &v) in data.iter().enumerate() {
+            serial.write_element(7, 13 + e, v);
+        }
+        for e in 0..128 {
+            assert_eq!(
+                bulk.read_element(7, e),
+                serial.read_element(7, e),
+                "element {e}"
+            );
+        }
+        assert_eq!(bulk.read_vector_at(7, 13, 50), data);
+    }
+
+    #[test]
+    fn offset_write_preserves_neighbouring_elements() {
+        let mut csb = small();
+        csb.write_vector(9, &[0x5151_5151; 128]);
+        csb.write_vector_at(9, 40, &[7; 20]);
+        let out = csb.read_vector(9, 128);
+        assert!(out[..40].iter().all(|&v| v == 0x5151_5151));
+        assert!(out[40..60].iter().all(|&v| v == 7));
+        assert!(out[60..].iter().all(|&v| v == 0x5151_5151));
+    }
+
+    #[test]
     fn broadcast_search_reaches_every_chain() {
         let mut csb = small();
         // Element e of v1 = e; search bit 0 == 1 finds the odd elements.
@@ -295,7 +454,7 @@ mod tests {
     #[test]
     fn tail_elements_unchanged_by_update() {
         let mut csb = small();
-        csb.write_vector(3, &vec![7u32; 8]);
+        csb.write_vector(3, &[7u32; 8]);
         csb.set_active_window(0, 4);
         // Bulk-clear bit 0 of v3 inside the window.
         csb.execute(&MicroOp::Update {
@@ -326,7 +485,12 @@ mod tests {
         let mut csb = small();
         csb.execute(&search1(0, 0, true));
         csb.execute(&MicroOp::Update {
-            writes: vec![WriteSpec { subarray: 1, row: 0, value: true, cols: ColSel::Tags(0) }],
+            writes: vec![WriteSpec {
+                subarray: 1,
+                row: 0,
+                value: true,
+                cols: ColSel::Tags(0),
+            }],
         });
         csb.execute(&MicroOp::ReduceTags { subarray: 0 });
         let s = csb.stats();
@@ -336,6 +500,79 @@ mod tests {
         assert_eq!(s.total(), 3);
         csb.reset_stats();
         assert_eq!(csb.stats().total(), 0);
+    }
+
+    #[test]
+    fn execute_program_matches_per_op_path() {
+        let ops = vec![
+            search1(0, 1, true),
+            MicroOp::ReduceTags { subarray: 0 },
+            MicroOp::Update {
+                writes: vec![WriteSpec {
+                    subarray: 1,
+                    row: 5,
+                    value: true,
+                    cols: ColSel::Tags(0),
+                }],
+            },
+            MicroOp::TagCombine {
+                src: 0,
+                dst: 1,
+                op: TagMode::Set,
+            },
+            MicroOp::ReduceTags { subarray: 1 },
+        ];
+        let data: Vec<u32> = (0..128).map(|i| i as u32).collect();
+
+        let mut by_program = small();
+        let mut per_op = small();
+        for csb in [&mut by_program, &mut per_op] {
+            csb.write_vector(1, &data);
+            csb.set_active_window(3, 77);
+        }
+
+        let program_sums = by_program.execute_program(&MicroProgram::new(ops.clone()));
+        let per_op_sums: Vec<u64> = ops.iter().filter_map(|op| per_op.execute(op)).collect();
+
+        assert_eq!(program_sums, per_op_sums);
+        for c in 0..4 {
+            assert_eq!(by_program.chain(c), per_op.chain(c), "chain {c}");
+        }
+        assert_eq!(by_program.stats(), per_op.stats());
+    }
+
+    #[test]
+    fn empty_program_is_a_no_op() {
+        let mut csb = small();
+        assert_eq!(
+            csb.execute_program(&MicroProgram::new(vec![])),
+            Vec::<u64>::new()
+        );
+        assert_eq!(csb.stats().total(), 0);
+    }
+
+    #[test]
+    fn large_partially_masked_csb_matches_functional_expectation() {
+        // 1,024 chains with vl = 600: chains 600..1024 are fully masked,
+        // leaving 600 active chains — above the pool threshold, so on
+        // multi-core hosts this exercises the pooled partial-window path
+        // (and the serial path elsewhere; results must be identical).
+        let mut csb = Csb::new(CsbGeometry::new(1024));
+        let data: Vec<u32> = (0..600).map(|e| e as u32).collect();
+        csb.write_vector(1, &data);
+        csb.set_active_window(0, 600);
+        assert!(csb.idle_chains() > 0);
+
+        let sums = csb.execute_program(&MicroProgram::new(vec![
+            search1(0, 1, true),
+            MicroOp::ReduceTags { subarray: 0 },
+        ]));
+        assert_eq!(sums, vec![300]); // odd values in 0..600
+
+        // Per-microop path on the same machine state agrees.
+        csb.execute(&search1(1, 1, true));
+        let evens_with_bit1 = csb.execute(&MicroOp::ReduceTags { subarray: 1 }).unwrap();
+        assert_eq!(evens_with_bit1, 300); // values in 0..600 with bit 1 set
     }
 
     #[test]

@@ -40,18 +40,25 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod bitmat;
 mod chain;
 mod csb;
 mod geometry;
 mod microop;
+mod pool;
+mod program;
 mod reduction;
 mod stats;
 mod subarray;
 
+pub use bitmat::transpose32;
 pub use chain::Chain;
 pub use csb::Csb;
 pub use geometry::{CsbGeometry, ElementLocation, SUBARRAYS_PER_CHAIN, SUBARRAY_COLS};
 pub use microop::{ColSel, MicroOp, Probe, TagDest, TagMode, WriteSpec};
+pub use program::{MicroProgram, SyncKind, SyncPoint};
 pub use reduction::ReductionTree;
 pub use stats::{MicroOpKind, MicroOpStats};
-pub use subarray::{Subarray, DATA_ROWS, ROW_CARRY, ROW_FLAG, ROW_SCRATCH0, ROW_SCRATCH1, TOTAL_ROWS};
+pub use subarray::{
+    Subarray, DATA_ROWS, ROW_CARRY, ROW_FLAG, ROW_SCRATCH0, ROW_SCRATCH1, TOTAL_ROWS,
+};

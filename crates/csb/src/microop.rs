@@ -242,29 +242,62 @@ mod tests {
     #[test]
     fn propagation_detection() {
         let same = MicroOp::Update {
-            writes: vec![WriteSpec { subarray: 3, row: 0, value: true, cols: ColSel::Tags(3) }],
+            writes: vec![WriteSpec {
+                subarray: 3,
+                row: 0,
+                value: true,
+                cols: ColSel::Tags(3),
+            }],
         };
         assert!(!same.propagates());
         let prop = MicroOp::Update {
-            writes: vec![WriteSpec { subarray: 4, row: 0, value: true, cols: ColSel::Tags(3) }],
+            writes: vec![WriteSpec {
+                subarray: 4,
+                row: 0,
+                value: true,
+                cols: ColSel::Tags(3),
+            }],
         };
         assert!(prop.propagates());
         let window = MicroOp::Update {
-            writes: vec![WriteSpec { subarray: 4, row: 0, value: true, cols: ColSel::Window }],
+            writes: vec![WriteSpec {
+                subarray: 4,
+                row: 0,
+                value: true,
+                cols: ColSel::Window,
+            }],
         };
         assert!(!window.propagates());
     }
 
     #[test]
     fn reads_and_writes_are_single_subarray() {
-        assert_eq!(MicroOp::Read { subarray: 3, row: 1 }.active_subarrays(), 1);
         assert_eq!(
-            MicroOp::Write { subarray: 3, row: 1, data: 0, mask: 0 }.active_subarrays(),
+            MicroOp::Read {
+                subarray: 3,
+                row: 1
+            }
+            .active_subarrays(),
+            1
+        );
+        assert_eq!(
+            MicroOp::Write {
+                subarray: 3,
+                row: 1,
+                data: 0,
+                mask: 0
+            }
+            .active_subarrays(),
             1
         );
         assert_eq!(MicroOp::ReduceTags { subarray: 0 }.active_subarrays(), 1);
         assert_eq!(
-            MicroOp::TagCombine { src: 0, dst: 1, op: TagMode::And }.active_subarrays(),
+            MicroOp::TagCombine {
+                src: 0,
+                dst: 1,
+                op: TagMode::And
+            }
+            .active_subarrays(),
             2
         );
     }

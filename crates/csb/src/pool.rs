@@ -1,0 +1,298 @@
+//! Persistent broadcast worker pool and chain shards.
+//!
+//! The CSB's chains are partitioned once, at construction, into
+//! [`Shard`]s — contiguous runs of chains that are *owned* (not borrowed)
+//! by whoever is executing on them. Program broadcast moves each shard to
+//! a long-lived worker thread through a channel, the worker runs the whole
+//! microop program on its chains, and the shard (with its partial
+//! reduction sums) moves back. Ownership transfer is what lets the pool
+//! outlive any single call without scoped threads or `unsafe`: sending a
+//! `Shard` is a pointer-width move, and the `Csb` gets its chains back at
+//! the join.
+
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crate::chain::Chain;
+use crate::program::PlanOp;
+
+/// A contiguous run of chains plus their window masks, active list, and a
+/// reusable partial-sum scratch buffer.
+///
+/// `active` holds *local* indices of chains whose window mask is non-zero;
+/// fully-masked chains are power-gated and skipped (Section V-F). `sums`
+/// accumulates one window-masked popcount partial sum per
+/// [`PlanOp::ReduceTags`] in the program, in program order, and is
+/// cleared and refilled in place on every run — no per-microop
+/// allocation.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Shard {
+    pub chains: Vec<Chain>,
+    pub windows: Vec<u32>,
+    pub active: Vec<u32>,
+    pub sums: Vec<u64>,
+}
+
+impl Shard {
+    /// A zero-initialized shard of `len` chains with fully-open windows.
+    pub fn new(len: usize) -> Self {
+        Self {
+            chains: vec![Chain::new(); len],
+            windows: vec![u32::MAX; len],
+            active: (0..len as u32).collect(),
+            sums: Vec::new(),
+        }
+    }
+
+    /// Runs a whole lowered microop program over this shard's active
+    /// chains, leaving one partial sum per `ReduceTags` op in `self.sums`.
+    ///
+    /// Every microop except `ReduceTags` is chain-local, so the only
+    /// cross-chain synchronization a program needs is the harvest of
+    /// `sums` after this returns — one join per program, not per microop.
+    ///
+    /// Iteration is chain-outer, op-inner: each chain runs the *whole*
+    /// program while its few-KB state is cache-resident, instead of the
+    /// per-microop path's full sweep of the chain array for every op.
+    /// Reduction order across chains changes, but the partial sums are
+    /// plain additions, so the totals are identical.
+    pub fn run(&mut self, ops: &[PlanOp]) {
+        let Shard {
+            chains,
+            windows,
+            active,
+            sums,
+        } = self;
+        sums.clear();
+        sums.resize(
+            ops.iter()
+                .filter(|op| matches!(op, PlanOp::ReduceTags { .. }))
+                .count(),
+            0,
+        );
+        for &i in active.iter() {
+            let chain = &mut chains[i as usize];
+            let window = windows[i as usize];
+            let mut k = 0;
+            for op in ops {
+                if matches!(op, PlanOp::ReduceTags { .. }) {
+                    if let Some(r) = chain.execute_plan(op, window) {
+                        sums[k] += u64::from(r);
+                    }
+                    k += 1;
+                } else {
+                    chain.execute_plan(op, window);
+                }
+            }
+        }
+    }
+}
+
+/// One unit of work: a shard to own and the shared lowered program to run
+/// on it.
+struct Job {
+    shard: Shard,
+    ops: Arc<Vec<PlanOp>>,
+}
+
+struct Worker {
+    /// `None` once the pool starts shutting down.
+    tx: Option<Sender<Job>>,
+    rx: Receiver<Shard>,
+    handle: Option<JoinHandle<()>>,
+}
+
+/// Long-lived worker threads for the broadcast fan-out.
+///
+/// Workers are spawned lazily on first use and live until the pool (and
+/// with it the owning [`Csb`](crate::Csb)) is dropped, so the per-call
+/// cost of a broadcast is two channel transfers per shard instead of a
+/// thread spawn + join per microop.
+pub(crate) struct WorkerPool {
+    workers: Vec<Worker>,
+}
+
+impl WorkerPool {
+    /// An empty pool; threads spawn on the first [`WorkerPool::run`].
+    pub fn new() -> Self {
+        Self {
+            workers: Vec::new(),
+        }
+    }
+
+    /// Number of worker threads spawned so far.
+    pub fn spawned(&self) -> usize {
+        self.workers.len()
+    }
+
+    fn ensure(&mut self, n: usize) {
+        while self.workers.len() < n {
+            let (job_tx, job_rx) = channel::<Job>();
+            let (res_tx, res_rx) = channel::<Shard>();
+            let handle = std::thread::Builder::new()
+                .name(format!("csb-broadcast-{}", self.workers.len()))
+                .spawn(move || {
+                    while let Ok(mut job) = job_rx.recv() {
+                        job.shard.run(&job.ops);
+                        if res_tx.send(job.shard).is_err() {
+                            break;
+                        }
+                    }
+                })
+                .expect("failed to spawn CSB broadcast worker");
+            self.workers.push(Worker {
+                tx: Some(job_tx),
+                rx: res_rx,
+                handle: Some(handle),
+            });
+        }
+    }
+
+    /// Fans the program out once over all shards and joins. Each shard is
+    /// moved to its worker, run through every microop locally, and moved
+    /// back with its partial sums filled in.
+    pub fn run(&mut self, shards: &mut [Shard], ops: &Arc<Vec<PlanOp>>) {
+        self.ensure(shards.len());
+        for (slot, worker) in shards.iter_mut().zip(&self.workers) {
+            let job = Job {
+                shard: std::mem::take(slot),
+                ops: Arc::clone(ops),
+            };
+            worker
+                .tx
+                .as_ref()
+                .expect("worker pool is shut down")
+                .send(job)
+                .expect("CSB broadcast worker exited");
+        }
+        for (slot, worker) in shards.iter_mut().zip(&self.workers) {
+            *slot = worker.rx.recv().expect("CSB broadcast worker panicked");
+        }
+    }
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("spawned", &self.spawned())
+            .finish()
+    }
+}
+
+/// Cloning a CSB must not share worker threads; the clone gets a fresh
+/// pool that lazily spawns its own.
+impl Clone for WorkerPool {
+    fn clone(&self) -> Self {
+        Self::new()
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Dropping every sender ends each worker's recv loop...
+        for w in &mut self.workers {
+            w.tx.take();
+        }
+        // ...then the threads can be joined.
+        for w in &mut self.workers {
+            if let Some(h) = w.handle.take() {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::microop::{MicroOp, Probe, TagDest, TagMode};
+    use crate::program::lower;
+
+    fn sample_shard(len: usize) -> Shard {
+        let mut s = Shard::new(len);
+        for (c, chain) in s.chains.iter_mut().enumerate() {
+            for col in 0..Chain::LANES {
+                chain.write_element(1, col, (c * 37 + col) as u32);
+            }
+        }
+        s
+    }
+
+    fn sample_ops() -> Vec<MicroOp> {
+        vec![
+            MicroOp::Search {
+                probes: vec![Probe::row(0, 1, true)],
+                gates: vec![],
+                dest: TagDest::Tags,
+                mode: TagMode::Set,
+            },
+            MicroOp::ReduceTags { subarray: 0 },
+            MicroOp::TagCombine {
+                src: 0,
+                dst: 1,
+                op: TagMode::Set,
+            },
+            MicroOp::ReduceTags { subarray: 1 },
+        ]
+    }
+
+    fn sample_plan() -> Vec<PlanOp> {
+        sample_ops().iter().map(lower).collect()
+    }
+
+    #[test]
+    fn shard_run_matches_direct_chain_execution() {
+        let ops = sample_ops();
+        let mut shard = sample_shard(3);
+        let mut reference = shard.clone();
+
+        shard.run(&sample_plan());
+
+        let mut want_sums = Vec::new();
+        for op in &ops {
+            let mut sum = 0u64;
+            for (chain, &w) in reference.chains.iter_mut().zip(&reference.windows) {
+                if let Some(r) = chain.execute(op, w) {
+                    sum += u64::from(r);
+                }
+            }
+            if matches!(op, MicroOp::ReduceTags { .. }) {
+                want_sums.push(sum);
+            }
+        }
+        assert_eq!(shard.sums, want_sums);
+        assert_eq!(shard.chains, reference.chains);
+    }
+
+    #[test]
+    fn shard_run_skips_inactive_chains() {
+        let mut shard = sample_shard(4);
+        shard.windows[2] = 0;
+        shard.active = vec![0, 1, 3];
+        let before = shard.chains[2].clone();
+        shard.run(&sample_plan());
+        assert_eq!(shard.chains[2], before, "power-gated chain must not change");
+    }
+
+    #[test]
+    fn pool_run_equals_serial_run_and_reuses_workers() {
+        let ops = Arc::new(sample_plan());
+        let mut pooled: Vec<Shard> = (0..4).map(|i| sample_shard(2 + i)).collect();
+        let mut serial = pooled.clone();
+
+        let mut pool = WorkerPool::new();
+        pool.run(&mut pooled, &ops);
+        pool.run(&mut pooled, &ops); // second dispatch reuses threads
+        assert_eq!(pool.spawned(), 4);
+
+        for s in serial.iter_mut() {
+            s.run(&ops);
+            s.run(&ops);
+        }
+        for (p, s) in pooled.iter().zip(&serial) {
+            assert_eq!(p.chains, s.chains);
+            assert_eq!(p.sums, s.sums);
+        }
+    }
+}

@@ -1,0 +1,436 @@
+//! Microop *programs*: the program-granularity unit of broadcast.
+//!
+//! A [`MicroProgram`] is the compiled form of one vector instruction — a
+//! fixed microop sequence plus its *sync points*. A sync point is a
+//! microop whose result leaves the chains ([`MicroOp::ReduceTags`] feeds
+//! the global reduction tree, [`MicroOp::Read`] returns row data); every
+//! other microop is chain-local, so a worker owning a subset of chains
+//! can run the whole program without talking to anyone and surrender its
+//! partial reduction sums at a single join. This is what lets
+//! [`Csb::execute_program`](crate::Csb::execute_program) pay one
+//! fan-out/fan-in per *instruction* instead of one per *microop*.
+
+use std::sync::Arc;
+
+use crate::geometry::SUBARRAYS_PER_CHAIN;
+use crate::microop::{MicroOp, Probe, TagDest, TagMode, WriteSpec};
+use crate::subarray::TOTAL_ROWS;
+
+/// The kind of value a sync point produces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncKind {
+    /// A [`MicroOp::ReduceTags`] op: per-chain popcounts summed by the
+    /// reduction tree into one scalar.
+    Reduce,
+    /// A [`MicroOp::Read`] op: per-chain row data (chain-local; consumers
+    /// read chain state after the program completes).
+    Read,
+}
+
+/// One result-producing microop inside a program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SyncPoint {
+    /// Index of the microop within the program.
+    pub op_index: usize,
+    /// What the op produces.
+    pub kind: SyncKind,
+}
+
+/// A search probe lowered for the broadcast hot loop: key rows live in a
+/// fixed inline array (no nested heap to chase per chain) and key polarity
+/// is an XOR mask (`0` to match ones, `!0` to match zeros), so the match
+/// loop is branchless: `m &= row ^ inv`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct PlanProbe {
+    pub subarray: u8,
+    pub nkeys: u8,
+    pub rows: [u8; 4],
+    pub inv: [u32; 4],
+}
+
+/// A row write lowered to four bytes: `sel` picks the column source
+/// (0 = window, 1 = `tags[src]`, 2 = `acc[src]`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct PlanWrite {
+    pub subarray: u8,
+    pub row: u8,
+    pub sel: u8,
+    pub src: u8,
+    pub value: bool,
+}
+
+/// A microop lowered into the dense, pre-validated form the broadcast
+/// executor runs. Structural checks (probe key counts, one row per
+/// subarray per update, index ranges) happen once here, at compile time,
+/// instead of once per chain per op in the fan-out. The dominant
+/// bit-serial shapes — a single ungated probe, an update of one or two
+/// rows — get inline variants so the hot loop touches no per-op heap.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum PlanOp {
+    /// One ungated probe (most bit-serial truth-table searches).
+    SearchOne {
+        probe: PlanProbe,
+        dest: TagDest,
+        mode: TagMode,
+    },
+    /// A fused truth-table step: one ungated search immediately followed
+    /// by a one- or two-row update (`nwrites` ∈ {1, 2}) — the paper's TTM
+    /// search-phase/update-phase pair issued as a single command. Produced
+    /// by the peephole pass in [`MicroProgram::new`]; executing it is
+    /// exactly the search followed by the update.
+    Step {
+        probe: PlanProbe,
+        dest: TagDest,
+        mode: TagMode,
+        nwrites: u8,
+        writes: [PlanWrite; 2],
+    },
+    /// General search: several probes and/or gate probes.
+    Search {
+        probes: Box<[PlanProbe]>,
+        gates: Box<[PlanProbe]>,
+        dest: TagDest,
+        mode: TagMode,
+    },
+    /// Single-row update (e.g. a carry write).
+    UpdateOne {
+        write: PlanWrite,
+    },
+    /// Two-row update (e.g. result bit + carry propagation).
+    UpdateTwo {
+        writes: [PlanWrite; 2],
+    },
+    /// General update (bit-parallel clears/copies touching many subarrays).
+    Update {
+        writes: Box<[PlanWrite]>,
+    },
+    Read {
+        subarray: u8,
+        row: u8,
+    },
+    Write {
+        subarray: u8,
+        row: u8,
+        data: u32,
+        mask: u32,
+    },
+    ReduceTags {
+        subarray: u8,
+    },
+    TagCombine {
+        src: u8,
+        dst: u8,
+        op: TagMode,
+    },
+}
+
+fn lower_probe(p: &Probe) -> PlanProbe {
+    assert!(
+        p.keys.len() <= 4,
+        "hardware searches at most 4 rows, got {}",
+        p.keys.len()
+    );
+    assert!(
+        p.subarray < SUBARRAYS_PER_CHAIN,
+        "subarray {} out of range",
+        p.subarray
+    );
+    let mut rows = [0u8; 4];
+    let mut inv = [0u32; 4];
+    for (k, &(row, want)) in p.keys.iter().enumerate() {
+        assert!(row < TOTAL_ROWS, "row {row} out of range");
+        rows[k] = row as u8;
+        inv[k] = if want { 0 } else { u32::MAX };
+    }
+    PlanProbe {
+        subarray: p.subarray as u8,
+        nkeys: p.keys.len() as u8,
+        rows,
+        inv,
+    }
+}
+
+fn lower_write(w: &WriteSpec) -> PlanWrite {
+    assert!(
+        w.subarray < SUBARRAYS_PER_CHAIN,
+        "subarray {} out of range",
+        w.subarray
+    );
+    assert!(w.row < TOTAL_ROWS, "row {} out of range", w.row);
+    let (sel, src) = match w.cols {
+        crate::microop::ColSel::Window => (0u8, 0usize),
+        crate::microop::ColSel::Tags(s) => (1, s),
+        crate::microop::ColSel::Acc(s) => (2, s),
+    };
+    assert!(src < SUBARRAYS_PER_CHAIN, "subarray {src} out of range");
+    PlanWrite {
+        subarray: w.subarray as u8,
+        row: w.row as u8,
+        sel,
+        src: src as u8,
+        value: w.value,
+    }
+}
+
+fn check_index(i: usize) -> u8 {
+    assert!(i < SUBARRAYS_PER_CHAIN, "subarray {i} out of range");
+    i as u8
+}
+
+/// Peephole pass: fuses each single-probe search with a directly
+/// following small update into one [`PlanOp::Step`]. Neither fused op
+/// produces a result, so running both under a single dispatch is
+/// observationally identical — it just halves the op-loop overhead on the
+/// dominant search/update alternation of bit-serial arithmetic.
+fn fuse_steps(plan: Vec<PlanOp>) -> Vec<PlanOp> {
+    let mut out: Vec<PlanOp> = Vec::with_capacity(plan.len());
+    for op in plan {
+        let fused = match (out.last(), &op) {
+            (Some(PlanOp::SearchOne { .. }), PlanOp::UpdateOne { write }) => Some((
+                1u8,
+                [
+                    *write,
+                    PlanWrite {
+                        subarray: 0,
+                        row: 0,
+                        sel: 0,
+                        src: 0,
+                        value: false,
+                    },
+                ],
+            )),
+            (Some(PlanOp::SearchOne { .. }), PlanOp::UpdateTwo { writes }) => Some((2, *writes)),
+            _ => None,
+        };
+        match fused {
+            Some((nwrites, writes)) => {
+                let Some(PlanOp::SearchOne { probe, dest, mode }) = out.pop() else {
+                    unreachable!("guard matched SearchOne")
+                };
+                out.push(PlanOp::Step {
+                    probe,
+                    dest,
+                    mode,
+                    nwrites,
+                    writes,
+                });
+            }
+            None => out.push(op),
+        }
+    }
+    out
+}
+
+/// Lowers one microop, running its structural validation once.
+pub(crate) fn lower(op: &MicroOp) -> PlanOp {
+    match op {
+        MicroOp::Search {
+            probes,
+            gates,
+            dest,
+            mode,
+        } => {
+            if gates.is_empty() && probes.len() == 1 {
+                PlanOp::SearchOne {
+                    probe: lower_probe(&probes[0]),
+                    dest: *dest,
+                    mode: *mode,
+                }
+            } else {
+                PlanOp::Search {
+                    probes: probes.iter().map(lower_probe).collect(),
+                    gates: gates.iter().map(lower_probe).collect(),
+                    dest: *dest,
+                    mode: *mode,
+                }
+            }
+        }
+        MicroOp::Update { writes } => {
+            let mut seen = 0u32;
+            for w in writes {
+                assert!(
+                    w.subarray < SUBARRAYS_PER_CHAIN,
+                    "subarray {} out of range",
+                    w.subarray
+                );
+                let bit = 1u32 << w.subarray;
+                assert!(
+                    seen & bit == 0,
+                    "update writes two rows of subarray {}",
+                    w.subarray
+                );
+                seen |= bit;
+            }
+            match writes.as_slice() {
+                [w] => PlanOp::UpdateOne {
+                    write: lower_write(w),
+                },
+                [a, b] => PlanOp::UpdateTwo {
+                    writes: [lower_write(a), lower_write(b)],
+                },
+                ws => PlanOp::Update {
+                    writes: ws.iter().map(lower_write).collect(),
+                },
+            }
+        }
+        MicroOp::Read { subarray, row } => {
+            assert!(*row < TOTAL_ROWS, "row {row} out of range");
+            PlanOp::Read {
+                subarray: check_index(*subarray),
+                row: *row as u8,
+            }
+        }
+        MicroOp::Write {
+            subarray,
+            row,
+            data,
+            mask,
+        } => {
+            assert!(*row < TOTAL_ROWS, "row {row} out of range");
+            PlanOp::Write {
+                subarray: check_index(*subarray),
+                row: *row as u8,
+                data: *data,
+                mask: *mask,
+            }
+        }
+        MicroOp::ReduceTags { subarray } => PlanOp::ReduceTags {
+            subarray: check_index(*subarray),
+        },
+        MicroOp::TagCombine { src, dst, op } => PlanOp::TagCombine {
+            src: check_index(*src),
+            dst: check_index(*dst),
+            op: *op,
+        },
+    }
+}
+
+/// A compiled, immutable microop sequence executed as one broadcast unit.
+///
+/// The op list (and its lowered broadcast plan) is reference-counted so a
+/// cached program can be handed to every pool worker without deep-copying
+/// microops.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MicroProgram {
+    ops: Arc<Vec<MicroOp>>,
+    plan: Arc<Vec<PlanOp>>,
+    sync_points: Vec<SyncPoint>,
+}
+
+impl MicroProgram {
+    /// Wraps an op sequence, locating its sync points and lowering the ops
+    /// into the dense plan the broadcast executor runs.
+    pub fn new(ops: Vec<MicroOp>) -> Self {
+        let sync_points = ops
+            .iter()
+            .enumerate()
+            .filter_map(|(i, op)| match op {
+                MicroOp::ReduceTags { .. } => Some(SyncPoint {
+                    op_index: i,
+                    kind: SyncKind::Reduce,
+                }),
+                MicroOp::Read { .. } => Some(SyncPoint {
+                    op_index: i,
+                    kind: SyncKind::Read,
+                }),
+                _ => None,
+            })
+            .collect();
+        let plan = fuse_steps(ops.iter().map(lower).collect());
+        Self {
+            ops: Arc::new(ops),
+            plan: Arc::new(plan),
+            sync_points,
+        }
+    }
+
+    /// The microops in broadcast order.
+    pub fn ops(&self) -> &[MicroOp] {
+        &self.ops
+    }
+
+    /// Number of microops.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True when the program contains no microops (e.g. `vid.v`, which is
+    /// modeled functionally).
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// The result-producing microops, in program order.
+    pub fn sync_points(&self) -> &[SyncPoint] {
+        &self.sync_points
+    }
+
+    /// Number of reduction sync points — the length of the sum vector
+    /// [`Csb::execute_program`](crate::Csb::execute_program) returns.
+    pub fn reduce_count(&self) -> usize {
+        self.sync_points
+            .iter()
+            .filter(|s| s.kind == SyncKind::Reduce)
+            .count()
+    }
+
+    /// The lowered broadcast plan, op for op parallel to [`Self::ops`].
+    pub(crate) fn plan(&self) -> &[PlanOp] {
+        &self.plan
+    }
+
+    /// Shared handle to the lowered plan (cheap clone for pool workers).
+    pub(crate) fn plan_arc(&self) -> Arc<Vec<PlanOp>> {
+        Arc::clone(&self.plan)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::microop::{Probe, TagDest, TagMode};
+
+    #[test]
+    fn sync_points_locate_reduces_and_reads() {
+        let prog = MicroProgram::new(vec![
+            MicroOp::Search {
+                probes: vec![Probe::row(0, 1, true)],
+                gates: vec![],
+                dest: TagDest::Tags,
+                mode: TagMode::Set,
+            },
+            MicroOp::ReduceTags { subarray: 0 },
+            MicroOp::Read {
+                subarray: 0,
+                row: 1,
+            },
+            MicroOp::ReduceTags { subarray: 1 },
+        ]);
+        assert_eq!(prog.len(), 4);
+        assert_eq!(prog.reduce_count(), 2);
+        assert_eq!(
+            prog.sync_points(),
+            &[
+                SyncPoint {
+                    op_index: 1,
+                    kind: SyncKind::Reduce
+                },
+                SyncPoint {
+                    op_index: 2,
+                    kind: SyncKind::Read
+                },
+                SyncPoint {
+                    op_index: 3,
+                    kind: SyncKind::Reduce
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn empty_program() {
+        let prog = MicroProgram::new(vec![]);
+        assert!(prog.is_empty());
+        assert_eq!(prog.reduce_count(), 0);
+    }
+}

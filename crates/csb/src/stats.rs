@@ -80,7 +80,11 @@ impl MicroOpStats {
     /// Total microop count: the emulator's cycle-count proxy, since each
     /// microop takes one CSB cycle (Table II delays all fit in one cycle).
     pub fn total(&self) -> u64 {
-        self.searches() + self.updates() + self.reads + self.writes + self.reduces
+        self.searches()
+            + self.updates()
+            + self.reads
+            + self.writes
+            + self.reduces
             + self.tag_combines
     }
 

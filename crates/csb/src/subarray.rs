@@ -41,7 +41,7 @@ pub const TOTAL_ROWS: usize = 36;
 /// * *update* — both wordlines asserted for the written row; the columns to
 ///   write are selected externally (by tag bits), so no address decoder or
 ///   priority encoder is involved.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Subarray {
     rows: [u32; TOTAL_ROWS],
 }
@@ -219,7 +219,7 @@ mod tests {
     fn metadata_row_constants_are_distinct_and_in_range() {
         let rows = [ROW_CARRY, ROW_FLAG, ROW_SCRATCH0, ROW_SCRATCH1];
         for (i, &a) in rows.iter().enumerate() {
-            assert!(a >= DATA_ROWS && a < TOTAL_ROWS);
+            assert!((DATA_ROWS..TOTAL_ROWS).contains(&a));
             for &b in &rows[i + 1..] {
                 assert_ne!(a, b);
             }

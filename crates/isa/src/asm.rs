@@ -28,7 +28,10 @@ impl fmt::Display for AsmError {
 impl std::error::Error for AsmError {}
 
 fn e(line: usize, message: impl Into<String>) -> AsmError {
-    AsmError { line, message: message.into() }
+    AsmError {
+        line,
+        message: message.into(),
+    }
 }
 
 /// Assembles source text into a [`Program`].
@@ -97,7 +100,10 @@ fn parse_instr(b: &mut ProgramBuilder, text: &str, line: usize) -> Result<(), As
         if ops.len() == n {
             Ok(())
         } else {
-            Err(e(line, format!("{mnemonic} expects {n} operands, got {}", ops.len())))
+            Err(e(
+                line,
+                format!("{mnemonic} expects {n} operands, got {}", ops.len()),
+            ))
         }
     };
     let reg = |s: &str| s.parse::<Reg>().map_err(|m| e(line, m));
@@ -117,8 +123,12 @@ fn parse_instr(b: &mut ProgramBuilder, text: &str, line: usize) -> Result<(), As
     };
     // "offset(base)" memory operand.
     let mem = |s: &str| -> Result<(i32, Reg), AsmError> {
-        let open = s.find('(').ok_or_else(|| e(line, format!("bad memory operand {s:?}")))?;
-        let close = s.rfind(')').ok_or_else(|| e(line, format!("bad memory operand {s:?}")))?;
+        let open = s
+            .find('(')
+            .ok_or_else(|| e(line, format!("bad memory operand {s:?}")))?;
+        let close = s
+            .rfind(')')
+            .ok_or_else(|| e(line, format!("bad memory operand {s:?}")))?;
         let off = s[..open].trim();
         let off = if off.is_empty() { 0 } else { imm(off)? as i32 };
         Ok((off, reg(s[open + 1..close].trim())?))
@@ -141,7 +151,7 @@ fn parse_instr(b: &mut ProgramBuilder, text: &str, line: usize) -> Result<(), As
             "divu" => AluOp::Divu,
             "rem" => AluOp::Rem,
             "remu" => AluOp::Remu,
-        _ => return None,
+            _ => return None,
         })
     };
     let vector_alu = |name: &str| -> Option<VAluOp> {
@@ -198,16 +208,26 @@ fn parse_instr(b: &mut ProgramBuilder, text: &str, line: usize) -> Result<(), As
         }
         "jal" => {
             argc(2)?;
-            b.push(Instr::Jal { rd: reg(&ops[0])?, offset: imm(&ops[1])? as i32 });
+            b.push(Instr::Jal {
+                rd: reg(&ops[0])?,
+                offset: imm(&ops[1])? as i32,
+            });
         }
         "jalr" => {
             argc(2)?;
             let (offset, rs1) = mem(&ops[1])?;
-            b.push(Instr::Jalr { rd: reg(&ops[0])?, rs1, offset });
+            b.push(Instr::Jalr {
+                rd: reg(&ops[0])?,
+                rs1,
+                offset,
+            });
         }
         "lui" => {
             argc(2)?;
-            b.push(Instr::Lui { rd: reg(&ops[0])?, imm20: imm(&ops[1])? as i32 });
+            b.push(Instr::Lui {
+                rd: reg(&ops[0])?,
+                imm20: imm(&ops[1])? as i32,
+            });
         }
         "beqz" => {
             argc(2)?;
@@ -340,7 +360,12 @@ fn parse_instr(b: &mut ProgramBuilder, text: &str, line: usize) -> Result<(), As
                 let rs1 = reg(&ops[0])?;
                 let rs2 = reg(&ops[1])?;
                 if let Ok(off) = imm(&ops[2]) {
-                    b.push(Instr::Branch { cond, rs1, rs2, offset: off as i32 });
+                    b.push(Instr::Branch {
+                        cond,
+                        rs1,
+                        rs2,
+                        offset: off as i32,
+                    });
                 } else {
                     b.branch(cond, rs1, rs2, ops[2].clone());
                 }
@@ -471,7 +496,7 @@ mod tests {
     }
 
     #[test]
-    fn comments_and_blank_lines_are_ignored()  {
+    fn comments_and_blank_lines_are_ignored() {
         let prog = assemble("\n  # whole-line comment\n nop // trailing\n\nhalt\n").unwrap();
         assert_eq!(prog.len(), 2);
     }

@@ -51,7 +51,10 @@ impl std::fmt::Display for DecodeError {
 impl std::error::Error for DecodeError {}
 
 fn err(word: u32, reason: impl Into<String>) -> DecodeError {
-    DecodeError { word, reason: reason.into() }
+    DecodeError {
+        word,
+        reason: reason.into(),
+    }
 }
 
 // ----- field helpers -----------------------------------------------------
@@ -158,7 +161,10 @@ impl Instr {
         use Instr::*;
         match *self {
             Lui { rd, imm20 } => {
-                assert!((-(1 << 19)..1 << 19).contains(&imm20), "lui immediate out of range");
+                assert!(
+                    (-(1 << 19)..1 << 19).contains(&imm20),
+                    "lui immediate out of range"
+                );
                 ((imm20 as u32) & 0xFFFFF) << 12 | (rd.index() as u32) << 7 | OP_LUI
             }
             Jal { rd, offset } => {
@@ -204,14 +210,56 @@ impl Instr {
                     AluOp::Rem => (0b0000001, 0b110),
                     AluOp::Remu => (0b0000001, 0b111),
                 };
-                r_type(funct7, rs2.index() as u32, rs1.index() as u32, funct3, rd.index() as u32, OP_OP)
+                r_type(
+                    funct7,
+                    rs2.index() as u32,
+                    rs1.index() as u32,
+                    funct3,
+                    rd.index() as u32,
+                    OP_OP,
+                )
             }
-            Lw { rd, rs1, offset } => i_type(offset, rs1.index() as u32, 0b010, rd.index() as u32, OP_LOAD),
-            Lwu { rd, rs1, offset } => i_type(offset, rs1.index() as u32, 0b110, rd.index() as u32, OP_LOAD),
-            Ld { rd, rs1, offset } => i_type(offset, rs1.index() as u32, 0b011, rd.index() as u32, OP_LOAD),
-            Sw { rs2, rs1, offset } => s_type(offset, rs2.index() as u32, rs1.index() as u32, 0b010, OP_STORE),
-            Sd { rs2, rs1, offset } => s_type(offset, rs2.index() as u32, rs1.index() as u32, 0b011, OP_STORE),
-            Branch { cond, rs1, rs2, offset } => {
+            Lw { rd, rs1, offset } => i_type(
+                offset,
+                rs1.index() as u32,
+                0b010,
+                rd.index() as u32,
+                OP_LOAD,
+            ),
+            Lwu { rd, rs1, offset } => i_type(
+                offset,
+                rs1.index() as u32,
+                0b110,
+                rd.index() as u32,
+                OP_LOAD,
+            ),
+            Ld { rd, rs1, offset } => i_type(
+                offset,
+                rs1.index() as u32,
+                0b011,
+                rd.index() as u32,
+                OP_LOAD,
+            ),
+            Sw { rs2, rs1, offset } => s_type(
+                offset,
+                rs2.index() as u32,
+                rs1.index() as u32,
+                0b010,
+                OP_STORE,
+            ),
+            Sd { rs2, rs1, offset } => s_type(
+                offset,
+                rs2.index() as u32,
+                rs1.index() as u32,
+                0b011,
+                OP_STORE,
+            ),
+            Branch {
+                cond,
+                rs1,
+                rs2,
+                offset,
+            } => {
                 assert!(offset % 2 == 0 && (-4096..4096).contains(&offset));
                 let funct3 = match cond {
                     BranchCond::Eq => 0b000,
@@ -221,7 +269,13 @@ impl Instr {
                     BranchCond::Ltu => 0b110,
                     BranchCond::Geu => 0b111,
                 };
-                b_type(offset, rs2.index() as u32, rs1.index() as u32, funct3, OP_BRANCH)
+                b_type(
+                    offset,
+                    rs2.index() as u32,
+                    rs1.index() as u32,
+                    funct3,
+                    OP_BRANCH,
+                )
             }
             Ecall => OP_SYSTEM,
             Vsetvli { rd, rs1, sew } => {
@@ -232,14 +286,20 @@ impl Instr {
                     | OP_V
             }
             Vle32 { vd, rs1 } => {
-                1 << 25 | (rs1.index() as u32) << 15 | 0b110 << 12 | (vd.index() as u32) << 7 | OP_VLOAD
+                1 << 25
+                    | (rs1.index() as u32) << 15
+                    | 0b110 << 12
+                    | (vd.index() as u32) << 7
+                    | OP_VLOAD
             }
             Vse32 { vs3, rs1 } => {
-                1 << 25 | (rs1.index() as u32) << 15 | 0b110 << 12 | (vs3.index() as u32) << 7 | OP_VSTORE
+                1 << 25
+                    | (rs1.index() as u32) << 15
+                    | 0b110 << 12
+                    | (vs3.index() as u32) << 7
+                    | OP_VSTORE
             }
-            Vsetstart { rs1 } => {
-                i_type(0, rs1.index() as u32, 0b001, 0, OP_CUSTOM0)
-            }
+            Vsetstart { rs1 } => i_type(0, rs1.index() as u32, 0b001, 0, OP_CUSTOM0),
             Vlrw { vd, rs1, rs2 } => r_type(
                 0,
                 rs2.index() as u32,
@@ -250,13 +310,31 @@ impl Instr {
             ),
             VOpVv { op, vd, lhs, rhs } => {
                 let funct3 = if op == VAluOp::Mul { OPMVV } else { OPIVV };
-                v_type(valu_funct6(op), 1, lhs.index() as u32, rhs.index() as u32, funct3, vd.index() as u32)
+                v_type(
+                    valu_funct6(op),
+                    1,
+                    lhs.index() as u32,
+                    rhs.index() as u32,
+                    funct3,
+                    vd.index() as u32,
+                )
             }
             VOpVx { op, vd, lhs, rs } => {
                 let funct3 = if op == VAluOp::Mul { OPMVX } else { OPIVX };
-                v_type(valu_funct6(op), 1, lhs.index() as u32, rs.index() as u32, funct3, vd.index() as u32)
+                v_type(
+                    valu_funct6(op),
+                    1,
+                    lhs.index() as u32,
+                    rs.index() as u32,
+                    funct3,
+                    vd.index() as u32,
+                )
             }
-            VmergeVvm { vd, on_false, on_true } => v_type(
+            VmergeVvm {
+                vd,
+                on_false,
+                on_true,
+            } => v_type(
                 0b010111,
                 0,
                 on_false.index() as u32,
@@ -273,28 +351,80 @@ impl Instr {
                 vd.index() as u32,
             ),
             VmvVx { vd, rs } => v_type(0b010111, 1, 0, rs.index() as u32, OPIVX, vd.index() as u32),
-            VmvXs { rd, vs } => v_type(0b010000, 1, vs.index() as u32, 0b00000, OPMVV, rd.index() as u32),
+            VmvXs { rd, vs } => v_type(
+                0b010000,
+                1,
+                vs.index() as u32,
+                0b00000,
+                OPMVV,
+                rd.index() as u32,
+            ),
             VmvVv { vd, vs } => v_type(0b010111, 1, 0, vs.index() as u32, OPIVV, vd.index() as u32),
-            VrsubVx { vd, lhs, rs } => {
-                v_type(0b000011, 1, lhs.index() as u32, rs.index() as u32, OPIVX, vd.index() as u32)
-            }
-            VmaccVv { vd, vs1, vs2 } => {
-                v_type(0b101101, 1, vs2.index() as u32, vs1.index() as u32, OPMVV, vd.index() as u32)
-            }
+            VrsubVx { vd, lhs, rs } => v_type(
+                0b000011,
+                1,
+                lhs.index() as u32,
+                rs.index() as u32,
+                OPIVX,
+                vd.index() as u32,
+            ),
+            VmaccVv { vd, vs1, vs2 } => v_type(
+                0b101101,
+                1,
+                vs2.index() as u32,
+                vs1.index() as u32,
+                OPMVV,
+                vd.index() as u32,
+            ),
             VsraVi { vd, vs, imm } => {
                 assert!(imm < 32, "vector shift immediate out of range");
-                v_type(0b101001, 1, vs.index() as u32, imm, OPIVI, vd.index() as u32)
+                v_type(
+                    0b101001,
+                    1,
+                    vs.index() as u32,
+                    imm,
+                    OPIVI,
+                    vd.index() as u32,
+                )
             }
-            VcpopM { rd, vs } => v_type(0b010000, 1, vs.index() as u32, 0b10000, OPMVV, rd.index() as u32),
-            VfirstM { rd, vs } => v_type(0b010000, 1, vs.index() as u32, 0b10001, OPMVV, rd.index() as u32),
+            VcpopM { rd, vs } => v_type(
+                0b010000,
+                1,
+                vs.index() as u32,
+                0b10000,
+                OPMVV,
+                rd.index() as u32,
+            ),
+            VfirstM { rd, vs } => v_type(
+                0b010000,
+                1,
+                vs.index() as u32,
+                0b10001,
+                OPMVV,
+                rd.index() as u32,
+            ),
             VidV { vd } => v_type(0b010100, 1, 0, 0b10001, OPMVV, vd.index() as u32),
             VsllVi { vd, vs, imm } => {
                 assert!(imm < 32, "vector shift immediate out of range");
-                v_type(0b100101, 1, vs.index() as u32, imm, OPIVI, vd.index() as u32)
+                v_type(
+                    0b100101,
+                    1,
+                    vs.index() as u32,
+                    imm,
+                    OPIVI,
+                    vd.index() as u32,
+                )
             }
             VsrlVi { vd, vs, imm } => {
                 assert!(imm < 32, "vector shift immediate out of range");
-                v_type(0b101000, 1, vs.index() as u32, imm, OPIVI, vd.index() as u32)
+                v_type(
+                    0b101000,
+                    1,
+                    vs.index() as u32,
+                    imm,
+                    OPIVI,
+                    vd.index() as u32,
+                )
             }
         }
     }
@@ -314,15 +444,25 @@ impl Instr {
         let funct7 = word >> 25;
         let i_imm = sext(word >> 20, 12);
         match opcode {
-            OP_LUI => Ok(Instr::Lui { rd, imm20: sext(word >> 12, 20) }),
+            OP_LUI => Ok(Instr::Lui {
+                rd,
+                imm20: sext(word >> 12, 20),
+            }),
             OP_JAL => {
                 let imm = (word >> 31 & 1) << 20
                     | (word >> 21 & 0x3FF) << 1
                     | (word >> 20 & 1) << 11
                     | (word >> 12 & 0xFF) << 12;
-                Ok(Instr::Jal { rd, offset: sext(imm, 21) })
+                Ok(Instr::Jal {
+                    rd,
+                    offset: sext(imm, 21),
+                })
             }
-            OP_JALR => Ok(Instr::Jalr { rd, rs1, offset: i_imm }),
+            OP_JALR => Ok(Instr::Jalr {
+                rd,
+                rs1,
+                offset: i_imm,
+            }),
             OP_IMM => {
                 let op = match funct3 {
                     0b000 => AluOp::Add,
@@ -370,16 +510,36 @@ impl Instr {
                 Ok(Instr::Op { op, rd, rs1, rs2 })
             }
             OP_LOAD => match funct3 {
-                0b010 => Ok(Instr::Lw { rd, rs1, offset: i_imm }),
-                0b110 => Ok(Instr::Lwu { rd, rs1, offset: i_imm }),
-                0b011 => Ok(Instr::Ld { rd, rs1, offset: i_imm }),
+                0b010 => Ok(Instr::Lw {
+                    rd,
+                    rs1,
+                    offset: i_imm,
+                }),
+                0b110 => Ok(Instr::Lwu {
+                    rd,
+                    rs1,
+                    offset: i_imm,
+                }),
+                0b011 => Ok(Instr::Ld {
+                    rd,
+                    rs1,
+                    offset: i_imm,
+                }),
                 _ => Err(err(word, "unsupported load width")),
             },
             OP_STORE => {
                 let imm = sext((word >> 25) << 5 | (word >> 7 & 0x1F), 12);
                 match funct3 {
-                    0b010 => Ok(Instr::Sw { rs2, rs1, offset: imm }),
-                    0b011 => Ok(Instr::Sd { rs2, rs1, offset: imm }),
+                    0b010 => Ok(Instr::Sw {
+                        rs2,
+                        rs1,
+                        offset: imm,
+                    }),
+                    0b011 => Ok(Instr::Sd {
+                        rs2,
+                        rs1,
+                        offset: imm,
+                    }),
                     _ => Err(err(word, "unsupported store width")),
                 }
             }
@@ -397,19 +557,30 @@ impl Instr {
                     | (word >> 7 & 1) << 11
                     | (word >> 25 & 0x3F) << 5
                     | (word >> 8 & 0xF) << 1;
-                Ok(Instr::Branch { cond, rs1, rs2, offset: sext(imm, 13) })
+                Ok(Instr::Branch {
+                    cond,
+                    rs1,
+                    rs2,
+                    offset: sext(imm, 13),
+                })
             }
             OP_SYSTEM if word == OP_SYSTEM => Ok(Instr::Ecall),
             OP_SYSTEM => Err(err(word, "only ecall is supported on SYSTEM")),
-            OP_VLOAD if funct3 == 0b110 => Ok(Instr::Vle32 { vd: VReg::new((word >> 7 & 0x1F) as u8), rs1 }),
+            OP_VLOAD if funct3 == 0b110 => Ok(Instr::Vle32 {
+                vd: VReg::new((word >> 7 & 0x1F) as u8),
+                rs1,
+            }),
             OP_VLOAD => Err(err(word, "unsupported vector load width")),
-            OP_VSTORE if funct3 == 0b110 => {
-                Ok(Instr::Vse32 { vs3: VReg::new((word >> 7 & 0x1F) as u8), rs1 })
-            }
+            OP_VSTORE if funct3 == 0b110 => Ok(Instr::Vse32 {
+                vs3: VReg::new((word >> 7 & 0x1F) as u8),
+                rs1,
+            }),
             OP_VSTORE => Err(err(word, "unsupported vector store width")),
-            OP_CUSTOM0 if funct3 == 0 && funct7 == 0 => {
-                Ok(Instr::Vlrw { vd: VReg::new((word >> 7 & 0x1F) as u8), rs1, rs2 })
-            }
+            OP_CUSTOM0 if funct3 == 0 && funct7 == 0 => Ok(Instr::Vlrw {
+                vd: VReg::new((word >> 7 & 0x1F) as u8),
+                rs1,
+                rs2,
+            }),
             OP_CUSTOM0 if funct3 == 1 => Ok(Instr::Vsetstart { rs1 }),
             OP_CUSTOM0 => Err(err(word, "unknown custom-0 instruction")),
             OP_V => decode_op_v(word),
@@ -438,46 +609,94 @@ fn decode_op_v(word: u32) -> Result<Instr, DecodeError> {
                 v if v == vtype_for(Sew::E32) => Sew::E32,
                 _ => return Err(err(word, "unsupported vtype (e8/e16/e32, m1 only)")),
             };
-            Ok(Instr::Vsetvli { rd, rs1: Reg::new(vs1_bits as u8), sew })
+            Ok(Instr::Vsetvli {
+                rd,
+                rs1: Reg::new(vs1_bits as u8),
+                sew,
+            })
         }
         OPIVV => {
             if funct6 == 0b010111 {
                 return Ok(if vm == 0 {
-                    Instr::VmergeVvm { vd, on_false: vs2, on_true: VReg::new(vs1_bits as u8) }
+                    Instr::VmergeVvm {
+                        vd,
+                        on_false: vs2,
+                        on_true: VReg::new(vs1_bits as u8),
+                    }
                 } else {
-                    Instr::VmvVv { vd, vs: VReg::new(vs1_bits as u8) }
+                    Instr::VmvVv {
+                        vd,
+                        vs: VReg::new(vs1_bits as u8),
+                    }
                 });
             }
-            let op = valu_from_funct6(funct6, false)
-                .ok_or_else(|| err(word, "unknown OPIVV funct6"))?;
-            Ok(Instr::VOpVv { op, vd, lhs: vs2, rhs: VReg::new(vs1_bits as u8) })
+            let op =
+                valu_from_funct6(funct6, false).ok_or_else(|| err(word, "unknown OPIVV funct6"))?;
+            Ok(Instr::VOpVv {
+                op,
+                vd,
+                lhs: vs2,
+                rhs: VReg::new(vs1_bits as u8),
+            })
         }
         OPIVX => {
             if funct6 == 0b010111 && vm == 1 {
-                return Ok(Instr::VmvVx { vd, rs: Reg::new(vs1_bits as u8) });
+                return Ok(Instr::VmvVx {
+                    vd,
+                    rs: Reg::new(vs1_bits as u8),
+                });
             }
             if funct6 == 0b000011 {
-                return Ok(Instr::VrsubVx { vd, lhs: vs2, rs: Reg::new(vs1_bits as u8) });
+                return Ok(Instr::VrsubVx {
+                    vd,
+                    lhs: vs2,
+                    rs: Reg::new(vs1_bits as u8),
+                });
             }
-            let op = valu_from_funct6(funct6, false)
-                .ok_or_else(|| err(word, "unknown OPIVX funct6"))?;
-            Ok(Instr::VOpVx { op, vd, lhs: vs2, rs: Reg::new(vs1_bits as u8) })
+            let op =
+                valu_from_funct6(funct6, false).ok_or_else(|| err(word, "unknown OPIVX funct6"))?;
+            Ok(Instr::VOpVx {
+                op,
+                vd,
+                lhs: vs2,
+                rs: Reg::new(vs1_bits as u8),
+            })
         }
         OPIVI => match funct6 {
-            0b100101 => Ok(Instr::VsllVi { vd, vs: vs2, imm: vs1_bits }),
-            0b101000 => Ok(Instr::VsrlVi { vd, vs: vs2, imm: vs1_bits }),
-            0b101001 => Ok(Instr::VsraVi { vd, vs: vs2, imm: vs1_bits }),
+            0b100101 => Ok(Instr::VsllVi {
+                vd,
+                vs: vs2,
+                imm: vs1_bits,
+            }),
+            0b101000 => Ok(Instr::VsrlVi {
+                vd,
+                vs: vs2,
+                imm: vs1_bits,
+            }),
+            0b101001 => Ok(Instr::VsraVi {
+                vd,
+                vs: vs2,
+                imm: vs1_bits,
+            }),
             _ => Err(err(word, "unknown OPIVI funct6")),
         },
         OPMVV => match funct6 {
-            0b000000 => Ok(Instr::VredsumVs { vd, vs2, vs1: VReg::new(vs1_bits as u8) }),
+            0b000000 => Ok(Instr::VredsumVs {
+                vd,
+                vs2,
+                vs1: VReg::new(vs1_bits as u8),
+            }),
             0b100101 => Ok(Instr::VOpVv {
                 op: VAluOp::Mul,
                 vd,
                 lhs: vs2,
                 rhs: VReg::new(vs1_bits as u8),
             }),
-            0b101101 => Ok(Instr::VmaccVv { vd, vs1: VReg::new(vs1_bits as u8), vs2 }),
+            0b101101 => Ok(Instr::VmaccVv {
+                vd,
+                vs1: VReg::new(vs1_bits as u8),
+                vs2,
+            }),
             0b010000 if vs1_bits == 0b00000 => Ok(Instr::VmvXs { rd, vs: vs2 }),
             0b010000 if vs1_bits == 0b10000 => Ok(Instr::VcpopM { rd, vs: vs2 }),
             0b010000 if vs1_bits == 0b10001 => Ok(Instr::VfirstM { rd, vs: vs2 }),
@@ -504,62 +723,221 @@ mod tests {
     fn sample_instrs() -> Vec<Instr> {
         use Instr::*;
         let mut v = vec![
-            Lui { rd: Reg::A0, imm20: -3 },
-            Jal { rd: Reg::RA, offset: -2048 },
-            Jalr { rd: Reg::ZERO, rs1: Reg::RA, offset: 0 },
-            Lw { rd: Reg::A0, rs1: Reg::SP, offset: -4 },
-            Lwu { rd: Reg::A1, rs1: Reg::SP, offset: 124 },
-            Ld { rd: Reg::A2, rs1: Reg::SP, offset: 8 },
-            Sw { rs2: Reg::A0, rs1: Reg::SP, offset: -32 },
-            Sd { rs2: Reg::T6, rs1: Reg::A5, offset: 2040 },
+            Lui {
+                rd: Reg::A0,
+                imm20: -3,
+            },
+            Jal {
+                rd: Reg::RA,
+                offset: -2048,
+            },
+            Jalr {
+                rd: Reg::ZERO,
+                rs1: Reg::RA,
+                offset: 0,
+            },
+            Lw {
+                rd: Reg::A0,
+                rs1: Reg::SP,
+                offset: -4,
+            },
+            Lwu {
+                rd: Reg::A1,
+                rs1: Reg::SP,
+                offset: 124,
+            },
+            Ld {
+                rd: Reg::A2,
+                rs1: Reg::SP,
+                offset: 8,
+            },
+            Sw {
+                rs2: Reg::A0,
+                rs1: Reg::SP,
+                offset: -32,
+            },
+            Sd {
+                rs2: Reg::T6,
+                rs1: Reg::A5,
+                offset: 2040,
+            },
             Ecall,
-            Vsetvli { rd: Reg::T1, rs1: Reg::T0, sew: Sew::E32 },
-            Vsetvli { rd: Reg::T1, rs1: Reg::T0, sew: Sew::E8 },
-            Vsetvli { rd: Reg::T1, rs1: Reg::T0, sew: Sew::E16 },
+            Vsetvli {
+                rd: Reg::T1,
+                rs1: Reg::T0,
+                sew: Sew::E32,
+            },
+            Vsetvli {
+                rd: Reg::T1,
+                rs1: Reg::T0,
+                sew: Sew::E8,
+            },
+            Vsetvli {
+                rd: Reg::T1,
+                rs1: Reg::T0,
+                sew: Sew::E16,
+            },
             Vsetstart { rs1: Reg::T2 },
-            VmvVv { vd: VReg::V18, vs: VReg::V19 },
-            VrsubVx { vd: VReg::V20, lhs: VReg::V21, rs: Reg::S5 },
-            VmaccVv { vd: VReg::V22, vs1: VReg::V23, vs2: VReg::V24 },
-            VsraVi { vd: VReg::V25, vs: VReg::V26, imm: 7 },
-            Vle32 { vd: VReg::V4, rs1: Reg::A0 },
-            Vse32 { vs3: VReg::V5, rs1: Reg::A1 },
-            Vlrw { vd: VReg::V6, rs1: Reg::A2, rs2: Reg::A3 },
-            VmergeVvm { vd: VReg::V1, on_false: VReg::V2, on_true: VReg::V3 },
-            VredsumVs { vd: VReg::V9, vs2: VReg::V8, vs1: VReg::V7 },
-            VmvVx { vd: VReg::V10, rs: Reg::A4 },
-            VmvXs { rd: Reg::A5, vs: VReg::V9 },
-            VcpopM { rd: Reg::A0, vs: VReg::V11 },
-            VfirstM { rd: Reg::A1, vs: VReg::V12 },
+            VmvVv {
+                vd: VReg::V18,
+                vs: VReg::V19,
+            },
+            VrsubVx {
+                vd: VReg::V20,
+                lhs: VReg::V21,
+                rs: Reg::S5,
+            },
+            VmaccVv {
+                vd: VReg::V22,
+                vs1: VReg::V23,
+                vs2: VReg::V24,
+            },
+            VsraVi {
+                vd: VReg::V25,
+                vs: VReg::V26,
+                imm: 7,
+            },
+            Vle32 {
+                vd: VReg::V4,
+                rs1: Reg::A0,
+            },
+            Vse32 {
+                vs3: VReg::V5,
+                rs1: Reg::A1,
+            },
+            Vlrw {
+                vd: VReg::V6,
+                rs1: Reg::A2,
+                rs2: Reg::A3,
+            },
+            VmergeVvm {
+                vd: VReg::V1,
+                on_false: VReg::V2,
+                on_true: VReg::V3,
+            },
+            VredsumVs {
+                vd: VReg::V9,
+                vs2: VReg::V8,
+                vs1: VReg::V7,
+            },
+            VmvVx {
+                vd: VReg::V10,
+                rs: Reg::A4,
+            },
+            VmvXs {
+                rd: Reg::A5,
+                vs: VReg::V9,
+            },
+            VcpopM {
+                rd: Reg::A0,
+                vs: VReg::V11,
+            },
+            VfirstM {
+                rd: Reg::A1,
+                vs: VReg::V12,
+            },
             VidV { vd: VReg::V13 },
-            VsllVi { vd: VReg::V14, vs: VReg::V15, imm: 31 },
-            VsrlVi { vd: VReg::V16, vs: VReg::V17, imm: 1 },
+            VsllVi {
+                vd: VReg::V14,
+                vs: VReg::V15,
+                imm: 31,
+            },
+            VsrlVi {
+                vd: VReg::V16,
+                vs: VReg::V17,
+                imm: 1,
+            },
         ];
         for op in [
-            AluOp::Add, AluOp::Sub, AluOp::Sll, AluOp::Slt, AluOp::Sltu, AluOp::Xor,
-            AluOp::Srl, AluOp::Sra, AluOp::Or, AluOp::And, AluOp::Mul, AluOp::Div,
-            AluOp::Divu, AluOp::Rem, AluOp::Remu,
+            AluOp::Add,
+            AluOp::Sub,
+            AluOp::Sll,
+            AluOp::Slt,
+            AluOp::Sltu,
+            AluOp::Xor,
+            AluOp::Srl,
+            AluOp::Sra,
+            AluOp::Or,
+            AluOp::And,
+            AluOp::Mul,
+            AluOp::Div,
+            AluOp::Divu,
+            AluOp::Rem,
+            AluOp::Remu,
         ] {
-            v.push(Op { op, rd: Reg::S2, rs1: Reg::S3, rs2: Reg::S4 });
-        }
-        for op in [AluOp::Add, AluOp::Slt, AluOp::Sltu, AluOp::Xor, AluOp::Or, AluOp::And] {
-            v.push(OpImm { op, rd: Reg::T2, rs1: Reg::T3, imm: -7 });
-        }
-        for op in [AluOp::Sll, AluOp::Srl, AluOp::Sra] {
-            v.push(OpImm { op, rd: Reg::T2, rs1: Reg::T3, imm: 33 });
-        }
-        for cond in [
-            BranchCond::Eq, BranchCond::Ne, BranchCond::Lt,
-            BranchCond::Ge, BranchCond::Ltu, BranchCond::Geu,
-        ] {
-            v.push(Branch { cond, rs1: Reg::A6, rs2: Reg::A7, offset: -256 });
+            v.push(Op {
+                op,
+                rd: Reg::S2,
+                rs1: Reg::S3,
+                rs2: Reg::S4,
+            });
         }
         for op in [
-            VAluOp::Add, VAluOp::Sub, VAluOp::Mul, VAluOp::And, VAluOp::Or,
-            VAluOp::Xor, VAluOp::Mseq, VAluOp::Msne, VAluOp::Mslt, VAluOp::Msltu,
-            VAluOp::Min, VAluOp::Minu, VAluOp::Max, VAluOp::Maxu,
+            AluOp::Add,
+            AluOp::Slt,
+            AluOp::Sltu,
+            AluOp::Xor,
+            AluOp::Or,
+            AluOp::And,
         ] {
-            v.push(VOpVv { op, vd: VReg::V20, lhs: VReg::V21, rhs: VReg::V22 });
-            v.push(VOpVx { op, vd: VReg::V23, lhs: VReg::V24, rs: Reg::S5 });
+            v.push(OpImm {
+                op,
+                rd: Reg::T2,
+                rs1: Reg::T3,
+                imm: -7,
+            });
+        }
+        for op in [AluOp::Sll, AluOp::Srl, AluOp::Sra] {
+            v.push(OpImm {
+                op,
+                rd: Reg::T2,
+                rs1: Reg::T3,
+                imm: 33,
+            });
+        }
+        for cond in [
+            BranchCond::Eq,
+            BranchCond::Ne,
+            BranchCond::Lt,
+            BranchCond::Ge,
+            BranchCond::Ltu,
+            BranchCond::Geu,
+        ] {
+            v.push(Branch {
+                cond,
+                rs1: Reg::A6,
+                rs2: Reg::A7,
+                offset: -256,
+            });
+        }
+        for op in [
+            VAluOp::Add,
+            VAluOp::Sub,
+            VAluOp::Mul,
+            VAluOp::And,
+            VAluOp::Or,
+            VAluOp::Xor,
+            VAluOp::Mseq,
+            VAluOp::Msne,
+            VAluOp::Mslt,
+            VAluOp::Msltu,
+            VAluOp::Min,
+            VAluOp::Minu,
+            VAluOp::Max,
+            VAluOp::Maxu,
+        ] {
+            v.push(VOpVv {
+                op,
+                vd: VReg::V20,
+                lhs: VReg::V21,
+                rhs: VReg::V22,
+            });
+            v.push(VOpVx {
+                op,
+                vd: VReg::V23,
+                lhs: VReg::V24,
+                rs: Reg::S5,
+            });
         }
         v
     }
@@ -576,7 +954,12 @@ mod tests {
     fn vadd_vv_matches_rvv_layout() {
         // vadd.vv v3, v1, v2 (vd=3, vs2=1, vs1=2, unmasked):
         // funct6=0, vm=1, vs2=1, vs1=2, funct3=000, vd=3, opcode=0x57.
-        let i = Instr::VOpVv { op: VAluOp::Add, vd: VReg::V3, lhs: VReg::V1, rhs: VReg::V2 };
+        let i = Instr::VOpVv {
+            op: VAluOp::Add,
+            vd: VReg::V3,
+            lhs: VReg::V1,
+            rhs: VReg::V2,
+        };
         assert_eq!(i.encode(), 1 << 25 | 1 << 20 | 2 << 15 | 3 << 7 | 0x57);
     }
 
@@ -596,6 +979,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "no immediate form")]
     fn sub_immediate_panics() {
-        Instr::OpImm { op: AluOp::Sub, rd: Reg::A0, rs1: Reg::A0, imm: 1 }.encode();
+        Instr::OpImm {
+            op: AluOp::Sub,
+            rd: Reg::A0,
+            rs1: Reg::A0,
+            imm: 1,
+        }
+        .encode();
     }
 }

@@ -25,9 +25,19 @@ pub enum Instr {
     /// Indirect jump and link.
     Jalr { rd: Reg, rs1: Reg, offset: i32 },
     /// Immediate ALU operation.
-    OpImm { op: AluOp, rd: Reg, rs1: Reg, imm: i32 },
+    OpImm {
+        op: AluOp,
+        rd: Reg,
+        rs1: Reg,
+        imm: i32,
+    },
     /// Register-register ALU operation (including M-extension ops).
-    Op { op: AluOp, rd: Reg, rs1: Reg, rs2: Reg },
+    Op {
+        op: AluOp,
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
     /// 32-bit signed load.
     Lw { rd: Reg, rs1: Reg, offset: i32 },
     /// 32-bit unsigned load.
@@ -39,7 +49,12 @@ pub enum Instr {
     /// 64-bit store.
     Sd { rs2: Reg, rs1: Reg, offset: i32 },
     /// Conditional branch.
-    Branch { cond: BranchCond, rs1: Reg, rs2: Reg, offset: i32 },
+    Branch {
+        cond: BranchCond,
+        rs1: Reg,
+        rs2: Reg,
+        offset: i32,
+    },
     /// Environment call — used as the halt convention by the control
     /// processor model.
     Ecall,
@@ -69,11 +84,25 @@ pub enum Instr {
 
     // ----- vector compute -------------------------------------------------
     /// `v<op>.vv vd, lhs, rhs` — element-wise vector-vector operation.
-    VOpVv { op: VAluOp, vd: VReg, lhs: VReg, rhs: VReg },
+    VOpVv {
+        op: VAluOp,
+        vd: VReg,
+        lhs: VReg,
+        rhs: VReg,
+    },
     /// `v<op>.vx vd, lhs, rs` — element-wise vector-scalar operation.
-    VOpVx { op: VAluOp, vd: VReg, lhs: VReg, rs: Reg },
+    VOpVx {
+        op: VAluOp,
+        vd: VReg,
+        lhs: VReg,
+        rs: Reg,
+    },
     /// `vmerge.vvm vd, on_false, on_true, v0` — masked select.
-    VmergeVvm { vd: VReg, on_false: VReg, on_true: VReg },
+    VmergeVvm {
+        vd: VReg,
+        on_false: VReg,
+        on_true: VReg,
+    },
     /// `vredsum.vs vd, vs2, vs1` — `vd[0] = vs1[0] + sum(vs2[*])`.
     VredsumVs { vd: VReg, vs2: VReg, vs1: VReg },
     /// `vmv.v.x vd, rs` — broadcast a scalar.
@@ -207,7 +236,10 @@ impl Instr {
     /// True for vector *memory* instructions (routed to the VMU rather
     /// than the VCU).
     pub fn is_vector_memory(&self) -> bool {
-        matches!(self, Instr::Vle32 { .. } | Instr::Vse32 { .. } | Instr::Vlrw { .. })
+        matches!(
+            self,
+            Instr::Vle32 { .. } | Instr::Vse32 { .. } | Instr::Vlrw { .. }
+        )
     }
 }
 
@@ -225,7 +257,12 @@ impl fmt::Display for Instr {
             Ld { rd, rs1, offset } => write!(f, "ld {rd}, {offset}({rs1})"),
             Sw { rs2, rs1, offset } => write!(f, "sw {rs2}, {offset}({rs1})"),
             Sd { rs2, rs1, offset } => write!(f, "sd {rs2}, {offset}({rs1})"),
-            Branch { cond, rs1, rs2, offset } => {
+            Branch {
+                cond,
+                rs1,
+                rs2,
+                offset,
+            } => {
                 write!(f, "{} {rs1}, {rs2}, {offset}", branch_name(*cond))
             }
             Ecall => write!(f, "ecall"),
@@ -243,7 +280,11 @@ impl fmt::Display for Instr {
             Vlrw { vd, rs1, rs2 } => write!(f, "vlrw.v {vd}, {rs1}, {rs2}"),
             VOpVv { op, vd, lhs, rhs } => write!(f, "{}.vv {vd}, {lhs}, {rhs}", valu_name(*op)),
             VOpVx { op, vd, lhs, rs } => write!(f, "{}.vx {vd}, {lhs}, {rs}", valu_name(*op)),
-            VmergeVvm { vd, on_false, on_true } => {
+            VmergeVvm {
+                vd,
+                on_false,
+                on_true,
+            } => {
                 write!(f, "vmerge.vvm {vd}, {on_false}, {on_true}, v0")
             }
             VredsumVs { vd, vs2, vs1 } => write!(f, "vredsum.vs {vd}, {vs2}, {vs1}"),
@@ -318,22 +359,49 @@ mod tests {
 
     #[test]
     fn vector_classification() {
-        let v = Instr::VOpVv { op: VAluOp::Add, vd: VReg::V1, lhs: VReg::V2, rhs: VReg::V3 };
+        let v = Instr::VOpVv {
+            op: VAluOp::Add,
+            vd: VReg::V1,
+            lhs: VReg::V2,
+            rhs: VReg::V3,
+        };
         assert!(v.is_vector());
         assert!(!v.is_vector_memory());
-        let m = Instr::Vle32 { vd: VReg::V1, rs1: Reg::A0 };
+        let m = Instr::Vle32 {
+            vd: VReg::V1,
+            rs1: Reg::A0,
+        };
         assert!(m.is_vector() && m.is_vector_memory());
-        let s = Instr::Op { op: AluOp::Add, rd: Reg::A0, rs1: Reg::A1, rs2: Reg::A2 };
+        let s = Instr::Op {
+            op: AluOp::Add,
+            rd: Reg::A0,
+            rs1: Reg::A1,
+            rs2: Reg::A2,
+        };
         assert!(!s.is_vector());
     }
 
     #[test]
     fn display_produces_assembly() {
-        let i = Instr::VOpVv { op: VAluOp::Add, vd: VReg::V3, lhs: VReg::V1, rhs: VReg::V2 };
+        let i = Instr::VOpVv {
+            op: VAluOp::Add,
+            vd: VReg::V3,
+            lhs: VReg::V1,
+            rhs: VReg::V2,
+        };
         assert_eq!(i.to_string(), "vadd.vv v3, v1, v2");
-        let b = Instr::Branch { cond: BranchCond::Ne, rs1: Reg::T0, rs2: Reg::ZERO, offset: -8 };
+        let b = Instr::Branch {
+            cond: BranchCond::Ne,
+            rs1: Reg::T0,
+            rs2: Reg::ZERO,
+            offset: -8,
+        };
         assert_eq!(b.to_string(), "bne x5, x0, -8");
-        let l = Instr::Lw { rd: Reg::A0, rs1: Reg::SP, offset: 16 };
+        let l = Instr::Lw {
+            rd: Reg::A0,
+            rs1: Reg::SP,
+            offset: 16,
+        };
         assert_eq!(l.to_string(), "lw x10, 16(x2)");
     }
 }

@@ -54,7 +54,10 @@ impl Program {
     ///
     /// Returns the first word that fails to decode.
     pub fn decode(words: &[u32]) -> Result<Program, crate::encode::DecodeError> {
-        let instrs = words.iter().map(|&w| Instr::decode(w)).collect::<Result<_, _>>()?;
+        let instrs = words
+            .iter()
+            .map(|&w| Instr::decode(w))
+            .collect::<Result<_, _>>()?;
         Ok(Program { instrs })
     }
 }
@@ -101,8 +104,16 @@ impl std::error::Error for ProgramError {}
 #[derive(Debug, Clone)]
 enum Item {
     Fixed(Instr),
-    BranchTo { cond: BranchCond, rs1: Reg, rs2: Reg, label: String },
-    JalTo { rd: Reg, label: String },
+    BranchTo {
+        cond: BranchCond,
+        rs1: Reg,
+        rs2: Reg,
+        label: String,
+    },
+    JalTo {
+        rd: Reg,
+        label: String,
+    },
 }
 
 /// Builds a [`Program`], resolving labels to branch offsets.
@@ -142,7 +153,8 @@ impl ProgramBuilder {
     pub fn label(&mut self, name: impl Into<String>) -> &mut Self {
         let name = name.into();
         if self.labels.insert(name.clone(), self.items.len()).is_some() {
-            self.label_error.get_or_insert(ProgramError::DuplicateLabel(name));
+            self.label_error
+                .get_or_insert(ProgramError::DuplicateLabel(name));
         }
         self
     }
@@ -179,19 +191,38 @@ impl ProgramBuilder {
             };
             let instr = match item {
                 Item::Fixed(i) => *i,
-                Item::BranchTo { cond, rs1, rs2, label } => {
+                Item::BranchTo {
+                    cond,
+                    rs1,
+                    rs2,
+                    label,
+                } => {
                     let offset = resolve(label)?;
                     if !(-4096..4096).contains(&offset) {
-                        return Err(ProgramError::BranchOutOfRange { label: label.clone(), offset });
+                        return Err(ProgramError::BranchOutOfRange {
+                            label: label.clone(),
+                            offset,
+                        });
                     }
-                    Instr::Branch { cond: *cond, rs1: *rs1, rs2: *rs2, offset: offset as i32 }
+                    Instr::Branch {
+                        cond: *cond,
+                        rs1: *rs1,
+                        rs2: *rs2,
+                        offset: offset as i32,
+                    }
                 }
                 Item::JalTo { rd, label } => {
                     let offset = resolve(label)?;
                     if !(-(1 << 20)..1 << 20).contains(&offset) {
-                        return Err(ProgramError::BranchOutOfRange { label: label.clone(), offset });
+                        return Err(ProgramError::BranchOutOfRange {
+                            label: label.clone(),
+                            offset,
+                        });
                     }
-                    Instr::Jal { rd: *rd, offset: offset as i32 }
+                    Instr::Jal {
+                        rd: *rd,
+                        offset: offset as i32,
+                    }
                 }
             };
             instrs.push(instr);
@@ -210,13 +241,23 @@ impl ProgramBuilder {
         );
         let imm = imm as i32;
         if (-2048..2048).contains(&imm) {
-            self.push(Instr::OpImm { op: AluOp::Add, rd, rs1: Reg::ZERO, imm })
+            self.push(Instr::OpImm {
+                op: AluOp::Add,
+                rd,
+                rs1: Reg::ZERO,
+                imm,
+            })
         } else {
             let low = (imm << 20) >> 20; // sign-extended low 12 bits
             let high = imm.wrapping_sub(low) >> 12;
             self.push(Instr::Lui { rd, imm20: high });
             if low != 0 {
-                self.push(Instr::OpImm { op: AluOp::Add, rd, rs1: rd, imm: low });
+                self.push(Instr::OpImm {
+                    op: AluOp::Add,
+                    rd,
+                    rs1: rd,
+                    imm: low,
+                });
             }
             self
         }
@@ -224,32 +265,62 @@ impl ProgramBuilder {
 
     /// `mv rd, rs`.
     pub fn mv(&mut self, rd: Reg, rs: Reg) -> &mut Self {
-        self.push(Instr::OpImm { op: AluOp::Add, rd, rs1: rs, imm: 0 })
+        self.push(Instr::OpImm {
+            op: AluOp::Add,
+            rd,
+            rs1: rs,
+            imm: 0,
+        })
     }
 
     /// `nop`.
     pub fn nop(&mut self) -> &mut Self {
-        self.push(Instr::OpImm { op: AluOp::Add, rd: Reg::ZERO, rs1: Reg::ZERO, imm: 0 })
+        self.push(Instr::OpImm {
+            op: AluOp::Add,
+            rd: Reg::ZERO,
+            rs1: Reg::ZERO,
+            imm: 0,
+        })
     }
 
     /// `addi rd, rs1, imm`.
     pub fn addi(&mut self, rd: Reg, rs1: Reg, imm: i32) -> &mut Self {
-        self.push(Instr::OpImm { op: AluOp::Add, rd, rs1, imm })
+        self.push(Instr::OpImm {
+            op: AluOp::Add,
+            rd,
+            rs1,
+            imm,
+        })
     }
 
     /// `slli rd, rs1, shamt`.
     pub fn slli(&mut self, rd: Reg, rs1: Reg, shamt: i32) -> &mut Self {
-        self.push(Instr::OpImm { op: AluOp::Sll, rd, rs1, imm: shamt })
+        self.push(Instr::OpImm {
+            op: AluOp::Sll,
+            rd,
+            rs1,
+            imm: shamt,
+        })
     }
 
     /// `srli rd, rs1, shamt`.
     pub fn srli(&mut self, rd: Reg, rs1: Reg, shamt: i32) -> &mut Self {
-        self.push(Instr::OpImm { op: AluOp::Srl, rd, rs1, imm: shamt })
+        self.push(Instr::OpImm {
+            op: AluOp::Srl,
+            rd,
+            rs1,
+            imm: shamt,
+        })
     }
 
     /// `andi rd, rs1, imm`.
     pub fn andi(&mut self, rd: Reg, rs1: Reg, imm: i32) -> &mut Self {
-        self.push(Instr::OpImm { op: AluOp::And, rd, rs1, imm })
+        self.push(Instr::OpImm {
+            op: AluOp::And,
+            rd,
+            rs1,
+            imm,
+        })
     }
 
     /// A register-register ALU operation.
@@ -293,8 +364,19 @@ impl ProgramBuilder {
     }
 
     /// A conditional branch to a label.
-    pub fn branch(&mut self, cond: BranchCond, rs1: Reg, rs2: Reg, label: impl Into<String>) -> &mut Self {
-        self.items.push(Item::BranchTo { cond, rs1, rs2, label: label.into() });
+    pub fn branch(
+        &mut self,
+        cond: BranchCond,
+        rs1: Reg,
+        rs2: Reg,
+        label: impl Into<String>,
+    ) -> &mut Self {
+        self.items.push(Item::BranchTo {
+            cond,
+            rs1,
+            rs2,
+            label: label.into(),
+        });
         self
     }
 
@@ -335,7 +417,10 @@ impl ProgramBuilder {
 
     /// `j label` (unconditional jump).
     pub fn j(&mut self, label: impl Into<String>) -> &mut Self {
-        self.items.push(Item::JalTo { rd: Reg::ZERO, label: label.into() });
+        self.items.push(Item::JalTo {
+            rd: Reg::ZERO,
+            label: label.into(),
+        });
         self
     }
 
@@ -348,7 +433,11 @@ impl ProgramBuilder {
 
     /// `vsetvli rd, rs1, e32,m1`.
     pub fn vsetvli(&mut self, rd: Reg, rs1: Reg) -> &mut Self {
-        self.push(Instr::Vsetvli { rd, rs1, sew: Sew::E32 })
+        self.push(Instr::Vsetvli {
+            rd,
+            rs1,
+            sew: Sew::E32,
+        })
     }
 
     /// `vsetvli rd, rs1, e<sew>,m1` with an explicit element width.
@@ -508,7 +597,11 @@ impl ProgramBuilder {
 
     /// `vmerge.vvm vd, on_false, on_true, v0`.
     pub fn vmerge(&mut self, vd: VReg, on_false: VReg, on_true: VReg) -> &mut Self {
-        self.push(Instr::VmergeVvm { vd, on_false, on_true })
+        self.push(Instr::VmergeVvm {
+            vd,
+            on_false,
+            on_true,
+        })
     }
 
     /// `vredsum.vs vd, vs2, vs1`.
@@ -566,7 +659,12 @@ mod tests {
         let prog = p.build().unwrap();
         assert_eq!(
             *prog.instr(1),
-            Instr::Branch { cond: BranchCond::Ne, rs1: Reg::T0, rs2: Reg::ZERO, offset: -4 }
+            Instr::Branch {
+                cond: BranchCond::Ne,
+                rs1: Reg::T0,
+                rs2: Reg::ZERO,
+                offset: -4
+            }
         );
     }
 
@@ -581,7 +679,12 @@ mod tests {
         let prog = p.build().unwrap();
         assert_eq!(
             *prog.instr(0),
-            Instr::Branch { cond: BranchCond::Eq, rs1: Reg::A0, rs2: Reg::ZERO, offset: 12 }
+            Instr::Branch {
+                cond: BranchCond::Eq,
+                rs1: Reg::A0,
+                rs2: Reg::ZERO,
+                offset: 12
+            }
         );
     }
 
@@ -601,7 +704,10 @@ mod tests {
     fn undefined_label_is_an_error() {
         let mut p = Program::builder();
         p.j("nowhere");
-        assert_eq!(p.build(), Err(ProgramError::UndefinedLabel("nowhere".into())));
+        assert_eq!(
+            p.build(),
+            Err(ProgramError::UndefinedLabel("nowhere".into()))
+        );
     }
 
     #[test]

@@ -14,33 +14,62 @@ fn vreg() -> impl Strategy<Value = VReg> {
 
 fn alu_op() -> impl Strategy<Value = AluOp> {
     prop_oneof![
-        Just(AluOp::Add), Just(AluOp::Sub), Just(AluOp::Sll), Just(AluOp::Slt),
-        Just(AluOp::Sltu), Just(AluOp::Xor), Just(AluOp::Srl), Just(AluOp::Sra),
-        Just(AluOp::Or), Just(AluOp::And), Just(AluOp::Mul), Just(AluOp::Div),
-        Just(AluOp::Divu), Just(AluOp::Rem), Just(AluOp::Remu),
+        Just(AluOp::Add),
+        Just(AluOp::Sub),
+        Just(AluOp::Sll),
+        Just(AluOp::Slt),
+        Just(AluOp::Sltu),
+        Just(AluOp::Xor),
+        Just(AluOp::Srl),
+        Just(AluOp::Sra),
+        Just(AluOp::Or),
+        Just(AluOp::And),
+        Just(AluOp::Mul),
+        Just(AluOp::Div),
+        Just(AluOp::Divu),
+        Just(AluOp::Rem),
+        Just(AluOp::Remu),
     ]
 }
 
 fn imm_op() -> impl Strategy<Value = AluOp> {
     prop_oneof![
-        Just(AluOp::Add), Just(AluOp::Slt), Just(AluOp::Sltu), Just(AluOp::Xor),
-        Just(AluOp::Or), Just(AluOp::And),
+        Just(AluOp::Add),
+        Just(AluOp::Slt),
+        Just(AluOp::Sltu),
+        Just(AluOp::Xor),
+        Just(AluOp::Or),
+        Just(AluOp::And),
     ]
 }
 
 fn valu_op() -> impl Strategy<Value = VAluOp> {
     prop_oneof![
-        Just(VAluOp::Add), Just(VAluOp::Sub), Just(VAluOp::Mul), Just(VAluOp::And),
-        Just(VAluOp::Or), Just(VAluOp::Xor), Just(VAluOp::Mseq), Just(VAluOp::Msne),
-        Just(VAluOp::Mslt), Just(VAluOp::Msltu), Just(VAluOp::Min), Just(VAluOp::Minu),
-        Just(VAluOp::Max), Just(VAluOp::Maxu),
+        Just(VAluOp::Add),
+        Just(VAluOp::Sub),
+        Just(VAluOp::Mul),
+        Just(VAluOp::And),
+        Just(VAluOp::Or),
+        Just(VAluOp::Xor),
+        Just(VAluOp::Mseq),
+        Just(VAluOp::Msne),
+        Just(VAluOp::Mslt),
+        Just(VAluOp::Msltu),
+        Just(VAluOp::Min),
+        Just(VAluOp::Minu),
+        Just(VAluOp::Max),
+        Just(VAluOp::Maxu),
     ]
 }
 
 fn branch_cond() -> impl Strategy<Value = BranchCond> {
     prop_oneof![
-        Just(BranchCond::Eq), Just(BranchCond::Ne), Just(BranchCond::Lt),
-        Just(BranchCond::Ge), Just(BranchCond::Ltu), Just(BranchCond::Geu),
+        Just(BranchCond::Eq),
+        Just(BranchCond::Ne),
+        Just(BranchCond::Lt),
+        Just(BranchCond::Ge),
+        Just(BranchCond::Ltu),
+        Just(BranchCond::Geu),
     ]
 }
 
@@ -53,29 +82,69 @@ fn instr() -> impl Strategy<Value = Instr> {
         (reg(), -(1i32 << 19)..(1 << 19)).prop_map(|(rd, imm20)| Instr::Lui { rd, imm20 }),
         (reg(), (-(1i32 << 19)..(1 << 19)).prop_map(|o| o * 2))
             .prop_map(|(rd, offset)| Instr::Jal { rd, offset }),
-        (reg(), reg(), -2048i32..2048)
-            .prop_map(|(rd, rs1, offset)| Instr::Jalr { rd, rs1, offset }),
-        (imm_op(), reg(), reg(), -2048i32..2048)
-            .prop_map(|(op, rd, rs1, imm)| Instr::OpImm { op, rd, rs1, imm }),
-        (alu_op(), reg(), reg(), reg())
-            .prop_map(|(op, rd, rs1, rs2)| Instr::Op { op, rd, rs1, rs2 }),
+        (reg(), reg(), -2048i32..2048).prop_map(|(rd, rs1, offset)| Instr::Jalr {
+            rd,
+            rs1,
+            offset
+        }),
+        (imm_op(), reg(), reg(), -2048i32..2048).prop_map(|(op, rd, rs1, imm)| Instr::OpImm {
+            op,
+            rd,
+            rs1,
+            imm
+        }),
+        (alu_op(), reg(), reg(), reg()).prop_map(|(op, rd, rs1, rs2)| Instr::Op {
+            op,
+            rd,
+            rs1,
+            rs2
+        }),
         (reg(), reg(), -2048i32..2048).prop_map(|(rd, rs1, offset)| Instr::Lw { rd, rs1, offset }),
         (reg(), reg(), -2048i32..2048).prop_map(|(rd, rs1, offset)| Instr::Ld { rd, rs1, offset }),
-        (reg(), reg(), -2048i32..2048).prop_map(|(rs2, rs1, offset)| Instr::Sw { rs2, rs1, offset }),
-        (reg(), reg(), -2048i32..2048).prop_map(|(rs2, rs1, offset)| Instr::Sd { rs2, rs1, offset }),
-        (branch_cond(), reg(), reg(), (-2048i32..2048).prop_map(|o| o * 2))
-            .prop_map(|(cond, rs1, rs2, offset)| Instr::Branch { cond, rs1, rs2, offset }),
+        (reg(), reg(), -2048i32..2048).prop_map(|(rs2, rs1, offset)| Instr::Sw {
+            rs2,
+            rs1,
+            offset
+        }),
+        (reg(), reg(), -2048i32..2048).prop_map(|(rs2, rs1, offset)| Instr::Sd {
+            rs2,
+            rs1,
+            offset
+        }),
+        (
+            branch_cond(),
+            reg(),
+            reg(),
+            (-2048i32..2048).prop_map(|o| o * 2)
+        )
+            .prop_map(|(cond, rs1, rs2, offset)| Instr::Branch {
+                cond,
+                rs1,
+                rs2,
+                offset
+            }),
         (reg(), reg(), sew()).prop_map(|(rd, rs1, sew)| Instr::Vsetvli { rd, rs1, sew }),
         reg().prop_map(|rs1| Instr::Vsetstart { rs1 }),
         (vreg(), reg()).prop_map(|(vd, rs1)| Instr::Vle32 { vd, rs1 }),
         (vreg(), reg()).prop_map(|(vs3, rs1)| Instr::Vse32 { vs3, rs1 }),
         (vreg(), reg(), reg()).prop_map(|(vd, rs1, rs2)| Instr::Vlrw { vd, rs1, rs2 }),
-        (valu_op(), vreg(), vreg(), vreg())
-            .prop_map(|(op, vd, lhs, rhs)| Instr::VOpVv { op, vd, lhs, rhs }),
-        (valu_op(), vreg(), vreg(), reg())
-            .prop_map(|(op, vd, lhs, rs)| Instr::VOpVx { op, vd, lhs, rs }),
-        (vreg(), vreg(), vreg())
-            .prop_map(|(vd, on_false, on_true)| Instr::VmergeVvm { vd, on_false, on_true }),
+        (valu_op(), vreg(), vreg(), vreg()).prop_map(|(op, vd, lhs, rhs)| Instr::VOpVv {
+            op,
+            vd,
+            lhs,
+            rhs
+        }),
+        (valu_op(), vreg(), vreg(), reg()).prop_map(|(op, vd, lhs, rs)| Instr::VOpVx {
+            op,
+            vd,
+            lhs,
+            rs
+        }),
+        (vreg(), vreg(), vreg()).prop_map(|(vd, on_false, on_true)| Instr::VmergeVvm {
+            vd,
+            on_false,
+            on_true
+        }),
         (vreg(), vreg(), vreg()).prop_map(|(vd, vs2, vs1)| Instr::VredsumVs { vd, vs2, vs1 }),
         (vreg(), reg()).prop_map(|(vd, rs)| Instr::VmvVx { vd, rs }),
         (reg(), vreg()).prop_map(|(rd, vs)| Instr::VmvXs { rd, vs }),

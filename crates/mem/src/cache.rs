@@ -23,17 +23,32 @@ impl CacheConfig {
 
     /// 32 KiB, 8-way, Table III L1.
     pub fn l1(line_bytes: u32) -> Self {
-        Self { size_bytes: 32 * 1024, ways: 8, line_bytes, latency: 2 }
+        Self {
+            size_bytes: 32 * 1024,
+            ways: 8,
+            line_bytes,
+            latency: 2,
+        }
     }
 
     /// 1 MiB, 16-way, Table III L2.
     pub fn l2(line_bytes: u32) -> Self {
-        Self { size_bytes: 1024 * 1024, ways: 16, line_bytes, latency: 14 }
+        Self {
+            size_bytes: 1024 * 1024,
+            ways: 16,
+            line_bytes,
+            latency: 14,
+        }
     }
 
     /// 5.5 MiB, 11-way, Table III shared L3.
     pub fn l3(line_bytes: u32) -> Self {
-        Self { size_bytes: 5632 * 1024, ways: 11, line_bytes, latency: 50 }
+        Self {
+            size_bytes: 5632 * 1024,
+            ways: 11,
+            line_bytes,
+            latency: 50,
+        }
     }
 }
 
@@ -167,7 +182,10 @@ impl CacheHierarchy {
     /// Panics if `levels` is empty.
     pub fn new(levels: Vec<Cache>, memory_latency: u64) -> Self {
         assert!(!levels.is_empty(), "a hierarchy needs at least one level");
-        Self { levels, memory_latency }
+        Self {
+            levels,
+            memory_latency,
+        }
     }
 
     /// The baseline out-of-order core's hierarchy: 32 KiB L1, 1 MiB L2,
@@ -187,7 +205,10 @@ impl CacheHierarchy {
     /// lines (Table III; CAPE has no L3).
     pub fn cape_cp_two_level(memory_latency: u64) -> Self {
         Self::new(
-            vec![Cache::new(CacheConfig::l1(64)), Cache::new(CacheConfig::l2(512))],
+            vec![
+                Cache::new(CacheConfig::l1(64)),
+                Cache::new(CacheConfig::l2(512)),
+            ],
             memory_latency,
         )
     }
@@ -237,7 +258,12 @@ mod tests {
 
     fn tiny() -> Cache {
         // 4 sets x 2 ways x 16 B lines = 128 B.
-        Cache::new(CacheConfig { size_bytes: 128, ways: 2, line_bytes: 16, latency: 1 })
+        Cache::new(CacheConfig {
+            size_bytes: 128,
+            ways: 2,
+            line_bytes: 16,
+            latency: 1,
+        })
     }
 
     #[test]

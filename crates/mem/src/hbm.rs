@@ -55,7 +55,11 @@ pub struct Hbm {
 impl Hbm {
     /// Creates the model from a configuration.
     pub fn new(config: HbmConfig) -> Self {
-        Self { config, bytes_read: 0, bytes_written: 0 }
+        Self {
+            config,
+            bytes_read: 0,
+            bytes_written: 0,
+        }
     }
 
     /// The configuration.

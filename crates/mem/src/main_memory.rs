@@ -76,7 +76,9 @@ impl MainMemory {
 
     /// Bulk-reads `len` `u32`s starting at `addr`.
     pub fn read_u32_slice(&self, addr: u64, len: usize) -> Vec<u32> {
-        (0..len).map(|i| self.read_u32(addr + (i as u64) * 4)).collect()
+        (0..len)
+            .map(|i| self.read_u32(addr + (i as u64) * 4))
+            .collect()
     }
 
     /// Bulk-writes raw bytes.

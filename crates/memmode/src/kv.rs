@@ -92,7 +92,11 @@ impl KvStore {
             mode: TagMode::Set,
         });
         for i in 1..SUBARRAYS_PER_CHAIN {
-            self.csb.execute(&MicroOp::TagCombine { src: i - 1, dst: i, op: TagMode::And });
+            self.csb.execute(&MicroOp::TagCombine {
+                src: i - 1,
+                dst: i,
+                op: TagMode::And,
+            });
         }
         self.lookup_cycles += 1 + (SUBARRAYS_PER_CHAIN as u64 - 1);
         // Priority-encode the final tags (CP-visible result).
@@ -102,8 +106,7 @@ impl KvStore {
             if tags != 0 {
                 for col in 0..32 {
                     if tags >> col & 1 == 1 {
-                        let elem = geometry
-                            .element_at(cape_csb::ElementLocation { chain, col });
+                        let elem = geometry.element_at(cape_csb::ElementLocation { chain, col });
                         if self.occupied[slot][elem] {
                             return Some(elem);
                         }

@@ -17,7 +17,9 @@ pub struct Scratchpad {
 impl Scratchpad {
     /// Configures a scratchpad of the given geometry.
     pub fn new(geometry: CsbGeometry) -> Self {
-        Self { csb: Csb::new(geometry) }
+        Self {
+            csb: Csb::new(geometry),
+        }
     }
 
     /// Capacity in bytes.
@@ -31,7 +33,10 @@ impl Scratchpad {
     }
 
     fn locate(&self, word: usize) -> (usize, usize) {
-        assert!(word < self.capacity_words(), "scratchpad word {word} out of range");
+        assert!(
+            word < self.capacity_words(),
+            "scratchpad word {word} out of range"
+        );
         let max_vl = self.csb.max_vl();
         (word / max_vl, word % max_vl)
     }

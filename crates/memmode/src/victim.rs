@@ -75,7 +75,11 @@ impl VictimCache {
             mode: TagMode::Set,
         });
         for i in 1..SUBARRAYS_PER_CHAIN {
-            self.csb.execute(&MicroOp::TagCombine { src: i - 1, dst: i, op: TagMode::And });
+            self.csb.execute(&MicroOp::TagCombine {
+                src: i - 1,
+                dst: i,
+                op: TagMode::And,
+            });
         }
         self.probe_cycles += SUBARRAYS_PER_CHAIN as u64;
         let geometry = self.csb.geometry();
@@ -122,7 +126,10 @@ impl VictimCache {
             self.fifo.push_back(lane);
             lane
         } else {
-            let lane = self.fifo.pop_front().expect("full cache has an oldest line");
+            let lane = self
+                .fifo
+                .pop_front()
+                .expect("full cache has an oldest line");
             self.fifo.push_back(lane);
             lane
         };

@@ -248,26 +248,85 @@ pub fn measure(kind: VectorOpKind) -> MeasuredRow {
     csb.write_vector(1, &a);
     csb.write_vector(2, &b);
     let op = match kind {
-        VectorOpKind::Add => VectorOp::Add { vd: 3, vs1: 1, vs2: 2 },
-        VectorOpKind::Sub => VectorOp::Sub { vd: 3, vs1: 1, vs2: 2 },
-        VectorOpKind::Mul => VectorOp::Mul { vd: 3, vs1: 1, vs2: 2 },
-        VectorOpKind::And => VectorOp::And { vd: 3, vs1: 1, vs2: 2 },
-        VectorOpKind::Or => VectorOp::Or { vd: 3, vs1: 1, vs2: 2 },
-        VectorOpKind::Xor => VectorOp::Xor { vd: 3, vs1: 1, vs2: 2 },
-        VectorOpKind::MseqVv => VectorOp::Mseq { vd: 3, vs1: 1, vs2: 2 },
-        VectorOpKind::MseqVx => VectorOp::MseqScalar { vd: 3, vs1: 1, rs: 42 },
-        VectorOpKind::Mslt => VectorOp::Mslt { vd: 3, vs1: 1, vs2: 2, signed: true },
-        VectorOpKind::Merge => VectorOp::Merge { vd: 3, vs1: 1, vs2: 2 },
+        VectorOpKind::Add => VectorOp::Add {
+            vd: 3,
+            vs1: 1,
+            vs2: 2,
+        },
+        VectorOpKind::Sub => VectorOp::Sub {
+            vd: 3,
+            vs1: 1,
+            vs2: 2,
+        },
+        VectorOpKind::Mul => VectorOp::Mul {
+            vd: 3,
+            vs1: 1,
+            vs2: 2,
+        },
+        VectorOpKind::And => VectorOp::And {
+            vd: 3,
+            vs1: 1,
+            vs2: 2,
+        },
+        VectorOpKind::Or => VectorOp::Or {
+            vd: 3,
+            vs1: 1,
+            vs2: 2,
+        },
+        VectorOpKind::Xor => VectorOp::Xor {
+            vd: 3,
+            vs1: 1,
+            vs2: 2,
+        },
+        VectorOpKind::MseqVv => VectorOp::Mseq {
+            vd: 3,
+            vs1: 1,
+            vs2: 2,
+        },
+        VectorOpKind::MseqVx => VectorOp::MseqScalar {
+            vd: 3,
+            vs1: 1,
+            rs: 42,
+        },
+        VectorOpKind::Mslt => VectorOp::Mslt {
+            vd: 3,
+            vs1: 1,
+            vs2: 2,
+            signed: true,
+        },
+        VectorOpKind::Merge => VectorOp::Merge {
+            vd: 3,
+            vs1: 1,
+            vs2: 2,
+        },
         VectorOpKind::RedSum => VectorOp::RedSum { vd: 3, vs: 1 },
         VectorOpKind::Cpop => VectorOp::Cpop { vs: 0 },
         VectorOpKind::First => VectorOp::First { vs: 0 },
         VectorOpKind::Broadcast => VectorOp::Broadcast { vd: 3, rs: 7 },
-        VectorOpKind::Shift => VectorOp::ShiftLeft { vd: 3, vs: 1, sh: 5 },
+        VectorOpKind::Shift => VectorOp::ShiftLeft {
+            vd: 3,
+            vs: 1,
+            sh: 5,
+        },
         VectorOpKind::Vid => VectorOp::Vid { vd: 3 },
         VectorOpKind::Increment => VectorOp::Increment { vd: 1 },
-        VectorOpKind::Msne => VectorOp::Msne { vd: 3, vs1: 1, vs2: 2 },
-        VectorOpKind::MinMax => VectorOp::MinMax { vd: 3, vs1: 1, vs2: 2, max: false, signed: true },
-        VectorOpKind::Macc => VectorOp::Macc { vd: 3, vs1: 1, vs2: 2 },
+        VectorOpKind::Msne => VectorOp::Msne {
+            vd: 3,
+            vs1: 1,
+            vs2: 2,
+        },
+        VectorOpKind::MinMax => VectorOp::MinMax {
+            vd: 3,
+            vs1: 1,
+            vs2: 2,
+            max: false,
+            signed: true,
+        },
+        VectorOpKind::Macc => VectorOp::Macc {
+            vd: 3,
+            vs1: 1,
+            vs2: 2,
+        },
         VectorOpKind::Mv => VectorOp::Mv { vd: 3, vs: 1 },
     };
     let out = Sequencer::new(&mut csb).execute(&op);
@@ -342,7 +401,10 @@ mod tests {
             VectorOpKind::Mslt,
             VectorOpKind::Merge,
         ] {
-            assert!(paper_row(kind).is_some(), "{kind:?} missing from Table I data");
+            assert!(
+                paper_row(kind).is_some(),
+                "{kind:?} missing from Table I data"
+            );
         }
         assert!(paper_row(VectorOpKind::Shift).is_none());
         assert!(extension_cycles(VectorOpKind::Shift).is_some());

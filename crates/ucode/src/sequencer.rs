@@ -1,13 +1,24 @@
-//! The microcode sequencer: breaks vector operations into CSB microops.
+//! The microcode sequencer: compiles vector operations into microop
+//! *programs* and runs them against the CSB.
 //!
 //! This mirrors the chain controller FSM of Fig. 7 — (1) idle, (2) read
 //! TTM, (3) generate comparand/mask for search, (4) generate data/mask for
 //! update, (5) reduce — executed here against the functional CSB model.
 //! Every microop emitted corresponds to one CSB cycle.
+//!
+//! Execution is split in two. [`CompiledOp::compile`] lowers a
+//! [`VectorOp`] to an immutable [`MicroProgram`] plus a [`PostProcess`]
+//! step that turns reduction sums into the scalar result. Compilation is a
+//! pure function of the operation and the element width — microop
+//! emission never inspects CSB data (even the scalar-specialized forms
+//! depend only on the scalar's bits) — which is what makes compiled
+//! programs cacheable (the VCU keeps an LRU program cache) and
+//! broadcastable in one fan-out per instruction
+//! ([`Csb::execute_program`](cape_csb::Csb::execute_program)).
 
 use cape_csb::{
-    ColSel, Csb, MicroOp, MicroOpStats, Probe, TagDest, TagMode, WriteSpec, ROW_CARRY, ROW_FLAG,
-    ROW_SCRATCH0, SUBARRAYS_PER_CHAIN,
+    ColSel, Csb, MicroOp, MicroOpStats, MicroProgram, Probe, TagDest, TagMode, WriteSpec,
+    ROW_CARRY, ROW_FLAG, ROW_SCRATCH0, SUBARRAYS_PER_CHAIN,
 };
 
 use crate::truth_table::{BitSerialAlgorithm, GroupUpdate, Pattern};
@@ -35,7 +46,131 @@ enum Addend {
     Scalar(u32),
 }
 
-/// Executes [`VectorOp`]s against a CSB by emitting microop sequences.
+/// The post-broadcast step of a compiled operation: how the program's
+/// reduction sums (in emission order) and functional fix-ups produce the
+/// scalar result and finalize register state.
+///
+/// These are exactly the points where a result crosses from the chains
+/// back to the sequencer, so they run *after* the program's single join —
+/// no mid-program synchronization is ever needed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PostProcess {
+    /// Vector-to-vector operation: nothing to do.
+    None,
+    /// `vredsum`: fold the MSB-first bit-plane popcounts into the sum and
+    /// deposit it in element 0 of `vd` (Fig. 6).
+    RedSum {
+        /// Destination register receiving the scalar sum.
+        vd: usize,
+    },
+    /// `vcpop`: the single reduction sum is the scalar result.
+    Cpop,
+    /// `vfirst`: global priority encode, modeled as a functional scan of
+    /// `vs` over the active window (the timing model charges the tree).
+    First {
+        /// Mask register being scanned.
+        vs: usize,
+    },
+    /// `vid.v`: chain-local index generation (see DESIGN.md), modeled
+    /// functionally.
+    Vid {
+        /// Destination register receiving element indices.
+        vd: usize,
+    },
+}
+
+impl PostProcess {
+    /// Applies the step given the program's reduction sums, returning the
+    /// instruction's scalar result (if any).
+    fn apply(&self, csb: &mut Csb, width: usize, sums: &[u64]) -> Option<i64> {
+        match *self {
+            PostProcess::None => None,
+            PostProcess::RedSum { vd } => {
+                let mut acc: u64 = 0;
+                for &count in sums {
+                    acc = (acc << 1).wrapping_add(count);
+                }
+                // RVV: the SEW-wide result lands in element 0 of vd.
+                let wrapped = acc as u32 & width_mask(width);
+                csb.write_element(vd, 0, wrapped);
+                Some(i64::from(wrapped))
+            }
+            PostProcess::Cpop => Some(sums.first().copied().unwrap_or(0) as i64),
+            PostProcess::First { vs } => {
+                let (vstart, vl) = (csb.vstart(), csb.vl());
+                for e in vstart..vl {
+                    if csb.read_element(vs, e) & 1 == 1 {
+                        return Some(e as i64);
+                    }
+                }
+                Some(-1)
+            }
+            PostProcess::Vid { vd } => {
+                let (vstart, vl) = (csb.vstart(), csb.vl());
+                let mask = width_mask(width);
+                for e in vstart..vl {
+                    csb.write_element(vd, e, e as u32 & mask);
+                }
+                None
+            }
+        }
+    }
+}
+
+/// A vector operation lowered to its broadcast form: the microop program,
+/// the post-processing step, and the element width it was compiled for.
+///
+/// Compiled operations are immutable and independent of CSB state, so one
+/// `CompiledOp` can be cached and replayed for every dynamic instance of
+/// the same `(VectorOp, SEW)` pair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompiledOp {
+    program: MicroProgram,
+    post: PostProcess,
+    width: usize,
+}
+
+impl CompiledOp {
+    /// Compiles `op` for `width`-bit elements (SEW = 8, 16 or 32).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `width` is 8, 16 or 32, if a register index is out of
+    /// range, or on the destination aliasing restrictions documented on
+    /// [`VectorOp`] (`vmul` and the mask-producing comparisons require
+    /// `vd` distinct from sources).
+    pub fn compile(op: &VectorOp, width: usize) -> Self {
+        assert!(matches!(width, 8 | 16 | 32), "SEW must be 8, 16 or 32");
+        let mut builder = ProgramBuilder {
+            ops: Vec::new(),
+            width,
+        };
+        let post = builder.dispatch(op);
+        Self {
+            program: MicroProgram::new(builder.ops),
+            post,
+            width,
+        }
+    }
+
+    /// The compiled microop program.
+    pub fn program(&self) -> &MicroProgram {
+        &self.program
+    }
+
+    /// The post-broadcast step.
+    pub fn post(&self) -> PostProcess {
+        self.post
+    }
+
+    /// Element width this operation was compiled for.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+}
+
+/// Executes [`VectorOp`]s against a CSB by compiling them to microop
+/// programs and broadcasting those.
 #[derive(Debug)]
 pub struct Sequencer<'a> {
     csb: &'a mut Csb,
@@ -66,8 +201,23 @@ impl<'a> Sequencer<'a> {
         Self { csb, width }
     }
 
+    /// Compiles `op` at this sequencer's element width without executing
+    /// it.
+    ///
+    /// # Panics
+    ///
+    /// As [`CompiledOp::compile`].
+    pub fn compile(&self, op: &VectorOp) -> CompiledOp {
+        CompiledOp::compile(op, self.width)
+    }
+
     /// Executes one vector operation, returning its scalar result (if any)
     /// and the microops it emitted.
+    ///
+    /// This compiles the operation and broadcasts it one microop at a time
+    /// — the per-microop baseline path. [`Sequencer::run_program`] replays
+    /// a (possibly cached) compiled form with one fan-out for the whole
+    /// program; both produce bit-identical CSB state and results.
     ///
     /// # Panics
     ///
@@ -75,28 +225,83 @@ impl<'a> Sequencer<'a> {
     /// aliasing restrictions documented on [`VectorOp`] (`vmul` and the
     /// mask-producing comparisons require `vd` distinct from sources).
     pub fn execute(&mut self, op: &VectorOp) -> ExecOutcome {
+        let compiled = CompiledOp::compile(op, self.width);
+        self.run_per_op(&compiled)
+    }
+
+    /// Runs a compiled operation microop-by-microop (one broadcast
+    /// fan-out per microop — the baseline the paper's Table I counts).
+    pub fn run_per_op(&mut self, compiled: &CompiledOp) -> ExecOutcome {
         let before = self.csb.stats();
-        let scalar = self.dispatch(op);
+        let mut sums = Vec::with_capacity(compiled.program.reduce_count());
+        for op in compiled.program.ops() {
+            if let Some(sum) = self.csb.execute(op) {
+                sums.push(sum);
+            }
+        }
+        let scalar = compiled.post.apply(self.csb, compiled.width, &sums);
         ExecOutcome {
             scalar,
             stats: self.csb.stats().since(&before),
         }
     }
 
-    fn dispatch(&mut self, op: &VectorOp) -> Option<i64> {
+    /// Runs a compiled operation at program granularity: one broadcast
+    /// fan-out for the whole program
+    /// ([`Csb::execute_program`](cape_csb::Csb::execute_program)), then
+    /// the post-processing step. Bit-identical to [`Sequencer::execute`].
+    pub fn run_program(&mut self, compiled: &CompiledOp) -> ExecOutcome {
+        let before = self.csb.stats();
+        let sums = self.csb.execute_program(&compiled.program);
+        let scalar = compiled.post.apply(self.csb, compiled.width, &sums);
+        ExecOutcome {
+            scalar,
+            stats: self.csb.stats().since(&before),
+        }
+    }
+}
+
+/// Accumulates the microop program of one vector operation.
+///
+/// Hosts the emission helpers shared by every instruction lowering; each
+/// pushes microops instead of executing them, so the same code path serves
+/// compilation for caching and direct execution.
+struct ProgramBuilder {
+    ops: Vec<MicroOp>,
+    width: usize,
+}
+
+impl ProgramBuilder {
+    fn emit(&mut self, op: MicroOp) {
+        self.ops.push(op);
+    }
+
+    fn dispatch(&mut self, op: &VectorOp) -> PostProcess {
         match *op {
             VectorOp::Add { vd, vs1, vs2 } => {
                 // Addition commutes, so aliasing vd with either source
                 // reduces to the in-place case.
                 let (a, b) = if vd == vs2 { (vs2, vs1) } else { (vs1, vs2) };
                 self.copy_reg(vd, a);
-                self.bit_serial(&BitSerialAlgorithm::adder(), vd, Some(Addend::Reg(b)), 0, &[]);
-                None
+                self.bit_serial(
+                    &BitSerialAlgorithm::adder(),
+                    vd,
+                    Some(Addend::Reg(b)),
+                    0,
+                    &[],
+                );
+                PostProcess::None
             }
             VectorOp::AddScalar { vd, vs1, rs } => {
                 self.copy_reg(vd, vs1);
-                self.bit_serial(&BitSerialAlgorithm::adder(), vd, Some(Addend::Scalar(rs)), 0, &[]);
-                None
+                self.bit_serial(
+                    &BitSerialAlgorithm::adder(),
+                    vd,
+                    Some(Addend::Scalar(rs)),
+                    0,
+                    &[],
+                );
+                PostProcess::None
             }
             VectorOp::Sub { vd, vs1, vs2 } => {
                 if vd != vs2 || vd == vs1 {
@@ -115,7 +320,7 @@ impl<'a> Sequencer<'a> {
                     adder.carry_init = true;
                     self.bit_serial(&adder, vd, Some(Addend::Reg(vs1)), 0, &[]);
                 }
-                None
+                PostProcess::None
             }
             VectorOp::SubScalar { vd, vs1, rs } => {
                 self.copy_reg(vd, vs1);
@@ -126,7 +331,7 @@ impl<'a> Sequencer<'a> {
                     0,
                     &[],
                 );
-                None
+                PostProcess::None
             }
             VectorOp::Mul { vd, vs1, vs2 } => {
                 assert!(
@@ -144,10 +349,13 @@ impl<'a> Sequencer<'a> {
                         std::slice::from_ref(&gate),
                     );
                 }
-                None
+                PostProcess::None
             }
             VectorOp::MulScalar { vd, vs1, rs } => {
-                assert!(vd != vs1, "vmul destination v{vd} must not alias the source");
+                assert!(
+                    vd != vs1,
+                    "vmul destination v{vd} must not alias the source"
+                );
                 self.clear_reg(vd);
                 for j in 0..self.width {
                     if rs >> j & 1 == 1 {
@@ -160,29 +368,32 @@ impl<'a> Sequencer<'a> {
                         );
                     }
                 }
-                None
+                PostProcess::None
             }
             VectorOp::And { vd, vs1, vs2 } => {
                 self.logic(vd, vs1, vs2, &[(true, true)], true);
-                None
+                PostProcess::None
             }
             VectorOp::Or { vd, vs1, vs2 } => {
                 self.logic(vd, vs1, vs2, &[(false, false)], false);
-                None
+                PostProcess::None
             }
             VectorOp::Xor { vd, vs1, vs2 } => {
                 self.logic(vd, vs1, vs2, &[(true, false), (false, true)], true);
-                None
+                PostProcess::None
             }
             VectorOp::Mseq { vd, vs1, vs2 } => {
-                assert!(vd != vs1 && vd != vs2, "vmseq mask v{vd} must not alias a source");
+                assert!(
+                    vd != vs1 && vd != vs2,
+                    "vmseq mask v{vd} must not alias a source"
+                );
                 // Per-subarray bit equality, then an AND fold across the
                 // chain (the bit-serial post-processing of Table I).
                 self.search_all(|_| vec![(vs1, true), (vs2, true)], TagMode::Set);
                 self.search_all(|_| vec![(vs1, false), (vs2, false)], TagMode::Or);
                 self.fold_tags_and();
                 self.write_mask_from_tags(vd, self.width - 1);
-                None
+                PostProcess::None
             }
             VectorOp::MseqScalar { vd, vs1, rs } => {
                 assert!(vd != vs1, "vmseq mask v{vd} must not alias the source");
@@ -191,54 +402,85 @@ impl<'a> Sequencer<'a> {
                 self.search_all(|i| vec![(vs1, rs >> i & 1 == 1)], TagMode::Set);
                 self.fold_tags_and();
                 self.write_mask_from_tags(vd, self.width - 1);
-                None
+                PostProcess::None
             }
-            VectorOp::Mslt { vd, vs1, vs2, signed } => {
-                assert!(vd != vs1 && vd != vs2, "vmslt mask v{vd} must not alias a source");
+            VectorOp::Mslt {
+                vd,
+                vs1,
+                vs2,
+                signed,
+            } => {
+                assert!(
+                    vd != vs1 && vd != vs2,
+                    "vmslt mask v{vd} must not alias a source"
+                );
                 self.mslt(vd, vs1, MsltRhs::Reg(vs2), signed);
-                None
+                PostProcess::None
             }
-            VectorOp::MsltScalar { vd, vs1, rs, signed } => {
+            VectorOp::MsltScalar {
+                vd,
+                vs1,
+                rs,
+                signed,
+            } => {
                 assert!(vd != vs1, "vmslt mask v{vd} must not alias the source");
                 self.mslt(vd, vs1, MsltRhs::Scalar(rs), signed);
-                None
+                PostProcess::None
             }
             VectorOp::LogicScalar { op, vd, vs1, rs } => {
                 self.logic_scalar(op, vd, vs1, rs);
-                None
+                PostProcess::None
             }
             VectorOp::Msne { vd, vs1, vs2 } => {
-                assert!(vd != vs1 && vd != vs2, "vmsne mask v{vd} must not alias a source");
+                assert!(
+                    vd != vs1 && vd != vs2,
+                    "vmsne mask v{vd} must not alias a source"
+                );
                 self.search_all(|_| vec![(vs1, true), (vs2, true)], TagMode::Set);
                 self.search_all(|_| vec![(vs1, false), (vs2, false)], TagMode::Or);
                 self.fold_tags_and();
                 self.write_inverted_mask_from_tags(vd, self.width - 1);
-                None
+                PostProcess::None
             }
             VectorOp::MsneScalar { vd, vs1, rs } => {
                 assert!(vd != vs1, "vmsne mask v{vd} must not alias the source");
                 self.search_all(|i| vec![(vs1, rs >> i & 1 == 1)], TagMode::Set);
                 self.fold_tags_and();
                 self.write_inverted_mask_from_tags(vd, self.width - 1);
-                None
+                PostProcess::None
             }
-            VectorOp::MinMax { vd, vs1, vs2, max, signed } => {
+            VectorOp::MinMax {
+                vd,
+                vs1,
+                vs2,
+                max,
+                signed,
+            } => {
                 // Ordered compare into a scratch metadata row, then a
                 // masked select — no architectural mask register is
                 // clobbered, as RVV requires.
                 self.mslt_into_scratch(vs1, MsltRhs::Reg(vs2), signed);
                 let (on_true, on_false) = if max { (vs2, vs1) } else { (vs1, vs2) };
                 self.merge_with_mask(vd, on_true, on_false, 0, ROW_SCRATCH0);
-                None
+                PostProcess::None
             }
-            VectorOp::MinMaxScalar { vd, vs1, rs, max, signed } => {
-                assert!(vd != vs1, "vmin/vmax.vx destination must not alias the source");
+            VectorOp::MinMaxScalar {
+                vd,
+                vs1,
+                rs,
+                max,
+                signed,
+            } => {
+                assert!(
+                    vd != vs1,
+                    "vmin/vmax.vx destination must not alias the source"
+                );
                 self.mslt_into_scratch(vs1, MsltRhs::Scalar(rs), signed);
                 // Materialize the scalar side in vd, then select in place.
                 self.broadcast(vd, rs);
                 let (on_true, on_false) = if max { (vd, vs1) } else { (vs1, vd) };
                 self.merge_with_mask(vd, on_true, on_false, 0, ROW_SCRATCH0);
-                None
+                PostProcess::None
             }
             VectorOp::RsubScalar { vd, vs1, rs } => {
                 // rs - vs1 = rs + !vs1 + 1.
@@ -247,7 +489,7 @@ impl<'a> Sequencer<'a> {
                 let mut adder = BitSerialAlgorithm::adder();
                 adder.carry_init = true;
                 self.bit_serial(&adder, vd, Some(Addend::Scalar(rs)), 0, &[]);
-                None
+                PostProcess::None
             }
             VectorOp::Macc { vd, vs1, vs2 } => {
                 assert!(
@@ -267,99 +509,80 @@ impl<'a> Sequencer<'a> {
                         std::slice::from_ref(&gate),
                     );
                 }
-                None
+                PostProcess::None
             }
             VectorOp::Mv { vd, vs } => {
                 self.copy_reg(vd, vs);
-                None
+                PostProcess::None
             }
             VectorOp::ShiftRightArith { vd, vs, sh } => {
                 self.sra(vd, vs, sh);
-                None
+                PostProcess::None
             }
             VectorOp::Merge { vd, vs1, vs2 } => {
                 // Mask register is the architectural v0, bit 0 => subarray 0.
                 self.merge_with_mask(vd, vs1, vs2, 0, 0);
-                None
+                PostProcess::None
             }
             VectorOp::RedSum { vd, vs } => {
                 // Fig. 6: echo each bit-plane through the tags (MSB first),
-                // popcount per chain, and fold through the global tree.
-                let mut acc: u64 = 0;
+                // popcount per chain, and fold through the global tree. The
+                // per-bit sums surface at the program's reduction sync
+                // points; PostProcess::RedSum folds them.
                 for i in (0..self.width).rev() {
-                    self.csb.execute(&MicroOp::Search {
+                    self.emit(MicroOp::Search {
                         probes: vec![Probe::row(i, vs, true)],
                         gates: vec![],
                         dest: TagDest::Tags,
                         mode: TagMode::Set,
                     });
-                    let count = self
-                        .csb
-                        .execute(&MicroOp::ReduceTags { subarray: i })
-                        .expect("reduce returns a count");
-                    acc = (acc << 1).wrapping_add(count);
+                    self.emit(MicroOp::ReduceTags { subarray: i });
                 }
-                // RVV: the SEW-wide result lands in element 0 of vd.
-                let wrapped = acc as u32 & width_mask(self.width);
-                self.csb.write_element(vd, 0, wrapped);
-                Some(i64::from(wrapped))
+                PostProcess::RedSum { vd }
             }
             VectorOp::Cpop { vs } => {
-                self.csb.execute(&MicroOp::Search {
+                self.emit(MicroOp::Search {
                     probes: vec![Probe::row(0, vs, true)],
                     gates: vec![],
                     dest: TagDest::Tags,
                     mode: TagMode::Set,
                 });
-                let count = self
-                    .csb
-                    .execute(&MicroOp::ReduceTags { subarray: 0 })
-                    .expect("reduce returns a count");
-                Some(count as i64)
+                self.emit(MicroOp::ReduceTags { subarray: 0 });
+                PostProcess::Cpop
             }
             VectorOp::First { vs } => {
-                self.csb.execute(&MicroOp::Search {
+                self.emit(MicroOp::Search {
                     probes: vec![Probe::row(0, vs, true)],
                     gates: vec![],
                     dest: TagDest::Tags,
                     mode: TagMode::Set,
                 });
                 // Global priority encode over the chains (modeled
-                // functionally; the timing model charges the tree latency).
-                let (vstart, vl) = (self.csb.vstart(), self.csb.vl());
-                for e in vstart..vl {
-                    if self.csb.read_element(vs, e) & 1 == 1 {
-                        return Some(e as i64);
-                    }
-                }
-                Some(-1)
+                // functionally in PostProcess::First; the timing model
+                // charges the tree latency).
+                PostProcess::First { vs }
             }
             VectorOp::Broadcast { vd, rs } => {
                 self.broadcast(vd, rs);
-                None
+                PostProcess::None
             }
             VectorOp::ShiftLeft { vd, vs, sh } => {
                 self.shift(vd, vs, sh, true);
-                None
+                PostProcess::None
             }
             VectorOp::ShiftRight { vd, vs, sh } => {
                 self.shift(vd, vs, sh, false);
-                None
+                PostProcess::None
             }
             VectorOp::Vid { vd } => {
                 // Chain-local index generation (see DESIGN.md): modeled
                 // functionally; the VCU charges one write per column.
-                let (vstart, vl) = (self.csb.vstart(), self.csb.vl());
-                let mask = width_mask(self.width);
-                for e in vstart..vl {
-                    self.csb.write_element(vd, e, e as u32 & mask);
-                }
-                None
+                PostProcess::Vid { vd }
             }
             VectorOp::Increment { vd } => {
                 self.zero_upper(vd);
                 self.bit_serial(&BitSerialAlgorithm::incrementer(), vd, None, 0, &[]);
-                None
+                PostProcess::None
             }
         }
     }
@@ -368,9 +591,14 @@ impl<'a> Sequencer<'a> {
 
     /// Bulk-clears a row in every subarray (one bit-parallel update).
     fn clear_reg(&mut self, row: usize) {
-        self.csb.execute(&MicroOp::Update {
+        self.emit(MicroOp::Update {
             writes: (0..N)
-                .map(|i| WriteSpec { subarray: i, row, value: false, cols: ColSel::Window })
+                .map(|i| WriteSpec {
+                    subarray: i,
+                    row,
+                    value: false,
+                    cols: ColSel::Window,
+                })
                 .collect(),
         });
     }
@@ -400,9 +628,14 @@ impl<'a> Sequencer<'a> {
         if self.width == N {
             return;
         }
-        self.csb.execute(&MicroOp::Update {
+        self.emit(MicroOp::Update {
             writes: (self.width..N)
-                .map(|i| WriteSpec { subarray: i, row: vd, value: false, cols: ColSel::Window })
+                .map(|i| WriteSpec {
+                    subarray: i,
+                    row: vd,
+                    value: false,
+                    cols: ColSel::Window,
+                })
                 .collect(),
         });
     }
@@ -410,7 +643,7 @@ impl<'a> Sequencer<'a> {
     /// One bit-parallel search over the active element width, with
     /// per-subarray keys given by `keys(i)`.
     fn search_all(&mut self, keys: impl Fn(usize) -> Vec<(usize, bool)>, mode: TagMode) {
-        self.csb.execute(&MicroOp::Search {
+        self.emit(MicroOp::Search {
             probes: (0..self.width).map(|i| Probe::new(i, keys(i))).collect(),
             gates: vec![],
             dest: TagDest::Tags,
@@ -421,9 +654,14 @@ impl<'a> Sequencer<'a> {
     /// Sets `row` to 1 in every active-width subarray at the columns
     /// tagged in that same subarray (one bit-parallel update).
     fn set_reg_from_own_tags(&mut self, row: usize) {
-        self.csb.execute(&MicroOp::Update {
+        self.emit(MicroOp::Update {
             writes: (0..self.width)
-                .map(|i| WriteSpec { subarray: i, row, value: true, cols: ColSel::Tags(i) })
+                .map(|i| WriteSpec {
+                    subarray: i,
+                    row,
+                    value: true,
+                    cols: ColSel::Tags(i),
+                })
                 .collect(),
         });
     }
@@ -433,7 +671,11 @@ impl<'a> Sequencer<'a> {
     /// "bit-serial post-processing" of the comparisons in Table I).
     fn fold_tags_and(&mut self) {
         for i in 1..self.width {
-            self.csb.execute(&MicroOp::TagCombine { src: i - 1, dst: i, op: TagMode::And });
+            self.emit(MicroOp::TagCombine {
+                src: i - 1,
+                dst: i,
+                op: TagMode::And,
+            });
         }
     }
 
@@ -442,7 +684,7 @@ impl<'a> Sequencer<'a> {
     /// active columns.
     fn broadcast(&mut self, vd: usize, rs: u32) {
         let w = self.width;
-        self.csb.execute(&MicroOp::Update {
+        self.emit(MicroOp::Update {
             writes: (0..N)
                 .map(|i| WriteSpec {
                     subarray: i,
@@ -463,30 +705,36 @@ impl<'a> Sequencer<'a> {
         let zeros: Vec<usize> = (0..w).filter(|&i| rs >> i & 1 == 0).collect();
         // Latch the source planes the result copies (possibly inverted).
         let (copy_subs, inv_subs): (&[usize], &[usize]) = match op {
-            LogicOp::And => (&ones, &[]),   // x=1 -> vs; x=0 -> 0
-            LogicOp::Or => (&zeros, &[]),   // x=0 -> vs; x=1 -> 1
-            LogicOp::Xor => (&zeros, &ones) // x=0 -> vs; x=1 -> !vs
+            LogicOp::And => (&ones, &[]),    // x=1 -> vs; x=0 -> 0
+            LogicOp::Or => (&zeros, &[]),    // x=0 -> vs; x=1 -> 1
+            LogicOp::Xor => (&zeros, &ones), // x=0 -> vs; x=1 -> !vs
         };
         // The two groups probe disjoint subarrays, and each subarray's tag
         // register is independent — both searches latch with Set.
         if !copy_subs.is_empty() {
-            self.csb.execute(&MicroOp::Search {
-                probes: copy_subs.iter().map(|&i| Probe::row(i, vs1, true)).collect(),
+            self.emit(MicroOp::Search {
+                probes: copy_subs
+                    .iter()
+                    .map(|&i| Probe::row(i, vs1, true))
+                    .collect(),
                 gates: vec![],
                 dest: TagDest::Tags,
                 mode: TagMode::Set,
             });
         }
         if !inv_subs.is_empty() {
-            self.csb.execute(&MicroOp::Search {
-                probes: inv_subs.iter().map(|&i| Probe::row(i, vs1, false)).collect(),
+            self.emit(MicroOp::Search {
+                probes: inv_subs
+                    .iter()
+                    .map(|&i| Probe::row(i, vs1, false))
+                    .collect(),
                 gates: vec![],
                 dest: TagDest::Tags,
                 mode: TagMode::Set,
             });
         }
         // Fill: OR forces 1 where x=1; everything else starts at 0.
-        self.csb.execute(&MicroOp::Update {
+        self.emit(MicroOp::Update {
             writes: (0..N)
                 .map(|i| WriteSpec {
                     subarray: i,
@@ -498,10 +746,15 @@ impl<'a> Sequencer<'a> {
         });
         let tagged: Vec<usize> = copy_subs.iter().chain(inv_subs).copied().collect();
         if !tagged.is_empty() {
-            self.csb.execute(&MicroOp::Update {
+            self.emit(MicroOp::Update {
                 writes: tagged
                     .iter()
-                    .map(|&i| WriteSpec { subarray: i, row: vd, value: true, cols: ColSel::Tags(i) })
+                    .map(|&i| WriteSpec {
+                        subarray: i,
+                        row: vd,
+                        value: true,
+                        cols: ColSel::Tags(i),
+                    })
                     .collect(),
             });
         }
@@ -511,10 +764,15 @@ impl<'a> Sequencer<'a> {
     /// folded tags are 0.
     fn write_inverted_mask_from_tags(&mut self, vd: usize, tag_sub: usize) {
         self.clear_reg(vd);
-        self.csb.execute(&MicroOp::Update {
-            writes: vec![WriteSpec { subarray: 0, row: vd, value: true, cols: ColSel::Window }],
+        self.emit(MicroOp::Update {
+            writes: vec![WriteSpec {
+                subarray: 0,
+                row: vd,
+                value: true,
+                cols: ColSel::Window,
+            }],
         });
-        self.csb.execute(&MicroOp::Update {
+        self.emit(MicroOp::Update {
             writes: vec![WriteSpec {
                 subarray: 0,
                 row: vd,
@@ -542,13 +800,13 @@ impl<'a> Sequencer<'a> {
     ) {
         let taken = Probe::row(mask_sub, mask_row, true);
         let not_taken = Probe::row(mask_sub, mask_row, false);
-        self.csb.execute(&MicroOp::Search {
+        self.emit(MicroOp::Search {
             probes: (0..self.width).map(|i| Probe::row(i, vs1, true)).collect(),
             gates: vec![taken],
             dest: TagDest::Tags,
             mode: TagMode::Set,
         });
-        self.csb.execute(&MicroOp::Search {
+        self.emit(MicroOp::Search {
             probes: (0..self.width).map(|i| Probe::row(i, vs2, true)).collect(),
             gates: vec![not_taken],
             dest: TagDest::Tags,
@@ -562,7 +820,7 @@ impl<'a> Sequencer<'a> {
     /// the columns tagged in `tag_sub`.
     fn write_mask_from_tags(&mut self, vd: usize, tag_sub: usize) {
         self.clear_reg(vd);
-        self.csb.execute(&MicroOp::Update {
+        self.emit(MicroOp::Update {
             writes: vec![WriteSpec {
                 subarray: 0,
                 row: vd,
@@ -591,7 +849,7 @@ impl<'a> Sequencer<'a> {
         // overwrite the matches. Searches ran first, so vd may alias a
         // source.
         let w = self.width;
-        self.csb.execute(&MicroOp::Update {
+        self.emit(MicroOp::Update {
             writes: (0..N)
                 .map(|i| WriteSpec {
                     subarray: i,
@@ -601,9 +859,14 @@ impl<'a> Sequencer<'a> {
                 })
                 .collect(),
         });
-        self.csb.execute(&MicroOp::Update {
+        self.emit(MicroOp::Update {
             writes: (0..w)
-                .map(|i| WriteSpec { subarray: i, row: vd, value: result_on_match, cols: ColSel::Tags(i) })
+                .map(|i| WriteSpec {
+                    subarray: i,
+                    row: vd,
+                    value: result_on_match,
+                    cols: ColSel::Tags(i),
+                })
                 .collect(),
         });
     }
@@ -624,10 +887,15 @@ impl<'a> Sequencer<'a> {
         let writes: Vec<WriteSpec> = (0..w - sh)
             .map(|k| {
                 let (dst, src) = if left { (k + sh, k) } else { (k, k + sh) };
-                WriteSpec { subarray: dst, row: vd, value: true, cols: ColSel::Tags(src) }
+                WriteSpec {
+                    subarray: dst,
+                    row: vd,
+                    value: true,
+                    cols: ColSel::Tags(src),
+                }
             })
             .collect();
-        self.csb.execute(&MicroOp::Update { writes });
+        self.emit(MicroOp::Update { writes });
     }
 
     /// Arithmetic shift right: logical shift plus sign replication into
@@ -638,7 +906,7 @@ impl<'a> Sequencer<'a> {
         if (sh as usize) < w {
             self.shift(vd, vs, sh, false);
             if sh > 0 {
-                self.csb.execute(&MicroOp::Update {
+                self.emit(MicroOp::Update {
                     writes: (w - sh as usize..w)
                         .map(|i| WriteSpec {
                             subarray: i,
@@ -653,7 +921,7 @@ impl<'a> Sequencer<'a> {
             // Fully shifted out: every bit becomes the sign bit.
             self.search_all(|_| vec![(vs, true)], TagMode::Set);
             self.clear_reg(vd);
-            self.csb.execute(&MicroOp::Update {
+            self.emit(MicroOp::Update {
                 writes: (0..w)
                     .map(|i| WriteSpec {
                         subarray: i,
@@ -682,14 +950,29 @@ impl<'a> Sequencer<'a> {
     /// # Panics
     ///
     /// Panics if `dest_sub` collides with the flag subarray.
-    fn mslt_raw(&mut self, dest_sub: usize, dest_row: usize, vs1: usize, rhs: MsltRhs, signed: bool) {
+    fn mslt_raw(
+        &mut self,
+        dest_sub: usize,
+        dest_row: usize,
+        vs1: usize,
+        rhs: MsltRhs,
+        signed: bool,
+    ) {
         const FLAG_SUB: usize = 1;
-        assert_ne!(dest_sub, FLAG_SUB, "result and flag must live in distinct subarrays");
+        assert_ne!(
+            dest_sub, FLAG_SUB,
+            "result and flag must live in distinct subarrays"
+        );
         // Clear the result bit and arm the undecided flag in one update
         // (distinct subarrays, one row each).
-        self.csb.execute(&MicroOp::Update {
+        self.emit(MicroOp::Update {
             writes: vec![
-                WriteSpec { subarray: dest_sub, row: dest_row, value: false, cols: ColSel::Window },
+                WriteSpec {
+                    subarray: dest_sub,
+                    row: dest_row,
+                    value: false,
+                    cols: ColSel::Window,
+                },
                 WriteSpec {
                     subarray: FLAG_SUB,
                     row: ROW_FLAG,
@@ -726,16 +1009,21 @@ impl<'a> Sequencer<'a> {
             };
             let gate = Probe::row(FLAG_SUB, ROW_FLAG, true);
             if let Some(keys) = lt_keys {
-                self.csb.execute(&MicroOp::Search {
+                self.emit(MicroOp::Search {
                     probes: vec![Probe::new(i, keys)],
                     gates: vec![gate.clone()],
                     dest: TagDest::Tags,
                     mode: TagMode::Set,
                 });
                 // Decided less-than: set the result bit and retire the flag.
-                self.csb.execute(&MicroOp::Update {
+                self.emit(MicroOp::Update {
                     writes: vec![
-                        WriteSpec { subarray: dest_sub, row: dest_row, value: true, cols: ColSel::Tags(i) },
+                        WriteSpec {
+                            subarray: dest_sub,
+                            row: dest_row,
+                            value: true,
+                            cols: ColSel::Tags(i),
+                        },
                         WriteSpec {
                             subarray: FLAG_SUB,
                             row: ROW_FLAG,
@@ -746,14 +1034,14 @@ impl<'a> Sequencer<'a> {
                 });
             }
             if let Some(keys) = gt_keys {
-                self.csb.execute(&MicroOp::Search {
+                self.emit(MicroOp::Search {
                     probes: vec![Probe::new(i, keys)],
                     gates: vec![gate],
                     dest: TagDest::Tags,
                     mode: TagMode::Set,
                 });
                 // Decided greater-than: just retire the flag.
-                self.csb.execute(&MicroOp::Update {
+                self.emit(MicroOp::Update {
                     writes: vec![WriteSpec {
                         subarray: FLAG_SUB,
                         row: ROW_FLAG,
@@ -765,7 +1053,7 @@ impl<'a> Sequencer<'a> {
         }
     }
 
-    /// Runs one bit-serial pass of a truth-table algorithm over the
+    /// Emits one bit-serial pass of a truth-table algorithm over the
     /// destination register, least significant bit first.
     ///
     /// `j_off` shifts the destination bit position relative to the addend
@@ -782,7 +1070,7 @@ impl<'a> Sequencer<'a> {
         // Initialize the carry/borrow rows.
         self.clear_reg(ROW_CARRY);
         if alg.carry_init {
-            self.csb.execute(&MicroOp::Update {
+            self.emit(MicroOp::Update {
                 writes: vec![WriteSpec {
                     subarray: j_off,
                     row: ROW_CARRY,
@@ -796,19 +1084,44 @@ impl<'a> Sequencer<'a> {
             // The carry group first: its update writes only the next
             // carry, so it cannot perturb the destination-flipping groups
             // that still need to search this bit's pristine state.
-            let hit = self.search_group(&alg.carry_patterns, d_reg, d_sub, i, addend, gates, TagDest::Tags);
+            let hit = self.search_group(
+                &alg.carry_patterns,
+                d_reg,
+                d_sub,
+                i,
+                addend,
+                gates,
+                TagDest::Tags,
+            );
             if hit {
                 self.group_update(
-                    &GroupUpdate { write_d: None, write_carry: true },
+                    &GroupUpdate {
+                        write_d: None,
+                        write_carry: true,
+                    },
                     d_reg,
                     d_sub,
                     TagDest::Tags,
                 );
             }
-            let acc_hit =
-                self.search_group(&alg.acc_patterns, d_reg, d_sub, i, addend, gates, TagDest::Acc);
-            let tag_hit =
-                self.search_group(&alg.tag_patterns, d_reg, d_sub, i, addend, gates, TagDest::Tags);
+            let acc_hit = self.search_group(
+                &alg.acc_patterns,
+                d_reg,
+                d_sub,
+                i,
+                addend,
+                gates,
+                TagDest::Acc,
+            );
+            let tag_hit = self.search_group(
+                &alg.tag_patterns,
+                d_reg,
+                d_sub,
+                i,
+                addend,
+                gates,
+                TagDest::Tags,
+            );
             if acc_hit {
                 self.group_update(&alg.acc_update, d_reg, d_sub, TagDest::Acc);
             }
@@ -822,6 +1135,10 @@ impl<'a> Sequencer<'a> {
     /// (`d_sub`, addend bit `a_bit`). Returns whether any pattern survived
     /// scalar specialization (if none did, the group's update must be
     /// skipped because the match register holds stale data).
+    ///
+    /// The hit flag depends only on the patterns and the scalar's bits —
+    /// never on CSB contents — so compilation stays a pure function of
+    /// `(VectorOp, width)`.
     #[allow(clippy::too_many_arguments)]
     fn search_group(
         &mut self,
@@ -862,7 +1179,7 @@ impl<'a> Sequencer<'a> {
                 }
             }
             let mode = if first { TagMode::Set } else { TagMode::Or };
-            self.csb.execute(&MicroOp::Search {
+            self.emit(MicroOp::Search {
                 probes: vec![Probe::new(d_sub, keys)],
                 gates: extra_gates,
                 dest,
@@ -883,13 +1200,23 @@ impl<'a> Sequencer<'a> {
         };
         let mut writes = Vec::with_capacity(2);
         if let Some(v) = upd.write_d {
-            writes.push(WriteSpec { subarray: d_sub, row: d_reg, value: v, cols });
+            writes.push(WriteSpec {
+                subarray: d_sub,
+                row: d_reg,
+                value: v,
+                cols,
+            });
         }
         if upd.write_carry && d_sub + 1 < self.width {
-            writes.push(WriteSpec { subarray: d_sub + 1, row: ROW_CARRY, value: true, cols });
+            writes.push(WriteSpec {
+                subarray: d_sub + 1,
+                row: ROW_CARRY,
+                value: true,
+                cols,
+            });
         }
         if !writes.is_empty() {
-            self.csb.execute(&MicroOp::Update { writes });
+            self.emit(MicroOp::Update { writes });
         }
     }
 }
@@ -945,7 +1272,14 @@ mod tests {
     fn add_vv_matches_wrapping_add() {
         let (a, b) = (sample_a(), sample_b());
         let mut csb = csb_with(&[(1, &a), (2, &b)]);
-        run(&mut csb, VectorOp::Add { vd: 3, vs1: 1, vs2: 2 });
+        run(
+            &mut csb,
+            VectorOp::Add {
+                vd: 3,
+                vs1: 1,
+                vs2: 2,
+            },
+        );
         let want: Vec<u32> = a.iter().zip(&b).map(|(x, y)| x.wrapping_add(*y)).collect();
         assert_eq!(csb.read_vector(3, VL), want);
         // Sources intact.
@@ -959,15 +1293,36 @@ mod tests {
         let want: Vec<u32> = a.iter().zip(&b).map(|(x, y)| x.wrapping_add(*y)).collect();
         // vd == vs1
         let mut csb = csb_with(&[(1, &a), (2, &b)]);
-        run(&mut csb, VectorOp::Add { vd: 1, vs1: 1, vs2: 2 });
+        run(
+            &mut csb,
+            VectorOp::Add {
+                vd: 1,
+                vs1: 1,
+                vs2: 2,
+            },
+        );
         assert_eq!(csb.read_vector(1, VL), want);
         // vd == vs2
         let mut csb = csb_with(&[(1, &a), (2, &b)]);
-        run(&mut csb, VectorOp::Add { vd: 2, vs1: 1, vs2: 2 });
+        run(
+            &mut csb,
+            VectorOp::Add {
+                vd: 2,
+                vs1: 1,
+                vs2: 2,
+            },
+        );
         assert_eq!(csb.read_vector(2, VL), want);
         // vd == vs1 == vs2 (doubling)
         let mut csb = csb_with(&[(1, &a)]);
-        run(&mut csb, VectorOp::Add { vd: 1, vs1: 1, vs2: 1 });
+        run(
+            &mut csb,
+            VectorOp::Add {
+                vd: 1,
+                vs1: 1,
+                vs2: 1,
+            },
+        );
         let doubled: Vec<u32> = a.iter().map(|x| x.wrapping_add(*x)).collect();
         assert_eq!(csb.read_vector(1, VL), doubled);
     }
@@ -987,7 +1342,14 @@ mod tests {
     fn sub_vv_matches_wrapping_sub() {
         let (a, b) = (sample_a(), sample_b());
         let mut csb = csb_with(&[(1, &a), (2, &b)]);
-        run(&mut csb, VectorOp::Sub { vd: 3, vs1: 1, vs2: 2 });
+        run(
+            &mut csb,
+            VectorOp::Sub {
+                vd: 3,
+                vs1: 1,
+                vs2: 2,
+            },
+        );
         let want: Vec<u32> = a.iter().zip(&b).map(|(x, y)| x.wrapping_sub(*y)).collect();
         assert_eq!(csb.read_vector(3, VL), want);
     }
@@ -998,15 +1360,36 @@ mod tests {
         let want: Vec<u32> = a.iter().zip(&b).map(|(x, y)| x.wrapping_sub(*y)).collect();
         // vd == vs1 (in place)
         let mut csb = csb_with(&[(1, &a), (2, &b)]);
-        run(&mut csb, VectorOp::Sub { vd: 1, vs1: 1, vs2: 2 });
+        run(
+            &mut csb,
+            VectorOp::Sub {
+                vd: 1,
+                vs1: 1,
+                vs2: 2,
+            },
+        );
         assert_eq!(csb.read_vector(1, VL), want);
         // vd == vs2 (two's-complement path)
         let mut csb = csb_with(&[(1, &a), (2, &b)]);
-        run(&mut csb, VectorOp::Sub { vd: 2, vs1: 1, vs2: 2 });
+        run(
+            &mut csb,
+            VectorOp::Sub {
+                vd: 2,
+                vs1: 1,
+                vs2: 2,
+            },
+        );
         assert_eq!(csb.read_vector(2, VL), want);
         // x - x == 0
         let mut csb = csb_with(&[(1, &a)]);
-        run(&mut csb, VectorOp::Sub { vd: 1, vs1: 1, vs2: 1 });
+        run(
+            &mut csb,
+            VectorOp::Sub {
+                vd: 1,
+                vs1: 1,
+                vs2: 1,
+            },
+        );
         assert_eq!(csb.read_vector(1, VL), vec![0; VL]);
     }
 
@@ -1014,7 +1397,14 @@ mod tests {
     fn sub_vx_matches_scalar_sub() {
         let a = sample_a();
         let mut csb = csb_with(&[(1, &a)]);
-        run(&mut csb, VectorOp::SubScalar { vd: 3, vs1: 1, rs: 0x1234_5678 });
+        run(
+            &mut csb,
+            VectorOp::SubScalar {
+                vd: 3,
+                vs1: 1,
+                rs: 0x1234_5678,
+            },
+        );
         let want: Vec<u32> = a.iter().map(|x| x.wrapping_sub(0x1234_5678)).collect();
         assert_eq!(csb.read_vector(3, VL), want);
     }
@@ -1023,7 +1413,14 @@ mod tests {
     fn mul_vv_matches_wrapping_mul() {
         let (a, b) = (sample_a(), sample_b());
         let mut csb = csb_with(&[(1, &a), (2, &b)]);
-        run(&mut csb, VectorOp::Mul { vd: 3, vs1: 1, vs2: 2 });
+        run(
+            &mut csb,
+            VectorOp::Mul {
+                vd: 3,
+                vs1: 1,
+                vs2: 2,
+            },
+        );
         let want: Vec<u32> = a.iter().zip(&b).map(|(x, y)| x.wrapping_mul(*y)).collect();
         assert_eq!(csb.read_vector(3, VL), want);
     }
@@ -1043,16 +1440,44 @@ mod tests {
     #[should_panic(expected = "must not alias")]
     fn mul_rejects_aliased_destination() {
         let mut csb = csb_with(&[(1, &sample_a())]);
-        run(&mut csb, VectorOp::Mul { vd: 1, vs1: 1, vs2: 2 });
+        run(
+            &mut csb,
+            VectorOp::Mul {
+                vd: 1,
+                vs1: 1,
+                vs2: 2,
+            },
+        );
     }
 
     #[test]
     fn logic_ops_match_bitwise_semantics() {
         let (a, b) = (sample_a(), sample_b());
         let mut csb = csb_with(&[(1, &a), (2, &b)]);
-        run(&mut csb, VectorOp::And { vd: 3, vs1: 1, vs2: 2 });
-        run(&mut csb, VectorOp::Or { vd: 4, vs1: 1, vs2: 2 });
-        run(&mut csb, VectorOp::Xor { vd: 5, vs1: 1, vs2: 2 });
+        run(
+            &mut csb,
+            VectorOp::And {
+                vd: 3,
+                vs1: 1,
+                vs2: 2,
+            },
+        );
+        run(
+            &mut csb,
+            VectorOp::Or {
+                vd: 4,
+                vs1: 1,
+                vs2: 2,
+            },
+        );
+        run(
+            &mut csb,
+            VectorOp::Xor {
+                vd: 5,
+                vs1: 1,
+                vs2: 2,
+            },
+        );
         let and: Vec<u32> = a.iter().zip(&b).map(|(x, y)| x & y).collect();
         let or: Vec<u32> = a.iter().zip(&b).map(|(x, y)| x | y).collect();
         let xor: Vec<u32> = a.iter().zip(&b).map(|(x, y)| x ^ y).collect();
@@ -1065,7 +1490,14 @@ mod tests {
     fn logic_ops_allow_aliasing() {
         let (a, b) = (sample_a(), sample_b());
         let mut csb = csb_with(&[(1, &a), (2, &b)]);
-        run(&mut csb, VectorOp::Xor { vd: 1, vs1: 1, vs2: 2 });
+        run(
+            &mut csb,
+            VectorOp::Xor {
+                vd: 1,
+                vs1: 1,
+                vs2: 2,
+            },
+        );
         let xor: Vec<u32> = a.iter().zip(&b).map(|(x, y)| x ^ y).collect();
         assert_eq!(csb.read_vector(1, VL), xor);
     }
@@ -1074,11 +1506,25 @@ mod tests {
     fn logic_ops_are_cheap_and_bit_parallel() {
         let (a, b) = (sample_a(), sample_b());
         let mut csb = csb_with(&[(1, &a), (2, &b)]);
-        let out = run(&mut csb, VectorOp::And { vd: 3, vs1: 1, vs2: 2 });
+        let out = run(
+            &mut csb,
+            VectorOp::And {
+                vd: 3,
+                vs1: 1,
+                vs2: 2,
+            },
+        );
         // Table I: vand executes in 3 cycles (1 search + 2 updates).
         assert_eq!(out.stats.total(), 3);
         assert_eq!(out.stats.searches_bp, 1);
-        let out = run(&mut csb, VectorOp::Xor { vd: 3, vs1: 1, vs2: 2 });
+        let out = run(
+            &mut csb,
+            VectorOp::Xor {
+                vd: 3,
+                vs1: 1,
+                vs2: 2,
+            },
+        );
         // Table I: vxor executes in 4 cycles.
         assert_eq!(out.stats.total(), 4);
     }
@@ -1087,12 +1533,22 @@ mod tests {
     fn add_microop_count_tracks_paper_model() {
         let (a, b) = (sample_a(), sample_b());
         let mut csb = csb_with(&[(1, &a), (2, &b)]);
-        let out = run(&mut csb, VectorOp::Add { vd: 1, vs1: 1, vs2: 2 });
+        let out = run(
+            &mut csb,
+            VectorOp::Add {
+                vd: 1,
+                vs1: 1,
+                vs2: 2,
+            },
+        );
         // Paper models vadd as 8n+2 cycles; the emulated in-place sequence
         // is 8 microops per bit (the MSB drops its carry ops) plus carry
         // initialization.
         let total = out.stats.total();
-        assert!((8 * 32 - 10..=8 * 32 + 4).contains(&(total as i64)), "got {total}");
+        assert!(
+            (8 * 32 - 10..=8 * 32 + 4).contains(&(total as i64)),
+            "got {total}"
+        );
     }
 
     #[test]
@@ -1102,7 +1558,14 @@ mod tests {
         b[7] ^= 0x10;
         b[21] = 0;
         let mut csb = csb_with(&[(1, &a), (2, &b)]);
-        run(&mut csb, VectorOp::Mseq { vd: 3, vs1: 1, vs2: 2 });
+        run(
+            &mut csb,
+            VectorOp::Mseq {
+                vd: 3,
+                vs1: 1,
+                vs2: 2,
+            },
+        );
         let mask = csb.read_vector(3, VL);
         for e in 0..VL {
             assert_eq!(mask[e] & 1 == 1, a[e] == b[e], "element {e}");
@@ -1111,7 +1574,14 @@ mod tests {
         a[5] = 0xCAFE;
         a[13] = 0xCAFE;
         let mut csb = csb_with(&[(1, &a)]);
-        run(&mut csb, VectorOp::MseqScalar { vd: 3, vs1: 1, rs: 0xCAFE });
+        run(
+            &mut csb,
+            VectorOp::MseqScalar {
+                vd: 3,
+                vs1: 1,
+                rs: 0xCAFE,
+            },
+        );
         let mask = csb.read_vector(3, VL);
         for e in 0..VL {
             assert_eq!(mask[e] & 1 == 1, a[e] == 0xCAFE, "element {e}");
@@ -1123,8 +1593,24 @@ mod tests {
         let a = sample_a();
         let b = sample_b();
         let mut csb = csb_with(&[(1, &a), (2, &b)]);
-        run(&mut csb, VectorOp::Mslt { vd: 3, vs1: 1, vs2: 2, signed: false });
-        run(&mut csb, VectorOp::Mslt { vd: 4, vs1: 1, vs2: 2, signed: true });
+        run(
+            &mut csb,
+            VectorOp::Mslt {
+                vd: 3,
+                vs1: 1,
+                vs2: 2,
+                signed: false,
+            },
+        );
+        run(
+            &mut csb,
+            VectorOp::Mslt {
+                vd: 4,
+                vs1: 1,
+                vs2: 2,
+                signed: true,
+            },
+        );
         let mu = csb.read_vector(3, VL);
         let ms = csb.read_vector(4, VL);
         for e in 0..VL {
@@ -1142,8 +1628,24 @@ mod tests {
         let a = sample_a();
         for rs in [0u32, 0x8000_0000, 0x7FFF_FFFF, 12345] {
             let mut csb = csb_with(&[(1, &a)]);
-            run(&mut csb, VectorOp::MsltScalar { vd: 3, vs1: 1, rs, signed: false });
-            run(&mut csb, VectorOp::MsltScalar { vd: 4, vs1: 1, rs, signed: true });
+            run(
+                &mut csb,
+                VectorOp::MsltScalar {
+                    vd: 3,
+                    vs1: 1,
+                    rs,
+                    signed: false,
+                },
+            );
+            run(
+                &mut csb,
+                VectorOp::MsltScalar {
+                    vd: 4,
+                    vs1: 1,
+                    rs,
+                    signed: true,
+                },
+            );
             let mu = csb.read_vector(3, VL);
             let ms = csb.read_vector(4, VL);
             for e in 0..VL {
@@ -1161,7 +1663,15 @@ mod tests {
     fn mslt_equal_elements_are_not_less() {
         let a = sample_a();
         let mut csb = csb_with(&[(1, &a), (2, &a)]);
-        run(&mut csb, VectorOp::Mslt { vd: 3, vs1: 1, vs2: 2, signed: true });
+        run(
+            &mut csb,
+            VectorOp::Mslt {
+                vd: 3,
+                vs1: 1,
+                vs2: 2,
+                signed: true,
+            },
+        );
         assert!(csb.read_vector(3, VL).iter().all(|&m| m & 1 == 0));
     }
 
@@ -1170,7 +1680,14 @@ mod tests {
         let (a, b) = (sample_a(), sample_b());
         let mask: Vec<u32> = (0..VL as u32).map(|i| u32::from(i % 3 == 0)).collect();
         let mut csb = csb_with(&[(0, &mask), (1, &a), (2, &b)]);
-        let out = run(&mut csb, VectorOp::Merge { vd: 3, vs1: 1, vs2: 2 });
+        let out = run(
+            &mut csb,
+            VectorOp::Merge {
+                vd: 3,
+                vs1: 1,
+                vs2: 2,
+            },
+        );
         // Table I: vmerge completes in 4 cycles.
         assert_eq!(out.stats.total(), 4);
         let got = csb.read_vector(3, VL);
@@ -1205,7 +1722,9 @@ mod tests {
 
     #[test]
     fn cpop_and_first_query_masks() {
-        let mask: Vec<u32> = (0..VL as u32).map(|i| u32::from(i == 9 || i == 30)).collect();
+        let mask: Vec<u32> = (0..VL as u32)
+            .map(|i| u32::from(i == 9 || i == 30))
+            .collect();
         let mut csb = csb_with(&[(2, &mask)]);
         assert_eq!(run(&mut csb, VectorOp::Cpop { vs: 2 }).scalar, Some(2));
         assert_eq!(run(&mut csb, VectorOp::First { vs: 2 }).scalar, Some(9));
@@ -1217,7 +1736,13 @@ mod tests {
     #[test]
     fn broadcast_is_one_microop() {
         let mut csb = csb_with(&[]);
-        let out = run(&mut csb, VectorOp::Broadcast { vd: 7, rs: 0x1357_9BDF });
+        let out = run(
+            &mut csb,
+            VectorOp::Broadcast {
+                vd: 7,
+                rs: 0x1357_9BDF,
+            },
+        );
         assert_eq!(out.stats.total(), 1);
         assert_eq!(csb.read_vector(7, VL), vec![0x1357_9BDF; VL]);
     }
@@ -1229,8 +1754,14 @@ mod tests {
             let mut csb = csb_with(&[(1, &a)]);
             run(&mut csb, VectorOp::ShiftLeft { vd: 3, vs: 1, sh });
             run(&mut csb, VectorOp::ShiftRight { vd: 4, vs: 1, sh });
-            let wl: Vec<u32> = a.iter().map(|&x| if sh < 32 { x << sh } else { 0 }).collect();
-            let wr: Vec<u32> = a.iter().map(|&x| if sh < 32 { x >> sh } else { 0 }).collect();
+            let wl: Vec<u32> = a
+                .iter()
+                .map(|&x| if sh < 32 { x << sh } else { 0 })
+                .collect();
+            let wr: Vec<u32> = a
+                .iter()
+                .map(|&x| if sh < 32 { x >> sh } else { 0 })
+                .collect();
             assert_eq!(csb.read_vector(3, VL), wl, "sll sh={sh}");
             assert_eq!(csb.read_vector(4, VL), wr, "srl sh={sh}");
         }
@@ -1257,9 +1788,16 @@ mod tests {
     #[test]
     fn operations_respect_vstart() {
         let (a, b) = (sample_a(), sample_b());
-        let mut csb = csb_with(&[(1, &a), (2, &b), (3, &vec![0xABCD; VL])]);
+        let mut csb = csb_with(&[(1, &a), (2, &b), (3, &[0xABCD; VL])]);
         csb.set_active_window(4, 20);
-        run(&mut csb, VectorOp::Add { vd: 3, vs1: 1, vs2: 2 });
+        run(
+            &mut csb,
+            VectorOp::Add {
+                vd: 3,
+                vs1: 1,
+                vs2: 2,
+            },
+        );
         let got = csb.read_vector(3, VL);
         for e in 0..VL {
             if (4..20).contains(&e) {
@@ -1275,10 +1813,38 @@ mod tests {
         let a = sample_a();
         for rs in [0u32, u32::MAX, 0xF0F0_A5A5, 1] {
             let mut csb = csb_with(&[(1, &a)]);
-            run(&mut csb, VectorOp::LogicScalar { op: crate::vop::LogicOp::And, vd: 3, vs1: 1, rs });
-            run(&mut csb, VectorOp::LogicScalar { op: crate::vop::LogicOp::Or, vd: 4, vs1: 1, rs });
-            run(&mut csb, VectorOp::LogicScalar { op: crate::vop::LogicOp::Xor, vd: 5, vs1: 1, rs });
-            let (and, or, xor) = (csb.read_vector(3, VL), csb.read_vector(4, VL), csb.read_vector(5, VL));
+            run(
+                &mut csb,
+                VectorOp::LogicScalar {
+                    op: crate::vop::LogicOp::And,
+                    vd: 3,
+                    vs1: 1,
+                    rs,
+                },
+            );
+            run(
+                &mut csb,
+                VectorOp::LogicScalar {
+                    op: crate::vop::LogicOp::Or,
+                    vd: 4,
+                    vs1: 1,
+                    rs,
+                },
+            );
+            run(
+                &mut csb,
+                VectorOp::LogicScalar {
+                    op: crate::vop::LogicOp::Xor,
+                    vd: 5,
+                    vs1: 1,
+                    rs,
+                },
+            );
+            let (and, or, xor) = (
+                csb.read_vector(3, VL),
+                csb.read_vector(4, VL),
+                csb.read_vector(5, VL),
+            );
             for e in 0..VL {
                 assert_eq!(and[e], a[e] & rs, "and rs={rs:#x} e={e}");
                 assert_eq!(or[e], a[e] | rs, "or rs={rs:#x} e={e}");
@@ -1291,9 +1857,15 @@ mod tests {
     fn logic_scalar_stays_bit_parallel_cheap() {
         let a = sample_a();
         let mut csb = csb_with(&[(1, &a)]);
-        let out = run(&mut csb, VectorOp::LogicScalar {
-            op: crate::vop::LogicOp::Xor, vd: 3, vs1: 1, rs: 0x1234_5678,
-        });
+        let out = run(
+            &mut csb,
+            VectorOp::LogicScalar {
+                op: crate::vop::LogicOp::Xor,
+                vd: 3,
+                vs1: 1,
+                rs: 0x1234_5678,
+            },
+        );
         assert!(out.stats.total() <= 4, "{}", out.stats.total());
     }
 
@@ -1303,8 +1875,22 @@ mod tests {
         let mut b = a.clone();
         b[3] ^= 1;
         let mut csb = csb_with(&[(1, &a), (2, &b)]);
-        run(&mut csb, VectorOp::Msne { vd: 3, vs1: 1, vs2: 2 });
-        run(&mut csb, VectorOp::MsneScalar { vd: 4, vs1: 1, rs: a[7] });
+        run(
+            &mut csb,
+            VectorOp::Msne {
+                vd: 3,
+                vs1: 1,
+                vs2: 2,
+            },
+        );
+        run(
+            &mut csb,
+            VectorOp::MsneScalar {
+                vd: 4,
+                vs1: 1,
+                rs: a[7],
+            },
+        );
         for e in 0..VL {
             assert_eq!(csb.read_element(3, e) & 1 == 1, a[e] != b[e], "vv e={e}");
             assert_eq!(csb.read_element(4, e) & 1 == 1, a[e] != a[7], "vx e={e}");
@@ -1315,10 +1901,46 @@ mod tests {
     fn min_max_all_variants() {
         let (a, b) = (sample_a(), sample_b());
         let mut csb = csb_with(&[(1, &a), (2, &b)]);
-        run(&mut csb, VectorOp::MinMax { vd: 3, vs1: 1, vs2: 2, max: false, signed: false });
-        run(&mut csb, VectorOp::MinMax { vd: 4, vs1: 1, vs2: 2, max: true, signed: false });
-        run(&mut csb, VectorOp::MinMax { vd: 5, vs1: 1, vs2: 2, max: false, signed: true });
-        run(&mut csb, VectorOp::MinMax { vd: 6, vs1: 1, vs2: 2, max: true, signed: true });
+        run(
+            &mut csb,
+            VectorOp::MinMax {
+                vd: 3,
+                vs1: 1,
+                vs2: 2,
+                max: false,
+                signed: false,
+            },
+        );
+        run(
+            &mut csb,
+            VectorOp::MinMax {
+                vd: 4,
+                vs1: 1,
+                vs2: 2,
+                max: true,
+                signed: false,
+            },
+        );
+        run(
+            &mut csb,
+            VectorOp::MinMax {
+                vd: 5,
+                vs1: 1,
+                vs2: 2,
+                max: false,
+                signed: true,
+            },
+        );
+        run(
+            &mut csb,
+            VectorOp::MinMax {
+                vd: 6,
+                vs1: 1,
+                vs2: 2,
+                max: true,
+                signed: true,
+            },
+        );
         for e in 0..VL {
             assert_eq!(csb.read_element(3, e), a[e].min(b[e]), "minu e={e}");
             assert_eq!(csb.read_element(4, e), a[e].max(b[e]), "maxu e={e}");
@@ -1340,13 +1962,31 @@ mod tests {
         let a = sample_a();
         for rs in [0u32, 0x8000_0000, 12345] {
             let mut csb = csb_with(&[(1, &a)]);
-            run(&mut csb, VectorOp::MinMaxScalar { vd: 3, vs1: 1, rs, max: false, signed: false });
-            run(&mut csb, VectorOp::MinMaxScalar { vd: 4, vs1: 1, rs, max: true, signed: true });
-            for e in 0..VL {
-                assert_eq!(csb.read_element(3, e), a[e].min(rs), "minu rs={rs:#x}");
+            run(
+                &mut csb,
+                VectorOp::MinMaxScalar {
+                    vd: 3,
+                    vs1: 1,
+                    rs,
+                    max: false,
+                    signed: false,
+                },
+            );
+            run(
+                &mut csb,
+                VectorOp::MinMaxScalar {
+                    vd: 4,
+                    vs1: 1,
+                    rs,
+                    max: true,
+                    signed: true,
+                },
+            );
+            for (e, &av) in a.iter().enumerate().take(VL) {
+                assert_eq!(csb.read_element(3, e), av.min(rs), "minu rs={rs:#x}");
                 assert_eq!(
                     csb.read_element(4, e) as i32,
-                    (a[e] as i32).max(rs as i32),
+                    (av as i32).max(rs as i32),
                     "max rs={rs:#x}"
                 );
             }
@@ -1357,7 +1997,16 @@ mod tests {
     fn min_max_tolerates_destination_aliasing() {
         let (a, b) = (sample_a(), sample_b());
         let mut csb = csb_with(&[(1, &a), (2, &b)]);
-        run(&mut csb, VectorOp::MinMax { vd: 1, vs1: 1, vs2: 2, max: false, signed: false });
+        run(
+            &mut csb,
+            VectorOp::MinMax {
+                vd: 1,
+                vs1: 1,
+                vs2: 2,
+                max: false,
+                signed: false,
+            },
+        );
         let want: Vec<u32> = a.iter().zip(&b).map(|(&x, &y)| x.min(y)).collect();
         assert_eq!(csb.read_vector(1, VL), want);
     }
@@ -1366,12 +2015,26 @@ mod tests {
     fn rsub_reverses_subtraction() {
         let a = sample_a();
         let mut csb = csb_with(&[(1, &a)]);
-        run(&mut csb, VectorOp::RsubScalar { vd: 3, vs1: 1, rs: 1000 });
+        run(
+            &mut csb,
+            VectorOp::RsubScalar {
+                vd: 3,
+                vs1: 1,
+                rs: 1000,
+            },
+        );
         let want: Vec<u32> = a.iter().map(|&x| 1000u32.wrapping_sub(x)).collect();
         assert_eq!(csb.read_vector(3, VL), want);
         // In place.
         let mut csb = csb_with(&[(1, &a)]);
-        run(&mut csb, VectorOp::RsubScalar { vd: 1, vs1: 1, rs: 7 });
+        run(
+            &mut csb,
+            VectorOp::RsubScalar {
+                vd: 1,
+                vs1: 1,
+                rs: 7,
+            },
+        );
         let want: Vec<u32> = a.iter().map(|&x| 7u32.wrapping_sub(x)).collect();
         assert_eq!(csb.read_vector(1, VL), want);
     }
@@ -1381,7 +2044,14 @@ mod tests {
         let (a, b) = (sample_a(), sample_b());
         let acc: Vec<u32> = (0..VL as u32).map(|i| i * 11).collect();
         let mut csb = csb_with(&[(1, &a), (2, &b), (3, &acc)]);
-        run(&mut csb, VectorOp::Macc { vd: 3, vs1: 1, vs2: 2 });
+        run(
+            &mut csb,
+            VectorOp::Macc {
+                vd: 3,
+                vs1: 1,
+                vs2: 2,
+            },
+        );
         let want: Vec<u32> = (0..VL)
             .map(|e| acc[e].wrapping_add(a[e].wrapping_mul(b[e])))
             .collect();
@@ -1425,7 +2095,15 @@ mod tests {
         let a: Vec<u32> = (0..VL as u32).map(|i| (i * 37) & 0xFF).collect();
         let b: Vec<u32> = (0..VL as u32).map(|i| (i * 91) & 0xFF).collect();
         let mut csb = csb_with(&[(1, &a), (2, &b)]);
-        run_w(&mut csb, 8, VectorOp::Add { vd: 3, vs1: 1, vs2: 2 });
+        run_w(
+            &mut csb,
+            8,
+            VectorOp::Add {
+                vd: 3,
+                vs1: 1,
+                vs2: 2,
+            },
+        );
         for e in 0..VL {
             assert_eq!(csb.read_element(3, e), (a[e] + b[e]) & 0xFF, "e={e}");
         }
@@ -1435,8 +2113,28 @@ mod tests {
     fn narrow_add_is_faster_than_wide() {
         let a: Vec<u32> = vec![0x55; VL];
         let mut csb = csb_with(&[(1, &a), (2, &a)]);
-        let w8 = run_w(&mut csb, 8, VectorOp::Add { vd: 3, vs1: 1, vs2: 2 }).stats.total();
-        let w32 = run_w(&mut csb, 32, VectorOp::Add { vd: 4, vs1: 1, vs2: 2 }).stats.total();
+        let w8 = run_w(
+            &mut csb,
+            8,
+            VectorOp::Add {
+                vd: 3,
+                vs1: 1,
+                vs2: 2,
+            },
+        )
+        .stats
+        .total();
+        let w32 = run_w(
+            &mut csb,
+            32,
+            VectorOp::Add {
+                vd: 4,
+                vs1: 1,
+                vs2: 2,
+            },
+        )
+        .stats
+        .total();
         assert!(w8 * 3 < w32, "8-bit {w8} vs 32-bit {w32}");
     }
 
@@ -1445,7 +2143,15 @@ mod tests {
         let a: Vec<u32> = (0..VL as u32).map(|i| i & 0xFF).collect();
         let b: Vec<u32> = (0..VL as u32).map(|i| (255 - i) & 0xFF).collect();
         let mut csb = csb_with(&[(1, &a), (2, &b)]);
-        run_w(&mut csb, 8, VectorOp::Mul { vd: 3, vs1: 1, vs2: 2 });
+        run_w(
+            &mut csb,
+            8,
+            VectorOp::Mul {
+                vd: 3,
+                vs1: 1,
+                vs2: 2,
+            },
+        );
         for e in 0..VL {
             assert_eq!(csb.read_element(3, e), (a[e] * b[e]) & 0xFF, "mul e={e}");
         }
@@ -1460,12 +2166,34 @@ mod tests {
         let b: Vec<u32> = vec![0x01, 0x80, 0x02, 0x00];
         let mut csb = csb_with(&[(1, &a), (2, &b)]);
         csb.set_active_window(0, 4);
-        run_w(&mut csb, 8, VectorOp::Mslt { vd: 3, vs1: 1, vs2: 2, signed: true });
-        run_w(&mut csb, 8, VectorOp::Mslt { vd: 4, vs1: 1, vs2: 2, signed: false });
+        run_w(
+            &mut csb,
+            8,
+            VectorOp::Mslt {
+                vd: 3,
+                vs1: 1,
+                vs2: 2,
+                signed: true,
+            },
+        );
+        run_w(
+            &mut csb,
+            8,
+            VectorOp::Mslt {
+                vd: 4,
+                vs1: 1,
+                vs2: 2,
+                signed: false,
+            },
+        );
         for e in 0..4 {
             let (x, y) = (a[e] as u8 as i8, b[e] as u8 as i8);
             assert_eq!(csb.read_element(3, e) & 1 == 1, x < y, "signed e={e}");
-            assert_eq!(csb.read_element(4, e) & 1 == 1, (a[e] as u8) < (b[e] as u8), "unsigned e={e}");
+            assert_eq!(
+                csb.read_element(4, e) & 1 == 1,
+                (a[e] as u8) < (b[e] as u8),
+                "unsigned e={e}"
+            );
         }
     }
 
@@ -1475,16 +2203,39 @@ mod tests {
         let wide: Vec<u32> = vec![0xFFFF_FFFF; VL];
         let small: Vec<u32> = vec![3; VL];
         let mut csb = csb_with(&[(1, &small), (2, &small), (3, &wide)]);
-        run_w(&mut csb, 8, VectorOp::Add { vd: 3, vs1: 1, vs2: 2 });
+        run_w(
+            &mut csb,
+            8,
+            VectorOp::Add {
+                vd: 3,
+                vs1: 1,
+                vs2: 2,
+            },
+        );
         assert_eq!(csb.read_vector(3, VL), vec![6u32; VL]);
     }
 
     #[test]
     fn narrow_broadcast_and_shift() {
         let mut csb = csb_with(&[]);
-        run_w(&mut csb, 16, VectorOp::Broadcast { vd: 1, rs: 0xABCD_1234 });
+        run_w(
+            &mut csb,
+            16,
+            VectorOp::Broadcast {
+                vd: 1,
+                rs: 0xABCD_1234,
+            },
+        );
         assert_eq!(csb.read_element(1, 0), 0x1234);
-        run_w(&mut csb, 16, VectorOp::ShiftLeft { vd: 2, vs: 1, sh: 4 });
+        run_w(
+            &mut csb,
+            16,
+            VectorOp::ShiftLeft {
+                vd: 2,
+                vs: 1,
+                sh: 4,
+            },
+        );
         assert_eq!(csb.read_element(2, 0), 0x2340);
     }
 }

@@ -41,12 +41,18 @@ pub struct Pattern {
 impl Pattern {
     /// Pattern requiring exact values for all three rows.
     pub fn exact(d: bool, a: bool, c: bool) -> Self {
-        Self { d: Some(d), a: Some(a), c: Some(c) }
+        Self {
+            d: Some(d),
+            a: Some(a),
+            c: Some(c),
+        }
     }
 
     /// Number of rows this pattern actually searches.
     pub fn search_rows(&self) -> usize {
-        usize::from(self.d.is_some()) + usize::from(self.a.is_some()) + usize::from(self.c.is_some())
+        usize::from(self.d.is_some())
+            + usize::from(self.a.is_some())
+            + usize::from(self.c.is_some())
     }
 }
 
@@ -93,13 +99,29 @@ impl BitSerialAlgorithm {
         Self {
             name: "adder",
             // (a=1, c=1) always generates a carry regardless of d.
-            carry_patterns: vec![Pattern { d: None, a: Some(true), c: Some(true) }],
+            carry_patterns: vec![Pattern {
+                d: None,
+                a: Some(true),
+                c: Some(true),
+            }],
             // d flips 0 -> 1: 0+0+1 and 0+1+0.
-            acc_patterns: vec![Pattern::exact(false, false, true), Pattern::exact(false, true, false)],
+            acc_patterns: vec![
+                Pattern::exact(false, false, true),
+                Pattern::exact(false, true, false),
+            ],
             // d flips 1 -> 0 and generates a carry: 1+0+1 and 1+1+0.
-            tag_patterns: vec![Pattern::exact(true, false, true), Pattern::exact(true, true, false)],
-            acc_update: GroupUpdate { write_d: Some(true), write_carry: false },
-            tag_update: GroupUpdate { write_d: Some(false), write_carry: true },
+            tag_patterns: vec![
+                Pattern::exact(true, false, true),
+                Pattern::exact(true, true, false),
+            ],
+            acc_update: GroupUpdate {
+                write_d: Some(true),
+                write_carry: false,
+            },
+            tag_update: GroupUpdate {
+                write_d: Some(false),
+                write_carry: true,
+            },
             carry_init: false,
         }
     }
@@ -114,13 +136,29 @@ impl BitSerialAlgorithm {
         Self {
             name: "subtractor",
             // (a=1, br=1): covers 0-1-1 and 1-1-1, borrow propagates.
-            carry_patterns: vec![Pattern { d: None, a: Some(true), c: Some(true) }],
+            carry_patterns: vec![Pattern {
+                d: None,
+                a: Some(true),
+                c: Some(true),
+            }],
             // d flips 0 -> 1 (underflow): 0-0-1 and 0-1-0; both borrow.
-            acc_patterns: vec![Pattern::exact(false, false, true), Pattern::exact(false, true, false)],
+            acc_patterns: vec![
+                Pattern::exact(false, false, true),
+                Pattern::exact(false, true, false),
+            ],
             // d flips 1 -> 0, no borrow: 1-0-1 and 1-1-0.
-            tag_patterns: vec![Pattern::exact(true, false, true), Pattern::exact(true, true, false)],
-            acc_update: GroupUpdate { write_d: Some(true), write_carry: true },
-            tag_update: GroupUpdate { write_d: Some(false), write_carry: false },
+            tag_patterns: vec![
+                Pattern::exact(true, false, true),
+                Pattern::exact(true, true, false),
+            ],
+            acc_update: GroupUpdate {
+                write_d: Some(true),
+                write_carry: true,
+            },
+            tag_update: GroupUpdate {
+                write_d: Some(false),
+                write_carry: false,
+            },
             carry_init: false,
         }
     }
@@ -131,11 +169,25 @@ impl BitSerialAlgorithm {
             name: "incrementer",
             carry_patterns: vec![],
             // d flips 0 -> 1 where the carry is set; carry is consumed.
-            acc_patterns: vec![Pattern { d: Some(false), a: None, c: Some(true) }],
+            acc_patterns: vec![Pattern {
+                d: Some(false),
+                a: None,
+                c: Some(true),
+            }],
             // d flips 1 -> 0 where the carry is set; carry propagates.
-            tag_patterns: vec![Pattern { d: Some(true), a: None, c: Some(true) }],
-            acc_update: GroupUpdate { write_d: Some(true), write_carry: false },
-            tag_update: GroupUpdate { write_d: Some(false), write_carry: true },
+            tag_patterns: vec![Pattern {
+                d: Some(true),
+                a: None,
+                c: Some(true),
+            }],
+            acc_update: GroupUpdate {
+                write_d: Some(true),
+                write_carry: false,
+            },
+            tag_update: GroupUpdate {
+                write_d: Some(false),
+                write_carry: true,
+            },
             carry_init: true,
         }
     }
@@ -226,7 +278,7 @@ fn encode_update(u: GroupUpdate) -> u16 {
 
 fn decode_update(w: u16) -> GroupUpdate {
     GroupUpdate {
-        write_d: (w & 1 == 1).then(|| w >> 1 & 1 == 1),
+        write_d: (w & 1 == 1).then_some(w >> 1 & 1 == 1),
         write_carry: w >> 2 & 1 == 1,
     }
 }
@@ -243,7 +295,11 @@ fn encode_pattern(p: Pattern) -> u16 {
 
 fn decode_pattern(w: u16) -> Pattern {
     let dec = |at: u16| -> Option<bool> { (w >> at & 1 == 1).then(|| w >> (at + 1) & 1 == 1) };
-    Pattern { d: dec(0), a: dec(2), c: dec(4) }
+    Pattern {
+        d: dec(0),
+        a: dec(2),
+        c: dec(4),
+    }
 }
 
 #[cfg(test)]

@@ -10,7 +10,7 @@ use serde::{Deserialize, Serialize};
 /// the VCU a `VectorOp` (Section III). `vd`/`vs1`/`vs2` are row indices
 /// into every subarray; the mask register of `Merge` is the architectural
 /// `v0` as required by RVV.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum VectorOp {
     /// `vadd.vv vd, vs1, vs2` — element-wise wrapping addition.
     Add {
@@ -364,9 +364,15 @@ impl VectorOp {
             VectorOp::And { .. } => VectorOpKind::And,
             VectorOp::Or { .. } => VectorOpKind::Or,
             VectorOp::Xor { .. } => VectorOpKind::Xor,
-            VectorOp::LogicScalar { op: LogicOp::And, .. } => VectorOpKind::And,
-            VectorOp::LogicScalar { op: LogicOp::Or, .. } => VectorOpKind::Or,
-            VectorOp::LogicScalar { op: LogicOp::Xor, .. } => VectorOpKind::Xor,
+            VectorOp::LogicScalar {
+                op: LogicOp::And, ..
+            } => VectorOpKind::And,
+            VectorOp::LogicScalar {
+                op: LogicOp::Or, ..
+            } => VectorOpKind::Or,
+            VectorOp::LogicScalar {
+                op: LogicOp::Xor, ..
+            } => VectorOpKind::Xor,
             VectorOp::Msne { .. } => VectorOpKind::Msne,
             VectorOp::MsneScalar { .. } => VectorOpKind::Msne,
             VectorOp::MinMax { .. } | VectorOp::MinMaxScalar { .. } => VectorOpKind::MinMax,
@@ -405,16 +411,48 @@ mod tests {
     #[test]
     fn kinds_group_vv_and_vx_forms() {
         assert_eq!(
-            VectorOp::Add { vd: 0, vs1: 1, vs2: 2 }.kind(),
-            VectorOp::AddScalar { vd: 0, vs1: 1, rs: 7 }.kind()
+            VectorOp::Add {
+                vd: 0,
+                vs1: 1,
+                vs2: 2
+            }
+            .kind(),
+            VectorOp::AddScalar {
+                vd: 0,
+                vs1: 1,
+                rs: 7
+            }
+            .kind()
         );
         assert_eq!(
-            VectorOp::Mslt { vd: 0, vs1: 1, vs2: 2, signed: true }.kind(),
-            VectorOp::MsltScalar { vd: 0, vs1: 1, rs: 7, signed: false }.kind()
+            VectorOp::Mslt {
+                vd: 0,
+                vs1: 1,
+                vs2: 2,
+                signed: true
+            }
+            .kind(),
+            VectorOp::MsltScalar {
+                vd: 0,
+                vs1: 1,
+                rs: 7,
+                signed: false
+            }
+            .kind()
         );
         assert_ne!(
-            VectorOp::Mseq { vd: 0, vs1: 1, vs2: 2 }.kind(),
-            VectorOp::MseqScalar { vd: 0, vs1: 1, rs: 0 }.kind()
+            VectorOp::Mseq {
+                vd: 0,
+                vs1: 1,
+                vs2: 2
+            }
+            .kind(),
+            VectorOp::MseqScalar {
+                vd: 0,
+                vs1: 1,
+                rs: 0
+            }
+            .kind()
         );
     }
 
@@ -423,6 +461,11 @@ mod tests {
         assert!(VectorOp::RedSum { vd: 0, vs: 1 }.produces_scalar());
         assert!(VectorOp::Cpop { vs: 1 }.produces_scalar());
         assert!(VectorOp::First { vs: 1 }.produces_scalar());
-        assert!(!VectorOp::Add { vd: 0, vs1: 1, vs2: 2 }.produces_scalar());
+        assert!(!VectorOp::Add {
+            vd: 0,
+            vs1: 1,
+            vs2: 2
+        }
+        .produces_scalar());
     }
 }

@@ -10,8 +10,12 @@ fn pattern() -> impl Strategy<Value = Pattern> {
 }
 
 fn group_update() -> impl Strategy<Value = GroupUpdate> {
-    (proptest::option::of(any::<bool>()), any::<bool>())
-        .prop_map(|(write_d, write_carry)| GroupUpdate { write_d, write_carry })
+    (proptest::option::of(any::<bool>()), any::<bool>()).prop_map(|(write_d, write_carry)| {
+        GroupUpdate {
+            write_d,
+            write_carry,
+        }
+    })
 }
 
 fn algorithm() -> impl Strategy<Value = BitSerialAlgorithm> {
@@ -23,15 +27,17 @@ fn algorithm() -> impl Strategy<Value = BitSerialAlgorithm> {
         group_update(),
         any::<bool>(),
     )
-        .prop_map(|(carry, acc, tag, acc_update, tag_update, carry_init)| BitSerialAlgorithm {
-            name: "generated",
-            carry_patterns: carry,
-            acc_patterns: acc,
-            tag_patterns: tag,
-            acc_update,
-            tag_update,
-            carry_init,
-        })
+        .prop_map(
+            |(carry, acc, tag, acc_update, tag_update, carry_init)| BitSerialAlgorithm {
+                name: "generated",
+                carry_patterns: carry,
+                acc_patterns: acc,
+                tag_patterns: tag,
+                acc_update,
+                tag_update,
+                carry_init,
+            },
+        )
 }
 
 proptest! {

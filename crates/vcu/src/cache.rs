@@ -1,0 +1,227 @@
+//! The VCU's microcode program cache.
+//!
+//! Compiling a [`VectorOp`] to its [`CompiledOp`] broadcast form is a pure
+//! function of the operation and the element width, so the VCU memoizes
+//! it: loop bodies re-issue the same handful of static vector
+//! instructions thousands of times, and every repeat skips compilation
+//! and goes straight to the one-fan-out broadcast path. This models the
+//! chain controllers' truth-table memory (TTM) staying warm across
+//! iterations — only a *new* instruction shape pays the command-bus
+//! distribution of a fresh truth table.
+
+use std::collections::HashMap;
+
+use cape_ucode::{CompiledOp, VectorOp};
+
+/// Cache key: the full decoded operation (register indices *and* scalar
+/// operands — scalar bits specialize the emitted program) plus SEW.
+type Key = (VectorOp, u32);
+
+#[derive(Debug, Clone)]
+struct Entry {
+    compiled: CompiledOp,
+    /// Last-touch tick, for LRU eviction.
+    stamp: u64,
+}
+
+/// An LRU cache of compiled microop programs keyed by `(VectorOp, SEW)`.
+///
+/// Kept outside [`Vcu`](crate::Vcu) (which stays a `Copy` timing model)
+/// and threaded into [`Vcu::execute_sew_cached`](crate::Vcu) by the owner
+/// of the execution loop.
+#[derive(Debug, Clone)]
+pub struct ProgramCache {
+    entries: HashMap<Key, Entry>,
+    capacity: usize,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl ProgramCache {
+    /// Default entry count. Sized so scalar-specialized sweeps — e.g.
+    /// histogram's 256-bucket `vmseq.vx` inner loop, one program per
+    /// bucket value — still fit without LRU thrash; compiled programs are
+    /// a few dozen microops, so this is cheap.
+    pub const DEFAULT_CAPACITY: usize = 1024;
+
+    /// A cache holding at most `capacity` compiled programs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "program cache needs at least one entry");
+        Self {
+            entries: HashMap::with_capacity(capacity),
+            capacity,
+            tick: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Returns the cached program for `(op, sew_bits)`, compiling (and, at
+    /// capacity, evicting the least recently used entry) on a miss.
+    pub fn get_or_compile(&mut self, op: &VectorOp, sew_bits: u32) -> &CompiledOp {
+        self.tick += 1;
+        let key = (*op, sew_bits);
+        if self.entries.contains_key(&key) {
+            self.hits += 1;
+            let entry = self.entries.get_mut(&key).expect("key just checked");
+            entry.stamp = self.tick;
+            return &self.entries[&key].compiled;
+        }
+        self.misses += 1;
+        if self.entries.len() >= self.capacity {
+            let victim = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.stamp)
+                .map(|(k, _)| *k)
+                .expect("cache at capacity is non-empty");
+            self.entries.remove(&victim);
+            self.evictions += 1;
+        }
+        let compiled = CompiledOp::compile(op, sew_bits as usize);
+        self.entries.insert(
+            key,
+            Entry {
+                compiled,
+                stamp: self.tick,
+            },
+        );
+        &self.entries[&key].compiled
+    }
+
+    /// Lookups that found a compiled program.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that had to compile.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Entries displaced by LRU eviction.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Fraction of lookups served from the cache (0 when never used).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Number of programs currently cached.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Maximum number of entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+impl Default for ProgramCache {
+    fn default() -> Self {
+        Self::new(Self::DEFAULT_CAPACITY)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ADD: VectorOp = VectorOp::Add {
+        vd: 3,
+        vs1: 1,
+        vs2: 2,
+    };
+    const SUB: VectorOp = VectorOp::Sub {
+        vd: 4,
+        vs1: 1,
+        vs2: 2,
+    };
+
+    #[test]
+    fn hits_and_misses_are_counted() {
+        let mut cache = ProgramCache::new(8);
+        cache.get_or_compile(&ADD, 32);
+        assert_eq!((cache.hits(), cache.misses()), (0, 1));
+        cache.get_or_compile(&ADD, 32);
+        cache.get_or_compile(&ADD, 32);
+        assert_eq!((cache.hits(), cache.misses()), (2, 1));
+        assert!((cache.hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn keyed_by_sew() {
+        let mut cache = ProgramCache::new(8);
+        cache.get_or_compile(&ADD, 32);
+        let narrow = cache.get_or_compile(&ADD, 8).clone();
+        assert_eq!(cache.misses(), 2, "same op at a new SEW must recompile");
+        assert_eq!(narrow.width(), 8);
+        assert!(narrow.program().len() < cache.get_or_compile(&ADD, 32).program().len());
+    }
+
+    #[test]
+    fn keyed_by_scalar_operand() {
+        // Scalar bits specialize the program, so they are part of the key.
+        let mut cache = ProgramCache::new(8);
+        cache.get_or_compile(
+            &VectorOp::AddScalar {
+                vd: 3,
+                vs1: 1,
+                rs: 0,
+            },
+            32,
+        );
+        cache.get_or_compile(
+            &VectorOp::AddScalar {
+                vd: 3,
+                vs1: 1,
+                rs: 1,
+            },
+            32,
+        );
+        assert_eq!(cache.misses(), 2);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut cache = ProgramCache::new(2);
+        cache.get_or_compile(&ADD, 32);
+        cache.get_or_compile(&SUB, 32);
+        cache.get_or_compile(&ADD, 32); // ADD is now the most recent
+        cache.get_or_compile(&ADD, 8); // at capacity: SUB is the LRU victim
+        assert_eq!(cache.evictions(), 1);
+        assert_eq!(cache.len(), 2);
+        cache.get_or_compile(&ADD, 32);
+        assert_eq!(cache.hits(), 2, "ADD@32 must have survived eviction");
+        cache.get_or_compile(&SUB, 32);
+        assert_eq!(cache.misses(), 4, "SUB was evicted and recompiles");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn zero_capacity_panics() {
+        ProgramCache::new(0);
+    }
+}

@@ -20,10 +20,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cache;
+
 use cape_csb::{Csb, MicroOpStats, ReductionTree};
 use cape_ucode::metrics::{extension_cycles, paper_row};
 use cape_ucode::{Sequencer, VectorOp};
 use serde::{Deserialize, Serialize};
+
+pub use cache::ProgramCache;
 
 /// Default operand width CAPE's chains are configured for.
 pub const OPERAND_BITS: u32 = 32;
@@ -93,8 +97,39 @@ impl Vcu {
     /// an unsupported width.
     pub fn execute_sew(&self, csb: &mut Csb, op: &VectorOp, sew_bits: u32) -> VcuResult {
         let outcome = Sequencer::with_width(csb, sew_bits as usize).execute(op);
+        self.finish(op, outcome, sew_bits)
+    }
+
+    /// Executes a vector operation through the program cache: the compiled
+    /// microop program is looked up (compiling on a miss) and broadcast to
+    /// the CSB with one fan-out for the whole program. Bit-identical
+    /// results and cycle model to [`Vcu::execute_sew`]; only the host-side
+    /// throughput differs.
+    ///
+    /// # Panics
+    ///
+    /// Propagates the sequencer's panics for invalid register aliasing or
+    /// an unsupported width.
+    pub fn execute_sew_cached(
+        &self,
+        csb: &mut Csb,
+        op: &VectorOp,
+        sew_bits: u32,
+        cache: &mut ProgramCache,
+    ) -> VcuResult {
+        let compiled = cache.get_or_compile(op, sew_bits);
+        let outcome = Sequencer::with_width(csb, sew_bits as usize).run_program(compiled);
+        self.finish(op, outcome, sew_bits)
+    }
+
+    /// Layers the timing model over a sequencer outcome.
+    fn finish(&self, op: &VectorOp, outcome: cape_ucode::ExecOutcome, sew_bits: u32) -> VcuResult {
         let base = self.base_cycles(op, &outcome.stats, sew_bits);
-        let reduction_drain = if self.uses_reduction_tree(op) { self.tree_stages } else { 0 };
+        let reduction_drain = if self.uses_reduction_tree(op) {
+            self.tree_stages
+        } else {
+            0
+        };
         VcuResult {
             cycles: base + reduction_drain + self.cmd_dist_cycles,
             scalar: outcome.scalar,
@@ -172,7 +207,14 @@ mod tests {
     fn vadd_uses_table_one_cycles() {
         let vcu = Vcu::new(1024);
         let mut csb = csb();
-        let r = vcu.execute(&mut csb, &VectorOp::Add { vd: 3, vs1: 1, vs2: 2 });
+        let r = vcu.execute(
+            &mut csb,
+            &VectorOp::Add {
+                vd: 3,
+                vs1: 1,
+                vs2: 2,
+            },
+        );
         // 8n+2 = 258 plus command distribution.
         assert_eq!(r.cycles, 258 + vcu.cmd_dist_cycles());
     }
@@ -181,7 +223,14 @@ mod tests {
     fn logic_is_three_cycles_plus_distribution() {
         let vcu = Vcu::new(1024);
         let mut csb = csb();
-        let r = vcu.execute(&mut csb, &VectorOp::And { vd: 3, vs1: 1, vs2: 2 });
+        let r = vcu.execute(
+            &mut csb,
+            &VectorOp::And {
+                vd: 3,
+                vs1: 1,
+                vs2: 2,
+            },
+        );
         assert_eq!(r.cycles, 3 + vcu.cmd_dist_cycles());
     }
 
@@ -200,8 +249,19 @@ mod tests {
         // faster than an element-wise vector addition".
         let vcu = Vcu::new(1024);
         let mut csb = csb();
-        let add = vcu.execute(&mut csb, &VectorOp::Add { vd: 3, vs1: 1, vs2: 2 }).cycles;
-        let red = vcu.execute(&mut csb, &VectorOp::RedSum { vd: 4, vs: 1 }).cycles;
+        let add = vcu
+            .execute(
+                &mut csb,
+                &VectorOp::Add {
+                    vd: 3,
+                    vs1: 1,
+                    vs2: 2,
+                },
+            )
+            .cycles;
+        let red = vcu
+            .execute(&mut csb, &VectorOp::RedSum { vd: 4, vs: 1 })
+            .cycles;
         let ratio = add as f64 / red as f64;
         assert!((4.0..9.0).contains(&ratio), "ratio {ratio}");
     }
@@ -211,10 +271,31 @@ mod tests {
         let vcu = Vcu::new(1024);
         let mut csb = csb();
         // Adding zero specializes away most truth-table entries.
-        let r0 = vcu.execute(&mut csb, &VectorOp::AddScalar { vd: 3, vs1: 1, rs: 0 });
-        let r1 = vcu.execute(&mut csb, &VectorOp::AddScalar { vd: 3, vs1: 1, rs: u32::MAX });
+        let r0 = vcu.execute(
+            &mut csb,
+            &VectorOp::AddScalar {
+                vd: 3,
+                vs1: 1,
+                rs: 0,
+            },
+        );
+        let r1 = vcu.execute(
+            &mut csb,
+            &VectorOp::AddScalar {
+                vd: 3,
+                vs1: 1,
+                rs: u32::MAX,
+            },
+        );
         assert!(r0.cycles < r1.cycles, "rs=0 must be cheaper than rs=-1");
-        let vv = vcu.execute(&mut csb, &VectorOp::Add { vd: 3, vs1: 1, vs2: 2 });
+        let vv = vcu.execute(
+            &mut csb,
+            &VectorOp::Add {
+                vd: 3,
+                vs1: 1,
+                vs2: 2,
+            },
+        );
         assert!(r1.cycles <= vv.cycles + vcu.cmd_dist_cycles());
     }
 
@@ -222,7 +303,14 @@ mod tests {
     fn mul_is_quadratic() {
         let vcu = Vcu::new(1024);
         let mut csb = csb();
-        let r = vcu.execute(&mut csb, &VectorOp::Mul { vd: 3, vs1: 1, vs2: 2 });
+        let r = vcu.execute(
+            &mut csb,
+            &VectorOp::Mul {
+                vd: 3,
+                vs1: 1,
+                vs2: 2,
+            },
+        );
         assert_eq!(r.cycles, 3968 + vcu.cmd_dist_cycles());
         // Section VI-B: vmul performs >3,000 searches and updates.
         assert!(r.stats.searches() + r.stats.updates() > 3000);
@@ -232,11 +320,71 @@ mod tests {
     fn narrow_widths_scale_table_one_cycles() {
         let vcu = Vcu::new(1024);
         let mut csb = csb();
-        let r8 = vcu.execute_sew(&mut csb, &VectorOp::Add { vd: 3, vs1: 1, vs2: 2 }, 8);
-        let r32 = vcu.execute_sew(&mut csb, &VectorOp::Add { vd: 4, vs1: 1, vs2: 2 }, 32);
+        let r8 = vcu.execute_sew(
+            &mut csb,
+            &VectorOp::Add {
+                vd: 3,
+                vs1: 1,
+                vs2: 2,
+            },
+            8,
+        );
+        let r32 = vcu.execute_sew(
+            &mut csb,
+            &VectorOp::Add {
+                vd: 4,
+                vs1: 1,
+                vs2: 2,
+            },
+            32,
+        );
         // 8n+2 at n=8 vs n=32.
         assert_eq!(r8.cycles, 66 + vcu.cmd_dist_cycles());
         assert_eq!(r32.cycles, 258 + vcu.cmd_dist_cycles());
+    }
+
+    #[test]
+    fn cached_path_matches_uncached_exactly() {
+        let vcu = Vcu::new(64);
+        let mut cache = ProgramCache::default();
+        let ops = [
+            VectorOp::Add {
+                vd: 3,
+                vs1: 1,
+                vs2: 2,
+            },
+            VectorOp::MseqScalar {
+                vd: 4,
+                vs1: 1,
+                rs: 7,
+            },
+            VectorOp::RedSum { vd: 5, vs: 1 },
+            VectorOp::Add {
+                vd: 3,
+                vs1: 1,
+                vs2: 2,
+            }, // repeat: cache hit
+        ];
+        for sew in [8u32, 16, 32] {
+            let mut plain = Csb::new(CsbGeometry::new(64));
+            let mut cached = Csb::new(CsbGeometry::new(64));
+            for csb in [&mut plain, &mut cached] {
+                let a: Vec<u32> = (0..2048).map(|i| i * 3 + 1).collect();
+                csb.write_vector(1, &a);
+                csb.write_vector(2, &a);
+                csb.set_active_window(5, 1500);
+            }
+            for op in &ops {
+                let want = vcu.execute_sew(&mut plain, op, sew);
+                let got = vcu.execute_sew_cached(&mut cached, op, sew, &mut cache);
+                assert_eq!(got, want, "{op:?} at sew {sew}");
+            }
+            assert_eq!(plain.read_vector(3, 2048), cached.read_vector(3, 2048));
+            assert_eq!(plain.read_vector(4, 2048), cached.read_vector(4, 2048));
+            assert_eq!(plain.read_vector(5, 2048), cached.read_vector(5, 2048));
+        }
+        assert_eq!(cache.hits(), 3, "one repeated op per SEW");
+        assert_eq!(cache.misses(), 9);
     }
 
     #[test]
@@ -245,7 +393,14 @@ mod tests {
         let mut csb = Csb::new(CsbGeometry::new(8));
         csb.write_vector(1, &[3, 5, 7]);
         csb.set_active_window(0, 3);
-        vcu.execute(&mut csb, &VectorOp::AddScalar { vd: 2, vs1: 1, rs: 10 });
+        vcu.execute(
+            &mut csb,
+            &VectorOp::AddScalar {
+                vd: 2,
+                vs1: 1,
+                rs: 10,
+            },
+        );
         assert_eq!(csb.read_vector(2, 3), vec![13, 15, 17]);
     }
 }

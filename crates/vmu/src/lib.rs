@@ -62,7 +62,11 @@ impl Vmu {
     fn finish(&self, hbm: &Hbm, bytes: u64, hbm_cycles: u64) -> VmuTransfer {
         let packets = hbm.packets(bytes);
         // HBM streaming overlaps the CSB's one-cycle-per-packet intake.
-        VmuTransfer { bytes, packets, cycles: hbm_cycles.max(packets) }
+        VmuTransfer {
+            bytes,
+            packets,
+            cycles: hbm_cycles.max(packets),
+        }
     }
 
     /// `vle32.v` — unit-stride load of the active window
@@ -74,12 +78,13 @@ impl Vmu {
         hbm: &mut Hbm,
         vd: usize,
         addr: u64,
-        ) -> VmuTransfer {
+    ) -> VmuTransfer {
         let (vstart, vl) = (csb.vstart(), csb.vl());
-        for e in vstart..vl {
-            let v = mem.read_u32(addr + (e as u64) * 4);
-            csb.write_element(vd, e, v);
-        }
+        // Element indexing is absolute (restartable page faults resume at
+        // the faulting index), so the window maps to one contiguous slice
+        // of memory, deposited via the CSB's bulk transposed-write path.
+        let vals = mem.read_u32_slice(addr + (vstart as u64) * 4, vl - vstart);
+        csb.write_vector_at(vd, vstart, &vals);
         let bytes = ((vl - vstart) as u64) * 4;
         let cycles = hbm.read(bytes, self.freq_ghz);
         self.finish(hbm, bytes, cycles)
@@ -96,9 +101,8 @@ impl Vmu {
         addr: u64,
     ) -> VmuTransfer {
         let (vstart, vl) = (csb.vstart(), csb.vl());
-        for e in vstart..vl {
-            mem.write_u32(addr + (e as u64) * 4, csb.read_element(vs3, e));
-        }
+        let vals = csb.read_vector_at(vs3, vstart, vl - vstart);
+        mem.write_u32_slice(addr + (vstart as u64) * 4, &vals);
         let bytes = ((vl - vstart) as u64) * 4;
         let cycles = hbm.write(bytes, self.freq_ghz);
         self.finish(hbm, bytes, cycles)
@@ -123,16 +127,20 @@ impl Vmu {
         assert!(chunk_len > 0, "replica chunk must be non-empty");
         let chunk = mem.read_u32_slice(addr, chunk_len);
         let (vstart, vl) = (csb.vstart(), csb.vl());
-        for e in vstart..vl {
-            csb.write_element(vd, e, chunk[(e - vstart) % chunk_len]);
-        }
+        // Materialize the tiling once, then deposit it in bulk.
+        let vals: Vec<u32> = (0..vl - vstart).map(|k| chunk[k % chunk_len]).collect();
+        csb.write_vector_at(vd, vstart, &vals);
         let bytes = (chunk_len as u64) * 4;
         let hbm_cycles = hbm.read(bytes, self.freq_ghz);
         // The replicated chunk is broadcast to all chains; each chain
         // fills its columns locally, one column per cycle.
         let cols = (vl - vstart).div_ceil(csb.geometry().num_chains().max(1)) as u64;
         let packets = hbm.packets(bytes);
-        VmuTransfer { bytes, packets, cycles: hbm_cycles.max(cols) }
+        VmuTransfer {
+            bytes,
+            packets,
+            cycles: hbm_cycles.max(cols),
+        }
     }
 }
 

@@ -15,7 +15,11 @@ pub fn image(n: usize, seed: u64) -> Vec<u32> {
     let mut rng = SmallRng::seed_from_u64(seed);
     (0..n)
         .map(|_| {
-            let (center, spread) = if rng.gen_bool(0.6) { (60.0, 30.0) } else { (180.0, 25.0) };
+            let (center, spread) = if rng.gen_bool(0.6) {
+                (60.0, 30.0)
+            } else {
+                (180.0, 25.0)
+            };
             let g: f64 = sample_gaussian(&mut rng);
             (center + spread * g).clamp(0.0, 255.0) as u32
         })
@@ -133,7 +137,11 @@ mod tests {
         let sx: f64 = xs.iter().map(|&x| f64::from(x)).sum();
         let sy: f64 = ys.iter().map(|&y| f64::from(y)).sum();
         let sxx: f64 = xs.iter().map(|&x| f64::from(x) * f64::from(x)).sum();
-        let sxy: f64 = xs.iter().zip(&ys).map(|(&x, &y)| f64::from(x) * f64::from(y)).sum();
+        let sxy: f64 = xs
+            .iter()
+            .zip(&ys)
+            .map(|(&x, &y)| f64::from(x) * f64::from(y))
+            .sum();
         let slope = (n * sxy - sx * sy) / (n * sxx - sx * sx);
         assert!((slope - 3.0).abs() < 0.05, "fitted slope {slope}");
     }

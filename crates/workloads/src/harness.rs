@@ -57,7 +57,10 @@ pub fn run_cape(workload: &dyn Workload, config: &CapeConfig) -> CapeRun {
     let report = machine
         .run(&program, &mut mem)
         .unwrap_or_else(|e| panic!("{} CAPE program failed: {e}", workload.name()));
-    CapeRun { report, digest: workload.digest(&mem) }
+    CapeRun {
+        report,
+        digest: workload.digest(&mem),
+    }
 }
 
 /// FNV-1a digest over a word sequence — the common output checksum.

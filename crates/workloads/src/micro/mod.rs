@@ -83,7 +83,10 @@ impl Workload for Vvadd {
         BaselineRun {
             report: core.finish(),
             digest: fnv1a(out),
-            simd: SimdProfile { vec_ops: self.n as u64, ..Default::default() },
+            simd: SimdProfile {
+                vec_ops: self.n as u64,
+                ..Default::default()
+            },
             parallel_fraction: 0.99,
         }
     }
@@ -204,7 +207,10 @@ impl Workload for Memcpy {
         BaselineRun {
             report: core.finish(),
             digest: fnv1a(a),
-            simd: SimdProfile { vec_ops: self.n as u64, ..Default::default() },
+            simd: SimdProfile {
+                vec_ops: self.n as u64,
+                ..Default::default()
+            },
             parallel_fraction: 0.99,
         }
     }
@@ -256,11 +262,11 @@ impl Workload for SearchCount {
         let a = gen::zipf_words(self.n, 256, 41);
         let mut core = OooCore::table3();
         let mut count = 0u32;
-        for i in 0..self.n {
+        for (i, &word) in a.iter().enumerate().take(self.n) {
             core.load(SRC1 as u64 + (i as u64) * 4);
             core.op(1);
             core.branch(1);
-            if a[i] == self.key {
+            if word == self.key {
                 count += 1;
             }
         }
@@ -294,7 +300,13 @@ impl IdxSearch {
         let hay = gen::zipf_words(self.n, 4096, 51);
         // Mix present and absent keys.
         let keys = (0..self.keys)
-            .map(|i| if i % 3 == 2 { 5000 + i as u32 } else { (i as u32) * 7 % 4096 })
+            .map(|i| {
+                if i % 3 == 2 {
+                    5000 + i as u32
+                } else {
+                    (i as u32) * 7 % 4096
+                }
+            })
             .collect();
         (hay, keys)
     }

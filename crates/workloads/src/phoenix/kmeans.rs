@@ -140,7 +140,6 @@ impl Kmeans {
         p.addi(Reg::S4, Reg::S4, 1);
         p.blt(Reg::S4, Reg::S3, format!("{tag}_update"));
     }
-
 }
 
 impl Workload for Kmeans {
@@ -285,8 +284,8 @@ impl Workload for Kmeans {
             for c in 0..k {
                 core.op(2);
                 core.branch(1);
-                if counts[c] > 0 {
-                    cent[2 * c] = sumx[c] / counts[c];
+                if let Some(cx) = sumx[c].checked_div(counts[c]) {
+                    cent[2 * c] = cx;
                     cent[2 * c + 1] = sumy[c] / counts[c];
                 }
                 core.store(AUX as u64 + (c as u64) * 8);
@@ -304,7 +303,6 @@ impl Workload for Kmeans {
                 vec_mul_ops: 2 * point_iters,
                 vec_red_ops: 2 * (n * self.iters) as u64,
                 scalar_ops: (k * self.iters * 4) as u64,
-                ..Default::default()
             },
             parallel_fraction: 0.98,
         }
@@ -320,7 +318,11 @@ mod tests {
     #[test]
     fn cape_and_baseline_clusterings_match_streaming() {
         // 240 points on 128 lanes: the program takes the streaming path.
-        let w = Kmeans { n: 240, k: 3, iters: 3 };
+        let w = Kmeans {
+            n: 240,
+            k: 3,
+            iters: 3,
+        };
         let cape = run_cape(&w, &CapeConfig::tiny(4));
         assert_eq!(cape.digest, w.run_baseline().digest);
     }
@@ -329,7 +331,11 @@ mod tests {
     fn cape_and_baseline_clusterings_match_resident() {
         // 100 points fit the 128-lane CSB: the resident path runs, with
         // identical results and less memory traffic per iteration.
-        let w = Kmeans { n: 100, k: 3, iters: 3 };
+        let w = Kmeans {
+            n: 100,
+            k: 3,
+            iters: 3,
+        };
         let cape = run_cape(&w, &CapeConfig::tiny(4));
         assert_eq!(cape.digest, w.run_baseline().digest);
         let streaming = run_cape(&w, &CapeConfig::tiny(2)); // 64 lanes
@@ -342,7 +348,11 @@ mod tests {
 
     #[test]
     fn every_point_is_assigned() {
-        let w = Kmeans { n: 200, k: 4, iters: 2 };
+        let w = Kmeans {
+            n: 200,
+            k: 4,
+            iters: 2,
+        };
         let mut mem = MainMemory::new();
         let prog = w.cape_setup(&mut mem);
         let mut machine = cape_core::CapeMachine::new(CapeConfig::tiny(4));
@@ -354,7 +364,11 @@ mod tests {
 
     #[test]
     fn centroids_land_near_cluster_centers() {
-        let w = Kmeans { n: 600, k: 2, iters: 6 };
+        let w = Kmeans {
+            n: 600,
+            k: 2,
+            iters: 6,
+        };
         let mut mem = MainMemory::new();
         let prog = w.cape_setup(&mut mem);
         let mut machine = cape_core::CapeMachine::new(CapeConfig::tiny(8));

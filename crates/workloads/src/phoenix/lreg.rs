@@ -31,7 +31,11 @@ impl LinearRegression {
         let n = n as i64;
         let num = n.wrapping_mul(i64::from(sxy)) - i64::from(sx).wrapping_mul(i64::from(sy));
         let den = n.wrapping_mul(i64::from(sxx)) - i64::from(sx).wrapping_mul(i64::from(sx));
-        let slope_milli = if den == 0 { 0 } else { num.wrapping_mul(1000) / den };
+        let slope_milli = if den == 0 {
+            0
+        } else {
+            num.wrapping_mul(1000) / den
+        };
         vec![sx, sy, sxx, sxy, slope_milli as u32]
     }
 }
@@ -83,7 +87,7 @@ impl Workload for LinearRegression {
         p.vmv_xs(Reg::T2, VReg::V13);
         p.sw(Reg::T2, 12, Reg::A0);
         p.mv(Reg::S7, Reg::T2); // sxy
-        // slope_milli = (n*sxy - sx*sy) * 1000 / (n*sxx - sx*sx)
+                                // slope_milli = (n*sxy - sx*sy) * 1000 / (n*sxx - sx*sx)
         p.li(Reg::T3, self.n as i64);
         p.mul(Reg::T4, Reg::T3, Reg::S7);
         p.mul(Reg::T5, Reg::S4, Reg::S5);

@@ -48,7 +48,7 @@ impl Workload for Matmul {
         p.li(Reg::S8, OUT);
         p.li(Reg::S2, 0); // base row of the current block
         p.slli(Reg::S9, Reg::S3, 2); // Bt row stride in bytes
-        // Zero register for the reduction seed.
+                                     // Zero register for the reduction seed.
         p.vsetvli(Reg::T0, Reg::S0);
         p.vmv_vx(VReg::V31, Reg::ZERO);
         p.label("block");

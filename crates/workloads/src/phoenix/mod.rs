@@ -48,13 +48,31 @@ pub(crate) mod map {
 pub fn suite() -> Vec<Box<dyn Workload>> {
     vec![
         Box::new(Matmul { n: 96 }),
-        Box::new(Pca { rows: 24_576, dims: 6 }),
+        Box::new(Pca {
+            rows: 24_576,
+            dims: 6,
+        }),
         Box::new(LinearRegression { n: 262_144 }),
         Box::new(Histogram { n: 262_144 }),
-        Box::new(Kmeans { n: 60_000, k: 4, iters: 5 }),
-        Box::new(WordCount { n: 220_000, vocab: 512, top: 24 }),
-        Box::new(ReverseIndex { docs: 192, words_per_doc: 512, vocab: 24 }),
-        Box::new(StringMatch { n: 220_000, needles: 12 }),
+        Box::new(Kmeans {
+            n: 60_000,
+            k: 4,
+            iters: 5,
+        }),
+        Box::new(WordCount {
+            n: 220_000,
+            vocab: 512,
+            top: 24,
+        }),
+        Box::new(ReverseIndex {
+            docs: 192,
+            words_per_doc: 512,
+            vocab: 24,
+        }),
+        Box::new(StringMatch {
+            n: 220_000,
+            needles: 12,
+        }),
     ]
 }
 
@@ -65,9 +83,21 @@ pub fn tiny_suite() -> Vec<Box<dyn Workload>> {
         Box::new(Pca { rows: 300, dims: 3 }),
         Box::new(LinearRegression { n: 400 }),
         Box::new(Histogram { n: 500 }),
-        Box::new(Kmeans { n: 240, k: 3, iters: 3 }),
-        Box::new(WordCount { n: 600, vocab: 64, top: 8 }),
-        Box::new(ReverseIndex { docs: 6, words_per_doc: 32, vocab: 6 }),
+        Box::new(Kmeans {
+            n: 240,
+            k: 3,
+            iters: 3,
+        }),
+        Box::new(WordCount {
+            n: 600,
+            vocab: 64,
+            top: 8,
+        }),
+        Box::new(ReverseIndex {
+            docs: 6,
+            words_per_doc: 32,
+            vocab: 6,
+        }),
         Box::new(StringMatch { n: 500, needles: 4 }),
     ]
 }

@@ -175,7 +175,6 @@ impl Workload for Pca {
                 vec_mul_ops: pair_rows,
                 vec_red_ops: pair_rows + (dims * rows) as u64,
                 scalar_ops: (dims * dims) as u64,
-                ..Default::default()
             },
             parallel_fraction: 0.97,
         }

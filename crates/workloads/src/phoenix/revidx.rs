@@ -77,7 +77,7 @@ impl Workload for ReverseIndex {
         p.vsetstart(Reg::T5);
         p.vcpop(Reg::T4, VReg::V2);
         p.op(AluOp::Sltu, Reg::T4, Reg::ZERO, Reg::T4); // contains? 0/1
-        // OUT[word * docs + (base + d)]
+                                                        // OUT[word * docs + (base + d)]
         p.mul(Reg::T5, Reg::S4, Reg::A6);
         p.add(Reg::T5, Reg::T5, Reg::S2);
         p.add(Reg::T5, Reg::T5, Reg::S5);
@@ -140,14 +140,22 @@ mod tests {
 
     #[test]
     fn cape_and_baseline_indexes_match() {
-        let w = ReverseIndex { docs: 6, words_per_doc: 32, vocab: 6 };
+        let w = ReverseIndex {
+            docs: 6,
+            words_per_doc: 32,
+            vocab: 6,
+        };
         let cape = run_cape(&w, &CapeConfig::tiny(4));
         assert_eq!(cape.digest, w.run_baseline().digest);
     }
 
     #[test]
     fn frequent_words_appear_in_every_document() {
-        let w = ReverseIndex { docs: 4, words_per_doc: 64, vocab: 4 };
+        let w = ReverseIndex {
+            docs: 4,
+            words_per_doc: 64,
+            vocab: 4,
+        };
         let mut mem = MainMemory::new();
         let prog = w.cape_setup(&mut mem);
         let mut machine = cape_core::CapeMachine::new(CapeConfig::tiny(4));

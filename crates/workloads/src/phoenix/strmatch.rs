@@ -29,7 +29,13 @@ impl StringMatch {
         let text = gen::zipf_words(self.n, 2048, 141);
         // Alternate guaranteed-present (frequent) and likely-absent keys.
         let keys = (0..self.needles)
-            .map(|i| if i % 2 == 0 { i as u32 / 2 } else { 3000 + i as u32 })
+            .map(|i| {
+                if i % 2 == 0 {
+                    i as u32 / 2
+                } else {
+                    3000 + i as u32
+                }
+            })
             .collect();
         (text, keys)
     }

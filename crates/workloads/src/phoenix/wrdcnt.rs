@@ -142,14 +142,22 @@ mod tests {
 
     #[test]
     fn cape_and_baseline_counts_match() {
-        let w = WordCount { n: 600, vocab: 64, top: 8 };
+        let w = WordCount {
+            n: 600,
+            vocab: 64,
+            top: 8,
+        };
         let cape = run_cape(&w, &CapeConfig::tiny(4));
         assert_eq!(cape.digest, w.run_baseline().digest);
     }
 
     #[test]
     fn zipf_head_dominates_counts() {
-        let w = WordCount { n: 2000, vocab: 64, top: 8 };
+        let w = WordCount {
+            n: 2000,
+            vocab: 64,
+            top: 8,
+        };
         let mut mem = MainMemory::new();
         let prog = w.cape_setup(&mut mem);
         let mut machine = cape_core::CapeMachine::new(CapeConfig::tiny(4));

@@ -12,7 +12,11 @@ fn vvadd_at_cape32k() {
     let w = Vvadd { n: 200_000 };
     let t = std::time::Instant::now();
     let cape = run_cape(&w, &CapeConfig::cape32k());
-    eprintln!("vvadd 200k @32k: {:?} wall, {} cycles", t.elapsed(), cape.report.cycles);
+    eprintln!(
+        "vvadd 200k @32k: {:?} wall, {} cycles",
+        t.elapsed(),
+        cape.report.cycles
+    );
     assert_eq!(cape.digest, w.run_baseline().digest);
 }
 
@@ -22,7 +26,11 @@ fn hist_at_cape32k() {
     let w = Histogram { n: 262_144 };
     let t = std::time::Instant::now();
     let cape = run_cape(&w, &CapeConfig::cape32k());
-    eprintln!("hist 262k @32k: {:?} wall, {} cycles", t.elapsed(), cape.report.cycles);
+    eprintln!(
+        "hist 262k @32k: {:?} wall, {} cycles",
+        t.elapsed(),
+        cape.report.cycles
+    );
     assert_eq!(cape.digest, w.run_baseline().digest);
 }
 
@@ -32,16 +40,28 @@ fn matmul_at_cape32k() {
     let w = cape_workloads::phoenix::Matmul { n: 96 };
     let t = std::time::Instant::now();
     let cape = run_cape(&w, &CapeConfig::cape32k());
-    eprintln!("matmul 96 @32k: {:?} wall, {} cycles", t.elapsed(), cape.report.cycles);
+    eprintln!(
+        "matmul 96 @32k: {:?} wall, {} cycles",
+        t.elapsed(),
+        cape.report.cycles
+    );
     assert_eq!(cape.digest, w.run_baseline().digest);
 }
 
 #[test]
 #[ignore = "multi-second full-scale probe; run explicitly"]
 fn kmeans_at_cape32k() {
-    let w = cape_workloads::phoenix::Kmeans { n: 60_000, k: 4, iters: 5 };
+    let w = cape_workloads::phoenix::Kmeans {
+        n: 60_000,
+        k: 4,
+        iters: 5,
+    };
     let t = std::time::Instant::now();
     let cape = run_cape(&w, &CapeConfig::cape32k());
-    eprintln!("kmeans 60k @32k: {:?} wall, {} cycles", t.elapsed(), cape.report.cycles);
+    eprintln!(
+        "kmeans 60k @32k: {:?} wall, {} cycles",
+        t.elapsed(),
+        cape.report.cycles
+    );
     assert_eq!(cape.digest, w.run_baseline().digest);
 }

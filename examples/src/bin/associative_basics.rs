@@ -40,12 +40,23 @@ fn main() {
     println!("(u32::MAX wrapped to 0 — the carry walked off the MSB.)");
 
     // The same machinery runs a full adder: vadd.vv.
-    println!("\nFull adder (vadd.vv): {} truth-table entries, searching at most",
-        BitSerialAlgorithm::adder().entries());
-    println!("{} rows/subarray — exactly the Table I row for vadd.",
-        BitSerialAlgorithm::adder().max_search_rows());
+    println!(
+        "\nFull adder (vadd.vv): {} truth-table entries, searching at most",
+        BitSerialAlgorithm::adder().entries()
+    );
+    println!(
+        "{} rows/subarray — exactly the Table I row for vadd.",
+        BitSerialAlgorithm::adder().max_search_rows()
+    );
     csb.write_vector(2, &[10, 20, 30, 40]);
-    let out = Sequencer::new(&mut csb).execute(&VectorOp::Add { vd: 3, vs1: 1, vs2: 2 });
-    println!("v3 = v1 + v2 = {:?}  ({} microops ~ the paper's 8n+2 = 258)",
-        csb.read_vector(3, 4), out.stats.total());
+    let out = Sequencer::new(&mut csb).execute(&VectorOp::Add {
+        vd: 3,
+        vs1: 1,
+        vs2: 2,
+    });
+    println!(
+        "v3 = v1 + v2 = {:?}  ({} microops ~ the paper's 8n+2 = 258)",
+        csb.read_vector(3, 4),
+        out.stats.total()
+    );
 }

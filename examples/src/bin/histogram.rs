@@ -20,14 +20,25 @@ fn main() {
     let base = w.run_baseline();
     assert_eq!(cape.digest, base.digest, "both implementations must agree");
 
-    println!("CAPE (2,048 lanes): {:>10} cycles  {:>8.3} ms",
-        cape.report.cycles, cape.report.time_ms());
-    println!("1 OoO core:         {:>10} cycles  {:>8.3} ms",
-        base.report.cycles, base.report.time_ms());
-    println!("speedup:            {:>9.1}x", base.report.time_ms() / cape.report.time_ms());
+    println!(
+        "CAPE (2,048 lanes): {:>10} cycles  {:>8.3} ms",
+        cape.report.cycles,
+        cape.report.time_ms()
+    );
+    println!(
+        "1 OoO core:         {:>10} cycles  {:>8.3} ms",
+        base.report.cycles,
+        base.report.time_ms()
+    );
+    println!(
+        "speedup:            {:>9.1}x",
+        base.report.time_ms() / cape.report.time_ms()
+    );
     println!();
-    println!("vector instructions: {} (one vmseq.vx + vcpop.m per bucket per strip)",
-        cape.report.cp.vector);
+    println!(
+        "vector instructions: {} (one vmseq.vx + vcpop.m per bucket per strip)",
+        cape.report.cp.vector
+    );
     println!("bulk searches:       {}", cape.report.microops.searches());
     println!("baseline bound by:   {}", base.report.bound_by());
     println!();

@@ -11,7 +11,10 @@ use cape_memmode::{KvStore, Scratchpad, VictimCache};
 fn main() {
     // ---- key-value storage -------------------------------------------
     let mut kv = KvStore::new(CsbGeometry::new(4));
-    println!("KV store on a 4-chain CSB: capacity {} pairs", kv.capacity());
+    println!(
+        "KV store on a 4-chain CSB: capacity {} pairs",
+        kv.capacity()
+    );
     println!("(a chain holds 16 x 32 = 512 pairs; CAPE32k holds ~half a million)\n");
 
     for i in 0..1000u32 {
@@ -20,14 +23,19 @@ fn main() {
     println!("inserted 1000 pairs; len = {}", kv.len());
     let probe = 400u32.wrapping_mul(2_654_435_761);
     println!("get({probe:#x}) = {:?}", kv.get(probe));
-    println!("lookup cost so far: {} search cycles (one bulk search + tag fold per slot)",
-        kv.lookup_cycles());
+    println!(
+        "lookup cost so far: {} search cycles (one bulk search + tag fold per slot)",
+        kv.lookup_cycles()
+    );
     kv.remove(probe).expect("present");
     println!("after remove: get -> {:?}\n", kv.get(probe));
 
     // ---- victim cache --------------------------------------------------
     let mut vc = VictimCache::new(CsbGeometry::new(2));
-    println!("victim cache: {} fully-associative 64 B lines", vc.capacity_lines());
+    println!(
+        "victim cache: {} fully-associative 64 B lines",
+        vc.capacity_lines()
+    );
     let line = core::array::from_fn(|i| i as u32 * 3);
     vc.insert(0xABCD, &line);
     println!("probe(0xABCD) hit  = {}", vc.probe(0xABCD).is_some());
@@ -39,6 +47,8 @@ fn main() {
     println!("scratchpad: {} KiB addressable", sp.capacity_bytes() / 1024);
     sp.write_block(100, &[7, 8, 9]);
     println!("read_block(100, 3) = {:?}", sp.read_block(100, 3));
-    println!("a 32k-word transfer takes ~{} cycles (one word/chain/cycle)",
-        sp.transfer_cycles(32_768));
+    println!(
+        "a 32k-word transfer takes ~{} cycles (one word/chain/cycle)",
+        sp.transfer_cycles(32_768)
+    );
 }

@@ -15,21 +15,33 @@ fn main() {
 
     let cape = run_cape(&w, &CapeConfig::tiny(32)); // 1,024 lanes
     let base = w.run_baseline();
-    assert_eq!(cape.digest, base.digest, "CAPE result must equal the native product");
+    assert_eq!(
+        cape.digest, base.digest,
+        "CAPE result must equal the native product"
+    );
 
     println!("vectorization recipe (Section V-G):");
     println!("  1. vle32.v  — load whole rows of A into one long register");
     println!("  2. vlrw.v   — replicate one row of B-transposed across it");
     println!("  3. vmul.vv + windowed vredsum.vs per row (vsetstart/vsetvli)");
     println!();
-    println!("CAPE:     {:>9} cycles, {:>6} bytes from HBM",
-        cape.report.cycles, cape.report.hbm_bytes_read);
-    println!("baseline: {:>9} cycles, {:>6} bytes from memory",
-        base.report.cycles, base.report.memory_bytes);
-    println!("speedup:  {:>8.2}x", base.report.time_ms() / cape.report.time_ms());
+    println!(
+        "CAPE:     {:>9} cycles, {:>6} bytes from HBM",
+        cape.report.cycles, cape.report.hbm_bytes_read
+    );
+    println!(
+        "baseline: {:>9} cycles, {:>6} bytes from memory",
+        base.report.cycles, base.report.memory_bytes
+    );
+    println!(
+        "speedup:  {:>8.2}x",
+        base.report.time_ms() / cape.report.time_ms()
+    );
     println!();
-    println!("The replica load fetched each B row once ({} bytes per row)",
-        w.n * 4);
+    println!(
+        "The replica load fetched each B row once ({} bytes per row)",
+        w.n * 4
+    );
     println!("instead of once per replicated copy — run the `ablations` bench");
     println!("binary to quantify the traffic saved.");
 }

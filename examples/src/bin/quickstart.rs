@@ -57,6 +57,15 @@ fn main() {
     println!("vector instrs     = {}", report.cp.vector);
     println!("CSB microops      = {}", report.microops.total());
     println!("CSB energy        = {:.3} uJ", report.csb_energy_uj);
-    println!("HBM read/written  = {} / {} bytes", report.hbm_bytes_read, report.hbm_bytes_written);
+    println!(
+        "ucode cache       = {} hits / {} misses ({:.1}% hit rate)",
+        report.program_cache_hits,
+        report.program_cache_misses,
+        report.program_cache_hit_rate() * 100.0
+    );
+    println!(
+        "HBM read/written  = {} / {} bytes",
+        report.hbm_bytes_read, report.hbm_bytes_written
+    );
     println!("op intensity      = {:.3} ops/byte", report.intensity());
 }

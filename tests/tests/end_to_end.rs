@@ -86,7 +86,11 @@ fn results_are_identical_across_csb_sizes() {
 
 #[test]
 fn runs_are_deterministic() {
-    let w = cape_workloads::phoenix::Kmeans { n: 200, k: 3, iters: 2 };
+    let w = cape_workloads::phoenix::Kmeans {
+        n: 200,
+        k: 3,
+        iters: 2,
+    };
     let r1 = cape_workloads::run_cape(&w, &CapeConfig::tiny(4));
     let r2 = cape_workloads::run_cape(&w, &CapeConfig::tiny(4));
     assert_eq!(r1.digest, r2.digest);
@@ -130,4 +134,43 @@ fn vector_engine_reports_busy_cycles() {
     assert!(run.report.cp.vector > 0);
     assert!(run.report.vcu_cycles > 0);
     assert!(run.report.vmu_cycles > 0);
+}
+
+#[test]
+fn phoenix_loops_hit_the_program_cache() {
+    // Strip-mined loops re-issue the same static vector instructions, so
+    // after the first strip compiles them the VCU program cache serves
+    // every repeat. Sizes are chosen so each workload runs several strips
+    // on the 4-chain (128-lane) test machine.
+    use cape_workloads::phoenix::{Histogram, Kmeans, LinearRegression, StringMatch, WordCount};
+    let workloads: Vec<Box<dyn cape_workloads::Workload>> = vec![
+        Box::new(LinearRegression { n: 8_192 }),
+        Box::new(Histogram { n: 8_192 }),
+        Box::new(Kmeans {
+            n: 2_048,
+            k: 4,
+            iters: 5,
+        }),
+        Box::new(WordCount {
+            n: 8_192,
+            vocab: 64,
+            top: 8,
+        }),
+        Box::new(StringMatch {
+            n: 8_192,
+            needles: 4,
+        }),
+    ];
+    for w in workloads {
+        let run = cape_workloads::run_cape(w.as_ref(), &CapeConfig::tiny(4));
+        let r = run.report;
+        assert!(
+            r.program_cache_hit_rate() > 0.9,
+            "{}: hit rate {:.3} (hits {} misses {})",
+            w.name(),
+            r.program_cache_hit_rate(),
+            r.program_cache_hits,
+            r.program_cache_misses
+        );
+    }
 }

@@ -22,7 +22,11 @@ fn kv_store_agrees_with_a_hashmap_under_random_traffic() {
                 }
             }
             1 => {
-                assert_eq!(kv.get(key), oracle.get(&key).copied(), "step {step} get {key}");
+                assert_eq!(
+                    kv.get(key),
+                    oracle.get(&key).copied(),
+                    "step {step} get {key}"
+                );
             }
             _ => {
                 let got = kv.remove(key);
@@ -79,7 +83,7 @@ fn scratchpad_stores_the_full_register_file_capacity() {
     let mut sp = Scratchpad::new(CsbGeometry::new(2));
     let n = sp.capacity_words();
     assert_eq!(n, 2 * 32 * 32); // chains x lanes x registers
-    // Write a pattern over the whole capacity and read it back.
+                                // Write a pattern over the whole capacity and read it back.
     let data: Vec<u32> = (0..n as u32).map(|w| w.wrapping_mul(0x0101_0101)).collect();
     sp.write_block(0, &data);
     assert_eq!(sp.read_block(0, n), data);

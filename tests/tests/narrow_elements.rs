@@ -82,10 +82,9 @@ fn e16_dot_product_matches_mod_65536() {
         m.write_u32_slice(0x1000, &ac);
         m.write_u32_slice(0x40000, &bc);
     });
-    let want = a
-        .iter()
-        .zip(&b)
-        .fold(0u16, |s, (&x, &y)| s.wrapping_add((x as u16).wrapping_mul(y as u16)));
+    let want = a.iter().zip(&b).fold(0u16, |s, (&x, &y)| {
+        s.wrapping_add((x as u16).wrapping_mul(y as u16))
+    });
     assert_eq!(mem.read_u32(0x90000), u32::from(want));
 }
 
@@ -109,7 +108,7 @@ fn sew_switch_mid_program_is_honored() {
     ";
     let (mem, _) = run(src, |m| m.write_u32_slice(0x1000, &[200, 100, 130, 7]));
     assert_eq!(mem.read_u32_slice(0x2000, 4), vec![144, 200, 4, 14]); // mod 256
-    // The e32 pass reads the register reloaded? v1 was loaded once; its
-    // stored cells hold the full 32-bit values, so e32 doubling is exact.
+                                                                      // The e32 pass reads the register reloaded? v1 was loaded once; its
+                                                                      // stored cells hold the full 32-bit values, so e32 doubling is exact.
     assert_eq!(mem.read_u32_slice(0x3000, 4), vec![400, 200, 260, 14]);
 }

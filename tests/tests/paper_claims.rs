@@ -72,8 +72,19 @@ fn redsum_is_roughly_eight_times_faster_than_vadd() {
     let mut csb = Csb::new(CsbGeometry::new(1024));
     csb.write_vector(1, &[1, 2, 3]);
     csb.write_vector(2, &[4, 5, 6]);
-    let add = vcu.execute(&mut csb, &VectorOp::Add { vd: 3, vs1: 1, vs2: 2 }).cycles;
-    let red = vcu.execute(&mut csb, &VectorOp::RedSum { vd: 4, vs: 1 }).cycles;
+    let add = vcu
+        .execute(
+            &mut csb,
+            &VectorOp::Add {
+                vd: 3,
+                vs1: 1,
+                vs2: 2,
+            },
+        )
+        .cycles;
+    let red = vcu
+        .execute(&mut csb, &VectorOp::RedSum { vd: 4, vs: 1 })
+        .cycles;
     let ratio = add as f64 / red as f64;
     assert!((4.0..10.0).contains(&ratio), "redsum advantage {ratio}");
 }
@@ -106,11 +117,52 @@ fn derived_instruction_energies_track_table1() {
     // The Table II microop energies, multiplied by emulated microop
     // counts, must land near Table I's per-lane energies.
     let cases = [
-        (VectorOp::Add { vd: 3, vs1: 1, vs2: 2 }, 8.4, 1.5),
-        (VectorOp::Mul { vd: 3, vs1: 1, vs2: 2 }, 99.9, 50.0),
-        (VectorOp::And { vd: 3, vs1: 1, vs2: 2 }, 0.4, 0.2),
-        (VectorOp::Merge { vd: 3, vs1: 1, vs2: 2 }, 0.5, 0.3),
-        (VectorOp::Mslt { vd: 3, vs1: 1, vs2: 2, signed: true }, 3.2, 2.0),
+        (
+            VectorOp::Add {
+                vd: 3,
+                vs1: 1,
+                vs2: 2,
+            },
+            8.4,
+            1.5,
+        ),
+        (
+            VectorOp::Mul {
+                vd: 3,
+                vs1: 1,
+                vs2: 2,
+            },
+            99.9,
+            50.0,
+        ),
+        (
+            VectorOp::And {
+                vd: 3,
+                vs1: 1,
+                vs2: 2,
+            },
+            0.4,
+            0.2,
+        ),
+        (
+            VectorOp::Merge {
+                vd: 3,
+                vs1: 1,
+                vs2: 2,
+            },
+            0.5,
+            0.3,
+        ),
+        (
+            VectorOp::Mslt {
+                vd: 3,
+                vs1: 1,
+                vs2: 2,
+                signed: true,
+            },
+            3.2,
+            2.0,
+        ),
     ];
     for (op, paper, tol) in cases {
         let mut csb = Csb::new(CsbGeometry::new(1));

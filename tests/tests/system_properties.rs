@@ -48,7 +48,8 @@ proptest! {
     #[test]
     fn vector_programs_match_native_semantics((a, b) in data()) {
         use cape_isa::VAluOp;
-        let cases: [(VAluOp, fn(u32, u32) -> u32); 5] = [
+        type BinOp = fn(u32, u32) -> u32;
+        let cases: [(VAluOp, BinOp); 5] = [
             (VAluOp::Add, |x, y| x.wrapping_add(y)),
             (VAluOp::Sub, |x, y| x.wrapping_sub(y)),
             (VAluOp::Mul, |x, y| x.wrapping_mul(y)),

@@ -9,7 +9,12 @@ use cape_memmode::VictimCache;
 
 /// A small L2 so the test working set thrashes it: 16 KiB, 4-way, 64 B.
 fn small_l2() -> Cache {
-    Cache::new(CacheConfig { size_bytes: 16 * 1024, ways: 4, line_bytes: 64, latency: 14 })
+    Cache::new(CacheConfig {
+        size_bytes: 16 * 1024,
+        ways: 4,
+        line_bytes: 64,
+        latency: 14,
+    })
 }
 
 /// Drives a line-address trace through L2(+victim). Returns the number

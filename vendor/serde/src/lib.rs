@@ -1,0 +1,21 @@
+//! Offline stand-in for the `serde` facade crate.
+//!
+//! The simulator workspace derives `Serialize`/`Deserialize` on its report
+//! and configuration types so downstream tooling can persist them, but no
+//! in-tree code performs serialization. This stub keeps the source-level
+//! API (`use serde::{Serialize, Deserialize}` plus the derive macros)
+//! compiling in a network-less build environment; swapping the real serde
+//! back in is a one-line `Cargo.toml` change because the item paths are
+//! identical.
+#![allow(clippy::all)]
+
+/// Marker counterpart of `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker counterpart of `serde::Deserialize`. The real trait carries a
+/// `'de` lifetime; no in-tree code names it explicitly, so the stub omits
+/// it.
+pub trait Deserialize {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,56 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace's `serde` stub defines `Serialize`/`Deserialize` as
+//! marker traits, so the derives only need to emit `impl serde::Trait for
+//! Type {}`. The input item is parsed by hand (no `syn`/`quote`): skip
+//! attributes and visibility, find the `struct`/`enum`/`union` keyword,
+//! and take the following identifier as the type name. Generic types are
+//! rejected — nothing in this workspace derives serde traits on generics,
+//! and a loud error beats a silently wrong impl.
+#![allow(clippy::all)]
+
+use proc_macro::{TokenStream, TokenTree};
+
+fn type_name(input: TokenStream) -> String {
+    let mut tokens = input.into_iter().peekable();
+    while let Some(tt) = tokens.next() {
+        let TokenTree::Ident(ident) = tt else {
+            continue;
+        };
+        let kw = ident.to_string();
+        if kw != "struct" && kw != "enum" && kw != "union" {
+            continue;
+        }
+        match tokens.next() {
+            Some(TokenTree::Ident(name)) => {
+                if let Some(TokenTree::Punct(p)) = tokens.peek() {
+                    assert!(
+                        p.as_char() != '<',
+                        "serde stub derive does not support generic type `{name}`"
+                    );
+                }
+                return name.to_string();
+            }
+            other => panic!("expected a type name after `{kw}`, found {other:?}"),
+        }
+    }
+    panic!("serde stub derive: no struct/enum/union found in input")
+}
+
+/// Derives the stub `serde::Serialize` marker impl.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .unwrap()
+}
+
+/// Derives the stub `serde::Deserialize` marker impl.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl ::serde::Deserialize for {name} {{}}")
+        .parse()
+        .unwrap()
+}
