@@ -1,0 +1,81 @@
+//! Multi-tenant serving throughput through `cape-engine`.
+//!
+//! Measures draining a mixed Phoenix job queue (8 kernels × 4 tenants)
+//! through the batch scheduler, against the same jobs run back-to-back
+//! on fresh machines (the no-engine baseline a deployment would
+//! otherwise use), plus the effect of fingerprint batching versus pure
+//! FIFO service (`max_batch = 1`).
+
+use cape_core::CapeConfig;
+use cape_engine::{Engine, EngineConfig, JobSpec};
+use cape_mem::MainMemory;
+use cape_workloads::{phoenix, run_cape, Workload};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+const CHAINS: usize = 4;
+const INSTANCES: usize = 4;
+
+fn job(w: &dyn Workload, instance: usize) -> JobSpec {
+    let mut mem = MainMemory::new();
+    let program = w.cape_setup(&mut mem);
+    JobSpec::new(format!("{}#{instance}", w.name()), program, mem)
+}
+
+fn drain_mix(max_batch: usize) -> cape_engine::EngineReport {
+    let suite = phoenix::tiny_suite();
+    let mut engine = Engine::new(EngineConfig {
+        queue_capacity: suite.len() * INSTANCES,
+        slice_vectors: 16,
+        max_batch,
+        machine: CapeConfig::tiny(CHAINS),
+    });
+    for instance in 0..INSTANCES {
+        for w in &suite {
+            engine
+                .submit(job(w.as_ref(), instance))
+                .expect("queue sized for the mix");
+        }
+    }
+    engine.run()
+}
+
+fn bench_engine_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine");
+    g.sample_size(10);
+    let n_jobs = phoenix::tiny_suite().len() * INSTANCES;
+
+    g.bench_with_input(
+        BenchmarkId::new("serve_batched", n_jobs),
+        &n_jobs,
+        |b, _| b.iter(|| drain_mix(INSTANCES)),
+    );
+
+    g.bench_with_input(BenchmarkId::new("serve_fifo", n_jobs), &n_jobs, |b, _| {
+        b.iter(|| drain_mix(1))
+    });
+
+    // Baseline: the same 32 jobs each on a fresh machine, sequentially —
+    // no shared program cache, no batching, no context switches.
+    g.bench_with_input(
+        BenchmarkId::new("solo_sequential", n_jobs),
+        &n_jobs,
+        |b, _| {
+            b.iter(|| {
+                let config = CapeConfig::tiny(CHAINS);
+                let suite = phoenix::tiny_suite();
+                let mut digest = 0u64;
+                for _ in 0..INSTANCES {
+                    for w in &suite {
+                        digest ^= run_cape(w.as_ref(), &config).digest;
+                    }
+                }
+                digest
+            })
+        },
+    );
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_engine_throughput);
+criterion_main!(benches);

@@ -40,7 +40,7 @@ mod roofline;
 mod timing;
 
 pub use config::CapeConfig;
-pub use machine::CapeMachine;
+pub use machine::{CapeMachine, MachineContext, MachineCounters};
 pub use report::RunReport;
 pub use roofline::{Roofline, RooflinePoint};
 pub use timing::{

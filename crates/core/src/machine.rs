@@ -1,7 +1,7 @@
 //! The integrated CAPE machine.
 
-use cape_cp::{ControlProcessor, Coprocessor, CpError, VectorCommit};
-use cape_csb::Csb;
+use cape_cp::{ControlProcessor, Coprocessor, CpError, SliceOutcome, VectorCommit};
+use cape_csb::{Csb, CsbSnapshot, MicroOpStats};
 use cape_isa::{Instr, Program, Sew, VAluOp};
 use cape_mem::{Hbm, MainMemory};
 use cape_ucode::{LogicOp, VectorOp};
@@ -11,6 +11,102 @@ use cape_vmu::Vmu;
 use crate::config::CapeConfig;
 use crate::report::RunReport;
 use crate::timing::microop_energy_pj;
+
+/// A suspended tenant's complete architectural vector state: the full
+/// CSB register file plus the vector CSRs (`sew`, `vstart`, `vl`) and
+/// any armed page-fault injection. Saving and restoring one of these
+/// around another tenant's slice is what lets a scheduler multiplex a
+/// single [`CapeMachine`] without cross-tenant corruption.
+///
+/// Cloning is cheap: the register image is shared behind an `Arc`.
+#[derive(Debug, Clone)]
+pub struct MachineContext {
+    snapshot: CsbSnapshot,
+    sew: Sew,
+    vstart: usize,
+    vl: usize,
+    fault_at_element: Option<usize>,
+}
+
+/// A monotonic snapshot of the machine's cumulative activity counters.
+/// Unlike [`CapeMachine::run`], which resets counters per run, slice
+/// scheduling needs *delta* attribution: take one snapshot before a
+/// slice and one after, and [`MachineCounters::since`] yields the
+/// slice's own share of energy, traffic and cache activity.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct MachineCounters {
+    /// CSB dynamic energy in picojoules.
+    pub energy_pj: f64,
+    /// Element-wise vector operations executed.
+    pub lane_ops: u64,
+    /// Cycles spent in VMU transfers.
+    pub vmu_cycles: u64,
+    /// Cycles spent in VCU compute.
+    pub vcu_cycles: u64,
+    /// Bytes read from HBM.
+    pub hbm_bytes_read: u64,
+    /// Bytes written to HBM.
+    pub hbm_bytes_written: u64,
+    /// Program-cache hits.
+    pub cache_hits: u64,
+    /// Program-cache misses (fresh compiles).
+    pub cache_misses: u64,
+    /// Page faults taken by vector memory instructions.
+    pub faults_taken: u64,
+    /// CSB microops emitted.
+    pub microops: MicroOpStats,
+}
+
+impl MachineCounters {
+    /// Adds `delta` into this accumulator (field-wise sum) — how a
+    /// scheduler totals a job's activity across its slices.
+    pub fn accumulate(&mut self, delta: &Self) {
+        self.energy_pj += delta.energy_pj;
+        self.lane_ops += delta.lane_ops;
+        self.vmu_cycles += delta.vmu_cycles;
+        self.vcu_cycles += delta.vcu_cycles;
+        self.hbm_bytes_read += delta.hbm_bytes_read;
+        self.hbm_bytes_written += delta.hbm_bytes_written;
+        self.cache_hits += delta.cache_hits;
+        self.cache_misses += delta.cache_misses;
+        self.faults_taken += delta.faults_taken;
+        self.microops.searches_bs += delta.microops.searches_bs;
+        self.microops.searches_bp += delta.microops.searches_bp;
+        self.microops.updates_bs += delta.microops.updates_bs;
+        self.microops.updates_bp += delta.microops.updates_bp;
+        self.microops.updates_prop += delta.microops.updates_prop;
+        self.microops.reads += delta.microops.reads;
+        self.microops.writes += delta.microops.writes;
+        self.microops.reduces += delta.microops.reduces;
+        self.microops.tag_combines += delta.microops.tag_combines;
+    }
+
+    /// The activity between `earlier` and `self` (field-wise difference).
+    pub fn since(&self, earlier: &Self) -> Self {
+        Self {
+            energy_pj: self.energy_pj - earlier.energy_pj,
+            lane_ops: self.lane_ops - earlier.lane_ops,
+            vmu_cycles: self.vmu_cycles - earlier.vmu_cycles,
+            vcu_cycles: self.vcu_cycles - earlier.vcu_cycles,
+            hbm_bytes_read: self.hbm_bytes_read - earlier.hbm_bytes_read,
+            hbm_bytes_written: self.hbm_bytes_written - earlier.hbm_bytes_written,
+            cache_hits: self.cache_hits - earlier.cache_hits,
+            cache_misses: self.cache_misses - earlier.cache_misses,
+            faults_taken: self.faults_taken - earlier.faults_taken,
+            microops: MicroOpStats {
+                searches_bs: self.microops.searches_bs - earlier.microops.searches_bs,
+                searches_bp: self.microops.searches_bp - earlier.microops.searches_bp,
+                updates_bs: self.microops.updates_bs - earlier.microops.updates_bs,
+                updates_bp: self.microops.updates_bp - earlier.microops.updates_bp,
+                updates_prop: self.microops.updates_prop - earlier.microops.updates_prop,
+                reads: self.microops.reads - earlier.microops.reads,
+                writes: self.microops.writes - earlier.microops.writes,
+                reduces: self.microops.reduces - earlier.microops.reduces,
+                tag_combines: self.microops.tag_combines - earlier.microops.tag_combines,
+            },
+        }
+    }
+}
 
 /// A complete CAPE system: control processor, VCU, VMU, CSB and HBM
 /// (Fig. 2 of the paper), runnable on [`Program`]s.
@@ -185,6 +281,111 @@ impl CapeMachine {
     /// The VCU's microcode program cache (hit/miss observability).
     pub fn program_cache(&self) -> &ProgramCache {
         &self.program_cache
+    }
+
+    /// Attributes subsequent program-cache lookups to `tenant` (see
+    /// [`ProgramCache::set_tenant`]). A scheduler calls this before each
+    /// tenant's slice so cross-tenant cache amortization is measurable.
+    pub fn set_tenant(&mut self, tenant: u32) {
+        self.program_cache.set_tenant(tenant);
+    }
+
+    /// Captures the current tenant's full vector state: every CSB
+    /// register (data, metadata and match state), the selected element
+    /// width, the active window and any armed page-fault injection.
+    pub fn save_context(&mut self) -> MachineContext {
+        MachineContext {
+            snapshot: self.csb.save_registers(),
+            sew: self.sew,
+            vstart: self.csb.vstart(),
+            vl: self.csb.vl(),
+            fault_at_element: self.fault_at_element,
+        }
+    }
+
+    /// Restores a context captured by [`CapeMachine::save_context`] (or
+    /// built by [`CapeMachine::fresh_context`]), making the machine
+    /// bit-identical — registers, CSRs and pending faults — to the
+    /// moment the context was saved.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the context was captured on a machine with a different
+    /// CSB geometry.
+    pub fn restore_context(&mut self, ctx: &MachineContext) {
+        self.csb.restore_registers(&ctx.snapshot);
+        self.csb.set_active_window(ctx.vstart, ctx.vl);
+        self.sew = ctx.sew;
+        self.fault_at_element = ctx.fault_at_element;
+    }
+
+    /// The context of a job that has never run: zeroed registers, 32-bit
+    /// elements, a fully open window and no pending fault — exactly the
+    /// state of a newly built machine. Restoring this before a fresh
+    /// job's first slice guarantees it cannot observe a predecessor.
+    pub fn fresh_context(&self) -> MachineContext {
+        MachineContext {
+            snapshot: CsbSnapshot::zeroed(self.config.geometry()),
+            sew: Sew::E32,
+            vstart: 0,
+            vl: self.config.max_vl(),
+            fault_at_element: None,
+        }
+    }
+
+    /// Cycle cost of moving one full register-file context in one
+    /// direction between the CSB and memory (a scheduler charges this
+    /// once per save and once per restore).
+    pub fn context_transfer_cycles(&self) -> u64 {
+        self.vmu
+            .context_transfer_cycles(&self.hbm, self.config.chains)
+    }
+
+    /// A control processor configured for this machine's memory latency.
+    /// Slice scheduling keeps one per job — the CP *is* the job's scalar
+    /// state (PC, registers, clock) across preemptions.
+    pub fn new_control_processor(&self) -> ControlProcessor {
+        ControlProcessor::new(self.config.mem_latency_cycles)
+    }
+
+    /// A snapshot of the cumulative activity counters, for per-slice
+    /// delta attribution via [`MachineCounters::since`].
+    pub fn counters(&self) -> MachineCounters {
+        MachineCounters {
+            energy_pj: self.energy_pj,
+            lane_ops: self.lane_ops,
+            vmu_cycles: self.vmu_cycles,
+            vcu_cycles: self.vcu_cycles,
+            hbm_bytes_read: self.hbm.bytes_read(),
+            hbm_bytes_written: self.hbm.bytes_written(),
+            cache_hits: self.program_cache.hits(),
+            cache_misses: self.program_cache.misses(),
+            faults_taken: self.faults_taken,
+            microops: self.csb.stats(),
+        }
+    }
+
+    /// Runs `cp` on `program` until it halts or `max_vector` more vector
+    /// instructions commit (see [`ControlProcessor::run_slice`]). Unlike
+    /// [`CapeMachine::run`] this never resets counters — a scheduler
+    /// interleaving many jobs attributes activity per slice with
+    /// [`CapeMachine::counters`] deltas instead.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CpError`] when the program escapes its address range or
+    /// exceeds the configured instruction budget.
+    pub fn run_slice(
+        &mut self,
+        cp: &mut ControlProcessor,
+        program: &Program,
+        mem: &mut MainMemory,
+        max_vector: u64,
+    ) -> Result<SliceOutcome, CpError> {
+        let max = self.config.max_instructions;
+        let this: &mut CapeMachine = self;
+        let mut driver = MachineCoprocessor { machine: this };
+        cp.run_slice(program, mem, &mut driver, max, max_vector)
     }
 
     fn run_vcu(&mut self, op: &VectorOp) -> VectorCommit {
@@ -775,6 +976,120 @@ halt",
         .unwrap();
         m.run(&prog, &mut mem).unwrap();
         assert_eq!(m.faults_taken(), 0, "out-of-window fault must not fire");
+    }
+
+    #[test]
+    fn context_roundtrip_restores_registers_and_csrs() {
+        let mut m = machine();
+        let mut mem = MainMemory::new();
+        mem.write_u32_slice(0x1000, &[9, 8, 7, 6, 5]);
+        let prog = assemble(
+            "li t0, 5
+vsetvli t1, t0, e8, m1
+li a0, 0x1000
+vle32.v v4, (a0)
+halt",
+        )
+        .unwrap();
+        m.run(&prog, &mut mem).unwrap();
+        m.inject_page_fault(3);
+        let saved = m.save_context();
+
+        // Trash everything: a different tenant runs with other CSRs.
+        let fresh = m.fresh_context();
+        m.restore_context(&fresh);
+        assert_eq!(m.csb().read_vector(4, 5), vec![0; 5]);
+        assert_eq!(m.csb().vl(), m.config().max_vl());
+        assert!(m.fault_at_element.is_none());
+
+        m.restore_context(&saved);
+        assert_eq!(m.csb().read_vector(4, 5), vec![9, 8, 7, 6, 5]);
+        assert_eq!((m.csb().vstart(), m.csb().vl()), (0, 5));
+        assert_eq!(m.sew, Sew::E8);
+        assert_eq!(m.fault_at_element, Some(3));
+    }
+
+    #[test]
+    fn run_slice_with_context_switches_matches_a_solo_run() {
+        let src = r"
+            li t0, 64
+            vsetvli t1, t0
+            li a0, 0x1000
+            vle32.v v1, (a0)
+            vadd.vx v2, v1, t0
+            vmacc.vv v2, v1, v1
+            li a1, 0x4000
+            vse32.v v2, (a1)
+            halt
+        ";
+        let prog = assemble(src).unwrap();
+        let data: Vec<u32> = (0..64u32).map(|i| i.wrapping_mul(13) + 5).collect();
+
+        // Reference: one job alone on a fresh machine.
+        let mut solo = machine();
+        let mut solo_mem = MainMemory::new();
+        solo_mem.write_u32_slice(0x1000, &data);
+        solo.run(&prog, &mut solo_mem).unwrap();
+        let want = solo_mem.read_u32_slice(0x4000, 64);
+
+        // Sliced: the same job preempted after every vector instruction,
+        // with a register-trashing intruder running between slices.
+        let mut m = machine();
+        let mut mem = MainMemory::new();
+        mem.write_u32_slice(0x1000, &data);
+        let mut cp = m.new_control_processor();
+        let mut ctx = m.fresh_context();
+        let mut slices = 0;
+        loop {
+            m.restore_context(&ctx);
+            let outcome = m.run_slice(&mut cp, &prog, &mut mem, 1).unwrap();
+            ctx = m.save_context();
+            slices += 1;
+            if outcome == SliceOutcome::Halted {
+                break;
+            }
+            // Another tenant scribbles over every register between slices.
+            for reg in 0..8 {
+                let junk: Vec<u32> = (0..64u32).map(|i| i ^ 0xDEAD_0000 ^ reg).collect();
+                m.csb_mut().set_active_window(0, 64);
+                m.csb_mut().write_vector(reg as usize, &junk);
+            }
+        }
+        assert!(slices > 3, "budget of 1 must slice per vector instruction");
+        assert_eq!(mem.read_u32_slice(0x4000, 64), want);
+    }
+
+    #[test]
+    fn counters_attribute_deltas_per_slice() {
+        let mut m = machine();
+        let mut mem = MainMemory::new();
+        mem.write_u32_slice(0x1000, &[1, 2, 3, 4]);
+        let prog = assemble(
+            "li t0, 4
+vsetvli t1, t0
+li a0, 0x1000
+vle32.v v1, (a0)
+vadd.vv v2, v1, v1
+vse32.v v2, (a0)
+halt",
+        )
+        .unwrap();
+        let mut cp = m.new_control_processor();
+        let before = m.counters();
+        while m.run_slice(&mut cp, &prog, &mut mem, 1).unwrap() != SliceOutcome::Halted {}
+        let delta = m.counters().since(&before);
+        assert_eq!(delta.lane_ops, 4, "one vadd over four lanes");
+        assert_eq!(delta.hbm_bytes_read, 16);
+        assert_eq!(delta.hbm_bytes_written, 16);
+        assert!(delta.energy_pj > 0.0);
+        assert_eq!(delta.cache_misses, 1, "vadd.vv compiles once");
+        // A second identical pass is all cache hits.
+        let mid = m.counters();
+        let mut cp2 = m.new_control_processor();
+        while m.run_slice(&mut cp2, &prog, &mut mem, 1).unwrap() != SliceOutcome::Halted {}
+        let delta2 = m.counters().since(&mid);
+        assert_eq!(delta2.cache_misses, 0);
+        assert_eq!(delta2.cache_hits, 1);
     }
 
     #[test]

@@ -99,6 +99,17 @@ impl std::fmt::Display for CpError {
 
 impl std::error::Error for CpError {}
 
+/// How a [`ControlProcessor::run_slice`] call ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SliceOutcome {
+    /// The program hit its `ecall` — the job is done.
+    Halted,
+    /// The slice's vector-instruction budget was reached. The CP keeps
+    /// its PC, registers, clock and cache state; call `run_slice` again
+    /// to continue exactly where it stopped.
+    Preempted,
+}
+
 /// Cycles lost on a taken branch after the tournament predictor's
 /// residual mispredictions (amortized).
 const TAKEN_BRANCH_PENALTY: u64 = 1;
@@ -171,6 +182,49 @@ impl ControlProcessor {
         self.clock = self.clock.max(self.vector_done_at);
         self.stats.cycles = self.clock;
         Ok(self.stats)
+    }
+
+    /// Runs until the program halts *or* `max_vector` further vector
+    /// instructions have committed — the preemption primitive of a
+    /// multi-job scheduler. The check fires immediately after a vector
+    /// instruction commits, so a preempted CP always stops at a
+    /// microprogram sync point: no vector instruction is in flight (the
+    /// engine is drained before returning) and the next `run_slice` call
+    /// resumes with the scalar instruction that follows it.
+    ///
+    /// `stats.cycles` is kept up to date on both outcomes, so a scheduler
+    /// can read incremental cycle counts between slices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CpError`] if the PC leaves the program or the *total*
+    /// committed instruction count exceeds `max_instrs`.
+    pub fn run_slice(
+        &mut self,
+        program: &Program,
+        mem: &mut MainMemory,
+        cop: &mut dyn Coprocessor,
+        max_instrs: u64,
+        max_vector: u64,
+    ) -> Result<SliceOutcome, CpError> {
+        let vector_start = self.stats.vector;
+        loop {
+            if !self.step(program, mem, cop)? {
+                self.clock = self.clock.max(self.vector_done_at);
+                self.stats.cycles = self.clock;
+                return Ok(SliceOutcome::Halted);
+            }
+            if self.stats.instructions >= max_instrs {
+                return Err(CpError::InstructionBudgetExceeded { budget: max_instrs });
+            }
+            if self.stats.vector - vector_start >= max_vector {
+                // Drain the in-flight vector instruction: preemption only
+                // happens at a sync point.
+                self.clock = self.clock.max(self.vector_done_at);
+                self.stats.cycles = self.clock;
+                return Ok(SliceOutcome::Preempted);
+            }
+        }
     }
 
     /// Charges `c` whole cycles to the scalar pipeline.
@@ -570,6 +624,61 @@ mod tests {
         let mut mem = MainMemory::new();
         let err = cp.run(&prog, &mut mem, &mut NullCop, 100).unwrap_err();
         assert_eq!(err, CpError::InstructionBudgetExceeded { budget: 100 });
+    }
+
+    #[test]
+    fn run_slice_resumes_to_the_same_result_as_run() {
+        let src = r"
+            li t0, 64
+            li t2, 0
+            vsetvli t1, t0
+            vadd.vv v3, v1, v2
+            addi t2, t2, 1
+            vadd.vv v4, v1, v2
+            addi t2, t2, 10
+            vadd.vv v5, v1, v2
+            addi t2, t2, 100
+            halt
+        ";
+        let prog = cape_isa::assemble(src).unwrap();
+
+        let mut whole = ControlProcessor::new(300);
+        let mut mem = MainMemory::new();
+        let want = whole.run(&prog, &mut mem, &mut NullCop, 1000).unwrap();
+
+        let mut sliced = ControlProcessor::new(300);
+        let mut mem2 = MainMemory::new();
+        let mut slices = 0;
+        loop {
+            slices += 1;
+            match sliced
+                .run_slice(&prog, &mut mem2, &mut NullCop, 1000, 1)
+                .unwrap()
+            {
+                SliceOutcome::Halted => break,
+                SliceOutcome::Preempted => {
+                    // Preemption always lands at a sync point: the vector
+                    // engine is drained.
+                    assert!(sliced.clock >= sliced.vector_done_at);
+                }
+            }
+        }
+        // 4 vector instructions (vsetvli + 3 vadd), one per slice, plus
+        // the final slice that halts.
+        assert_eq!(slices, 5);
+        assert_eq!(sliced.reg(Reg::T2), 111);
+        assert_eq!(sliced.stats(), want);
+    }
+
+    #[test]
+    fn run_slice_budget_error_still_applies() {
+        let prog = cape_isa::assemble("loop: j loop").unwrap();
+        let mut cp = ControlProcessor::new(300);
+        let mut mem = MainMemory::new();
+        let err = cp
+            .run_slice(&prog, &mut mem, &mut NullCop, 50, 1)
+            .unwrap_err();
+        assert_eq!(err, CpError::InstructionBudgetExceeded { budget: 50 });
     }
 
     #[test]

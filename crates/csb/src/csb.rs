@@ -3,13 +3,40 @@
 use std::slice;
 use std::sync::Arc;
 
-use crate::chain::Chain;
+use crate::chain::{Chain, ChainState};
 use crate::geometry::{CsbGeometry, ElementLocation, SUBARRAY_COLS};
 use crate::microop::MicroOp;
 use crate::pool::{Shard, WorkerPool};
 use crate::program::{lower, MicroProgram};
 use crate::reduction::ReductionTree;
 use crate::stats::{MicroOpKind, MicroOpStats};
+
+/// A captured register-file image of a whole CSB: one [`ChainState`] per
+/// chain, taken at a microprogram sync point.
+///
+/// The states are reference-counted, so cloning a snapshot (e.g. to keep
+/// one resident image per tenant in a scheduler) is cheap, and restoring
+/// does not copy the image into worker closures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsbSnapshot {
+    chains: Arc<Vec<ChainState>>,
+}
+
+impl CsbSnapshot {
+    /// The all-zero snapshot for `geometry` — what a freshly constructed
+    /// CSB holds. Restoring it is a full register-file wipe, so a job
+    /// started from it observes exactly the state of a fresh machine.
+    pub fn zeroed(geometry: CsbGeometry) -> Self {
+        Self {
+            chains: Arc::new(vec![ChainState::zeroed(); geometry.num_chains()]),
+        }
+    }
+
+    /// Number of per-chain states in the snapshot.
+    pub fn num_chains(&self) -> usize {
+        self.chains.len()
+    }
+}
 
 /// Minimum number of *active* chains before a broadcast fans out over the
 /// worker pool; below this, channel transfers cost more than the work.
@@ -368,6 +395,83 @@ impl Csb {
     pub fn window(&self, i: usize) -> u32 {
         self.shards[i / self.shard_size].windows[i % self.shard_size]
     }
+
+    /// True when context save/restore fans out over the worker pool. The
+    /// active window is irrelevant here — a context switch moves *every*
+    /// chain's registers, including those of power-gated chains.
+    fn use_pool_for_context(&self) -> bool {
+        self.threads > 1 && self.geometry.num_chains() >= POOL_MIN_ACTIVE
+    }
+
+    /// Captures the full register-file image of every chain — vector
+    /// registers through the bulk transposed path, plus metadata rows and
+    /// match registers (see [`ChainState`]). Large CSBs fan the capture
+    /// out over the broadcast worker pool, one task per shard.
+    pub fn save_registers(&mut self) -> CsbSnapshot {
+        let n = self.geometry.num_chains();
+        let mut chains: Vec<ChainState> = Vec::with_capacity(n);
+        if self.use_pool_for_context() {
+            let (tx, rx) = std::sync::mpsc::channel::<(usize, Vec<ChainState>)>();
+            self.pool.apply(&mut self.shards, |s| {
+                let tx = tx.clone();
+                Box::new(move |shard: &mut Shard| {
+                    let states = shard.chains.iter().map(Chain::save_state).collect();
+                    let _ = tx.send((s, states));
+                })
+            });
+            drop(tx);
+            let mut per_shard: Vec<Vec<ChainState>> = vec![Vec::new(); self.shards.len()];
+            for (s, states) in rx.iter() {
+                per_shard[s] = states;
+            }
+            for states in per_shard {
+                chains.extend(states);
+            }
+        } else {
+            for shard in &self.shards {
+                chains.extend(shard.chains.iter().map(Chain::save_state));
+            }
+        }
+        CsbSnapshot {
+            chains: Arc::new(chains),
+        }
+    }
+
+    /// Restores every chain to a previously captured image — the inverse
+    /// of [`Csb::save_registers`]. Restoring [`CsbSnapshot::zeroed`]
+    /// wipes the register file back to fresh-machine state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot was taken on a CSB of a different geometry.
+    pub fn restore_registers(&mut self, snapshot: &CsbSnapshot) {
+        let n = self.geometry.num_chains();
+        assert_eq!(
+            snapshot.num_chains(),
+            n,
+            "snapshot geometry does not match this CSB"
+        );
+        if self.use_pool_for_context() {
+            let shard_size = self.shard_size;
+            let states = Arc::clone(&snapshot.chains);
+            self.pool.apply(&mut self.shards, |s| {
+                let states = Arc::clone(&states);
+                Box::new(move |shard: &mut Shard| {
+                    let base = s * shard_size;
+                    for (j, chain) in shard.chains.iter_mut().enumerate() {
+                        chain.load_state(&states[base + j]);
+                    }
+                })
+            });
+        } else {
+            for (s, shard) in self.shards.iter_mut().enumerate() {
+                let base = s * self.shard_size;
+                for (j, chain) in shard.chains.iter_mut().enumerate() {
+                    chain.load_state(&snapshot.chains[base + j]);
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -579,5 +683,76 @@ mod tests {
     #[should_panic(expected = "exceeds MAX_VL")]
     fn window_beyond_max_vl_panics() {
         small().set_active_window(0, 129);
+    }
+
+    #[test]
+    fn snapshot_roundtrip_restores_registers_metadata_and_tags() {
+        let mut csb = small();
+        let data: Vec<u32> = (0..128u32).map(|i| i.wrapping_mul(0x9E37_79B9)).collect();
+        csb.write_vector(5, &data);
+        csb.chain_mut(1).set_tags(3, 0xF0F0_0F0F);
+        csb.chain_mut(2).set_acc(7, 0x1234_5678);
+        csb.chain_mut(0).subarray_mut(4).write_row(
+            crate::subarray::ROW_CARRY,
+            0xAAAA_5555,
+            u32::MAX,
+        );
+
+        let snap = csb.save_registers();
+
+        // Trash everything, then restore.
+        csb.write_vector(5, &vec![0xDEAD_BEEF; 128]);
+        csb.chain_mut(1).set_tags(3, 0);
+        csb.chain_mut(2).set_acc(7, 0);
+        csb.chain_mut(0)
+            .subarray_mut(4)
+            .write_row(crate::subarray::ROW_CARRY, 0, u32::MAX);
+        csb.restore_registers(&snap);
+
+        assert_eq!(csb.read_vector(5, 128), data);
+        assert_eq!(csb.chain(1).tags(3), 0xF0F0_0F0F);
+        assert_eq!(csb.chain(2).acc(7), 0x1234_5678);
+        assert_eq!(
+            csb.chain(0).subarray(4).row(crate::subarray::ROW_CARRY),
+            0xAAAA_5555
+        );
+    }
+
+    #[test]
+    fn zeroed_snapshot_wipes_back_to_fresh_state() {
+        let mut csb = small();
+        csb.write_vector(9, &[7; 128]);
+        csb.chain_mut(0).set_tags(0, u32::MAX);
+        csb.restore_registers(&CsbSnapshot::zeroed(csb.geometry()));
+        let fresh = small();
+        for c in 0..4 {
+            assert_eq!(csb.chain(c), fresh.chain(c), "chain {c}");
+        }
+    }
+
+    #[test]
+    fn pooled_snapshot_matches_serial_snapshot() {
+        // 1,024 chains crosses the pool threshold on multi-core hosts.
+        let mut csb = Csb::new(CsbGeometry::new(1024));
+        let data: Vec<u32> = (0..4096).map(|e| e as u32 ^ 0x5A5A).collect();
+        csb.write_vector(2, &data);
+        csb.chain_mut(777).set_tags(11, 0xCAFE_F00D);
+
+        let snap = csb.save_registers();
+        csb.write_vector(2, &vec![0; 4096]);
+        csb.chain_mut(777).set_tags(11, 0);
+        csb.restore_registers(&snap);
+
+        assert_eq!(csb.read_vector(2, 4096), data);
+        assert_eq!(csb.chain(777).tags(11), 0xCAFE_F00D);
+        // A second capture of the restored state is identical.
+        assert_eq!(csb.save_registers(), snap);
+    }
+
+    #[test]
+    #[should_panic(expected = "geometry does not match")]
+    fn restore_rejects_mismatched_geometry() {
+        let snap = CsbSnapshot::zeroed(CsbGeometry::new(8));
+        small().restore_registers(&snap);
     }
 }

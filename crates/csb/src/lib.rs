@@ -52,8 +52,8 @@ mod stats;
 mod subarray;
 
 pub use bitmat::transpose32;
-pub use chain::Chain;
-pub use csb::Csb;
+pub use chain::{Chain, ChainState};
+pub use csb::{Csb, CsbSnapshot};
 pub use geometry::{CsbGeometry, ElementLocation, SUBARRAYS_PER_CHAIN, SUBARRAY_COLS};
 pub use microop::{ColSel, MicroOp, Probe, TagDest, TagMode, WriteSpec};
 pub use program::{MicroProgram, SyncKind, SyncPoint};

@@ -89,11 +89,23 @@ impl Shard {
     }
 }
 
-/// One unit of work: a shard to own and the shared lowered program to run
-/// on it.
+/// A closure run on one owned shard by a worker thread. Results travel
+/// through whatever channel the closure captures; the shard itself moves
+/// back through the pool.
+pub(crate) type ShardFn = Box<dyn FnOnce(&mut Shard) + Send + 'static>;
+
+/// What a worker does with the shard it receives: broadcast a lowered
+/// microop program over it, or run an arbitrary owned closure (context
+/// snapshot/restore uses the latter).
+enum Task {
+    Broadcast(Arc<Vec<PlanOp>>),
+    Apply(ShardFn),
+}
+
+/// One unit of work: a shard to own and the task to run on it.
 struct Job {
     shard: Shard,
-    ops: Arc<Vec<PlanOp>>,
+    task: Task,
 }
 
 struct Worker {
@@ -134,7 +146,10 @@ impl WorkerPool {
                 .name(format!("csb-broadcast-{}", self.workers.len()))
                 .spawn(move || {
                     while let Ok(mut job) = job_rx.recv() {
-                        job.shard.run(&job.ops);
+                        match job.task {
+                            Task::Broadcast(ops) => job.shard.run(&ops),
+                            Task::Apply(f) => f(&mut job.shard),
+                        }
                         if res_tx.send(job.shard).is_err() {
                             break;
                         }
@@ -153,11 +168,22 @@ impl WorkerPool {
     /// moved to its worker, run through every microop locally, and moved
     /// back with its partial sums filled in.
     pub fn run(&mut self, shards: &mut [Shard], ops: &Arc<Vec<PlanOp>>) {
+        self.dispatch(shards, |_| Task::Broadcast(Arc::clone(ops)));
+    }
+
+    /// Runs one owned closure per shard concurrently — the context
+    /// snapshot/restore fan-out. `make(i)` builds the closure for shard
+    /// `i`; any results travel through channels the closures capture.
+    pub fn apply(&mut self, shards: &mut [Shard], mut make: impl FnMut(usize) -> ShardFn) {
+        self.dispatch(shards, |i| Task::Apply(make(i)));
+    }
+
+    fn dispatch(&mut self, shards: &mut [Shard], mut task: impl FnMut(usize) -> Task) {
         self.ensure(shards.len());
-        for (slot, worker) in shards.iter_mut().zip(&self.workers) {
+        for (i, (slot, worker)) in shards.iter_mut().zip(&self.workers).enumerate() {
             let job = Job {
                 shard: std::mem::take(slot),
-                ops: Arc::clone(ops),
+                task: task(i),
             };
             worker
                 .tx

@@ -1,0 +1,130 @@
+//! Aggregate serving metrics for one engine run.
+
+use crate::job::JobReport;
+
+/// Queue-latency distribution in engine cycles (nearest-rank
+/// percentiles over all served jobs).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueueLatency {
+    /// Median queue wait.
+    pub p50: u64,
+    /// 90th-percentile queue wait.
+    pub p90: u64,
+    /// 99th-percentile queue wait.
+    pub p99: u64,
+    /// Worst queue wait.
+    pub max: u64,
+}
+
+impl QueueLatency {
+    /// Computes the distribution from raw per-job waits.
+    pub fn from_waits(waits: &[u64]) -> Self {
+        if waits.is_empty() {
+            return Self::default();
+        }
+        let mut sorted = waits.to_vec();
+        sorted.sort_unstable();
+        Self {
+            p50: percentile(&sorted, 50),
+            p90: percentile(&sorted, 90),
+            p99: percentile(&sorted, 99),
+            max: *sorted.last().expect("non-empty"),
+        }
+    }
+}
+
+/// Nearest-rank percentile of an ascending-sorted, non-empty slice.
+fn percentile(sorted: &[u64], pct: u32) -> u64 {
+    let rank = (pct as usize * sorted.len()).div_ceil(100);
+    sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
+}
+
+/// What one [`Engine::run`](crate::Engine::run) drain accomplished:
+/// per-job reports plus the aggregate serving metrics a capacity
+/// planner reads (throughput, queueing, context-switch overhead, and
+/// how much compilation the shared program cache amortized across
+/// tenants).
+#[derive(Debug, Clone)]
+pub struct EngineReport {
+    /// Per-job results, in completion order.
+    pub jobs: Vec<JobReport>,
+    /// Engine cycles from the first admission to the last completion.
+    pub total_cycles: u64,
+    /// Core frequency for cycle→time conversion.
+    pub freq_ghz: f64,
+    /// Batches formed (each batch shares one program fingerprint).
+    pub batches: u64,
+    /// Register-file context transfers performed (saves + restores).
+    pub context_switches: u64,
+    /// Engine cycles charged to context transfers.
+    pub context_switch_cycles: u64,
+    /// Queue-wait distribution across jobs.
+    pub queue_latency: QueueLatency,
+    /// Program-cache hits served by a different tenant's compilation.
+    pub cross_tenant_hits: u64,
+    /// Fraction of program-cache hits another tenant paid to compile.
+    pub cross_tenant_hit_rate: f64,
+    /// Overall program-cache hit rate across the run.
+    pub cache_hit_rate: f64,
+}
+
+impl EngineReport {
+    /// Wall-clock serving time in milliseconds.
+    pub fn time_ms(&self) -> f64 {
+        self.total_cycles as f64 / (self.freq_ghz * 1e6)
+    }
+
+    /// Jobs served per millisecond of engine time.
+    pub fn jobs_per_ms(&self) -> f64 {
+        if self.total_cycles == 0 {
+            0.0
+        } else {
+            self.jobs.len() as f64 / self.time_ms()
+        }
+    }
+
+    /// Jobs that halted cleanly.
+    pub fn completed(&self) -> usize {
+        self.jobs.iter().filter(|j| j.succeeded()).count()
+    }
+
+    /// Jobs admitted with a deadline that missed it.
+    pub fn deadline_misses(&self) -> usize {
+        self.jobs
+            .iter()
+            .filter(|j| j.met_deadline() == Some(false))
+            .count()
+    }
+
+    /// Fraction of total engine cycles spent moving contexts instead of
+    /// running jobs.
+    pub fn context_switch_overhead(&self) -> f64 {
+        if self.total_cycles == 0 {
+            0.0
+        } else {
+            self.context_switch_cycles as f64 / self.total_cycles as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let waits: Vec<u64> = (1..=100).collect();
+        let q = QueueLatency::from_waits(&waits);
+        assert_eq!(q.p50, 50);
+        assert_eq!(q.p90, 90);
+        assert_eq!(q.p99, 99);
+        assert_eq!(q.max, 100);
+    }
+
+    #[test]
+    fn small_samples_do_not_panic() {
+        let q = QueueLatency::from_waits(&[7]);
+        assert_eq!((q.p50, q.p90, q.p99, q.max), (7, 7, 7, 7));
+        assert_eq!(QueueLatency::from_waits(&[]), QueueLatency::default());
+    }
+}

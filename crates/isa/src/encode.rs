@@ -57,6 +57,32 @@ fn err(word: u32, reason: impl Into<String>) -> DecodeError {
     }
 }
 
+/// Error produced when an instruction has no valid binary encoding — an
+/// `OpImm` with an operation that lacks an immediate form, or an
+/// immediate/offset that does not fit its encoding field.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EncodeError {
+    /// The instruction that could not be encoded.
+    pub instr: Instr,
+    /// Human-readable reason.
+    pub reason: String,
+}
+
+impl std::fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "cannot encode {:?}: {}", self.instr, self.reason)
+    }
+}
+
+impl std::error::Error for EncodeError {}
+
+fn enc_err(instr: Instr, reason: impl Into<String>) -> EncodeError {
+    EncodeError {
+        instr,
+        reason: reason.into(),
+    }
+}
+
 // ----- field helpers -----------------------------------------------------
 
 fn r_type(funct7: u32, rs2: u32, rs1: u32, funct3: u32, rd: u32, opcode: u32) -> u32 {
@@ -156,19 +182,33 @@ impl Instr {
     ///
     /// Panics if an `OpImm` carries an operation with no immediate form
     /// (`sub`, `mul`, `div`, `rem`) or if an immediate/offset is out of
-    /// range for its encoding field.
+    /// range for its encoding field. Use [`Instr::try_encode`] for a
+    /// non-panicking variant.
     pub fn encode(&self) -> u32 {
+        self.try_encode().unwrap_or_else(|e| panic!("{}", e.reason))
+    }
+
+    /// Encodes the instruction into its 32-bit machine word, reporting
+    /// unencodable instructions as a typed error instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`EncodeError`] if an `OpImm` carries an operation with
+    /// no immediate form (`sub`, `mul`, `div`, `rem`) or if an
+    /// immediate/offset does not fit its encoding field.
+    pub fn try_encode(&self) -> Result<u32, EncodeError> {
         use Instr::*;
-        match *self {
+        Ok(match *self {
             Lui { rd, imm20 } => {
-                assert!(
-                    (-(1 << 19)..1 << 19).contains(&imm20),
-                    "lui immediate out of range"
-                );
+                if !(-(1 << 19)..1 << 19).contains(&imm20) {
+                    return Err(enc_err(*self, "lui immediate out of range"));
+                }
                 ((imm20 as u32) & 0xFFFFF) << 12 | (rd.index() as u32) << 7 | OP_LUI
             }
             Jal { rd, offset } => {
-                assert!(offset % 2 == 0 && (-(1 << 20)..1 << 20).contains(&offset));
+                if offset % 2 != 0 || !(-(1 << 20)..1 << 20).contains(&offset) {
+                    return Err(enc_err(*self, "jal offset out of range or misaligned"));
+                }
                 j_type(offset, rd.index() as u32, OP_JAL)
             }
             Jalr { rd, rs1, offset } => {
@@ -185,10 +225,14 @@ impl Instr {
                     AluOp::Sll => (0b001, imm & 0x3F),
                     AluOp::Srl => (0b101, imm & 0x3F),
                     AluOp::Sra => (0b101, (imm & 0x3F) | 0x400),
-                    other => panic!("{other:?} has no immediate form"),
+                    other => {
+                        return Err(enc_err(*self, format!("{other:?} has no immediate form")))
+                    }
                 };
-                if !matches!(op, AluOp::Sll | AluOp::Srl | AluOp::Sra) {
-                    assert!((-2048..2048).contains(&imm), "imm out of range");
+                if !matches!(op, AluOp::Sll | AluOp::Srl | AluOp::Sra)
+                    && !(-2048..2048).contains(&imm)
+                {
+                    return Err(enc_err(*self, "imm out of range"));
                 }
                 i_type(imm, rs1.index() as u32, funct3, rd.index() as u32, OP_IMM)
             }
@@ -260,7 +304,9 @@ impl Instr {
                 rs2,
                 offset,
             } => {
-                assert!(offset % 2 == 0 && (-4096..4096).contains(&offset));
+                if offset % 2 != 0 || !(-4096..4096).contains(&offset) {
+                    return Err(enc_err(*self, "branch offset out of range or misaligned"));
+                }
                 let funct3 = match cond {
                     BranchCond::Eq => 0b000,
                     BranchCond::Ne => 0b001,
@@ -377,7 +423,9 @@ impl Instr {
                 vd.index() as u32,
             ),
             VsraVi { vd, vs, imm } => {
-                assert!(imm < 32, "vector shift immediate out of range");
+                if imm >= 32 {
+                    return Err(enc_err(*self, "vector shift immediate out of range"));
+                }
                 v_type(
                     0b101001,
                     1,
@@ -405,7 +453,9 @@ impl Instr {
             ),
             VidV { vd } => v_type(0b010100, 1, 0, 0b10001, OPMVV, vd.index() as u32),
             VsllVi { vd, vs, imm } => {
-                assert!(imm < 32, "vector shift immediate out of range");
+                if imm >= 32 {
+                    return Err(enc_err(*self, "vector shift immediate out of range"));
+                }
                 v_type(
                     0b100101,
                     1,
@@ -416,7 +466,9 @@ impl Instr {
                 )
             }
             VsrlVi { vd, vs, imm } => {
-                assert!(imm < 32, "vector shift immediate out of range");
+                if imm >= 32 {
+                    return Err(enc_err(*self, "vector shift immediate out of range"));
+                }
                 v_type(
                     0b101000,
                     1,
@@ -426,7 +478,7 @@ impl Instr {
                     vd.index() as u32,
                 )
             }
-        }
+        })
     }
 
     /// Decodes a 32-bit machine word.
@@ -986,5 +1038,62 @@ mod tests {
             imm: 1,
         }
         .encode();
+    }
+
+    #[test]
+    fn try_encode_reports_missing_immediate_form() {
+        let i = Instr::OpImm {
+            op: AluOp::Mul,
+            rd: Reg::A0,
+            rs1: Reg::A0,
+            imm: 1,
+        };
+        let e = i.try_encode().unwrap_err();
+        assert_eq!(e.instr, i);
+        assert!(e.reason.contains("no immediate form"), "{}", e.reason);
+        assert!(e.to_string().contains("cannot encode"));
+    }
+
+    #[test]
+    fn try_encode_reports_out_of_range_immediates() {
+        let lui = Instr::Lui {
+            rd: Reg::A0,
+            imm20: 1 << 19,
+        };
+        assert!(lui.try_encode().unwrap_err().reason.contains("lui"));
+
+        let addi = Instr::OpImm {
+            op: AluOp::Add,
+            rd: Reg::A0,
+            rs1: Reg::A0,
+            imm: 4096,
+        };
+        assert!(addi.try_encode().unwrap_err().reason.contains("imm"));
+
+        let br = Instr::Branch {
+            cond: BranchCond::Eq,
+            rs1: Reg::A0,
+            rs2: Reg::A1,
+            offset: 3,
+        };
+        assert!(br.try_encode().unwrap_err().reason.contains("branch"));
+
+        let shift = Instr::VsllVi {
+            vd: VReg::V1,
+            vs: VReg::V2,
+            imm: 32,
+        };
+        assert!(shift.try_encode().unwrap_err().reason.contains("shift"));
+    }
+
+    #[test]
+    fn try_encode_succeeds_on_valid_instructions() {
+        let i = Instr::OpImm {
+            op: AluOp::Add,
+            rd: Reg::A0,
+            rs1: Reg::A1,
+            imm: 42,
+        };
+        assert_eq!(i.try_encode().unwrap(), i.encode());
     }
 }

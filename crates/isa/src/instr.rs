@@ -14,7 +14,7 @@ use std::fmt;
 ///
 /// Branch and jump offsets are in *bytes* relative to the instruction's
 /// own address, as in real RISC-V.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 #[allow(missing_docs)] // operand roles are documented on the variant level
 pub enum Instr {
     // ----- RV64I scalar ------------------------------------------------

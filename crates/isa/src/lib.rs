@@ -38,7 +38,7 @@ mod program;
 mod reg;
 
 pub use asm::{assemble, AsmError};
-pub use encode::DecodeError;
+pub use encode::{DecodeError, EncodeError};
 pub use instr::{AluOp, BranchCond, Instr, Sew, VAluOp};
 pub use program::{Program, ProgramBuilder, ProgramError};
 pub use reg::{Reg, VReg};

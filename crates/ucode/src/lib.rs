@@ -48,5 +48,5 @@ pub mod truth_table;
 mod sequencer;
 mod vop;
 
-pub use sequencer::{CompiledOp, ExecOutcome, PostProcess, Sequencer};
+pub use sequencer::{CompiledOp, ExecOutcome, PostProcess, Sequencer, SequencerError};
 pub use vop::{LogicOp, VectorOp, VectorOpKind};

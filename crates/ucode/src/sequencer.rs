@@ -117,6 +117,34 @@ impl PostProcess {
     }
 }
 
+/// Error produced when a vector operation cannot be lowered to a microop
+/// program.
+///
+/// A malformed operation surfaces here as a value instead of a panic, so a
+/// long-running host (e.g. the job-serving engine) can reject the one bad
+/// job and keep serving the rest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SequencerError {
+    /// The requested element width is not one of the supported SEWs.
+    UnsupportedWidth(usize),
+    /// A bit-serial truth table referenced an addend operand, but the
+    /// lowering supplied none — the algorithm and operand shape disagree.
+    MissingAddend,
+}
+
+impl std::fmt::Display for SequencerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SequencerError::UnsupportedWidth(_) => write!(f, "SEW must be 8, 16 or 32"),
+            SequencerError::MissingAddend => {
+                write!(f, "truth table references an addend but none was supplied")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SequencerError {}
+
 /// A vector operation lowered to its broadcast form: the microop program,
 /// the post-processing step, and the element width it was compiled for.
 ///
@@ -138,19 +166,38 @@ impl CompiledOp {
     /// Panics unless `width` is 8, 16 or 32, if a register index is out of
     /// range, or on the destination aliasing restrictions documented on
     /// [`VectorOp`] (`vmul` and the mask-producing comparisons require
-    /// `vd` distinct from sources).
+    /// `vd` distinct from sources). Use [`CompiledOp::try_compile`] for a
+    /// non-panicking variant.
     pub fn compile(op: &VectorOp, width: usize) -> Self {
-        assert!(matches!(width, 8 | 16 | 32), "SEW must be 8, 16 or 32");
+        Self::try_compile(op, width).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Compiles `op` for `width`-bit elements, reporting malformed
+    /// operations as a typed [`SequencerError`] instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SequencerError::UnsupportedWidth`] unless `width` is 8,
+    /// 16 or 32, and [`SequencerError::MissingAddend`] if a truth table
+    /// references an addend the lowering did not supply.
+    pub fn try_compile(op: &VectorOp, width: usize) -> Result<Self, SequencerError> {
+        if !matches!(width, 8 | 16 | 32) {
+            return Err(SequencerError::UnsupportedWidth(width));
+        }
         let mut builder = ProgramBuilder {
             ops: Vec::new(),
             width,
+            error: None,
         };
         let post = builder.dispatch(op);
-        Self {
+        if let Some(e) = builder.error {
+            return Err(e);
+        }
+        Ok(Self {
             program: MicroProgram::new(builder.ops),
             post,
             width,
-        }
+        })
     }
 
     /// The compiled microop program.
@@ -269,6 +316,9 @@ impl<'a> Sequencer<'a> {
 struct ProgramBuilder {
     ops: Vec<MicroOp>,
     width: usize,
+    /// First structural error hit during lowering; checked after
+    /// `dispatch` so emission helpers stay infallible at their call sites.
+    error: Option<SequencerError>,
 }
 
 impl ProgramBuilder {
@@ -1175,7 +1225,8 @@ impl ProgramBuilder {
                     }
                 }
                 (None, Some(_)) => {
-                    panic!("truth table references an addend but none was supplied")
+                    self.error.get_or_insert(SequencerError::MissingAddend);
+                    continue; // the pattern is unusable without an addend
                 }
             }
             let mode = if first { TagMode::Set } else { TagMode::Or };
@@ -1447,6 +1498,53 @@ mod tests {
                 vs1: 1,
                 vs2: 2,
             },
+        );
+    }
+
+    #[test]
+    fn try_compile_rejects_unsupported_width() {
+        let op = VectorOp::Add {
+            vd: 3,
+            vs1: 1,
+            vs2: 2,
+        };
+        assert_eq!(
+            CompiledOp::try_compile(&op, 24),
+            Err(SequencerError::UnsupportedWidth(24))
+        );
+        assert_eq!(
+            SequencerError::UnsupportedWidth(24).to_string(),
+            "SEW must be 8, 16 or 32"
+        );
+    }
+
+    #[test]
+    fn try_compile_matches_compile_on_valid_ops() {
+        let op = VectorOp::Add {
+            vd: 3,
+            vs1: 1,
+            vs2: 2,
+        };
+        assert_eq!(
+            CompiledOp::try_compile(&op, 32).unwrap(),
+            CompiledOp::compile(&op, 32)
+        );
+    }
+
+    #[test]
+    fn missing_addend_surfaces_as_error_not_panic() {
+        // Drive the lowering helper directly with an addend-consuming
+        // truth table but no addend — the shape the engine must survive.
+        let mut builder = ProgramBuilder {
+            ops: Vec::new(),
+            width: 32,
+            error: None,
+        };
+        builder.bit_serial(&BitSerialAlgorithm::adder(), 3, None, 0, &[]);
+        assert_eq!(builder.error, Some(SequencerError::MissingAddend));
+        assert_eq!(
+            SequencerError::MissingAddend.to_string(),
+            "truth table references an addend but none was supplied"
         );
     }
 

@@ -11,7 +11,7 @@
 
 use std::collections::HashMap;
 
-use cape_ucode::{CompiledOp, VectorOp};
+use cape_ucode::{CompiledOp, SequencerError, VectorOp};
 
 /// Cache key: the full decoded operation (register indices *and* scalar
 /// operands — scalar bits specialize the emitted program) plus SEW.
@@ -22,6 +22,18 @@ struct Entry {
     compiled: CompiledOp,
     /// Last-touch tick, for LRU eviction.
     stamp: u64,
+    /// Tenant that paid the compilation — hits from other tenants count
+    /// as cross-tenant amortization.
+    owner: u32,
+}
+
+/// Per-tenant cache traffic, for multi-tenant accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TenantCacheStats {
+    /// Lookups by this tenant served from the cache.
+    pub hits: u64,
+    /// Lookups by this tenant that had to compile.
+    pub misses: u64,
 }
 
 /// An LRU cache of compiled microop programs keyed by `(VectorOp, SEW)`.
@@ -37,6 +49,11 @@ pub struct ProgramCache {
     hits: u64,
     misses: u64,
     evictions: u64,
+    /// Tenant attributed with subsequent lookups (0 in single-tenant use).
+    current_tenant: u32,
+    /// Hits served by an entry a *different* tenant compiled.
+    cross_tenant_hits: u64,
+    tenant_stats: HashMap<u32, TenantCacheStats>,
 }
 
 impl ProgramCache {
@@ -60,21 +77,76 @@ impl ProgramCache {
             hits: 0,
             misses: 0,
             evictions: 0,
+            current_tenant: 0,
+            cross_tenant_hits: 0,
+            tenant_stats: HashMap::new(),
         }
+    }
+
+    /// Attributes subsequent lookups to `tenant`. Entries remember the
+    /// tenant that compiled them, so hits by other tenants are counted as
+    /// cross-tenant amortization. Single-tenant users never call this and
+    /// everything lands on tenant 0.
+    pub fn set_tenant(&mut self, tenant: u32) {
+        self.current_tenant = tenant;
+    }
+
+    /// Tenant currently attributed with lookups.
+    pub fn tenant(&self) -> u32 {
+        self.current_tenant
     }
 
     /// Returns the cached program for `(op, sew_bits)`, compiling (and, at
     /// capacity, evicting the least recently used entry) on a miss.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operation cannot be compiled; use
+    /// [`ProgramCache::try_get_or_compile`] for the non-panicking form.
     pub fn get_or_compile(&mut self, op: &VectorOp, sew_bits: u32) -> &CompiledOp {
-        self.tick += 1;
+        match self.try_get_or_compile(op, sew_bits) {
+            Ok(compiled) => compiled,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Returns the cached program for `(op, sew_bits)`, compiling on a
+    /// miss, and surfacing malformed operations as a typed error instead
+    /// of panicking (a failed compile is not counted or cached).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the [`SequencerError`] from
+    /// [`CompiledOp::try_compile`].
+    pub fn try_get_or_compile(
+        &mut self,
+        op: &VectorOp,
+        sew_bits: u32,
+    ) -> Result<&CompiledOp, SequencerError> {
         let key = (*op, sew_bits);
         if self.entries.contains_key(&key) {
+            self.tick += 1;
             self.hits += 1;
+            self.tenant_stats
+                .entry(self.current_tenant)
+                .or_default()
+                .hits += 1;
             let entry = self.entries.get_mut(&key).expect("key just checked");
             entry.stamp = self.tick;
-            return &self.entries[&key].compiled;
+            if entry.owner != self.current_tenant {
+                self.cross_tenant_hits += 1;
+            }
+            return Ok(&self.entries[&key].compiled);
         }
+        // Compile before touching any counter: a malformed op must leave
+        // the cache statistics exactly as it found them.
+        let compiled = CompiledOp::try_compile(op, sew_bits as usize)?;
+        self.tick += 1;
         self.misses += 1;
+        self.tenant_stats
+            .entry(self.current_tenant)
+            .or_default()
+            .misses += 1;
         if self.entries.len() >= self.capacity {
             let victim = self
                 .entries
@@ -85,15 +157,15 @@ impl ProgramCache {
             self.entries.remove(&victim);
             self.evictions += 1;
         }
-        let compiled = CompiledOp::compile(op, sew_bits as usize);
         self.entries.insert(
             key,
             Entry {
                 compiled,
                 stamp: self.tick,
+                owner: self.current_tenant,
             },
         );
-        &self.entries[&key].compiled
+        Ok(&self.entries[&key].compiled)
     }
 
     /// Lookups that found a compiled program.
@@ -109,6 +181,27 @@ impl ProgramCache {
     /// Entries displaced by LRU eviction.
     pub fn evictions(&self) -> u64 {
         self.evictions
+    }
+
+    /// Hits served by an entry compiled by a different tenant — the
+    /// cross-tenant amortization a shared cache buys.
+    pub fn cross_tenant_hits(&self) -> u64 {
+        self.cross_tenant_hits
+    }
+
+    /// Fraction of hits that were served by another tenant's compilation
+    /// (0 when there were no hits).
+    pub fn cross_tenant_hit_rate(&self) -> f64 {
+        if self.hits == 0 {
+            0.0
+        } else {
+            self.cross_tenant_hits as f64 / self.hits as f64
+        }
+    }
+
+    /// Cache traffic attributed to `tenant` (zeroes if never seen).
+    pub fn tenant_stats(&self, tenant: u32) -> TenantCacheStats {
+        self.tenant_stats.get(&tenant).copied().unwrap_or_default()
     }
 
     /// Fraction of lookups served from the cache (0 when never used).
@@ -223,5 +316,41 @@ mod tests {
     #[should_panic(expected = "at least one entry")]
     fn zero_capacity_panics() {
         ProgramCache::new(0);
+    }
+
+    #[test]
+    fn cross_tenant_hits_attribute_to_the_compiling_tenant() {
+        let mut cache = ProgramCache::new(8);
+        cache.set_tenant(1);
+        cache.get_or_compile(&ADD, 32); // tenant 1 compiles
+        cache.get_or_compile(&ADD, 32); // same-tenant hit
+        cache.set_tenant(2);
+        cache.get_or_compile(&ADD, 32); // cross-tenant hit
+        cache.get_or_compile(&SUB, 32); // tenant 2 compiles
+        cache.set_tenant(1);
+        cache.get_or_compile(&SUB, 32); // cross-tenant hit
+
+        assert_eq!(cache.cross_tenant_hits(), 2);
+        assert_eq!(cache.hits(), 3);
+        assert!((cache.cross_tenant_hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(
+            cache.tenant_stats(1),
+            TenantCacheStats { hits: 2, misses: 1 }
+        );
+        assert_eq!(
+            cache.tenant_stats(2),
+            TenantCacheStats { hits: 1, misses: 1 }
+        );
+        assert_eq!(cache.tenant_stats(99), TenantCacheStats::default());
+    }
+
+    #[test]
+    fn failed_compiles_leave_counters_untouched() {
+        let mut cache = ProgramCache::new(8);
+        assert!(cache.try_get_or_compile(&ADD, 24).is_err());
+        assert_eq!((cache.hits(), cache.misses()), (0, 0));
+        assert!(cache.is_empty());
+        assert!(cache.try_get_or_compile(&ADD, 32).is_ok());
+        assert_eq!(cache.misses(), 1);
     }
 }

@@ -27,7 +27,7 @@ use cape_ucode::metrics::{extension_cycles, paper_row};
 use cape_ucode::{Sequencer, VectorOp};
 use serde::{Deserialize, Serialize};
 
-pub use cache::ProgramCache;
+pub use cache::{ProgramCache, TenantCacheStats};
 
 /// Default operand width CAPE's chains are configured for.
 pub const OPERAND_BITS: u32 = 32;

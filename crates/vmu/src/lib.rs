@@ -108,6 +108,20 @@ impl Vmu {
         self.finish(hbm, bytes, cycles)
     }
 
+    /// Cycle cost of moving one tenant's vector-register context
+    /// (`num_chains` × 32 lanes × 32 registers × 4 bytes) in one
+    /// direction between the CSB and memory — the cost model a scheduler
+    /// charges per context save or restore. Purely a timing query: no
+    /// traffic is recorded, because context images spill to a reserved
+    /// region rather than the job's own working set.
+    pub fn context_transfer_cycles(&self, hbm: &Hbm, num_chains: usize) -> u64 {
+        let bytes = (num_chains as u64) * 32 * 32 * 4;
+        let hbm_cycles = hbm.transfer_cycles(bytes, self.freq_ghz);
+        // Same overlap rule as a vector load: HBM streaming vs the CSB's
+        // one-cycle-per-packet intake.
+        hbm_cycles.max(hbm.packets(bytes))
+    }
+
     /// `vlrw.v` — replica vector load: fetch `chunk_len` contiguous
     /// values starting at `addr` **once**, then tile them across the
     /// active window. Memory traffic is one chunk regardless of `vl`.
@@ -208,6 +222,18 @@ mod tests {
         assert_eq!(t.packets, 1); // 512 bytes exactly
         assert!(t.cycles >= t.packets);
         assert_eq!(hbm.bytes_read(), 512);
+    }
+
+    #[test]
+    fn context_transfer_scales_with_chain_count_and_records_no_traffic() {
+        let (_, _, hbm, vmu) = setup();
+        let small = vmu.context_transfer_cycles(&hbm, 4);
+        let large = vmu.context_transfer_cycles(&hbm, 1024);
+        assert!(small > 0);
+        assert!(large > small);
+        // At least one cycle per 512 B packet: 1024 chains = 4 MiB.
+        assert!(large >= hbm.packets(1024 * 32 * 32 * 4));
+        assert_eq!(hbm.bytes_read() + hbm.bytes_written(), 0);
     }
 
     #[test]
