@@ -6,6 +6,12 @@
 //! bench measures whole `vadd.vv` executions through both sequencer paths
 //! at 1k/2k/4k chains, plus the bulk transposed vector I/O against the
 //! per-element path it replaced.
+//!
+//! The PR 4 tentpole adds the `block_kernel` group: whole instructions
+//! through the block-SoA kernels (16 chains per block, auto-vectorized
+//! contiguous-slice loops) for the three shapes the results file tracks —
+//! `vadd.vv` (bit-serial adder), `vmslt.vv` (compare/flag walk) and
+//! `vredsum.vs` (reduction-tree popcounts) — at 1k and 4k chains.
 
 use cape_csb::{Csb, CsbGeometry};
 use cape_ucode::{CompiledOp, Sequencer, VectorOp};
@@ -16,6 +22,15 @@ const VADD: VectorOp = VectorOp::Add {
     vs1: 1,
     vs2: 2,
 };
+
+const VMSLT: VectorOp = VectorOp::Mslt {
+    vd: 3,
+    vs1: 1,
+    vs2: 2,
+    signed: true,
+};
+
+const VREDSUM: VectorOp = VectorOp::RedSum { vd: 3, vs: 1 };
 
 fn csb(chains: usize) -> Csb {
     let mut csb = Csb::new(CsbGeometry::new(chains));
@@ -89,10 +104,29 @@ fn bench_vector_io(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_block_kernels(c: &mut Criterion) {
+    // Whole instructions through the block-SoA kernel path (the program
+    // path now runs 16-chain blocks per microop). Recorded per PR in
+    // results/bench_pr4.json as host ns for vadd/vmslt/redsum.
+    let mut g = c.benchmark_group("block_kernel");
+    g.sample_size(10);
+    for chains in [1024usize, 4096] {
+        for (name, op) in [("vadd", VADD), ("vmslt", VMSLT), ("redsum", VREDSUM)] {
+            let compiled = CompiledOp::compile(&op, 32);
+            let mut m = csb(chains);
+            g.bench_with_input(BenchmarkId::new(name, chains), &chains, |b, _| {
+                b.iter(|| Sequencer::new(&mut m).run_program(&compiled))
+            });
+        }
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_vadd_paths,
     bench_masked_window,
-    bench_vector_io
+    bench_vector_io,
+    bench_block_kernels
 );
 criterion_main!(benches);

@@ -3,11 +3,10 @@
 use crate::bitmat::transpose32;
 use crate::geometry::{SUBARRAYS_PER_CHAIN, SUBARRAY_COLS};
 use crate::microop::{ColSel, MicroOp, Probe, TagDest, TagMode, WriteSpec};
-use crate::program::{PlanOp, PlanProbe, PlanWrite};
 use crate::subarray::{Subarray, DATA_ROWS, TOTAL_ROWS};
 
 /// Number of metadata rows per subarray (carry, flag, two scratch rows).
-const META_ROWS: usize = TOTAL_ROWS - DATA_ROWS;
+pub(crate) const META_ROWS: usize = TOTAL_ROWS - DATA_ROWS;
 
 /// Full state of one chain, captured at a microprogram sync point:
 /// the 32 vector registers in lane-major element form (moved through the
@@ -21,11 +20,11 @@ const META_ROWS: usize = TOTAL_ROWS - DATA_ROWS;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ChainState {
     /// `regs[r][col]` is the element of vector register `r` at lane `col`.
-    regs: Box<[[u32; SUBARRAY_COLS]; DATA_ROWS]>,
+    pub(crate) regs: Box<[[u32; SUBARRAY_COLS]; DATA_ROWS]>,
     /// `meta[s][m]` is metadata row `DATA_ROWS + m` of subarray `s`.
-    meta: Box<[[u32; META_ROWS]; SUBARRAYS_PER_CHAIN]>,
-    tags: [u32; SUBARRAYS_PER_CHAIN],
-    acc: [u32; SUBARRAYS_PER_CHAIN],
+    pub(crate) meta: Box<[[u32; META_ROWS]; SUBARRAYS_PER_CHAIN]>,
+    pub(crate) tags: [u32; SUBARRAYS_PER_CHAIN],
+    pub(crate) acc: [u32; SUBARRAYS_PER_CHAIN],
 }
 
 impl ChainState {
@@ -225,117 +224,6 @@ impl Chain {
         }
     }
 
-    /// Executes one *lowered* microop (see [`crate::program::lower`]).
-    ///
-    /// Semantically identical to [`Chain::execute`] on the op it was
-    /// lowered from, but with the structural validation already done at
-    /// compile time and the probe keys in branchless inline form — this is
-    /// the broadcast hot path, called once per chain per op per program.
-    pub(crate) fn execute_plan(&mut self, op: &PlanOp, window: u32) -> Option<u32> {
-        match op {
-            PlanOp::SearchOne { probe, dest, mode } => {
-                let m = self.probe_match(probe) & window;
-                self.accumulate(probe.subarray as usize, m, *dest, *mode, window);
-                None
-            }
-            PlanOp::Step {
-                probe,
-                dest,
-                mode,
-                nwrites,
-                writes,
-            } => {
-                let m = self.probe_match(probe) & window;
-                self.accumulate(probe.subarray as usize, m, *dest, *mode, window);
-                self.plan_write(&writes[0], window);
-                if *nwrites == 2 {
-                    self.plan_write(&writes[1], window);
-                }
-                None
-            }
-            PlanOp::Search {
-                probes,
-                gates,
-                dest,
-                mode,
-            } => {
-                let mut gate_match = u32::MAX;
-                for g in gates.iter() {
-                    gate_match &= self.probe_match(g);
-                }
-                for p in probes.iter() {
-                    let m = self.probe_match(p) & gate_match & window;
-                    self.accumulate(p.subarray as usize, m, *dest, *mode, window);
-                }
-                None
-            }
-            PlanOp::UpdateOne { write } => {
-                self.plan_write(write, window);
-                None
-            }
-            PlanOp::UpdateTwo { writes } => {
-                self.plan_write(&writes[0], window);
-                self.plan_write(&writes[1], window);
-                None
-            }
-            PlanOp::Update { writes } => {
-                for w in writes.iter() {
-                    self.plan_write(w, window);
-                }
-                None
-            }
-            PlanOp::Read { subarray, row } => {
-                Some(self.subarrays[*subarray as usize].row(*row as usize))
-            }
-            PlanOp::Write {
-                subarray,
-                row,
-                data,
-                mask,
-            } => {
-                self.subarrays[*subarray as usize].write_row(*row as usize, *data, *mask & window);
-                None
-            }
-            PlanOp::ReduceTags { subarray } => {
-                Some((self.tags[*subarray as usize] & window).count_ones())
-            }
-            PlanOp::TagCombine { src, dst, op } => {
-                let m = self.tags[*src as usize];
-                let dst = *dst as usize;
-                self.tags[dst] = match op {
-                    TagMode::Set => m,
-                    TagMode::And => self.tags[dst] & (m | !window),
-                    TagMode::Or => self.tags[dst] | (m & window),
-                };
-                None
-            }
-        }
-    }
-
-    /// Branchless lowered search: ANDs `row ^ inv` over the probe's inline
-    /// key list (`inv = 0` matches ones, `!0` matches zeros).
-    #[inline]
-    fn probe_match(&self, p: &PlanProbe) -> u32 {
-        let sub = &self.subarrays[p.subarray as usize];
-        let mut m = u32::MAX;
-        for k in 0..p.nkeys as usize {
-            m &= sub.row(p.rows[k] as usize) ^ p.inv[k];
-        }
-        m
-    }
-
-    /// One lowered row write: `sel` picks the column source (window, tags
-    /// or accumulator of `src`).
-    #[inline]
-    fn plan_write(&mut self, w: &PlanWrite, window: u32) {
-        let cols = match w.sel {
-            0 => window,
-            1 => self.tags[w.src as usize] & window,
-            _ => self.acc[w.src as usize] & window,
-        };
-        self.subarrays[w.subarray as usize].update_row(w.row as usize, w.value, cols);
-    }
-
     fn accumulate(&mut self, subarray: usize, m: u32, dest: TagDest, mode: TagMode, window: u32) {
         let reg = match dest {
             TagDest::Tags => &mut self.tags[subarray],
@@ -348,11 +236,15 @@ impl Chain {
         };
     }
 
+    /// Structural validation of the one-row-per-subarray update rule. The
+    /// broadcast path validates once per program at plan lowering
+    /// ([`crate::program::lower`]); this debug-only re-check guards the
+    /// reference model's direct-execute path without taxing release runs.
     fn check_one_row_per_subarray(&self, writes: &[WriteSpec]) {
         let mut seen = 0u32;
         for w in writes {
             let bit = 1u32 << w.subarray;
-            assert!(
+            debug_assert!(
                 seen & bit == 0,
                 "update writes two rows of subarray {}",
                 w.subarray

@@ -3,6 +3,7 @@
 use std::slice;
 use std::sync::Arc;
 
+use crate::block::BLOCK_LANES;
 use crate::chain::{Chain, ChainState};
 use crate::geometry::{CsbGeometry, ElementLocation, SUBARRAY_COLS};
 use crate::microop::MicroOp;
@@ -42,7 +43,7 @@ impl CsbSnapshot {
 /// worker pool; below this, channel transfers cost more than the work.
 const POOL_MIN_ACTIVE: usize = 512;
 
-/// The Compute-Storage Block: an array of [`Chain`]s executing broadcast
+/// The Compute-Storage Block: an array of chains executing broadcast
 /// [`MicroOp`]s in lockstep, plus the global reduction tree.
 ///
 /// The CSB also owns the *active window* (`vstart..vl`) that implements
@@ -52,16 +53,20 @@ const POOL_MIN_ACTIVE: usize = 512;
 /// (Section V-F).
 ///
 /// Chains are partitioned once, at construction, into contiguous *shards*
-/// — one per worker thread. A broadcast of a whole [`MicroProgram`]
-/// ([`Csb::execute_program`]) moves each shard to a persistent worker,
-/// runs every microop chain-locally, and joins exactly once to harvest
-/// per-shard reduction sums; single microops ([`Csb::execute`]) take the
-/// same path with a one-op program.
+/// — one per worker thread — and packed inside each shard into
+/// structure-of-arrays blocks of [`BLOCK_LANES`] chains (see the `block`
+/// module), so every microop runs as a vectorized sweep over a block. A
+/// broadcast of a whole [`MicroProgram`] ([`Csb::execute_program`]) moves
+/// each shard to a persistent worker, runs every microop chain-locally,
+/// and joins exactly once to harvest per-shard reduction sums; single
+/// microops ([`Csb::execute`]) take the same path with a one-op program.
 #[derive(Debug, Clone)]
 pub struct Csb {
     geometry: CsbGeometry,
     shards: Vec<Shard>,
-    /// Chains per shard (the last shard may be shorter).
+    /// Chains per shard (the last shard may be shorter). Always a
+    /// multiple of [`BLOCK_LANES`] so a chain index maps to a
+    /// (shard, block, lane) triple without crossing shard boundaries.
     shard_size: usize,
     /// Chains whose window mask is non-zero (fully-masked chains are
     /// power-gated and skipped, Section V-F).
@@ -85,7 +90,9 @@ impl Csb {
             .map(|p| p.get())
             .unwrap_or(1)
             .min(16);
-        let shard_size = n.div_ceil(threads.min(n).max(1));
+        let shard_size = n
+            .div_ceil(threads.min(n).max(1))
+            .next_multiple_of(BLOCK_LANES);
         let shards = (0..n.div_ceil(shard_size))
             .map(|s| Shard::new(shard_size.min(n - s * shard_size)))
             .collect();
@@ -153,13 +160,12 @@ impl Csb {
     fn recompute_windows(&mut self) {
         self.active_count = 0;
         for (s, shard) in self.shards.iter_mut().enumerate() {
-            shard.active.clear();
-            for (j, w) in shard.windows.iter_mut().enumerate() {
-                *w = self
+            for j in 0..shard.len() {
+                let w = self
                     .geometry
                     .window_mask(s * self.shard_size + j, self.vstart, self.vl);
-                if *w != 0 {
-                    shard.active.push(j as u32);
+                shard.set_window(j, w);
+                if w != 0 {
                     self.active_count += 1;
                 }
             }
@@ -182,7 +188,7 @@ impl Csb {
     /// Executes one broadcast microop on every active chain and records it
     /// in the statistics. Returns the summed reduction popcount for
     /// [`MicroOp::ReduceTags`], `None` otherwise (per-chain read data is
-    /// accessible through [`Csb::chain`]).
+    /// accessible through [`Csb::chain_row`]).
     ///
     /// This is the per-microop path; whole instructions go through
     /// [`Csb::execute_program`], which pays the pool fan-out once per
@@ -262,22 +268,63 @@ impl Csb {
         self.stats = MicroOpStats::new();
     }
 
-    /// Immutable access to chain `i`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `i` is out of range.
-    pub fn chain(&self, i: usize) -> &Chain {
-        &self.shards[i / self.shard_size].chains[i % self.shard_size]
+    /// Splits a global chain index into its owning shard and local index.
+    #[inline]
+    fn shard_of(&self, i: usize) -> (usize, usize) {
+        (i / self.shard_size, i % self.shard_size)
     }
 
-    /// Mutable access to chain `i` (bring-up/test hook).
+    /// Materializes chain `i` as a scalar [`Chain`] — the reference-model
+    /// view of one lane of the block-SoA storage. This copies the chain
+    /// state out of its block; use the targeted accessors
+    /// ([`Csb::chain_tags`], [`Csb::chain_row`], …) in loops.
     ///
     /// # Panics
     ///
     /// Panics if `i` is out of range.
-    pub fn chain_mut(&mut self, i: usize) -> &mut Chain {
-        &mut self.shards[i / self.shard_size].chains[i % self.shard_size]
+    pub fn chain(&self, i: usize) -> Chain {
+        let (s, j) = self.shard_of(i);
+        self.shards[s].chain(j)
+    }
+
+    /// Tag bits of subarray `sub` of chain `i` (cheap single-word read).
+    pub fn chain_tags(&self, i: usize, sub: usize) -> u32 {
+        let (s, j) = self.shard_of(i);
+        self.shards[s].tags(j, sub)
+    }
+
+    /// Accumulator bits of subarray `sub` of chain `i`.
+    pub fn chain_acc(&self, i: usize, sub: usize) -> u32 {
+        let (s, j) = self.shard_of(i);
+        self.shards[s].acc(j, sub)
+    }
+
+    /// Row `row` of subarray `sub` of chain `i` (cheap single-word read).
+    pub fn chain_row(&self, i: usize, sub: usize, row: usize) -> u32 {
+        let (s, j) = self.shard_of(i);
+        self.shards[s].row(j, sub, row)
+    }
+
+    /// Overwrites the tag bits of subarray `sub` of chain `i`
+    /// (bring-up/test hook; real programs set tags through searches).
+    pub fn set_chain_tags(&mut self, i: usize, sub: usize, v: u32) {
+        let (s, j) = self.shard_of(i);
+        self.shards[s].set_tags(j, sub, v);
+    }
+
+    /// Overwrites the accumulator bits of subarray `sub` of chain `i`
+    /// (bring-up/test hook).
+    pub fn set_chain_acc(&mut self, i: usize, sub: usize, v: u32) {
+        let (s, j) = self.shard_of(i);
+        self.shards[s].set_acc(j, sub, v);
+    }
+
+    /// Masked write into row `row` of subarray `sub` of chain `i`
+    /// (bring-up/test hook; broadcast programs write rows through
+    /// [`MicroOp::Write`]/[`MicroOp::Update`]).
+    pub fn write_chain_row(&mut self, i: usize, sub: usize, row: usize, data: u32, mask: u32) {
+        let (s, j) = self.shard_of(i);
+        self.shards[s].write_row(j, sub, row, data, mask);
     }
 
     /// Location of vector element `elem`.
@@ -289,13 +336,15 @@ impl Csb {
     /// (functional data-transfer path; the VMU accounts for its timing).
     pub fn write_element(&mut self, reg: usize, elem: usize, value: u32) {
         let loc = self.geometry.locate(elem);
-        self.chain_mut(loc.chain).write_element(reg, loc.col, value);
+        let (s, j) = self.shard_of(loc.chain);
+        self.shards[s].write_element(j, reg, loc.col, value);
     }
 
     /// Reads element `elem` of vector register `reg`.
     pub fn read_element(&self, reg: usize, elem: usize) -> u32 {
         let loc = self.geometry.locate(elem);
-        self.chain(loc.chain).read_element(reg, loc.col)
+        let (s, j) = self.shard_of(loc.chain);
+        self.shards[s].read_element(j, reg, loc.col)
     }
 
     /// Reads the first `len` elements of register `reg` into a vector —
@@ -306,9 +355,8 @@ impl Csb {
 
     /// Reads `len` elements of register `reg` starting at element `start`,
     /// as one bulk transfer: each chain holding in-range elements is read
-    /// with a single 32-row block transpose
-    /// ([`Chain::read_column_block`]) and the values are scattered into
-    /// element order.
+    /// with a single 32-row block transpose and the values are scattered
+    /// into element order.
     ///
     /// # Panics
     ///
@@ -326,7 +374,8 @@ impl Csb {
             if k_lo >= k_hi {
                 continue;
             }
-            let vals = self.chain(c).read_column_block(reg);
+            let (s, j) = self.shard_of(c);
+            let vals = self.shards[s].read_column_block(j, reg);
             for (k, &v) in vals.iter().enumerate().take(k_hi).skip(k_lo) {
                 out[k * n + c - start] = v;
             }
@@ -345,8 +394,8 @@ impl Csb {
 
     /// Writes `values` into register `reg` starting at element `start`, as
     /// one bulk transfer: values are gathered per chain, bit-sliced with a
-    /// single 32×32 transpose ([`Chain::write_column_block`]) and written
-    /// as masked row words, leaving elements outside the range untouched.
+    /// single 32×32 transpose and written as masked row words, leaving
+    /// elements outside the range untouched.
     ///
     /// # Panics
     ///
@@ -368,7 +417,8 @@ impl Csb {
                 *v = values[k * n + c - start];
             }
             let col_mask = Self::col_mask(k_lo, k_hi);
-            self.chain_mut(c).write_column_block(reg, &vals, col_mask);
+            let (s, j) = self.shard_of(c);
+            self.shards[s].write_column_block(j, reg, &vals, col_mask);
         }
     }
 
@@ -393,7 +443,8 @@ impl Csb {
 
     /// Per-chain window mask for chain `i`.
     pub fn window(&self, i: usize) -> u32 {
-        self.shards[i / self.shard_size].windows[i % self.shard_size]
+        let (s, j) = self.shard_of(i);
+        self.shards[s].window(j)
     }
 
     /// True when context save/restore fans out over the worker pool. The
@@ -405,8 +456,9 @@ impl Csb {
 
     /// Captures the full register-file image of every chain — vector
     /// registers through the bulk transposed path, plus metadata rows and
-    /// match registers (see [`ChainState`]). Large CSBs fan the capture
-    /// out over the broadcast worker pool, one task per shard.
+    /// match registers (see [`ChainState`]), unpacked lane by lane from
+    /// the SoA blocks. Large CSBs fan the capture out over the broadcast
+    /// worker pool, one task per shard.
     pub fn save_registers(&mut self) -> CsbSnapshot {
         let n = self.geometry.num_chains();
         let mut chains: Vec<ChainState> = Vec::with_capacity(n);
@@ -415,8 +467,7 @@ impl Csb {
             self.pool.apply(&mut self.shards, |s| {
                 let tx = tx.clone();
                 Box::new(move |shard: &mut Shard| {
-                    let states = shard.chains.iter().map(Chain::save_state).collect();
-                    let _ = tx.send((s, states));
+                    let _ = tx.send((s, shard.save_states()));
                 })
             });
             drop(tx);
@@ -429,7 +480,7 @@ impl Csb {
             }
         } else {
             for shard in &self.shards {
-                chains.extend(shard.chains.iter().map(Chain::save_state));
+                chains.extend(shard.save_states());
             }
         }
         CsbSnapshot {
@@ -438,8 +489,9 @@ impl Csb {
     }
 
     /// Restores every chain to a previously captured image — the inverse
-    /// of [`Csb::save_registers`]. Restoring [`CsbSnapshot::zeroed`]
-    /// wipes the register file back to fresh-machine state.
+    /// of [`Csb::save_registers`], packing each [`ChainState`] back into
+    /// its block lane. Restoring [`CsbSnapshot::zeroed`] wipes the
+    /// register file back to fresh-machine state.
     ///
     /// # Panics
     ///
@@ -458,17 +510,13 @@ impl Csb {
                 let states = Arc::clone(&states);
                 Box::new(move |shard: &mut Shard| {
                     let base = s * shard_size;
-                    for (j, chain) in shard.chains.iter_mut().enumerate() {
-                        chain.load_state(&states[base + j]);
-                    }
+                    shard.load_states(&states[base..base + shard.len()]);
                 })
             });
         } else {
             for (s, shard) in self.shards.iter_mut().enumerate() {
                 let base = s * self.shard_size;
-                for (j, chain) in shard.chains.iter_mut().enumerate() {
-                    chain.load_state(&snapshot.chains[base + j]);
-                }
+                shard.load_states(&snapshot.chains[base..base + shard.len()]);
             }
         }
     }
@@ -585,6 +633,31 @@ mod tests {
     }
 
     #[test]
+    fn window_rewrites_take_effect_between_broadcasts() {
+        // Regression test for active-list staleness: masking chains to
+        // zero *between* ops must be honored by the very next broadcast.
+        let mut csb = small();
+        csb.write_vector(1, &[1u32; 128]);
+        csb.set_active_window(0, 128);
+        csb.execute(&search1(0, 0, true));
+        let before: Vec<Chain> = (0..4).map(|c| csb.chain(c)).collect();
+
+        // Shrink the window so chains 2 and 3 are fully gated, then run
+        // an op that would visibly mutate them (unconditional row set).
+        csb.set_active_window(0, 2);
+        csb.execute(&MicroOp::Write {
+            subarray: 0,
+            row: 9,
+            data: u32::MAX,
+            mask: u32::MAX,
+        });
+        for (c, want) in before.iter().enumerate().skip(2) {
+            assert_eq!(&csb.chain(c), want, "gated chain {c} must not change");
+        }
+        assert_ne!(csb.chain_row(0, 0, 9), 0, "active chain must be written");
+    }
+
+    #[test]
     fn stats_classify_ops() {
         let mut csb = small();
         csb.execute(&search1(0, 0, true));
@@ -690,39 +763,30 @@ mod tests {
         let mut csb = small();
         let data: Vec<u32> = (0..128u32).map(|i| i.wrapping_mul(0x9E37_79B9)).collect();
         csb.write_vector(5, &data);
-        csb.chain_mut(1).set_tags(3, 0xF0F0_0F0F);
-        csb.chain_mut(2).set_acc(7, 0x1234_5678);
-        csb.chain_mut(0).subarray_mut(4).write_row(
-            crate::subarray::ROW_CARRY,
-            0xAAAA_5555,
-            u32::MAX,
-        );
+        csb.set_chain_tags(1, 3, 0xF0F0_0F0F);
+        csb.set_chain_acc(2, 7, 0x1234_5678);
+        csb.write_chain_row(0, 4, crate::subarray::ROW_CARRY, 0xAAAA_5555, u32::MAX);
 
         let snap = csb.save_registers();
 
         // Trash everything, then restore.
         csb.write_vector(5, &vec![0xDEAD_BEEF; 128]);
-        csb.chain_mut(1).set_tags(3, 0);
-        csb.chain_mut(2).set_acc(7, 0);
-        csb.chain_mut(0)
-            .subarray_mut(4)
-            .write_row(crate::subarray::ROW_CARRY, 0, u32::MAX);
+        csb.set_chain_tags(1, 3, 0);
+        csb.set_chain_acc(2, 7, 0);
+        csb.write_chain_row(0, 4, crate::subarray::ROW_CARRY, 0, u32::MAX);
         csb.restore_registers(&snap);
 
         assert_eq!(csb.read_vector(5, 128), data);
-        assert_eq!(csb.chain(1).tags(3), 0xF0F0_0F0F);
-        assert_eq!(csb.chain(2).acc(7), 0x1234_5678);
-        assert_eq!(
-            csb.chain(0).subarray(4).row(crate::subarray::ROW_CARRY),
-            0xAAAA_5555
-        );
+        assert_eq!(csb.chain_tags(1, 3), 0xF0F0_0F0F);
+        assert_eq!(csb.chain_acc(2, 7), 0x1234_5678);
+        assert_eq!(csb.chain_row(0, 4, crate::subarray::ROW_CARRY), 0xAAAA_5555);
     }
 
     #[test]
     fn zeroed_snapshot_wipes_back_to_fresh_state() {
         let mut csb = small();
         csb.write_vector(9, &[7; 128]);
-        csb.chain_mut(0).set_tags(0, u32::MAX);
+        csb.set_chain_tags(0, 0, u32::MAX);
         csb.restore_registers(&CsbSnapshot::zeroed(csb.geometry()));
         let fresh = small();
         for c in 0..4 {
@@ -736,15 +800,15 @@ mod tests {
         let mut csb = Csb::new(CsbGeometry::new(1024));
         let data: Vec<u32> = (0..4096).map(|e| e as u32 ^ 0x5A5A).collect();
         csb.write_vector(2, &data);
-        csb.chain_mut(777).set_tags(11, 0xCAFE_F00D);
+        csb.set_chain_tags(777, 11, 0xCAFE_F00D);
 
         let snap = csb.save_registers();
         csb.write_vector(2, &vec![0; 4096]);
-        csb.chain_mut(777).set_tags(11, 0);
+        csb.set_chain_tags(777, 11, 0);
         csb.restore_registers(&snap);
 
         assert_eq!(csb.read_vector(2, 4096), data);
-        assert_eq!(csb.chain(777).tags(11), 0xCAFE_F00D);
+        assert_eq!(csb.chain_tags(777, 11), 0xCAFE_F00D);
         // A second capture of the restored state is identical.
         assert_eq!(csb.save_registers(), snap);
     }

@@ -41,6 +41,7 @@
 #![warn(missing_docs)]
 
 mod bitmat;
+mod block;
 mod chain;
 mod csb;
 mod geometry;
@@ -52,6 +53,7 @@ mod stats;
 mod subarray;
 
 pub use bitmat::transpose32;
+pub use block::BLOCK_LANES;
 pub use chain::{Chain, ChainState};
 pub use csb::{Csb, CsbSnapshot};
 pub use geometry::{CsbGeometry, ElementLocation, SUBARRAYS_PER_CHAIN, SUBARRAY_COLS};

@@ -1,4 +1,4 @@
-//! Persistent broadcast worker pool and chain shards.
+//! Persistent broadcast worker pool and block-SoA chain shards.
 //!
 //! The CSB's chains are partitioned once, at construction, into
 //! [`Shard`]s — contiguous runs of chains that are *owned* (not borrowed)
@@ -9,60 +9,140 @@
 //! outlive any single call without scoped threads or `unsafe`: sending a
 //! `Shard` is a pointer-width move, and the `Csb` gets its chains back at
 //! the join.
+//!
+//! Within a shard, chains are packed [`BLOCK_LANES`] at a time into
+//! [`ChainBlock`]s (structure-of-arrays, see the `block` module), so the
+//! broadcast hot loop runs each lowered microop over a whole block of
+//! chains with auto-vectorizable contiguous-slice kernels.
 
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-use crate::chain::Chain;
+use crate::block::{ChainBlock, Lanes, BLOCK_LANES};
+use crate::chain::{Chain, ChainState};
+use crate::geometry::SUBARRAY_COLS;
 use crate::program::PlanOp;
 
-/// A contiguous run of chains plus their window masks, active list, and a
-/// reusable partial-sum scratch buffer.
+/// A contiguous run of chains (packed into [`ChainBlock`]s) plus their
+/// window masks, the block-level active list, and a reusable partial-sum
+/// scratch buffer.
 ///
-/// `active` holds *local* indices of chains whose window mask is non-zero;
-/// fully-masked chains are power-gated and skipped (Section V-F). `sums`
-/// accumulates one window-masked popcount partial sum per
+/// `windows[b][l]` is the active-column mask of lane `l` of block `b`;
+/// padding lanes of a trailing partial block keep a permanent 0 mask.
+/// `active_blocks` holds indices of blocks with at least one non-gated
+/// lane; fully-masked blocks are power-gated and skipped (Section V-F),
+/// and kernels blend per lane so gated lanes inside a live block are
+/// never mutated either. The list is rebuilt lazily — any window rewrite
+/// marks it dirty and [`Shard::run`] refreshes it before broadcasting —
+/// so it can never go stale when masks change between programs.
+///
+/// `sums` accumulates one window-masked popcount partial sum per
 /// [`PlanOp::ReduceTags`] in the program, in program order, and is
 /// cleared and refilled in place on every run — no per-microop
 /// allocation.
 #[derive(Debug, Clone, Default)]
 pub(crate) struct Shard {
-    pub chains: Vec<Chain>,
-    pub windows: Vec<u32>,
-    pub active: Vec<u32>,
+    blocks: Vec<ChainBlock>,
+    windows: Vec<Lanes>,
+    active_blocks: Vec<u32>,
+    active_dirty: bool,
+    nchains: usize,
     pub sums: Vec<u64>,
+}
+
+/// Splits a local chain index into its (block, lane) coordinates.
+#[inline]
+fn split(local: usize) -> (usize, usize) {
+    (local / BLOCK_LANES, local % BLOCK_LANES)
 }
 
 impl Shard {
     /// A zero-initialized shard of `len` chains with fully-open windows.
+    /// The trailing block's padding lanes (when `len` is not a multiple of
+    /// [`BLOCK_LANES`]) get a permanent zero window.
     pub fn new(len: usize) -> Self {
+        let nblocks = len.div_ceil(BLOCK_LANES);
+        let mut windows = vec![[0u32; BLOCK_LANES]; nblocks];
+        for local in 0..len {
+            let (b, l) = split(local);
+            windows[b][l] = u32::MAX;
+        }
         Self {
-            chains: vec![Chain::new(); len],
-            windows: vec![u32::MAX; len],
-            active: (0..len as u32).collect(),
+            blocks: vec![ChainBlock::new(); nblocks],
+            windows,
+            active_blocks: (0..nblocks as u32).collect(),
+            active_dirty: false,
+            nchains: len,
             sums: Vec::new(),
         }
     }
 
+    /// Number of chains in this shard (excluding block padding lanes).
+    pub fn len(&self) -> usize {
+        self.nchains
+    }
+
+    /// The window mask of local chain `local`.
+    pub fn window(&self, local: usize) -> u32 {
+        let (b, l) = split(local);
+        self.windows[b][l]
+    }
+
+    /// Rewrites the window mask of local chain `local`, marking the
+    /// block-level active list for a rebuild before the next broadcast.
+    pub fn set_window(&mut self, local: usize, mask: u32) {
+        debug_assert!(local < self.nchains, "chain {local} out of shard");
+        let (b, l) = split(local);
+        if self.windows[b][l] != mask {
+            self.windows[b][l] = mask;
+            self.active_dirty = true;
+        }
+    }
+
+    /// Rebuilds `active_blocks` from the current window masks if any mask
+    /// changed since the last rebuild.
+    fn refresh_active(&mut self) {
+        if !self.active_dirty {
+            return;
+        }
+        self.active_blocks.clear();
+        for (b, win) in self.windows.iter().enumerate() {
+            if win.iter().any(|&w| w != 0) {
+                self.active_blocks.push(b as u32);
+            }
+        }
+        self.active_dirty = false;
+    }
+
+    /// Number of blocks the next broadcast will visit (test/bring-up
+    /// observability for the lazy active-list rebuild).
+    #[cfg(test)]
+    pub fn active_block_count(&mut self) -> usize {
+        self.refresh_active();
+        self.active_blocks.len()
+    }
+
     /// Runs a whole lowered microop program over this shard's active
-    /// chains, leaving one partial sum per `ReduceTags` op in `self.sums`.
+    /// blocks, leaving one partial sum per `ReduceTags` op in `self.sums`.
     ///
     /// Every microop except `ReduceTags` is chain-local, so the only
     /// cross-chain synchronization a program needs is the harvest of
     /// `sums` after this returns — one join per program, not per microop.
     ///
-    /// Iteration is chain-outer, op-inner: each chain runs the *whole*
-    /// program while its few-KB state is cache-resident, instead of the
-    /// per-microop path's full sweep of the chain array for every op.
+    /// Iteration is block-outer, op-inner: each block runs the *whole*
+    /// program while its state is cache-resident, and each op runs as one
+    /// vectorized sweep over the block's [`BLOCK_LANES`] chains.
     /// Reduction order across chains changes, but the partial sums are
     /// plain additions, so the totals are identical.
     pub fn run(&mut self, ops: &[PlanOp]) {
+        self.refresh_active();
         let Shard {
-            chains,
+            blocks,
             windows,
-            active,
+            active_blocks,
             sums,
+            ..
         } = self;
         sums.clear();
         sums.resize(
@@ -71,20 +151,125 @@ impl Shard {
                 .count(),
             0,
         );
-        for &i in active.iter() {
-            let chain = &mut chains[i as usize];
-            let window = windows[i as usize];
+        for &b in active_blocks.iter() {
+            let block = &mut blocks[b as usize];
+            let win = &windows[b as usize];
             let mut k = 0;
             for op in ops {
                 if matches!(op, PlanOp::ReduceTags { .. }) {
-                    if let Some(r) = chain.execute_plan(op, window) {
-                        sums[k] += u64::from(r);
+                    if let Some(r) = block.execute_plan(op, win) {
+                        sums[k] += r;
                     }
                     k += 1;
                 } else {
-                    chain.execute_plan(op, window);
+                    block.execute_plan(op, win);
                 }
             }
+        }
+    }
+
+    // ---- per-chain access, delegating into the owning block's lane ----
+
+    /// Materializes local chain `local` as a scalar [`Chain`]
+    /// (reference-model view; test/bring-up hook, not a hot path).
+    pub fn chain(&self, local: usize) -> Chain {
+        let (b, l) = split(local);
+        self.blocks[b].to_chain(l)
+    }
+
+    /// Tag bits of subarray `s` of local chain `local`.
+    pub fn tags(&self, local: usize, s: usize) -> u32 {
+        let (b, l) = split(local);
+        self.blocks[b].tags(l, s)
+    }
+
+    /// Overwrites the tag bits of subarray `s` of local chain `local`.
+    pub fn set_tags(&mut self, local: usize, s: usize, v: u32) {
+        let (b, l) = split(local);
+        self.blocks[b].set_tags(l, s, v);
+    }
+
+    /// Accumulator bits of subarray `s` of local chain `local`.
+    pub fn acc(&self, local: usize, s: usize) -> u32 {
+        let (b, l) = split(local);
+        self.blocks[b].acc(l, s)
+    }
+
+    /// Overwrites the accumulator bits of subarray `s` of local chain
+    /// `local`.
+    pub fn set_acc(&mut self, local: usize, s: usize, v: u32) {
+        let (b, l) = split(local);
+        self.blocks[b].set_acc(l, s, v);
+    }
+
+    /// Row `r` of subarray `s` of local chain `local`.
+    pub fn row(&self, local: usize, s: usize, r: usize) -> u32 {
+        let (b, l) = split(local);
+        self.blocks[b].row(l, s, r)
+    }
+
+    /// Masked write into row `r` of subarray `s` of local chain `local`.
+    pub fn write_row(&mut self, local: usize, s: usize, r: usize, data: u32, mask: u32) {
+        let (b, l) = split(local);
+        self.blocks[b].write_row(l, s, r, data, mask);
+    }
+
+    /// Deposits one element into register `reg`, column `col` of local
+    /// chain `local`.
+    pub fn write_element(&mut self, local: usize, reg: usize, col: usize, value: u32) {
+        let (b, l) = split(local);
+        self.blocks[b].write_element(l, reg, col, value);
+    }
+
+    /// Reads one element of register `reg`, column `col` of local chain
+    /// `local`.
+    pub fn read_element(&self, local: usize, reg: usize, col: usize) -> u32 {
+        let (b, l) = split(local);
+        self.blocks[b].read_element(l, reg, col)
+    }
+
+    /// Bulk-reads register `reg` of local chain `local` across all 32
+    /// columns (one 32×32 transpose).
+    pub fn read_column_block(&self, local: usize, reg: usize) -> [u32; SUBARRAY_COLS] {
+        let (b, l) = split(local);
+        self.blocks[b].read_column_block(l, reg)
+    }
+
+    /// Bulk-writes register `reg` of local chain `local` at the columns
+    /// selected by `col_mask` (one 32×32 transpose).
+    pub fn write_column_block(
+        &mut self,
+        local: usize,
+        reg: usize,
+        values: &[u32; SUBARRAY_COLS],
+        col_mask: u32,
+    ) {
+        let (b, l) = split(local);
+        self.blocks[b].write_column_block(l, reg, values, col_mask);
+    }
+
+    /// Packs every chain of the shard into [`ChainState`]s, in local chain
+    /// order — the context-save fan-out unit.
+    pub fn save_states(&self) -> Vec<ChainState> {
+        (0..self.nchains)
+            .map(|local| {
+                let (b, l) = split(local);
+                self.blocks[b].save_state(l)
+            })
+            .collect()
+    }
+
+    /// Unpacks one [`ChainState`] per chain, in local chain order — the
+    /// inverse of [`Shard::save_states`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `states` does not hold exactly one state per chain.
+    pub fn load_states(&mut self, states: &[ChainState]) {
+        assert_eq!(states.len(), self.nchains, "snapshot/shard length mismatch");
+        for (local, state) in states.iter().enumerate() {
+            let (b, l) = split(local);
+            self.blocks[b].load_state(l, state);
         }
     }
 }
@@ -237,9 +422,9 @@ mod tests {
 
     fn sample_shard(len: usize) -> Shard {
         let mut s = Shard::new(len);
-        for (c, chain) in s.chains.iter_mut().enumerate() {
+        for c in 0..len {
             for col in 0..Chain::LANES {
-                chain.write_element(1, col, (c * 37 + col) as u32);
+                s.write_element(c, 1, col, (c * 37 + col) as u32);
             }
         }
         s
@@ -267,38 +452,93 @@ mod tests {
         sample_ops().iter().map(lower).collect()
     }
 
-    #[test]
-    fn shard_run_matches_direct_chain_execution() {
-        let ops = sample_ops();
-        let mut shard = sample_shard(3);
-        let mut reference = shard.clone();
-
-        shard.run(&sample_plan());
-
-        let mut want_sums = Vec::new();
-        for op in &ops {
+    /// Runs the original microops over materialized scalar chains — the
+    /// reference the block-backed shard must match bit for bit.
+    fn reference_run(shard: &Shard, ops: &[MicroOp]) -> (Vec<Chain>, Vec<u64>) {
+        let mut chains: Vec<Chain> = (0..shard.len()).map(|c| shard.chain(c)).collect();
+        let mut sums = Vec::new();
+        for op in ops {
             let mut sum = 0u64;
-            for (chain, &w) in reference.chains.iter_mut().zip(&reference.windows) {
+            for (c, chain) in chains.iter_mut().enumerate() {
+                let w = shard.window(c);
+                if w == 0 {
+                    continue; // power-gated
+                }
                 if let Some(r) = chain.execute(op, w) {
                     sum += u64::from(r);
                 }
             }
             if matches!(op, MicroOp::ReduceTags { .. }) {
-                want_sums.push(sum);
+                sums.push(sum);
             }
         }
+        (chains, sums)
+    }
+
+    #[test]
+    fn shard_run_matches_direct_chain_execution() {
+        // 19 chains: one full block plus a padded partial block.
+        let mut shard = sample_shard(19);
+        let (want_chains, want_sums) = reference_run(&shard, &sample_ops());
+
+        shard.run(&sample_plan());
+
         assert_eq!(shard.sums, want_sums);
-        assert_eq!(shard.chains, reference.chains);
+        for (c, want) in want_chains.iter().enumerate() {
+            assert_eq!(&shard.chain(c), want, "chain {c}");
+        }
     }
 
     #[test]
     fn shard_run_skips_inactive_chains() {
         let mut shard = sample_shard(4);
-        shard.windows[2] = 0;
-        shard.active = vec![0, 1, 3];
-        let before = shard.chains[2].clone();
+        shard.set_window(2, 0);
+        let before = shard.chain(2);
         shard.run(&sample_plan());
-        assert_eq!(shard.chains[2], before, "power-gated chain must not change");
+        assert_eq!(shard.chain(2), before, "power-gated chain must not change");
+    }
+
+    #[test]
+    fn window_rewrites_refresh_the_active_list_between_runs() {
+        // Two full blocks; regression test for the stale-active-list bug:
+        // masking chains to zero *after* setup must be honored by the next
+        // broadcast, and re-opening them must bring their block back.
+        let mut shard = sample_shard(2 * BLOCK_LANES);
+        assert_eq!(shard.active_block_count(), 2);
+
+        // Gate every chain of block 1.
+        for c in BLOCK_LANES..2 * BLOCK_LANES {
+            shard.set_window(c, 0);
+        }
+        let before: Vec<Chain> = (BLOCK_LANES..2 * BLOCK_LANES)
+            .map(|c| shard.chain(c))
+            .collect();
+        shard.run(&sample_plan());
+        assert_eq!(shard.active_block_count(), 1, "gated block must drop out");
+        for (i, want) in before.iter().enumerate() {
+            let c = BLOCK_LANES + i;
+            assert_eq!(&shard.chain(c), want, "gated chain {c} must not change");
+        }
+
+        // Re-open one chain of block 1: the block rejoins the broadcast.
+        shard.set_window(BLOCK_LANES, u32::MAX);
+        assert_eq!(shard.active_block_count(), 2);
+        let (want_chains, _) = reference_run(&shard, &sample_ops());
+        shard.run(&sample_plan());
+        assert_eq!(shard.chain(BLOCK_LANES), want_chains[BLOCK_LANES]);
+    }
+
+    #[test]
+    fn save_states_round_trips_through_blocks() {
+        let shard = sample_shard(BLOCK_LANES + 3);
+        let states = shard.save_states();
+        assert_eq!(states.len(), shard.len());
+        let mut fresh = Shard::new(shard.len());
+        fresh.load_states(&states);
+        for c in 0..shard.len() {
+            assert_eq!(fresh.chain(c), shard.chain(c), "chain {c}");
+        }
+        assert_eq!(fresh.save_states(), states);
     }
 
     #[test]
@@ -317,8 +557,10 @@ mod tests {
             s.run(&ops);
         }
         for (p, s) in pooled.iter().zip(&serial) {
-            assert_eq!(p.chains, s.chains);
             assert_eq!(p.sums, s.sums);
+            for c in 0..p.len() {
+                assert_eq!(p.chain(c), s.chain(c));
+            }
         }
     }
 }

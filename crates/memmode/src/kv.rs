@@ -102,7 +102,7 @@ impl KvStore {
         // Priority-encode the final tags (CP-visible result).
         let geometry = self.csb.geometry();
         for chain in 0..geometry.num_chains() {
-            let tags = self.csb.chain(chain).tags(SUBARRAYS_PER_CHAIN - 1);
+            let tags = self.csb.chain_tags(chain, SUBARRAYS_PER_CHAIN - 1);
             if tags != 0 {
                 for col in 0..32 {
                     if tags >> col & 1 == 1 {

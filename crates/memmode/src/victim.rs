@@ -84,7 +84,7 @@ impl VictimCache {
         self.probe_cycles += SUBARRAYS_PER_CHAIN as u64;
         let geometry = self.csb.geometry();
         for chain in 0..geometry.num_chains() {
-            let tags = self.csb.chain(chain).tags(SUBARRAYS_PER_CHAIN - 1);
+            let tags = self.csb.chain_tags(chain, SUBARRAYS_PER_CHAIN - 1);
             for col in 0..32 {
                 if tags >> col & 1 == 1 {
                     let elem = geometry.element_at(cape_csb::ElementLocation { chain, col });

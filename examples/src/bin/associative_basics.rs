@@ -13,7 +13,7 @@ use cape_ucode::{Sequencer, VectorOp};
 fn show_state(csb: &Csb, label: &str, lanes: usize) {
     let values = csb.read_vector(1, lanes);
     let carries: Vec<u8> = (0..4)
-        .map(|i| u8::from(csb.chain(0).subarray(i).row(ROW_CARRY) & 1 == 1))
+        .map(|i| u8::from(csb.chain_row(0, i, ROW_CARRY) & 1 == 1))
         .collect();
     println!("{label:<22} v1 = {values:?}   carry rows (bits 0-3, lane 0) = {carries:?}");
 }
