@@ -28,6 +28,7 @@ fn drain_mix(max_batch: usize) -> cape_engine::EngineReport {
         slice_vectors: 16,
         max_batch,
         machine: CapeConfig::tiny(CHAINS),
+        fault: None,
     });
     for instance in 0..INSTANCES {
         for w in &suite {

@@ -36,6 +36,7 @@ fn main() {
         slice_vectors: 16,
         max_batch: INSTANCES_PER_KERNEL,
         machine: config,
+        fault: None,
     });
     let mut ids = Vec::new();
     for instance in 0..INSTANCES_PER_KERNEL {

@@ -39,6 +39,7 @@ mod report;
 mod roofline;
 mod timing;
 
+pub use cape_csb::{FaultConfig, FaultKind, FaultStats, RemapOutcome, ScrubReport};
 pub use config::CapeConfig;
 pub use machine::{CapeMachine, MachineContext, MachineCounters};
 pub use report::RunReport;

@@ -1,7 +1,9 @@
 //! The integrated CAPE machine.
 
-use cape_cp::{ControlProcessor, Coprocessor, CpError, SliceOutcome, VectorCommit};
-use cape_csb::{Csb, CsbSnapshot, MicroOpStats};
+use cape_cp::{ControlProcessor, Coprocessor, CpError, SliceOutcome, VectorCommit, VectorFault};
+use cape_csb::{
+    Csb, CsbSnapshot, FaultConfig, FaultKind, FaultStats, MicroOpStats, RemapOutcome, ScrubReport,
+};
 use cape_isa::{Instr, Program, Sew, VAluOp};
 use cape_mem::{Hbm, MainMemory};
 use cape_ucode::{LogicOp, VectorOp};
@@ -55,6 +57,9 @@ pub struct MachineCounters {
     pub faults_taken: u64,
     /// CSB microops emitted.
     pub microops: MicroOpStats,
+    /// Hardware fault-injection activity (zero unless the fault layer is
+    /// armed via [`CapeMachine::enable_fault_injection`]).
+    pub fault: FaultStats,
 }
 
 impl MachineCounters {
@@ -70,6 +75,7 @@ impl MachineCounters {
         self.cache_hits += delta.cache_hits;
         self.cache_misses += delta.cache_misses;
         self.faults_taken += delta.faults_taken;
+        self.fault.accumulate(&delta.fault);
         self.microops.searches_bs += delta.microops.searches_bs;
         self.microops.searches_bp += delta.microops.searches_bp;
         self.microops.updates_bs += delta.microops.updates_bs;
@@ -93,6 +99,7 @@ impl MachineCounters {
             cache_hits: self.cache_hits - earlier.cache_hits,
             cache_misses: self.cache_misses - earlier.cache_misses,
             faults_taken: self.faults_taken - earlier.faults_taken,
+            fault: self.fault.since(&earlier.fault),
             microops: MicroOpStats {
                 searches_bs: self.microops.searches_bs - earlier.microops.searches_bs,
                 searches_bp: self.microops.searches_bp - earlier.microops.searches_bp,
@@ -361,8 +368,63 @@ impl CapeMachine {
             cache_hits: self.program_cache.hits(),
             cache_misses: self.program_cache.misses(),
             faults_taken: self.faults_taken,
+            fault: self.csb.fault_stats(),
             microops: self.csb.stats(),
         }
+    }
+
+    /// Arms the CSB hardware fault layer: seeded injection of stuck-at
+    /// bits, transient flips and dead blocks, plus the parity/golden
+    /// detection tiers and spare-block remap machinery. With the layer
+    /// disarmed (the default) the machine pays a single branch per
+    /// vector broadcast.
+    pub fn enable_fault_injection(&mut self, config: FaultConfig) {
+        self.csb.enable_fault_injection(config);
+    }
+
+    /// Whether the hardware fault layer is armed.
+    pub fn fault_injection_enabled(&self) -> bool {
+        self.csb.fault_injection_enabled()
+    }
+
+    /// Cumulative hardware fault-layer counters (zeroes when disarmed).
+    pub fn fault_stats(&self) -> FaultStats {
+        self.csb.fault_stats()
+    }
+
+    /// Blocks flagged faulty and awaiting quarantine-and-remap.
+    pub fn pending_faults(&self) -> usize {
+        self.csb.pending_faults()
+    }
+
+    /// Runs one parity scrub pass over every logical block (`None` when
+    /// the fault layer is disarmed). A scheduler calls this between
+    /// slices so stuck-at faults are caught even on idle blocks.
+    pub fn scrub(&mut self) -> Option<ScrubReport> {
+        self.csb.scrub()
+    }
+
+    /// Quarantines every flagged block and remaps it onto a spare.
+    /// Blocks that fail (spares exhausted) stay pending and the machine
+    /// is degraded — the caller must fail jobs typed, not mask it.
+    pub fn quarantine_and_remap(&mut self) -> RemapOutcome {
+        self.csb.quarantine_and_remap()
+    }
+
+    /// Injects one fault at chain `i` (testing hook; requires the fault
+    /// layer to be armed).
+    pub fn inject_csb_fault(&mut self, chain: usize, kind: FaultKind) {
+        self.csb.inject_fault(chain, kind);
+    }
+
+    /// Spare physical blocks still available across all shards.
+    pub fn spare_blocks_free(&self) -> usize {
+        self.csb.spare_blocks_free()
+    }
+
+    /// Physical blocks quarantined so far.
+    pub fn quarantined_blocks(&self) -> usize {
+        self.csb.quarantined_blocks()
     }
 
     /// Runs `cp` on `program` until it halts or `max_vector` more vector
@@ -371,37 +433,46 @@ impl CapeMachine {
     /// interleaving many jobs attributes activity per slice with
     /// [`CapeMachine::counters`] deltas instead.
     ///
+    /// `slice_fuel` is the watchdog: the maximum instructions this one
+    /// slice may commit before the CP gives up and returns
+    /// [`SliceOutcome::TimedOut`]. A timed-out CP stopped at an
+    /// arbitrary instruction boundary — restore a checkpoint; never
+    /// resume it. Pass `u64::MAX` to disable the watchdog.
+    ///
     /// # Errors
     ///
-    /// Returns [`CpError`] when the program escapes its address range or
-    /// exceeds the configured instruction budget.
+    /// Returns [`CpError`] when the program escapes its address range,
+    /// exceeds the configured instruction budget, or a vector
+    /// instruction is rejected by the microcode sequencer
+    /// ([`CpError::VectorFault`]).
     pub fn run_slice(
         &mut self,
         cp: &mut ControlProcessor,
         program: &Program,
         mem: &mut MainMemory,
         max_vector: u64,
+        slice_fuel: u64,
     ) -> Result<SliceOutcome, CpError> {
         let max = self.config.max_instructions;
         let this: &mut CapeMachine = self;
         let mut driver = MachineCoprocessor { machine: this };
-        cp.run_slice(program, mem, &mut driver, max, max_vector)
+        cp.run_slice(program, mem, &mut driver, max, max_vector, slice_fuel)
     }
 
-    fn run_vcu(&mut self, op: &VectorOp) -> VectorCommit {
-        let r = self.vcu.execute_sew_cached(
-            &mut self.csb,
-            op,
-            self.sew.bits(),
-            &mut self.program_cache,
-        );
+    fn run_vcu(&mut self, op: &VectorOp) -> Result<VectorCommit, VectorFault> {
+        let r = self
+            .vcu
+            .try_execute_sew_cached(&mut self.csb, op, self.sew.bits(), &mut self.program_cache)
+            .map_err(|e| VectorFault::Rejected {
+                detail: e.to_string(),
+            })?;
         self.energy_pj += microop_energy_pj(&r.stats, self.active_chains());
         self.lane_ops += self.active_lanes();
         self.vcu_cycles += r.cycles;
-        VectorCommit {
+        Ok(VectorCommit {
             cycles: r.cycles,
             rd_value: r.scalar,
-        }
+        })
     }
 
     fn dispatch(
@@ -410,8 +481,8 @@ impl CapeMachine {
         rs1: i64,
         rs2: i64,
         mem: &mut MainMemory,
-    ) -> VectorCommit {
-        match *instr {
+    ) -> Result<VectorCommit, VectorFault> {
+        Ok(match *instr {
             Instr::Vsetvli { sew, .. } => {
                 // Grant min(requested, VLMAX), select the element width,
                 // and reset vstart (RVV).
@@ -524,7 +595,7 @@ impl CapeMachine {
                         signed: false,
                     },
                 };
-                self.run_vcu(&vop)
+                self.run_vcu(&vop)?
             }
             Instr::VOpVx { op, vd, lhs, .. } => {
                 let (vd, vs1, rs) = (vd.index(), lhs.index(), rs1 as u32);
@@ -593,7 +664,7 @@ impl CapeMachine {
                         signed: false,
                     },
                 };
-                self.run_vcu(&vop)
+                self.run_vcu(&vop)?
             }
             Instr::VmergeVvm {
                 vd,
@@ -603,7 +674,7 @@ impl CapeMachine {
                 vd: vd.index(),
                 vs1: on_true.index(),
                 vs2: on_false.index(),
-            }),
+            })?,
             Instr::VredsumVs { vd, vs2, vs1 } => {
                 // vd[0] = vs1[0] + sum(vs2): run the tree reduction, then
                 // fold in the scalar seed held in vs1[0].
@@ -611,7 +682,7 @@ impl CapeMachine {
                 let commit = self.run_vcu(&VectorOp::RedSum {
                     vd: vd.index(),
                     vs: vs2.index(),
-                });
+                })?;
                 let sum = commit.rd_value.unwrap_or(0) as u32;
                 let total = sum.wrapping_add(seed);
                 self.csb.write_element(vd.index(), 0, total);
@@ -623,26 +694,26 @@ impl CapeMachine {
             Instr::VmvVx { vd, .. } => self.run_vcu(&VectorOp::Broadcast {
                 vd: vd.index(),
                 rs: rs1 as u32,
-            }),
+            })?,
             Instr::VmvVv { vd, vs } => self.run_vcu(&VectorOp::Mv {
                 vd: vd.index(),
                 vs: vs.index(),
-            }),
+            })?,
             Instr::VrsubVx { vd, lhs, .. } => self.run_vcu(&VectorOp::RsubScalar {
                 vd: vd.index(),
                 vs1: lhs.index(),
                 rs: rs1 as u32,
-            }),
+            })?,
             Instr::VmaccVv { vd, vs1, vs2 } => self.run_vcu(&VectorOp::Macc {
                 vd: vd.index(),
                 vs1: vs1.index(),
                 vs2: vs2.index(),
-            }),
+            })?,
             Instr::VsraVi { vd, vs, imm } => self.run_vcu(&VectorOp::ShiftRightArith {
                 vd: vd.index(),
                 vs: vs.index(),
                 sh: imm,
-            }),
+            })?,
             Instr::VmvXs { vs, .. } => {
                 // A single-element read: one read microop through the
                 // element path, plus command distribution.
@@ -656,21 +727,24 @@ impl CapeMachine {
                     rd_value: Some(i64::from(value)),
                 }
             }
-            Instr::VcpopM { vs, .. } => self.run_vcu(&VectorOp::Cpop { vs: vs.index() }),
-            Instr::VfirstM { vs, .. } => self.run_vcu(&VectorOp::First { vs: vs.index() }),
-            Instr::VidV { vd } => self.run_vcu(&VectorOp::Vid { vd: vd.index() }),
+            Instr::VcpopM { vs, .. } => self.run_vcu(&VectorOp::Cpop { vs: vs.index() })?,
+            Instr::VfirstM { vs, .. } => self.run_vcu(&VectorOp::First { vs: vs.index() })?,
+            Instr::VidV { vd } => self.run_vcu(&VectorOp::Vid { vd: vd.index() })?,
             Instr::VsllVi { vd, vs, imm } => self.run_vcu(&VectorOp::ShiftLeft {
                 vd: vd.index(),
                 vs: vs.index(),
                 sh: imm,
-            }),
+            })?,
             Instr::VsrlVi { vd, vs, imm } => self.run_vcu(&VectorOp::ShiftRight {
                 vd: vd.index(),
                 vs: vs.index(),
                 sh: imm,
-            }),
-            ref other => unreachable!("{other} is not a vector instruction"),
-        }
+            })?,
+            ref other => {
+                debug_assert!(false, "{other} dispatched as vector");
+                return Err(VectorFault::NotVector);
+            }
+        })
     }
 }
 
@@ -687,7 +761,7 @@ impl Coprocessor for MachineCoprocessor<'_> {
         rs1: i64,
         rs2: i64,
         mem: &mut MainMemory,
-    ) -> VectorCommit {
+    ) -> Result<VectorCommit, VectorFault> {
         self.machine.dispatch(instr, rs1, rs2, mem)
     }
 }
@@ -1042,7 +1116,7 @@ halt",
         let mut slices = 0;
         loop {
             m.restore_context(&ctx);
-            let outcome = m.run_slice(&mut cp, &prog, &mut mem, 1).unwrap();
+            let outcome = m.run_slice(&mut cp, &prog, &mut mem, 1, u64::MAX).unwrap();
             ctx = m.save_context();
             slices += 1;
             if outcome == SliceOutcome::Halted {
@@ -1076,7 +1150,7 @@ halt",
         .unwrap();
         let mut cp = m.new_control_processor();
         let before = m.counters();
-        while m.run_slice(&mut cp, &prog, &mut mem, 1).unwrap() != SliceOutcome::Halted {}
+        while m.run_slice(&mut cp, &prog, &mut mem, 1, u64::MAX).unwrap() != SliceOutcome::Halted {}
         let delta = m.counters().since(&before);
         assert_eq!(delta.lane_ops, 4, "one vadd over four lanes");
         assert_eq!(delta.hbm_bytes_read, 16);
@@ -1086,7 +1160,8 @@ halt",
         // A second identical pass is all cache hits.
         let mid = m.counters();
         let mut cp2 = m.new_control_processor();
-        while m.run_slice(&mut cp2, &prog, &mut mem, 1).unwrap() != SliceOutcome::Halted {}
+        while m.run_slice(&mut cp2, &prog, &mut mem, 1, u64::MAX).unwrap() != SliceOutcome::Halted {
+        }
         let delta2 = m.counters().since(&mid);
         assert_eq!(delta2.cache_misses, 0);
         assert_eq!(delta2.cache_hits, 1);

@@ -37,17 +37,48 @@ pub struct VectorCommit {
     pub rd_value: Option<i64>,
 }
 
+/// Typed failure from the coprocessor while executing a vector
+/// instruction — the `Err` face of what used to be a panic, so an
+/// injected fault or a malformed tenant program surfaces as a recoverable
+/// error instead of aborting the whole engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VectorFault {
+    /// A non-vector instruction reached the vector dispatch path.
+    NotVector,
+    /// The coprocessor rejected the instruction (e.g. the microcode
+    /// sequencer refused its lowering).
+    Rejected {
+        /// Human-readable rejection reason from the coprocessor.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for VectorFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VectorFault::NotVector => write!(f, "not a vector instruction"),
+            VectorFault::Rejected { detail } => write!(f, "{detail}"),
+        }
+    }
+}
+
 /// The vector engine as seen by the control processor.
 pub trait Coprocessor {
     /// Executes one vector instruction. `rs1`/`rs2` carry the values of
     /// the instruction's scalar operands (already read at issue).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`VectorFault`] when the instruction cannot be executed;
+    /// the CP wraps it in [`CpError::VectorFault`] and terminates the run
+    /// with a typed error instead of aborting.
     fn execute_vector(
         &mut self,
         instr: &Instr,
         rs1: i64,
         rs2: i64,
         mem: &mut MainMemory,
-    ) -> VectorCommit;
+    ) -> Result<VectorCommit, VectorFault>;
 }
 
 /// Instruction-mix and timing statistics of one program run.
@@ -84,6 +115,19 @@ pub enum CpError {
         /// The budget that was exceeded.
         budget: u64,
     },
+    /// The coprocessor rejected a vector instruction.
+    VectorFault {
+        /// PC of the offending instruction.
+        pc: u64,
+        /// The coprocessor's typed rejection.
+        fault: VectorFault,
+    },
+    /// An instruction the dispatcher does not implement (decoder/dispatch
+    /// disagreement — previously an `unreachable!`).
+    UnsupportedInstruction {
+        /// PC of the offending instruction.
+        pc: u64,
+    },
 }
 
 impl std::fmt::Display for CpError {
@@ -93,6 +137,12 @@ impl std::fmt::Display for CpError {
             CpError::InstructionBudgetExceeded { budget } => {
                 write!(f, "exceeded the budget of {budget} instructions")
             }
+            CpError::VectorFault { pc, fault } => {
+                write!(f, "vector fault at pc {pc:#x}: {fault}")
+            }
+            CpError::UnsupportedInstruction { pc } => {
+                write!(f, "unsupported instruction at pc {pc:#x}")
+            }
         }
     }
 }
@@ -101,6 +151,7 @@ impl std::error::Error for CpError {}
 
 /// How a [`ControlProcessor::run_slice`] call ended.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[must_use = "a slice outcome decides whether the job halted, continues, or must be recovered"]
 pub enum SliceOutcome {
     /// The program hit its `ecall` — the job is done.
     Halted,
@@ -108,6 +159,13 @@ pub enum SliceOutcome {
     /// its PC, registers, clock and cache state; call `run_slice` again
     /// to continue exactly where it stopped.
     Preempted,
+    /// The slice-fuel watchdog fired: the slice burned its instruction
+    /// fuel without halting or reaching its vector budget — a runaway
+    /// microprogram or a fault-wedged loop. The vector engine is
+    /// drained, but the CP stopped at an *arbitrary* instruction
+    /// boundary; the scheduler must re-execute from the last checkpoint
+    /// or fail the job, never resume.
+    TimedOut,
 }
 
 /// Cycles lost on a taken branch after the tournament predictor's
@@ -115,7 +173,11 @@ pub enum SliceOutcome {
 const TAKEN_BRANCH_PENALTY: u64 = 1;
 
 /// The in-order control processor.
-#[derive(Debug)]
+///
+/// `Clone` captures the complete scalar state — registers, PC, clock,
+/// cache hierarchy and statistics — which is exactly what a checkpointed
+/// retry needs to re-execute a poisoned slice.
+#[derive(Debug, Clone)]
 pub struct ControlProcessor {
     regs: [i64; 32],
     pc: u64,
@@ -199,6 +261,12 @@ impl ControlProcessor {
     ///
     /// Returns [`CpError`] if the PC leaves the program or the *total*
     /// committed instruction count exceeds `max_instrs`.
+    /// `slice_fuel` is the watchdog: the maximum instructions (scalar or
+    /// vector) this single slice may commit before the run is declared
+    /// runaway and [`SliceOutcome::TimedOut`] is returned. Unlike the
+    /// `max_instrs` budget (a whole-job error), fuel exhaustion is a
+    /// *recoverable* outcome — re-execute from a checkpoint or fail the
+    /// job cleanly. Pass `u64::MAX` to disable the watchdog.
     pub fn run_slice(
         &mut self,
         program: &Program,
@@ -206,8 +274,10 @@ impl ControlProcessor {
         cop: &mut dyn Coprocessor,
         max_instrs: u64,
         max_vector: u64,
+        slice_fuel: u64,
     ) -> Result<SliceOutcome, CpError> {
         let vector_start = self.stats.vector;
+        let instr_start = self.stats.instructions;
         loop {
             if !self.step(program, mem, cop)? {
                 self.clock = self.clock.max(self.vector_done_at);
@@ -216,6 +286,13 @@ impl ControlProcessor {
             }
             if self.stats.instructions >= max_instrs {
                 return Err(CpError::InstructionBudgetExceeded { budget: max_instrs });
+            }
+            if self.stats.instructions - instr_start >= slice_fuel {
+                // Watchdog: drain the vector engine and hand the mess to
+                // the scheduler as a typed, recoverable outcome.
+                self.clock = self.clock.max(self.vector_done_at);
+                self.stats.cycles = self.clock;
+                return Ok(SliceOutcome::TimedOut);
             }
             if self.stats.vector - vector_start >= max_vector {
                 // Drain the in-flight vector instruction: preemption only
@@ -263,7 +340,9 @@ impl ControlProcessor {
             // commits (Section III).
             self.clock = self.clock.max(self.vector_done_at);
             let (rs1, rs2, rd) = vector_scalar_operands(&instr, &self.regs);
-            let commit = cop.execute_vector(&instr, rs1, rs2, mem);
+            let commit = cop
+                .execute_vector(&instr, rs1, rs2, mem)
+                .map_err(|fault| CpError::VectorFault { pc: self.pc, fault })?;
             self.stats.vector_busy_cycles += commit.cycles;
             self.charge(1); // issue cycle
             self.vector_done_at = self.clock + commit.cycles;
@@ -347,7 +426,10 @@ impl ControlProcessor {
                     }
                 }
                 Ecall => return Ok(false),
-                _ => unreachable!("vector instructions are handled above"),
+                // Vector instructions are handled above; anything else
+                // here is a decoder/dispatch disagreement, surfaced as a
+                // typed error instead of an abort.
+                _ => return Err(CpError::UnsupportedInstruction { pc: self.pc }),
             }
         }
         self.pc = next_pc;
@@ -456,8 +538,8 @@ mod tests {
             rs1: i64,
             _rs2: i64,
             _mem: &mut MainMemory,
-        ) -> VectorCommit {
-            match instr {
+        ) -> Result<VectorCommit, VectorFault> {
+            Ok(match instr {
                 Instr::Vsetvli { .. } => VectorCommit {
                     cycles: 1,
                     rd_value: Some(rs1.min(64)),
@@ -466,7 +548,7 @@ mod tests {
                     cycles: 100,
                     rd_value: None,
                 },
-            }
+            })
         }
     }
 
@@ -652,7 +734,7 @@ mod tests {
         loop {
             slices += 1;
             match sliced
-                .run_slice(&prog, &mut mem2, &mut NullCop, 1000, 1)
+                .run_slice(&prog, &mut mem2, &mut NullCop, 1000, 1, u64::MAX)
                 .unwrap()
             {
                 SliceOutcome::Halted => break,
@@ -661,6 +743,7 @@ mod tests {
                     // engine is drained.
                     assert!(sliced.clock >= sliced.vector_done_at);
                 }
+                SliceOutcome::TimedOut => unreachable!("watchdog disabled"),
             }
         }
         // 4 vector instructions (vsetvli + 3 vadd), one per slice, plus
@@ -676,9 +759,97 @@ mod tests {
         let mut cp = ControlProcessor::new(300);
         let mut mem = MainMemory::new();
         let err = cp
-            .run_slice(&prog, &mut mem, &mut NullCop, 50, 1)
+            .run_slice(&prog, &mut mem, &mut NullCop, 50, 1, u64::MAX)
             .unwrap_err();
         assert_eq!(err, CpError::InstructionBudgetExceeded { budget: 50 });
+    }
+
+    #[test]
+    fn watchdog_converts_runaway_slice_into_timed_out() {
+        // A scalar infinite loop never reaches a vector sync point; the
+        // old run_slice would spin until the whole-job budget errored.
+        // The fuel watchdog converts it into a recoverable outcome.
+        let prog = cape_isa::assemble("loop: j loop").unwrap();
+        let mut cp = ControlProcessor::new(300);
+        let mut mem = MainMemory::new();
+        let outcome = cp
+            .run_slice(&prog, &mut mem, &mut NullCop, 1_000_000, 1, 64)
+            .unwrap();
+        assert_eq!(outcome, SliceOutcome::TimedOut);
+        assert!(cp.stats().instructions >= 64);
+        assert!(cp.stats().instructions < 128, "fuel must bound the slice");
+    }
+
+    #[test]
+    fn cloned_cp_checkpoint_replays_identically() {
+        let src = r"
+            li t0, 64
+            li t2, 0
+            vsetvli t1, t0
+            vadd.vv v3, v1, v2
+            addi t2, t2, 7
+            vadd.vv v4, v1, v2
+            addi t2, t2, 70
+            halt
+        ";
+        let prog = cape_isa::assemble(src).unwrap();
+        let mut cp = ControlProcessor::new(300);
+        let mut mem = MainMemory::new();
+        let first = cp
+            .run_slice(&prog, &mut mem, &mut NullCop, 1000, 1, u64::MAX)
+            .unwrap();
+        assert_eq!(first, SliceOutcome::Preempted);
+
+        // Checkpoint, run to completion, then replay from the clone.
+        let checkpoint = cp.clone();
+        let mut mem_a = mem.clone();
+        while cp
+            .run_slice(&prog, &mut mem_a, &mut NullCop, 1000, 1, u64::MAX)
+            .unwrap()
+            != SliceOutcome::Halted
+        {}
+        let mut replay = checkpoint;
+        while replay
+            .run_slice(&prog, &mut mem, &mut NullCop, 1000, 1, u64::MAX)
+            .unwrap()
+            != SliceOutcome::Halted
+        {}
+        assert_eq!(replay.reg(Reg::T2), cp.reg(Reg::T2));
+        assert_eq!(replay.stats(), cp.stats());
+    }
+
+    #[test]
+    fn coprocessor_rejection_is_a_typed_error() {
+        struct RejectCop;
+        impl Coprocessor for RejectCop {
+            fn execute_vector(
+                &mut self,
+                _instr: &Instr,
+                _rs1: i64,
+                _rs2: i64,
+                _mem: &mut MainMemory,
+            ) -> Result<VectorCommit, VectorFault> {
+                Err(VectorFault::Rejected {
+                    detail: "microcode refused".into(),
+                })
+            }
+        }
+        let prog = cape_isa::assemble("li t0, 4\nvsetvli t1, t0\nhalt").unwrap();
+        let mut cp = ControlProcessor::new(300);
+        let mut mem = MainMemory::new();
+        let err = cp.run(&prog, &mut mem, &mut RejectCop, 100).unwrap_err();
+        match err {
+            CpError::VectorFault { pc, fault } => {
+                assert_eq!(pc, 4);
+                assert_eq!(
+                    fault,
+                    VectorFault::Rejected {
+                        detail: "microcode refused".into()
+                    }
+                );
+            }
+            other => panic!("expected VectorFault, got {other:?}"),
+        }
     }
 
     #[test]

@@ -413,6 +413,72 @@ impl ChainBlock {
         chain.load_state(&self.save_state(lane));
         chain
     }
+
+    // ----- fault-layer hooks (parity words + seeded injection) ---------
+
+    /// FNV-1a parity word over every row, tag and accumulator slice of
+    /// the block — the per-block checksum the fault layer baselines and
+    /// scrubs against. Any single injected bit flip changes it.
+    pub fn checksum(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        let mut mix = |w: u32| {
+            h ^= u64::from(w);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        };
+        for sub in &self.rows {
+            for row in sub {
+                for &w in row {
+                    mix(w);
+                }
+            }
+        }
+        for slice in self.tags.iter().chain(self.acc.iter()) {
+            for &w in slice {
+                mix(w);
+            }
+        }
+        h
+    }
+
+    /// Transient strike: XOR-flips `mask` bits of row `r` of subarray
+    /// `s` in lane `lane`.
+    pub fn flip_bits(&mut self, lane: usize, s: usize, r: usize, mask: u32) {
+        self.rows[s][r][lane] ^= mask;
+    }
+
+    /// Stuck-at assertion: wedges `mask` bits of row `r` of subarray `s`
+    /// in lane `lane` to `value`. Returns true if the word changed.
+    pub fn force_bits(&mut self, lane: usize, s: usize, r: usize, mask: u32, value: bool) -> bool {
+        let w = &mut self.rows[s][r][lane];
+        let forced = if value { *w | mask } else { *w & !mask };
+        let changed = forced != *w;
+        *w = forced;
+        changed
+    }
+
+    /// Dead-block assertion: scrambles every row, tag and accumulator
+    /// slice to seeded xorshift garbage.
+    pub fn scramble(&mut self, seed: u32) {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 17;
+            state ^= state << 5;
+            state
+        };
+        for sub in &mut self.rows {
+            for row in sub {
+                for w in row {
+                    *w = next();
+                }
+            }
+        }
+        for slice in self.tags.iter_mut().chain(self.acc.iter_mut()) {
+            for w in slice {
+                *w = next();
+            }
+        }
+    }
 }
 
 /// True when every write targets a distinct subarray (the hardware

@@ -5,6 +5,7 @@ use std::sync::Arc;
 
 use crate::block::BLOCK_LANES;
 use crate::chain::{Chain, ChainState};
+use crate::fault::{FaultConfig, FaultKind, FaultLayer, FaultStats, RemapOutcome, ScrubReport};
 use crate::geometry::{CsbGeometry, ElementLocation, SUBARRAY_COLS};
 use crate::microop::MicroOp;
 use crate::pool::{Shard, WorkerPool};
@@ -79,6 +80,10 @@ pub struct Csb {
     /// syscall).
     threads: usize,
     pool: WorkerPool,
+    /// Seeded fault injection + parity/golden detection. `None` (the
+    /// default) costs one branch per broadcast — the PR 4 kernels run at
+    /// full speed with injection disabled.
+    fault: Option<Box<FaultLayer>>,
 }
 
 impl Csb {
@@ -107,6 +112,7 @@ impl Csb {
             stats: MicroOpStats::new(),
             threads,
             pool: WorkerPool::new(),
+            fault: None,
         };
         csb.recompute_windows();
         csb
@@ -195,6 +201,9 @@ impl Csb {
     /// program instead of once per microop.
     pub fn execute(&mut self, op: &MicroOp) -> Option<u64> {
         self.record(op);
+        if let Some(f) = self.fault.as_deref_mut() {
+            f.pre_broadcast(&mut self.shards);
+        }
         let plan_op = lower(op);
         if self.use_pool() {
             let ops = Arc::new(vec![plan_op]);
@@ -204,12 +213,16 @@ impl Csb {
                 shard.run(slice::from_ref(&plan_op));
             }
         }
-        matches!(op, MicroOp::ReduceTags { .. }).then(|| {
+        let sum = matches!(op, MicroOp::ReduceTags { .. }).then(|| {
             self.shards
                 .iter()
                 .map(|s| s.sums.first().copied().unwrap_or(0))
                 .sum()
-        })
+        });
+        if let Some(f) = self.fault.as_deref_mut() {
+            f.post_broadcast(&mut self.shards, slice::from_ref(op));
+        }
+        sum
     }
 
     /// Executes a whole compiled [`MicroProgram`] as one broadcast unit:
@@ -227,6 +240,9 @@ impl Csb {
         if program.is_empty() {
             return Vec::new();
         }
+        if let Some(f) = self.fault.as_deref_mut() {
+            f.pre_broadcast(&mut self.shards);
+        }
         if self.use_pool() {
             let ops = program.plan_arc();
             self.pool.run(&mut self.shards, &ops);
@@ -240,6 +256,9 @@ impl Csb {
             for (k, &s) in shard.sums.iter().enumerate() {
                 sums[k] += s;
             }
+        }
+        if let Some(f) = self.fault.as_deref_mut() {
+            f.post_broadcast(&mut self.shards, program.ops());
         }
         sums
     }
@@ -308,23 +327,29 @@ impl Csb {
     /// Overwrites the tag bits of subarray `sub` of chain `i`
     /// (bring-up/test hook; real programs set tags through searches).
     pub fn set_chain_tags(&mut self, i: usize, sub: usize, v: u32) {
+        self.fault_verify_chain(i);
         let (s, j) = self.shard_of(i);
         self.shards[s].set_tags(j, sub, v);
+        self.fault_refresh_chain(i);
     }
 
     /// Overwrites the accumulator bits of subarray `sub` of chain `i`
     /// (bring-up/test hook).
     pub fn set_chain_acc(&mut self, i: usize, sub: usize, v: u32) {
+        self.fault_verify_chain(i);
         let (s, j) = self.shard_of(i);
         self.shards[s].set_acc(j, sub, v);
+        self.fault_refresh_chain(i);
     }
 
     /// Masked write into row `row` of subarray `sub` of chain `i`
     /// (bring-up/test hook; broadcast programs write rows through
     /// [`MicroOp::Write`]/[`MicroOp::Update`]).
     pub fn write_chain_row(&mut self, i: usize, sub: usize, row: usize, data: u32, mask: u32) {
+        self.fault_verify_chain(i);
         let (s, j) = self.shard_of(i);
         self.shards[s].write_row(j, sub, row, data, mask);
+        self.fault_refresh_chain(i);
     }
 
     /// Location of vector element `elem`.
@@ -336,8 +361,10 @@ impl Csb {
     /// (functional data-transfer path; the VMU accounts for its timing).
     pub fn write_element(&mut self, reg: usize, elem: usize, value: u32) {
         let loc = self.geometry.locate(elem);
+        self.fault_verify_chain(loc.chain);
         let (s, j) = self.shard_of(loc.chain);
         self.shards[s].write_element(j, reg, loc.col, value);
+        self.fault_refresh_chain(loc.chain);
     }
 
     /// Reads element `elem` of vector register `reg`.
@@ -406,6 +433,7 @@ impl Csb {
             end <= self.max_vl(),
             "element range {start}..{end} exceeds MAX_VL"
         );
+        self.fault_verify_all();
         let n = self.geometry.num_chains();
         for c in 0..n {
             let (k_lo, k_hi) = Self::col_range(c, start, end, n);
@@ -420,6 +448,7 @@ impl Csb {
             let (s, j) = self.shard_of(c);
             self.shards[s].write_column_block(j, reg, &vals, col_mask);
         }
+        self.fault_refresh_all();
     }
 
     /// Columns `k_lo..k_hi` of chain `c` hold the elements of `start..end`
@@ -503,6 +532,7 @@ impl Csb {
             n,
             "snapshot geometry does not match this CSB"
         );
+        self.fault_verify_all();
         if self.use_pool_for_context() {
             let shard_size = self.shard_size;
             let states = Arc::clone(&snapshot.chains);
@@ -518,6 +548,121 @@ impl Csb {
                 let base = s * self.shard_size;
                 shard.load_states(&snapshot.chains[base..base + shard.len()]);
             }
+        }
+        self.fault_refresh_all();
+    }
+
+    // ---- fault injection, detection and recovery ----------------------
+
+    /// Arms deterministic fault injection: provisions
+    /// `config.spare_blocks_per_shard` spare blocks per shard and
+    /// baselines a parity word per logical block over the current
+    /// (assumed clean) state. See the `fault` module docs for the
+    /// detection tiers and recovery invariants.
+    pub fn enable_fault_injection(&mut self, config: FaultConfig) {
+        for shard in &mut self.shards {
+            shard.add_spares(config.spare_blocks_per_shard);
+        }
+        self.fault = Some(Box::new(FaultLayer::new(config, &self.shards)));
+    }
+
+    /// True when the fault layer is armed.
+    pub fn fault_injection_enabled(&self) -> bool {
+        self.fault.is_some()
+    }
+
+    /// Fault-layer counters (all zero while injection is disabled).
+    pub fn fault_stats(&self) -> FaultStats {
+        self.fault
+            .as_deref()
+            .map(FaultLayer::stats)
+            .unwrap_or_default()
+    }
+
+    /// Blocks flagged by detection and not yet successfully remapped. A
+    /// scheduler must not checkpoint or trust results while this is
+    /// non-zero.
+    pub fn pending_faults(&self) -> usize {
+        self.fault.as_deref().map_or(0, FaultLayer::pending_blocks)
+    }
+
+    /// Runs one scrub pass: re-asserts persistent faults (the silicon
+    /// does not wait for a broadcast) and parity-scans every unflagged
+    /// block. Returns `None` while injection is disabled.
+    pub fn scrub(&mut self) -> Option<ScrubReport> {
+        let f = self.fault.as_deref_mut()?;
+        Some(f.scrub(&mut self.shards))
+    }
+
+    /// Quarantines every flagged block and remaps its chains onto spare
+    /// blocks. Register *contents* of a remapped block are a best-effort
+    /// copy and may still be corrupt — restore a known-good
+    /// [`CsbSnapshot`] afterwards to resume bit-exact execution.
+    pub fn quarantine_and_remap(&mut self) -> RemapOutcome {
+        match self.fault.as_deref_mut() {
+            Some(f) => f.quarantine_and_remap(&mut self.shards),
+            None => RemapOutcome::default(),
+        }
+    }
+
+    /// Test hook: plants one specific fault on the block holding chain
+    /// `i`. Injection must be enabled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fault layer is not armed.
+    pub fn inject_fault(&mut self, i: usize, kind: FaultKind) {
+        let (s, j) = (i / self.shard_size, i % self.shard_size);
+        let lb = j / BLOCK_LANES;
+        let f = self
+            .fault
+            .as_deref_mut()
+            .expect("enable_fault_injection first");
+        f.inject_now(&mut self.shards, s, lb, kind);
+    }
+
+    /// Unused spare blocks remaining across all shards.
+    pub fn spare_blocks_free(&self) -> usize {
+        self.shards.iter().map(Shard::spares_free).sum()
+    }
+
+    /// Physical blocks quarantined so far across all shards.
+    pub fn quarantined_blocks(&self) -> usize {
+        self.shards.iter().map(Shard::quarantined_count).sum()
+    }
+
+    /// Refreshes the parity baseline of the block holding chain `i`
+    /// after a legitimate external mutation.
+    fn fault_refresh_chain(&mut self, i: usize) {
+        if let Some(f) = self.fault.as_deref_mut() {
+            let (s, j) = (i / self.shard_size, i % self.shard_size);
+            f.refresh_block(&self.shards, s, j / BLOCK_LANES);
+        }
+    }
+
+    /// Refreshes every clean parity baseline after a legitimate bulk
+    /// mutation (vector write, context restore).
+    fn fault_refresh_all(&mut self) {
+        if let Some(f) = self.fault.as_deref_mut() {
+            f.refresh_all(&self.shards);
+        }
+    }
+
+    /// Parity-checks the block holding chain `i` *before* a legitimate
+    /// mutation, so corruption that landed since the last scan is
+    /// detected instead of absorbed by the post-mutation refresh.
+    fn fault_verify_chain(&mut self, i: usize) {
+        if let Some(f) = self.fault.as_deref_mut() {
+            let (s, j) = (i / self.shard_size, i % self.shard_size);
+            f.verify_block(&self.shards, s, j / BLOCK_LANES);
+        }
+    }
+
+    /// Bulk variant of [`Csb::fault_verify_chain`]: scans every clean
+    /// block before a bulk mutation (vector write, context restore).
+    fn fault_verify_all(&mut self) {
+        if let Some(f) = self.fault.as_deref_mut() {
+            f.verify_all(&self.shards);
         }
     }
 }
@@ -818,5 +963,169 @@ mod tests {
     fn restore_rejects_mismatched_geometry() {
         let snap = CsbSnapshot::zeroed(CsbGeometry::new(8));
         small().restore_registers(&snap);
+    }
+
+    // ---- fault injection, detection and recovery ----------------------
+
+    fn armed(chains: usize, spares: usize) -> Csb {
+        let mut csb = Csb::new(CsbGeometry::new(chains));
+        csb.enable_fault_injection(FaultConfig::quiescent(spares));
+        csb
+    }
+
+    #[test]
+    fn parity_scan_catches_transient_flip_before_next_broadcast() {
+        let mut csb = armed(4, 1);
+        csb.write_vector(1, &[3u32; 128]);
+        assert_eq!(csb.pending_faults(), 0);
+        csb.inject_fault(
+            0,
+            FaultKind::Transient {
+                lane: 0,
+                subarray: 2,
+                row: 1,
+                mask: 0x10,
+                late: false,
+            },
+        );
+        // The pre-broadcast scan of the next program latches the block.
+        csb.execute(&search1(0, 1, true));
+        assert_eq!(csb.pending_faults(), 1);
+        let stats = csb.fault_stats();
+        assert_eq!(stats.detected_parity, 1);
+        assert!(stats.fully_accounted(), "{stats:?}");
+    }
+
+    #[test]
+    fn scrub_detects_stuck_at_without_a_broadcast() {
+        let mut csb = armed(4, 1);
+        csb.write_vector(2, &[0u32; 128]); // rows all zero → stuck-at-1 flips
+        csb.inject_fault(
+            1,
+            FaultKind::StuckAt {
+                lane: 1,
+                subarray: 5,
+                row: 2,
+                mask: 0xFF,
+                value: true,
+            },
+        );
+        let report = csb.scrub().unwrap();
+        assert_eq!(report.newly_flagged, 1);
+        assert_eq!(report.pending, 1);
+        assert_eq!(csb.fault_stats().scrubs, 1);
+    }
+
+    #[test]
+    fn save_inject_detect_remap_restore_is_bit_identical() {
+        let mut csb = armed(4, 2);
+        let data: Vec<u32> = (0..128u32).map(|i| i.wrapping_mul(0x9E37_79B9)).collect();
+        csb.write_vector(5, &data);
+        csb.set_active_window(0, 128);
+        let snap = csb.save_registers();
+        let clean = csb.read_vector(5, 128);
+
+        // Kill the whole block under chain 0, detect via scrub, remap
+        // onto a spare, then restore the checkpoint.
+        csb.inject_fault(0, FaultKind::DeadBlock);
+        let report = csb.scrub().unwrap();
+        assert_eq!(report.pending, 1);
+        let outcome = csb.quarantine_and_remap();
+        assert!(outcome.fully_recovered());
+        assert_eq!(csb.quarantined_blocks(), 1);
+        csb.restore_registers(&snap);
+
+        assert_eq!(csb.read_vector(5, 128), clean);
+        assert_eq!(csb.pending_faults(), 0);
+        // And the machine still computes correctly on the spare.
+        csb.execute(&search1(0, 0, true));
+        let stats = csb.fault_stats();
+        assert_eq!(stats.blocks_remapped, 1);
+        assert!(stats.fully_accounted());
+    }
+
+    #[test]
+    fn out_of_spares_keeps_block_flagged_forever() {
+        let mut csb = armed(4, 0);
+        csb.inject_fault(
+            0,
+            FaultKind::Transient {
+                lane: 3,
+                subarray: 0,
+                row: 0,
+                mask: 1,
+                late: false,
+            },
+        );
+        let _ = csb.scrub().unwrap();
+        let outcome = csb.quarantine_and_remap();
+        assert_eq!(outcome.failed, 1);
+        assert!(!outcome.fully_recovered());
+        // The corruption is never silently re-absorbed: the block stays
+        // pending across scrubs and broadcasts.
+        csb.execute(&search1(0, 0, true));
+        assert_eq!(csb.pending_faults(), 1);
+    }
+
+    #[test]
+    fn golden_spot_check_catches_late_strike() {
+        let mut csb = Csb::new(CsbGeometry::new(4));
+        let mut config = FaultConfig::quiescent(1);
+        config.spot_check_interval = 1; // sample every program
+        csb.enable_fault_injection(config);
+        csb.write_vector(1, &[1u32; 128]);
+        csb.set_active_window(0, 128);
+        // Late transients land *after* the broadcast runs and the
+        // baseline refreshes — only the golden replay (or the next scan)
+        // can see them. Strike every lane so whichever chain the seeded
+        // sampler picked is guaranteed to be corrupted.
+        for chain in 0..4 {
+            csb.inject_fault(
+                chain,
+                FaultKind::Transient {
+                    lane: chain as u8,
+                    subarray: 1,
+                    row: 1,
+                    mask: 0xF0F0,
+                    late: true,
+                },
+            );
+        }
+        csb.execute(&search1(0, 1, true));
+        let stats = csb.fault_stats();
+        assert_eq!(stats.detected_golden, 1, "{stats:?}");
+        assert!(stats.fully_accounted(), "{stats:?}");
+    }
+
+    #[test]
+    fn remap_preserves_power_gating_and_padding_invariants() {
+        // 20 chains: shard of two blocks, the second partially padded.
+        let mut csb = armed(20, 2);
+        csb.set_active_window(0, 20 * 32);
+        let gated_before = csb.window(19);
+        csb.inject_fault(17, FaultKind::DeadBlock);
+        let _ = csb.scrub().unwrap();
+        let outcome = csb.quarantine_and_remap();
+        assert!(outcome.fully_recovered());
+        // Window masks survive the remap bit-for-bit (including padding
+        // lanes staying gated), and broadcasts still work.
+        assert_eq!(csb.window(19), gated_before);
+        let snap = CsbSnapshot::zeroed(csb.geometry());
+        csb.restore_registers(&snap);
+        csb.write_vector(1, &(0..640).map(|i| i as u32).collect::<Vec<_>>());
+        csb.execute(&search1(0, 1, true));
+        let total = csb.execute(&MicroOp::ReduceTags { subarray: 0 }).unwrap();
+        assert_eq!(total, 320); // odd values in 0..640
+    }
+
+    #[test]
+    fn disabled_fault_layer_reports_zeroes() {
+        let mut csb = small();
+        assert!(!csb.fault_injection_enabled());
+        assert_eq!(csb.fault_stats(), FaultStats::default());
+        assert_eq!(csb.pending_faults(), 0);
+        assert!(csb.scrub().is_none());
+        let outcome = csb.quarantine_and_remap();
+        assert_eq!(outcome, RemapOutcome::default());
     }
 }

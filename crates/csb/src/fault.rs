@@ -1,0 +1,746 @@
+//! Deterministic fault injection and parity/golden-model detection.
+//!
+//! CAPE computes inside SRAM sense amplifiers, so the realistic failure
+//! modes of a deployed engine are device faults: stuck-at bits in CSB
+//! subarray rows, transient single-shot flips, and whole-block death.
+//! This module injects those faults *deterministically* (seeded xorshift,
+//! no wall clock) at the block layer and detects them with two of the
+//! three tiers described in DESIGN.md §14:
+//!
+//! 1. **Parity words** — one checksum word per logical block over every
+//!    row, tag and accumulator slice, refreshed only on *legitimate*
+//!    mutation (broadcast completion, data transfer, context restore).
+//!    The injector never refreshes a baseline, so any injected flip makes
+//!    the next scan mismatch. Scans run at every broadcast boundary and
+//!    on explicit [`scrub`](crate::Csb::scrub) passes.
+//! 2. **Golden-model spot checks** — every `spot_check_interval`
+//!    programs, one sampled chain is materialized as a scalar
+//!    [`Chain`](crate::Chain) before the broadcast and replayed through
+//!    the retained reference `Chain::execute` afterwards; a mismatch
+//!    flags the chain's block. This tier catches *mid-broadcast*
+//!    transients that strike after the pre-run parity scan.
+//!
+//! Explicit [`scrub`](crate::Csb::scrub) passes additionally run a
+//! march-test leg that finds *latent* persistent defects (a stuck-at
+//! forcing the value the cells already hold) which parity cannot see
+//! until real data disturbs them — this is what makes the accounting
+//! invariant (`FaultStats::fully_accounted`) hold at any scrub boundary.
+//!
+//! (The third tier, the slice-fuel watchdog, lives in `cape-cp`.)
+//!
+//! Detected blocks are latched as *pending* and stay pending until the
+//! CSB quarantines them and remaps their chains onto spare blocks
+//! ([`crate::Csb::quarantine_and_remap`]); a pending block's baseline is
+//! never refreshed, so corruption can never be silently re-absorbed —
+//! if spares run out, the block stays flagged forever and the machine
+//! reports itself degraded instead of computing wrong answers.
+//!
+//! The whole layer is `Option`-wrapped inside [`Csb`](crate::Csb):
+//! disabled, the broadcast hot path pays exactly one `is_some()` branch
+//! per *program* (not per microop), so the PR 4 kernels keep full speed.
+
+use crate::chain::Chain;
+use crate::microop::MicroOp;
+use crate::pool::Shard;
+
+/// What kind of device fault a [`FaultRecord`] models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// A cluster of cells in one subarray row wedged at 0 or 1; re-asserted
+    /// on every broadcast tick until the block is quarantined.
+    StuckAt {
+        /// Lane within the block.
+        lane: u8,
+        /// Subarray of the wedged row.
+        subarray: u8,
+        /// Row within the subarray.
+        row: u8,
+        /// Column bits that are wedged.
+        mask: u32,
+        /// The wedged value (false = stuck-at-0, true = stuck-at-1).
+        value: bool,
+    },
+    /// A single-shot bit flip (cosmic-ray style): applied once, either
+    /// before the broadcast (caught by the pre-run parity scan) or after
+    /// it (a mid-broadcast strike, caught by the golden-model spot check
+    /// or the next parity scan).
+    Transient {
+        /// Lane within the block.
+        lane: u8,
+        /// Subarray of the struck row.
+        subarray: u8,
+        /// Row within the subarray.
+        row: u8,
+        /// Column bits flipped.
+        mask: u32,
+        /// True when the strike lands after the broadcast ran.
+        late: bool,
+    },
+    /// Whole-block death: every row, tag and accumulator slice scrambles
+    /// to seeded garbage on every tick until quarantined.
+    DeadBlock,
+}
+
+/// Which detection tier latched a block as pending.
+#[derive(Debug, Clone, Copy)]
+enum DetectTier {
+    Parity,
+    Golden,
+    Scrub,
+}
+
+/// One injected fault: where it lives and whether detection has
+/// attributed it yet.
+#[derive(Debug, Clone, Copy)]
+struct FaultRecord {
+    shard: u32,
+    /// Physical block the fault lives in (device faults follow the
+    /// silicon, not the logical chain mapping).
+    phys: u32,
+    kind: FaultKind,
+    /// Set once a parity or golden detection flagged this block.
+    detected: bool,
+    /// Set once the block is quarantined; the defect stops asserting
+    /// because nothing maps onto it any more.
+    dormant: bool,
+}
+
+/// Configuration for deterministic fault injection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultConfig {
+    /// Seed for the xorshift64 stream that drives every random choice.
+    pub seed: u64,
+    /// Spare blocks provisioned per shard at enable time — the remap
+    /// budget before the machine degrades.
+    pub spare_blocks_per_shard: usize,
+    /// Per-tick probability (parts per million) of registering a new
+    /// stuck-at fault.
+    pub stuck_ppm: u32,
+    /// Per-tick probability (ppm) of a transient single-shot flip.
+    pub transient_ppm: u32,
+    /// Per-tick probability (ppm) of whole-block death.
+    pub dead_ppm: u32,
+    /// Hard cap on total injected faults (bounds storm runtimes).
+    pub max_faults: u32,
+    /// Replay one sampled chain through the scalar golden model every
+    /// this many programs (0 disables the tier).
+    pub spot_check_interval: u64,
+}
+
+impl FaultConfig {
+    /// A storm-friendly default: all three fault classes armed at a rate
+    /// that exercises detection and remap without drowning the machine.
+    pub fn seeded(seed: u64) -> Self {
+        Self {
+            seed,
+            spare_blocks_per_shard: 2,
+            stuck_ppm: 2_000,
+            transient_ppm: 4_000,
+            dead_ppm: 500,
+            max_faults: 32,
+            spot_check_interval: 16,
+        }
+    }
+
+    /// Injection disarmed but detection machinery (parity baselines,
+    /// scrub, spares) live — for tests that inject by hand.
+    pub fn quiescent(spares: usize) -> Self {
+        Self {
+            seed: 1,
+            spare_blocks_per_shard: spares,
+            stuck_ppm: 0,
+            transient_ppm: 0,
+            dead_ppm: 0,
+            max_faults: 0,
+            spot_check_interval: 0,
+        }
+    }
+}
+
+/// Running totals of everything the fault layer injected and caught.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Stuck-at faults registered.
+    pub injected_stuck: u64,
+    /// Transient flips injected.
+    pub injected_transient: u64,
+    /// Dead-block faults registered.
+    pub injected_dead: u64,
+    /// Block-level parity mismatches latched.
+    pub detected_parity: u64,
+    /// Golden-model replay mismatches latched.
+    pub detected_golden: u64,
+    /// Latent persistent defects found by scrub's march-test pass (a
+    /// stuck-at forcing the value the cell already held is invisible to
+    /// parity until the data changes; a deliberate scrub writes test
+    /// patterns and finds it anyway).
+    pub detected_scrub: u64,
+    /// Injected faults attributed to a detection event (the accounting
+    /// check: eventually equals the injected total).
+    pub faults_attributed: u64,
+    /// Explicit scrub passes run.
+    pub scrubs: u64,
+    /// Physical blocks quarantined.
+    pub blocks_quarantined: u64,
+    /// Logical blocks successfully remapped onto spares.
+    pub blocks_remapped: u64,
+}
+
+impl FaultStats {
+    /// Total faults injected across all classes.
+    pub fn injected_total(&self) -> u64 {
+        self.injected_stuck + self.injected_transient + self.injected_dead
+    }
+
+    /// True when every injected fault has been attributed to a detection.
+    pub fn fully_accounted(&self) -> bool {
+        self.faults_attributed == self.injected_total()
+    }
+
+    /// Sums another counter set into this one.
+    pub fn accumulate(&mut self, other: &FaultStats) {
+        self.injected_stuck += other.injected_stuck;
+        self.injected_transient += other.injected_transient;
+        self.injected_dead += other.injected_dead;
+        self.detected_parity += other.detected_parity;
+        self.detected_golden += other.detected_golden;
+        self.detected_scrub += other.detected_scrub;
+        self.faults_attributed += other.faults_attributed;
+        self.scrubs += other.scrubs;
+        self.blocks_quarantined += other.blocks_quarantined;
+        self.blocks_remapped += other.blocks_remapped;
+    }
+
+    /// The counter deltas since an earlier capture of the same stream.
+    pub fn since(&self, earlier: &FaultStats) -> FaultStats {
+        FaultStats {
+            injected_stuck: self.injected_stuck - earlier.injected_stuck,
+            injected_transient: self.injected_transient - earlier.injected_transient,
+            injected_dead: self.injected_dead - earlier.injected_dead,
+            detected_parity: self.detected_parity - earlier.detected_parity,
+            detected_golden: self.detected_golden - earlier.detected_golden,
+            detected_scrub: self.detected_scrub - earlier.detected_scrub,
+            faults_attributed: self.faults_attributed - earlier.faults_attributed,
+            scrubs: self.scrubs - earlier.scrubs,
+            blocks_quarantined: self.blocks_quarantined - earlier.blocks_quarantined,
+            blocks_remapped: self.blocks_remapped - earlier.blocks_remapped,
+        }
+    }
+}
+
+/// What one scrub pass saw.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[must_use = "a scrub report carries pending-fault state the caller must act on"]
+pub struct ScrubReport {
+    /// Logical blocks scanned.
+    pub scanned: usize,
+    /// Blocks newly flagged by this pass.
+    pub newly_flagged: usize,
+    /// Total blocks pending quarantine after the pass.
+    pub pending: usize,
+}
+
+/// What one quarantine-and-remap pass achieved.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[must_use = "ignoring a remap outcome hides spare exhaustion"]
+pub struct RemapOutcome {
+    /// Logical blocks remapped onto spares.
+    pub remapped: usize,
+    /// Blocks that could not be remapped because the owning shard is out
+    /// of spares; they stay pending and the machine is degraded.
+    pub failed: usize,
+}
+
+impl RemapOutcome {
+    /// True when every flagged block found a spare.
+    pub fn fully_recovered(&self) -> bool {
+        self.failed == 0
+    }
+}
+
+/// A captured pre-broadcast golden sample: one chain materialized as the
+/// scalar reference model, to be replayed after the broadcast.
+#[derive(Debug, Clone)]
+struct GoldenSample {
+    shard: usize,
+    local: usize,
+    chain: Chain,
+    window: u32,
+}
+
+/// The seeded injector plus parity baselines, detection latches and
+/// counters. Lives as `Option<Box<FaultLayer>>` inside the CSB.
+#[derive(Debug, Clone)]
+pub(crate) struct FaultLayer {
+    config: FaultConfig,
+    rng: u64,
+    programs: u64,
+    /// Parity baseline per (shard, logical block): the checksum the block
+    /// held after its last *legitimate* mutation.
+    baselines: Vec<Vec<u64>>,
+    /// Blocks latched by a detection, pending quarantine. A flagged
+    /// block's baseline is frozen until it is successfully remapped.
+    flagged: Vec<Vec<bool>>,
+    pending: Vec<(usize, usize)>,
+    faults: Vec<FaultRecord>,
+    /// Transient strikes scheduled to land after the current broadcast.
+    late_strikes: Vec<FaultRecord>,
+    sample: Option<GoldenSample>,
+    stats: FaultStats,
+}
+
+impl FaultLayer {
+    /// Builds the layer over the current (assumed fault-free) shard
+    /// state: baselines capture the present checksums.
+    pub fn new(config: FaultConfig, shards: &[Shard]) -> Self {
+        let baselines: Vec<Vec<u64>> = shards
+            .iter()
+            .map(|s| {
+                (0..s.nblocks_logical())
+                    .map(|lb| s.checksum_logical(lb))
+                    .collect()
+            })
+            .collect();
+        let flagged = baselines.iter().map(|b| vec![false; b.len()]).collect();
+        Self {
+            config,
+            rng: config.seed | 1,
+            programs: 0,
+            baselines,
+            flagged,
+            pending: Vec::new(),
+            faults: Vec::new(),
+            late_strikes: Vec::new(),
+            sample: None,
+            stats: FaultStats::default(),
+        }
+    }
+
+    pub fn stats(&self) -> FaultStats {
+        self.stats
+    }
+
+    pub fn pending_blocks(&self) -> usize {
+        self.pending.len()
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.rng;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.rng = x;
+        x
+    }
+
+    fn roll_ppm(&mut self, ppm: u32) -> bool {
+        ppm > 0 && self.next() % 1_000_000 < u64::from(ppm)
+    }
+
+    /// A random (shard, logical block) target weighted by block count.
+    fn pick_block(&mut self, shards: &[Shard]) -> Option<(usize, usize)> {
+        let total: usize = shards.iter().map(|s| s.nblocks_logical()).sum();
+        if total == 0 {
+            return None;
+        }
+        let mut k = (self.next() % total as u64) as usize;
+        for (s, shard) in shards.iter().enumerate() {
+            let n = shard.nblocks_logical();
+            if k < n {
+                return Some((s, k));
+            }
+            k -= n;
+        }
+        None
+    }
+
+    /// Pre-broadcast hook: maybe register new faults, re-assert the
+    /// persistent ones, parity-scan every unflagged block, and capture a
+    /// golden sample for the post-broadcast replay.
+    pub fn pre_broadcast(&mut self, shards: &mut [Shard]) {
+        self.maybe_inject(shards);
+        self.assert_persistent(shards);
+        self.scan(shards);
+        self.maybe_capture_sample(shards);
+    }
+
+    /// Post-broadcast hook: refresh clean baselines, land late transient
+    /// strikes, then replay the golden sample. Ordering matters — the
+    /// baseline refresh must precede the late strike (so the strike
+    /// dirties the fresh baseline and the next scan catches it), and the
+    /// golden replay runs last so it can see the strike immediately.
+    pub fn post_broadcast(&mut self, shards: &mut [Shard], ops: &[MicroOp]) {
+        self.programs += 1;
+        self.refresh_clean(shards);
+        self.land_late_strikes(shards);
+        self.golden_replay(shards, ops);
+    }
+
+    /// Explicit scrub pass: re-assert persistent faults (the silicon
+    /// doesn't wait for a broadcast), parity-scan, then march-test.
+    /// Never refreshes a baseline and never injects new faults.
+    ///
+    /// The march-test leg models a scrub that writes and reads back test
+    /// patterns: it finds *latent* persistent defects — a stuck-at
+    /// forcing the value the cells already hold, or a dead block whose
+    /// scramble happens to collide — that a pure parity compare cannot
+    /// see until real data disturbs them. Transients are events, not
+    /// defects: they either manifested (parity/golden catches them) or
+    /// never happened, so the march pass skips them.
+    pub fn scrub(&mut self, shards: &mut [Shard]) -> ScrubReport {
+        self.stats.scrubs += 1;
+        self.assert_persistent(shards);
+        let before = self.pending.len();
+        self.scan(shards);
+        for i in 0..self.faults.len() {
+            let f = self.faults[i];
+            if f.dormant || f.detected || matches!(f.kind, FaultKind::Transient { .. }) {
+                continue;
+            }
+            let s = f.shard as usize;
+            let Some(lb) = shards[s].logical_of(f.phys as usize) else {
+                continue;
+            };
+            if self.flagged[s][lb] {
+                // Block already latched by an earlier tier; the march
+                // test confirms this defect too.
+                self.faults[i].detected = true;
+                self.stats.faults_attributed += 1;
+            } else {
+                self.flag(s, lb, f.phys as usize, DetectTier::Scrub);
+            }
+        }
+        ScrubReport {
+            scanned: self.baselines.iter().map(Vec::len).sum(),
+            newly_flagged: self.pending.len() - before,
+            pending: self.pending.len(),
+        }
+    }
+
+    /// Quarantines every pending block and remaps its chains onto a
+    /// spare. Blocks whose shard is out of spares stay pending (degraded
+    /// machine — their corruption must never be re-absorbed).
+    pub fn quarantine_and_remap(&mut self, shards: &mut [Shard]) -> RemapOutcome {
+        let mut outcome = RemapOutcome::default();
+        let pending = std::mem::take(&mut self.pending);
+        for (s, lb) in pending {
+            let old_phys = shards[s].physical_of(lb);
+            match shards[s].remap_logical(lb) {
+                Some(_new_phys) => {
+                    // The defect stays with the quarantined silicon.
+                    for f in &mut self.faults {
+                        if f.shard as usize == s && f.phys as usize == old_phys {
+                            f.dormant = true;
+                        }
+                    }
+                    self.flagged[s][lb] = false;
+                    self.baselines[s][lb] = shards[s].checksum_logical(lb);
+                    self.stats.blocks_quarantined += 1;
+                    self.stats.blocks_remapped += 1;
+                    outcome.remapped += 1;
+                }
+                None => {
+                    self.pending.push((s, lb));
+                    outcome.failed += 1;
+                }
+            }
+        }
+        outcome
+    }
+
+    /// Test hook: injects one specific fault record directly.
+    pub fn inject_now(&mut self, shards: &mut [Shard], shard: usize, lb: usize, kind: FaultKind) {
+        let phys = shards[shard].physical_of(lb);
+        match kind {
+            FaultKind::StuckAt { .. } => self.stats.injected_stuck += 1,
+            // A late strike only counts as injected once it actually
+            // lands (`land_late_strikes`) — one scheduled after the last
+            // broadcast of a run never happens, and an event that never
+            // happened must not show up in the accounting ledger.
+            FaultKind::Transient { late, .. } if !late => self.stats.injected_transient += 1,
+            FaultKind::Transient { .. } => {}
+            FaultKind::DeadBlock => self.stats.injected_dead += 1,
+        }
+        let rec = FaultRecord {
+            shard: shard as u32,
+            phys: phys as u32,
+            kind,
+            detected: false,
+            dormant: false,
+        };
+        match kind {
+            FaultKind::Transient {
+                lane,
+                subarray,
+                row,
+                mask,
+                late,
+            } if !late => {
+                shards[shard].flip_bits_logical(
+                    lb,
+                    lane as usize,
+                    subarray as usize,
+                    row as usize,
+                    mask,
+                );
+                self.faults.push(rec);
+            }
+            FaultKind::Transient { .. } => self.late_strikes.push(rec),
+            _ => self.faults.push(rec),
+        }
+    }
+
+    /// Registered faults so far (live + dormant + scheduled).
+    pub fn registered_faults(&self) -> usize {
+        self.faults.len() + self.late_strikes.len()
+    }
+
+    fn maybe_inject(&mut self, shards: &mut [Shard]) {
+        if self.registered_faults() >= self.config.max_faults as usize {
+            return;
+        }
+        let classes = [
+            (self.config.stuck_ppm, 0u8),
+            (self.config.transient_ppm, 1u8),
+            (self.config.dead_ppm, 2u8),
+        ];
+        for (ppm, class) in classes {
+            if self.registered_faults() >= self.config.max_faults as usize {
+                break;
+            }
+            if !self.roll_ppm(ppm) {
+                continue;
+            }
+            let Some((s, lb)) = self.pick_block(shards) else {
+                continue;
+            };
+            if self.flagged[s][lb] {
+                continue; // already dying; aim the storm at live silicon
+            }
+            let lane = (self.next() % crate::block::BLOCK_LANES as u64) as u8;
+            let subarray = (self.next() % crate::geometry::SUBARRAYS_PER_CHAIN as u64) as u8;
+            let row = (self.next() % crate::subarray::TOTAL_ROWS as u64) as u8;
+            let mask = (self.next() as u32) | 1;
+            let kind = match class {
+                0 => FaultKind::StuckAt {
+                    lane,
+                    subarray,
+                    row,
+                    mask,
+                    value: self.next() & 1 == 1,
+                },
+                1 => FaultKind::Transient {
+                    lane,
+                    subarray,
+                    row,
+                    mask,
+                    late: self.next() & 1 == 1,
+                },
+                _ => FaultKind::DeadBlock,
+            };
+            self.inject_now(shards, s, lb, kind);
+        }
+    }
+
+    /// Re-asserts every live persistent fault (stuck-at force, dead-block
+    /// scramble). Transients were applied at registration or wait in
+    /// `late_strikes`.
+    fn assert_persistent(&mut self, shards: &mut [Shard]) {
+        // Split borrows: the scramble seed comes from the shared stream.
+        for i in 0..self.faults.len() {
+            let f = self.faults[i];
+            if f.dormant {
+                continue;
+            }
+            let s = f.shard as usize;
+            match f.kind {
+                FaultKind::StuckAt {
+                    lane,
+                    subarray,
+                    row,
+                    mask,
+                    value,
+                } => {
+                    if let Some(lb) = shards[s].logical_of(f.phys as usize) {
+                        shards[s].force_bits_logical(
+                            lb,
+                            lane as usize,
+                            subarray as usize,
+                            row as usize,
+                            mask,
+                            value,
+                        );
+                    }
+                }
+                FaultKind::DeadBlock => {
+                    let seed = self.next() as u32 | 1;
+                    if let Some(lb) = shards[s].logical_of(f.phys as usize) {
+                        shards[s].scramble_logical(lb, seed);
+                    }
+                }
+                FaultKind::Transient { .. } => {}
+            }
+        }
+    }
+
+    /// Parity scan over every unflagged logical block; mismatches are
+    /// latched pending and their faults attributed.
+    fn scan(&mut self, shards: &[Shard]) {
+        for (s, shard) in shards.iter().enumerate() {
+            for lb in 0..shard.nblocks_logical() {
+                if self.flagged[s][lb] {
+                    continue;
+                }
+                if shard.checksum_logical(lb) != self.baselines[s][lb] {
+                    self.flag(s, lb, shard.physical_of(lb), DetectTier::Parity);
+                }
+            }
+        }
+    }
+
+    fn flag(&mut self, s: usize, lb: usize, phys: usize, tier: DetectTier) {
+        self.flagged[s][lb] = true;
+        self.pending.push((s, lb));
+        match tier {
+            DetectTier::Parity => self.stats.detected_parity += 1,
+            DetectTier::Golden => self.stats.detected_golden += 1,
+            DetectTier::Scrub => self.stats.detected_scrub += 1,
+        }
+        for f in &mut self.faults {
+            if f.shard as usize == s && f.phys as usize == phys && !f.detected {
+                f.detected = true;
+                self.stats.faults_attributed += 1;
+            }
+        }
+    }
+
+    /// Refreshes the baseline of every *unflagged* block to its current
+    /// checksum — the legitimate post-broadcast state.
+    fn refresh_clean(&mut self, shards: &[Shard]) {
+        for (s, shard) in shards.iter().enumerate() {
+            for lb in 0..shard.nblocks_logical() {
+                if !self.flagged[s][lb] {
+                    self.baselines[s][lb] = shard.checksum_logical(lb);
+                }
+            }
+        }
+    }
+
+    /// External legitimate mutation (data transfer, context restore, test
+    /// hook) on one chain: refresh that block's baseline.
+    pub fn refresh_block(&mut self, shards: &[Shard], s: usize, lb: usize) {
+        if !self.flagged[s][lb] {
+            self.baselines[s][lb] = shards[s].checksum_logical(lb);
+        }
+    }
+
+    /// External legitimate bulk mutation: refresh every clean baseline.
+    pub fn refresh_all(&mut self, shards: &[Shard]) {
+        self.refresh_clean(shards);
+    }
+
+    /// Pre-mutation parity scan. A legitimate mutation is about to
+    /// overwrite block state and refresh baselines, which would silently
+    /// absorb any corruption that landed since the last scan (e.g. a
+    /// late strike followed by a vector write into the same block).
+    /// Scanning first guarantees detection always precedes absorption.
+    pub fn verify_all(&mut self, shards: &[Shard]) {
+        self.scan(shards);
+    }
+
+    /// Single-block variant of [`FaultLayer::verify_all`].
+    pub fn verify_block(&mut self, shards: &[Shard], s: usize, lb: usize) {
+        if !self.flagged[s][lb] && shards[s].checksum_logical(lb) != self.baselines[s][lb] {
+            self.flag(s, lb, shards[s].physical_of(lb), DetectTier::Parity);
+        }
+    }
+
+    fn land_late_strikes(&mut self, shards: &mut [Shard]) {
+        let strikes = std::mem::take(&mut self.late_strikes);
+        for rec in strikes {
+            let s = rec.shard as usize;
+            if let FaultKind::Transient {
+                lane,
+                subarray,
+                row,
+                mask,
+                ..
+            } = rec.kind
+            {
+                if let Some(lb) = shards[s].logical_of(rec.phys as usize) {
+                    shards[s].flip_bits_logical(
+                        lb,
+                        lane as usize,
+                        subarray as usize,
+                        row as usize,
+                        mask,
+                    );
+                    // The strike happened: it enters the ledger now (see
+                    // `inject_now` — scheduled-but-never-landed strikes
+                    // are not injections). A strike aimed at silicon
+                    // quarantined in the meantime hits nothing
+                    // observable and is dropped.
+                    self.stats.injected_transient += 1;
+                    let mut rec = rec;
+                    if self.flagged[s][lb] {
+                        // The block is already latched as pending —
+                        // its contents are condemned and will never be
+                        // re-absorbed, so the existing detection covers
+                        // this strike too. Without this, a strike on a
+                        // flagged block (which scans skip) would stay
+                        // unattributed forever.
+                        rec.detected = true;
+                        self.stats.faults_attributed += 1;
+                    }
+                    self.faults.push(rec);
+                }
+            }
+        }
+    }
+
+    fn maybe_capture_sample(&mut self, shards: &[Shard]) {
+        let interval = self.config.spot_check_interval;
+        if interval == 0 || !self.programs.is_multiple_of(interval) {
+            self.sample = None;
+            return;
+        }
+        let total: usize = shards.iter().map(Shard::len).sum();
+        if total == 0 {
+            self.sample = None;
+            return;
+        }
+        let mut k = (self.next() % total as u64) as usize;
+        for (s, shard) in shards.iter().enumerate() {
+            if k < shard.len() {
+                self.sample = Some(GoldenSample {
+                    shard: s,
+                    local: k,
+                    chain: shard.chain(k),
+                    window: shard.window(k),
+                });
+                return;
+            }
+            k -= shard.len();
+        }
+    }
+
+    /// Replays the captured sample through the scalar golden model and
+    /// flags the chain's block on mismatch.
+    fn golden_replay(&mut self, shards: &[Shard], ops: &[MicroOp]) {
+        let Some(mut sample) = self.sample.take() else {
+            return;
+        };
+        if sample.window != 0 {
+            for op in ops {
+                sample.chain.execute(op, sample.window);
+            }
+        }
+        let shard = &shards[sample.shard];
+        if shard.chain(sample.local) != sample.chain {
+            let lb = sample.local / crate::block::BLOCK_LANES;
+            if !self.flagged[sample.shard][lb] {
+                self.flag(sample.shard, lb, shard.physical_of(lb), DetectTier::Golden);
+            }
+        }
+    }
+}

@@ -48,13 +48,19 @@ pub(crate) struct Shard {
     active_blocks: Vec<u32>,
     active_dirty: bool,
     nchains: usize,
+    /// Logical block → physical block. Identity at construction; the
+    /// fault layer's quarantine-and-remap repoints whole logical blocks
+    /// at spare physical blocks, so every per-chain accessor resolves
+    /// through this one-word indirection.
+    block_map: Vec<u32>,
+    /// Physical indices of provisioned-but-unused spare blocks. Spares
+    /// keep all-zero windows (power-gated, padding-lane invariant) until
+    /// a remap brings them live.
+    spare_free: Vec<u32>,
+    /// Physical blocks retired by quarantine; their windows are forced
+    /// to zero forever, so broadcasts never visit them again.
+    quarantined: Vec<u32>,
     pub sums: Vec<u64>,
-}
-
-/// Splits a local chain index into its (block, lane) coordinates.
-#[inline]
-fn split(local: usize) -> (usize, usize) {
-    (local / BLOCK_LANES, local % BLOCK_LANES)
 }
 
 impl Shard {
@@ -65,8 +71,7 @@ impl Shard {
         let nblocks = len.div_ceil(BLOCK_LANES);
         let mut windows = vec![[0u32; BLOCK_LANES]; nblocks];
         for local in 0..len {
-            let (b, l) = split(local);
-            windows[b][l] = u32::MAX;
+            windows[local / BLOCK_LANES][local % BLOCK_LANES] = u32::MAX;
         }
         Self {
             blocks: vec![ChainBlock::new(); nblocks],
@@ -74,8 +79,21 @@ impl Shard {
             active_blocks: (0..nblocks as u32).collect(),
             active_dirty: false,
             nchains: len,
+            block_map: (0..nblocks as u32).collect(),
+            spare_free: Vec::new(),
+            quarantined: Vec::new(),
             sums: Vec::new(),
         }
+    }
+
+    /// Resolves a local chain index into its (physical block, lane)
+    /// coordinates through the remap table.
+    #[inline]
+    fn loc(&self, local: usize) -> (usize, usize) {
+        (
+            self.block_map[local / BLOCK_LANES] as usize,
+            local % BLOCK_LANES,
+        )
     }
 
     /// Number of chains in this shard (excluding block padding lanes).
@@ -85,7 +103,7 @@ impl Shard {
 
     /// The window mask of local chain `local`.
     pub fn window(&self, local: usize) -> u32 {
-        let (b, l) = split(local);
+        let (b, l) = self.loc(local);
         self.windows[b][l]
     }
 
@@ -93,7 +111,7 @@ impl Shard {
     /// block-level active list for a rebuild before the next broadcast.
     pub fn set_window(&mut self, local: usize, mask: u32) {
         debug_assert!(local < self.nchains, "chain {local} out of shard");
-        let (b, l) = split(local);
+        let (b, l) = self.loc(local);
         if self.windows[b][l] != mask {
             self.windows[b][l] = mask;
             self.active_dirty = true;
@@ -173,65 +191,65 @@ impl Shard {
     /// Materializes local chain `local` as a scalar [`Chain`]
     /// (reference-model view; test/bring-up hook, not a hot path).
     pub fn chain(&self, local: usize) -> Chain {
-        let (b, l) = split(local);
+        let (b, l) = self.loc(local);
         self.blocks[b].to_chain(l)
     }
 
     /// Tag bits of subarray `s` of local chain `local`.
     pub fn tags(&self, local: usize, s: usize) -> u32 {
-        let (b, l) = split(local);
+        let (b, l) = self.loc(local);
         self.blocks[b].tags(l, s)
     }
 
     /// Overwrites the tag bits of subarray `s` of local chain `local`.
     pub fn set_tags(&mut self, local: usize, s: usize, v: u32) {
-        let (b, l) = split(local);
+        let (b, l) = self.loc(local);
         self.blocks[b].set_tags(l, s, v);
     }
 
     /// Accumulator bits of subarray `s` of local chain `local`.
     pub fn acc(&self, local: usize, s: usize) -> u32 {
-        let (b, l) = split(local);
+        let (b, l) = self.loc(local);
         self.blocks[b].acc(l, s)
     }
 
     /// Overwrites the accumulator bits of subarray `s` of local chain
     /// `local`.
     pub fn set_acc(&mut self, local: usize, s: usize, v: u32) {
-        let (b, l) = split(local);
+        let (b, l) = self.loc(local);
         self.blocks[b].set_acc(l, s, v);
     }
 
     /// Row `r` of subarray `s` of local chain `local`.
     pub fn row(&self, local: usize, s: usize, r: usize) -> u32 {
-        let (b, l) = split(local);
+        let (b, l) = self.loc(local);
         self.blocks[b].row(l, s, r)
     }
 
     /// Masked write into row `r` of subarray `s` of local chain `local`.
     pub fn write_row(&mut self, local: usize, s: usize, r: usize, data: u32, mask: u32) {
-        let (b, l) = split(local);
+        let (b, l) = self.loc(local);
         self.blocks[b].write_row(l, s, r, data, mask);
     }
 
     /// Deposits one element into register `reg`, column `col` of local
     /// chain `local`.
     pub fn write_element(&mut self, local: usize, reg: usize, col: usize, value: u32) {
-        let (b, l) = split(local);
+        let (b, l) = self.loc(local);
         self.blocks[b].write_element(l, reg, col, value);
     }
 
     /// Reads one element of register `reg`, column `col` of local chain
     /// `local`.
     pub fn read_element(&self, local: usize, reg: usize, col: usize) -> u32 {
-        let (b, l) = split(local);
+        let (b, l) = self.loc(local);
         self.blocks[b].read_element(l, reg, col)
     }
 
     /// Bulk-reads register `reg` of local chain `local` across all 32
     /// columns (one 32×32 transpose).
     pub fn read_column_block(&self, local: usize, reg: usize) -> [u32; SUBARRAY_COLS] {
-        let (b, l) = split(local);
+        let (b, l) = self.loc(local);
         self.blocks[b].read_column_block(l, reg)
     }
 
@@ -244,7 +262,7 @@ impl Shard {
         values: &[u32; SUBARRAY_COLS],
         col_mask: u32,
     ) {
-        let (b, l) = split(local);
+        let (b, l) = self.loc(local);
         self.blocks[b].write_column_block(l, reg, values, col_mask);
     }
 
@@ -253,7 +271,7 @@ impl Shard {
     pub fn save_states(&self) -> Vec<ChainState> {
         (0..self.nchains)
             .map(|local| {
-                let (b, l) = split(local);
+                let (b, l) = self.loc(local);
                 self.blocks[b].save_state(l)
             })
             .collect()
@@ -268,9 +286,102 @@ impl Shard {
     pub fn load_states(&mut self, states: &[ChainState]) {
         assert_eq!(states.len(), self.nchains, "snapshot/shard length mismatch");
         for (local, state) in states.iter().enumerate() {
-            let (b, l) = split(local);
+            let (b, l) = self.loc(local);
             self.blocks[b].load_state(l, state);
         }
+    }
+
+    // ---- fault layer: spares, quarantine and whole-block remap --------
+
+    /// Number of *logical* blocks (the ones chains map onto; excludes
+    /// spares and quarantined silicon).
+    pub fn nblocks_logical(&self) -> usize {
+        self.block_map.len()
+    }
+
+    /// Physical block currently backing logical block `lb`.
+    pub fn physical_of(&self, lb: usize) -> usize {
+        self.block_map[lb] as usize
+    }
+
+    /// Logical block mapped onto physical block `phys`, if any (`None`
+    /// for quarantined or unused-spare silicon).
+    pub fn logical_of(&self, phys: usize) -> Option<usize> {
+        self.block_map.iter().position(|&p| p as usize == phys)
+    }
+
+    /// Parity word of logical block `lb` (see [`ChainBlock::checksum`]).
+    pub fn checksum_logical(&self, lb: usize) -> u64 {
+        self.blocks[self.physical_of(lb)].checksum()
+    }
+
+    /// Transient strike into logical block `lb`.
+    pub fn flip_bits_logical(&mut self, lb: usize, lane: usize, s: usize, r: usize, mask: u32) {
+        let phys = self.physical_of(lb);
+        self.blocks[phys].flip_bits(lane, s, r, mask);
+    }
+
+    /// Stuck-at assertion into logical block `lb`; true if state changed.
+    pub fn force_bits_logical(
+        &mut self,
+        lb: usize,
+        lane: usize,
+        s: usize,
+        r: usize,
+        mask: u32,
+        value: bool,
+    ) -> bool {
+        let phys = self.physical_of(lb);
+        self.blocks[phys].force_bits(lane, s, r, mask, value)
+    }
+
+    /// Dead-block scramble of logical block `lb`.
+    pub fn scramble_logical(&mut self, lb: usize, seed: u32) {
+        let phys = self.physical_of(lb);
+        self.blocks[phys].scramble(seed);
+    }
+
+    /// Provisions `n` spare physical blocks. Spares start all-zero with
+    /// all-zero windows, so they are power-gated padding until a remap
+    /// brings them live — broadcasts never visit them.
+    pub fn add_spares(&mut self, n: usize) {
+        for _ in 0..n {
+            let phys = self.blocks.len() as u32;
+            self.blocks.push(ChainBlock::new());
+            self.windows.push([0u32; BLOCK_LANES]);
+            self.spare_free.push(phys);
+        }
+    }
+
+    /// Unused spares remaining.
+    pub fn spares_free(&self) -> usize {
+        self.spare_free.len()
+    }
+
+    /// Physical blocks retired so far.
+    pub fn quarantined_count(&self) -> usize {
+        self.quarantined.len()
+    }
+
+    /// Quarantines the physical block behind logical block `lb` and
+    /// remaps `lb` onto a spare, or returns `None` when this shard is out
+    /// of spares (the caller must treat the machine as degraded).
+    ///
+    /// The spare inherits a best-effort copy of the (possibly corrupted)
+    /// data plus the lane windows — so power-gating state and padding
+    /// lanes carry over — and the retired block's windows are forced to
+    /// zero forever, excluding it from every future broadcast exactly
+    /// like a fully-masked (power-gated) block.
+    pub fn remap_logical(&mut self, lb: usize) -> Option<usize> {
+        let new = self.spare_free.pop()? as usize;
+        let old = self.physical_of(lb);
+        self.blocks[new] = self.blocks[old].clone();
+        self.windows[new] = self.windows[old];
+        self.windows[old] = [0u32; BLOCK_LANES];
+        self.block_map[lb] = new as u32;
+        self.quarantined.push(old as u32);
+        self.active_dirty = true;
+        Some(new)
     }
 }
 

@@ -3,12 +3,12 @@
 
 use std::collections::VecDeque;
 
-use cape_core::{CapeConfig, CapeMachine, MachineContext, MachineCounters, RunReport};
+use cape_core::{CapeConfig, CapeMachine, FaultConfig, MachineContext, MachineCounters, RunReport};
 use cape_cp::{ControlProcessor, SliceOutcome};
 use cape_isa::EncodeError;
 use cape_mem::MainMemory;
 
-use crate::job::{fingerprint, JobId, JobReport, JobSpec};
+use crate::job::{fingerprint, JobError, JobId, JobReport, JobSpec};
 use crate::report::{EngineReport, QueueLatency};
 
 /// Why a submission was rejected at admission.
@@ -72,17 +72,68 @@ pub struct EngineConfig {
     /// jobs with identical program fingerprints so they share compiled
     /// microprograms in the VCU cache.
     pub max_batch: usize,
+    /// Fault-tolerance policy. `None` (the default) runs the fast path:
+    /// no fault layer, no checkpointing, no scrubbing, and the
+    /// resident-tenant optimization skips redundant context transfers.
+    pub fault: Option<FaultPolicy>,
 }
 
 impl EngineConfig {
     /// Defaults: a 64-deep queue, 32 vector instructions per slice,
-    /// batches of up to 8 same-kernel jobs.
+    /// batches of up to 8 same-kernel jobs, fault tolerance off.
     pub fn new(machine: CapeConfig) -> Self {
         Self {
             machine,
             queue_capacity: 64,
             slice_vectors: 32,
             max_batch: 8,
+            fault: None,
+        }
+    }
+}
+
+/// How the engine survives hardware faults: the CSB fault layer to arm,
+/// plus the checkpointed-retry bounds. With a policy set, every slice is
+/// bracketed by a VMU-costed context restore/save (the checkpoint), a
+/// parity scrub runs after every slice *before* the slice's end state
+/// can become the next checkpoint, and a slice whose detectors latched
+/// — or whose watchdog fired — is rolled back and re-executed from the
+/// last verified checkpoint up to [`FaultPolicy::max_retries`] times.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultPolicy {
+    /// Configuration for the CSB fault-injection/detection layer (use
+    /// [`FaultConfig::quiescent`] for detection machinery without
+    /// injection).
+    pub csb: FaultConfig,
+    /// Re-executions of one slice before the job fails typed.
+    pub max_retries: u32,
+    /// Engine cycles charged per rollback (models handler + re-arm).
+    pub retry_backoff_cycles: u64,
+    /// Watchdog fuel: instructions one slice may commit before the CP
+    /// declares it runaway ([`SliceOutcome::TimedOut`]).
+    pub slice_fuel: u64,
+}
+
+impl FaultPolicy {
+    /// A policy with seeded random injection and paper-plausible retry
+    /// bounds: 3 retries, 2,000-cycle backoff, 200k-instruction fuel.
+    pub fn seeded(seed: u64) -> Self {
+        Self {
+            csb: FaultConfig::seeded(seed),
+            max_retries: 3,
+            retry_backoff_cycles: 2_000,
+            slice_fuel: 200_000,
+        }
+    }
+
+    /// Detection, scrubbing and checkpointed retry armed, but no fault
+    /// injection — the configuration for measuring clean-run overhead.
+    pub fn quiescent() -> Self {
+        Self {
+            csb: FaultConfig::quiescent(2),
+            max_retries: 3,
+            retry_backoff_cycles: 2_000,
+            slice_fuel: 200_000,
         }
     }
 }
@@ -109,8 +160,9 @@ struct Active {
     finish_cycle: u64,
     slices: u64,
     preemptions: u64,
+    retries: u64,
     done: bool,
-    error: Option<String>,
+    error: Option<JobError>,
 }
 
 /// A served job: its report plus its memory image (outputs).
@@ -147,6 +199,7 @@ pub struct Engine {
     batches: u64,
     context_switches: u64,
     context_switch_cycles: u64,
+    retries: u64,
 }
 
 impl Engine {
@@ -159,8 +212,12 @@ impl Engine {
         assert!(config.queue_capacity > 0, "queue capacity must be positive");
         assert!(config.slice_vectors > 0, "slice budget must be positive");
         assert!(config.max_batch > 0, "batch size must be positive");
+        let mut machine = CapeMachine::new(config.machine);
+        if let Some(policy) = &config.fault {
+            machine.enable_fault_injection(policy.csb);
+        }
         Self {
-            machine: CapeMachine::new(config.machine),
+            machine,
             config,
             now: 0,
             next_id: 0,
@@ -170,6 +227,7 @@ impl Engine {
             batches: 0,
             context_switches: 0,
             context_switch_cycles: 0,
+            retries: 0,
         }
     }
 
@@ -186,6 +244,15 @@ impl Engine {
     /// Read access to the shared machine (cache statistics, config).
     pub fn machine(&self) -> &CapeMachine {
         &self.machine
+    }
+
+    /// Plants one specific CSB fault at chain `i` (testing hook).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the engine was built with a [`FaultPolicy`].
+    pub fn inject_fault(&mut self, chain: usize, kind: cape_core::FaultKind) {
+        self.machine.inject_csb_fault(chain, kind);
     }
 
     /// Admits a job, or refuses it with typed backpressure.
@@ -283,6 +350,7 @@ impl Engine {
                 finish_cycle: 0,
                 slices: 0,
                 preemptions: 0,
+                retries: 0,
                 done: false,
                 error: None,
                 spec: p.spec,
@@ -309,6 +377,15 @@ impl Engine {
     /// Runs one slice of `job`, switching its context in (and, if other
     /// tenants are still alive, back out) around the execution.
     fn run_one_slice(&mut self, job: &mut Active, alive: usize) {
+        match self.config.fault {
+            None => self.run_one_slice_fast(job, alive),
+            Some(policy) => self.run_one_slice_checked(job, policy),
+        }
+    }
+
+    /// The fast path: no checkpointing, no scrubbing, no watchdog, and
+    /// a sole-resident tenant skips redundant context transfers.
+    fn run_one_slice_fast(&mut self, job: &mut Active, alive: usize) {
         // Context switch in — skipped when the job's registers are
         // already resident (it ran the previous slice alone).
         if self.resident != Some(job.id) {
@@ -330,6 +407,7 @@ impl Engine {
             &job.spec.program,
             &mut job.spec.mem,
             self.config.slice_vectors,
+            u64::MAX,
         );
         job.acc
             .accumulate(&self.machine.counters().since(&counters_before));
@@ -349,11 +427,134 @@ impl Engine {
                     self.charge_context_transfer();
                 }
             }
+            Ok(SliceOutcome::TimedOut) => {
+                unreachable!("the watchdog is disabled on the fast path")
+            }
             Err(e) => {
                 job.done = true;
-                job.error = Some(e.to_string());
+                job.error = Some(JobError::Processor {
+                    detail: e.to_string(),
+                });
                 job.finish_cycle = self.now;
             }
+        }
+    }
+
+    /// The self-healing path: every slice starts from a verified
+    /// checkpoint `(cp, ctx, mem)` and is only accepted — its end state
+    /// becoming the next checkpoint — after a post-slice scrub comes
+    /// back clean. A slice whose detectors latched, or whose watchdog
+    /// fired, is rolled back and re-executed; [`FaultPolicy::max_retries`]
+    /// bounds the loop, after which the job fails with a typed
+    /// [`JobError`]. The scrub-before-save ordering is the correctness
+    /// invariant: corrupted state can never become a checkpoint, so a
+    /// rollback always lands on bit-clean state.
+    fn run_one_slice_checked(&mut self, job: &mut Active, policy: FaultPolicy) {
+        // The rollback image: everything one slice can mutate. `job.ctx`
+        // (the vector state) is already the checkpoint and is only
+        // replaced after a clean scrub below.
+        let checkpoint_cp = job.cp.clone();
+        let checkpoint_mem = job.spec.mem.clone();
+        let mut attempt: u32 = 0;
+        loop {
+            // Always restore: the checkpoint is authoritative, and the
+            // restore re-baselines any blocks remapped by a prior
+            // attempt. Charged at the VMU bulk-transfer cost.
+            self.machine.set_tenant(job.id);
+            self.machine.restore_context(&job.ctx);
+            self.charge_context_transfer();
+            self.resident = Some(job.id);
+            if job.slices == 0 {
+                job.start_cycle = Some(self.now);
+            }
+            if job.slices == 0 && attempt == 0 {
+                if let Some(elem) = job.spec.fault_at_element {
+                    self.machine.inject_page_fault(elem);
+                }
+            }
+            let counters_before = self.machine.counters();
+            let cycles_before = job.cp.stats().cycles;
+            let outcome = self.machine.run_slice(
+                &mut job.cp,
+                &job.spec.program,
+                &mut job.spec.mem,
+                self.config.slice_vectors,
+                policy.slice_fuel,
+            );
+            // Retried slices accumulate too: wasted attempts are real
+            // work the machine performed.
+            job.acc
+                .accumulate(&self.machine.counters().since(&counters_before));
+            self.now += job.cp.stats().cycles - cycles_before;
+            job.slices += 1;
+
+            // Detection before checkpoint. The parity/golden tiers ran
+            // inside the slice's broadcasts; the scrub sweeps every
+            // block (idle ones included) so nothing latches late.
+            if let Some(report) = self.machine.scrub() {
+                let _ = report;
+            }
+            let corrupted = self.machine.pending_faults() > 0;
+            if corrupted {
+                let remap = self.machine.quarantine_and_remap();
+                if !remap.fully_recovered() {
+                    // Out of spares: the faulty blocks stay pending and
+                    // the machine is degraded — fail typed, never mask.
+                    job.done = true;
+                    job.error = Some(JobError::SparesExhausted {
+                        pending_blocks: self.machine.pending_faults(),
+                    });
+                    job.finish_cycle = self.now;
+                    return;
+                }
+            }
+            let timed_out = matches!(outcome, Ok(SliceOutcome::TimedOut));
+            if corrupted || timed_out {
+                attempt += 1;
+                if attempt > policy.max_retries {
+                    job.done = true;
+                    job.error = Some(if timed_out {
+                        JobError::WatchdogTimeout {
+                            retries: policy.max_retries,
+                        }
+                    } else {
+                        JobError::FaultRetriesExhausted {
+                            retries: policy.max_retries,
+                        }
+                    });
+                    job.finish_cycle = self.now;
+                    return;
+                }
+                // Roll back to the verified checkpoint and re-execute.
+                job.retries += 1;
+                self.retries += 1;
+                self.now += policy.retry_backoff_cycles;
+                job.cp = checkpoint_cp.clone();
+                job.spec.mem = checkpoint_mem.clone();
+                continue;
+            }
+            match outcome {
+                Ok(SliceOutcome::Halted) => {
+                    job.done = true;
+                    job.finish_cycle = self.now;
+                }
+                Ok(SliceOutcome::Preempted) => {
+                    job.preemptions += 1;
+                    // The scrub came back clean: this end state is the
+                    // new checkpoint.
+                    job.ctx = self.machine.save_context();
+                    self.charge_context_transfer();
+                }
+                Ok(SliceOutcome::TimedOut) => unreachable!("handled by the rollback arm"),
+                Err(e) => {
+                    job.done = true;
+                    job.error = Some(JobError::Processor {
+                        detail: e.to_string(),
+                    });
+                    job.finish_cycle = self.now;
+                }
+            }
+            return;
         }
     }
 
@@ -394,6 +595,7 @@ impl Engine {
                 preemptions: job.preemptions,
                 report,
                 faults: job.acc.faults_taken,
+                retries: job.retries,
                 error: job.error,
             },
             mem: job.spec.mem,
@@ -419,6 +621,10 @@ impl Engine {
             cross_tenant_hits: cache.cross_tenant_hits(),
             cross_tenant_hit_rate: cache.cross_tenant_hit_rate(),
             cache_hit_rate: cache.hit_rate(),
+            retries: self.retries,
+            fault: self.machine.fault_stats(),
+            spare_blocks_free: self.machine.spare_blocks_free(),
+            quarantined_blocks: self.machine.quarantined_blocks(),
         }
     }
 
@@ -591,6 +797,158 @@ halt"
             out_b,
             (0..16).map(|i| (i * 9 + 1) * 2).collect::<Vec<u32>>()
         );
+    }
+
+    #[test]
+    fn quiescent_fault_mode_is_bit_identical_to_the_fast_path() {
+        // Detection + checkpointing armed, zero injection: outputs must
+        // match the fast path exactly, with zero retries and a clean
+        // fault ledger (scrubs excepted).
+        let run = |fault: Option<FaultPolicy>| {
+            let mut e = Engine::new(EngineConfig {
+                fault,
+                slice_vectors: 2,
+                ..EngineConfig::new(cape_core::CapeConfig::tiny(2))
+            });
+            let ids: Vec<JobId> = (1..4).map(|s| e.submit(add_job(16, s)).unwrap()).collect();
+            let report = e.run();
+            let outs: Vec<Vec<u32>> = ids
+                .iter()
+                .map(|&id| e.memory(id).unwrap().read_u32_slice(0x4000, 16))
+                .collect();
+            (report, outs)
+        };
+        let (fast, fast_outs) = run(None);
+        let (checked, checked_outs) = run(Some(FaultPolicy::quiescent()));
+        assert_eq!(fast.completed(), 3);
+        assert_eq!(checked.completed(), 3);
+        assert_eq!(
+            fast_outs, checked_outs,
+            "fault mode must not change results"
+        );
+        assert_eq!(checked.retries, 0);
+        assert_eq!(checked.fault.injected_total(), 0);
+        assert!(checked.fault.scrubs > 0, "every slice must scrub");
+        assert!(
+            checked.total_cycles >= fast.total_cycles,
+            "checkpointing cannot be free: {} vs {}",
+            checked.total_cycles,
+            fast.total_cycles
+        );
+    }
+
+    #[test]
+    fn injected_stuck_at_is_detected_remapped_and_the_job_still_exact() {
+        let mut e = Engine::new(EngineConfig {
+            fault: Some(FaultPolicy::quiescent()),
+            slice_vectors: 1,
+            ..EngineConfig::new(cape_core::CapeConfig::tiny(2))
+        });
+        let id = e.submit(add_job(16, 5)).unwrap();
+        // Wedge four columns of v1 in the block holding chain 0. The
+        // stuck-at re-asserts every broadcast until quarantined.
+        e.inject_fault(
+            0,
+            cape_core::FaultKind::StuckAt {
+                lane: 0,
+                subarray: 3,
+                row: 1,
+                mask: 0xF,
+                value: true,
+            },
+        );
+        let report = e.run();
+        let job = e.job_report(id).unwrap();
+        assert!(job.succeeded(), "error: {:?}", job.error);
+        assert!(job.retries >= 1, "the corrupted slice must be re-executed");
+        let out = e.memory(id).unwrap().read_u32_slice(0x4000, 16);
+        assert_eq!(
+            out,
+            (0..16).map(|i| (i * 5 + 1) * 2).collect::<Vec<u32>>(),
+            "self-healed output must be bit-exact"
+        );
+        assert_eq!(report.fault.injected_stuck, 1);
+        assert!(report.fault.fully_accounted(), "{:?}", report.fault);
+        assert!(report.fault.blocks_remapped >= 1);
+        assert_eq!(
+            report.quarantined_blocks,
+            report.fault.blocks_quarantined as usize
+        );
+    }
+
+    #[test]
+    fn runaway_job_times_out_typed_after_bounded_retries() {
+        let mut e = Engine::new(EngineConfig {
+            fault: Some(FaultPolicy {
+                slice_fuel: 64,
+                max_retries: 2,
+                ..FaultPolicy::quiescent()
+            }),
+            ..EngineConfig::new(cape_core::CapeConfig::tiny(2))
+        });
+        let spin = assemble("loop: j loop").unwrap();
+        let id = e
+            .submit(JobSpec::new("spin", spin, MainMemory::new()))
+            .unwrap();
+        let healthy = e.submit(add_job(8, 3)).unwrap();
+        let report = e.run();
+        let job = e.job_report(id).unwrap();
+        assert_eq!(job.error, Some(JobError::WatchdogTimeout { retries: 2 }));
+        assert_eq!(job.retries, 2);
+        assert_eq!(report.retries, 2);
+        // The runaway tenant must not take the healthy one with it.
+        let job = e.job_report(healthy).unwrap();
+        assert!(job.succeeded());
+        let out = e.memory(healthy).unwrap().read_u32_slice(0x4000, 8);
+        assert_eq!(out, (0..8).map(|i| (i * 3 + 1) * 2).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn dead_block_with_no_spares_fails_typed_not_silently() {
+        let mut e = Engine::new(EngineConfig {
+            fault: Some(FaultPolicy {
+                csb: cape_core::FaultConfig::quiescent(0), // no spares
+                ..FaultPolicy::quiescent()
+            }),
+            ..EngineConfig::new(cape_core::CapeConfig::tiny(2))
+        });
+        let id = e.submit(add_job(16, 2)).unwrap();
+        e.inject_fault(0, cape_core::FaultKind::DeadBlock);
+        let report = e.run();
+        let job = e.job_report(id).unwrap();
+        assert!(
+            matches!(job.error, Some(JobError::SparesExhausted { .. })),
+            "got {:?}",
+            job.error
+        );
+        assert!(report.fault.fully_accounted(), "{:?}", report.fault);
+        assert_eq!(report.spare_blocks_free, 0);
+    }
+
+    #[test]
+    fn rejected_vector_op_reaches_the_job_report_as_a_processor_error() {
+        use cape_isa::{Reg, VReg};
+        let mut e = engine();
+        // vmul with vd aliasing a source: admission can't see it (it
+        // encodes fine), the microcode sequencer rejects it typed.
+        let prog = cape_isa::Program::builder()
+            .li(Reg::T0, 4)
+            .vsetvli(Reg::T1, Reg::T0)
+            .vmul_vv(VReg::V1, VReg::V1, VReg::V2)
+            .halt()
+            .build()
+            .unwrap();
+        let id = e
+            .submit(JobSpec::new("alias", prog, MainMemory::new()))
+            .unwrap();
+        e.run();
+        let job = e.job_report(id).unwrap();
+        match &job.error {
+            Some(JobError::Processor { detail }) => {
+                assert!(detail.contains("must not alias"), "{detail}")
+            }
+            other => panic!("expected a processor error, got {other:?}"),
+        }
     }
 
     #[test]

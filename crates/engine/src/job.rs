@@ -117,6 +117,64 @@ impl Hasher for Fnv1a {
     }
 }
 
+/// Why a job failed, typed so a caller can tell a program bug
+/// ([`JobError::Processor`]) from machine-side resource exhaustion
+/// (watchdog, retries, spares) and decide whether resubmission can
+/// possibly help.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[must_use = "a job error distinguishes program bugs from recoverable machine faults"]
+pub enum JobError {
+    /// The control processor terminated the run with a typed error —
+    /// bad address, instruction budget, or a vector instruction the
+    /// microcode sequencer rejected. Deterministic: resubmitting the
+    /// same program will fail the same way.
+    Processor {
+        /// `Display` form of the [`CpError`](cape_cp::CpError).
+        detail: String,
+    },
+    /// The slice watchdog kept firing: every checkpointed re-execution
+    /// exhausted its fuel without reaching a halt or sync point.
+    WatchdogTimeout {
+        /// Re-executions attempted before giving up.
+        retries: u32,
+    },
+    /// Injected hardware faults corrupted every attempt at one slice;
+    /// the retry bound was reached with detections still latching.
+    FaultRetriesExhausted {
+        /// Re-executions attempted before giving up.
+        retries: u32,
+    },
+    /// Faulty blocks could not be remapped because the CSB is out of
+    /// spare blocks. The machine is permanently degraded; every
+    /// subsequent job on it fails the same way.
+    SparesExhausted {
+        /// Faulty blocks still pending quarantine.
+        pending_blocks: usize,
+    },
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobError::Processor { detail } => write!(f, "processor error: {detail}"),
+            JobError::WatchdogTimeout { retries } => {
+                write!(f, "slice watchdog fired after {retries} retries")
+            }
+            JobError::FaultRetriesExhausted { retries } => {
+                write!(f, "hardware faults persisted across {retries} retries")
+            }
+            JobError::SparesExhausted { pending_blocks } => {
+                write!(
+                    f,
+                    "{pending_blocks} faulty blocks pending with no spares left"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for JobError {}
+
 /// Everything the engine measured about one completed job.
 #[derive(Debug, Clone)]
 pub struct JobReport {
@@ -147,9 +205,11 @@ pub struct JobReport {
     pub report: RunReport,
     /// Page faults this job's vector memory instructions took.
     pub faults: u64,
-    /// `Display` form of the [`CpError`](cape_cp::CpError) if the job
-    /// failed; `None` for a clean halt.
-    pub error: Option<String>,
+    /// Checkpointed slice re-executions forced by the watchdog or by
+    /// hardware fault detections (zero outside fault mode).
+    pub retries: u64,
+    /// Why the job failed; `None` for a clean halt.
+    pub error: Option<JobError>,
 }
 
 impl JobReport {

@@ -1,5 +1,7 @@
 //! Aggregate serving metrics for one engine run.
 
+use cape_core::FaultStats;
+
 use crate::job::JobReport;
 
 /// Queue-latency distribution in engine cycles (nearest-rank
@@ -66,6 +68,16 @@ pub struct EngineReport {
     pub cross_tenant_hit_rate: f64,
     /// Overall program-cache hit rate across the run.
     pub cache_hit_rate: f64,
+    /// Checkpointed slice re-executions across all jobs (zero outside
+    /// fault mode).
+    pub retries: u64,
+    /// The machine's cumulative fault-layer counters: injections,
+    /// detections by tier, attribution, scrubs, quarantines and remaps.
+    pub fault: FaultStats,
+    /// Spare CSB blocks still unused at the end of the run.
+    pub spare_blocks_free: usize,
+    /// Physical CSB blocks quarantined over the run.
+    pub quarantined_blocks: usize,
 }
 
 impl EngineReport {

@@ -130,6 +130,15 @@ pub enum SequencerError {
     /// A bit-serial truth table referenced an addend operand, but the
     /// lowering supplied none — the algorithm and operand shape disagree.
     MissingAddend,
+    /// The operation's destination register aliases one of its sources,
+    /// which the in-place lowering cannot support (`vmul`, `vmacc`, the
+    /// mask-producing comparisons and `vmin`/`vmax.vx`).
+    DestAliasesSource {
+        /// Mnemonic of the offending operation, e.g. `"vmul"`.
+        mnemonic: &'static str,
+        /// The destination register that aliases a source.
+        vd: usize,
+    },
 }
 
 impl std::fmt::Display for SequencerError {
@@ -138,6 +147,9 @@ impl std::fmt::Display for SequencerError {
             SequencerError::UnsupportedWidth(_) => write!(f, "SEW must be 8, 16 or 32"),
             SequencerError::MissingAddend => {
                 write!(f, "truth table references an addend but none was supplied")
+            }
+            SequencerError::DestAliasesSource { mnemonic, vd } => {
+                write!(f, "{mnemonic} destination v{vd} must not alias a source")
             }
         }
     }
@@ -326,6 +338,15 @@ impl ProgramBuilder {
         self.ops.push(op);
     }
 
+    /// Latches a destination-aliasing error and aborts the lowering of the
+    /// offending operation. The first error wins, matching the
+    /// `MissingAddend` latch in [`ProgramBuilder::bit_serial`].
+    fn alias_error(&mut self, mnemonic: &'static str, vd: usize) -> PostProcess {
+        self.error
+            .get_or_insert(SequencerError::DestAliasesSource { mnemonic, vd });
+        PostProcess::None
+    }
+
     fn dispatch(&mut self, op: &VectorOp) -> PostProcess {
         match *op {
             VectorOp::Add { vd, vs1, vs2 } => {
@@ -384,10 +405,9 @@ impl ProgramBuilder {
                 PostProcess::None
             }
             VectorOp::Mul { vd, vs1, vs2 } => {
-                assert!(
-                    vd != vs1 && vd != vs2,
-                    "vmul destination v{vd} must not alias a source"
-                );
+                if vd == vs1 || vd == vs2 {
+                    return self.alias_error("vmul", vd);
+                }
                 self.clear_reg(vd);
                 for j in 0..self.width {
                     let gate = Probe::row(j, vs2, true);
@@ -402,10 +422,9 @@ impl ProgramBuilder {
                 PostProcess::None
             }
             VectorOp::MulScalar { vd, vs1, rs } => {
-                assert!(
-                    vd != vs1,
-                    "vmul destination v{vd} must not alias the source"
-                );
+                if vd == vs1 {
+                    return self.alias_error("vmul", vd);
+                }
                 self.clear_reg(vd);
                 for j in 0..self.width {
                     if rs >> j & 1 == 1 {
@@ -433,10 +452,9 @@ impl ProgramBuilder {
                 PostProcess::None
             }
             VectorOp::Mseq { vd, vs1, vs2 } => {
-                assert!(
-                    vd != vs1 && vd != vs2,
-                    "vmseq mask v{vd} must not alias a source"
-                );
+                if vd == vs1 || vd == vs2 {
+                    return self.alias_error("vmseq", vd);
+                }
                 // Per-subarray bit equality, then an AND fold across the
                 // chain (the bit-serial post-processing of Table I).
                 self.search_all(|_| vec![(vs1, true), (vs2, true)], TagMode::Set);
@@ -446,7 +464,9 @@ impl ProgramBuilder {
                 PostProcess::None
             }
             VectorOp::MseqScalar { vd, vs1, rs } => {
-                assert!(vd != vs1, "vmseq mask v{vd} must not alias the source");
+                if vd == vs1 {
+                    return self.alias_error("vmseq", vd);
+                }
                 // CAPE's signature operation: one bit-parallel search
                 // against the scalar key (Fig. 4).
                 self.search_all(|i| vec![(vs1, rs >> i & 1 == 1)], TagMode::Set);
@@ -460,10 +480,9 @@ impl ProgramBuilder {
                 vs2,
                 signed,
             } => {
-                assert!(
-                    vd != vs1 && vd != vs2,
-                    "vmslt mask v{vd} must not alias a source"
-                );
+                if vd == vs1 || vd == vs2 {
+                    return self.alias_error("vmslt", vd);
+                }
                 self.mslt(vd, vs1, MsltRhs::Reg(vs2), signed);
                 PostProcess::None
             }
@@ -473,7 +492,9 @@ impl ProgramBuilder {
                 rs,
                 signed,
             } => {
-                assert!(vd != vs1, "vmslt mask v{vd} must not alias the source");
+                if vd == vs1 {
+                    return self.alias_error("vmslt", vd);
+                }
                 self.mslt(vd, vs1, MsltRhs::Scalar(rs), signed);
                 PostProcess::None
             }
@@ -482,10 +503,9 @@ impl ProgramBuilder {
                 PostProcess::None
             }
             VectorOp::Msne { vd, vs1, vs2 } => {
-                assert!(
-                    vd != vs1 && vd != vs2,
-                    "vmsne mask v{vd} must not alias a source"
-                );
+                if vd == vs1 || vd == vs2 {
+                    return self.alias_error("vmsne", vd);
+                }
                 self.search_all(|_| vec![(vs1, true), (vs2, true)], TagMode::Set);
                 self.search_all(|_| vec![(vs1, false), (vs2, false)], TagMode::Or);
                 self.fold_tags_and();
@@ -493,7 +513,9 @@ impl ProgramBuilder {
                 PostProcess::None
             }
             VectorOp::MsneScalar { vd, vs1, rs } => {
-                assert!(vd != vs1, "vmsne mask v{vd} must not alias the source");
+                if vd == vs1 {
+                    return self.alias_error("vmsne", vd);
+                }
                 self.search_all(|i| vec![(vs1, rs >> i & 1 == 1)], TagMode::Set);
                 self.fold_tags_and();
                 self.write_inverted_mask_from_tags(vd, self.width - 1);
@@ -521,10 +543,9 @@ impl ProgramBuilder {
                 max,
                 signed,
             } => {
-                assert!(
-                    vd != vs1,
-                    "vmin/vmax.vx destination must not alias the source"
-                );
+                if vd == vs1 {
+                    return self.alias_error(if max { "vmax" } else { "vmin" }, vd);
+                }
                 self.mslt_into_scratch(vs1, MsltRhs::Scalar(rs), signed);
                 // Materialize the scalar side in vd, then select in place.
                 self.broadcast(vd, rs);
@@ -542,10 +563,9 @@ impl ProgramBuilder {
                 PostProcess::None
             }
             VectorOp::Macc { vd, vs1, vs2 } => {
-                assert!(
-                    vd != vs1 && vd != vs2,
-                    "vmacc accumulator v{vd} must not alias a source"
-                );
+                if vd == vs1 || vd == vs2 {
+                    return self.alias_error("vmacc", vd);
+                }
                 // Exactly vmul's shift-and-add passes, accumulating into
                 // the existing destination instead of a cleared one.
                 self.zero_upper(vd);
@@ -1499,6 +1519,67 @@ mod tests {
                 vs2: 2,
             },
         );
+    }
+
+    #[test]
+    fn try_compile_surfaces_aliasing_as_typed_error() {
+        // Every aliasing restriction must latch a typed error so a
+        // long-running host can reject the one bad op without aborting.
+        let cases: [(VectorOp, &str); 5] = [
+            (
+                VectorOp::Mul {
+                    vd: 1,
+                    vs1: 1,
+                    vs2: 2,
+                },
+                "vmul",
+            ),
+            (
+                VectorOp::MseqScalar {
+                    vd: 4,
+                    vs1: 4,
+                    rs: 7,
+                },
+                "vmseq",
+            ),
+            (
+                VectorOp::Mslt {
+                    vd: 2,
+                    vs1: 3,
+                    vs2: 2,
+                    signed: true,
+                },
+                "vmslt",
+            ),
+            (
+                VectorOp::Macc {
+                    vd: 5,
+                    vs1: 5,
+                    vs2: 6,
+                },
+                "vmacc",
+            ),
+            (
+                VectorOp::MinMaxScalar {
+                    vd: 7,
+                    vs1: 7,
+                    rs: 1,
+                    max: true,
+                    signed: false,
+                },
+                "vmax",
+            ),
+        ];
+        for (op, mnemonic) in cases {
+            let err = CompiledOp::try_compile(&op, 32).unwrap_err();
+            match err {
+                SequencerError::DestAliasesSource { mnemonic: m, .. } => {
+                    assert_eq!(m, mnemonic, "{op:?}")
+                }
+                other => panic!("{op:?} produced {other:?}"),
+            }
+            assert!(err.to_string().contains("must not alias"), "{op:?}");
+        }
     }
 
     #[test]

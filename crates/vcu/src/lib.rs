@@ -24,7 +24,7 @@ mod cache;
 
 use cape_csb::{Csb, MicroOpStats, ReductionTree};
 use cape_ucode::metrics::{extension_cycles, paper_row};
-use cape_ucode::{Sequencer, VectorOp};
+use cape_ucode::{Sequencer, SequencerError, VectorOp};
 use serde::{Deserialize, Serialize};
 
 pub use cache::{ProgramCache, TenantCacheStats};
@@ -120,6 +120,27 @@ impl Vcu {
         let compiled = cache.get_or_compile(op, sew_bits);
         let outcome = Sequencer::with_width(csb, sew_bits as usize).run_program(compiled);
         self.finish(op, outcome, sew_bits)
+    }
+
+    /// Non-panicking form of [`Vcu::execute_sew_cached`]: malformed
+    /// operations (unsupported SEW, destination aliasing a source) surface
+    /// as a typed [`SequencerError`] and leave the CSB untouched, so a
+    /// long-running host can fail the one bad job and keep serving.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the [`SequencerError`] from
+    /// [`ProgramCache::try_get_or_compile`].
+    pub fn try_execute_sew_cached(
+        &self,
+        csb: &mut Csb,
+        op: &VectorOp,
+        sew_bits: u32,
+        cache: &mut ProgramCache,
+    ) -> Result<VcuResult, SequencerError> {
+        let compiled = cache.try_get_or_compile(op, sew_bits)?;
+        let outcome = Sequencer::with_width(csb, sew_bits as usize).run_program(compiled);
+        Ok(self.finish(op, outcome, sew_bits))
     }
 
     /// Layers the timing model over a sequencer outcome.
@@ -385,6 +406,51 @@ mod tests {
         }
         assert_eq!(cache.hits(), 3, "one repeated op per SEW");
         assert_eq!(cache.misses(), 9);
+    }
+
+    #[test]
+    fn try_execute_rejects_malformed_op_without_touching_csb() {
+        let vcu = Vcu::new(8);
+        let mut cache = ProgramCache::default();
+        let mut csb = Csb::new(CsbGeometry::new(8));
+        csb.write_vector(1, &[3, 5, 7]);
+        csb.set_active_window(0, 3);
+        let before = csb.read_vector(1, 3);
+        let err = vcu
+            .try_execute_sew_cached(
+                &mut csb,
+                &VectorOp::Mul {
+                    vd: 1,
+                    vs1: 1,
+                    vs2: 2,
+                },
+                32,
+                &mut cache,
+            )
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            SequencerError::DestAliasesSource {
+                mnemonic: "vmul",
+                vd: 1
+            }
+        ));
+        assert_eq!(csb.read_vector(1, 3), before, "CSB must be untouched");
+        // The good path through the same API still works.
+        let ok = vcu
+            .try_execute_sew_cached(
+                &mut csb,
+                &VectorOp::AddScalar {
+                    vd: 2,
+                    vs1: 1,
+                    rs: 10,
+                },
+                32,
+                &mut cache,
+            )
+            .unwrap();
+        assert!(ok.cycles > 0);
+        assert_eq!(csb.read_vector(2, 3), vec![13, 15, 17]);
     }
 
     #[test]

@@ -44,6 +44,7 @@ fn sixty_four_concurrent_jobs_match_their_solo_runs() {
         slice_vectors: 16,
         max_batch: INSTANCES_PER_KERNEL,
         machine: config,
+        fault: None,
     });
 
     // Admit the full mix: 8 kernels x 8 instances = 64 concurrent jobs.
@@ -122,6 +123,7 @@ fn page_fault_restart_is_invisible_to_co_scheduled_tenants() {
         slice_vectors: 4,
         max_batch: 4,
         machine: config,
+        fault: None,
     });
     let faulty = engine
         .submit(phoenix_job(hist.as_ref(), 0).with_fault_at(17))
@@ -160,6 +162,7 @@ fn deadline_jobs_jump_the_fifo_queue() {
         slice_vectors: 16,
         max_batch: 1,
         machine: config,
+        fault: None,
     });
     // Four bulk jobs first, then one urgent job with a deadline.
     let bulk: Vec<_> = (0..4)

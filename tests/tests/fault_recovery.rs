@@ -1,0 +1,219 @@
+//! Machine-layer self-healing properties: save → inject → detect →
+//! restore-from-snapshot must yield results bit-identical to an
+//! uninjected run, for every fault class, strike location and strike
+//! timing. (The `Csb`-layer version of these properties lives in the
+//! `cape-csb` unit tests; this file drives the same invariants through
+//! `CapeMachine`'s checkpointed slice loop — the exact recovery
+//! protocol `cape-engine` runs in production.)
+
+use cape_core::{CapeConfig, CapeMachine, FaultConfig, FaultKind};
+use cape_cp::SliceOutcome;
+use cape_isa::{Program, Reg, VReg};
+use cape_mem::MainMemory;
+use proptest::prelude::*;
+
+const CHAINS: usize = 4;
+const IN_A: u64 = 0x1000;
+const IN_B: u64 = 0x40000;
+const OUT: u64 = 0x80000;
+
+/// Strip-mined `out[i] = a[i] * b[i] + a[i]` kernel: enough vector
+/// instructions per iteration that a small `max_vector` yields several
+/// slices, giving strikes distinct checkpoints to corrupt.
+fn kernel(n: usize) -> Program {
+    let mut p = Program::builder();
+    p.li(Reg::S0, n as i64);
+    p.li(Reg::S1, IN_A as i64);
+    p.li(Reg::S2, IN_B as i64);
+    p.li(Reg::S3, OUT as i64);
+    p.label("loop");
+    p.vsetvli(Reg::T0, Reg::S0);
+    p.vle32(VReg::V1, Reg::S1);
+    p.vle32(VReg::V2, Reg::S2);
+    p.vmul_vv(VReg::V3, VReg::V1, VReg::V2);
+    p.vadd_vv(VReg::V4, VReg::V3, VReg::V1);
+    p.vse32(VReg::V4, Reg::S3);
+    p.sub(Reg::S0, Reg::S0, Reg::T0);
+    p.slli(Reg::T1, Reg::T0, 2);
+    p.add(Reg::S1, Reg::S1, Reg::T1);
+    p.add(Reg::S2, Reg::S2, Reg::T1);
+    p.add(Reg::S3, Reg::S3, Reg::T1);
+    p.bnez(Reg::S0, "loop");
+    p.halt();
+    p.build().expect("builds")
+}
+
+fn memory(a: &[u32], b: &[u32]) -> MainMemory {
+    let mut mem = MainMemory::new();
+    mem.write_u32_slice(IN_A, a);
+    mem.write_u32_slice(IN_B, b);
+    mem
+}
+
+/// The clean reference: one uninterrupted run on a fault-free machine.
+fn reference(program: &Program, a: &[u32], b: &[u32]) -> Vec<u32> {
+    let mut m = CapeMachine::new(CapeConfig::tiny(CHAINS));
+    let mut mem = memory(a, b);
+    m.run(program, &mut mem).expect("clean run halts");
+    mem.read_u32_slice(OUT, a.len())
+}
+
+/// Runs `program` sliced, injecting `strikes` (slice index → fault) at
+/// slice boundaries, healing exactly the way `cape-engine` does:
+/// checkpoint before each slice, scrub after it, and on any detection
+/// quarantine + remap + roll back to the checkpoint. Returns the output
+/// region and the number of rollbacks performed.
+fn run_with_healing(
+    program: &Program,
+    a: &[u32],
+    b: &[u32],
+    strikes: &[(u64, usize, FaultKind)],
+) -> (Vec<u32>, u64) {
+    let mut machine = CapeMachine::new(CapeConfig::tiny(CHAINS));
+    machine.enable_fault_injection(FaultConfig::quiescent(strikes.len() + 1));
+    let mut cp = machine.new_control_processor();
+    let mut ctx = machine.fresh_context();
+    let mut mem = memory(a, b);
+    let mut slice: u64 = 0;
+    let mut retries: u64 = 0;
+    let mut struck = vec![false; strikes.len()];
+    loop {
+        let checkpoint_cp = cp.clone();
+        let checkpoint_mem = mem.clone();
+        machine.restore_context(&ctx);
+        let outcome = machine
+            .run_slice(&mut cp, program, &mut mem, 2, u64::MAX)
+            .expect("kernel has no processor errors");
+        // Land every strike scheduled for this slice — at most once,
+        // so a rolled-back slice re-executes on healed silicon.
+        for (i, (at, chain, kind)) in strikes.iter().enumerate() {
+            if *at == slice && !struck[i] {
+                machine.inject_csb_fault(*chain, *kind);
+                struck[i] = true;
+            }
+        }
+        let _ = machine.scrub().expect("fault mode armed");
+        if machine.pending_faults() > 0 {
+            let remap = machine.quarantine_and_remap();
+            assert!(remap.fully_recovered(), "spares sized for the strike set");
+            cp = checkpoint_cp;
+            mem = checkpoint_mem;
+            retries += 1;
+            // `ctx` still holds the last known-good context; the next
+            // iteration restores it over the healed blocks.
+            continue;
+        }
+        ctx = machine.save_context();
+        slice += 1;
+        match outcome {
+            SliceOutcome::Halted => break,
+            SliceOutcome::Preempted => {}
+            SliceOutcome::TimedOut => unreachable!("watchdog disabled"),
+        }
+    }
+    let stats = machine.fault_stats();
+    assert!(
+        stats.fully_accounted(),
+        "every injected fault must be attributed: {stats:?}"
+    );
+    (mem.read_u32_slice(OUT, a.len()), retries)
+}
+
+fn fault_kind() -> impl Strategy<Value = FaultKind> {
+    let loc = (0u8..16, 0u8..32, 0u8..36, any::<u32>());
+    prop_oneof![
+        (loc.clone(), any::<bool>()).prop_map(|((lane, subarray, row, mask), value)| {
+            FaultKind::StuckAt {
+                lane,
+                subarray,
+                row,
+                mask: mask | 1,
+                value,
+            }
+        }),
+        loc.prop_map(|(lane, subarray, row, mask)| {
+            FaultKind::Transient {
+                lane,
+                subarray,
+                row,
+                mask: mask | 1,
+                late: false,
+            }
+        }),
+        Just(FaultKind::DeadBlock),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// One random fault, struck at a random slice boundary of a random
+    /// kernel length, heals to a bit-identical result.
+    #[test]
+    fn machine_heals_bit_identical_after_one_strike(
+        n in 1usize..120,
+        at in 0u64..6,
+        chain in 0usize..CHAINS,
+        kind in fault_kind(),
+    ) {
+        let a: Vec<u32> = (0..n as u32).map(|i| i.wrapping_mul(2_654_435_761)).collect();
+        let b: Vec<u32> = (0..n as u32).map(|i| i.wrapping_mul(40_503) ^ 0xA5A5).collect();
+        let program = kernel(n);
+        let clean = reference(&program, &a, &b);
+        let (healed, retries) = run_with_healing(&program, &a, &b, &[(at, chain, kind)]);
+        prop_assert_eq!(&healed, &clean, "retries={}", retries);
+    }
+
+    /// Two independent strikes on different blocks of the same run still
+    /// heal to the clean result.
+    #[test]
+    fn machine_heals_bit_identical_after_two_strikes(
+        n in 16usize..120,
+        at1 in 0u64..3,
+        at2 in 3u64..6,
+        kinds in (fault_kind(), fault_kind()),
+    ) {
+        let a: Vec<u32> = (0..n as u32).map(|i| i.wrapping_mul(0x9E37_79B9)).collect();
+        let b: Vec<u32> = (0..n as u32).rev().collect();
+        let program = kernel(n);
+        let clean = reference(&program, &a, &b);
+        let strikes = [(at1, 0, kinds.0), (at2, CHAINS - 1, kinds.1)];
+        let (healed, _) = run_with_healing(&program, &a, &b, &strikes);
+        prop_assert_eq!(&healed, &clean);
+    }
+}
+
+/// The slice watchdog fires on a runaway program, and the machine it
+/// fired on is still healthy: restoring the pre-slice checkpoint and
+/// running a real kernel produces the clean answer.
+#[test]
+fn watchdog_timeout_leaves_machine_recoverable() {
+    let mut machine = CapeMachine::new(CapeConfig::tiny(CHAINS));
+    machine.enable_fault_injection(FaultConfig::quiescent(1));
+    let runaway = {
+        let mut p = Program::builder();
+        p.label("spin");
+        p.j("spin");
+        p.halt();
+        p.build().expect("builds")
+    };
+    let ctx = machine.fresh_context();
+    machine.restore_context(&ctx);
+    let mut cp = machine.new_control_processor();
+    let mut mem = MainMemory::new();
+    let outcome = machine
+        .run_slice(&mut cp, &runaway, &mut mem, u64::MAX, 1_000)
+        .expect("spinning is not a processor error");
+    assert_eq!(outcome, SliceOutcome::TimedOut);
+
+    // The timed-out CP is at an arbitrary boundary and must be
+    // discarded; a fresh CP from the checkpoint computes cleanly.
+    let n = 40;
+    let a: Vec<u32> = (0..n as u32).collect();
+    let b: Vec<u32> = (0..n as u32).map(|i| i + 7).collect();
+    let program = kernel(n);
+    let clean = reference(&program, &a, &b);
+    let (healed, retries) = run_with_healing(&program, &a, &b, &[]);
+    assert_eq!(healed, clean);
+    assert_eq!(retries, 0);
+}
