@@ -13,7 +13,7 @@
 //! `vadd.vv` (bit-serial adder), `vmslt.vv` (compare/flag walk) and
 //! `vredsum.vs` (reduction-tree popcounts) — at 1k and 4k chains.
 
-use cape_csb::{Csb, CsbGeometry};
+use cape_csb::{Csb, CsbGeometry, FaultConfig};
 use cape_ucode::{CompiledOp, Sequencer, VectorOp};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
@@ -122,11 +122,37 @@ fn bench_block_kernels(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_fault_overhead(c: &mut Criterion) {
+    // PR 7: clean vs quiescent-armed fault mode over the same whole
+    // instruction. With incremental in-kernel parity the armed path pays
+    // one fused XOR-fold per written row plus an O(touched blocks)
+    // syndrome drain at broadcast boundaries, so the two bars should sit
+    // within a few percent of each other (the old full-rescan model put
+    // the armed bar at ~13x). Recorded in results/bench_pr7.json.
+    let mut g = c.benchmark_group("fault_overhead");
+    g.sample_size(10);
+    let chains = 4096usize;
+    let compiled = CompiledOp::compile(&VADD, 32);
+    let mut clean = csb(chains);
+    g.bench_with_input(BenchmarkId::new("vadd_clean", chains), &chains, |b, _| {
+        b.iter(|| Sequencer::new(&mut clean).run_program(&compiled))
+    });
+    let mut armed = csb(chains);
+    armed.enable_fault_injection(FaultConfig::quiescent(2));
+    g.bench_with_input(
+        BenchmarkId::new("vadd_quiescent", chains),
+        &chains,
+        |b, _| b.iter(|| Sequencer::new(&mut armed).run_program(&compiled)),
+    );
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_vadd_paths,
     bench_masked_window,
     bench_vector_io,
-    bench_block_kernels
+    bench_block_kernels,
+    bench_fault_overhead
 );
 criterion_main!(benches);

@@ -189,5 +189,17 @@ fn main() {
         completed >= 48,
         "storm should ride out most jobs ({completed}/64 completed)"
     );
+    // PR 7 perf gate: with incremental in-kernel parity, quiescent fault
+    // mode is an O(touched blocks) syndrome drain, not an O(all rows)
+    // rescan. Locally it measures ~1.2x; the 2.0x ceiling absorbs CI
+    // runner noise while still failing loudly if a rescan ever creeps
+    // back (the pre-incremental model measured ~13x here).
+    let host_ratio = quiet_ms / clean_ms;
+    assert!(
+        host_ratio <= 2.0,
+        "FAULT-MODE OVERHEAD REGRESSION: quiescent host wall-clock is \
+         {host_ratio:.2}x the clean run (gate: <= 2.0x). Did a full-state \
+         rescan sneak back into the parity path?"
+    );
     println!("fault-storm: OK");
 }

@@ -35,7 +35,10 @@ pub struct MachineContext {
 /// scheduling needs *delta* attribution: take one snapshot before a
 /// slice and one after, and [`MachineCounters::since`] yields the
 /// slice's own share of energy, traffic and cache activity.
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
+///
+/// Not `Copy`: the embedded [`FaultStats`] carries per-spare remap
+/// counts.
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct MachineCounters {
     /// CSB dynamic energy in picojoules.
     pub energy_pj: f64,

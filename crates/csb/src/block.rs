@@ -52,17 +52,67 @@ fn lane_act(window: u32) -> u32 {
     0u32.wrapping_sub(u32::from(window != 0))
 }
 
+/// XOR-fold of a row-slice: the per-row parity word the write path
+/// maintains. One u32 per `[u32; BLOCK_LANES]` cache line.
+#[inline]
+fn lane_fold(line: &Lanes) -> u32 {
+    let mut f = 0u32;
+    for &w in line {
+        f ^= w;
+    }
+    f
+}
+
+/// Position-mixed hash of one row's parity mismatch, XOR-accumulated
+/// into the block syndrome. `splitmix64` over (subarray, row, delta) so
+/// mismatches on *different* rows can never cancel each other the way
+/// raw deltas could; a mismatch that genuinely disappears (a transient
+/// flipped back by a second identical strike) cancels exactly.
+#[inline]
+fn row_term_hash(s: usize, r: usize, delta: u32) -> u64 {
+    if delta == 0 {
+        return 0;
+    }
+    let mut z = ((s as u64) << 40) ^ ((r as u64) << 32) ^ u64::from(delta);
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 /// [`BLOCK_LANES`] chains in structure-of-arrays layout.
 ///
 /// `rows[s][r]` is row `r` of subarray `s` across the block's lanes;
 /// `tags[s]`/`acc[s]` are the match registers of subarray `s` across the
 /// lanes. All kernels take the block's window-slice (`win[l]` is lane
 /// `l`'s active-column mask) and leave `win[l] == 0` lanes untouched.
+///
+/// # Incremental parity (DESIGN.md §15)
+///
+/// `parity[s][r]` is the XOR-fold of row-slice `rows[s][r]` as seen by
+/// the *write path*: every legitimate mutation — a kernel row write, a
+/// per-lane data-transfer write, a context-restore unpack — XOR-folds
+/// the old and new cache line into it, so on a fault-free block
+/// `parity[s][r] == lane_fold(rows[s][r])` at all times. The fault
+/// injectors ([`ChainBlock::flip_bits`], [`ChainBlock::force_bits`],
+/// [`ChainBlock::scramble`]) mutate row data *without* updating parity
+/// (a strike bypasses the write path), creating a per-row mismatch that
+/// subsequent legitimate writes provably preserve: a write updates the
+/// data fold and the parity word by the same XOR delta, so the mismatch
+/// survives until the block is quarantined — corruption is never
+/// silently absorbed, even by a full overwrite of the struck row.
+///
+/// `syndrome` is the XOR of [`row_term_hash`] over every mismatching
+/// row, maintained at the *injection sites only* (the single places
+/// where a fold/parity divergence can change). Detection therefore
+/// reads one word per block instead of rehashing its ~80 KB of state.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub(crate) struct ChainBlock {
     rows: [[Lanes; TOTAL_ROWS]; SUBARRAYS_PER_CHAIN],
     tags: [Lanes; SUBARRAYS_PER_CHAIN],
     acc: [Lanes; SUBARRAYS_PER_CHAIN],
+    parity: [[u32; TOTAL_ROWS]; SUBARRAYS_PER_CHAIN],
+    syndrome: u64,
 }
 
 impl Default for ChainBlock {
@@ -72,12 +122,15 @@ impl Default for ChainBlock {
 }
 
 impl ChainBlock {
-    /// A zero-initialized block.
+    /// A zero-initialized block. All-zero parity words are consistent
+    /// with the all-zero row data, so a fresh block is born clean.
     pub fn new() -> Self {
         Self {
             rows: [[[0; BLOCK_LANES]; TOTAL_ROWS]; SUBARRAYS_PER_CHAIN],
             tags: [[0; BLOCK_LANES]; SUBARRAYS_PER_CHAIN],
             acc: [[0; BLOCK_LANES]; SUBARRAYS_PER_CHAIN],
+            parity: [[0; TOTAL_ROWS]; SUBARRAYS_PER_CHAIN],
+            syndrome: 0,
         }
     }
 
@@ -86,7 +139,13 @@ impl ChainBlock {
     /// [`PlanOp::ReduceTags`], `None` otherwise. `Read` is a no-op here:
     /// row data is chain-local and consumers read block state after the
     /// program completes.
-    pub fn execute_plan(&mut self, op: &PlanOp, win: &Lanes) -> Option<u64> {
+    ///
+    /// `PARITY` monomorphizes the row-write kernels: `true` fuses the
+    /// per-row XOR-fold parity update into every write loop (fault mode),
+    /// `false` compiles the exact pre-parity kernels (clean mode keeps
+    /// full speed). The branch is on a const, so each instantiation is
+    /// branch-free.
+    pub fn execute_plan<const PARITY: bool>(&mut self, op: &PlanOp, win: &Lanes) -> Option<u64> {
         match op {
             PlanOp::SearchOne { probe, dest, mode } => {
                 let m = self.probe_match(probe, win);
@@ -102,9 +161,9 @@ impl ChainBlock {
             } => {
                 let m = self.probe_match(probe, win);
                 self.accumulate(probe.subarray as usize, &m, *dest, *mode, win);
-                self.plan_write(&writes[0], win);
+                self.plan_write::<PARITY>(&writes[0], win);
                 if *nwrites == 2 {
-                    self.plan_write(&writes[1], win);
+                    self.plan_write::<PARITY>(&writes[1], win);
                 }
                 None
             }
@@ -129,12 +188,12 @@ impl ChainBlock {
                 None
             }
             PlanOp::UpdateOne { write } => {
-                self.plan_write(write, win);
+                self.plan_write::<PARITY>(write, win);
                 None
             }
             PlanOp::UpdateTwo { writes } => {
-                self.plan_write(&writes[0], win);
-                self.plan_write(&writes[1], win);
+                self.plan_write::<PARITY>(&writes[0], win);
+                self.plan_write::<PARITY>(&writes[1], win);
                 None
             }
             PlanOp::Update { writes } => {
@@ -143,7 +202,7 @@ impl ChainBlock {
                     "update writes two rows of one subarray"
                 );
                 for w in writes.iter() {
-                    self.plan_write(w, win);
+                    self.plan_write::<PARITY>(w, win);
                 }
                 None
             }
@@ -155,9 +214,19 @@ impl ChainBlock {
                 mask,
             } => {
                 let r = &mut self.rows[*subarray as usize][*row as usize];
-                for l in 0..BLOCK_LANES {
-                    let m = mask & win[l];
-                    r[l] = (r[l] & !m) | (data & m);
+                if PARITY {
+                    let mut delta = 0u32;
+                    for l in 0..BLOCK_LANES {
+                        let m = mask & win[l];
+                        delta ^= (r[l] ^ data) & m;
+                        r[l] = (r[l] & !m) | (data & m);
+                    }
+                    self.parity[*subarray as usize][*row as usize] ^= delta;
+                } else {
+                    for l in 0..BLOCK_LANES {
+                        let m = mask & win[l];
+                        r[l] = (r[l] & !m) | (data & m);
+                    }
                 }
                 None
             }
@@ -248,9 +317,12 @@ impl ChainBlock {
     }
 
     /// One lowered row write across the block: `sel` picks the per-lane
-    /// column source (window, tags or accumulator of `src`).
+    /// column source (window, tags or accumulator of `src`). With
+    /// `PARITY` the XOR-fold of the changed bits (`cols & !row` for a
+    /// set, `cols & row` for a clear) folds into the row's parity word —
+    /// one extra XOR per lane word, branchless alongside the write.
     #[inline]
-    fn plan_write(&mut self, w: &PlanWrite, win: &Lanes) {
+    fn plan_write<const PARITY: bool>(&mut self, w: &PlanWrite, win: &Lanes) {
         let mut cols = *win;
         match w.sel {
             1 => {
@@ -268,7 +340,21 @@ impl ChainBlock {
             _ => {}
         }
         let row = &mut self.rows[w.subarray as usize][w.row as usize];
-        if w.value {
+        if PARITY {
+            let mut delta = 0u32;
+            if w.value {
+                for l in 0..BLOCK_LANES {
+                    delta ^= cols[l] & !row[l];
+                    row[l] |= cols[l];
+                }
+            } else {
+                for l in 0..BLOCK_LANES {
+                    delta ^= cols[l] & row[l];
+                    row[l] &= !cols[l];
+                }
+            }
+            self.parity[w.subarray as usize][w.row as usize] ^= delta;
+        } else if w.value {
             for l in 0..BLOCK_LANES {
                 row[l] |= cols[l];
             }
@@ -307,10 +393,13 @@ impl ChainBlock {
     }
 
     /// Writes `data` into row `r` of subarray `s` in lane `lane` at the
-    /// columns selected by `mask`.
+    /// columns selected by `mask`. Maintains the row's parity word
+    /// unconditionally — one extra XOR, negligible off the hot path.
     pub fn write_row(&mut self, lane: usize, s: usize, r: usize, data: u32, mask: u32) {
         let w = &mut self.rows[s][r][lane];
-        *w = (*w & !mask) | (data & mask);
+        let n = (*w & !mask) | (data & mask);
+        self.parity[s][r] ^= *w ^ n;
+        *w = n;
     }
 
     /// Deposits a 32-bit `value` into vector register `reg` at column
@@ -321,11 +410,13 @@ impl ChainBlock {
         let bit = 1u32 << col;
         for (s, sub) in self.rows.iter_mut().enumerate() {
             let r = &mut sub[reg][lane];
-            if value >> s & 1 == 1 {
-                *r |= bit;
+            let n = if value >> s & 1 == 1 {
+                *r | bit
             } else {
-                *r &= !bit;
-            }
+                *r & !bit
+            };
+            self.parity[s][reg] ^= *r ^ n;
+            *r = n;
         }
     }
 
@@ -369,7 +460,9 @@ impl ChainBlock {
         transpose32(&mut m);
         for (s, sub) in self.rows.iter_mut().enumerate() {
             let r = &mut sub[reg][lane];
-            *r = (*r & !col_mask) | (m[s] & col_mask);
+            let n = (*r & !col_mask) | (m[s] & col_mask);
+            self.parity[s][reg] ^= *r ^ n;
+            *r = n;
         }
     }
 
@@ -399,7 +492,9 @@ impl ChainBlock {
         }
         for s in 0..SUBARRAYS_PER_CHAIN {
             for m in 0..META_ROWS {
-                self.rows[s][DATA_ROWS + m][lane] = state.meta[s][m];
+                let w = &mut self.rows[s][DATA_ROWS + m][lane];
+                self.parity[s][DATA_ROWS + m] ^= *w ^ state.meta[s][m];
+                *w = state.meta[s][m];
             }
             self.tags[s][lane] = state.tags[s];
             self.acc[s][lane] = state.acc[s];
@@ -414,50 +509,92 @@ impl ChainBlock {
         chain
     }
 
-    // ----- fault-layer hooks (parity words + seeded injection) ---------
+    // ----- fault-layer hooks (parity rebuild + seeded injection) -------
 
-    /// FNV-1a parity word over every row, tag and accumulator slice of
-    /// the block — the per-block checksum the fault layer baselines and
-    /// scrubs against. Any single injected bit flip changes it.
-    pub fn checksum(&self) -> u64 {
-        let mut h = 0xcbf2_9ce4_8422_2325u64;
-        let mut mix = |w: u32| {
-            h ^= u64::from(w);
-            h = h.wrapping_mul(0x0000_0100_0000_01B3);
-        };
-        for sub in &self.rows {
-            for row in sub {
-                for &w in row {
-                    mix(w);
+    /// Current fold-vs-parity mismatch term of row `r` of subarray `s`
+    /// (0 when the row is consistent).
+    #[inline]
+    fn row_term(&self, s: usize, r: usize) -> u64 {
+        row_term_hash(s, r, lane_fold(&self.rows[s][r]) ^ self.parity[s][r])
+    }
+
+    /// The block syndrome: 0 iff no row's parity mismatches its data
+    /// (up to hash collision odds; see DESIGN.md §15). Injectors keep
+    /// this exact, so detection is a one-word read per block.
+    pub fn syndrome(&self) -> u64 {
+        self.syndrome
+    }
+
+    /// Recomputes every row's parity word from current data and clears
+    /// the syndrome — used when a block enters fault-tracked service
+    /// (arming, remap onto a spare), never on the broadcast path.
+    pub fn rebuild_parity(&mut self) {
+        for (s, sub) in self.rows.iter().enumerate() {
+            for (r, row) in sub.iter().enumerate() {
+                self.parity[s][r] = lane_fold(row);
+            }
+        }
+        self.syndrome = 0;
+    }
+
+    /// Lists `(subarray, row)` coordinates whose stored parity disagrees
+    /// with the data fold — the strike localization the detector reports.
+    /// O(block), only walked once a nonzero syndrome flags the block.
+    pub fn struck_rows(&self) -> Vec<(u8, u8)> {
+        let mut out = Vec::new();
+        for (s, sub) in self.rows.iter().enumerate() {
+            for (r, row) in sub.iter().enumerate() {
+                if lane_fold(row) != self.parity[s][r] {
+                    out.push((s as u8, r as u8));
                 }
             }
         }
-        for slice in self.tags.iter().chain(self.acc.iter()) {
-            for &w in slice {
-                mix(w);
-            }
-        }
-        h
+        out
+    }
+
+    /// Test hook: true when every row's parity equals its data fold and
+    /// the syndrome is zero — the invariant legitimate execution must
+    /// preserve exactly.
+    pub fn parity_consistent(&self) -> bool {
+        self.syndrome == 0
+            && self
+                .rows
+                .iter()
+                .enumerate()
+                .all(|(s, sub)| (0..TOTAL_ROWS).all(|r| lane_fold(&sub[r]) == self.parity[s][r]))
     }
 
     /// Transient strike: XOR-flips `mask` bits of row `r` of subarray
-    /// `s` in lane `lane`.
+    /// `s` in lane `lane`, updating the struck row's syndrome term —
+    /// the O(1 cache line) in-array parity check a real CAPE substrate
+    /// evaluates on the row it just disturbed.
     pub fn flip_bits(&mut self, lane: usize, s: usize, r: usize, mask: u32) {
+        let old = self.row_term(s, r);
         self.rows[s][r][lane] ^= mask;
+        self.syndrome ^= old ^ self.row_term(s, r);
     }
 
     /// Stuck-at assertion: wedges `mask` bits of row `r` of subarray `s`
-    /// in lane `lane` to `value`. Returns true if the word changed.
+    /// in lane `lane` to `value`. Returns true if the word changed (an
+    /// unchanged word leaves no parity trace — the march-test scrub is
+    /// what catches such latent defects).
     pub fn force_bits(&mut self, lane: usize, s: usize, r: usize, mask: u32, value: bool) -> bool {
-        let w = &mut self.rows[s][r][lane];
-        let forced = if value { *w | mask } else { *w & !mask };
-        let changed = forced != *w;
-        *w = forced;
-        changed
+        let w = self.rows[s][r][lane];
+        let forced = if value { w | mask } else { w & !mask };
+        if forced == w {
+            return false;
+        }
+        let old = self.row_term(s, r);
+        self.rows[s][r][lane] = forced;
+        self.syndrome ^= old ^ self.row_term(s, r);
+        true
     }
 
     /// Dead-block assertion: scrambles every row, tag and accumulator
-    /// slice to seeded xorshift garbage.
+    /// slice to seeded xorshift garbage, then recomputes the whole-block
+    /// syndrome (O(block), storm-only). Tags and accumulators carry no
+    /// parity, but a dead block always scrambles its rows too, so the
+    /// row syndrome flags it.
     pub fn scramble(&mut self, seed: u32) {
         let mut state = seed | 1;
         let mut next = move || {
@@ -478,6 +615,13 @@ impl ChainBlock {
                 *w = next();
             }
         }
+        let mut syn = 0u64;
+        for s in 0..SUBARRAYS_PER_CHAIN {
+            for r in 0..TOTAL_ROWS {
+                syn ^= self.row_term(s, r);
+            }
+        }
+        self.syndrome = syn;
     }
 }
 
@@ -640,10 +784,14 @@ mod tests {
 
         let mut block_sums = Vec::new();
         for op in program.plan() {
-            if let Some(s) = block.execute_plan(op, &win) {
+            if let Some(s) = block.execute_plan::<true>(op, &win) {
                 block_sums.push(s);
             }
         }
+        assert!(
+            block.parity_consistent(),
+            "legit execution broke parity (seed {seed})"
+        );
 
         let mut ref_sums = vec![0u64; program.reduce_count()];
         for (lane, chain) in chains.iter_mut().enumerate() {
@@ -698,10 +846,53 @@ mod tests {
         win[4] = 0;
         let program = MicroProgram::new(sample_ops());
         for op in program.plan() {
-            block.execute_plan(op, &win);
+            block.execute_plan::<false>(op, &win);
         }
         assert_eq!(block.to_chain(4), before, "gated lane must not change");
         drop(chains);
+    }
+
+    #[test]
+    fn parity_off_and_on_kernels_are_bit_identical() {
+        let win = [0x0F0F_F0F0u32; BLOCK_LANES];
+        let (mut with, _) = seeded_pair(0x7A51);
+        let (mut without, _) = seeded_pair(0x7A51);
+        let program = MicroProgram::new(sample_ops());
+        for op in program.plan() {
+            assert_eq!(
+                with.execute_plan::<true>(op, &win),
+                without.execute_plan::<false>(op, &win)
+            );
+        }
+        for lane in 0..BLOCK_LANES {
+            assert_eq!(with.to_chain(lane), without.to_chain(lane), "lane {lane}");
+        }
+        assert!(with.parity_consistent());
+    }
+
+    #[test]
+    fn strike_survives_full_row_overwrite_and_localizes() {
+        let (mut block, _) = seeded_pair(0x0BAD);
+        block.rebuild_parity();
+        assert!(block.parity_consistent());
+        block.flip_bits(3, 7, 5, 0x10);
+        assert_ne!(block.syndrome(), 0, "strike must raise the syndrome");
+        assert_eq!(block.struck_rows(), vec![(7, 5)]);
+        // A legitimate full overwrite of the struck row shifts data and
+        // parity by the same delta: the mismatch (and syndrome) persist.
+        let win = [u32::MAX; BLOCK_LANES];
+        let op = PlanOp::Write {
+            subarray: 7,
+            row: 5,
+            data: 0xFFFF_FFFF,
+            mask: u32::MAX,
+        };
+        block.execute_plan::<true>(&op, &win);
+        assert_ne!(block.syndrome(), 0, "overwrite must not absorb the strike");
+        assert_eq!(block.struck_rows(), vec![(7, 5)]);
+        // Rebuild (quarantine/remap path) clears it.
+        block.rebuild_parity();
+        assert!(block.parity_consistent());
     }
 
     #[test]

@@ -5,7 +5,9 @@ use std::sync::Arc;
 
 use crate::block::BLOCK_LANES;
 use crate::chain::{Chain, ChainState};
-use crate::fault::{FaultConfig, FaultKind, FaultLayer, FaultStats, RemapOutcome, ScrubReport};
+use crate::fault::{
+    FaultConfig, FaultKind, FaultLayer, FaultStats, RemapOutcome, ScrubReport, StruckRow,
+};
 use crate::geometry::{CsbGeometry, ElementLocation, SUBARRAY_COLS};
 use crate::microop::MicroOp;
 use crate::pool::{Shard, WorkerPool};
@@ -327,29 +329,23 @@ impl Csb {
     /// Overwrites the tag bits of subarray `sub` of chain `i`
     /// (bring-up/test hook; real programs set tags through searches).
     pub fn set_chain_tags(&mut self, i: usize, sub: usize, v: u32) {
-        self.fault_verify_chain(i);
         let (s, j) = self.shard_of(i);
         self.shards[s].set_tags(j, sub, v);
-        self.fault_refresh_chain(i);
     }
 
     /// Overwrites the accumulator bits of subarray `sub` of chain `i`
     /// (bring-up/test hook).
     pub fn set_chain_acc(&mut self, i: usize, sub: usize, v: u32) {
-        self.fault_verify_chain(i);
         let (s, j) = self.shard_of(i);
         self.shards[s].set_acc(j, sub, v);
-        self.fault_refresh_chain(i);
     }
 
     /// Masked write into row `row` of subarray `sub` of chain `i`
     /// (bring-up/test hook; broadcast programs write rows through
     /// [`MicroOp::Write`]/[`MicroOp::Update`]).
     pub fn write_chain_row(&mut self, i: usize, sub: usize, row: usize, data: u32, mask: u32) {
-        self.fault_verify_chain(i);
         let (s, j) = self.shard_of(i);
         self.shards[s].write_row(j, sub, row, data, mask);
-        self.fault_refresh_chain(i);
     }
 
     /// Location of vector element `elem`.
@@ -361,10 +357,8 @@ impl Csb {
     /// (functional data-transfer path; the VMU accounts for its timing).
     pub fn write_element(&mut self, reg: usize, elem: usize, value: u32) {
         let loc = self.geometry.locate(elem);
-        self.fault_verify_chain(loc.chain);
         let (s, j) = self.shard_of(loc.chain);
         self.shards[s].write_element(j, reg, loc.col, value);
-        self.fault_refresh_chain(loc.chain);
     }
 
     /// Reads element `elem` of vector register `reg`.
@@ -433,7 +427,6 @@ impl Csb {
             end <= self.max_vl(),
             "element range {start}..{end} exceeds MAX_VL"
         );
-        self.fault_verify_all();
         let n = self.geometry.num_chains();
         for c in 0..n {
             let (k_lo, k_hi) = Self::col_range(c, start, end, n);
@@ -448,7 +441,6 @@ impl Csb {
             let (s, j) = self.shard_of(c);
             self.shards[s].write_column_block(j, reg, &vals, col_mask);
         }
-        self.fault_refresh_all();
     }
 
     /// Columns `k_lo..k_hi` of chain `c` hold the elements of `start..end`
@@ -522,6 +514,13 @@ impl Csb {
     /// its block lane. Restoring [`CsbSnapshot::zeroed`] wipes the
     /// register file back to fresh-machine state.
     ///
+    /// With the fault layer armed this costs *no* parity rescan: the
+    /// unpack writes through the parity-maintaining paths, so per-row
+    /// parity tracks the restored image exactly, and any strike that
+    /// landed before the restore keeps its fold/parity mismatch through
+    /// the overwrite (a write moves data and parity by the same delta).
+    /// Multi-tenant slice switches therefore pay only the register copy.
+    ///
     /// # Panics
     ///
     /// Panics if the snapshot was taken on a CSB of a different geometry.
@@ -532,7 +531,6 @@ impl Csb {
             n,
             "snapshot geometry does not match this CSB"
         );
-        self.fault_verify_all();
         if self.use_pool_for_context() {
             let shard_size = self.shard_size;
             let states = Arc::clone(&snapshot.chains);
@@ -549,21 +547,21 @@ impl Csb {
                 shard.load_states(&snapshot.chains[base..base + shard.len()]);
             }
         }
-        self.fault_refresh_all();
     }
 
     // ---- fault injection, detection and recovery ----------------------
 
     /// Arms deterministic fault injection: provisions
-    /// `config.spare_blocks_per_shard` spare blocks per shard and
-    /// baselines a parity word per logical block over the current
-    /// (assumed clean) state. See the `fault` module docs for the
-    /// detection tiers and recovery invariants.
+    /// `config.spare_blocks_per_shard` spare blocks per shard and arms
+    /// incremental per-row parity over the current (assumed clean) state
+    /// — the one full parity-rebuild pass, paid here and never on the
+    /// broadcast path. See the `fault` module docs for the detection
+    /// tiers and recovery invariants.
     pub fn enable_fault_injection(&mut self, config: FaultConfig) {
         for shard in &mut self.shards {
             shard.add_spares(config.spare_blocks_per_shard);
         }
-        self.fault = Some(Box::new(FaultLayer::new(config, &self.shards)));
+        self.fault = Some(Box::new(FaultLayer::new(config, &mut self.shards)));
     }
 
     /// True when the fault layer is armed.
@@ -631,39 +629,24 @@ impl Csb {
         self.shards.iter().map(Shard::quarantined_count).sum()
     }
 
-    /// Refreshes the parity baseline of the block holding chain `i`
-    /// after a legitimate external mutation.
-    fn fault_refresh_chain(&mut self, i: usize) {
-        if let Some(f) = self.fault.as_deref_mut() {
-            let (s, j) = (i / self.shard_size, i % self.shard_size);
-            f.refresh_block(&self.shards, s, j / BLOCK_LANES);
-        }
+    /// Row-granular localizations of every strike flagged so far: the
+    /// exact `(shard, logical block, subarray, row)` coordinates whose
+    /// parity mismatched at detection time. Empty while injection is
+    /// disabled or nothing has been flagged.
+    pub fn struck_rows(&self) -> Vec<StruckRow> {
+        self.fault
+            .as_deref()
+            .map(|f| f.struck_rows().to_vec())
+            .unwrap_or_default()
     }
 
-    /// Refreshes every clean parity baseline after a legitimate bulk
-    /// mutation (vector write, context restore).
-    fn fault_refresh_all(&mut self) {
-        if let Some(f) = self.fault.as_deref_mut() {
-            f.refresh_all(&self.shards);
-        }
-    }
-
-    /// Parity-checks the block holding chain `i` *before* a legitimate
-    /// mutation, so corruption that landed since the last scan is
-    /// detected instead of absorbed by the post-mutation refresh.
-    fn fault_verify_chain(&mut self, i: usize) {
-        if let Some(f) = self.fault.as_deref_mut() {
-            let (s, j) = (i / self.shard_size, i % self.shard_size);
-            f.verify_block(&self.shards, s, j / BLOCK_LANES);
-        }
-    }
-
-    /// Bulk variant of [`Csb::fault_verify_chain`]: scans every clean
-    /// block before a bulk mutation (vector write, context restore).
-    fn fault_verify_all(&mut self) {
-        if let Some(f) = self.fault.as_deref_mut() {
-            f.verify_all(&self.shards);
-        }
+    /// Test hook: true when every live (logical) block's incrementally
+    /// maintained per-row parity equals a from-scratch recompute and all
+    /// syndromes are zero. Vacuously true while the fault layer is off
+    /// (the clean kernels do not maintain parity). Quarantined blocks
+    /// keep their stale mismatch by design and are not consulted.
+    pub fn parity_consistent(&self) -> bool {
+        self.fault.is_none() || self.shards.iter().all(Shard::parity_consistent_logical)
     }
 }
 
@@ -1075,10 +1058,10 @@ mod tests {
         csb.enable_fault_injection(config);
         csb.write_vector(1, &[1u32; 128]);
         csb.set_active_window(0, 128);
-        // Late transients land *after* the broadcast runs and the
-        // baseline refreshes — only the golden replay (or the next scan)
-        // can see them. Strike every lane so whichever chain the seeded
-        // sampler picked is guaranteed to be corrupted.
+        // Late transients land *after* the broadcast runs — only the
+        // golden replay (or the next scan's dirty-event drain) can see
+        // them. Strike every lane so whichever chain the seeded sampler
+        // picked is guaranteed to be corrupted.
         for chain in 0..4 {
             csb.inject_fault(
                 chain,

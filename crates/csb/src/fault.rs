@@ -5,14 +5,19 @@
 //! subarray rows, transient single-shot flips, and whole-block death.
 //! This module injects those faults *deterministically* (seeded xorshift,
 //! no wall clock) at the block layer and detects them with two of the
-//! three tiers described in DESIGN.md §14:
+//! three tiers described in DESIGN.md §14–§15:
 //!
-//! 1. **Parity words** — one checksum word per logical block over every
-//!    row, tag and accumulator slice, refreshed only on *legitimate*
-//!    mutation (broadcast completion, data transfer, context restore).
-//!    The injector never refreshes a baseline, so any injected flip makes
-//!    the next scan mismatch. Scans run at every broadcast boundary and
-//!    on explicit [`scrub`](crate::Csb::scrub) passes.
+//! 1. **Incremental per-row parity** — every row-slice of every armed
+//!    block carries a parity word the *write path itself* maintains
+//!    (the parity fold is fused into the block kernels; see
+//!    DESIGN.md §15). Injectors bypass that path, creating a per-row
+//!    fold/parity mismatch that legitimate writes provably preserve, and
+//!    update a one-word per-block *syndrome* at the strike site — the
+//!    O(1 cache line) in-array check a real substrate evaluates on the
+//!    row it disturbs. Detection is therefore an O(touched blocks)
+//!    dirty-event drain plus a one-word syndrome read, not a rescan of
+//!    every block, and a nonzero syndrome localizes to the exact struck
+//!    `(subarray, row)` coordinates.
 //! 2. **Golden-model spot checks** — every `spot_check_interval`
 //!    programs, one sampled chain is materialized as a scalar
 //!    [`Chain`](crate::Chain) before the broadcast and replayed through
@@ -30,14 +35,18 @@
 //!
 //! Detected blocks are latched as *pending* and stay pending until the
 //! CSB quarantines them and remaps their chains onto spare blocks
-//! ([`crate::Csb::quarantine_and_remap`]); a pending block's baseline is
-//! never refreshed, so corruption can never be silently re-absorbed —
-//! if spares run out, the block stays flagged forever and the machine
-//! reports itself degraded instead of computing wrong answers.
+//! ([`crate::Csb::quarantine_and_remap`]). Corruption can never be
+//! silently re-absorbed without any verify-before-mutate plumbing: a
+//! legitimate write moves a row's data fold and its parity word by the
+//! same XOR delta, so the mismatch survives arbitrary overwrites until
+//! the block is remapped (the spare rebuilds parity from the restored
+//! data). If spares run out, the block stays flagged forever and the
+//! machine reports itself degraded instead of computing wrong answers.
 //!
 //! The whole layer is `Option`-wrapped inside [`Csb`](crate::Csb):
 //! disabled, the broadcast hot path pays exactly one `is_some()` branch
-//! per *program* (not per microop), so the PR 4 kernels keep full speed.
+//! per *program* (not per microop) and the shards run the parity-free
+//! kernel instantiation, so the PR 4 kernels keep full speed.
 
 use crate::chain::Chain;
 use crate::microop::MicroOp;
@@ -142,7 +151,7 @@ impl FaultConfig {
         }
     }
 
-    /// Injection disarmed but detection machinery (parity baselines,
+    /// Injection disarmed but detection machinery (per-row parity,
     /// scrub, spares) live — for tests that inject by hand.
     pub fn quiescent(spares: usize) -> Self {
         Self {
@@ -158,7 +167,9 @@ impl FaultConfig {
 }
 
 /// Running totals of everything the fault layer injected and caught.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+///
+/// Not `Copy`: `spare_remaps` carries per-spare wear counts.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct FaultStats {
     /// Stuck-at faults registered.
     pub injected_stuck: u64,
@@ -184,6 +195,10 @@ pub struct FaultStats {
     pub blocks_quarantined: u64,
     /// Logical blocks successfully remapped onto spares.
     pub blocks_remapped: u64,
+    /// Remaps absorbed by each spare slot, flattened shard-major
+    /// (`shard * spare_blocks_per_shard + slot`) — the wear-leveling
+    /// observability for the round-robin spare allocator.
+    pub spare_remaps: Vec<u64>,
 }
 
 impl FaultStats {
@@ -209,6 +224,12 @@ impl FaultStats {
         self.scrubs += other.scrubs;
         self.blocks_quarantined += other.blocks_quarantined;
         self.blocks_remapped += other.blocks_remapped;
+        if self.spare_remaps.len() < other.spare_remaps.len() {
+            self.spare_remaps.resize(other.spare_remaps.len(), 0);
+        }
+        for (a, b) in self.spare_remaps.iter_mut().zip(&other.spare_remaps) {
+            *a += b;
+        }
     }
 
     /// The counter deltas since an earlier capture of the same stream.
@@ -224,8 +245,28 @@ impl FaultStats {
             scrubs: self.scrubs - earlier.scrubs,
             blocks_quarantined: self.blocks_quarantined - earlier.blocks_quarantined,
             blocks_remapped: self.blocks_remapped - earlier.blocks_remapped,
+            spare_remaps: self
+                .spare_remaps
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| v - earlier.spare_remaps.get(i).copied().unwrap_or(0))
+                .collect(),
         }
     }
+}
+
+/// One strike localized by the per-row parity: which `(subarray, row)`
+/// of which logical block mismatched when the block was flagged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StruckRow {
+    /// Shard of the flagged block.
+    pub shard: u32,
+    /// Logical block index within the shard.
+    pub block: u32,
+    /// Subarray of the mismatching row.
+    pub subarray: u8,
+    /// Row within the subarray.
+    pub row: u8,
 }
 
 /// What one scrub pass saw.
@@ -268,60 +309,71 @@ struct GoldenSample {
     window: u32,
 }
 
-/// The seeded injector plus parity baselines, detection latches and
-/// counters. Lives as `Option<Box<FaultLayer>>` inside the CSB.
+/// The seeded injector plus detection latches and counters. Lives as
+/// `Option<Box<FaultLayer>>` inside the CSB. The parity state itself
+/// lives *in the shards* (per-row words and per-block syndromes travel
+/// with shard ownership transfer to worker threads); this layer only
+/// keeps the flag latches and the accounting ledger.
 #[derive(Debug, Clone)]
 pub(crate) struct FaultLayer {
     config: FaultConfig,
     rng: u64,
     programs: u64,
-    /// Parity baseline per (shard, logical block): the checksum the block
-    /// held after its last *legitimate* mutation.
-    baselines: Vec<Vec<u64>>,
     /// Blocks latched by a detection, pending quarantine. A flagged
-    /// block's baseline is frozen until it is successfully remapped.
+    /// block's corruption persists (parity mismatch travels with the
+    /// data) until it is successfully remapped.
     flagged: Vec<Vec<bool>>,
     pending: Vec<(usize, usize)>,
     faults: Vec<FaultRecord>,
     /// Transient strikes scheduled to land after the current broadcast.
     late_strikes: Vec<FaultRecord>,
     sample: Option<GoldenSample>,
+    /// Row-granular localization of every flagged strike, in detection
+    /// order (bounded by `max_faults` × rows-per-strike).
+    struck: Vec<StruckRow>,
     stats: FaultStats,
 }
 
 impl FaultLayer {
     /// Builds the layer over the current (assumed fault-free) shard
-    /// state: baselines capture the present checksums.
-    pub fn new(config: FaultConfig, shards: &[Shard]) -> Self {
-        let baselines: Vec<Vec<u64>> = shards
-            .iter()
+    /// state, arming incremental parity on every shard — the one full
+    /// parity-rebuild pass, paid once at enable time.
+    pub fn new(config: FaultConfig, shards: &mut [Shard]) -> Self {
+        let flagged = shards
+            .iter_mut()
             .map(|s| {
-                (0..s.nblocks_logical())
-                    .map(|lb| s.checksum_logical(lb))
-                    .collect()
+                s.enable_parity();
+                vec![false; s.nblocks_logical()]
             })
             .collect();
-        let flagged = baselines.iter().map(|b| vec![false; b.len()]).collect();
         Self {
             config,
             rng: config.seed | 1,
             programs: 0,
-            baselines,
             flagged,
             pending: Vec::new(),
             faults: Vec::new(),
             late_strikes: Vec::new(),
             sample: None,
-            stats: FaultStats::default(),
+            struck: Vec::new(),
+            stats: FaultStats {
+                spare_remaps: vec![0; shards.len() * config.spare_blocks_per_shard],
+                ..FaultStats::default()
+            },
         }
     }
 
     pub fn stats(&self) -> FaultStats {
-        self.stats
+        self.stats.clone()
     }
 
     pub fn pending_blocks(&self) -> usize {
         self.pending.len()
+    }
+
+    /// Row-granular strike localizations recorded at flag time.
+    pub fn struck_rows(&self) -> &[StruckRow] {
+        &self.struck
     }
 
     fn next(&mut self) -> u64 {
@@ -355,8 +407,10 @@ impl FaultLayer {
     }
 
     /// Pre-broadcast hook: maybe register new faults, re-assert the
-    /// persistent ones, parity-scan every unflagged block, and capture a
-    /// golden sample for the post-broadcast replay.
+    /// persistent ones, drain the parity dirty set, and capture a golden
+    /// sample for the post-broadcast replay. In the steady fault-free
+    /// state the drain is empty, so this is O(registered faults) — not
+    /// O(blocks).
     pub fn pre_broadcast(&mut self, shards: &mut [Shard]) {
         self.maybe_inject(shards);
         self.assert_persistent(shards);
@@ -364,21 +418,20 @@ impl FaultLayer {
         self.maybe_capture_sample(shards);
     }
 
-    /// Post-broadcast hook: refresh clean baselines, land late transient
-    /// strikes, then replay the golden sample. Ordering matters — the
-    /// baseline refresh must precede the late strike (so the strike
-    /// dirties the fresh baseline and the next scan catches it), and the
-    /// golden replay runs last so it can see the strike immediately.
+    /// Post-broadcast hook: land late transient strikes, then replay the
+    /// golden sample last so it can see a just-landed strike immediately
+    /// (the strike's dirty event feeds the next scan regardless). No
+    /// baseline refresh exists any more — the kernels maintained parity
+    /// in place during the broadcast.
     pub fn post_broadcast(&mut self, shards: &mut [Shard], ops: &[MicroOp]) {
         self.programs += 1;
-        self.refresh_clean(shards);
         self.land_late_strikes(shards);
         self.golden_replay(shards, ops);
     }
 
     /// Explicit scrub pass: re-assert persistent faults (the silicon
-    /// doesn't wait for a broadcast), parity-scan, then march-test.
-    /// Never refreshes a baseline and never injects new faults.
+    /// doesn't wait for a broadcast), drain the parity dirty set, then
+    /// march-test. Never injects new faults.
     ///
     /// The march-test leg models a scrub that writes and reads back test
     /// patterns: it finds *latent* persistent defects — a stuck-at
@@ -391,7 +444,7 @@ impl FaultLayer {
         self.stats.scrubs += 1;
         self.assert_persistent(shards);
         let before = self.pending.len();
-        self.scan(shards);
+        let scanned = self.scan(shards);
         for i in 0..self.faults.len() {
             let f = self.faults[i];
             if f.dormant || f.detected || matches!(f.kind, FaultKind::Transient { .. }) {
@@ -407,11 +460,17 @@ impl FaultLayer {
                 self.faults[i].detected = true;
                 self.stats.faults_attributed += 1;
             } else {
-                self.flag(s, lb, f.phys as usize, DetectTier::Scrub);
+                // Latent defect: no parity trace, so localize from the
+                // march test's own knowledge of the wedged row.
+                let rows = match f.kind {
+                    FaultKind::StuckAt { subarray, row, .. } => vec![(subarray, row)],
+                    _ => shards[s].struck_rows_phys(f.phys as usize),
+                };
+                self.flag(s, lb, f.phys as usize, DetectTier::Scrub, &rows);
             }
         }
         ScrubReport {
-            scanned: self.baselines.iter().map(Vec::len).sum(),
+            scanned,
             newly_flagged: self.pending.len() - before,
             pending: self.pending.len(),
         }
@@ -426,15 +485,22 @@ impl FaultLayer {
         for (s, lb) in pending {
             let old_phys = shards[s].physical_of(lb);
             match shards[s].remap_logical(lb) {
-                Some(_new_phys) => {
-                    // The defect stays with the quarantined silicon.
+                Some(new_phys) => {
+                    // The defect stays with the quarantined silicon; the
+                    // spare rebuilt its parity from the inherited copy
+                    // inside `remap_logical`, so no baseline bookkeeping
+                    // remains here — only the wear ledger.
                     for f in &mut self.faults {
                         if f.shard as usize == s && f.phys as usize == old_phys {
                             f.dormant = true;
                         }
                     }
                     self.flagged[s][lb] = false;
-                    self.baselines[s][lb] = shards[s].checksum_logical(lb);
+                    let slot = new_phys - shards[s].nblocks_logical();
+                    let flat = s * self.config.spare_blocks_per_shard + slot;
+                    if let Some(n) = self.stats.spare_remaps.get_mut(flat) {
+                        *n += 1;
+                    }
                     self.stats.blocks_quarantined += 1;
                     self.stats.blocks_remapped += 1;
                     outcome.remapped += 1;
@@ -583,24 +649,46 @@ impl FaultLayer {
         }
     }
 
-    /// Parity scan over every unflagged logical block; mismatches are
-    /// latched pending and their faults attributed.
-    fn scan(&mut self, shards: &[Shard]) {
-        for (s, shard) in shards.iter().enumerate() {
-            for lb in 0..shard.nblocks_logical() {
-                if self.flagged[s][lb] {
+    /// Drains every shard's parity dirty set and checks the one-word
+    /// syndrome of each touched block — O(blocks injectors disturbed
+    /// since the last drain), empty in the fault-free steady state.
+    /// A nonzero syndrome latches the block pending and localizes the
+    /// strike to its mismatching rows. Returns the number of blocks
+    /// examined.
+    fn scan(&mut self, shards: &mut [Shard]) -> usize {
+        let mut examined = 0;
+        for (s, shard) in shards.iter_mut().enumerate() {
+            for phys in shard.drain_parity_events() {
+                examined += 1;
+                let phys = phys as usize;
+                if shard.syndrome_phys(phys) == 0 {
+                    continue; // strike cancelled itself; nothing to see
+                }
+                // Quarantined/spare silicon carries no live data.
+                let Some(lb) = shard.logical_of(phys) else {
                     continue;
+                };
+                if self.flagged[s][lb] {
+                    continue; // already condemned; strike covered
                 }
-                if shard.checksum_logical(lb) != self.baselines[s][lb] {
-                    self.flag(s, lb, shard.physical_of(lb), DetectTier::Parity);
-                }
+                let rows = shard.struck_rows_phys(phys);
+                self.flag(s, lb, phys, DetectTier::Parity, &rows);
             }
         }
+        examined
     }
 
-    fn flag(&mut self, s: usize, lb: usize, phys: usize, tier: DetectTier) {
+    fn flag(&mut self, s: usize, lb: usize, phys: usize, tier: DetectTier, rows: &[(u8, u8)]) {
         self.flagged[s][lb] = true;
         self.pending.push((s, lb));
+        for &(subarray, row) in rows {
+            self.struck.push(StruckRow {
+                shard: s as u32,
+                block: lb as u32,
+                subarray,
+                row,
+            });
+        }
         match tier {
             DetectTier::Parity => self.stats.detected_parity += 1,
             DetectTier::Golden => self.stats.detected_golden += 1,
@@ -611,47 +699,6 @@ impl FaultLayer {
                 f.detected = true;
                 self.stats.faults_attributed += 1;
             }
-        }
-    }
-
-    /// Refreshes the baseline of every *unflagged* block to its current
-    /// checksum — the legitimate post-broadcast state.
-    fn refresh_clean(&mut self, shards: &[Shard]) {
-        for (s, shard) in shards.iter().enumerate() {
-            for lb in 0..shard.nblocks_logical() {
-                if !self.flagged[s][lb] {
-                    self.baselines[s][lb] = shard.checksum_logical(lb);
-                }
-            }
-        }
-    }
-
-    /// External legitimate mutation (data transfer, context restore, test
-    /// hook) on one chain: refresh that block's baseline.
-    pub fn refresh_block(&mut self, shards: &[Shard], s: usize, lb: usize) {
-        if !self.flagged[s][lb] {
-            self.baselines[s][lb] = shards[s].checksum_logical(lb);
-        }
-    }
-
-    /// External legitimate bulk mutation: refresh every clean baseline.
-    pub fn refresh_all(&mut self, shards: &[Shard]) {
-        self.refresh_clean(shards);
-    }
-
-    /// Pre-mutation parity scan. A legitimate mutation is about to
-    /// overwrite block state and refresh baselines, which would silently
-    /// absorb any corruption that landed since the last scan (e.g. a
-    /// late strike followed by a vector write into the same block).
-    /// Scanning first guarantees detection always precedes absorption.
-    pub fn verify_all(&mut self, shards: &[Shard]) {
-        self.scan(shards);
-    }
-
-    /// Single-block variant of [`FaultLayer::verify_all`].
-    pub fn verify_block(&mut self, shards: &[Shard], s: usize, lb: usize) {
-        if !self.flagged[s][lb] && shards[s].checksum_logical(lb) != self.baselines[s][lb] {
-            self.flag(s, lb, shards[s].physical_of(lb), DetectTier::Parity);
         }
     }
 
@@ -739,7 +786,9 @@ impl FaultLayer {
         if shard.chain(sample.local) != sample.chain {
             let lb = sample.local / crate::block::BLOCK_LANES;
             if !self.flagged[sample.shard][lb] {
-                self.flag(sample.shard, lb, shard.physical_of(lb), DetectTier::Golden);
+                let phys = shard.physical_of(lb);
+                let rows = shard.struck_rows_phys(phys);
+                self.flag(sample.shard, lb, phys, DetectTier::Golden, &rows);
             }
         }
     }

@@ -57,7 +57,7 @@ pub use bitmat::transpose32;
 pub use block::BLOCK_LANES;
 pub use chain::{Chain, ChainState};
 pub use csb::{Csb, CsbSnapshot};
-pub use fault::{FaultConfig, FaultKind, FaultStats, RemapOutcome, ScrubReport};
+pub use fault::{FaultConfig, FaultKind, FaultStats, RemapOutcome, ScrubReport, StruckRow};
 pub use geometry::{CsbGeometry, ElementLocation, SUBARRAYS_PER_CHAIN, SUBARRAY_COLS};
 pub use microop::{ColSel, MicroOp, Probe, TagDest, TagMode, WriteSpec};
 pub use program::{MicroProgram, SyncKind, SyncPoint};

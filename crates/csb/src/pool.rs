@@ -60,6 +60,21 @@ pub(crate) struct Shard {
     /// Physical blocks retired by quarantine; their windows are forced
     /// to zero forever, so broadcasts never visit them again.
     quarantined: Vec<u32>,
+    /// True once the fault layer armed this shard: broadcasts run the
+    /// parity-fused kernel instantiation and injection sites queue
+    /// dirty events. All plumbing below travels *with* the shard through
+    /// worker ownership transfer — a worker thread maintains parity and
+    /// events on the shard it owns with no shared state.
+    parity_on: bool,
+    /// Physical block indices with a pending parity event (an injector
+    /// touched them since the last drain), deduplicated by
+    /// `event_queued`. This is the O(touched) dirty set the detector
+    /// scans instead of rehashing every block.
+    parity_events: Vec<u32>,
+    /// One dedup flag per physical block for `parity_events`.
+    event_queued: Vec<bool>,
+    /// Round-robin cursor for wear-leveled spare selection.
+    spare_rr: usize,
     pub sums: Vec<u64>,
 }
 
@@ -82,6 +97,10 @@ impl Shard {
             block_map: (0..nblocks as u32).collect(),
             spare_free: Vec::new(),
             quarantined: Vec::new(),
+            parity_on: false,
+            parity_events: Vec::new(),
+            event_queued: vec![false; nblocks],
+            spare_rr: 0,
             sums: Vec::new(),
         }
     }
@@ -153,8 +172,20 @@ impl Shard {
     /// vectorized sweep over the block's [`BLOCK_LANES`] chains.
     /// Reduction order across chains changes, but the partial sums are
     /// plain additions, so the totals are identical.
+    /// Branches once per program on the shard's parity mode so the hot
+    /// loop runs a fully monomorphized kernel set: the clean path stays
+    /// byte-for-byte the pre-parity kernels, the fault path fuses the
+    /// per-row parity fold into every write.
     pub fn run(&mut self, ops: &[PlanOp]) {
         self.refresh_active();
+        if self.parity_on {
+            self.run_plan::<true>(ops);
+        } else {
+            self.run_plan::<false>(ops);
+        }
+    }
+
+    fn run_plan<const PARITY: bool>(&mut self, ops: &[PlanOp]) {
         let Shard {
             blocks,
             windows,
@@ -175,12 +206,12 @@ impl Shard {
             let mut k = 0;
             for op in ops {
                 if matches!(op, PlanOp::ReduceTags { .. }) {
-                    if let Some(r) = block.execute_plan(op, win) {
+                    if let Some(r) = block.execute_plan::<PARITY>(op, win) {
                         sums[k] += r;
                     }
                     k += 1;
                 } else {
-                    block.execute_plan(op, win);
+                    block.execute_plan::<PARITY>(op, win);
                 }
             }
         }
@@ -310,15 +341,61 @@ impl Shard {
         self.block_map.iter().position(|&p| p as usize == phys)
     }
 
-    /// Parity word of logical block `lb` (see [`ChainBlock::checksum`]).
-    pub fn checksum_logical(&self, lb: usize) -> u64 {
-        self.blocks[self.physical_of(lb)].checksum()
+    /// Arms incremental parity on this shard: every block's per-row
+    /// parity words are rebuilt from current data (the one full pass,
+    /// paid at arming time only), and from here on broadcasts run the
+    /// parity-fused kernels and injectors queue dirty events.
+    pub fn enable_parity(&mut self) {
+        for b in self.blocks.iter_mut() {
+            b.rebuild_parity();
+        }
+        self.event_queued = vec![false; self.blocks.len()];
+        self.parity_events.clear();
+        self.parity_on = true;
+    }
+
+    /// Records that an injector disturbed physical block `phys`, for the
+    /// detector's next O(touched) dirty-set drain.
+    fn queue_parity_event(&mut self, phys: usize) {
+        if self.parity_on && !self.event_queued[phys] {
+            self.event_queued[phys] = true;
+            self.parity_events.push(phys as u32);
+        }
+    }
+
+    /// Takes the pending dirty set — physical block indices injectors
+    /// touched since the last drain. Empty (and allocation-free) in the
+    /// steady fault-free state.
+    pub fn drain_parity_events(&mut self) -> Vec<u32> {
+        for &p in &self.parity_events {
+            self.event_queued[p as usize] = false;
+        }
+        std::mem::take(&mut self.parity_events)
+    }
+
+    /// Syndrome word of physical block `phys` (0 = no parity mismatch).
+    pub fn syndrome_phys(&self, phys: usize) -> u64 {
+        self.blocks[phys].syndrome()
+    }
+
+    /// `(subarray, row)` mismatch coordinates of physical block `phys`.
+    pub fn struck_rows_phys(&self, phys: usize) -> Vec<(u8, u8)> {
+        self.blocks[phys].struck_rows()
+    }
+
+    /// Test hook: every *logical* block's parity is consistent with its
+    /// data (quarantined blocks keep their stale mismatch by design).
+    pub fn parity_consistent_logical(&self) -> bool {
+        self.block_map
+            .iter()
+            .all(|&p| self.blocks[p as usize].parity_consistent())
     }
 
     /// Transient strike into logical block `lb`.
     pub fn flip_bits_logical(&mut self, lb: usize, lane: usize, s: usize, r: usize, mask: u32) {
         let phys = self.physical_of(lb);
         self.blocks[phys].flip_bits(lane, s, r, mask);
+        self.queue_parity_event(phys);
     }
 
     /// Stuck-at assertion into logical block `lb`; true if state changed.
@@ -332,13 +409,18 @@ impl Shard {
         value: bool,
     ) -> bool {
         let phys = self.physical_of(lb);
-        self.blocks[phys].force_bits(lane, s, r, mask, value)
+        let changed = self.blocks[phys].force_bits(lane, s, r, mask, value);
+        if changed {
+            self.queue_parity_event(phys);
+        }
+        changed
     }
 
     /// Dead-block scramble of logical block `lb`.
     pub fn scramble_logical(&mut self, lb: usize, seed: u32) {
         let phys = self.physical_of(lb);
         self.blocks[phys].scramble(seed);
+        self.queue_parity_event(phys);
     }
 
     /// Provisions `n` spare physical blocks. Spares start all-zero with
@@ -350,6 +432,7 @@ impl Shard {
             self.blocks.push(ChainBlock::new());
             self.windows.push([0u32; BLOCK_LANES]);
             self.spare_free.push(phys);
+            self.event_queued.push(false);
         }
     }
 
@@ -367,15 +450,31 @@ impl Shard {
     /// remaps `lb` onto a spare, or returns `None` when this shard is out
     /// of spares (the caller must treat the machine as degraded).
     ///
+    /// Spare selection is wear-leveled: a round-robin cursor rotates
+    /// through the free list instead of always consuming the lowest
+    /// index, so repeated quarantine/re-provision cycles spread remap
+    /// wear across the shard's spare silicon.
+    ///
     /// The spare inherits a best-effort copy of the (possibly corrupted)
     /// data plus the lane windows — so power-gating state and padding
     /// lanes carry over — and the retired block's windows are forced to
     /// zero forever, excluding it from every future broadcast exactly
-    /// like a fully-masked (power-gated) block.
+    /// like a fully-masked (power-gated) block. The spare's parity is
+    /// rebuilt from the copied data (accepting it as ground truth — the
+    /// caller restores a clean checkpoint through the write path next),
+    /// so the inherited mismatch does not re-flag the remapped block.
     pub fn remap_logical(&mut self, lb: usize) -> Option<usize> {
-        let new = self.spare_free.pop()? as usize;
+        if self.spare_free.is_empty() {
+            return None;
+        }
+        let idx = self.spare_rr % self.spare_free.len();
+        let new = self.spare_free.remove(idx) as usize;
+        self.spare_rr = self.spare_rr.wrapping_add(1);
         let old = self.physical_of(lb);
         self.blocks[new] = self.blocks[old].clone();
+        if self.parity_on {
+            self.blocks[new].rebuild_parity();
+        }
         self.windows[new] = self.windows[old];
         self.windows[old] = [0u32; BLOCK_LANES];
         self.block_map[lb] = new as u32;
