@@ -1,0 +1,205 @@
+//! Cluster smoke gate: a 4-machine `cape-cluster` fleet serves the
+//! 64-job Phoenix mix while one machine is fault-stormed with dead
+//! blocks mid-run. Verifies the fleet contract end to end — every
+//! admitted job completes with a digest bit-identical to a solo run,
+//! zero jobs are lost or duplicated, the struck machine leaves rotation
+//! and its queue migrates with full accounting — and gates the host
+//! wall-clock overhead of riding out the storm (detection, drain,
+//! migration, re-runs) at ≤ 2.0x a clean fleet drain. Exits non-zero on
+//! any violation, so CI runs it as a `cluster-smoke` gate in
+//! `--release`.
+
+use cape_bench::section;
+use cape_cluster::{Cluster, ClusterConfig, ClusterJobId, ClusterReport, HealthState};
+use cape_core::{CapeConfig, FaultKind};
+use cape_engine::{EngineConfig, FaultPolicy, JobSpec};
+use cape_mem::MainMemory;
+use cape_workloads::{phoenix, run_cape, Workload};
+
+const MACHINES: usize = 4;
+const CHAINS: usize = 4;
+const INSTANCES_PER_KERNEL: usize = 8;
+const VICTIM: usize = 0;
+const STRIKES: usize = 4;
+
+fn job(w: &dyn Workload, instance: usize) -> JobSpec {
+    let mut mem = MainMemory::new();
+    let program = w.cape_setup(&mut mem);
+    JobSpec::new(format!("{}#{instance}", w.name()), program, mem)
+        .with_priority((instance % 4) as u8)
+}
+
+fn fleet(fault: Option<FaultPolicy>) -> Cluster {
+    Cluster::new(ClusterConfig::new(
+        MACHINES,
+        EngineConfig {
+            queue_capacity: 64,
+            slice_vectors: 16,
+            // Small batches keep per-machine queues occupied across many
+            // scheduling steps, so the mid-run storm hits a machine that
+            // still holds unstarted work — the drain path under test.
+            max_batch: 2,
+            machine: CapeConfig::tiny(CHAINS),
+            fault,
+        },
+    ))
+}
+
+fn submit_mix(cluster: &mut Cluster) -> Vec<(ClusterJobId, usize)> {
+    let suite = phoenix::tiny_suite();
+    let mut ids = Vec::new();
+    for instance in 0..INSTANCES_PER_KERNEL {
+        for (k, w) in suite.iter().enumerate() {
+            let spec = job(w.as_ref(), instance);
+            ids.push((cluster.submit(spec).expect("fleet sized for mix"), k));
+        }
+    }
+    assert_eq!(ids.len(), 64);
+    ids
+}
+
+/// Every job must have completed bit-identically to its solo digest.
+fn audit(
+    label: &str,
+    report: &ClusterReport,
+    ids: &[(ClusterJobId, usize)],
+    c: &Cluster,
+    solo: &[u64],
+) {
+    let suite = phoenix::tiny_suite();
+    assert_eq!(report.admitted(), 64, "{label}: admission shortfall");
+    assert_eq!(
+        report.lost(),
+        0,
+        "{label}: JOBS LOST — every admitted job needs a final accounting"
+    );
+    assert_eq!(
+        report.completed(),
+        64,
+        "{label}: incomplete drain ({} failed, {} stranded)",
+        report.failed(),
+        report.stranded()
+    );
+    for (id, k) in ids {
+        let digest = suite[*k].digest(c.memory(*id).expect("completed"));
+        assert_eq!(
+            digest, solo[*k],
+            "{label}: SILENT CORRUPTION — {id} diverged from the solo digest"
+        );
+    }
+    // Zero duplication: fleet counters are exactly the per-job sums.
+    assert_eq!(
+        report.migrations,
+        report.jobs.iter().map(|j| j.migrations).sum::<u64>(),
+        "{label}: migration accounting hole"
+    );
+    assert_eq!(
+        report.resubmissions,
+        report.jobs.iter().map(|j| j.resubmissions).sum::<u64>(),
+        "{label}: resubmission accounting hole"
+    );
+}
+
+fn main() {
+    section("cluster-smoke — 4-machine fleet, one machine fault-stormed");
+    let config = CapeConfig::tiny(CHAINS);
+    let suite = phoenix::tiny_suite();
+    let solo: Vec<u64> = suite
+        .iter()
+        .map(|w| run_cape(w.as_ref(), &config).digest)
+        .collect();
+
+    // Run 1 — clean fleet: no fault policy, no strikes. The wall-clock
+    // and digest baseline.
+    let mut clean = fleet(None);
+    let clean_ids = submit_mix(&mut clean);
+    let t0 = std::time::Instant::now();
+    let clean_report = clean.run();
+    let clean_ms = t0.elapsed().as_secs_f64() * 1e3;
+    audit("clean", &clean_report, &clean_ids, &clean, &solo);
+    assert_eq!(clean_report.migrations, 0, "no faults, no migration");
+
+    // Run 2 — the storm: every machine armed (detection + checkpointing),
+    // then machine 0 takes repeated dead-block hits while its queue still
+    // holds unstarted jobs. The health monitor must pull it from
+    // rotation, drain its queue to healthy peers and re-run anything it
+    // failed machine-side.
+    let mut storm = fleet(Some(FaultPolicy::quiescent()));
+    let storm_ids = submit_mix(&mut storm);
+    let t0 = std::time::Instant::now();
+    assert!(storm.step(), "first round serves a batch per machine");
+    for _ in 0..STRIKES {
+        storm
+            .strike(VICTIM, 0, FaultKind::DeadBlock)
+            .expect("fault policy armed");
+        storm.step();
+    }
+    let storm_report = storm.run();
+    let storm_ms = t0.elapsed().as_secs_f64() * 1e3;
+    audit("storm", &storm_report, &storm_ids, &storm, &solo);
+
+    let victim_state = storm.health(VICTIM);
+    let overhead_cycles =
+        storm_report.makespan_cycles() as f64 / clean_report.makespan_cycles() as f64;
+    let overhead_host = storm_ms / clean_ms;
+    let migration_latency = storm_report.migration_queue_latency();
+    let queue_latency = storm_report.queue_latency();
+
+    println!(
+        "jobs completed           : {}/64 (clean and storm)",
+        storm_report.completed()
+    );
+    println!("victim machine {VICTIM}         : {victim_state} after {STRIKES} dead-block strikes");
+    println!(
+        "migrations / re-runs     : {} drained + {} resubmitted ({} health transitions)",
+        storm_report.migrations,
+        storm_report.resubmissions,
+        storm_report.transitions.len()
+    );
+    println!(
+        "fleet throughput         : clean {:.2} jobs/ms, storm {:.2} jobs/ms (makespan {} / {} cycles)",
+        clean_report.jobs_per_ms(),
+        storm_report.jobs_per_ms(),
+        clean_report.makespan_cycles(),
+        storm_report.makespan_cycles()
+    );
+    println!(
+        "utilization skew         : clean {:.3}, storm {:.3}",
+        clean_report.utilization_skew(),
+        storm_report.utilization_skew()
+    );
+    println!(
+        "queue latency (storm)    : p50 {} / p90 {} / max {} cycles",
+        queue_latency.p50, queue_latency.p90, queue_latency.max
+    );
+    println!(
+        "migration queue latency  : p50 {} / p90 {} / max {} cycles",
+        migration_latency.p50, migration_latency.p90, migration_latency.max
+    );
+    println!("makespan overhead        : {overhead_cycles:.3}x cycles");
+    println!("host ms clean/storm      : {clean_ms:.1} / {storm_ms:.1} ({overhead_host:.2}x)");
+
+    assert!(
+        victim_state > HealthState::Healthy,
+        "the storm must pull the victim from rotation (still {victim_state})"
+    );
+    assert!(
+        storm_report.migrations > 0,
+        "a struck machine with a loaded queue must drain"
+    );
+    assert!(
+        !storm_report.transitions.is_empty(),
+        "health transitions must be recorded"
+    );
+    // PR 8 perf gate: fleet fault handling is drain + resubmit, not a
+    // fleet-wide stall — the storm run (quiescent detection everywhere,
+    // one machine draining) must stay within 2.0x of a clean fleet drain
+    // in host wall-clock. Locally this measures ~1.3x; the ceiling
+    // absorbs CI runner noise.
+    assert!(
+        overhead_host <= 2.0,
+        "FLEET OVERHEAD REGRESSION: storm host wall-clock is {overhead_host:.2}x \
+         the clean fleet run (gate: <= 2.0x)"
+    );
+    println!("cluster-smoke: OK");
+}

@@ -1,0 +1,209 @@
+//! Machine health classification for the fleet scheduler.
+//!
+//! Each machine's CSB fault layer already counts everything a fleet
+//! needs to know about its trustworthiness — detections by tier,
+//! checkpointed retries, spare-block inventory, unremappable faults.
+//! The [`HealthMonitor`] turns those raw counters into a three-state
+//! classification by sampling them between scheduling steps and
+//! comparing the *deltas* (new strikes since the last look, not
+//! lifetime totals) against the [`HealthThresholds`] in the cluster
+//! configuration.
+
+use cape_core::{FaultStats, HealthThresholds};
+
+/// How much the fleet trusts one machine.
+///
+/// The ladder is one-way within a serving run: a machine that leaves
+/// `Healthy` never re-enters rotation (re-admitting flaky hardware
+/// mid-run would trade a bounded migration cost for an unbounded
+/// retry bill). Operators re-arm a repaired machine by rebuilding the
+/// cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum HealthState {
+    /// In rotation: takes new jobs and serves its queue.
+    Healthy,
+    /// Still computing correctly (checkpointed retry heals its jobs)
+    /// but burning retries and spares: its unstarted queue is drained
+    /// to healthy peers and the router stops sending it work.
+    Degraded,
+    /// Unremappable faults pending — it can no longer guarantee
+    /// bit-exact results. Out of rotation entirely; anything it failed
+    /// is re-run elsewhere.
+    Quarantined,
+}
+
+impl std::fmt::Display for HealthState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HealthState::Healthy => write!(f, "healthy"),
+            HealthState::Degraded => write!(f, "degraded"),
+            HealthState::Quarantined => write!(f, "quarantined"),
+        }
+    }
+}
+
+/// One sample of a machine's observable health signals, read off the
+/// engine between batches (all cheap counter reads — no report clone).
+#[derive(Debug, Clone)]
+pub struct HealthProbe {
+    /// Cumulative fault-layer counters ([`cape_engine::Engine::machine`]
+    /// → `fault_stats()`).
+    pub fault: FaultStats,
+    /// Cumulative checkpointed slice re-executions
+    /// ([`cape_engine::Engine::total_retries`]).
+    pub retries: u64,
+    /// Faulty blocks pending with no spare left to remap onto.
+    pub pending_faults: usize,
+    /// Spare blocks still unused.
+    pub spare_blocks_free: usize,
+    /// Physical blocks quarantined so far.
+    pub quarantined_blocks: usize,
+}
+
+/// Per-machine health tracker: feed it [`HealthProbe`]s, read back the
+/// [`HealthState`].
+#[derive(Debug)]
+pub struct HealthMonitor {
+    thresholds: HealthThresholds,
+    state: HealthState,
+    last_strikes: u64,
+    last_retries: u64,
+    transitions: u64,
+}
+
+impl HealthMonitor {
+    /// A monitor that trusts its machine until the counters say not to.
+    pub fn new(thresholds: HealthThresholds) -> Self {
+        Self {
+            thresholds,
+            state: HealthState::Healthy,
+            last_strikes: 0,
+            last_retries: 0,
+            transitions: 0,
+        }
+    }
+
+    /// The current classification.
+    pub fn state(&self) -> HealthState {
+        self.state
+    }
+
+    /// Downward state transitions taken so far (at most two).
+    pub fn transitions(&self) -> u64 {
+        self.transitions
+    }
+
+    /// Re-classifies from a fresh sample, returning the new state.
+    ///
+    /// Strike and retry signals are evaluated as deltas over the window
+    /// since the previous `observe` call; the spare-block and
+    /// pending-fault signals are absolute (inventory does not reset).
+    /// The state only ever moves down the ladder.
+    pub fn observe(&mut self, probe: &HealthProbe) -> HealthState {
+        let strikes =
+            probe.fault.detected_parity + probe.fault.detected_golden + probe.fault.detected_scrub;
+        let new_strikes = strikes.saturating_sub(self.last_strikes);
+        let new_retries = probe.retries.saturating_sub(self.last_retries);
+        self.last_strikes = strikes;
+        self.last_retries = probe.retries;
+
+        let next = if probe.pending_faults >= self.thresholds.quarantine_pending_faults {
+            HealthState::Quarantined
+        } else if new_strikes >= self.thresholds.degraded_strikes
+            || new_retries >= self.thresholds.degraded_retries
+            || (probe.quarantined_blocks > 0
+                && probe.spare_blocks_free <= self.thresholds.degraded_spares_free)
+        {
+            HealthState::Degraded
+        } else {
+            HealthState::Healthy
+        };
+        if next > self.state {
+            self.transitions += 1;
+            self.state = next;
+        }
+        self.state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn probe() -> HealthProbe {
+        HealthProbe {
+            fault: FaultStats::default(),
+            retries: 0,
+            pending_faults: 0,
+            spare_blocks_free: 8,
+            quarantined_blocks: 0,
+        }
+    }
+
+    #[test]
+    fn quiet_machines_stay_healthy() {
+        let mut m = HealthMonitor::new(HealthThresholds::default());
+        for _ in 0..10 {
+            assert_eq!(m.observe(&probe()), HealthState::Healthy);
+        }
+        assert_eq!(m.transitions(), 0);
+    }
+
+    #[test]
+    fn strike_bursts_degrade_and_health_is_sticky() {
+        let t = HealthThresholds::default();
+        let mut m = HealthMonitor::new(t);
+        let mut p = probe();
+        p.fault.detected_parity = t.degraded_strikes; // burst in one window
+        assert_eq!(m.observe(&p), HealthState::Degraded);
+        // The same cumulative count in the next window is a zero delta,
+        // but the ladder is one-way.
+        assert_eq!(m.observe(&p), HealthState::Degraded);
+        assert_eq!(m.transitions(), 1);
+    }
+
+    #[test]
+    fn slow_strike_accrual_below_the_window_rate_stays_healthy() {
+        let t = HealthThresholds::default();
+        let mut m = HealthMonitor::new(t);
+        let mut p = probe();
+        // One detection per window, forever: normal wear, never a burst.
+        for round in 1..=20 {
+            p.fault.detected_parity = round;
+            assert_eq!(m.observe(&p), HealthState::Healthy);
+        }
+    }
+
+    #[test]
+    fn retry_burn_degrades() {
+        let t = HealthThresholds::default();
+        let mut m = HealthMonitor::new(t);
+        let mut p = probe();
+        p.retries = t.degraded_retries;
+        assert_eq!(m.observe(&p), HealthState::Degraded);
+    }
+
+    #[test]
+    fn spare_exhaustion_degrades_and_pending_faults_quarantine() {
+        let t = HealthThresholds::default();
+        let mut m = HealthMonitor::new(t);
+        let mut p = probe();
+        p.quarantined_blocks = 3;
+        p.spare_blocks_free = t.degraded_spares_free;
+        assert_eq!(m.observe(&p), HealthState::Degraded);
+        p.pending_faults = t.quarantine_pending_faults;
+        assert_eq!(m.observe(&p), HealthState::Quarantined);
+        assert_eq!(m.transitions(), 2);
+    }
+
+    #[test]
+    fn a_full_spare_rack_never_trips_the_inventory_signal() {
+        let mut m = HealthMonitor::new(HealthThresholds::default());
+        let mut p = probe();
+        // Low absolute spares but nothing ever quarantined: that is just
+        // a small machine, not a worn one.
+        p.spare_blocks_free = 0;
+        p.quarantined_blocks = 0;
+        assert_eq!(m.observe(&p), HealthState::Healthy);
+    }
+}

@@ -1,0 +1,190 @@
+//! Fleet-level serving metrics: per-job outcomes across migrations,
+//! per-machine engine reports, and the aggregate figures a capacity
+//! planner reads (makespan throughput, utilization skew, migration
+//! accounting, cross-machine queue latency).
+
+use cape_engine::{EngineReport, JobReport, QueueLatency};
+
+use crate::cluster::ClusterJobId;
+use crate::health::HealthState;
+
+/// One downward health reclassification taken during a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HealthTransition {
+    /// Which machine moved.
+    pub machine: usize,
+    /// The state it left.
+    pub from: HealthState,
+    /// The state it entered.
+    pub to: HealthState,
+}
+
+/// The final word on one admitted cluster job, across every machine it
+/// touched.
+#[derive(Debug, Clone)]
+pub struct ClusterJobReport {
+    /// The fleet-wide id handed out at admission (also stamped into
+    /// every engine-side report's `tag`).
+    pub id: ClusterJobId,
+    /// The machine that produced the final report, if the job ran.
+    pub machine: Option<usize>,
+    /// Times the job was drained off a degrading machine's queue and
+    /// resubmitted elsewhere before it started.
+    pub migrations: u64,
+    /// Full re-runs on another machine after a machine-fault failure
+    /// (retries exhausted / spares exhausted).
+    pub resubmissions: u64,
+    /// Placements consumed (initial submit + resubmissions).
+    pub attempts: u32,
+    /// The engine report of the final attempt (`None` only for a
+    /// stranded job that never ran anywhere).
+    pub report: Option<JobReport>,
+    /// True when the fleet ran out of healthy machines before the job
+    /// could be placed — admitted, never lost, but unserved.
+    pub stranded: bool,
+}
+
+impl ClusterJobReport {
+    /// True if the job halted cleanly somewhere.
+    pub fn succeeded(&self) -> bool {
+        self.report.as_ref().is_some_and(|r| r.error.is_none())
+    }
+
+    /// True if the job ever moved between machines, for either reason.
+    pub fn migrated(&self) -> bool {
+        self.migrations + self.resubmissions > 0
+    }
+}
+
+/// One machine's view of the run.
+#[derive(Debug, Clone)]
+pub struct MachineReport {
+    /// Fleet index of the machine.
+    pub index: usize,
+    /// Final health classification.
+    pub state: HealthState,
+    /// The machine's own engine report. Jobs that failed here and were
+    /// re-run elsewhere appear in this report *and* (as their final
+    /// attempt) in another machine's — the authoritative per-job view is
+    /// [`ClusterReport::jobs`].
+    pub engine: EngineReport,
+}
+
+/// What one [`Cluster::run`](crate::Cluster::run) accomplished.
+#[derive(Debug, Clone)]
+pub struct ClusterReport {
+    /// Per-job final outcomes, in admission order. Every admitted job
+    /// appears exactly once — the zero-loss ledger.
+    pub jobs: Vec<ClusterJobReport>,
+    /// Per-machine engine reports and final health states.
+    pub machines: Vec<MachineReport>,
+    /// Queue drains: pending jobs moved off degrading machines.
+    pub migrations: u64,
+    /// Failure re-runs: checkpoint-failed jobs re-executed elsewhere.
+    pub resubmissions: u64,
+    /// Every downward health reclassification, in order.
+    pub transitions: Vec<HealthTransition>,
+    /// Core frequency for cycle→time conversion.
+    pub freq_ghz: f64,
+}
+
+impl ClusterReport {
+    /// Jobs admitted to the fleet.
+    pub fn admitted(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Jobs that halted cleanly on some machine.
+    pub fn completed(&self) -> usize {
+        self.jobs.iter().filter(|j| j.succeeded()).count()
+    }
+
+    /// Jobs whose final attempt failed with a typed error.
+    pub fn failed(&self) -> usize {
+        self.jobs
+            .iter()
+            .filter(|j| j.report.as_ref().is_some_and(|r| r.error.is_some()))
+            .count()
+    }
+
+    /// Jobs the fleet could not place before running out of healthy
+    /// machines.
+    pub fn stranded(&self) -> usize {
+        self.jobs.iter().filter(|j| j.stranded).count()
+    }
+
+    /// Admitted jobs without a final accounting — the invariant the
+    /// drain/resubmit protocol exists to hold at zero.
+    pub fn lost(&self) -> usize {
+        self.admitted() - self.completed() - self.failed() - self.stranded()
+    }
+
+    /// Fleet makespan: machines run in parallel, so the drain takes as
+    /// long as its busiest machine.
+    pub fn makespan_cycles(&self) -> u64 {
+        self.machines
+            .iter()
+            .map(|m| m.engine.total_cycles)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Makespan in milliseconds.
+    pub fn time_ms(&self) -> f64 {
+        self.makespan_cycles() as f64 / (self.freq_ghz * 1e6)
+    }
+
+    /// Jobs served per millisecond of fleet makespan.
+    pub fn jobs_per_ms(&self) -> f64 {
+        if self.makespan_cycles() == 0 {
+            0.0
+        } else {
+            self.jobs.len() as f64 / self.time_ms()
+        }
+    }
+
+    /// Load-balance quality: busiest machine's cycles over the fleet
+    /// mean. 1.0 is perfectly even; the affinity router trades a little
+    /// skew for warm program caches.
+    pub fn utilization_skew(&self) -> f64 {
+        if self.machines.is_empty() {
+            return 0.0;
+        }
+        let cycles: Vec<u64> = self
+            .machines
+            .iter()
+            .map(|m| m.engine.total_cycles)
+            .collect();
+        let max = *cycles.iter().max().expect("non-empty") as f64;
+        let mean = cycles.iter().sum::<u64>() as f64 / cycles.len() as f64;
+        if mean == 0.0 {
+            0.0
+        } else {
+            max / mean
+        }
+    }
+
+    /// Cross-machine queue-latency distribution: every served job's
+    /// admit→start wait on the machine that finally ran it.
+    pub fn queue_latency(&self) -> QueueLatency {
+        let waits: Vec<u64> = self
+            .jobs
+            .iter()
+            .filter_map(|j| j.report.as_ref().map(|r| r.queue_cycles()))
+            .collect();
+        QueueLatency::from_waits(&waits)
+    }
+
+    /// Queue-latency distribution of migrated jobs only — the price of
+    /// landing in a healthy machine's queue after a drain or a failure
+    /// re-run (measured on the destination machine).
+    pub fn migration_queue_latency(&self) -> QueueLatency {
+        let waits: Vec<u64> = self
+            .jobs
+            .iter()
+            .filter(|j| j.migrated())
+            .filter_map(|j| j.report.as_ref().map(|r| r.queue_cycles()))
+            .collect();
+        QueueLatency::from_waits(&waits)
+    }
+}

@@ -75,9 +75,58 @@ impl CapeConfig {
     }
 }
 
+/// When a fleet scheduler stops trusting a machine.
+///
+/// A health monitor samples each machine's fault-layer counters
+/// ([`FaultStats`](cape_csb::FaultStats)) between scheduling steps and
+/// compares the *deltas* — new detections, new retries — plus the
+/// absolute spare-block inventory against these thresholds to classify
+/// the machine Healthy → Degraded → Quarantined. The defaults are sized
+/// for the storm rates of `FaultConfig::seeded`: a handful of remapped
+/// transients is normal wear, a burst of strikes or a near-empty spare
+/// pool is not.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HealthThresholds {
+    /// Fault detections (parity + golden + scrub) within one health
+    /// window at or above this mark the machine Degraded — it still
+    /// computes correctly (checkpointed retry heals the jobs) but it is
+    /// burning retries and spares, so new work should route elsewhere.
+    pub degraded_strikes: u64,
+    /// Checkpointed slice re-executions within one health window at or
+    /// above this mark the machine Degraded.
+    pub degraded_retries: u64,
+    /// A spare-block inventory at or below this (with at least one
+    /// quarantine already taken) marks the machine Degraded: the next
+    /// hard fault may be unmappable.
+    pub degraded_spares_free: usize,
+    /// Faulty blocks still pending after quarantine-and-remap (spares
+    /// exhausted) at or above this mark the machine Quarantined: it can
+    /// no longer guarantee bit-exact results, so it must stop taking
+    /// jobs and its queue must migrate.
+    pub quarantine_pending_faults: usize,
+}
+
+impl Default for HealthThresholds {
+    fn default() -> Self {
+        Self {
+            degraded_strikes: 6,
+            degraded_retries: 4,
+            degraded_spares_free: 1,
+            quarantine_pending_faults: 1,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn health_defaults_are_ordered() {
+        let h = HealthThresholds::default();
+        assert!(h.degraded_strikes > 0 && h.degraded_retries > 0);
+        assert!(h.quarantine_pending_faults > 0);
+    }
 
     #[test]
     fn paper_design_points() {

@@ -40,7 +40,7 @@ mod roofline;
 mod timing;
 
 pub use cape_csb::{FaultConfig, FaultKind, FaultStats, RemapOutcome, ScrubReport};
-pub use config::CapeConfig;
+pub use config::{CapeConfig, HealthThresholds};
 pub use machine::{CapeMachine, MachineContext, MachineCounters};
 pub use report::RunReport;
 pub use roofline::{Roofline, RooflinePoint};

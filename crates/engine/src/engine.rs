@@ -56,6 +56,30 @@ impl std::error::Error for AdmissionError {
     }
 }
 
+/// Why a fault-layer request was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultApiError {
+    /// The engine was built without a [`FaultPolicy`], so the CSB fault
+    /// layer is disarmed and there is nothing to inject into. A health
+    /// prober treats this as "machine not probeable", not a crash.
+    NoFaultPolicy,
+}
+
+impl std::fmt::Display for FaultApiError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultApiError::NoFaultPolicy => {
+                write!(
+                    f,
+                    "the engine has no fault policy; the fault layer is disarmed"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultApiError {}
+
 /// Engine tuning knobs.
 #[derive(Debug, Clone, Copy)]
 pub struct EngineConfig {
@@ -241,18 +265,42 @@ impl Engine {
         self.pending.len()
     }
 
+    /// Jobs served (halted or failed typed) so far.
+    pub fn finished_jobs(&self) -> usize {
+        self.finished.len()
+    }
+
+    /// Checkpointed slice re-executions across every job served so far —
+    /// one of the health signals a fleet monitor samples between batches
+    /// without paying for a full [`EngineReport`] clone.
+    pub fn total_retries(&self) -> u64 {
+        self.retries
+    }
+
     /// Read access to the shared machine (cache statistics, config).
     pub fn machine(&self) -> &CapeMachine {
         &self.machine
     }
 
-    /// Plants one specific CSB fault at chain `i` (testing hook).
+    /// Plants one specific CSB fault at chain `i` (testing hook, and the
+    /// strike mechanism cluster stress harnesses use to degrade one
+    /// machine of a fleet).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics unless the engine was built with a [`FaultPolicy`].
-    pub fn inject_fault(&mut self, chain: usize, kind: cape_core::FaultKind) {
+    /// [`FaultApiError::NoFaultPolicy`] when the engine was built
+    /// without a [`FaultPolicy`] — the fault layer is disarmed, so there
+    /// is no injection machinery to plant the fault into.
+    pub fn inject_fault(
+        &mut self,
+        chain: usize,
+        kind: cape_core::FaultKind,
+    ) -> Result<(), FaultApiError> {
+        if !self.machine.fault_injection_enabled() {
+            return Err(FaultApiError::NoFaultPolicy);
+        }
         self.machine.inject_csb_fault(chain, kind);
+        Ok(())
     }
 
     /// Admits a job, or refuses it with typed backpressure.
@@ -295,41 +343,70 @@ impl Engine {
 
     /// Serves every queued job to completion and reports the drain.
     pub fn run(&mut self) -> EngineReport {
-        while !self.pending.is_empty() {
-            self.run_batch();
-        }
+        while self.run_next_batch() {}
         self.report()
+    }
+
+    /// Serves exactly one batch if any jobs are queued, returning
+    /// whether a batch ran. A fleet scheduler steps its machines with
+    /// this so it can re-check machine health (and drain a degrading
+    /// machine) between batches instead of committing to a full drain.
+    pub fn run_next_batch(&mut self) -> bool {
+        if self.pending.is_empty() {
+            return false;
+        }
+        self.run_batch();
+        true
+    }
+
+    /// Hands back every queued-but-unstarted job, emptying the queue.
+    ///
+    /// Each entry is the [`JobId`] admission assigned plus the untouched
+    /// [`JobSpec`] (no slice of a pending job has run, so the spec —
+    /// memory image included — is exactly what was submitted). This is
+    /// the migration hook: a cluster drains a degraded machine's queue
+    /// and resubmits the specs to healthy peers, using the ids (or the
+    /// specs' stable [`JobSpec::tag`]s) to correlate reports across the
+    /// move. Already-finished jobs are unaffected.
+    pub fn drain_pending(&mut self) -> Vec<(JobId, JobSpec)> {
+        self.pending
+            .drain(..)
+            .map(|p| (JobId(p.id), p.spec))
+            .collect()
     }
 
     /// Picks the next batch: the most urgent pending job (earliest
     /// deadline, then highest priority, then FIFO) plus every other
     /// pending job with the same program fingerprint, up to
     /// `max_batch`, in admission order.
+    ///
+    /// Single pass, in place: each job is popped from the front once and
+    /// either joins the batch or rotates to the back of the same deque
+    /// (the ring buffer's capacity is reused — the old implementation
+    /// drained into a freshly allocated `kept` deque, paying an
+    /// O(queue-length) allocation + copy per batch).
     fn take_batch(&mut self) -> Vec<Pending> {
-        let leader = self
+        let key = self
             .pending
             .iter()
-            .enumerate()
-            .min_by_key(|(pos, p)| {
+            .min_by_key(|p| {
                 (
                     p.spec.deadline.unwrap_or(u64::MAX),
                     std::cmp::Reverse(p.spec.priority),
-                    *pos,
+                    p.id,
                 )
             })
-            .map(|(pos, _)| pos)
+            .map(|p| p.fingerprint)
             .expect("take_batch requires a non-empty queue");
-        let key = self.pending[leader].fingerprint;
         let mut batch = Vec::new();
-        let mut kept = VecDeque::with_capacity(self.pending.len());
-        for p in self.pending.drain(..) {
+        for _ in 0..self.pending.len() {
+            let p = self.pending.pop_front().expect("iterating queue length");
             if p.fingerprint == key && batch.len() < self.config.max_batch {
                 batch.push(p);
             } else {
-                kept.push_back(p);
+                self.pending.push_back(p);
             }
         }
-        self.pending = kept;
         batch
     }
 
@@ -584,6 +661,7 @@ impl Engine {
         Finished {
             report: JobReport {
                 id: JobId(job.id),
+                tag: job.spec.tag,
                 name: job.spec.name,
                 fingerprint: job.fingerprint,
                 priority: job.spec.priority,
@@ -856,7 +934,8 @@ halt"
                 mask: 0xF,
                 value: true,
             },
-        );
+        )
+        .unwrap();
         let report = e.run();
         let job = e.job_report(id).unwrap();
         assert!(job.succeeded(), "error: {:?}", job.error);
@@ -913,7 +992,7 @@ halt"
             ..EngineConfig::new(cape_core::CapeConfig::tiny(2))
         });
         let id = e.submit(add_job(16, 2)).unwrap();
-        e.inject_fault(0, cape_core::FaultKind::DeadBlock);
+        e.inject_fault(0, cape_core::FaultKind::DeadBlock).unwrap();
         let report = e.run();
         let job = e.job_report(id).unwrap();
         assert!(
@@ -949,6 +1028,64 @@ halt"
             }
             other => panic!("expected a processor error, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn inject_fault_without_a_policy_is_a_typed_error_not_a_panic() {
+        let mut e = engine();
+        assert_eq!(
+            e.inject_fault(0, cape_core::FaultKind::DeadBlock),
+            Err(FaultApiError::NoFaultPolicy)
+        );
+        // With a policy the same call succeeds.
+        let mut e = Engine::new(EngineConfig {
+            fault: Some(FaultPolicy::quiescent()),
+            ..EngineConfig::new(cape_core::CapeConfig::tiny(2))
+        });
+        assert_eq!(e.inject_fault(0, cape_core::FaultKind::DeadBlock), Ok(()));
+    }
+
+    #[test]
+    fn drain_pending_hands_back_unserved_specs_for_resubmission() {
+        let mut e = engine();
+        let a = e.submit(add_job(8, 2).with_tag(70)).unwrap();
+        let b = e.submit(add_job(8, 4).with_tag(71)).unwrap();
+        let drained = e.drain_pending();
+        assert_eq!(e.pending_jobs(), 0);
+        assert_eq!(
+            drained.iter().map(|(id, _)| *id).collect::<Vec<_>>(),
+            vec![a, b],
+            "drain returns admission order with the admitted ids"
+        );
+        // The drained specs are untouched: resubmitting them to another
+        // engine produces exactly the outputs the jobs would have had,
+        // and the stable tags survive the move into the new reports.
+        let mut other = engine();
+        let ids: Vec<JobId> = drained
+            .into_iter()
+            .map(|(_, spec)| other.submit(spec).unwrap())
+            .collect();
+        let report = other.run();
+        assert_eq!(report.completed(), 2);
+        assert_eq!(other.job_report(ids[0]).unwrap().tag, Some(70));
+        assert_eq!(other.job_report(ids[1]).unwrap().tag, Some(71));
+        for (i, scale) in [2u32, 4].iter().enumerate() {
+            let out = other.memory(ids[i]).unwrap().read_u32_slice(0x4000, 8);
+            let want: Vec<u32> = (0..8).map(|k| (k * scale + 1) * 2).collect();
+            assert_eq!(out, want);
+        }
+    }
+
+    #[test]
+    fn run_next_batch_steps_one_batch_at_a_time() {
+        let mut e = engine();
+        e.submit(add_job(4, 1)).unwrap(); // fingerprint A
+        e.submit(add_job(8, 1)).unwrap(); // fingerprint B (different vl)
+        assert!(e.run_next_batch());
+        assert_eq!(e.pending_jobs(), 1, "one fingerprint served per step");
+        assert!(e.run_next_batch());
+        assert!(!e.run_next_batch(), "empty queue steps are no-ops");
+        assert_eq!(e.report().completed(), 2);
     }
 
     #[test]

@@ -44,6 +44,12 @@ pub struct JobSpec {
     /// Test hook: arm a Section V-C page fault at this element index
     /// for the job's first vector memory instruction.
     pub fault_at_element: Option<usize>,
+    /// Caller-owned stable identity, carried verbatim into the
+    /// [`JobReport`]. Engine-local [`JobId`]s change when a job is
+    /// drained off one machine and resubmitted to another; a cluster
+    /// stamps its own job id here so a migrated job's reports stay
+    /// correlatable across machines.
+    pub tag: Option<u64>,
 }
 
 impl JobSpec {
@@ -56,6 +62,7 @@ impl JobSpec {
             priority: 0,
             deadline: None,
             fault_at_element: None,
+            tag: None,
         }
     }
 
@@ -75,6 +82,12 @@ impl JobSpec {
     /// memory instruction (Section V-C restart testing).
     pub fn with_fault_at(mut self, elem: usize) -> Self {
         self.fault_at_element = Some(elem);
+        self
+    }
+
+    /// Stamps a stable caller-owned identity (see [`JobSpec::tag`]).
+    pub fn with_tag(mut self, tag: u64) -> Self {
+        self.tag = Some(tag);
         self
     }
 }
@@ -180,6 +193,9 @@ impl std::error::Error for JobError {}
 pub struct JobReport {
     /// The id assigned at admission.
     pub id: JobId,
+    /// The stable caller-owned identity from [`JobSpec::tag`], if any —
+    /// constant across drain/resubmit migrations while `id` is not.
+    pub tag: Option<u64>,
     /// The label from the [`JobSpec`].
     pub name: String,
     /// The program fingerprint the scheduler batched on.

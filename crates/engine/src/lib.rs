@@ -74,6 +74,6 @@ mod engine;
 mod job;
 mod report;
 
-pub use engine::{AdmissionError, Engine, EngineConfig, FaultPolicy};
+pub use engine::{AdmissionError, Engine, EngineConfig, FaultApiError, FaultPolicy};
 pub use job::{fingerprint, JobError, JobId, JobReport, JobSpec};
 pub use report::{EngineReport, QueueLatency};

@@ -1,0 +1,212 @@
+//! Cluster determinism: a fleet of machines serving the multi-tenant
+//! stress workload must be invisible in the outputs.
+//!
+//! These tests back the cluster's headline claims:
+//!
+//! * **Distribution transparency** — the 64-job Phoenix mix from the
+//!   `engine_multitenant` stress (8 kernels × 8 instances) served by a
+//!   4-machine fleet produces per-job memory digests bit-identical to
+//!   the single-engine baseline (which PR 3 pinned bit-exact to solo
+//!   runs), no matter how the router spread the jobs.
+//! * **Migration transparency** — the same mix with one machine struck
+//!   by `dead-block` faults mid-drain: the struck machine leaves
+//!   rotation, its queue migrates, and every job still completes
+//!   bit-exactly somewhere — zero lost, zero duplicated.
+
+use cape_cluster::{Cluster, ClusterConfig, ClusterJobId, HealthState};
+use cape_core::{CapeConfig, FaultKind};
+use cape_engine::{Engine, EngineConfig, FaultPolicy, JobSpec};
+use cape_mem::MainMemory;
+use cape_workloads::{phoenix, run_cape, Workload};
+
+const CHAINS: usize = 4;
+const INSTANCES_PER_KERNEL: usize = 8;
+const MACHINES: usize = 4;
+
+fn phoenix_job(w: &dyn Workload, instance: usize) -> JobSpec {
+    let mut mem = MainMemory::new();
+    let program = w.cape_setup(&mut mem);
+    JobSpec::new(format!("{}#{instance}", w.name()), program, mem)
+        .with_priority((instance % 4) as u8)
+}
+
+/// Solo-run digest per kernel: the ground truth every serving layer —
+/// engine or cluster — must reproduce bit-exactly.
+fn solo_digests(config: &CapeConfig) -> Vec<u64> {
+    phoenix::tiny_suite()
+        .iter()
+        .map(|w| run_cape(w.as_ref(), config).digest)
+        .collect()
+}
+
+fn submit_mix(cluster: &mut Cluster) -> Vec<(ClusterJobId, usize)> {
+    let suite = phoenix::tiny_suite();
+    let mut ids = Vec::new();
+    for instance in 0..INSTANCES_PER_KERNEL {
+        for (k, w) in suite.iter().enumerate() {
+            let id = cluster
+                .submit(phoenix_job(w.as_ref(), instance))
+                .expect("fleet queue sized for the mix");
+            ids.push((id, k));
+        }
+    }
+    assert_eq!(ids.len(), 64);
+    ids
+}
+
+fn engine_config(config: CapeConfig, fault: Option<FaultPolicy>, max_batch: usize) -> EngineConfig {
+    EngineConfig {
+        queue_capacity: 64,
+        slice_vectors: 16,
+        max_batch,
+        machine: config,
+        fault,
+    }
+}
+
+#[test]
+fn four_machine_fleet_matches_the_single_engine_baseline_bit_for_bit() {
+    let config = CapeConfig::tiny(CHAINS);
+    let suite = phoenix::tiny_suite();
+    let solo = solo_digests(&config);
+
+    // Single-engine baseline over the identical mix.
+    let mut single = Engine::new(engine_config(config, None, INSTANCES_PER_KERNEL));
+    let mut single_ids = Vec::new();
+    for instance in 0..INSTANCES_PER_KERNEL {
+        for (k, w) in suite.iter().enumerate() {
+            single_ids.push((single.submit(phoenix_job(w.as_ref(), instance)).unwrap(), k));
+        }
+    }
+    let single_report = single.run();
+    assert_eq!(single_report.completed(), 64);
+
+    let mut cluster = Cluster::new(ClusterConfig::new(
+        MACHINES,
+        engine_config(config, None, INSTANCES_PER_KERNEL),
+    ));
+    let ids = submit_mix(&mut cluster);
+    let report = cluster.run();
+
+    assert_eq!(report.admitted(), 64);
+    assert_eq!(report.completed(), 64, "every job must halt cleanly");
+    assert_eq!(report.lost(), 0);
+    assert_eq!(report.migrations, 0, "no faults, no migration");
+
+    // Bit-exact against both references: the solo machine and the
+    // single-engine serving baseline.
+    for ((cid, k), (sid, _)) in ids.iter().zip(&single_ids) {
+        let cluster_digest = suite[*k].digest(cluster.memory(*cid).expect("finished"));
+        let single_digest = suite[*k].digest(single.memory(*sid).expect("finished"));
+        assert_eq!(cluster_digest, solo[*k], "cluster diverged from solo run");
+        assert_eq!(
+            cluster_digest, single_digest,
+            "cluster diverged from single engine"
+        );
+    }
+
+    // The router actually used the fleet: with 8 distinct kernels over
+    // 4 machines, more than one machine serves.
+    let used: std::collections::HashSet<usize> =
+        report.jobs.iter().filter_map(|j| j.machine).collect();
+    assert!(
+        used.len() > 1,
+        "fleet must spread distinct kernels: {used:?}"
+    );
+    // And affinity kept every instance of one kernel on one machine.
+    for k in 0..suite.len() {
+        let homes: std::collections::HashSet<usize> = ids
+            .iter()
+            .filter(|(_, kk)| *kk == k)
+            .filter_map(|(id, _)| report.jobs[id.0 as usize].machine)
+            .collect();
+        assert_eq!(homes.len(), 1, "kernel {k} scattered: {homes:?}");
+    }
+}
+
+#[test]
+fn dead_block_storm_mid_drain_migrates_without_losing_or_duplicating_jobs() {
+    let config = CapeConfig::tiny(CHAINS);
+    let suite = phoenix::tiny_suite();
+    let solo = solo_digests(&config);
+
+    // Small batches keep the victim's queue loaded across several
+    // scheduling steps, so the strikes land while it still holds
+    // unstarted work — the drain path this test exists to cover.
+    let mut cluster = Cluster::new(ClusterConfig::new(
+        MACHINES,
+        engine_config(config, Some(FaultPolicy::quiescent()), 2),
+    ));
+    let ids = submit_mix(&mut cluster);
+
+    // Let the fleet serve a couple of rounds, then strike one machine
+    // with repeated dead-block faults while its queue still holds
+    // unstarted work: each strike is detected, retried and remapped
+    // until the health monitor pulls the machine from rotation.
+    assert!(cluster.step());
+    let victim = 0;
+    for _ in 0..4 {
+        cluster
+            .strike(victim, 0, FaultKind::DeadBlock)
+            .expect("fault policy armed");
+        cluster.step();
+    }
+    let report = cluster.run();
+
+    // Zero lost: every admitted job has exactly one final accounting.
+    assert_eq!(report.admitted(), 64);
+    assert_eq!(report.lost(), 0);
+    assert_eq!(
+        report.completed() + report.failed() + report.stranded(),
+        64,
+        "ledger must cover every job"
+    );
+    assert_eq!(report.completed(), 64, "healthy peers absorb the storm");
+
+    // The victim left rotation and its queue moved.
+    assert!(
+        cluster.health(victim) > HealthState::Healthy,
+        "victim stayed {}",
+        cluster.health(victim)
+    );
+    assert!(
+        report.migrations + report.resubmissions > 0,
+        "strikes on a loaded machine must force migration"
+    );
+    assert!(
+        !report.transitions.is_empty(),
+        "health transitions must be logged"
+    );
+
+    // Zero duplicated: per-job ledger is one final report each, and the
+    // fleet-level counters match the per-job sums exactly.
+    assert_eq!(
+        report.migrations,
+        report.jobs.iter().map(|j| j.migrations).sum::<u64>()
+    );
+    assert_eq!(
+        report.resubmissions,
+        report.jobs.iter().map(|j| j.resubmissions).sum::<u64>()
+    );
+
+    // Bit-exact everywhere, migrated jobs included.
+    let mut migrated_and_checked = 0;
+    for (id, k) in &ids {
+        let digest = suite[*k].digest(cluster.memory(*id).expect("completed"));
+        assert_eq!(
+            digest, solo[*k],
+            "job {id} (kernel {k}) diverged after the storm"
+        );
+        let job = &report.jobs[id.0 as usize];
+        if job.migrated() {
+            migrated_and_checked += 1;
+            // Stable identity across the move: the engine-side report
+            // carries the cluster id as its tag.
+            assert_eq!(job.report.as_ref().unwrap().tag, Some(id.0));
+        }
+    }
+    assert!(
+        migrated_and_checked > 0,
+        "at least one migrated job must be digest-checked"
+    );
+}
