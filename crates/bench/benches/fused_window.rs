@@ -1,0 +1,47 @@
+//! Host-side cost of the fused-window broadcast path versus per-op
+//! dispatch, on the 4k-chain Phoenix string-match scan (the
+//! `fusion_smoke` gate kernel): text CSB-resident, every sweep exactly
+//! one window of short-microprogram ops, scalars loop-invariant so the
+//! fused-window cache replays each sweep's super-program.
+//!
+//! `fused` runs the default machine (`fusion_window = 32`, one pool
+//! broadcast + one join per window); `per_op` pins `fusion_window = 1`
+//! (the exact legacy path: one broadcast + join per vector
+//! instruction). Modeled cycles and outputs are bit-identical — the
+//! delta is pure host wall-clock from join elimination, cross-op
+//! peepholes and single-pass block sweeps.
+
+use cape_bench::fusion;
+use cape_core::CapeMachine;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+const ITERS: usize = 20;
+
+fn run(fusion_window: usize) -> u64 {
+    let mut config = fusion::config();
+    config.fusion_window = fusion_window;
+    let max_vl = config.max_vl();
+    let program = fusion::phoenix_loop(max_vl, ITERS);
+    let mut machine = CapeMachine::new(config);
+    let mut mem = fusion::input(max_vl);
+    let report = machine.run(&program, &mut mem).expect("runs");
+    report.cycles ^ fusion::digest(&mem, max_vl)
+}
+
+fn bench_fused_window(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fused_window");
+    g.sample_size(10);
+    let vl = fusion::config().max_vl();
+
+    g.bench_with_input(BenchmarkId::new("fused", vl), &vl, |b, _| {
+        b.iter(|| run(32))
+    });
+    g.bench_with_input(BenchmarkId::new("per_op", vl), &vl, |b, _| {
+        b.iter(|| run(1))
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_fused_window);
+criterion_main!(benches);

@@ -1,7 +1,8 @@
 //! Fault-storm stress gate: drives 64 concurrent Phoenix jobs through
 //! `cape-engine` under seeded random fault injection and verifies the
 //! self-healing contract — every job either completes with a digest
-//! bit-identical to a clean run or fails with a typed [`JobError`], no
+//! bit-identical to a clean run or fails with a typed
+//! [`JobError`](cape_engine::JobError), no
 //! silent corruption ever escapes, and every injected fault is
 //! attributed to a detection event. Also measures the overhead of the
 //! detection machinery (quiescent mode: parity scrub + checkpointing,

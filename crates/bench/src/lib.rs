@@ -53,6 +53,136 @@ impl Measurement {
     }
 }
 
+/// The fusion-gate workload: a Phoenix-style string-match scan sized
+/// for a 4k-chain machine, shared by the `fused_window` Criterion group
+/// and the `fusion_smoke` release gate.
+///
+/// The text window is loaded once and stays CSB-resident; every
+/// iteration then runs *exactly one fusion window* (32 fusible ops) of
+/// short-microprogram work — per pattern: scalar-xor, low-byte mask,
+/// equality probe, id broadcast, masked merge, coverage accumulate —
+/// followed by a shift-xor rolling-hash step that evolves the text so
+/// iterations are not redundant. This is the regime fusion targets: the
+/// per-op broadcast plans are 1–34 steps, so per-dispatch overhead (not
+/// bit-serial compute) dominates the unfused path. All scalar operands
+/// are loop-invariant, so each iteration replays the same
+/// `(op, sew)` sequence and the fused-window cache amortizes the fusion
+/// pass across iterations. Reductions and stores happen once, after the
+/// loop.
+pub mod fusion {
+    use cape_core::CapeConfig;
+    use cape_isa::{Program, Reg, VAluOp, VReg};
+    use cape_mem::MainMemory;
+
+    /// Chains in the gate machine (`max_vl` = 4096 × 32 = 131 072 —
+    /// the paper's CAPE131k scale point).
+    pub const CHAINS: usize = 4096;
+    /// Input base for the resident text words.
+    pub const IN_TEXT: u64 = 0x10_0000;
+    /// Output base: per-element matched-pattern ids, then the coverage
+    /// checksum.
+    pub const OUT: u64 = 0x30_0000;
+    /// Pattern keys the scan searches for — loop-invariant scalars. An
+    /// element matches pattern `k` when its low byte equals the key's
+    /// (the xor of text and key vanishes under the `0xff` mask).
+    pub const PATTERNS: [u32; 5] = [
+        0x6b65_7931,
+        0x7061_7437,
+        0x3133_3700,
+        0x6361_7065,
+        0x002a_2a2a,
+    ];
+
+    /// The gate machine: `CapeConfig::tiny` geometry at 4k chains, so
+    /// the whole dataset is one full vector window.
+    pub fn config() -> CapeConfig {
+        CapeConfig::tiny(CHAINS)
+    }
+
+    /// Text words for a machine with `max_vl` lanes (one full window).
+    pub fn input(max_vl: usize) -> MainMemory {
+        let mut mem = MainMemory::new();
+        let text: Vec<u32> = (0..max_vl as u32)
+            .map(|i| i.wrapping_mul(2_654_435_761).rotate_right(7))
+            .collect();
+        mem.write_u32_slice(IN_TEXT, &text);
+        mem
+    }
+
+    /// The kernel: `iters` scan sweeps of `max_vl` resident text words
+    /// against [`PATTERNS`], then one reduction + vector store.
+    ///
+    /// Each sweep emits exactly 32 fusible vector ops — 5 patterns ×
+    /// (xor.vx, and.vx, vmseq.vx, vmv.v.x, vmerge, vor.vv) plus the
+    /// two-op rolling-hash text evolution — so with the default
+    /// `fusion_window = 32` every iteration is one whole window and the
+    /// window cache hits from the second sweep on.
+    pub fn phoenix_loop(max_vl: usize, iters: usize) -> Program {
+        let mut p = Program::builder();
+        p.li(Reg::S0, max_vl as i64);
+        p.li(Reg::S1, IN_TEXT as i64);
+        p.li(Reg::S3, OUT as i64);
+        p.li(Reg::S4, iters as i64);
+        // Loop-invariant scalars, set once: pattern keys in A0-A4, the
+        // low-byte mask in A5, pattern ids (k + 1) in S5-S9.
+        let keys = [Reg::A0, Reg::A1, Reg::A2, Reg::A3, Reg::A4];
+        let ids = [Reg::S5, Reg::S6, Reg::S7, Reg::S8, Reg::S9];
+        for (k, pat) in PATTERNS.iter().enumerate() {
+            p.li(keys[k], i64::from(*pat));
+            p.li(ids[k], k as i64 + 1);
+        }
+        p.li(Reg::A5, 0xff);
+        p.vsetvli(Reg::T0, Reg::S0);
+        // The id/coverage initializers fuse into their own short window;
+        // the text load is a barrier, so the loop starts with an empty
+        // buffer and each sweep aligns exactly with one fusion window.
+        p.vmv_vx(VReg::V11, Reg::ZERO); // matched-pattern ids
+        p.vmv_vx(VReg::V12, Reg::ZERO); // coverage accumulator
+        p.vle32(VReg::V1, Reg::S1); // text, resident
+        p.label("sweep");
+        for k in 0..PATTERNS.len() {
+            p.vop_vx(VAluOp::Xor, VReg::V3, VReg::V1, keys[k]);
+            p.vop_vx(VAluOp::And, VReg::V5, VReg::V3, Reg::A5);
+            p.vmseq_vx(VReg::V0, VReg::V5, Reg::ZERO);
+            p.vmv_vx(VReg::V6, ids[k]);
+            p.vmerge(VReg::V11, VReg::V11, VReg::V6);
+            p.vop_vv(VAluOp::Or, VReg::V12, VReg::V12, VReg::V3);
+        }
+        // Rolling-hash evolution: text ^= text << 1, so successive
+        // sweeps scan fresh data (scalars stay loop-invariant).
+        p.vsll_vi(VReg::V4, VReg::V1, 1);
+        p.vop_vv(VAluOp::Xor, VReg::V1, VReg::V1, VReg::V4);
+        p.addi(Reg::S4, Reg::S4, -1);
+        p.bnez(Reg::S4, "sweep");
+        // Barrier tail: store the ids, reduce the coverage checksum.
+        p.vse32(VReg::V11, Reg::S3);
+        p.vmv_vx(VReg::V13, Reg::ZERO);
+        p.vredsum(VReg::V13, VReg::V12, VReg::V13);
+        p.vmv_xs(Reg::T2, VReg::V13);
+        p.li(Reg::A6, (OUT + 4 * max_vl as u64) as i64);
+        p.sw(Reg::T2, 0, Reg::A6);
+        p.halt();
+        p.build().expect("fusion gate kernel builds")
+    }
+
+    /// FNV-1a digest of the kernel's output region.
+    pub fn digest(mem: &MainMemory, max_vl: usize) -> u64 {
+        super::fnv1a_words(mem.read_u32_slice(OUT, max_vl + 1))
+    }
+}
+
+/// FNV-1a digest over a word sequence.
+pub fn fnv1a_words(words: impl IntoIterator<Item = u32>) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for w in words {
+        for b in w.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+    h
+}
+
 /// Geometric mean of a non-empty slice.
 ///
 /// # Panics

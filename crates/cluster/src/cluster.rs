@@ -177,6 +177,36 @@ impl Cluster {
         self.machines[machine].engine.inject_fault(chain, kind)
     }
 
+    /// Re-admits a repaired machine onto the probation ladder: models a
+    /// field service that installs `spares_per_shard` fresh spare
+    /// blocks, remaps every still-pending faulty block onto them
+    /// ([`cape_engine::Engine::service_spares`]), and moves the health
+    /// monitor `Quarantined → Probation`. The machine receives no new
+    /// work yet — it must post `probation_clean_windows` consecutive
+    /// clean health windows (one per [`Cluster::step`]) to re-enter
+    /// rotation, and one dirty window re-quarantines it permanently
+    /// (the repair credit is once per machine).
+    ///
+    /// Returns whether the machine was eligible: `false` when it is not
+    /// quarantined, its repair credit is already spent, or the
+    /// replenished spares still cannot absorb its pending faults.
+    pub fn readmit(&mut self, machine: usize, spares_per_shard: usize) -> bool {
+        let m = &mut self.machines[machine];
+        if m.health.state() != HealthState::Quarantined {
+            return false;
+        }
+        let _ = m.engine.service_spares(spares_per_shard);
+        if m.engine.machine().pending_faults() > 0 || !m.health.mark_repaired() {
+            return false;
+        }
+        self.transitions.push(HealthTransition {
+            machine,
+            from: HealthState::Quarantined,
+            to: HealthState::Probation,
+        });
+        true
+    }
+
     /// Admits a job to the fleet, routing it by fingerprint affinity:
     /// a healthy machine already warm for this program wins, otherwise
     /// the least-loaded healthy machine takes it.
@@ -221,8 +251,10 @@ impl Cluster {
     }
 
     /// One scheduling round: re-places stranded jobs, then lets every
-    /// healthy machine serve one batch, re-sampling its health (and
-    /// draining it if it degraded) after the batch. Returns whether any
+    /// healthy machine serve one batch, re-sampling every machine's
+    /// health (and draining it if it degraded) afterwards. Machines out
+    /// of rotation are still probed each round — that is what advances
+    /// a re-admitted machine's probation clock. Returns whether any
     /// progress was made — `false` means the fleet is drained (or
     /// wedged with only stranded jobs, which [`Cluster::run`] reports
     /// rather than spins on).
@@ -232,17 +264,15 @@ impl Cluster {
     pub fn step(&mut self) -> bool {
         let mut progressed = self.place_stranded() > 0;
         for i in 0..self.machines.len() {
-            if self.machines[i].health.state() != HealthState::Healthy {
-                continue;
-            }
-            if !self.machines[i].engine.run_next_batch() {
-                continue;
-            }
-            progressed = true;
+            let served = self.machines[i].health.state() == HealthState::Healthy
+                && self.machines[i].engine.run_next_batch();
+            progressed |= served;
             // Health first: if the batch burned the machine's trust, its
             // queue must move before anything else lands on it.
             self.observe(i);
-            self.collect_finished(i);
+            if served {
+                self.collect_finished(i);
+            }
         }
         progressed
     }
@@ -272,7 +302,10 @@ impl Cluster {
     }
 
     /// Samples machine `i`'s health; on a downward transition, drains
-    /// its unstarted queue onto healthy peers.
+    /// its unstarted queue onto healthy peers. Upward transitions
+    /// (probation earning its way back to Healthy) are recorded but
+    /// drain nothing — there is nothing queued on a machine that just
+    /// re-entered rotation.
     fn observe(&mut self, i: usize) {
         let m = &mut self.machines[i];
         let probe = HealthProbe {
@@ -290,7 +323,9 @@ impl Cluster {
                 from: before,
                 to: after,
             });
-            self.drain(i);
+            if after > before {
+                self.drain(i);
+            }
         }
     }
 

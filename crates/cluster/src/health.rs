@@ -3,25 +3,34 @@
 //! Each machine's CSB fault layer already counts everything a fleet
 //! needs to know about its trustworthiness — detections by tier,
 //! checkpointed retries, spare-block inventory, unremappable faults.
-//! The [`HealthMonitor`] turns those raw counters into a three-state
+//! The [`HealthMonitor`] turns those raw counters into a four-state
 //! classification by sampling them between scheduling steps and
 //! comparing the *deltas* (new strikes since the last look, not
 //! lifetime totals) against the [`HealthThresholds`] in the cluster
-//! configuration.
+//! configuration. Demotion is automatic; the only way back up is the
+//! explicit-repair probation ladder (see [`HealthState`]).
 
 use cape_core::{FaultStats, HealthThresholds};
 
 /// How much the fleet trusts one machine.
 ///
-/// The ladder is one-way within a serving run: a machine that leaves
-/// `Healthy` never re-enters rotation (re-admitting flaky hardware
-/// mid-run would trade a bounded migration cost for an unbounded
-/// retry bill). Operators re-arm a repaired machine by rebuilding the
-/// cluster.
+/// The ladder is one-way downward while a machine serves: leaving
+/// `Healthy` on raw signals never reverses itself (re-admitting flaky
+/// hardware on its own say-so would trade a bounded migration cost for
+/// an unbounded retry bill). The single sanctioned way back is an
+/// explicit repair: [`HealthMonitor::mark_repaired`] moves a
+/// `Quarantined` machine to `Probation` — once per monitor lifetime —
+/// and only `probation_clean_windows` consecutive clean windows
+/// promote it back to `Healthy`. One dirty window on probation and it
+/// is `Quarantined` for good.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum HealthState {
     /// In rotation: takes new jobs and serves its queue.
     Healthy,
+    /// Repaired after quarantine and earning trust back: probed every
+    /// window but not yet eligible for new work. Clean windows count
+    /// toward re-admission; any strike re-quarantines permanently.
+    Probation,
     /// Still computing correctly (checkpointed retry heals its jobs)
     /// but burning retries and spares: its unstarted queue is drained
     /// to healthy peers and the router stops sending it work.
@@ -36,6 +45,7 @@ impl std::fmt::Display for HealthState {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             HealthState::Healthy => write!(f, "healthy"),
+            HealthState::Probation => write!(f, "probation"),
             HealthState::Degraded => write!(f, "degraded"),
             HealthState::Quarantined => write!(f, "quarantined"),
         }
@@ -69,6 +79,10 @@ pub struct HealthMonitor {
     last_strikes: u64,
     last_retries: u64,
     transitions: u64,
+    /// Consecutive clean windows posted since entering Probation.
+    clean_windows: u64,
+    /// Whether the one-per-lifetime repair credit has been spent.
+    repaired: bool,
 }
 
 impl HealthMonitor {
@@ -80,6 +94,8 @@ impl HealthMonitor {
             last_strikes: 0,
             last_retries: 0,
             transitions: 0,
+            clean_windows: 0,
+            repaired: false,
         }
     }
 
@@ -88,9 +104,32 @@ impl HealthMonitor {
         self.state
     }
 
-    /// Downward state transitions taken so far (at most two).
+    /// State transitions taken so far (downward demotions, the repair
+    /// drop to Probation, and the probation-earned promotion back).
     pub fn transitions(&self) -> u64 {
         self.transitions
+    }
+
+    /// Clean windows posted so far on Probation (zero elsewhere).
+    pub fn probation_clean_windows(&self) -> u64 {
+        self.clean_windows
+    }
+
+    /// Registers an explicit hardware repair: a `Quarantined` machine
+    /// drops to `Probation` and starts earning clean windows toward
+    /// re-admission. Allowed exactly once per monitor lifetime — a
+    /// machine that gets struck again after its one repair is
+    /// quarantined for good. Returns whether the transition happened
+    /// (`false` when not quarantined or the repair credit is spent).
+    pub fn mark_repaired(&mut self) -> bool {
+        if self.state != HealthState::Quarantined || self.repaired {
+            return false;
+        }
+        self.repaired = true;
+        self.clean_windows = 0;
+        self.transitions += 1;
+        self.state = HealthState::Probation;
+        true
     }
 
     /// Re-classifies from a fresh sample, returning the new state.
@@ -98,7 +137,11 @@ impl HealthMonitor {
     /// Strike and retry signals are evaluated as deltas over the window
     /// since the previous `observe` call; the spare-block and
     /// pending-fault signals are absolute (inventory does not reset).
-    /// The state only ever moves down the ladder.
+    /// The state only moves down the ladder, with one exception: on
+    /// `Probation` a clean window increments the re-admission counter
+    /// and the `probation_clean_windows`-th promotes back to `Healthy`,
+    /// while any dirty window demotes straight to `Quarantined` (the
+    /// repair credit is already spent, so that is final).
     pub fn observe(&mut self, probe: &HealthProbe) -> HealthState {
         let strikes =
             probe.fault.detected_parity + probe.fault.detected_golden + probe.fault.detected_scrub;
@@ -107,7 +150,7 @@ impl HealthMonitor {
         self.last_strikes = strikes;
         self.last_retries = probe.retries;
 
-        let next = if probe.pending_faults >= self.thresholds.quarantine_pending_faults {
+        let raw = if probe.pending_faults >= self.thresholds.quarantine_pending_faults {
             HealthState::Quarantined
         } else if new_strikes >= self.thresholds.degraded_strikes
             || new_retries >= self.thresholds.degraded_retries
@@ -118,7 +161,21 @@ impl HealthMonitor {
         } else {
             HealthState::Healthy
         };
-        if next > self.state {
+        let next = if self.state == HealthState::Probation {
+            if raw == HealthState::Healthy {
+                self.clean_windows += 1;
+                if self.clean_windows >= self.thresholds.probation_clean_windows {
+                    HealthState::Healthy
+                } else {
+                    HealthState::Probation
+                }
+            } else {
+                HealthState::Quarantined
+            }
+        } else {
+            raw.max(self.state)
+        };
+        if next != self.state {
             self.transitions += 1;
             self.state = next;
         }
@@ -194,6 +251,60 @@ mod tests {
         p.pending_faults = t.quarantine_pending_faults;
         assert_eq!(m.observe(&p), HealthState::Quarantined);
         assert_eq!(m.transitions(), 2);
+    }
+
+    /// Drives a fresh monitor to Quarantined via pending faults.
+    fn quarantined() -> (HealthMonitor, HealthProbe) {
+        let t = HealthThresholds::default();
+        let mut m = HealthMonitor::new(t);
+        let mut p = probe();
+        p.pending_faults = t.quarantine_pending_faults;
+        assert_eq!(m.observe(&p), HealthState::Quarantined);
+        // Repair clears the pending faults and replenishes spares.
+        p.pending_faults = 0;
+        (m, p)
+    }
+
+    #[test]
+    fn repair_earns_healthy_after_enough_clean_windows() {
+        let t = HealthThresholds::default();
+        let (mut m, p) = quarantined();
+        assert!(m.mark_repaired());
+        assert_eq!(m.state(), HealthState::Probation);
+        for w in 1..t.probation_clean_windows {
+            assert_eq!(m.observe(&p), HealthState::Probation);
+            assert_eq!(m.probation_clean_windows(), w);
+        }
+        assert_eq!(m.observe(&p), HealthState::Healthy);
+        // Healthy again is fully in rotation; quiet windows stay quiet.
+        assert_eq!(m.observe(&p), HealthState::Healthy);
+    }
+
+    #[test]
+    fn a_dirty_probation_window_requarantines_for_good() {
+        let t = HealthThresholds::default();
+        let (mut m, mut p) = quarantined();
+        assert!(m.mark_repaired());
+        assert_eq!(m.observe(&p), HealthState::Probation);
+        p.fault.detected_parity = t.degraded_strikes; // burst mid-probation
+        assert_eq!(m.observe(&p), HealthState::Quarantined);
+        // The repair credit is spent: no second chance.
+        assert!(!m.mark_repaired());
+        assert_eq!(m.state(), HealthState::Quarantined);
+    }
+
+    #[test]
+    fn repair_is_refused_off_quarantine() {
+        let mut m = HealthMonitor::new(HealthThresholds::default());
+        assert!(
+            !m.mark_repaired(),
+            "healthy machines have nothing to repair"
+        );
+        let t = HealthThresholds::default();
+        let mut p = probe();
+        p.retries = t.degraded_retries;
+        assert_eq!(m.observe(&p), HealthState::Degraded);
+        assert!(!m.mark_repaired(), "degraded is not quarantined");
     }
 
     #[test]

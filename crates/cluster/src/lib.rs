@@ -11,7 +11,12 @@
 //!   fault-layer counters (strike detections, checkpointed retries,
 //!   spare-block inventory, unremappable faults) are sampled and
 //!   classified Healthy → Degraded → Quarantined against the
-//!   [`HealthThresholds`] in `cape-core`'s config.
+//!   [`HealthThresholds`] in `cape-core`'s config. Demotion is
+//!   automatic and one-way; the only route back is an explicit repair
+//!   ([`Cluster::readmit`]): spares are replenished, pending faults
+//!   remapped, and the machine walks a Probation ladder — N consecutive
+//!   clean windows to re-enter rotation, one dirty window and it is
+//!   quarantined for good.
 //! * **Drain/resubmit migration** — when a machine leaves `Healthy`
 //!   mid-run, its unstarted queue is drained and resubmitted to healthy
 //!   peers, and jobs it failed with machine-side errors are re-run
@@ -271,6 +276,80 @@ halt"
             "unplaceable queue is stranded, not dropped"
         );
         assert_eq!(c.health(0), HealthState::Quarantined);
+    }
+
+    #[test]
+    fn a_readmitted_machine_walks_probation_and_receives_new_work() {
+        let mut c = Cluster::new(ClusterConfig::new(
+            2,
+            EngineConfig {
+                fault: Some(FaultPolicy {
+                    csb: FaultConfig::quiescent(0), // zero spares: one dead block quarantines
+                    ..FaultPolicy::quiescent()
+                }),
+                max_batch: 1,
+                ..EngineConfig::new(CapeConfig::tiny(2))
+            },
+        ));
+        // Wedge machine 0: the struck job's dead block has no spare to
+        // remap onto, so the machine quarantines.
+        c.submit(add_job(8, 2)).unwrap();
+        c.strike(0, 0, FaultKind::DeadBlock).unwrap();
+        c.run();
+        assert_eq!(c.health(0), HealthState::Quarantined);
+
+        // Field service: fresh spares absorb the pending fault and the
+        // machine drops to Probation. The credit is single-use.
+        assert!(c.readmit(0, 8));
+        assert_eq!(c.health(0), HealthState::Probation);
+        assert!(!c.readmit(0, 8), "repair credit is once per machine");
+
+        // On probation it gets no new work…
+        let during = c.submit(add_job(16, 3)).unwrap();
+        let report = c.run();
+        assert_eq!(
+            report.jobs.last().unwrap().machine,
+            Some(1),
+            "probation machines are out of rotation"
+        );
+        // …and clean scheduling rounds walk it back to Healthy (some
+        // clean windows may already have accrued while the job above
+        // was served — every round probes the whole fleet).
+        let clean = c.config().health.probation_clean_windows;
+        let mut rounds = 0;
+        while c.health(0) == HealthState::Probation {
+            c.step();
+            rounds += 1;
+            assert!(
+                rounds <= clean,
+                "probation must end within {clean} clean rounds"
+            );
+        }
+        assert_eq!(c.health(0), HealthState::Healthy);
+
+        // Re-admitted for real: a fresh kernel routes to it (least
+        // loaded, lowest index) and completes bit-exact.
+        let after = c.submit(add_job(4, 7)).unwrap();
+        let report = c.run();
+        let placed = report.jobs.last().unwrap();
+        assert_eq!(
+            placed.machine,
+            Some(0),
+            "re-admitted machine idle, gets work"
+        );
+        assert!(c.job_report(during).unwrap().succeeded());
+        assert!(c.job_report(after).unwrap().succeeded());
+        let want: Vec<u32> = (0..4).map(|i| (i * 7 + 1) * 2).collect();
+        assert_eq!(c.memory(after).unwrap().read_u32_slice(0x4000, 4), want);
+        // The ladder's moves are all on the transition record.
+        let hops: Vec<(HealthState, HealthState)> = report
+            .transitions
+            .iter()
+            .filter(|t| t.machine == 0)
+            .map(|t| (t.from, t.to))
+            .collect();
+        assert!(hops.contains(&(HealthState::Quarantined, HealthState::Probation)));
+        assert!(hops.contains(&(HealthState::Probation, HealthState::Healthy)));
     }
 
     #[test]

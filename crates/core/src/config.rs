@@ -25,6 +25,16 @@ pub struct CapeConfig {
     pub hbm: HbmConfig,
     /// Instruction budget guard for program runs.
     pub max_instructions: u64,
+    /// Entry budget of the VCU's compiled-program cache (per-op entries
+    /// and fused windows each get this many slots). Sized so
+    /// scalar-specialized sweeps — e.g. histogram's 256-bucket `vmseq.vx`
+    /// inner loop, one program per bucket value — fit without LRU thrash.
+    pub program_cache_capacity: usize,
+    /// Maximum number of consecutive vector instructions fused into one
+    /// CSB broadcast window. `1` (or `0`) disables fusion and restores
+    /// the one-broadcast-per-instruction path; barriers (scalar reads,
+    /// loads/stores, `vsetvli`, preemption) flush earlier regardless.
+    pub fusion_window: usize,
 }
 
 impl CapeConfig {
@@ -37,6 +47,8 @@ impl CapeConfig {
             mem_latency_cycles: 270,
             hbm: HbmConfig::default(),
             max_instructions: 500_000_000,
+            program_cache_capacity: 1024,
+            fusion_window: 32,
         }
     }
 
@@ -104,6 +116,11 @@ pub struct HealthThresholds {
     /// no longer guarantee bit-exact results, so it must stop taking
     /// jobs and its queue must migrate.
     pub quarantine_pending_faults: usize,
+    /// Consecutive clean health windows a *repaired* machine must post on
+    /// Probation before it is re-admitted to Healthy and eligible for new
+    /// work. Any dirty window during Probation sends it back to
+    /// Quarantined for good (one repair attempt per machine).
+    pub probation_clean_windows: u64,
 }
 
 impl Default for HealthThresholds {
@@ -113,6 +130,7 @@ impl Default for HealthThresholds {
             degraded_retries: 4,
             degraded_spares_free: 1,
             quarantine_pending_faults: 1,
+            probation_clean_windows: 3,
         }
     }
 }

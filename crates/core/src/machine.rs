@@ -6,7 +6,9 @@ use cape_csb::{
 };
 use cape_isa::{Instr, Program, Sew, VAluOp};
 use cape_mem::{Hbm, MainMemory};
-use cape_ucode::{LogicOp, VectorOp};
+use cape_ucode::{
+    fuse_window, window_fingerprint, CompiledOp, LogicOp, PostProcess, Sequencer, VectorOp,
+};
 use cape_vcu::{ProgramCache, Vcu};
 use cape_vmu::Vmu;
 
@@ -58,6 +60,14 @@ pub struct MachineCounters {
     pub cache_misses: u64,
     /// Page faults taken by vector memory instructions.
     pub faults_taken: u64,
+    /// Fusion windows of two or more instructions broadcast as one
+    /// super-program.
+    pub fused_windows: u64,
+    /// Vector instructions executed inside those fused windows.
+    pub fused_ops: u64,
+    /// Pool broadcasts (fan-out + join) eliminated by fusion: each
+    /// `n`-op window costs one broadcast instead of `n`.
+    pub fused_joins_saved: u64,
     /// CSB microops emitted.
     pub microops: MicroOpStats,
     /// Hardware fault-injection activity (zero unless the fault layer is
@@ -78,6 +88,9 @@ impl MachineCounters {
         self.cache_hits += delta.cache_hits;
         self.cache_misses += delta.cache_misses;
         self.faults_taken += delta.faults_taken;
+        self.fused_windows += delta.fused_windows;
+        self.fused_ops += delta.fused_ops;
+        self.fused_joins_saved += delta.fused_joins_saved;
         self.fault.accumulate(&delta.fault);
         self.microops.searches_bs += delta.microops.searches_bs;
         self.microops.searches_bp += delta.microops.searches_bp;
@@ -102,6 +115,9 @@ impl MachineCounters {
             cache_hits: self.cache_hits - earlier.cache_hits,
             cache_misses: self.cache_misses - earlier.cache_misses,
             faults_taken: self.faults_taken - earlier.faults_taken,
+            fused_windows: self.fused_windows - earlier.fused_windows,
+            fused_ops: self.fused_ops - earlier.fused_ops,
+            fused_joins_saved: self.fused_joins_saved - earlier.fused_joins_saved,
             fault: self.fault.since(&earlier.fault),
             microops: MicroOpStats {
                 searches_bs: self.microops.searches_bs - earlier.microops.searches_bs,
@@ -116,6 +132,16 @@ impl MachineCounters {
             },
         }
     }
+}
+
+/// One vector instruction buffered in the fusion window: the op, the
+/// element width it committed under, and its already-compiled program
+/// (cheap to hold — the program body is shared behind `Arc`s).
+#[derive(Debug)]
+struct PendingOp {
+    op: VectorOp,
+    sew_bits: u32,
+    compiled: CompiledOp,
 }
 
 /// A complete CAPE system: control processor, VCU, VMU, CSB and HBM
@@ -143,6 +169,17 @@ pub struct CapeMachine {
     fault_at_element: Option<usize>,
     /// Page faults taken by vector memory instructions.
     faults_taken: u64,
+    /// Vector instructions committed (timing and energy already charged)
+    /// whose CSB broadcast is deferred: at the next fusion barrier the
+    /// whole window executes as one fused super-program with a single
+    /// pool fan-out and join.
+    pending_window: Vec<PendingOp>,
+    /// Fusion windows of ≥ 2 ops broadcast as one program.
+    fused_windows: u64,
+    /// Vector instructions executed inside those windows.
+    fused_ops: u64,
+    /// Broadcast joins eliminated by fusion (Σ window_len − 1).
+    fused_joins_saved: u64,
 }
 
 impl CapeMachine {
@@ -152,7 +189,7 @@ impl CapeMachine {
             config,
             csb: Csb::new(config.geometry()),
             vcu: Vcu::new(config.chains),
-            program_cache: ProgramCache::default(),
+            program_cache: ProgramCache::new(config.program_cache_capacity),
             vmu: Vmu::new(config.freq_ghz),
             hbm: Hbm::new(config.hbm),
             energy_pj: 0.0,
@@ -162,6 +199,10 @@ impl CapeMachine {
             sew: Sew::E32,
             fault_at_element: None,
             faults_taken: 0,
+            pending_window: Vec::new(),
+            fused_windows: 0,
+            fused_ops: 0,
+            fused_joins_saved: 0,
         }
     }
 
@@ -175,8 +216,11 @@ impl CapeMachine {
         &self.csb
     }
 
-    /// Mutable access to the CSB (bring-up hook).
+    /// Mutable access to the CSB (bring-up hook). Flushes any pending
+    /// fusion window first so direct reads and writes observe fully
+    /// committed architectural state.
     pub fn csb_mut(&mut self) -> &mut Csb {
+        self.flush_window();
         &mut self.csb
     }
 
@@ -204,11 +248,16 @@ impl CapeMachine {
         let mut cp = ControlProcessor::new(self.config.mem_latency_cycles);
         let max = self.config.max_instructions;
         // Split borrow: the CP drives `self` as the coprocessor.
-        let cp_stats = {
+        let (fw0, fo0, fj0) = (self.fused_windows, self.fused_ops, self.fused_joins_saved);
+        let cp_result = {
             let this: &mut CapeMachine = self;
             let mut driver = MachineCoprocessor { machine: this };
-            cp.run(program, mem, &mut driver, max)?
+            cp.run(program, mem, &mut driver, max)
         };
+        // A run that errored out (budget, vector fault) still owes the
+        // CSB its deferred broadcasts; normal exits drained via the CP.
+        self.flush_window();
+        let cp_stats = cp_result?;
         Ok(RunReport {
             cycles: cp_stats.cycles,
             freq_ghz: self.config.freq_ghz,
@@ -222,6 +271,9 @@ impl CapeMachine {
             vcu_cycles: self.vcu_cycles,
             program_cache_hits: self.program_cache.hits() - hits0,
             program_cache_misses: self.program_cache.misses() - misses0,
+            fused_windows: self.fused_windows - fw0,
+            fused_ops: self.fused_ops - fo0,
+            fused_joins_saved: self.fused_joins_saved - fj0,
         })
     }
 
@@ -304,6 +356,9 @@ impl CapeMachine {
     /// register (data, metadata and match state), the selected element
     /// width, the active window and any armed page-fault injection.
     pub fn save_context(&mut self) -> MachineContext {
+        // Preemption point: the snapshot must capture fully committed
+        // state, never a half-deferred window.
+        self.flush_window();
         MachineContext {
             snapshot: self.csb.save_registers(),
             sew: self.sew,
@@ -323,6 +378,9 @@ impl CapeMachine {
     /// Panics if the context was captured on a machine with a different
     /// CSB geometry.
     pub fn restore_context(&mut self, ctx: &MachineContext) {
+        // A deferred window belongs to the outgoing tenant's state; it
+        // must land before that state is replaced.
+        self.flush_window();
         self.csb.restore_registers(&ctx.snapshot);
         self.csb.set_active_window(ctx.vstart, ctx.vl);
         self.sew = ctx.sew;
@@ -371,6 +429,9 @@ impl CapeMachine {
             cache_hits: self.program_cache.hits(),
             cache_misses: self.program_cache.misses(),
             faults_taken: self.faults_taken,
+            fused_windows: self.fused_windows,
+            fused_ops: self.fused_ops,
+            fused_joins_saved: self.fused_joins_saved,
             fault: self.csb.fault_stats(),
             microops: self.csb.stats(),
         }
@@ -404,6 +465,7 @@ impl CapeMachine {
     /// the fault layer is disarmed). A scheduler calls this between
     /// slices so stuck-at faults are caught even on idle blocks.
     pub fn scrub(&mut self) -> Option<ScrubReport> {
+        self.flush_window();
         self.csb.scrub()
     }
 
@@ -411,7 +473,20 @@ impl CapeMachine {
     /// Blocks that fail (spares exhausted) stay pending and the machine
     /// is degraded — the caller must fail jobs typed, not mask it.
     pub fn quarantine_and_remap(&mut self) -> RemapOutcome {
+        self.flush_window();
         self.csb.quarantine_and_remap()
+    }
+
+    /// Installs `per_shard` fresh spare blocks in every shard and re-runs
+    /// quarantine-and-remap — the in-simulation model of a field repair
+    /// (a technician re-racking spare capacity). Returns the remap
+    /// outcome; on success the machine has no pending faults and a
+    /// replenished spare inventory, the precondition for a fleet
+    /// scheduler to re-admit it. A no-op returning the default outcome
+    /// when the fault layer is disarmed.
+    pub fn service_spares(&mut self, per_shard: usize) -> RemapOutcome {
+        self.flush_window();
+        self.csb.service_spares(per_shard)
     }
 
     /// Injects one fault at chain `i` (testing hook; requires the fault
@@ -457,12 +532,115 @@ impl CapeMachine {
         slice_fuel: u64,
     ) -> Result<SliceOutcome, CpError> {
         let max = self.config.max_instructions;
-        let this: &mut CapeMachine = self;
-        let mut driver = MachineCoprocessor { machine: this };
-        cp.run_slice(program, mem, &mut driver, max, max_vector, slice_fuel)
+        let outcome = {
+            let this: &mut CapeMachine = self;
+            let mut driver = MachineCoprocessor { machine: this };
+            cp.run_slice(program, mem, &mut driver, max, max_vector, slice_fuel)
+        };
+        // Clean exits drained via the CP's `drain` hook; errored slices
+        // still owe the CSB their deferred broadcasts.
+        self.flush_window();
+        outcome
+    }
+
+    /// True when `op` can join a fusion window: nothing crosses back to
+    /// the scalar side after its broadcast. Exactly the ops whose
+    /// compiled [`PostProcess`] is `None` — reductions, mask queries and
+    /// the functionally-modeled `vid.v` are barriers.
+    fn fusible(op: &VectorOp) -> bool {
+        !matches!(
+            op,
+            VectorOp::RedSum { .. }
+                | VectorOp::Cpop { .. }
+                | VectorOp::First { .. }
+                | VectorOp::Vid { .. }
+        )
+    }
+
+    /// Executes every deferred vector instruction in the pending fusion
+    /// window. A one-op window replays its compiled program directly
+    /// (identical to the unfused path); longer windows are fused —
+    /// through the VCU's fingerprint-keyed window cache — into one
+    /// super-program with a single pool broadcast and join.
+    ///
+    /// Timing, energy and lane counters were already charged at issue
+    /// (they are pure functions of each op's data-independent microop
+    /// statistics), so flushing only performs the deferred CSB mutation
+    /// and bumps the fusion observability counters.
+    pub fn flush_window(&mut self) {
+        if self.pending_window.is_empty() {
+            return;
+        }
+        let pending = std::mem::take(&mut self.pending_window);
+        let sew = pending[0].sew_bits as usize;
+        if pending.len() == 1 {
+            Sequencer::with_width(&mut self.csb, sew).run_program(&pending[0].compiled);
+            return;
+        }
+        let key: Vec<(VectorOp, u32)> = pending.iter().map(|p| (p.op, p.sew_bits)).collect();
+        let fingerprint = window_fingerprint(&key);
+        let fused = match self.program_cache.window_lookup(fingerprint) {
+            Some(fused) => fused,
+            None => {
+                let parts: Vec<&CompiledOp> = pending.iter().map(|p| &p.compiled).collect();
+                let fused = fuse_window(&parts);
+                self.program_cache.window_insert(fingerprint, fused.clone());
+                fused
+            }
+        };
+        self.fused_windows += 1;
+        self.fused_ops += pending.len() as u64;
+        self.fused_joins_saved += pending.len() as u64 - 1;
+        Sequencer::with_width(&mut self.csb, sew).run_program(&fused);
+    }
+
+    /// Buffers a fusible vector instruction: compiles (through the
+    /// per-op cache), charges its modeled cycles/energy/lanes now, and
+    /// defers the broadcast into the pending window.
+    fn buffer_vector_op(&mut self, op: &VectorOp) -> Result<VectorCommit, VectorFault> {
+        let sew_bits = self.sew.bits();
+        let compiled = match self.program_cache.try_get_or_compile(op, sew_bits) {
+            Ok(compiled) => compiled.clone(),
+            Err(e) => {
+                // The rejection terminates the run; earlier deferred
+                // work must still reach the CSB first.
+                self.flush_window();
+                return Err(VectorFault::Rejected {
+                    detail: e.to_string(),
+                });
+            }
+        };
+        debug_assert_eq!(
+            compiled.post(),
+            PostProcess::None,
+            "fusible() and the lowering disagree on {op:?}"
+        );
+        let stats = compiled.program().stats();
+        let cycles = self.vcu.plan_cycles(op, &stats, sew_bits);
+        self.energy_pj += microop_energy_pj(&stats, self.active_chains());
+        self.lane_ops += self.active_lanes();
+        self.vcu_cycles += cycles;
+        self.pending_window.push(PendingOp {
+            op: *op,
+            sew_bits,
+            compiled,
+        });
+        if self.pending_window.len() >= self.config.fusion_window {
+            self.flush_window();
+        }
+        Ok(VectorCommit {
+            cycles,
+            rd_value: None,
+        })
     }
 
     fn run_vcu(&mut self, op: &VectorOp) -> Result<VectorCommit, VectorFault> {
+        if self.config.fusion_window > 1 && Self::fusible(op) {
+            return self.buffer_vector_op(op);
+        }
+        // Barrier op (its scalar result is consumed immediately): land
+        // every deferred broadcast, then execute unfused.
+        self.flush_window();
         let r = self
             .vcu
             .try_execute_sew_cached(&mut self.csb, op, self.sew.bits(), &mut self.program_cache)
@@ -487,6 +665,9 @@ impl CapeMachine {
     ) -> Result<VectorCommit, VectorFault> {
         Ok(match *instr {
             Instr::Vsetvli { sew, .. } => {
+                // Window/SEW change: deferred ops must broadcast under
+                // the window they committed with.
+                self.flush_window();
                 // Grant min(requested, VLMAX), select the element width,
                 // and reset vstart (RVV).
                 let granted = (rs1.max(0) as usize).min(self.config.max_vl());
@@ -498,6 +679,7 @@ impl CapeMachine {
                 }
             }
             Instr::Vsetstart { .. } => {
+                self.flush_window();
                 let vstart = (rs1.max(0) as usize).min(self.csb.vl());
                 let vl = self.csb.vl();
                 self.csb.set_active_window(vstart, vl);
@@ -507,6 +689,8 @@ impl CapeMachine {
                 }
             }
             Instr::Vle32 { vd, .. } => {
+                // VMU transfers read/write CSB rows directly.
+                self.flush_window();
                 let addr = rs1 as u64;
                 let reg = vd.index();
                 let cycles = self.faultable_transfer(mem, |m, mem| {
@@ -519,6 +703,7 @@ impl CapeMachine {
                 }
             }
             Instr::Vse32 { vs3, .. } => {
+                self.flush_window();
                 let addr = rs1 as u64;
                 let reg = vs3.index();
                 let cycles = self.faultable_transfer(mem, |m, mem| {
@@ -531,6 +716,7 @@ impl CapeMachine {
                 }
             }
             Instr::Vlrw { vd, .. } => {
+                self.flush_window();
                 let chunk = rs2.max(1) as usize;
                 let t = self.vmu.load_replica(
                     &mut self.csb,
@@ -679,6 +865,9 @@ impl CapeMachine {
                 vs2: on_false.index(),
             })?,
             Instr::VredsumVs { vd, vs2, vs1 } => {
+                // The seed read below observes CSB state, so deferred
+                // broadcasts must land first.
+                self.flush_window();
                 // vd[0] = vs1[0] + sum(vs2): run the tree reduction, then
                 // fold in the scalar seed held in vs1[0].
                 let seed = self.csb.read_element(vs1.index(), 0);
@@ -718,6 +907,8 @@ impl CapeMachine {
                 sh: imm,
             })?,
             Instr::VmvXs { vs, .. } => {
+                // Scalar read of a vector result: the fusion barrier.
+                self.flush_window();
                 // A single-element read: one read microop through the
                 // element path, plus command distribution.
                 let value = self.csb.read_element(vs.index(), 0);
@@ -766,6 +957,10 @@ impl Coprocessor for MachineCoprocessor<'_> {
         mem: &mut MainMemory,
     ) -> Result<VectorCommit, VectorFault> {
         self.machine.dispatch(instr, rs1, rs2, mem)
+    }
+
+    fn drain(&mut self) {
+        self.machine.flush_window();
     }
 }
 
@@ -1168,6 +1363,58 @@ halt",
         let delta2 = m.counters().since(&mid);
         assert_eq!(delta2.cache_misses, 0);
         assert_eq!(delta2.cache_hits, 1);
+    }
+
+    #[test]
+    fn fused_windows_are_bit_identical_and_report_join_savings() {
+        let src = r"
+            li t0, 100
+            vsetvli t1, t0
+            li a0, 0x1000
+            li a1, 0x2000
+            vle32.v v1, (a0)
+            vle32.v v2, (a1)
+            vadd.vv v3, v1, v2
+            vxor.vv v4, v3, v1
+            vsub.vv v5, v4, v2
+            vand.vv v6, v5, v3
+            vmacc.vv v6, v1, v2
+            vredsum.vs v7, v6, v1    # barrier: scalar result consumed
+            vadd.vv v7, v6, v1
+            vor.vv v7, v7, v2
+            li a2, 0x3000
+            vse32.v v7, (a2)
+            halt
+        ";
+        let prog = assemble(src).unwrap();
+        let data_a: Vec<u32> = (0..100u32).map(|i| i.wrapping_mul(2654435761)).collect();
+        let data_b: Vec<u32> = (0..100u32).map(|i| i ^ 0x5a5a_1234).collect();
+        let run = |fusion_window: usize| {
+            let mut config = CapeConfig::tiny(4);
+            config.fusion_window = fusion_window;
+            let mut m = CapeMachine::new(config);
+            let mut mem = MainMemory::new();
+            mem.write_u32_slice(0x1000, &data_a);
+            mem.write_u32_slice(0x2000, &data_b);
+            let report = m.run(&prog, &mut mem).unwrap();
+            (mem.read_u32_slice(0x3000, 100), report)
+        };
+        let (fused_mem, fused) = run(32);
+        let (plain_mem, plain) = run(1);
+
+        assert_eq!(fused_mem, plain_mem, "fused results must be bit-identical");
+        assert_eq!(fused.cycles, plain.cycles, "modeled timing must not change");
+        assert_eq!(fused.lane_ops, plain.lane_ops);
+        assert_eq!(fused.vcu_cycles, plain.vcu_cycles);
+        assert_eq!(fused.microops, plain.microops, "recorded microop ledger");
+        assert!((fused.csb_energy_uj - plain.csb_energy_uj).abs() < 1e-12);
+
+        assert_eq!(plain.fused_windows, 0, "window of 1 disables fusion");
+        // The 5 compute ops before vredsum form one window; the 2 after
+        // it form another (vse32 flushes).
+        assert_eq!(fused.fused_windows, 2);
+        assert_eq!(fused.fused_ops, 7);
+        assert_eq!(fused.fused_joins_saved, 5);
     }
 
     #[test]

@@ -34,6 +34,14 @@ pub struct RunReport {
     pub program_cache_hits: u64,
     /// Microcode program-cache misses during the run (fresh compiles).
     pub program_cache_misses: u64,
+    /// Fusion windows of two or more vector instructions broadcast to
+    /// the CSB as one super-program during the run.
+    pub fused_windows: u64,
+    /// Vector instructions executed inside those fused windows.
+    pub fused_ops: u64,
+    /// Pool broadcasts (fan-out + join) the fusion windows eliminated:
+    /// each `n`-op window paid one join instead of `n`.
+    pub fused_joins_saved: u64,
 }
 
 impl RunReport {
@@ -103,6 +111,9 @@ mod tests {
             vcu_cycles: 0,
             program_cache_hits: 0,
             program_cache_misses: 0,
+            fused_windows: 0,
+            fused_ops: 0,
+            fused_joins_saved: 0,
         }
     }
 

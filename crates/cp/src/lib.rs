@@ -79,6 +79,14 @@ pub trait Coprocessor {
         rs2: i64,
         mem: &mut MainMemory,
     ) -> Result<VectorCommit, VectorFault>;
+
+    /// Lands any deferred work (e.g. a pending fusion window of buffered
+    /// vector broadcasts) so architectural vector state is fully
+    /// committed. The CP calls this at every run exit — halt, preemption
+    /// and watchdog timeout — before control returns to the scheduler,
+    /// mirroring the timing model's vector-engine drain. Coprocessors
+    /// that never defer keep the default no-op.
+    fn drain(&mut self) {}
 }
 
 /// Instruction-mix and timing statistics of one program run.
@@ -241,6 +249,7 @@ impl ControlProcessor {
             }
         }
         // Drain the vector engine before reporting.
+        cop.drain();
         self.clock = self.clock.max(self.vector_done_at);
         self.stats.cycles = self.clock;
         Ok(self.stats)
@@ -280,6 +289,7 @@ impl ControlProcessor {
         let instr_start = self.stats.instructions;
         loop {
             if !self.step(program, mem, cop)? {
+                cop.drain();
                 self.clock = self.clock.max(self.vector_done_at);
                 self.stats.cycles = self.clock;
                 return Ok(SliceOutcome::Halted);
@@ -290,6 +300,7 @@ impl ControlProcessor {
             if self.stats.instructions - instr_start >= slice_fuel {
                 // Watchdog: drain the vector engine and hand the mess to
                 // the scheduler as a typed, recoverable outcome.
+                cop.drain();
                 self.clock = self.clock.max(self.vector_done_at);
                 self.stats.cycles = self.clock;
                 return Ok(SliceOutcome::TimedOut);
@@ -297,6 +308,7 @@ impl ControlProcessor {
             if self.stats.vector - vector_start >= max_vector {
                 // Drain the in-flight vector instruction: preemption only
                 // happens at a sync point.
+                cop.drain();
                 self.clock = self.clock.max(self.vector_done_at);
                 self.stats.cycles = self.clock;
                 return Ok(SliceOutcome::Preempted);

@@ -13,7 +13,7 @@ use crate::microop::MicroOp;
 use crate::pool::{Shard, WorkerPool};
 use crate::program::{lower, MicroProgram};
 use crate::reduction::ReductionTree;
-use crate::stats::{MicroOpKind, MicroOpStats};
+use crate::stats::MicroOpStats;
 
 /// A captured register-file image of a whole CSB: one [`ChainState`] per
 /// chain, taken at a microprogram sync point.
@@ -266,16 +266,7 @@ impl Csb {
     }
 
     fn record(&mut self, op: &MicroOp) {
-        let bp = op.is_bit_parallel();
-        let kind = match op {
-            MicroOp::Search { .. } => MicroOpKind::Search,
-            MicroOp::Update { .. } if op.propagates() => MicroOpKind::UpdateWithPropagation,
-            MicroOp::Update { .. } => MicroOpKind::Update,
-            MicroOp::Read { .. } => MicroOpKind::Read,
-            MicroOp::Write { .. } => MicroOpKind::Write,
-            MicroOp::ReduceTags { .. } => MicroOpKind::Reduce,
-            MicroOp::TagCombine { .. } => MicroOpKind::TagCombine,
-        };
+        let (kind, bp) = op.classify();
         self.stats.record(kind, bp);
     }
 
@@ -601,6 +592,28 @@ impl Csb {
             Some(f) => f.quarantine_and_remap(&mut self.shards),
             None => RemapOutcome::default(),
         }
+    }
+
+    /// Field service: provisions `per_shard` fresh spare blocks on every
+    /// shard (modeling a hardware swap of the exhausted spare rack) and
+    /// immediately retries quarantine-and-remap on every still-pending
+    /// block. A machine that was degraded to "unremappable faults
+    /// pending" comes back with `pending_faults() == 0` and a
+    /// replenished inventory — the precondition a fleet's probation
+    /// ladder checks before re-admitting it. No-op while the fault layer
+    /// is disarmed.
+    ///
+    /// Like [`Csb::quarantine_and_remap`], remapped blocks inherit a
+    /// best-effort (possibly corrupt) data copy: restore a known-good
+    /// [`CsbSnapshot`] before trusting results again.
+    pub fn service_spares(&mut self, per_shard: usize) -> RemapOutcome {
+        if self.fault.is_none() {
+            return RemapOutcome::default();
+        }
+        for shard in &mut self.shards {
+            shard.add_spares(per_shard);
+        }
+        self.quarantine_and_remap()
     }
 
     /// Test hook: plants one specific fault on the block holding chain

@@ -52,7 +52,7 @@ use crate::chain::Chain;
 use crate::microop::MicroOp;
 use crate::pool::Shard;
 
-/// What kind of device fault a [`FaultRecord`] models.
+/// What kind of device fault a `FaultRecord` models.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FaultKind {
     /// A cluster of cells in one subarray row wedged at 0 or 1; re-asserted
@@ -497,9 +497,14 @@ impl FaultLayer {
                     }
                     self.flagged[s][lb] = false;
                     let slot = new_phys - shards[s].nblocks_logical();
-                    let flat = s * self.config.spare_blocks_per_shard + slot;
-                    if let Some(n) = self.stats.spare_remaps.get_mut(flat) {
-                        *n += 1;
+                    // Field-service spares live past the original rack;
+                    // the flat per-slot wear ledger only covers the
+                    // as-built `spare_blocks_per_shard` slots per shard.
+                    if slot < self.config.spare_blocks_per_shard {
+                        let flat = s * self.config.spare_blocks_per_shard + slot;
+                        if let Some(n) = self.stats.spare_remaps.get_mut(flat) {
+                            *n += 1;
+                        }
                     }
                     self.stats.blocks_quarantined += 1;
                     self.stats.blocks_remapped += 1;

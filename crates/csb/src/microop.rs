@@ -15,6 +15,8 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::stats::MicroOpKind;
+
 /// Which match register of a subarray a search latches into.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum TagDest {
@@ -188,6 +190,27 @@ impl MicroOp {
     /// threshold sits above four.
     pub fn is_bit_parallel(&self) -> bool {
         self.active_subarrays() > 4
+    }
+
+    /// The statistics bucket this op is charged to, plus its
+    /// bit-parallel flavour — the one classification shared by the CSB's
+    /// live ledger ([`Csb::execute`](crate::Csb::execute) recording) and
+    /// the static mirror
+    /// ([`MicroProgram::stats`](crate::MicroProgram::stats)). Keeping a
+    /// single source of truth is what lets a fusion window charge an
+    /// instruction's modeled time and energy at issue while deferring its
+    /// broadcast: the deferred ledger is equal by construction.
+    pub fn classify(&self) -> (MicroOpKind, bool) {
+        let kind = match self {
+            MicroOp::Search { .. } => MicroOpKind::Search,
+            MicroOp::Update { .. } if self.propagates() => MicroOpKind::UpdateWithPropagation,
+            MicroOp::Update { .. } => MicroOpKind::Update,
+            MicroOp::Read { .. } => MicroOpKind::Read,
+            MicroOp::Write { .. } => MicroOpKind::Write,
+            MicroOp::ReduceTags { .. } => MicroOpKind::Reduce,
+            MicroOp::TagCombine { .. } => MicroOpKind::TagCombine,
+        };
+        (kind, self.is_bit_parallel())
     }
 
     /// True for updates whose column selection crosses subarrays (carry or

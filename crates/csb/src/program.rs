@@ -14,6 +14,7 @@ use std::sync::Arc;
 
 use crate::geometry::SUBARRAYS_PER_CHAIN;
 use crate::microop::{MicroOp, Probe, TagDest, TagMode, WriteSpec};
+use crate::stats::MicroOpStats;
 use crate::subarray::TOTAL_ROWS;
 
 /// The kind of value a sync point produces.
@@ -221,6 +222,197 @@ fn fuse_steps(plan: Vec<PlanOp>) -> Vec<PlanOp> {
     out
 }
 
+/// Collapses *adjacent identical* [`PlanOp::TagCombine`]s, which show up
+/// at fusion-window seams when one instruction ends and the next begins
+/// with the same tag-bus transfer. All three modes are idempotent —
+/// `Set` re-copies the unchanged source, `And`/`Or` re-apply an absorbed
+/// mask — and nothing executes between adjacent plan ops, so dropping
+/// the repeat is observationally identical.
+fn dedup_tag_combines(plan: Vec<PlanOp>) -> Vec<PlanOp> {
+    let mut out: Vec<PlanOp> = Vec::with_capacity(plan.len());
+    for op in plan {
+        if let (
+            Some(PlanOp::TagCombine {
+                src: a,
+                dst: b,
+                op: m,
+            }),
+            PlanOp::TagCombine { src, dst, op: mode },
+        ) = (out.last(), &op)
+        {
+            if a == src && b == dst && m == mode {
+                continue;
+            }
+        }
+        out.push(op);
+    }
+    out
+}
+
+/// Row-granular dead-store elimination across a fusion window.
+///
+/// A row write whose every written column is overwritten by a later write
+/// in the same window — with nothing reading the row in between — cannot
+/// affect final row state, and final state is the only thing the next
+/// window (or the golden fault replay, which compares end states) can
+/// observe. Coverage is decidable statically because every write's column
+/// set is a subset of the active window (`plan_write` masks tag/acc
+/// selectors with `win`; `PlanOp::Write` masks with `mask & win`) and the
+/// window cannot change inside a program (`vsetvli` is a fusion barrier):
+/// a later `ColSel::Window` write (`sel == 0`), or a raw row write with a
+/// full mask, covers *any* earlier write to the same `(subarray, row)`.
+///
+/// Walks the plan backwards with a per-row "covered" latch; probe key
+/// rows, gate rows and `PlanOp::Read`s clear the latch. Covered writes
+/// inside a fused [`PlanOp::Step`] are stripped down to the surviving
+/// search half. The op list (and thus recorded stats, sync points, and
+/// modeled cycles/energy) is untouched — this shrinks host broadcast
+/// work only.
+fn dead_store_eliminate(plan: Vec<PlanOp>) -> Vec<PlanOp> {
+    let mut covered = [[false; TOTAL_ROWS]; SUBARRAYS_PER_CHAIN];
+    fn uncover(covered: &mut [[bool; TOTAL_ROWS]; SUBARRAYS_PER_CHAIN], p: &PlanProbe) {
+        for k in 0..p.nkeys as usize {
+            covered[p.subarray as usize][p.rows[k] as usize] = false;
+        }
+    }
+    /// Reverse-order visit of one write: `None` when it is dead, `Some`
+    /// when it survives (latching coverage if it is a full-window write).
+    fn visit(
+        covered: &mut [[bool; TOTAL_ROWS]; SUBARRAYS_PER_CHAIN],
+        w: PlanWrite,
+    ) -> Option<PlanWrite> {
+        let cell = &mut covered[w.subarray as usize][w.row as usize];
+        if *cell {
+            return None;
+        }
+        if w.sel == 0 {
+            *cell = true;
+        }
+        Some(w)
+    }
+    let mut kept: Vec<PlanOp> = Vec::with_capacity(plan.len());
+    for op in plan.into_iter().rev() {
+        match op {
+            PlanOp::UpdateOne { write } => {
+                if let Some(w) = visit(&mut covered, write) {
+                    kept.push(PlanOp::UpdateOne { write: w });
+                }
+            }
+            PlanOp::UpdateTwo { writes } => {
+                // Later-executing write first (backward scan).
+                let b = visit(&mut covered, writes[1]);
+                let a = visit(&mut covered, writes[0]);
+                match (a, b) {
+                    (Some(a), Some(b)) => kept.push(PlanOp::UpdateTwo { writes: [a, b] }),
+                    (Some(w), None) | (None, Some(w)) => kept.push(PlanOp::UpdateOne { write: w }),
+                    (None, None) => {}
+                }
+            }
+            PlanOp::Update { writes } => {
+                let mut survivors: Vec<PlanWrite> = writes
+                    .iter()
+                    .rev()
+                    .filter_map(|w| visit(&mut covered, *w))
+                    .collect();
+                survivors.reverse();
+                match survivors.as_slice() {
+                    [] => {}
+                    [w] => kept.push(PlanOp::UpdateOne { write: *w }),
+                    [a, b] => kept.push(PlanOp::UpdateTwo { writes: [*a, *b] }),
+                    _ => kept.push(PlanOp::Update {
+                        writes: survivors.into_boxed_slice(),
+                    }),
+                }
+            }
+            PlanOp::Write {
+                subarray,
+                row,
+                data,
+                mask,
+            } => {
+                let cell = &mut covered[subarray as usize][row as usize];
+                if !*cell {
+                    if mask == u32::MAX {
+                        *cell = true;
+                    }
+                    kept.push(PlanOp::Write {
+                        subarray,
+                        row,
+                        data,
+                        mask,
+                    });
+                }
+            }
+            PlanOp::Step {
+                probe,
+                dest,
+                mode,
+                nwrites,
+                writes,
+            } => {
+                // The step's writes execute after its search: visit them
+                // first, then let the probe's key rows clear coverage.
+                let b = (nwrites == 2)
+                    .then(|| visit(&mut covered, writes[1]))
+                    .flatten();
+                let a = visit(&mut covered, writes[0]);
+                uncover(&mut covered, &probe);
+                let mut surviving = [writes[0]; 2];
+                let mut n = 0u8;
+                for w in [a, b].into_iter().flatten() {
+                    surviving[n as usize] = w;
+                    n += 1;
+                }
+                if n == 0 {
+                    kept.push(PlanOp::SearchOne { probe, dest, mode });
+                } else {
+                    kept.push(PlanOp::Step {
+                        probe,
+                        dest,
+                        mode,
+                        nwrites: n,
+                        writes: surviving,
+                    });
+                }
+            }
+            PlanOp::SearchOne { probe, dest, mode } => {
+                uncover(&mut covered, &probe);
+                kept.push(PlanOp::SearchOne { probe, dest, mode });
+            }
+            PlanOp::Search {
+                probes,
+                gates,
+                dest,
+                mode,
+            } => {
+                for p in probes.iter().chain(gates.iter()) {
+                    uncover(&mut covered, p);
+                }
+                kept.push(PlanOp::Search {
+                    probes,
+                    gates,
+                    dest,
+                    mode,
+                });
+            }
+            PlanOp::Read { subarray, row } => {
+                covered[subarray as usize][row as usize] = false;
+                kept.push(PlanOp::Read { subarray, row });
+            }
+            other @ (PlanOp::ReduceTags { .. } | PlanOp::TagCombine { .. }) => kept.push(other),
+        }
+    }
+    kept.reverse();
+    kept
+}
+
+/// The cross-op peephole pipeline a fusion window's plan runs through
+/// (on top of the seam-crossing [`fuse_steps`] that
+/// [`MicroProgram::new`] already applies to the concatenated op list).
+fn optimize_window_plan(plan: Vec<PlanOp>) -> Vec<PlanOp> {
+    dead_store_eliminate(dedup_tag_combines(plan))
+}
+
 /// Lowers one microop, running its structural validation once.
 pub(crate) fn lower(op: &MicroOp) -> PlanOp {
     match op {
@@ -344,9 +536,46 @@ impl MicroProgram {
         }
     }
 
+    /// Compiles a *fusion window*: several instructions' programs
+    /// concatenated into one broadcast unit executed with a single
+    /// fan-out/fan-in. [`MicroProgram::new`] over the concatenated op
+    /// list gives the seam-crossing `fuse_steps` for free (an op ending
+    /// in a search fuses with a successor's opening update); the window
+    /// plan then runs the cross-op peephole passes — adjacent
+    /// [`MicroOp::TagCombine`] dedup and row-granular dead-store
+    /// elimination (an intermediate `vd` fully rewritten later in the
+    /// window, unread in between, is never materialized).
+    ///
+    /// The *op* list is the unoptimized concatenation, so recorded
+    /// [`MicroOpStats`] — and everything derived from them (modeled
+    /// cycles, energy, the golden fault replay) — are identical to
+    /// running the parts one at a time; only the host broadcast plan
+    /// shrinks.
+    pub fn windowed(parts: &[&MicroProgram]) -> Self {
+        let ops: Vec<MicroOp> = parts.iter().flat_map(|p| p.ops().iter().cloned()).collect();
+        let mut fused = Self::new(ops);
+        fused.plan = Arc::new(optimize_window_plan(fused.plan.as_ref().clone()));
+        fused
+    }
+
     /// The microops in broadcast order.
     pub fn ops(&self) -> &[MicroOp] {
         &self.ops
+    }
+
+    /// The statistics ledger one broadcast of this program charges,
+    /// computed statically from the op list (microop classification is
+    /// data-independent). This is what lets an instruction's modeled
+    /// time and energy be charged at issue while its broadcast is
+    /// deferred into a fusion window: the deferred execution records
+    /// exactly these stats.
+    pub fn stats(&self) -> MicroOpStats {
+        let mut s = MicroOpStats::new();
+        for op in self.ops.iter() {
+            let (kind, bp) = op.classify();
+            s.record(kind, bp);
+        }
+        s
     }
 
     /// Number of microops.
@@ -372,6 +601,14 @@ impl MicroProgram {
             .iter()
             .filter(|s| s.kind == SyncKind::Reduce)
             .count()
+    }
+
+    /// Number of broadcast plan steps the host actually executes. Equal
+    /// to [`Self::len`] minus the steps removed by `fuse_steps` and
+    /// (for windows) the cross-op peephole passes — the observable size
+    /// of the fusion win.
+    pub fn plan_len(&self) -> usize {
+        self.plan.len()
     }
 
     /// The lowered broadcast plan, op for op parallel to [`Self::ops`].
@@ -432,5 +669,326 @@ mod tests {
         let prog = MicroProgram::new(vec![]);
         assert!(prog.is_empty());
         assert_eq!(prog.reduce_count(), 0);
+    }
+
+    fn search1(sub: usize, row: usize) -> MicroOp {
+        MicroOp::Search {
+            probes: vec![Probe::row(sub, row, true)],
+            gates: vec![],
+            dest: TagDest::Tags,
+            mode: TagMode::Set,
+        }
+    }
+
+    fn upd1(sub: usize, row: usize, value: bool) -> MicroOp {
+        MicroOp::Update {
+            writes: vec![WriteSpec {
+                subarray: sub,
+                row,
+                value,
+                cols: crate::microop::ColSel::Window,
+            }],
+        }
+    }
+
+    #[test]
+    fn windowed_fuses_steps_across_op_seams() {
+        let a = MicroProgram::new(vec![search1(0, 1)]);
+        let b = MicroProgram::new(vec![upd1(0, 2, true)]);
+        assert!(matches!(a.plan()[0], PlanOp::SearchOne { .. }));
+        assert!(matches!(b.plan()[0], PlanOp::UpdateOne { .. }));
+        let fused = MicroProgram::windowed(&[&a, &b]);
+        assert_eq!(fused.len(), 2, "op list is the plain concatenation");
+        assert_eq!(fused.plan().len(), 1, "seam search+update fuse to a step");
+        assert!(matches!(fused.plan()[0], PlanOp::Step { nwrites: 1, .. }));
+    }
+
+    #[test]
+    fn windowed_collapses_adjacent_identical_tag_combines() {
+        let tc = MicroOp::TagCombine {
+            src: 3,
+            dst: 4,
+            op: TagMode::Or,
+        };
+        let a = MicroProgram::new(vec![tc.clone()]);
+        let b = MicroProgram::new(vec![tc.clone(), tc]);
+        let fused = MicroProgram::windowed(&[&a, &b]);
+        assert_eq!(fused.len(), 3);
+        assert_eq!(fused.plan().len(), 1, "idempotent transfer deduped");
+    }
+
+    #[test]
+    fn windowed_eliminates_covered_dead_stores() {
+        // Op k materializes (5, 3); op k+1 fully rewrites it with the
+        // window unchanged and nothing reading it in between.
+        let a = MicroProgram::new(vec![upd1(5, 3, true)]);
+        let b = MicroProgram::new(vec![upd1(5, 3, false)]);
+        let fused = MicroProgram::windowed(&[&a, &b]);
+        assert_eq!(fused.len(), 2, "stats still charge both updates");
+        assert_eq!(fused.plan().len(), 1, "first store is dead");
+        assert!(
+            matches!(fused.plan()[0], PlanOp::UpdateOne { write } if !write.value),
+            "the surviving store is the later one"
+        );
+    }
+
+    #[test]
+    fn intervening_read_blocks_dead_store_elimination() {
+        let a = MicroProgram::new(vec![
+            upd1(5, 3, true),
+            MicroOp::Read {
+                subarray: 5,
+                row: 3,
+            },
+        ]);
+        let b = MicroProgram::new(vec![upd1(5, 3, false)]);
+        let fused = MicroProgram::windowed(&[&a, &b]);
+        assert_eq!(fused.plan().len(), 3, "read pins the earlier store");
+    }
+
+    #[test]
+    fn intervening_probe_blocks_dead_store_elimination() {
+        let a = MicroProgram::new(vec![upd1(5, 3, true)]);
+        let probe = MicroProgram::new(vec![search1(5, 3)]);
+        let b = MicroProgram::new(vec![upd1(5, 3, false)]);
+        let fused = MicroProgram::windowed(&[&a, &probe, &b]);
+        // The probe fuses with the trailing update into a step, but the
+        // first store must survive: the search reads the row.
+        let writes: usize = fused
+            .plan()
+            .iter()
+            .map(|p| match p {
+                PlanOp::UpdateOne { .. } => 1,
+                PlanOp::Step { nwrites, .. } => *nwrites as usize,
+                _ => 0,
+            })
+            .sum();
+        assert_eq!(writes, 2, "both stores execute");
+    }
+
+    #[test]
+    fn tag_selected_store_is_dead_under_full_window_rewrite() {
+        let a = MicroProgram::new(vec![MicroOp::Update {
+            writes: vec![WriteSpec {
+                subarray: 7,
+                row: 0,
+                value: true,
+                cols: crate::microop::ColSel::Tags(7),
+            }],
+        }]);
+        let b = MicroProgram::new(vec![upd1(7, 0, false)]);
+        let fused = MicroProgram::windowed(&[&a, &b]);
+        assert_eq!(
+            fused.plan().len(),
+            1,
+            "tag-selected columns are a subset of the window"
+        );
+    }
+
+    #[test]
+    fn static_stats_mirror_the_live_classification() {
+        let prog = MicroProgram::new(vec![
+            search1(0, 1),
+            upd1(1, 2, true),
+            MicroOp::Update {
+                writes: vec![WriteSpec {
+                    subarray: 2,
+                    row: 0,
+                    value: true,
+                    cols: crate::microop::ColSel::Tags(1),
+                }],
+            },
+            MicroOp::ReduceTags { subarray: 0 },
+            MicroOp::TagCombine {
+                src: 0,
+                dst: 1,
+                op: TagMode::And,
+            },
+        ]);
+        let s = prog.stats();
+        assert_eq!(s.searches_bs, 1);
+        assert_eq!(s.updates_bs, 1);
+        assert_eq!(s.updates_prop, 1);
+        assert_eq!(s.reduces, 1);
+        assert_eq!(s.tag_combines, 1);
+        assert_eq!(s.total(), 5);
+    }
+}
+
+/// Satellite property test: the whole fusion pipeline — `fuse_steps`
+/// across seams plus the cross-op peephole passes — is
+/// semantics-preserving on *arbitrary* generated op sequences, not just
+/// the shapes today's instruction lowerings emit. Three executions of
+/// the same ops on identically seeded CSBs must agree bit for bit in
+/// final register-file state, reduction sums, and recorded stats:
+/// per-microop, one concatenated program, and a fused window split at
+/// arbitrary instruction boundaries.
+#[cfg(test)]
+mod window_properties {
+    use super::*;
+    use crate::csb::{Csb, CsbSnapshot};
+    use crate::geometry::CsbGeometry;
+    use crate::microop::ColSel;
+    use proptest::prelude::*;
+
+    const CHAINS: usize = 8;
+
+    fn seeded_csb(vstart_raw: usize, vl_raw: usize) -> Csb {
+        let mut csb = Csb::new(CsbGeometry::new(CHAINS));
+        for i in 0..CHAINS {
+            for sub in 0..SUBARRAYS_PER_CHAIN {
+                let x = (i * 131 + sub * 7919 + 17) as u32;
+                csb.write_chain_row(i, sub, sub % TOTAL_ROWS, x.wrapping_mul(0x9E37), u32::MAX);
+                csb.set_chain_tags(i, sub, x.wrapping_mul(0x85EB).rotate_left(sub as u32));
+                csb.set_chain_acc(i, sub, x.wrapping_mul(0xC2B2).rotate_left(i as u32));
+            }
+        }
+        let vl = vl_raw % (csb.max_vl() + 1);
+        csb.set_active_window(vstart_raw % (vl + 1), vl);
+        csb
+    }
+
+    fn arb_probe() -> impl Strategy<Value = Probe> {
+        (
+            0..SUBARRAYS_PER_CHAIN,
+            proptest::collection::vec((0..TOTAL_ROWS, any::<bool>()), 1..=4),
+        )
+            .prop_map(|(s, keys)| Probe::new(s, keys))
+    }
+
+    fn arb_mode() -> impl Strategy<Value = TagMode> {
+        prop_oneof![Just(TagMode::Set), Just(TagMode::And), Just(TagMode::Or)]
+    }
+
+    fn arb_dest() -> impl Strategy<Value = TagDest> {
+        prop_oneof![Just(TagDest::Tags), Just(TagDest::Acc)]
+    }
+
+    fn arb_colsel() -> impl Strategy<Value = ColSel> {
+        prop_oneof![
+            Just(ColSel::Window),
+            (0..SUBARRAYS_PER_CHAIN).prop_map(ColSel::Tags),
+            (0..SUBARRAYS_PER_CHAIN).prop_map(ColSel::Acc),
+        ]
+    }
+
+    fn arb_update() -> impl Strategy<Value = MicroOp> {
+        proptest::collection::vec(
+            (
+                0..SUBARRAYS_PER_CHAIN,
+                0..TOTAL_ROWS,
+                any::<bool>(),
+                arb_colsel(),
+            ),
+            1..=4,
+        )
+        .prop_map(|raw| {
+            // The hardware writes at most one row per subarray per update.
+            let mut seen = 0u64;
+            let writes: Vec<WriteSpec> = raw
+                .into_iter()
+                .filter(|(sub, ..)| {
+                    let bit = 1u64 << sub;
+                    let fresh = seen & bit == 0;
+                    seen |= bit;
+                    fresh
+                })
+                .map(|(subarray, row, value, cols)| WriteSpec {
+                    subarray,
+                    row,
+                    value,
+                    cols,
+                })
+                .collect();
+            MicroOp::Update { writes }
+        })
+    }
+
+    fn arb_op() -> impl Strategy<Value = MicroOp> {
+        prop_oneof![
+            (
+                proptest::collection::vec(arb_probe(), 1..=3),
+                proptest::collection::vec(arb_probe(), 0..=2),
+                arb_dest(),
+                arb_mode(),
+            )
+                .prop_map(|(probes, gates, dest, mode)| MicroOp::Search {
+                    probes,
+                    gates,
+                    dest,
+                    mode,
+                }),
+            arb_update(),
+            (0..SUBARRAYS_PER_CHAIN, 0..TOTAL_ROWS)
+                .prop_map(|(subarray, row)| MicroOp::Read { subarray, row }),
+            (
+                0..SUBARRAYS_PER_CHAIN,
+                0..TOTAL_ROWS,
+                any::<u32>(),
+                any::<u32>()
+            )
+                .prop_map(|(subarray, row, data, mask)| MicroOp::Write {
+                    subarray,
+                    row,
+                    data,
+                    mask,
+                }),
+            (0..SUBARRAYS_PER_CHAIN).prop_map(|subarray| MicroOp::ReduceTags { subarray }),
+            (0..SUBARRAYS_PER_CHAIN, 0..SUBARRAYS_PER_CHAIN, arb_mode())
+                .prop_map(|(src, dst, op)| MicroOp::TagCombine { src, dst, op }),
+        ]
+    }
+
+    type Outcome = (CsbSnapshot, Vec<u64>, MicroOpStats);
+
+    fn run_per_op(ops: &[MicroOp], vstart: usize, vl: usize) -> Outcome {
+        let mut csb = seeded_csb(vstart, vl);
+        let mut sums = Vec::new();
+        for op in ops {
+            if let Some(s) = csb.execute(op) {
+                sums.push(s);
+            }
+        }
+        (csb.save_registers(), sums, csb.stats())
+    }
+
+    fn run_program(prog: &MicroProgram, vstart: usize, vl: usize) -> Outcome {
+        let mut csb = seeded_csb(vstart, vl);
+        let sums = csb.execute_program(prog);
+        (csb.save_registers(), sums, csb.stats())
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn fusion_window_preserves_semantics(
+            ops in proptest::collection::vec(arb_op(), 1..16),
+            cuts in proptest::collection::vec(any::<bool>(), 16),
+            vstart_raw in 0usize..1024,
+            vl_raw in 0usize..1024,
+        ) {
+            let baseline = run_per_op(&ops, vstart_raw, vl_raw);
+
+            let whole = MicroProgram::new(ops.clone());
+            let as_program = run_program(&whole, vstart_raw, vl_raw);
+            prop_assert_eq!(&baseline, &as_program);
+
+            // Split at arbitrary "instruction" boundaries and fuse.
+            let mut parts: Vec<MicroProgram> = Vec::new();
+            let mut current: Vec<MicroOp> = Vec::new();
+            for (i, op) in ops.iter().enumerate() {
+                current.push(op.clone());
+                if cuts[i % cuts.len()] {
+                    parts.push(MicroProgram::new(std::mem::take(&mut current)));
+                }
+            }
+            if !current.is_empty() {
+                parts.push(MicroProgram::new(current));
+            }
+            let refs: Vec<&MicroProgram> = parts.iter().collect();
+            let fused = MicroProgram::windowed(&refs);
+            let as_window = run_program(&fused, vstart_raw, vl_raw);
+            prop_assert_eq!(&baseline, &as_window);
+        }
     }
 }

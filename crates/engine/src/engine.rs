@@ -303,6 +303,15 @@ impl Engine {
         Ok(())
     }
 
+    /// Field-repairs the machine: installs `per_shard` fresh spare
+    /// blocks in every shard and re-runs quarantine-and-remap (see
+    /// [`CapeMachine::service_spares`]). The fleet scheduler calls this
+    /// when re-admitting a quarantined machine; on success the machine
+    /// has no pending faults and a replenished spare inventory.
+    pub fn service_spares(&mut self, per_shard: usize) -> cape_core::RemapOutcome {
+        self.machine.service_spares(per_shard)
+    }
+
     /// Admits a job, or refuses it with typed backpressure.
     ///
     /// Admission validates the whole program through the instruction
@@ -657,6 +666,9 @@ impl Engine {
             vcu_cycles: job.acc.vcu_cycles,
             program_cache_hits: job.acc.cache_hits,
             program_cache_misses: job.acc.cache_misses,
+            fused_windows: job.acc.fused_windows,
+            fused_ops: job.acc.fused_ops,
+            fused_joins_saved: job.acc.fused_joins_saved,
         };
         Finished {
             report: JobReport {
@@ -699,6 +711,10 @@ impl Engine {
             cross_tenant_hits: cache.cross_tenant_hits(),
             cross_tenant_hit_rate: cache.cross_tenant_hit_rate(),
             cache_hit_rate: cache.hit_rate(),
+            fused_window_hits: cache.window_hits(),
+            fused_window_misses: cache.window_misses(),
+            fused_window_evictions: cache.window_evictions(),
+            cross_tenant_window_hits: cache.cross_tenant_window_hits(),
             retries: self.retries,
             fault: self.machine.fault_stats(),
             spare_blocks_free: self.machine.spare_blocks_free(),

@@ -68,6 +68,16 @@ pub struct EngineReport {
     pub cross_tenant_hit_rate: f64,
     /// Overall program-cache hit rate across the run.
     pub cache_hit_rate: f64,
+    /// Fused-window cache hits across the run (a window shape replayed
+    /// without re-running the fusion pass).
+    pub fused_window_hits: u64,
+    /// Fused-window cache misses (fusion passes actually run).
+    pub fused_window_misses: u64,
+    /// Fused windows displaced by LRU eviction.
+    pub fused_window_evictions: u64,
+    /// Fused-window hits served by a window another tenant built —
+    /// fingerprint batching amortizing fusion across jobs.
+    pub cross_tenant_window_hits: u64,
     /// Checkpointed slice re-executions across all jobs (zero outside
     /// fault mode).
     pub retries: u64,

@@ -47,6 +47,8 @@ pub mod truth_table;
 
 mod sequencer;
 mod vop;
+mod window;
 
 pub use sequencer::{CompiledOp, ExecOutcome, PostProcess, Sequencer, SequencerError};
 pub use vop::{LogicOp, VectorOp, VectorOpKind};
+pub use window::{fuse_window, window_fingerprint};

@@ -212,6 +212,17 @@ impl CompiledOp {
         })
     }
 
+    /// Assembles a compiled operation from already-lowered parts. Used by
+    /// the fusion window builder (`crate::window`), which concatenates the
+    /// programs of several compiled ops into one.
+    pub(crate) fn from_parts(program: MicroProgram, post: PostProcess, width: usize) -> Self {
+        Self {
+            program,
+            post,
+            width,
+        }
+    }
+
     /// The compiled microop program.
     pub fn program(&self) -> &MicroProgram {
         &self.program

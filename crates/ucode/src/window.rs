@@ -1,0 +1,227 @@
+//! Fusion windows: several compiled vector operations concatenated into
+//! one super-program so the whole window costs a single CSB broadcast and
+//! a single join.
+//!
+//! The CP/VCU boundary buffers back-to-back vector instructions whose
+//! [`PostProcess`] is [`PostProcess::None`] (nothing crosses back to the
+//! scalar side between them) until a fusion barrier — a scalar read of a
+//! vector result, a VMU load/store, a mask/`vl` change, or a slice
+//! preemption point. [`fuse_window`] then concatenates the buffered ops'
+//! lowered programs via
+//! [`MicroProgram::windowed`](cape_csb::MicroProgram::windowed), which
+//! re-runs step fusion across the op seams and performs cross-op
+//! plan-level peepholes (dead-store elimination of write-then-rewrite row
+//! round-trips, adjacent `TagCombine` merging).
+//!
+//! Fused windows are cacheable exactly like single compiled ops: the
+//! program depends only on the `(VectorOp, SEW)` sequence, never on CSB
+//! data, so [`window_fingerprint`] over that sequence is a sound cache
+//! key.
+
+use cape_csb::MicroProgram;
+
+use crate::sequencer::{CompiledOp, PostProcess};
+use crate::vop::VectorOp;
+
+/// FNV-1a, the paper-repo-wide fingerprint of choice for small key
+/// streams: no tables, one multiply per byte, and stable across runs
+/// (unlike `std`'s randomized SipHash).
+struct Fnv1a(u64);
+
+impl Fnv1a {
+    const OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+}
+
+impl std::hash::Hasher for Fnv1a {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+    }
+}
+
+/// Fingerprint of a fusion window: FNV-1a over the `(VectorOp, SEW)`
+/// sequence, in issue order.
+///
+/// Two windows with the same fingerprint lower to the same fused program
+/// (compilation is a pure function of op and width), so the fingerprint
+/// keys the VCU's fused-program cache. Operation *operands* — register
+/// numbers and scalar immediates — are part of the hash, exactly as they
+/// are for the single-op cache key.
+pub fn window_fingerprint(ops: &[(VectorOp, u32)]) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = Fnv1a(Fnv1a::OFFSET_BASIS);
+    ops.len().hash(&mut h);
+    for (op, sew) in ops {
+        op.hash(&mut h);
+        sew.hash(&mut h);
+    }
+    h.finish()
+}
+
+/// Concatenates compiled operations into one fused window program.
+///
+/// The result replays every part in issue order with one broadcast and
+/// one join, after cross-seam step fusion and plan-level peephole passes
+/// ([`MicroProgram::windowed`](cape_csb::MicroProgram::windowed)). CSB
+/// state afterwards is bit-identical to running the parts back to back.
+///
+/// # Panics
+///
+/// Panics if `parts` is empty, if any part's post-process step is not
+/// [`PostProcess::None`] (such ops are fusion barriers — their results
+/// cross back to the scalar side and must execute unfused), or if the
+/// parts disagree on element width (a SEW change is a window barrier).
+pub fn fuse_window(parts: &[&CompiledOp]) -> CompiledOp {
+    let first = parts.first().expect("fusion window must be non-empty");
+    let width = first.width();
+    for p in parts {
+        assert_eq!(
+            p.post(),
+            PostProcess::None,
+            "ops with scalar post-processing are fusion barriers"
+        );
+        assert_eq!(p.width(), width, "SEW changes are fusion barriers");
+    }
+    let programs: Vec<&MicroProgram> = parts.iter().map(|p| p.program()).collect();
+    CompiledOp::from_parts(MicroProgram::windowed(&programs), PostProcess::None, width)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sequencer::Sequencer;
+    use cape_csb::{Csb, CsbGeometry};
+
+    fn ops() -> Vec<VectorOp> {
+        vec![
+            VectorOp::Add {
+                vd: 3,
+                vs1: 1,
+                vs2: 2,
+            },
+            VectorOp::Xor {
+                vd: 4,
+                vs1: 3,
+                vs2: 1,
+            },
+            VectorOp::Sub {
+                vd: 5,
+                vs1: 4,
+                vs2: 2,
+            },
+            VectorOp::AddScalar {
+                vd: 6,
+                vs1: 5,
+                rs: 7,
+            },
+        ]
+    }
+
+    fn seeded() -> Csb {
+        let mut csb = Csb::new(CsbGeometry::new(2));
+        csb.write_vector(1, &[10, 20, 30, 0xdead, 5]);
+        csb.write_vector(2, &[1, 2, 3, 4, 5]);
+        csb.set_active_window(1, 5);
+        csb
+    }
+
+    #[test]
+    fn fused_window_matches_back_to_back_execution() {
+        let parts: Vec<CompiledOp> = ops().iter().map(|op| CompiledOp::compile(op, 32)).collect();
+
+        let mut baseline = seeded();
+        {
+            let mut seq = Sequencer::new(&mut baseline);
+            for p in &parts {
+                seq.run_program(p);
+            }
+        }
+
+        let mut fused_csb = seeded();
+        let fused = fuse_window(&parts.iter().collect::<Vec<_>>());
+        {
+            let mut seq = Sequencer::new(&mut fused_csb);
+            let outcome = seq.run_program(&fused);
+            assert_eq!(outcome.scalar, None);
+        }
+
+        assert_eq!(baseline.save_registers(), fused_csb.save_registers());
+    }
+
+    #[test]
+    fn dead_intermediate_shrinks_the_fused_plan() {
+        // v3 is written by the add, never read, then fully overwritten by
+        // the broadcast (full-window writes) — the add's stores are dead.
+        let seq = [
+            VectorOp::Add {
+                vd: 3,
+                vs1: 1,
+                vs2: 2,
+            },
+            VectorOp::Broadcast { vd: 3, rs: 0xab },
+        ];
+        let parts: Vec<CompiledOp> = seq.iter().map(|op| CompiledOp::compile(op, 32)).collect();
+        let total: usize = parts.iter().map(|p| p.program().plan_len()).sum();
+        let fused = fuse_window(&parts.iter().collect::<Vec<_>>());
+        assert!(
+            fused.program().plan_len() < total,
+            "cross-op dead-store elimination should shrink the fused plan ({} vs {total})",
+            fused.program().plan_len()
+        );
+        // The *op* list stays the unoptimized concatenation so recorded
+        // stats (cycles, energy, golden replay) match per-op execution.
+        assert_eq!(
+            fused.program().len(),
+            parts.iter().map(|p| p.program().len()).sum::<usize>()
+        );
+
+        let mut baseline = seeded();
+        {
+            let mut s = Sequencer::new(&mut baseline);
+            for p in &parts {
+                s.run_program(p);
+            }
+        }
+        let mut fused_csb = seeded();
+        Sequencer::new(&mut fused_csb).run_program(&fused);
+        assert_eq!(baseline.save_registers(), fused_csb.save_registers());
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_sequences() {
+        let a: Vec<(VectorOp, u32)> = ops().into_iter().map(|op| (op, 32)).collect();
+        let mut b = a.clone();
+        b.swap(0, 1);
+        let mut c = a.clone();
+        c[0].1 = 16;
+        let truncated = a[..3].to_vec();
+
+        let fa = window_fingerprint(&a);
+        assert_eq!(fa, window_fingerprint(&a), "fingerprint must be stable");
+        assert_ne!(fa, window_fingerprint(&b), "order matters");
+        assert_ne!(fa, window_fingerprint(&c), "SEW matters");
+        assert_ne!(fa, window_fingerprint(&truncated), "length matters");
+    }
+
+    #[test]
+    #[should_panic(expected = "fusion barriers")]
+    fn reduction_ops_refuse_to_fuse() {
+        let add = CompiledOp::compile(
+            &VectorOp::Add {
+                vd: 3,
+                vs1: 1,
+                vs2: 2,
+            },
+            32,
+        );
+        let red = CompiledOp::compile(&VectorOp::RedSum { vd: 4, vs: 3 }, 32);
+        fuse_window(&[&add, &red]);
+    }
+}

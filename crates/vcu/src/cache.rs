@@ -8,6 +8,28 @@
 //! chain controllers' truth-table memory (TTM) staying warm across
 //! iterations — only a *new* instruction shape pays the command-bus
 //! distribution of a fresh truth table.
+//!
+//! # Fusion windows
+//!
+//! The cache also memoizes *fused windows*: several back-to-back vector
+//! instructions concatenated into one super-program
+//! ([`fuse_window`](cape_ucode::fuse_window)) and keyed by an FNV-1a
+//! fingerprint over the `(VectorOp, SEW)` sequence
+//! ([`window_fingerprint`](cape_ucode::window_fingerprint)). Loop bodies
+//! re-issue the same window every iteration, and multi-tenant fingerprint
+//! batching in the engine replays the same window across jobs, so the
+//! fusion pass runs once per window *shape*, not once per execution.
+//!
+//! Host-side cost per N-instruction window, before vs after fusion:
+//!
+//! | per window of N ops       | per-op path | fused window |
+//! |---------------------------|-------------|--------------|
+//! | pool broadcasts (fan-out) | N           | 1            |
+//! | joins (fan-in)            | N           | 1            |
+//! | passes over `ChainBlock`s | N           | 1            |
+//! | plan steps executed       | Σ plan_len  | ≤ Σ plan_len (cross-op peepholes) |
+//! | cache lookups             | N           | N + 1 (per-op entries feed the window builder) |
+//! | modeled CSB cycles/energy | Σ per-op    | Σ per-op (bit-identical ledger) |
 
 use std::collections::HashMap;
 
@@ -34,6 +56,15 @@ pub struct TenantCacheStats {
     pub hits: u64,
     /// Lookups by this tenant that had to compile.
     pub misses: u64,
+    /// Fused-window lookups by this tenant served from the cache.
+    pub fused_hits: u64,
+    /// Fused-window lookups by this tenant that had to run the fusion
+    /// pass.
+    pub fused_misses: u64,
+    /// Fused windows this tenant compiled that were displaced by LRU
+    /// eviction (attributed to the tenant that paid the fusion, not the
+    /// one whose insert displaced it).
+    pub fused_evictions: u64,
 }
 
 /// An LRU cache of compiled microop programs keyed by `(VectorOp, SEW)`.
@@ -44,15 +75,24 @@ pub struct TenantCacheStats {
 #[derive(Debug, Clone)]
 pub struct ProgramCache {
     entries: HashMap<Key, Entry>,
+    /// Fused windows keyed by the FNV fingerprint of their
+    /// `(VectorOp, SEW)` sequence, LRU-bounded at the same capacity as
+    /// the per-op map (windows are strictly rarer than ops).
+    windows: HashMap<u64, Entry>,
     capacity: usize,
     tick: u64,
     hits: u64,
     misses: u64,
     evictions: u64,
+    window_hits: u64,
+    window_misses: u64,
+    window_evictions: u64,
     /// Tenant attributed with subsequent lookups (0 in single-tenant use).
     current_tenant: u32,
     /// Hits served by an entry a *different* tenant compiled.
     cross_tenant_hits: u64,
+    /// Window hits served by a fused program a *different* tenant built.
+    cross_tenant_window_hits: u64,
     tenant_stats: HashMap<u32, TenantCacheStats>,
 }
 
@@ -72,13 +112,18 @@ impl ProgramCache {
         assert!(capacity > 0, "program cache needs at least one entry");
         Self {
             entries: HashMap::with_capacity(capacity),
+            windows: HashMap::new(),
             capacity,
             tick: 0,
             hits: 0,
             misses: 0,
             evictions: 0,
+            window_hits: 0,
+            window_misses: 0,
+            window_evictions: 0,
             current_tenant: 0,
             cross_tenant_hits: 0,
+            cross_tenant_window_hits: 0,
             tenant_stats: HashMap::new(),
         }
     }
@@ -168,6 +213,64 @@ impl ProgramCache {
         Ok(&self.entries[&key].compiled)
     }
 
+    /// Returns the fused window cached under `fingerprint`, if any,
+    /// counting a window hit or miss. On a miss the caller runs the
+    /// fusion pass and stores the result with
+    /// [`ProgramCache::window_insert`].
+    ///
+    /// Returns an owned clone (cheap — the program's op list and plan
+    /// are shared `Arc`s) so the caller can execute it while the cache
+    /// stays borrowable.
+    pub fn window_lookup(&mut self, fingerprint: u64) -> Option<CompiledOp> {
+        self.tick += 1;
+        let stats = self.tenant_stats.entry(self.current_tenant).or_default();
+        match self.windows.get_mut(&fingerprint) {
+            Some(entry) => {
+                self.window_hits += 1;
+                stats.fused_hits += 1;
+                entry.stamp = self.tick;
+                if entry.owner != self.current_tenant {
+                    self.cross_tenant_window_hits += 1;
+                }
+                Some(entry.compiled.clone())
+            }
+            None => {
+                self.window_misses += 1;
+                stats.fused_misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Stores a freshly fused window under `fingerprint`, evicting the
+    /// least recently used window at capacity. Evictions are attributed
+    /// to the tenant that built the evicted window.
+    pub fn window_insert(&mut self, fingerprint: u64, compiled: CompiledOp) {
+        self.tick += 1;
+        if !self.windows.contains_key(&fingerprint) && self.windows.len() >= self.capacity {
+            let victim = self
+                .windows
+                .iter()
+                .min_by_key(|(_, e)| e.stamp)
+                .map(|(k, _)| *k)
+                .expect("window cache at capacity is non-empty");
+            let evicted = self.windows.remove(&victim).expect("victim just found");
+            self.window_evictions += 1;
+            self.tenant_stats
+                .entry(evicted.owner)
+                .or_default()
+                .fused_evictions += 1;
+        }
+        self.windows.insert(
+            fingerprint,
+            Entry {
+                compiled,
+                stamp: self.tick,
+                owner: self.current_tenant,
+            },
+        );
+    }
+
     /// Lookups that found a compiled program.
     pub fn hits(&self) -> u64 {
         self.hits
@@ -181,6 +284,31 @@ impl ProgramCache {
     /// Entries displaced by LRU eviction.
     pub fn evictions(&self) -> u64 {
         self.evictions
+    }
+
+    /// Fused-window lookups served from the cache.
+    pub fn window_hits(&self) -> u64 {
+        self.window_hits
+    }
+
+    /// Fused-window lookups that had to run the fusion pass.
+    pub fn window_misses(&self) -> u64 {
+        self.window_misses
+    }
+
+    /// Fused windows displaced by LRU eviction.
+    pub fn window_evictions(&self) -> u64 {
+        self.window_evictions
+    }
+
+    /// Window hits served by a fused program a different tenant built.
+    pub fn cross_tenant_window_hits(&self) -> u64 {
+        self.cross_tenant_window_hits
+    }
+
+    /// Number of fused windows currently cached.
+    pub fn windows_len(&self) -> usize {
+        self.windows.len()
     }
 
     /// Hits served by an entry compiled by a different tenant — the
@@ -335,13 +463,74 @@ mod tests {
         assert!((cache.cross_tenant_hit_rate() - 2.0 / 3.0).abs() < 1e-12);
         assert_eq!(
             cache.tenant_stats(1),
-            TenantCacheStats { hits: 2, misses: 1 }
+            TenantCacheStats {
+                hits: 2,
+                misses: 1,
+                ..Default::default()
+            }
         );
         assert_eq!(
             cache.tenant_stats(2),
-            TenantCacheStats { hits: 1, misses: 1 }
+            TenantCacheStats {
+                hits: 1,
+                misses: 1,
+                ..Default::default()
+            }
         );
         assert_eq!(cache.tenant_stats(99), TenantCacheStats::default());
+    }
+
+    #[test]
+    fn window_cache_counts_hits_misses_and_tenants() {
+        use cape_ucode::{fuse_window, window_fingerprint};
+        let mut cache = ProgramCache::new(8);
+        let seq = [(ADD, 32u32), (SUB, 32u32)];
+        let fp = window_fingerprint(&seq);
+
+        cache.set_tenant(1);
+        assert!(cache.window_lookup(fp).is_none(), "cold cache misses");
+        let parts = [
+            cache.get_or_compile(&ADD, 32).clone(),
+            cache.get_or_compile(&SUB, 32).clone(),
+        ];
+        let fused = fuse_window(&parts.iter().collect::<Vec<_>>());
+        cache.window_insert(fp, fused.clone());
+        assert_eq!(cache.window_lookup(fp).as_ref(), Some(&fused));
+        assert_eq!((cache.window_hits(), cache.window_misses()), (1, 1));
+        assert_eq!(cache.cross_tenant_window_hits(), 0);
+
+        cache.set_tenant(2);
+        assert!(cache.window_lookup(fp).is_some());
+        assert_eq!(cache.cross_tenant_window_hits(), 1);
+        assert_eq!(cache.tenant_stats(1).fused_hits, 1);
+        assert_eq!(cache.tenant_stats(1).fused_misses, 1);
+        assert_eq!(cache.tenant_stats(2).fused_hits, 1);
+        assert_eq!(cache.windows_len(), 1);
+    }
+
+    #[test]
+    fn window_evictions_attribute_to_the_building_tenant() {
+        use cape_ucode::{fuse_window, window_fingerprint};
+        let mut cache = ProgramCache::new(1);
+        let a = [(ADD, 32u32), (SUB, 32u32)];
+        let b = [(SUB, 32u32), (ADD, 32u32)];
+        let parts = [
+            cache.get_or_compile(&ADD, 32).clone(),
+            cache.get_or_compile(&SUB, 32).clone(),
+        ];
+        let fused = fuse_window(&parts.iter().collect::<Vec<_>>());
+
+        cache.set_tenant(1);
+        cache.window_insert(window_fingerprint(&a), fused.clone());
+        cache.set_tenant(2);
+        cache.window_insert(window_fingerprint(&b), fused.clone());
+        assert_eq!(cache.window_evictions(), 1);
+        assert_eq!(cache.tenant_stats(1).fused_evictions, 1);
+        assert_eq!(cache.tenant_stats(2).fused_evictions, 0);
+        assert_eq!(cache.windows_len(), 1);
+        // Re-inserting an existing fingerprint never evicts.
+        cache.window_insert(window_fingerprint(&b), fused);
+        assert_eq!(cache.window_evictions(), 1);
     }
 
     #[test]

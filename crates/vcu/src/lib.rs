@@ -143,16 +143,31 @@ impl Vcu {
         Ok(self.finish(op, outcome, sew_bits))
     }
 
-    /// Layers the timing model over a sequencer outcome.
-    fn finish(&self, op: &VectorOp, outcome: cape_ucode::ExecOutcome, sew_bits: u32) -> VcuResult {
-        let base = self.base_cycles(op, &outcome.stats, sew_bits);
+    /// Modeled cycle cost of one instruction given its (data-independent)
+    /// microop statistics — exactly what [`Vcu::execute_sew`] would
+    /// charge, without executing anything.
+    ///
+    /// Microop emission never inspects CSB data, so the statistics of a
+    /// compiled program
+    /// ([`MicroProgram::stats`](cape_csb::MicroProgram::stats)) fully
+    /// determine the instruction's timing. This is what lets a fusion
+    /// window charge each buffered instruction's cycles at issue while
+    /// deferring its broadcast: the deferred execution can't change the
+    /// bill.
+    pub fn plan_cycles(&self, op: &VectorOp, stats: &MicroOpStats, sew_bits: u32) -> u64 {
+        let base = self.base_cycles(op, stats, sew_bits);
         let reduction_drain = if self.uses_reduction_tree(op) {
             self.tree_stages
         } else {
             0
         };
+        base + reduction_drain + self.cmd_dist_cycles
+    }
+
+    /// Layers the timing model over a sequencer outcome.
+    fn finish(&self, op: &VectorOp, outcome: cape_ucode::ExecOutcome, sew_bits: u32) -> VcuResult {
         VcuResult {
-            cycles: base + reduction_drain + self.cmd_dist_cycles,
+            cycles: self.plan_cycles(op, &outcome.stats, sew_bits),
             scalar: outcome.scalar,
             stats: outcome.stats,
         }
@@ -406,6 +421,43 @@ mod tests {
         }
         assert_eq!(cache.hits(), 3, "one repeated op per SEW");
         assert_eq!(cache.misses(), 9);
+    }
+
+    #[test]
+    fn plan_cycles_match_executed_cycles_from_static_stats() {
+        use cape_ucode::CompiledOp;
+        let vcu = Vcu::new(1024);
+        let ops = [
+            VectorOp::Add {
+                vd: 3,
+                vs1: 1,
+                vs2: 2,
+            },
+            VectorOp::AddScalar {
+                vd: 4,
+                vs1: 1,
+                rs: 12345,
+            },
+            VectorOp::RedSum { vd: 5, vs: 1 },
+            VectorOp::ShiftLeft {
+                vd: 6,
+                vs: 1,
+                sh: 3,
+            },
+        ];
+        for sew in [8u32, 16, 32] {
+            for op in &ops {
+                let static_stats = CompiledOp::compile(op, sew as usize).program().stats();
+                let mut csb = csb();
+                let executed = vcu.execute_sew(&mut csb, op, sew);
+                assert_eq!(
+                    vcu.plan_cycles(op, &static_stats, sew),
+                    executed.cycles,
+                    "{op:?} at sew {sew}"
+                );
+                assert_eq!(static_stats, executed.stats, "{op:?} at sew {sew}");
+            }
+        }
     }
 
     #[test]
