@@ -17,11 +17,15 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 const ITERS: usize = 20;
 
-fn run(fusion_window: usize) -> u64 {
+fn run(fusion_window: usize, mixed: bool) -> u64 {
     let mut config = fusion::config();
     config.fusion_window = fusion_window;
     let max_vl = config.max_vl();
-    let program = fusion::phoenix_loop(max_vl, ITERS);
+    let program = if mixed {
+        fusion::phoenix_loop_mixed(max_vl, ITERS)
+    } else {
+        fusion::phoenix_loop(max_vl, ITERS)
+    };
     let mut machine = CapeMachine::new(config);
     let mut mem = fusion::input(max_vl);
     let report = machine.run(&program, &mut mem).expect("runs");
@@ -34,10 +38,16 @@ fn bench_fused_window(c: &mut Criterion) {
     let vl = fusion::config().max_vl();
 
     g.bench_with_input(BenchmarkId::new("fused", vl), &vl, |b, _| {
-        b.iter(|| run(32))
+        b.iter(|| run(32, false))
     });
     g.bench_with_input(BenchmarkId::new("per_op", vl), &vl, |b, _| {
-        b.iter(|| run(1))
+        b.iter(|| run(1, false))
+    });
+    g.bench_with_input(BenchmarkId::new("fused_mixed_sew", vl), &vl, |b, _| {
+        b.iter(|| run(32, true))
+    });
+    g.bench_with_input(BenchmarkId::new("per_op_mixed_sew", vl), &vl, |b, _| {
+        b.iter(|| run(1, true))
     });
 
     g.finish();

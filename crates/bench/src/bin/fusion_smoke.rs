@@ -10,6 +10,13 @@
 //!    ops), fused host wall-clock must be ≤ 0.7× the per-op path, and
 //!    the fused `RunReport` must show the join-count collapse that
 //!    buys it.
+//! 3. **Mixed SEW:** the e8→e16 sweep variant must fuse each sweep into
+//!    exactly one window (unchanged-`vl` `vsetvli` flush count zero) at
+//!    ≤ 0.75× per-op host wall-clock.
+//! 4. **Dead stores:** that same 32-op gate kernel under the v2 window
+//!    compiler (`fusion_reorder = true`) must retire strictly more
+//!    plan-level stores than the in-order pipeline, with digests and
+//!    modeled cycles bit-identical.
 //!
 //! Panics (non-zero exit) on any violation, so CI runs it as-is in
 //! `--release`.
@@ -25,6 +32,7 @@ use cape_workloads::{phoenix, run_cape, Workload};
 const STRESS_CHAINS: usize = 4;
 const INSTANCES_PER_KERNEL: usize = 8;
 const GATE_RATIO: f64 = 0.7;
+const MIXED_GATE_RATIO: f64 = 0.75;
 const ITERS: usize = 40;
 
 fn job(w: &dyn Workload, instance: usize) -> JobSpec {
@@ -62,9 +70,14 @@ fn drain_digests(fusion_window: usize) -> Vec<u64> {
 
 /// One timed run of the 4k-chain loop; returns host seconds, the
 /// report, and the output digest.
-fn timed_run(fusion_window: usize, program: &cape_isa::Program) -> (f64, RunReport, u64) {
+fn timed_run(
+    fusion_window: usize,
+    reorder: bool,
+    program: &cape_isa::Program,
+) -> (f64, RunReport, u64) {
     let mut config = fusion::config();
     config.fusion_window = fusion_window;
+    config.fusion_reorder = reorder;
     let max_vl = config.max_vl();
     let mut machine = CapeMachine::new(config);
     let mut mem = fusion::input(max_vl);
@@ -75,9 +88,14 @@ fn timed_run(fusion_window: usize, program: &cape_isa::Program) -> (f64, RunRepo
 }
 
 /// Median of three timed runs (same machine shape, fresh state each).
-fn median_run(fusion_window: usize, program: &cape_isa::Program) -> (f64, RunReport, u64) {
-    let mut runs: Vec<(f64, RunReport, u64)> =
-        (0..3).map(|_| timed_run(fusion_window, program)).collect();
+fn median_run(
+    fusion_window: usize,
+    reorder: bool,
+    program: &cape_isa::Program,
+) -> (f64, RunReport, u64) {
+    let mut runs: Vec<(f64, RunReport, u64)> = (0..3)
+        .map(|_| timed_run(fusion_window, reorder, program))
+        .collect();
     runs.sort_by(|a, b| a.0.total_cmp(&b.0));
     runs.swap_remove(1)
 }
@@ -106,8 +124,8 @@ fn main() {
     section("fusion-smoke — 4k-chain Phoenix string-match wall-clock");
     let max_vl = fusion::config().max_vl();
     let program = fusion::phoenix_loop(max_vl, ITERS);
-    let (fused_s, fused_report, fused_digest) = median_run(32, &program);
-    let (plain_s, plain_report, plain_digest) = median_run(1, &program);
+    let (fused_s, fused_report, fused_digest) = median_run(32, true, &program);
+    let (plain_s, plain_report, plain_digest) = median_run(1, true, &program);
     assert_eq!(fused_digest, plain_digest, "4k-chain outputs diverged");
     assert_eq!(
         fused_report.cycles, plain_report.cycles,
@@ -132,6 +150,65 @@ fn main() {
     assert!(
         ratio <= GATE_RATIO,
         "fusion regressed: fused/per-op host ratio {ratio:.3} > {GATE_RATIO}"
+    );
+
+    section("fusion-smoke — mixed-SEW sweep (e8 → e16 inside one window)");
+    let mixed = fusion::phoenix_loop_mixed(max_vl, ITERS);
+    let (mfused_s, mfused_report, mfused_digest) = median_run(32, true, &mixed);
+    let (mplain_s, mplain_report, mplain_digest) = median_run(1, true, &mixed);
+    assert_eq!(mfused_digest, mplain_digest, "mixed-SEW outputs diverged");
+    assert_eq!(
+        mfused_report.cycles, mplain_report.cycles,
+        "mixed-SEW modeled timing must be fusion-invariant"
+    );
+    assert_eq!(
+        mfused_report.window_flushes.vsetvli, 0,
+        "unchanged-vl vsetvli retargets must not flush the window"
+    );
+    assert_eq!(
+        mfused_report.window_flushes.capacity, ITERS as u64,
+        "every sweep must end on a full window"
+    );
+    assert_eq!(
+        mfused_report.fused_windows,
+        ITERS as u64 + 1,
+        "each mixed-SEW sweep must fuse into exactly one window"
+    );
+    let mratio = mfused_s / mplain_s;
+    println!(
+        "fused   {:>8.1} ms  ({} windows, {} ops fused, vsetvli flushes {})",
+        mfused_s * 1e3,
+        mfused_report.fused_windows,
+        mfused_report.fused_ops,
+        mfused_report.window_flushes.vsetvli
+    );
+    println!("per-op  {:>8.1} ms", mplain_s * 1e3);
+    println!("ratio   {mratio:.3}x (gate: <= {MIXED_GATE_RATIO}x)");
+    assert!(
+        mratio <= MIXED_GATE_RATIO,
+        "mixed-SEW fusion regressed: fused/per-op host ratio {mratio:.3} > {MIXED_GATE_RATIO}"
+    );
+
+    section("fusion-smoke — window compiler v2 dead-store elimination");
+    let (_, inorder_report, inorder_digest) = median_run(32, false, &mixed);
+    assert_eq!(
+        mfused_digest, inorder_digest,
+        "reordering changed the gate kernel's output"
+    );
+    assert_eq!(
+        inorder_report.cycles, mfused_report.cycles,
+        "modeled timing must be reorder-invariant"
+    );
+    println!(
+        "dead stores retired: v2 (reorder) {}, in-order {}",
+        mfused_report.dead_stores_eliminated, inorder_report.dead_stores_eliminated
+    );
+    assert!(
+        mfused_report.dead_stores_eliminated > inorder_report.dead_stores_eliminated,
+        "window compiler v2 must retire strictly more dead stores than the in-order pipeline \
+         ({} vs {})",
+        mfused_report.dead_stores_eliminated,
+        inorder_report.dead_stores_eliminated
     );
     println!("\nfusion-smoke PASS");
 }

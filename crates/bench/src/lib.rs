@@ -71,7 +71,7 @@ impl Measurement {
 /// loop.
 pub mod fusion {
     use cape_core::CapeConfig;
-    use cape_isa::{Program, Reg, VAluOp, VReg};
+    use cape_isa::{Program, Reg, Sew, VAluOp, VReg};
     use cape_mem::MainMemory;
 
     /// Chains in the gate machine (`max_vl` = 4096 × 32 = 131 072 —
@@ -168,6 +168,81 @@ pub mod fusion {
     /// FNV-1a digest of the kernel's output region.
     pub fn digest(mem: &MainMemory, max_vl: usize) -> u64 {
         super::fnv1a_words(mem.read_u32_slice(OUT, max_vl + 1))
+    }
+
+    /// Mixed-SEW variant of [`phoenix_loop`]: the first four pattern
+    /// groups scan at e8 (the low-byte probe only needs a byte), then an
+    /// unchanged-`vl` `vsetvli` retargets to e16 *mid-sweep* for the
+    /// fifth group and the rolling-hash evolution. Still exactly 32
+    /// fusible ops per sweep, so with `fusion_window = 32` every sweep
+    /// is one whole window **containing both element widths** — the SEW
+    /// changes join the window as no-ops instead of flushing it.
+    ///
+    /// The fifth group is a *two-stage* probe: a coarse low-byte
+    /// equality test immediately superseded by the exact match. The
+    /// coarse probe's tag store is dead — overwritten by the exact
+    /// probe's `Set` before anything reads the mask — which only the v2
+    /// window compiler's tag-aware liveness pass can prove, so this
+    /// kernel is also the dead-store gate: `fusion_reorder = true` must
+    /// retire strictly more stores than the in-order pipeline on it.
+    pub fn phoenix_loop_mixed(max_vl: usize, iters: usize) -> Program {
+        let mut p = Program::builder();
+        p.li(Reg::S0, max_vl as i64);
+        p.li(Reg::S1, IN_TEXT as i64);
+        p.li(Reg::S3, OUT as i64);
+        p.li(Reg::S4, iters as i64);
+        let keys = [Reg::A0, Reg::A1, Reg::A2, Reg::A3, Reg::A4];
+        let ids = [Reg::S5, Reg::S6, Reg::S7, Reg::S8, Reg::S9];
+        for (k, pat) in PATTERNS.iter().enumerate() {
+            p.li(keys[k], i64::from(*pat));
+            p.li(ids[k], k as i64 + 1);
+        }
+        p.li(Reg::A5, 0xff);
+        p.vsetvli(Reg::T0, Reg::S0);
+        p.vmv_vx(VReg::V11, Reg::ZERO);
+        p.vmv_vx(VReg::V12, Reg::ZERO);
+        p.vle32(VReg::V1, Reg::S1);
+        p.label("sweep");
+        // Same vl, narrower element: joins the pending window (empty
+        // here) as a no-op rather than ending it.
+        p.vsetvli_sew(Reg::T1, Reg::S0, Sew::E8);
+        for k in 0..4 {
+            p.vop_vx(VAluOp::Xor, VReg::V3, VReg::V1, keys[k]);
+            p.vop_vx(VAluOp::And, VReg::V5, VReg::V3, Reg::A5);
+            p.vmseq_vx(VReg::V0, VReg::V5, Reg::ZERO);
+            p.vmv_vx(VReg::V6, ids[k]);
+            p.vmerge(VReg::V11, VReg::V11, VReg::V6);
+            p.vop_vv(VAluOp::Or, VReg::V12, VReg::V12, VReg::V3);
+        }
+        // Mid-window retarget: 24 e8 ops are already buffered; this
+        // must NOT flush them (vl and vstart are provably unchanged).
+        p.vsetvli_sew(Reg::T1, Reg::S0, Sew::E16);
+        {
+            let k = 4;
+            p.vop_vx(VAluOp::Xor, VReg::V3, VReg::V1, keys[k]);
+            // Two-stage probe: the coarse low-byte test's mask is
+            // overwritten by the exact match before anything reads it —
+            // a dead match store only tag-aware liveness retires.
+            p.vmseq_vx(VReg::V0, VReg::V3, Reg::A5);
+            p.vmseq_vx(VReg::V0, VReg::V3, Reg::ZERO);
+            p.vmv_vx(VReg::V6, ids[k]);
+            p.vmerge(VReg::V11, VReg::V11, VReg::V6);
+            p.vop_vv(VAluOp::Or, VReg::V12, VReg::V12, VReg::V3);
+        }
+        p.vsll_vi(VReg::V4, VReg::V1, 1);
+        p.vop_vv(VAluOp::Xor, VReg::V1, VReg::V1, VReg::V4);
+        p.addi(Reg::S4, Reg::S4, -1);
+        p.bnez(Reg::S4, "sweep");
+        // Barrier tail at full width (again an unchanged-`vl` no-op).
+        p.vsetvli_sew(Reg::T1, Reg::S0, Sew::E32);
+        p.vse32(VReg::V11, Reg::S3);
+        p.vmv_vx(VReg::V13, Reg::ZERO);
+        p.vredsum(VReg::V13, VReg::V12, VReg::V13);
+        p.vmv_xs(Reg::T2, VReg::V13);
+        p.li(Reg::A6, (OUT + 4 * max_vl as u64) as i64);
+        p.sw(Reg::T2, 0, Reg::A6);
+        p.halt();
+        p.build().expect("mixed-SEW fusion kernel builds")
     }
 }
 

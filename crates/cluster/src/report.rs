@@ -3,6 +3,7 @@
 //! planner reads (makespan throughput, utilization skew, migration
 //! accounting, cross-machine queue latency).
 
+use cape_core::WindowFlushes;
 use cape_engine::{EngineReport, JobReport, QueueLatency};
 
 use crate::cluster::ClusterJobId;
@@ -173,6 +174,25 @@ impl ClusterReport {
             .filter_map(|j| j.report.as_ref().map(|r| r.queue_cycles()))
             .collect();
         QueueLatency::from_waits(&waits)
+    }
+
+    /// Fleet-wide window flushes by cause, summed over every machine's
+    /// engine report — where the fleet's fusion windows ended.
+    pub fn window_flushes(&self) -> WindowFlushes {
+        let mut total = WindowFlushes::default();
+        for m in &self.machines {
+            total.accumulate(&m.engine.window_flushes);
+        }
+        total
+    }
+
+    /// Fleet-wide plan-level stores retired by the window compiler,
+    /// summed over every machine's engine report.
+    pub fn dead_stores_eliminated(&self) -> u64 {
+        self.machines
+            .iter()
+            .map(|m| m.engine.dead_stores_eliminated)
+            .sum()
     }
 
     /// Queue-latency distribution of migrated jobs only — the price of

@@ -42,7 +42,7 @@ mod timing;
 pub use cape_csb::{FaultConfig, FaultKind, FaultStats, RemapOutcome, ScrubReport};
 pub use config::{CapeConfig, HealthThresholds};
 pub use machine::{CapeMachine, MachineContext, MachineCounters};
-pub use report::RunReport;
+pub use report::{RunReport, WindowFlushes};
 pub use roofline::{Roofline, RooflinePoint};
 pub use timing::{
     microop_energy_pj, MicroOpEnergy, MicroOpTiming, TABLE2_BP, TABLE2_BS, TABLE2_DELAYS,

@@ -1,6 +1,8 @@
 //! The integrated CAPE machine.
 
-use cape_cp::{ControlProcessor, Coprocessor, CpError, SliceOutcome, VectorCommit, VectorFault};
+use cape_cp::{
+    ControlProcessor, Coprocessor, CpError, DrainReason, SliceOutcome, VectorCommit, VectorFault,
+};
 use cape_csb::{
     Csb, CsbSnapshot, FaultConfig, FaultKind, FaultStats, MicroOpStats, RemapOutcome, ScrubReport,
 };
@@ -13,8 +15,31 @@ use cape_vcu::{ProgramCache, Vcu};
 use cape_vmu::Vmu;
 
 use crate::config::CapeConfig;
-use crate::report::RunReport;
+use crate::report::{RunReport, WindowFlushes};
 use crate::timing::microop_energy_pj;
+
+/// Why a pending fusion window is being committed to the CSB. Each
+/// variant maps onto one counter of [`WindowFlushes`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FlushReason {
+    /// An effective `vl`/`vstart` change (`vsetvli`/`vsetstart` that
+    /// actually moved the window).
+    Vsetvli,
+    /// A vector instruction whose result crosses to the scalar side.
+    ScalarResult,
+    /// A VMU transfer needs committed CSB state.
+    Vmu,
+    /// Slice preemption at a vector-budget boundary.
+    Preempt,
+    /// A context save/restore is switching jobs.
+    CtxSwitch,
+    /// Fault machinery (scrub/remap/spares/watchdog/rejection).
+    Fault,
+    /// End-of-run drain or direct CSB access.
+    Drain,
+    /// The window reached `fusion_window` capacity.
+    Capacity,
+}
 
 /// A suspended tenant's complete architectural vector state: the full
 /// CSB register file plus the vector CSRs (`sew`, `vstart`, `vl`) and
@@ -68,6 +93,11 @@ pub struct MachineCounters {
     /// Pool broadcasts (fan-out + join) eliminated by fusion: each
     /// `n`-op window costs one broadcast instead of `n`.
     pub fused_joins_saved: u64,
+    /// Window flushes, by cause.
+    pub window_flushes: WindowFlushes,
+    /// Plan-level stores the window compiler's peepholes removed from
+    /// executed fused windows.
+    pub dead_stores_eliminated: u64,
     /// CSB microops emitted.
     pub microops: MicroOpStats,
     /// Hardware fault-injection activity (zero unless the fault layer is
@@ -91,6 +121,8 @@ impl MachineCounters {
         self.fused_windows += delta.fused_windows;
         self.fused_ops += delta.fused_ops;
         self.fused_joins_saved += delta.fused_joins_saved;
+        self.window_flushes.accumulate(&delta.window_flushes);
+        self.dead_stores_eliminated += delta.dead_stores_eliminated;
         self.fault.accumulate(&delta.fault);
         self.microops.searches_bs += delta.microops.searches_bs;
         self.microops.searches_bp += delta.microops.searches_bp;
@@ -118,6 +150,8 @@ impl MachineCounters {
             fused_windows: self.fused_windows - earlier.fused_windows,
             fused_ops: self.fused_ops - earlier.fused_ops,
             fused_joins_saved: self.fused_joins_saved - earlier.fused_joins_saved,
+            window_flushes: self.window_flushes.since(&earlier.window_flushes),
+            dead_stores_eliminated: self.dead_stores_eliminated - earlier.dead_stores_eliminated,
             fault: self.fault.since(&earlier.fault),
             microops: MicroOpStats {
                 searches_bs: self.microops.searches_bs - earlier.microops.searches_bs,
@@ -180,6 +214,12 @@ pub struct CapeMachine {
     fused_ops: u64,
     /// Broadcast joins eliminated by fusion (Σ window_len − 1).
     fused_joins_saved: u64,
+    /// Window flushes, attributed by cause at each flush site.
+    window_flushes: WindowFlushes,
+    /// Plan-level stores the window compiler retired from executed fused
+    /// windows (cache hits still count: the figure is compile-time
+    /// metadata carried on the cached program).
+    dead_stores: u64,
 }
 
 impl CapeMachine {
@@ -203,6 +243,8 @@ impl CapeMachine {
             fused_windows: 0,
             fused_ops: 0,
             fused_joins_saved: 0,
+            window_flushes: WindowFlushes::default(),
+            dead_stores: 0,
         }
     }
 
@@ -249,6 +291,7 @@ impl CapeMachine {
         let max = self.config.max_instructions;
         // Split borrow: the CP drives `self` as the coprocessor.
         let (fw0, fo0, fj0) = (self.fused_windows, self.fused_ops, self.fused_joins_saved);
+        let (wf0, ds0) = (self.window_flushes, self.dead_stores);
         let cp_result = {
             let this: &mut CapeMachine = self;
             let mut driver = MachineCoprocessor { machine: this };
@@ -274,6 +317,8 @@ impl CapeMachine {
             fused_windows: self.fused_windows - fw0,
             fused_ops: self.fused_ops - fo0,
             fused_joins_saved: self.fused_joins_saved - fj0,
+            window_flushes: self.window_flushes.since(&wf0),
+            dead_stores_eliminated: self.dead_stores - ds0,
         })
     }
 
@@ -358,7 +403,7 @@ impl CapeMachine {
     pub fn save_context(&mut self) -> MachineContext {
         // Preemption point: the snapshot must capture fully committed
         // state, never a half-deferred window.
-        self.flush_window();
+        self.flush_window_as(FlushReason::CtxSwitch);
         MachineContext {
             snapshot: self.csb.save_registers(),
             sew: self.sew,
@@ -380,7 +425,7 @@ impl CapeMachine {
     pub fn restore_context(&mut self, ctx: &MachineContext) {
         // A deferred window belongs to the outgoing tenant's state; it
         // must land before that state is replaced.
-        self.flush_window();
+        self.flush_window_as(FlushReason::CtxSwitch);
         self.csb.restore_registers(&ctx.snapshot);
         self.csb.set_active_window(ctx.vstart, ctx.vl);
         self.sew = ctx.sew;
@@ -432,6 +477,8 @@ impl CapeMachine {
             fused_windows: self.fused_windows,
             fused_ops: self.fused_ops,
             fused_joins_saved: self.fused_joins_saved,
+            window_flushes: self.window_flushes,
+            dead_stores_eliminated: self.dead_stores,
             fault: self.csb.fault_stats(),
             microops: self.csb.stats(),
         }
@@ -465,7 +512,7 @@ impl CapeMachine {
     /// the fault layer is disarmed). A scheduler calls this between
     /// slices so stuck-at faults are caught even on idle blocks.
     pub fn scrub(&mut self) -> Option<ScrubReport> {
-        self.flush_window();
+        self.flush_window_as(FlushReason::Fault);
         self.csb.scrub()
     }
 
@@ -473,7 +520,7 @@ impl CapeMachine {
     /// Blocks that fail (spares exhausted) stay pending and the machine
     /// is degraded — the caller must fail jobs typed, not mask it.
     pub fn quarantine_and_remap(&mut self) -> RemapOutcome {
-        self.flush_window();
+        self.flush_window_as(FlushReason::Fault);
         self.csb.quarantine_and_remap()
     }
 
@@ -485,7 +532,7 @@ impl CapeMachine {
     /// scheduler to re-admit it. A no-op returning the default outcome
     /// when the fault layer is disarmed.
     pub fn service_spares(&mut self, per_shard: usize) -> RemapOutcome {
-        self.flush_window();
+        self.flush_window_as(FlushReason::Fault);
         self.csb.service_spares(per_shard)
     }
 
@@ -568,8 +615,24 @@ impl CapeMachine {
     /// statistics), so flushing only performs the deferred CSB mutation
     /// and bumps the fusion observability counters.
     pub fn flush_window(&mut self) {
+        self.flush_window_as(FlushReason::Drain);
+    }
+
+    /// [`CapeMachine::flush_window`] with an explicit cause for the
+    /// flush-reason counters. Empty windows cost (and count) nothing.
+    fn flush_window_as(&mut self, reason: FlushReason) {
         if self.pending_window.is_empty() {
             return;
+        }
+        match reason {
+            FlushReason::Vsetvli => self.window_flushes.vsetvli += 1,
+            FlushReason::ScalarResult => self.window_flushes.scalar_result += 1,
+            FlushReason::Vmu => self.window_flushes.vmu += 1,
+            FlushReason::Preempt => self.window_flushes.preempt += 1,
+            FlushReason::CtxSwitch => self.window_flushes.ctx_switch += 1,
+            FlushReason::Fault => self.window_flushes.fault += 1,
+            FlushReason::Drain => self.window_flushes.drain += 1,
+            FlushReason::Capacity => self.window_flushes.capacity += 1,
         }
         let pending = std::mem::take(&mut self.pending_window);
         let sew = pending[0].sew_bits as usize;
@@ -579,18 +642,20 @@ impl CapeMachine {
         }
         let key: Vec<(VectorOp, u32)> = pending.iter().map(|p| (p.op, p.sew_bits)).collect();
         let fingerprint = window_fingerprint(&key);
-        let fused = match self.program_cache.window_lookup(fingerprint) {
+        let fused = match self.program_cache.window_lookup(fingerprint, &key) {
             Some(fused) => fused,
             None => {
                 let parts: Vec<&CompiledOp> = pending.iter().map(|p| &p.compiled).collect();
-                let fused = fuse_window(&parts);
-                self.program_cache.window_insert(fingerprint, fused.clone());
+                let fused = fuse_window(&parts, self.config.fusion_reorder);
+                self.program_cache
+                    .window_insert(fingerprint, &key, fused.clone());
                 fused
             }
         };
         self.fused_windows += 1;
         self.fused_ops += pending.len() as u64;
         self.fused_joins_saved += pending.len() as u64 - 1;
+        self.dead_stores += u64::from(fused.program().dead_stores());
         Sequencer::with_width(&mut self.csb, sew).run_program(&fused);
     }
 
@@ -604,7 +669,7 @@ impl CapeMachine {
             Err(e) => {
                 // The rejection terminates the run; earlier deferred
                 // work must still reach the CSB first.
-                self.flush_window();
+                self.flush_window_as(FlushReason::Fault);
                 return Err(VectorFault::Rejected {
                     detail: e.to_string(),
                 });
@@ -626,7 +691,7 @@ impl CapeMachine {
             compiled,
         });
         if self.pending_window.len() >= self.config.fusion_window {
-            self.flush_window();
+            self.flush_window_as(FlushReason::Capacity);
         }
         Ok(VectorCommit {
             cycles,
@@ -640,7 +705,7 @@ impl CapeMachine {
         }
         // Barrier op (its scalar result is consumed immediately): land
         // every deferred broadcast, then execute unfused.
-        self.flush_window();
+        self.flush_window_as(FlushReason::ScalarResult);
         let r = self
             .vcu
             .try_execute_sew_cached(&mut self.csb, op, self.sew.bits(), &mut self.program_cache)
@@ -665,13 +730,20 @@ impl CapeMachine {
     ) -> Result<VectorCommit, VectorFault> {
         Ok(match *instr {
             Instr::Vsetvli { sew, .. } => {
-                // Window/SEW change: deferred ops must broadcast under
-                // the window they committed with.
-                self.flush_window();
                 // Grant min(requested, VLMAX), select the element width,
                 // and reset vstart (RVV).
                 let granted = (rs1.max(0) as usize).min(self.config.max_vl());
-                self.csb.set_active_window(0, granted);
+                // Only an *effective* window change is a fusion barrier:
+                // deferred ops must broadcast under the window they
+                // committed with. A vsetvli that provably grants the
+                // current vl with vstart already 0 leaves the active
+                // window untouched — it joins the window as a no-op (SEW
+                // reselection alone is fusion-transparent; each buffered
+                // op carries its own width).
+                if granted != self.csb.vl() || self.csb.vstart() != 0 {
+                    self.flush_window_as(FlushReason::Vsetvli);
+                    self.csb.set_active_window(0, granted);
+                }
                 self.sew = sew;
                 VectorCommit {
                     cycles: self.vcu.cmd_dist_cycles(),
@@ -679,10 +751,14 @@ impl CapeMachine {
                 }
             }
             Instr::Vsetstart { .. } => {
-                self.flush_window();
-                let vstart = (rs1.max(0) as usize).min(self.csb.vl());
                 let vl = self.csb.vl();
-                self.csb.set_active_window(vstart, vl);
+                let vstart = (rs1.max(0) as usize).min(vl);
+                // Same classification: an unchanged vstart is a no-op
+                // marker, not a barrier.
+                if vstart != self.csb.vstart() {
+                    self.flush_window_as(FlushReason::Vsetvli);
+                    self.csb.set_active_window(vstart, vl);
+                }
                 VectorCommit {
                     cycles: self.vcu.cmd_dist_cycles(),
                     rd_value: None,
@@ -690,7 +766,7 @@ impl CapeMachine {
             }
             Instr::Vle32 { vd, .. } => {
                 // VMU transfers read/write CSB rows directly.
-                self.flush_window();
+                self.flush_window_as(FlushReason::Vmu);
                 let addr = rs1 as u64;
                 let reg = vd.index();
                 let cycles = self.faultable_transfer(mem, |m, mem| {
@@ -703,7 +779,7 @@ impl CapeMachine {
                 }
             }
             Instr::Vse32 { vs3, .. } => {
-                self.flush_window();
+                self.flush_window_as(FlushReason::Vmu);
                 let addr = rs1 as u64;
                 let reg = vs3.index();
                 let cycles = self.faultable_transfer(mem, |m, mem| {
@@ -716,7 +792,7 @@ impl CapeMachine {
                 }
             }
             Instr::Vlrw { vd, .. } => {
-                self.flush_window();
+                self.flush_window_as(FlushReason::Vmu);
                 let chunk = rs2.max(1) as usize;
                 let t = self.vmu.load_replica(
                     &mut self.csb,
@@ -867,7 +943,7 @@ impl CapeMachine {
             Instr::VredsumVs { vd, vs2, vs1 } => {
                 // The seed read below observes CSB state, so deferred
                 // broadcasts must land first.
-                self.flush_window();
+                self.flush_window_as(FlushReason::ScalarResult);
                 // vd[0] = vs1[0] + sum(vs2): run the tree reduction, then
                 // fold in the scalar seed held in vs1[0].
                 let seed = self.csb.read_element(vs1.index(), 0);
@@ -908,7 +984,7 @@ impl CapeMachine {
             })?,
             Instr::VmvXs { vs, .. } => {
                 // Scalar read of a vector result: the fusion barrier.
-                self.flush_window();
+                self.flush_window_as(FlushReason::ScalarResult);
                 // A single-element read: one read microop through the
                 // element path, plus command distribution.
                 let value = self.csb.read_element(vs.index(), 0);
@@ -959,8 +1035,12 @@ impl Coprocessor for MachineCoprocessor<'_> {
         self.machine.dispatch(instr, rs1, rs2, mem)
     }
 
-    fn drain(&mut self) {
-        self.machine.flush_window();
+    fn drain(&mut self, reason: DrainReason) {
+        self.machine.flush_window_as(match reason {
+            DrainReason::Exit => FlushReason::Drain,
+            DrainReason::Preempt => FlushReason::Preempt,
+            DrainReason::Watchdog => FlushReason::Fault,
+        });
     }
 }
 
@@ -1415,6 +1495,46 @@ halt",
         assert_eq!(fused.fused_windows, 2);
         assert_eq!(fused.fused_ops, 7);
         assert_eq!(fused.fused_joins_saved, 5);
+        // Flush attribution: the vredsum is a scalar-result barrier, the
+        // vse32 a VMU one; nothing else interrupted a non-empty window.
+        assert_eq!(fused.window_flushes.scalar_result, 1);
+        assert_eq!(fused.window_flushes.vmu, 1);
+        assert_eq!(fused.window_flushes.total(), 2);
+    }
+
+    #[test]
+    fn unchanged_vl_vsetvli_is_not_a_fusion_barrier() {
+        let mut m = machine(); // max_vl = 128
+        let mut mem = MainMemory::new();
+        let prog = assemble(
+            r"
+            li t0, 128
+            vsetvli t1, t0, e32,m1
+            vmv.v.x v1, t0
+            vadd.vv v2, v1, v1
+            vsetvli t2, t0, e8,m1    # same vl, vstart 0: no-op marker
+            vxor.vv v3, v1, v2
+            li t3, 64
+            vsetvli t4, t3, e32,m1   # vl shrinks: a real barrier
+            vadd.vv v4, v1, v2
+            halt
+        ",
+        )
+        .unwrap();
+        let report = m.run(&prog, &mut mem).unwrap();
+        // The SEW-only vsetvli joined the window: one mixed-SEW window of
+        // three ops flushed by the vl change, then a one-op window
+        // drained at halt.
+        assert_eq!(report.window_flushes.vsetvli, 1);
+        assert_eq!(report.window_flushes.drain, 1);
+        assert_eq!(report.window_flushes.total(), 2);
+        assert_eq!(report.fused_windows, 1);
+        assert_eq!(report.fused_ops, 3);
+        // Bit-exactness across the no-op vsetvli: the e8 vxor of the two
+        // e32 results, lane 0.
+        let v1 = 128u32;
+        let v2 = v1.wrapping_add(v1);
+        assert_eq!(m.csb().read_element(3, 0), (v1 ^ v2) & 0xff);
     }
 
     #[test]

@@ -4,6 +4,76 @@ use cape_cp::CpStats;
 use cape_csb::MicroOpStats;
 use serde::{Deserialize, Serialize};
 
+/// Fusion-window flushes broken down by cause.
+///
+/// Every counter is "windows of buffered vector ops committed to the CSB
+/// because of this event" — an empty pending window costs nothing and is
+/// not counted. Single-op windows count too: a flush that lands one
+/// buffered op is still a lost fusion opportunity worth attributing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WindowFlushes {
+    /// An *effective* `vl`/`vstart` change. `vsetvli`/`vsetstart` that
+    /// provably leave the active window unchanged join the window as
+    /// no-ops and never appear here.
+    pub vsetvli: u64,
+    /// A vector instruction whose result crosses to the scalar side
+    /// (`vredsum`, `vmv.x.s`, or any non-fusible lowering).
+    pub scalar_result: u64,
+    /// A VMU transfer (`vle32`/`vse32`/`vlrw`) needed committed state.
+    pub vmu: u64,
+    /// A slice preemption point (scheduler quantum expired).
+    pub preempt: u64,
+    /// A context save/restore switched jobs mid-window.
+    pub ctx_switch: u64,
+    /// Fault machinery (scrub, quarantine, spare service, watchdog, or a
+    /// rejected instruction) forced committed state.
+    pub fault: u64,
+    /// An end-of-run drain (program exit or direct CSB access).
+    pub drain: u64,
+    /// The window hit `fusion_window` capacity.
+    pub capacity: u64,
+}
+
+impl WindowFlushes {
+    /// Total flushes across every cause.
+    pub fn total(&self) -> u64 {
+        self.vsetvli
+            + self.scalar_result
+            + self.vmu
+            + self.preempt
+            + self.ctx_switch
+            + self.fault
+            + self.drain
+            + self.capacity
+    }
+
+    /// Adds `other` into `self` field-wise.
+    pub fn accumulate(&mut self, other: &Self) {
+        self.vsetvli += other.vsetvli;
+        self.scalar_result += other.scalar_result;
+        self.vmu += other.vmu;
+        self.preempt += other.preempt;
+        self.ctx_switch += other.ctx_switch;
+        self.fault += other.fault;
+        self.drain += other.drain;
+        self.capacity += other.capacity;
+    }
+
+    /// Field-wise difference `self - earlier` (counters only grow).
+    pub fn since(&self, earlier: &Self) -> Self {
+        Self {
+            vsetvli: self.vsetvli - earlier.vsetvli,
+            scalar_result: self.scalar_result - earlier.scalar_result,
+            vmu: self.vmu - earlier.vmu,
+            preempt: self.preempt - earlier.preempt,
+            ctx_switch: self.ctx_switch - earlier.ctx_switch,
+            fault: self.fault - earlier.fault,
+            drain: self.drain - earlier.drain,
+            capacity: self.capacity - earlier.capacity,
+        }
+    }
+}
+
 /// Summary of one program execution on a [`CapeMachine`](crate::CapeMachine).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct RunReport {
@@ -42,6 +112,12 @@ pub struct RunReport {
     /// Pool broadcasts (fan-out + join) the fusion windows eliminated:
     /// each `n`-op window paid one join instead of `n`.
     pub fused_joins_saved: u64,
+    /// Window flushes during the run, by cause.
+    pub window_flushes: WindowFlushes,
+    /// Plan-level stores the window compiler's peepholes (dead-store
+    /// elimination, `TagCombine` dedup) removed from executed fused
+    /// windows — work the CSB never had to broadcast.
+    pub dead_stores_eliminated: u64,
 }
 
 impl RunReport {
@@ -114,6 +190,8 @@ mod tests {
             fused_windows: 0,
             fused_ops: 0,
             fused_joins_saved: 0,
+            window_flushes: WindowFlushes::default(),
+            dead_stores_eliminated: 0,
         }
     }
 
@@ -128,6 +206,27 @@ mod tests {
     #[test]
     fn zero_traffic_has_infinite_intensity() {
         assert!(report(100, 10, 0).intensity().is_infinite());
+    }
+
+    #[test]
+    fn window_flush_arithmetic() {
+        let mut a = WindowFlushes {
+            vsetvli: 2,
+            capacity: 5,
+            ..WindowFlushes::default()
+        };
+        let b = WindowFlushes {
+            vsetvli: 1,
+            drain: 3,
+            ..WindowFlushes::default()
+        };
+        a.accumulate(&b);
+        assert_eq!(a.vsetvli, 3);
+        assert_eq!(a.total(), 11);
+        let d = a.since(&b);
+        assert_eq!(d.vsetvli, 2);
+        assert_eq!(d.drain, 0);
+        assert_eq!(d.total(), 7);
     }
 
     #[test]

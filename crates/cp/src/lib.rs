@@ -62,6 +62,21 @@ impl std::fmt::Display for VectorFault {
     }
 }
 
+/// Why the CP is draining the vector engine at a run exit. Coprocessors
+/// that account window flushes by cause (see the machine's flush-reason
+/// counters) use this to attribute the drain; the semantics of the drain
+/// itself are identical for every reason.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DrainReason {
+    /// The program halted: the normal end-of-job drain.
+    Exit,
+    /// The slice's vector budget was reached and the scheduler is about
+    /// to switch jobs.
+    Preempt,
+    /// The slice-fuel watchdog fired on a runaway slice.
+    Watchdog,
+}
+
 /// The vector engine as seen by the control processor.
 pub trait Coprocessor {
     /// Executes one vector instruction. `rs1`/`rs2` carry the values of
@@ -85,8 +100,11 @@ pub trait Coprocessor {
     /// committed. The CP calls this at every run exit — halt, preemption
     /// and watchdog timeout — before control returns to the scheduler,
     /// mirroring the timing model's vector-engine drain. Coprocessors
-    /// that never defer keep the default no-op.
-    fn drain(&mut self) {}
+    /// that never defer keep the default no-op. `reason` says *why* the
+    /// CP is draining so the engine can attribute the flush.
+    fn drain(&mut self, reason: DrainReason) {
+        let _ = reason;
+    }
 }
 
 /// Instruction-mix and timing statistics of one program run.
@@ -249,7 +267,7 @@ impl ControlProcessor {
             }
         }
         // Drain the vector engine before reporting.
-        cop.drain();
+        cop.drain(DrainReason::Exit);
         self.clock = self.clock.max(self.vector_done_at);
         self.stats.cycles = self.clock;
         Ok(self.stats)
@@ -289,7 +307,7 @@ impl ControlProcessor {
         let instr_start = self.stats.instructions;
         loop {
             if !self.step(program, mem, cop)? {
-                cop.drain();
+                cop.drain(DrainReason::Exit);
                 self.clock = self.clock.max(self.vector_done_at);
                 self.stats.cycles = self.clock;
                 return Ok(SliceOutcome::Halted);
@@ -300,7 +318,7 @@ impl ControlProcessor {
             if self.stats.instructions - instr_start >= slice_fuel {
                 // Watchdog: drain the vector engine and hand the mess to
                 // the scheduler as a typed, recoverable outcome.
-                cop.drain();
+                cop.drain(DrainReason::Watchdog);
                 self.clock = self.clock.max(self.vector_done_at);
                 self.stats.cycles = self.clock;
                 return Ok(SliceOutcome::TimedOut);
@@ -308,7 +326,7 @@ impl ControlProcessor {
             if self.stats.vector - vector_start >= max_vector {
                 // Drain the in-flight vector instruction: preemption only
                 // happens at a sync point.
-                cop.drain();
+                cop.drain(DrainReason::Preempt);
                 self.clock = self.clock.max(self.vector_done_at);
                 self.stats.cycles = self.clock;
                 return Ok(SliceOutcome::Preempted);

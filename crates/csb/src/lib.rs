@@ -50,6 +50,7 @@ mod microop;
 mod pool;
 mod program;
 mod reduction;
+mod schedule;
 mod stats;
 mod subarray;
 

@@ -413,6 +413,271 @@ fn optimize_window_plan(plan: Vec<PlanOp>) -> Vec<PlanOp> {
     dead_store_eliminate(dedup_tag_combines(plan))
 }
 
+/// The v2 window-compiler pipeline: `TagCombine` dedup followed by the
+/// liveness-cascading dead-store pass that also retires dead *match*
+/// stores ([`dead_store_eliminate_tagged`]). Runs over the scheduled
+/// part order, where co-writer clustering exposes the most coverage.
+fn optimize_window_plan_scheduled(plan: Vec<PlanOp>) -> Vec<PlanOp> {
+    dead_store_eliminate_tagged(dedup_tag_combines(plan))
+}
+
+/// Stores a plan performs: row writes (`PlanWrite`s and raw
+/// [`PlanOp::Write`]s), search match stores (one per probe — the tag/acc
+/// latch), and tag-bus transfers. The peephole passes only ever remove
+/// stores, so the before/after difference of this count is the window's
+/// `dead_stores_eliminated` ledger. `fuse_steps` merges ops without
+/// dropping stores, so the count is invariant under step fusion — and
+/// the multiset of stores is order-independent, so the issue-order and
+/// scheduled pre-optimization plans count identically.
+fn store_count(plan: &[PlanOp]) -> usize {
+    plan.iter()
+        .map(|op| match op {
+            PlanOp::SearchOne { .. } => 1,
+            PlanOp::Step { nwrites, .. } => 1 + *nwrites as usize,
+            PlanOp::Search { probes, .. } => probes.len(),
+            PlanOp::UpdateOne { .. } => 1,
+            PlanOp::UpdateTwo { .. } => 2,
+            PlanOp::Update { writes } => writes.len(),
+            PlanOp::Write { .. } => 1,
+            PlanOp::TagCombine { .. } => 1,
+            PlanOp::Read { .. } | PlanOp::ReduceTags { .. } => 0,
+        })
+        .sum()
+}
+
+/// Backward liveness over the three per-subarray register files the
+/// window can observe: row cells, tags, and accumulators. A register is
+/// *covered* when a later op in the window fully rewrites its active
+/// lanes with nothing reading it in between.
+struct Liveness {
+    rows: [[bool; TOTAL_ROWS]; SUBARRAYS_PER_CHAIN],
+    tags: [bool; SUBARRAYS_PER_CHAIN],
+    acc: [bool; SUBARRAYS_PER_CHAIN],
+}
+
+impl Liveness {
+    fn new() -> Self {
+        Self {
+            rows: [[false; TOTAL_ROWS]; SUBARRAYS_PER_CHAIN],
+            tags: [false; SUBARRAYS_PER_CHAIN],
+            acc: [false; SUBARRAYS_PER_CHAIN],
+        }
+    }
+
+    fn reg_mut(&mut self, dest: TagDest, sub: u8) -> &mut bool {
+        match dest {
+            TagDest::Tags => &mut self.tags[sub as usize],
+            TagDest::Acc => &mut self.acc[sub as usize],
+        }
+    }
+
+    fn uncover_probe(&mut self, p: &PlanProbe) {
+        for k in 0..p.nkeys as usize {
+            self.rows[p.subarray as usize][p.rows[k] as usize] = false;
+        }
+    }
+
+    /// Reverse-order visit of one row write: `None` when covered. A kept
+    /// tag/acc-selected write reads its source register, pinning earlier
+    /// match stores to it.
+    fn visit_write(&mut self, w: PlanWrite) -> Option<PlanWrite> {
+        let cell = &mut self.rows[w.subarray as usize][w.row as usize];
+        if *cell {
+            return None;
+        }
+        match w.sel {
+            0 => *cell = true,
+            1 => self.tags[w.src as usize] = false,
+            _ => self.acc[w.src as usize] = false,
+        }
+        Some(w)
+    }
+
+    /// Reverse-order visit of one search's match store into
+    /// `dest[sub]`. Returns `true` when the store is dead: a later op
+    /// fully rewrites the register's active lanes and nothing read it in
+    /// between — every tag/acc mutation is confined to active lanes, so
+    /// final register state is unaffected. A surviving `Set` store
+    /// covers earlier stores; surviving `And`/`Or` stores read the
+    /// register they blend into.
+    fn visit_store(&mut self, dest: TagDest, mode: TagMode, sub: u8) -> bool {
+        let reg = self.reg_mut(dest, sub);
+        if *reg {
+            return true;
+        }
+        *reg = mode == TagMode::Set;
+        false
+    }
+}
+
+/// The v2 dead-store pass: row-granular elimination (as
+/// [`dead_store_eliminate`]) extended with tag/accumulator liveness, so
+/// it also retires dead *match* stores — and, by dropping them, the
+/// probe reads they performed, letting row coverage cascade through
+/// searches the PR 9 pass had to treat as barriers.
+///
+/// Soundness rests on the same window invariant as the row pass: the
+/// active window cannot change inside a fused program, every tag/acc
+/// mutation (`Set` latch, `And`/`Or` blend) touches active lanes only,
+/// and a later `Set`-mode store fully determines those lanes. A search
+/// whose only effect is a covered match store therefore cannot affect
+/// any final register file and is dropped whole; a [`PlanOp::Step`]
+/// whose match store is covered but whose row writes survive demotes to
+/// the bare update, and vice versa.
+fn dead_store_eliminate_tagged(plan: Vec<PlanOp>) -> Vec<PlanOp> {
+    let mut live = Liveness::new();
+    let mut kept: Vec<PlanOp> = Vec::with_capacity(plan.len());
+    for op in plan.into_iter().rev() {
+        match op {
+            PlanOp::UpdateOne { write } => {
+                if let Some(w) = live.visit_write(write) {
+                    kept.push(PlanOp::UpdateOne { write: w });
+                }
+            }
+            PlanOp::UpdateTwo { writes } => {
+                let b = live.visit_write(writes[1]);
+                let a = live.visit_write(writes[0]);
+                match (a, b) {
+                    (Some(a), Some(b)) => kept.push(PlanOp::UpdateTwo { writes: [a, b] }),
+                    (Some(w), None) | (None, Some(w)) => kept.push(PlanOp::UpdateOne { write: w }),
+                    (None, None) => {}
+                }
+            }
+            PlanOp::Update { writes } => {
+                let mut survivors: Vec<PlanWrite> = writes
+                    .iter()
+                    .rev()
+                    .filter_map(|w| live.visit_write(*w))
+                    .collect();
+                survivors.reverse();
+                match survivors.as_slice() {
+                    [] => {}
+                    [w] => kept.push(PlanOp::UpdateOne { write: *w }),
+                    [a, b] => kept.push(PlanOp::UpdateTwo { writes: [*a, *b] }),
+                    _ => kept.push(PlanOp::Update {
+                        writes: survivors.into_boxed_slice(),
+                    }),
+                }
+            }
+            PlanOp::Write {
+                subarray,
+                row,
+                data,
+                mask,
+            } => {
+                let cell = &mut live.rows[subarray as usize][row as usize];
+                if !*cell {
+                    if mask == u32::MAX {
+                        *cell = true;
+                    }
+                    kept.push(PlanOp::Write {
+                        subarray,
+                        row,
+                        data,
+                        mask,
+                    });
+                }
+            }
+            PlanOp::Step {
+                probe,
+                dest,
+                mode,
+                nwrites,
+                writes,
+            } => {
+                // Temporal order inside a step is search, then writes:
+                // visit the writes first (they may read the tags the
+                // search itself latched, pinning it), then the match
+                // store, then the probe's key-row reads.
+                let b = (nwrites == 2)
+                    .then(|| live.visit_write(writes[1]))
+                    .flatten();
+                let a = live.visit_write(writes[0]);
+                let store_dead = live.visit_store(dest, mode, probe.subarray);
+                let mut surviving = [writes[0]; 2];
+                let mut n = 0u8;
+                for w in [a, b].into_iter().flatten() {
+                    surviving[n as usize] = w;
+                    n += 1;
+                }
+                match (store_dead, n) {
+                    (true, 0) => {}
+                    (true, 1) => kept.push(PlanOp::UpdateOne {
+                        write: surviving[0],
+                    }),
+                    (true, _) => kept.push(PlanOp::UpdateTwo { writes: surviving }),
+                    (false, 0) => {
+                        live.uncover_probe(&probe);
+                        kept.push(PlanOp::SearchOne { probe, dest, mode });
+                    }
+                    (false, n) => {
+                        live.uncover_probe(&probe);
+                        kept.push(PlanOp::Step {
+                            probe,
+                            dest,
+                            mode,
+                            nwrites: n,
+                            writes: surviving,
+                        });
+                    }
+                }
+            }
+            PlanOp::SearchOne { probe, dest, mode } => {
+                if !live.visit_store(dest, mode, probe.subarray) {
+                    live.uncover_probe(&probe);
+                    kept.push(PlanOp::SearchOne { probe, dest, mode });
+                }
+            }
+            PlanOp::Search {
+                probes,
+                gates,
+                dest,
+                mode,
+            } => {
+                // Per-probe match stores land in the probe's own
+                // subarray; the op is dead only when every one is
+                // covered. A kept op executes all of them, so visit
+                // each (latching `Set` coverage, unpinning `And`/`Or`
+                // reads) and then uncover every probed row.
+                let all_dead = probes.iter().all(|p| *live.reg_mut(dest, p.subarray));
+                if all_dead {
+                    continue;
+                }
+                for p in probes.iter() {
+                    live.visit_store(dest, mode, p.subarray);
+                }
+                for p in probes.iter().chain(gates.iter()) {
+                    live.uncover_probe(p);
+                }
+                kept.push(PlanOp::Search {
+                    probes,
+                    gates,
+                    dest,
+                    mode,
+                });
+            }
+            PlanOp::Read { subarray, row } => {
+                live.rows[subarray as usize][row as usize] = false;
+                kept.push(PlanOp::Read { subarray, row });
+            }
+            PlanOp::ReduceTags { subarray } => {
+                live.tags[subarray as usize] = false;
+                kept.push(PlanOp::ReduceTags { subarray });
+            }
+            PlanOp::TagCombine { src, dst, op } => {
+                if live.tags[dst as usize] {
+                    continue;
+                }
+                live.tags[dst as usize] = op == TagMode::Set;
+                live.tags[src as usize] = false;
+                kept.push(PlanOp::TagCombine { src, dst, op });
+            }
+        }
+    }
+    kept.reverse();
+    kept
+}
+
 /// Lowers one microop, running its structural validation once.
 pub(crate) fn lower(op: &MicroOp) -> PlanOp {
     match op {
@@ -507,6 +772,10 @@ pub struct MicroProgram {
     ops: Arc<Vec<MicroOp>>,
     plan: Arc<Vec<PlanOp>>,
     sync_points: Vec<SyncPoint>,
+    /// Stores the window peephole passes removed from the broadcast
+    /// plan relative to plain concatenation — compile-time metadata, so
+    /// cached windows keep reporting their win on every execution.
+    dead_stores: u32,
 }
 
 impl MicroProgram {
@@ -533,6 +802,7 @@ impl MicroProgram {
             ops: Arc::new(ops),
             plan: Arc::new(plan),
             sync_points,
+            dead_stores: 0,
         }
     }
 
@@ -552,10 +822,55 @@ impl MicroProgram {
     /// running the parts one at a time; only the host broadcast plan
     /// shrinks.
     pub fn windowed(parts: &[&MicroProgram]) -> Self {
+        Self::windowed_inner(parts, false)
+    }
+
+    /// Compiles a fusion window through the v2 pipeline: summarize each
+    /// part's architectural footprint, build the RAW/WAR/WAW dependence
+    /// graph over subarray row cells, tags and accumulators, and
+    /// list-schedule independent parts so co-writers cluster
+    /// (`schedule.rs`). The scheduled per-part plans are then
+    /// re-fused across the *new* seams and run through the upgraded
+    /// peepholes (`TagCombine` dedup plus the liveness-cascading
+    /// dead-store pass that also retires dead match stores).
+    ///
+    /// Exactly like [`Self::windowed`], the op list stays the
+    /// issue-order concatenation: stats, sync-point order, modeled
+    /// cycles/energy and the golden fault replay are bit-identical to
+    /// per-op execution — only the host broadcast plan is rescheduled.
+    pub fn windowed_scheduled(parts: &[&MicroProgram]) -> Self {
+        Self::windowed_inner(parts, true)
+    }
+
+    fn windowed_inner(parts: &[&MicroProgram], reorder: bool) -> Self {
         let ops: Vec<MicroOp> = parts.iter().flat_map(|p| p.ops().iter().cloned()).collect();
         let mut fused = Self::new(ops);
-        fused.plan = Arc::new(optimize_window_plan(fused.plan.as_ref().clone()));
+        let before = store_count(fused.plan.as_ref());
+        let plan = if reorder {
+            let access: Vec<crate::schedule::PlanAccess> = parts
+                .iter()
+                .map(|p| crate::schedule::PlanAccess::of(p.plan()))
+                .collect();
+            let order = crate::schedule::schedule(&access);
+            let concatenated: Vec<PlanOp> = order
+                .iter()
+                .flat_map(|&i| parts[i].plan().iter().cloned())
+                .collect();
+            optimize_window_plan_scheduled(fuse_steps(concatenated))
+        } else {
+            optimize_window_plan(fused.plan.as_ref().clone())
+        };
+        fused.dead_stores = (before - store_count(&plan)) as u32;
+        fused.plan = Arc::new(plan);
         fused
+    }
+
+    /// Stores the window peephole passes eliminated from this program's
+    /// broadcast plan (row writes, search match stores, tag-bus
+    /// transfers) relative to plain per-op concatenation. Zero for
+    /// single-instruction programs.
+    pub fn dead_stores(&self) -> u32 {
+        self.dead_stores
     }
 
     /// The microops in broadcast order.
@@ -786,6 +1101,94 @@ mod tests {
     }
 
     #[test]
+    fn scheduled_window_retires_orphaned_searches() {
+        // Op A is a fused search/update step; op B kills A's row write
+        // (full-window rewrite, nothing reading in between); op C's
+        // `Set`-mode search overwrites A's match store. The PR 9 pass
+        // strips A down to an orphaned search — the v2 liveness cascade
+        // sees its match store is covered too and drops the whole step.
+        let a = MicroProgram::new(vec![search1(5, 3), upd1(5, 4, true)]);
+        let b = MicroProgram::new(vec![upd1(5, 4, false)]);
+        let c = MicroProgram::new(vec![search1(5, 10)]);
+        let refs = [&a, &b, &c];
+        let v1 = MicroProgram::windowed(&refs);
+        assert_eq!(v1.plan_len(), 3, "PR 9 pipeline keeps the orphan search");
+        assert_eq!(v1.dead_stores(), 1);
+        let v2 = MicroProgram::windowed_scheduled(&refs);
+        assert_eq!(v2.plan_len(), 2, "cascade drops the orphaned search");
+        assert_eq!(v2.dead_stores(), 2, "row write and match store retired");
+        assert_eq!(v2.len(), 4, "op list stays the issue-order concatenation");
+    }
+
+    #[test]
+    fn covered_tag_combine_is_dead_in_the_scheduled_pipeline() {
+        // Two *different* Set-mode transfers into tags[9]: adjacency
+        // dedup cannot touch them, but the later one fully rewrites the
+        // destination with nothing reading it in between.
+        let tc = |src: usize| MicroOp::TagCombine {
+            src,
+            dst: 9,
+            op: TagMode::Set,
+        };
+        let a = MicroProgram::new(vec![tc(2)]);
+        let b = MicroProgram::new(vec![tc(4)]);
+        let v1 = MicroProgram::windowed(&[&a, &b]);
+        assert_eq!(v1.plan_len(), 2, "PR 9 pipeline keeps both transfers");
+        let v2 = MicroProgram::windowed_scheduled(&[&a, &b]);
+        assert_eq!(v2.plan_len(), 1, "covered transfer retired");
+        assert_eq!(v2.dead_stores(), 1);
+    }
+
+    #[test]
+    fn reduce_pins_the_match_store_it_reads() {
+        // search -> reduce -> search: the reduction reads tags[3], so
+        // the first match store must survive the v2 pass.
+        let parts = [
+            MicroProgram::new(vec![search1(3, 1)]),
+            MicroProgram::new(vec![MicroOp::ReduceTags { subarray: 3 }]),
+            MicroProgram::new(vec![search1(3, 2)]),
+        ];
+        let refs: Vec<&MicroProgram> = parts.iter().collect();
+        let v2 = MicroProgram::windowed_scheduled(&refs);
+        assert_eq!(v2.plan_len(), 3, "reduce pins the earlier search");
+        assert_eq!(v2.dead_stores(), 0);
+    }
+
+    #[test]
+    fn tag_selected_write_pins_its_source_register() {
+        // search Set tags[6], then a row write selecting tags[6], then a
+        // covering search: the sel=1 write reads the first match store,
+        // so only stores *after* the read may be treated as covered.
+        let sel_write = MicroOp::Update {
+            writes: vec![WriteSpec {
+                subarray: 6,
+                row: 8,
+                value: true,
+                cols: crate::microop::ColSel::Tags(6),
+            }],
+        };
+        let parts = [
+            MicroProgram::new(vec![search1(6, 1)]),
+            MicroProgram::new(vec![sel_write]),
+            MicroProgram::new(vec![search1(6, 2)]),
+        ];
+        let refs: Vec<&MicroProgram> = parts.iter().collect();
+        let v2 = MicroProgram::windowed_scheduled(&refs);
+        // Seam step-fusion merges the first search with the selected
+        // write; the liveness pass must retire nothing, because that
+        // write reads the match store the later search would otherwise
+        // cover.
+        assert_eq!(v2.dead_stores(), 0, "the selected write pins the search");
+        assert_eq!(v2.plan_len(), 2);
+    }
+
+    #[test]
+    fn single_instruction_programs_report_no_dead_stores() {
+        let prog = MicroProgram::new(vec![search1(0, 1), upd1(0, 2, true)]);
+        assert_eq!(prog.dead_stores(), 0);
+    }
+
+    #[test]
     fn static_stats_mirror_the_live_classification() {
         let prog = MicroProgram::new(vec![
             search1(0, 1),
@@ -989,6 +1392,17 @@ mod window_properties {
             let fused = MicroProgram::windowed(&refs);
             let as_window = run_program(&fused, vstart_raw, vl_raw);
             prop_assert_eq!(&baseline, &as_window);
+
+            // The v2 pipeline — dependence-graph scheduling plus the
+            // liveness-cascading dead-store pass — must be just as
+            // invisible, including reduction-sum order.
+            let scheduled = MicroProgram::windowed_scheduled(&refs);
+            let as_scheduled = run_program(&scheduled, vstart_raw, vl_raw);
+            prop_assert_eq!(&baseline, &as_scheduled);
+            prop_assert!(
+                scheduled.plan_len() <= fused.len(),
+                "scheduling never grows the plan past the op list"
+            );
         }
     }
 }

@@ -1,0 +1,311 @@
+//! Dependence-aware scheduling of fusion-window parts.
+//!
+//! A fusion window buffers several instructions' lowered plans. PR 9
+//! concatenated them in issue order; the window compiler v2 treats the
+//! window as a compilation unit instead: it summarizes each part's
+//! architectural footprint — the subarray row cells it reads and writes,
+//! the tag and accumulator registers it touches — builds the RAW/WAR/WAW
+//! dependence graph over those resources, and list-schedules independent
+//! parts so that writers of the same rows cluster together. Clustering
+//! feeds the adjacency-sensitive peepholes (seam step fusion, adjacent
+//! `TagCombine` dedup) and lets the liveness passes retire strictly more
+//! dead work, while the dependence edges guarantee the scheduled plan is
+//! observationally identical to issue order.
+//!
+//! Only the host broadcast plan is reordered. The microop *list* — and
+//! with it recorded stats, modeled cycles/energy, and the golden fault
+//! replay — stays in issue order, so scheduling is invisible to
+//! everything but host wall-clock.
+
+use crate::geometry::SUBARRAYS_PER_CHAIN;
+use crate::microop::{TagDest, TagMode};
+use crate::program::{PlanOp, PlanProbe, PlanWrite};
+use crate::subarray::TOTAL_ROWS;
+
+// One u64 of row bits per subarray is enough for every row.
+const _: () = assert!(TOTAL_ROWS <= 64);
+
+/// The architectural footprint of one window part's broadcast plan:
+/// which subarray row cells, tag registers and accumulator registers it
+/// reads and writes. Read-modify-write accesses (`And`/`Or` tag stores,
+/// tag/acc-selected row writes) appear in both sets.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct PlanAccess {
+    rows_read: [u64; SUBARRAYS_PER_CHAIN],
+    rows_written: [u64; SUBARRAYS_PER_CHAIN],
+    tags_read: u32,
+    tags_written: u32,
+    acc_read: u32,
+    acc_written: u32,
+    /// Part produces cross-chain results (`ReduceTags`/`Read` sync
+    /// points). Sync parts are chained pairwise so reduction sums keep
+    /// their issue order.
+    sync: bool,
+}
+
+impl PlanAccess {
+    /// Summarizes a lowered plan.
+    pub(crate) fn of(plan: &[PlanOp]) -> Self {
+        let mut a = Self::default();
+        for op in plan {
+            match op {
+                PlanOp::SearchOne { probe, dest, mode } => {
+                    a.read_probe(probe);
+                    a.store(*dest, *mode, probe.subarray);
+                }
+                PlanOp::Step {
+                    probe,
+                    dest,
+                    mode,
+                    nwrites,
+                    writes,
+                } => {
+                    a.read_probe(probe);
+                    a.store(*dest, *mode, probe.subarray);
+                    for w in &writes[..*nwrites as usize] {
+                        a.write(w);
+                    }
+                }
+                PlanOp::Search {
+                    probes,
+                    gates,
+                    dest,
+                    mode,
+                } => {
+                    for p in probes.iter() {
+                        a.read_probe(p);
+                        a.store(*dest, *mode, p.subarray);
+                    }
+                    for g in gates.iter() {
+                        a.read_probe(g);
+                    }
+                }
+                PlanOp::UpdateOne { write } => a.write(write),
+                PlanOp::UpdateTwo { writes } => {
+                    for w in writes {
+                        a.write(w);
+                    }
+                }
+                PlanOp::Update { writes } => {
+                    for w in writes.iter() {
+                        a.write(w);
+                    }
+                }
+                PlanOp::Read { subarray, row } => {
+                    a.rows_read[*subarray as usize] |= 1 << row;
+                    a.sync = true;
+                }
+                PlanOp::Write { subarray, row, .. } => {
+                    a.rows_written[*subarray as usize] |= 1 << row;
+                }
+                PlanOp::ReduceTags { subarray } => {
+                    a.tags_read |= 1 << subarray;
+                    a.sync = true;
+                }
+                PlanOp::TagCombine { src, dst, op } => {
+                    a.tags_read |= 1 << src;
+                    a.tags_written |= 1 << dst;
+                    if *op != TagMode::Set {
+                        a.tags_read |= 1 << dst;
+                    }
+                }
+            }
+        }
+        a
+    }
+
+    fn read_probe(&mut self, p: &PlanProbe) {
+        for k in 0..p.nkeys as usize {
+            self.rows_read[p.subarray as usize] |= 1 << p.rows[k];
+        }
+    }
+
+    fn store(&mut self, dest: TagDest, mode: TagMode, sub: u8) {
+        let bit = 1u32 << sub;
+        let (written, read) = match dest {
+            TagDest::Tags => (&mut self.tags_written, &mut self.tags_read),
+            TagDest::Acc => (&mut self.acc_written, &mut self.acc_read),
+        };
+        *written |= bit;
+        if mode != TagMode::Set {
+            *read |= bit;
+        }
+    }
+
+    fn write(&mut self, w: &PlanWrite) {
+        self.rows_written[w.subarray as usize] |= 1 << w.row;
+        match w.sel {
+            1 => self.tags_read |= 1 << w.src,
+            2 => self.acc_read |= 1 << w.src,
+            _ => {}
+        }
+    }
+
+    /// True when the two parts must keep their issue order: any RAW, WAR
+    /// or WAW hazard on a row cell, tag register or accumulator — or two
+    /// sync parts, whose cross-chain results must surface in issue order.
+    fn conflicts(&self, other: &Self) -> bool {
+        if self.sync && other.sync {
+            return true;
+        }
+        for s in 0..SUBARRAYS_PER_CHAIN {
+            if self.rows_written[s] & (other.rows_written[s] | other.rows_read[s]) != 0
+                || self.rows_read[s] & other.rows_written[s] != 0
+            {
+                return true;
+            }
+        }
+        self.tags_written & (other.tags_written | other.tags_read) != 0
+            || self.tags_read & other.tags_written != 0
+            || self.acc_written & (other.acc_written | other.acc_read) != 0
+            || self.acc_read & other.acc_written != 0
+    }
+
+    /// Scheduling affinity: how many row cells / tag / acc registers both
+    /// parts write. Clustering co-writers maximizes what the liveness
+    /// passes can retire.
+    fn write_affinity(&self, other: &Self) -> u32 {
+        let mut n = 0u32;
+        for s in 0..SUBARRAYS_PER_CHAIN {
+            n += (self.rows_written[s] & other.rows_written[s]).count_ones();
+        }
+        n + (self.tags_written & other.tags_written).count_ones()
+            + (self.acc_written & other.acc_written).count_ones()
+    }
+}
+
+/// Dependence-preserving part order for a fusion window.
+///
+/// Builds the hazard graph over `access` (edge `i -> j` for `i < j` when
+/// the parts conflict) and greedily list-schedules it: among ready parts,
+/// pick the one with the highest write affinity to the previously
+/// scheduled part, breaking ties toward the lowest original index. The
+/// result is a permutation of `0..access.len()`, fully deterministic, and
+/// the identity whenever every adjacent pair conflicts.
+pub(crate) fn schedule(access: &[PlanAccess]) -> Vec<usize> {
+    let n = access.len();
+    let mut indeg = vec![0usize; n];
+    let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for j in 0..n {
+        for i in 0..j {
+            if access[i].conflicts(&access[j]) {
+                succs[i].push(j);
+                indeg[j] += 1;
+            }
+        }
+    }
+    let mut ready: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+    let mut order = Vec::with_capacity(n);
+    let mut last: Option<usize> = None;
+    while !ready.is_empty() {
+        let pos = match last {
+            None => ready
+                .iter()
+                .enumerate()
+                .min_by_key(|&(_, &j)| j)
+                .map(|(p, _)| p)
+                .expect("ready is non-empty"),
+            Some(l) => ready
+                .iter()
+                .enumerate()
+                .max_by_key(|&(_, &j)| (access[l].write_affinity(&access[j]), std::cmp::Reverse(j)))
+                .map(|(p, _)| p)
+                .expect("ready is non-empty"),
+        };
+        let j = ready.swap_remove(pos);
+        order.push(j);
+        last = Some(j);
+        for &s in &succs[j] {
+            indeg[s] -= 1;
+            if indeg[s] == 0 {
+                ready.push(s);
+            }
+        }
+    }
+    debug_assert_eq!(order.len(), n, "hazard graph is acyclic by construction");
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::microop::{MicroOp, Probe, WriteSpec};
+    use crate::program::MicroProgram;
+
+    fn upd(sub: usize, row: usize) -> MicroProgram {
+        MicroProgram::new(vec![MicroOp::Update {
+            writes: vec![WriteSpec {
+                subarray: sub,
+                row,
+                value: true,
+                cols: crate::microop::ColSel::Window,
+            }],
+        }])
+    }
+
+    fn probe(sub: usize, row: usize) -> MicroProgram {
+        MicroProgram::new(vec![MicroOp::Search {
+            probes: vec![Probe::row(sub, row, true)],
+            gates: vec![],
+            dest: TagDest::Tags,
+            mode: TagMode::Set,
+        }])
+    }
+
+    fn reduce(sub: usize) -> MicroProgram {
+        MicroProgram::new(vec![MicroOp::ReduceTags { subarray: sub }])
+    }
+
+    fn accesses(parts: &[&MicroProgram]) -> Vec<PlanAccess> {
+        parts.iter().map(|p| PlanAccess::of(p.plan())).collect()
+    }
+
+    #[test]
+    fn hazard_chains_keep_issue_order() {
+        // write (3,1) -> probe (3,1) -> rewrite (3,1): RAW then WAR.
+        let parts = [upd(3, 1), probe(3, 1), upd(3, 1)];
+        let refs: Vec<&MicroProgram> = parts.iter().collect();
+        assert_eq!(schedule(&accesses(&refs)), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn independent_co_writers_cluster() {
+        // Writers of (3,1) sit at indices 0 and 2; the part between them
+        // touches a disjoint cell, so scheduling pulls the co-writers
+        // together.
+        let parts = [upd(3, 1), upd(9, 2), upd(3, 1)];
+        let refs: Vec<&MicroProgram> = parts.iter().collect();
+        assert_eq!(schedule(&accesses(&refs)), vec![0, 2, 1]);
+    }
+
+    #[test]
+    fn sync_parts_never_swap() {
+        // Two reductions of unrelated subarrays still hold issue order:
+        // their sums surface positionally.
+        let parts = [reduce(4), upd(9, 2), reduce(7)];
+        let refs: Vec<&MicroProgram> = parts.iter().collect();
+        let order = schedule(&accesses(&refs));
+        let pos = |i: usize| order.iter().position(|&x| x == i).unwrap();
+        assert!(pos(0) < pos(2), "reduce order preserved in {order:?}");
+    }
+
+    #[test]
+    fn tag_rmw_orders_against_tag_writers() {
+        // Set into tags[5], then an And-combine reading+writing tags[5]:
+        // RAW forces issue order even though no rows overlap.
+        let a = MicroProgram::new(vec![MicroOp::Search {
+            probes: vec![Probe::row(5, 0, true)],
+            gates: vec![],
+            dest: TagDest::Tags,
+            mode: TagMode::Set,
+        }]);
+        let b = MicroProgram::new(vec![MicroOp::TagCombine {
+            src: 9,
+            dst: 5,
+            op: TagMode::And,
+        }]);
+        let refs: Vec<&MicroProgram> = vec![&a, &b];
+        let acc = accesses(&refs);
+        assert!(acc[0].conflicts(&acc[1]));
+    }
+}

@@ -669,6 +669,8 @@ impl Engine {
             fused_windows: job.acc.fused_windows,
             fused_ops: job.acc.fused_ops,
             fused_joins_saved: job.acc.fused_joins_saved,
+            window_flushes: job.acc.window_flushes,
+            dead_stores_eliminated: job.acc.dead_stores_eliminated,
         };
         Finished {
             report: JobReport {
@@ -700,6 +702,12 @@ impl Engine {
             .iter()
             .map(|f| f.report.queue_cycles())
             .collect();
+        let mut window_flushes = cape_core::WindowFlushes::default();
+        let mut dead_stores_eliminated = 0;
+        for f in &self.finished {
+            window_flushes.accumulate(&f.report.report.window_flushes);
+            dead_stores_eliminated += f.report.report.dead_stores_eliminated;
+        }
         EngineReport {
             jobs: self.finished.iter().map(|f| f.report.clone()).collect(),
             total_cycles: self.now,
@@ -715,6 +723,8 @@ impl Engine {
             fused_window_misses: cache.window_misses(),
             fused_window_evictions: cache.window_evictions(),
             cross_tenant_window_hits: cache.cross_tenant_window_hits(),
+            window_flushes,
+            dead_stores_eliminated,
             retries: self.retries,
             fault: self.machine.fault_stats(),
             spare_blocks_free: self.machine.spare_blocks_free(),

@@ -1,6 +1,6 @@
 //! Aggregate serving metrics for one engine run.
 
-use cape_core::FaultStats;
+use cape_core::{FaultStats, WindowFlushes};
 
 use crate::job::JobReport;
 
@@ -78,6 +78,12 @@ pub struct EngineReport {
     /// Fused-window hits served by a window another tenant built —
     /// fingerprint batching amortizing fusion across jobs.
     pub cross_tenant_window_hits: u64,
+    /// Window flushes summed over every served job, by cause — where
+    /// the fleet's fusion opportunities went.
+    pub window_flushes: WindowFlushes,
+    /// Plan-level stores the window compiler retired across all served
+    /// jobs' fused windows.
+    pub dead_stores_eliminated: u64,
     /// Checkpointed slice re-executions across all jobs (zero outside
     /// fault mode).
     pub retries: u64,

@@ -5,18 +5,28 @@
 //! The CP/VCU boundary buffers back-to-back vector instructions whose
 //! [`PostProcess`] is [`PostProcess::None`] (nothing crosses back to the
 //! scalar side between them) until a fusion barrier — a scalar read of a
-//! vector result, a VMU load/store, a mask/`vl` change, or a slice
-//! preemption point. [`fuse_window`] then concatenates the buffered ops'
-//! lowered programs via
-//! [`MicroProgram::windowed`](cape_csb::MicroProgram::windowed), which
-//! re-runs step fusion across the op seams and performs cross-op
-//! plan-level peepholes (dead-store elimination of write-then-rewrite row
-//! round-trips, adjacent `TagCombine` merging).
+//! vector result, a VMU load/store, an *effective* `vl`/`vstart` change,
+//! or a slice preemption point. A `vsetvli`/`vsetstart` that provably
+//! leaves the active window unchanged is a no-op marker, not a barrier,
+//! and SEW transitions fuse freely: width only parameterizes each part's
+//! own lowering and its (absent) post-processing, so a mixed-SEW window
+//! is an ordinary concatenation of plans compiled at their own widths.
+//!
+//! [`fuse_window`] compiles the buffered ops' lowered programs — in
+//! issue order ([`MicroProgram::windowed`](cape_csb::MicroProgram::windowed)),
+//! or through the v2 window compiler
+//! ([`MicroProgram::windowed_scheduled`](cape_csb::MicroProgram::windowed_scheduled)),
+//! which schedules the parts over their RAW/WAR/WAW dependence graph and
+//! then re-runs step fusion across the op seams plus the cross-op
+//! plan-level peepholes (liveness-cascading dead-store elimination,
+//! adjacent `TagCombine` merging).
 //!
 //! Fused windows are cacheable exactly like single compiled ops: the
 //! program depends only on the `(VectorOp, SEW)` sequence, never on CSB
 //! data, so [`window_fingerprint`] over that sequence is a sound cache
-//! key.
+//! key — SEW-aware, since each op hashes with its own width. The cache
+//! additionally stores the full key sequence and verifies it on hit, so
+//! a 64-bit collision can never serve the wrong super-program.
 
 use cape_csb::MicroProgram;
 
@@ -65,20 +75,32 @@ pub fn window_fingerprint(ops: &[(VectorOp, u32)]) -> u64 {
     h.finish()
 }
 
-/// Concatenates compiled operations into one fused window program.
+/// Compiles several buffered operations into one fused window program.
 ///
-/// The result replays every part in issue order with one broadcast and
-/// one join, after cross-seam step fusion and plan-level peephole passes
-/// ([`MicroProgram::windowed`](cape_csb::MicroProgram::windowed)). CSB
-/// state afterwards is bit-identical to running the parts back to back.
+/// The result replays every part with one broadcast and one join, after
+/// cross-seam step fusion and the plan-level peephole passes. With
+/// `reorder` false the parts are concatenated in issue order (the PR 9
+/// pipeline, [`MicroProgram::windowed`](cape_csb::MicroProgram::windowed));
+/// with `reorder` true the window compiler builds the RAW/WAR/WAW
+/// dependence graph over subarray rows, tags and accumulators and
+/// list-schedules independent parts before re-running the (upgraded)
+/// peepholes
+/// ([`MicroProgram::windowed_scheduled`](cape_csb::MicroProgram::windowed_scheduled)).
+/// Either way, CSB state afterwards is bit-identical to running the
+/// parts back to back.
+///
+/// Parts may disagree on element width: every fusible op has
+/// [`PostProcess::None`], and SEW only parameterizes post-processing and
+/// each part's already-lowered microops, so a mixed-SEW window is just a
+/// concatenation of plans that were each compiled at their own width.
+/// (The fused op carries the first part's width; nothing reads it.)
 ///
 /// # Panics
 ///
-/// Panics if `parts` is empty, if any part's post-process step is not
+/// Panics if `parts` is empty or if any part's post-process step is not
 /// [`PostProcess::None`] (such ops are fusion barriers — their results
-/// cross back to the scalar side and must execute unfused), or if the
-/// parts disagree on element width (a SEW change is a window barrier).
-pub fn fuse_window(parts: &[&CompiledOp]) -> CompiledOp {
+/// cross back to the scalar side and must execute unfused).
+pub fn fuse_window(parts: &[&CompiledOp], reorder: bool) -> CompiledOp {
     let first = parts.first().expect("fusion window must be non-empty");
     let width = first.width();
     for p in parts {
@@ -87,10 +109,14 @@ pub fn fuse_window(parts: &[&CompiledOp]) -> CompiledOp {
             PostProcess::None,
             "ops with scalar post-processing are fusion barriers"
         );
-        assert_eq!(p.width(), width, "SEW changes are fusion barriers");
     }
     let programs: Vec<&MicroProgram> = parts.iter().map(|p| p.program()).collect();
-    CompiledOp::from_parts(MicroProgram::windowed(&programs), PostProcess::None, width)
+    let program = if reorder {
+        MicroProgram::windowed_scheduled(&programs)
+    } else {
+        MicroProgram::windowed(&programs)
+    };
+    CompiledOp::from_parts(program, PostProcess::None, width)
 }
 
 #[cfg(test)]
@@ -144,15 +170,51 @@ mod tests {
             }
         }
 
-        let mut fused_csb = seeded();
-        let fused = fuse_window(&parts.iter().collect::<Vec<_>>());
+        for reorder in [false, true] {
+            let mut fused_csb = seeded();
+            let fused = fuse_window(&parts.iter().collect::<Vec<_>>(), reorder);
+            {
+                let mut seq = Sequencer::new(&mut fused_csb);
+                let outcome = seq.run_program(&fused);
+                assert_eq!(outcome.scalar, None);
+            }
+            assert_eq!(
+                baseline.save_registers(),
+                fused_csb.save_registers(),
+                "reorder={reorder}"
+            );
+        }
+    }
+
+    #[test]
+    fn mixed_sew_window_matches_back_to_back_execution() {
+        // The same dependence chain compiled at alternating widths: a
+        // genuinely mixed-SEW window, fused without a barrier.
+        let widths = [8usize, 16, 8, 32];
+        let parts: Vec<CompiledOp> = ops()
+            .iter()
+            .zip(widths)
+            .map(|(op, w)| CompiledOp::compile(op, w))
+            .collect();
+
+        let mut baseline = seeded();
         {
-            let mut seq = Sequencer::new(&mut fused_csb);
-            let outcome = seq.run_program(&fused);
-            assert_eq!(outcome.scalar, None);
+            let mut seq = Sequencer::new(&mut baseline);
+            for p in &parts {
+                seq.run_program(p);
+            }
         }
 
-        assert_eq!(baseline.save_registers(), fused_csb.save_registers());
+        for reorder in [false, true] {
+            let mut fused_csb = seeded();
+            let fused = fuse_window(&parts.iter().collect::<Vec<_>>(), reorder);
+            Sequencer::new(&mut fused_csb).run_program(&fused);
+            assert_eq!(
+                baseline.save_registers(),
+                fused_csb.save_registers(),
+                "reorder={reorder}"
+            );
+        }
     }
 
     #[test]
@@ -169,11 +231,17 @@ mod tests {
         ];
         let parts: Vec<CompiledOp> = seq.iter().map(|op| CompiledOp::compile(op, 32)).collect();
         let total: usize = parts.iter().map(|p| p.program().plan_len()).sum();
-        let fused = fuse_window(&parts.iter().collect::<Vec<_>>());
+        let fused = fuse_window(&parts.iter().collect::<Vec<_>>(), false);
         assert!(
             fused.program().plan_len() < total,
             "cross-op dead-store elimination should shrink the fused plan ({} vs {total})",
             fused.program().plan_len()
+        );
+        assert!(fused.program().dead_stores() > 0, "the win is measurable");
+        let scheduled = fuse_window(&parts.iter().collect::<Vec<_>>(), true);
+        assert!(
+            scheduled.program().dead_stores() >= fused.program().dead_stores(),
+            "the v2 pipeline retires at least as much on real lowerings"
         );
         // The *op* list stays the unoptimized concatenation so recorded
         // stats (cycles, energy, golden replay) match per-op execution.
@@ -222,6 +290,6 @@ mod tests {
             32,
         );
         let red = CompiledOp::compile(&VectorOp::RedSum { vd: 4, vs: 3 }, 32);
-        fuse_window(&[&add, &red]);
+        fuse_window(&[&add, &red], false);
     }
 }

@@ -12,13 +12,20 @@
 //! # Fusion windows
 //!
 //! The cache also memoizes *fused windows*: several back-to-back vector
-//! instructions concatenated into one super-program
+//! instructions compiled into one super-program
 //! ([`fuse_window`](cape_ucode::fuse_window)) and keyed by an FNV-1a
 //! fingerprint over the `(VectorOp, SEW)` sequence
-//! ([`window_fingerprint`](cape_ucode::window_fingerprint)). Loop bodies
-//! re-issue the same window every iteration, and multi-tenant fingerprint
-//! batching in the engine replays the same window across jobs, so the
-//! fusion pass runs once per window *shape*, not once per execution.
+//! ([`window_fingerprint`](cape_ucode::window_fingerprint)). The
+//! fingerprint is SEW-aware — every op hashes with its own width, so
+//! mixed-SEW windows (a `vsetvli` that changes only the element width is
+//! not a barrier) key distinct super-programs. Because 64 bits of hash
+//! can collide, each window entry also stores its full key sequence and
+//! a lookup verifies it on hit: a collision counts as a miss and re-runs
+//! the fusion pass rather than ever serving the wrong super-program.
+//! Loop bodies re-issue the same window every iteration, and
+//! multi-tenant fingerprint batching in the engine replays the same
+//! window across jobs, so the fusion pass runs once per window *shape*,
+//! not once per execution.
 //!
 //! Host-side cost per N-instruction window, before vs after fusion:
 //!
@@ -46,6 +53,17 @@ struct Entry {
     stamp: u64,
     /// Tenant that paid the compilation — hits from other tenants count
     /// as cross-tenant amortization.
+    owner: u32,
+}
+
+#[derive(Debug, Clone)]
+struct WindowEntry {
+    compiled: CompiledOp,
+    /// The full `(VectorOp, SEW)` sequence the fingerprint summarizes,
+    /// verified on every hit so a 64-bit collision can never serve the
+    /// wrong super-program.
+    key: Box<[Key]>,
+    stamp: u64,
     owner: u32,
 }
 
@@ -78,7 +96,7 @@ pub struct ProgramCache {
     /// Fused windows keyed by the FNV fingerprint of their
     /// `(VectorOp, SEW)` sequence, LRU-bounded at the same capacity as
     /// the per-op map (windows are strictly rarer than ops).
-    windows: HashMap<u64, Entry>,
+    windows: HashMap<u64, WindowEntry>,
     capacity: usize,
     tick: u64,
     hits: u64,
@@ -87,6 +105,9 @@ pub struct ProgramCache {
     window_hits: u64,
     window_misses: u64,
     window_evictions: u64,
+    /// Fingerprint hits whose stored key differed from the probe key —
+    /// 64-bit collisions caught by full-key verification.
+    window_collisions: u64,
     /// Tenant attributed with subsequent lookups (0 in single-tenant use).
     current_tenant: u32,
     /// Hits served by an entry a *different* tenant compiled.
@@ -121,6 +142,7 @@ impl ProgramCache {
             window_hits: 0,
             window_misses: 0,
             window_evictions: 0,
+            window_collisions: 0,
             current_tenant: 0,
             cross_tenant_hits: 0,
             cross_tenant_window_hits: 0,
@@ -214,18 +236,21 @@ impl ProgramCache {
     }
 
     /// Returns the fused window cached under `fingerprint`, if any,
-    /// counting a window hit or miss. On a miss the caller runs the
-    /// fusion pass and stores the result with
+    /// counting a window hit or miss. The stored `(VectorOp, SEW)` key
+    /// sequence is compared against `key` on a fingerprint match: a
+    /// mismatch is a 64-bit collision and is served as a miss, never as
+    /// the colliding entry's super-program. On a miss the caller runs
+    /// the fusion pass and stores the result with
     /// [`ProgramCache::window_insert`].
     ///
     /// Returns an owned clone (cheap — the program's op list and plan
     /// are shared `Arc`s) so the caller can execute it while the cache
     /// stays borrowable.
-    pub fn window_lookup(&mut self, fingerprint: u64) -> Option<CompiledOp> {
+    pub fn window_lookup(&mut self, fingerprint: u64, key: &[Key]) -> Option<CompiledOp> {
         self.tick += 1;
         let stats = self.tenant_stats.entry(self.current_tenant).or_default();
         match self.windows.get_mut(&fingerprint) {
-            Some(entry) => {
+            Some(entry) if entry.key.as_ref() == key => {
                 self.window_hits += 1;
                 stats.fused_hits += 1;
                 entry.stamp = self.tick;
@@ -234,7 +259,10 @@ impl ProgramCache {
                 }
                 Some(entry.compiled.clone())
             }
-            None => {
+            found => {
+                if found.is_some() {
+                    self.window_collisions += 1;
+                }
                 self.window_misses += 1;
                 stats.fused_misses += 1;
                 None
@@ -244,8 +272,10 @@ impl ProgramCache {
 
     /// Stores a freshly fused window under `fingerprint`, evicting the
     /// least recently used window at capacity. Evictions are attributed
-    /// to the tenant that built the evicted window.
-    pub fn window_insert(&mut self, fingerprint: u64, compiled: CompiledOp) {
+    /// to the tenant that built the evicted window. An insert over a
+    /// colliding fingerprint replaces the old entry (latest wins — the
+    /// displaced window simply re-fuses if its shape recurs).
+    pub fn window_insert(&mut self, fingerprint: u64, key: &[Key], compiled: CompiledOp) {
         self.tick += 1;
         if !self.windows.contains_key(&fingerprint) && self.windows.len() >= self.capacity {
             let victim = self
@@ -263,8 +293,9 @@ impl ProgramCache {
         }
         self.windows.insert(
             fingerprint,
-            Entry {
+            WindowEntry {
                 compiled,
+                key: key.into(),
                 stamp: self.tick,
                 owner: self.current_tenant,
             },
@@ -299,6 +330,12 @@ impl ProgramCache {
     /// Fused windows displaced by LRU eviction.
     pub fn window_evictions(&self) -> u64 {
         self.window_evictions
+    }
+
+    /// Fingerprint matches rejected by full-key verification — 64-bit
+    /// collisions that would have served the wrong super-program.
+    pub fn window_collisions(&self) -> u64 {
+        self.window_collisions
     }
 
     /// Window hits served by a fused program a different tenant built.
@@ -488,19 +525,19 @@ mod tests {
         let fp = window_fingerprint(&seq);
 
         cache.set_tenant(1);
-        assert!(cache.window_lookup(fp).is_none(), "cold cache misses");
+        assert!(cache.window_lookup(fp, &seq).is_none(), "cold cache misses");
         let parts = [
             cache.get_or_compile(&ADD, 32).clone(),
             cache.get_or_compile(&SUB, 32).clone(),
         ];
-        let fused = fuse_window(&parts.iter().collect::<Vec<_>>());
-        cache.window_insert(fp, fused.clone());
-        assert_eq!(cache.window_lookup(fp).as_ref(), Some(&fused));
+        let fused = fuse_window(&parts.iter().collect::<Vec<_>>(), false);
+        cache.window_insert(fp, &seq, fused.clone());
+        assert_eq!(cache.window_lookup(fp, &seq).as_ref(), Some(&fused));
         assert_eq!((cache.window_hits(), cache.window_misses()), (1, 1));
         assert_eq!(cache.cross_tenant_window_hits(), 0);
 
         cache.set_tenant(2);
-        assert!(cache.window_lookup(fp).is_some());
+        assert!(cache.window_lookup(fp, &seq).is_some());
         assert_eq!(cache.cross_tenant_window_hits(), 1);
         assert_eq!(cache.tenant_stats(1).fused_hits, 1);
         assert_eq!(cache.tenant_stats(1).fused_misses, 1);
@@ -518,19 +555,50 @@ mod tests {
             cache.get_or_compile(&ADD, 32).clone(),
             cache.get_or_compile(&SUB, 32).clone(),
         ];
-        let fused = fuse_window(&parts.iter().collect::<Vec<_>>());
+        let fused = fuse_window(&parts.iter().collect::<Vec<_>>(), false);
 
         cache.set_tenant(1);
-        cache.window_insert(window_fingerprint(&a), fused.clone());
+        cache.window_insert(window_fingerprint(&a), &a, fused.clone());
         cache.set_tenant(2);
-        cache.window_insert(window_fingerprint(&b), fused.clone());
+        cache.window_insert(window_fingerprint(&b), &b, fused.clone());
         assert_eq!(cache.window_evictions(), 1);
         assert_eq!(cache.tenant_stats(1).fused_evictions, 1);
         assert_eq!(cache.tenant_stats(2).fused_evictions, 0);
         assert_eq!(cache.windows_len(), 1);
         // Re-inserting an existing fingerprint never evicts.
-        cache.window_insert(window_fingerprint(&b), fused);
+        cache.window_insert(window_fingerprint(&b), &b, fused);
         assert_eq!(cache.window_evictions(), 1);
+    }
+
+    #[test]
+    fn fingerprint_collisions_never_serve_the_wrong_window() {
+        use cape_ucode::fuse_window;
+        let mut cache = ProgramCache::new(8);
+        let parts = [
+            cache.get_or_compile(&ADD, 32).clone(),
+            cache.get_or_compile(&SUB, 32).clone(),
+        ];
+        let fused = fuse_window(&parts.iter().collect::<Vec<_>>(), false);
+
+        // Force a collision: insert under some fingerprint with key `a`,
+        // then probe the same fingerprint with a different key — as if
+        // two distinct windows FNV-hashed to the same 64 bits.
+        let a = [(ADD, 32u32), (SUB, 32u32)];
+        let b = [(SUB, 32u32), (ADD, 32u32)];
+        let fp = 0xdead_beef_u64;
+        cache.window_insert(fp, &a, fused.clone());
+        assert_eq!(cache.window_lookup(fp, &a).as_ref(), Some(&fused));
+        assert!(
+            cache.window_lookup(fp, &b).is_none(),
+            "key verification must reject the colliding probe"
+        );
+        assert_eq!(cache.window_collisions(), 1);
+        assert_eq!((cache.window_hits(), cache.window_misses()), (1, 1));
+        // The colliding window re-fuses and replaces the entry.
+        cache.window_insert(fp, &b, fused.clone());
+        assert_eq!(cache.window_lookup(fp, &b).as_ref(), Some(&fused));
+        assert!(cache.window_lookup(fp, &a).is_none(), "latest insert wins");
+        assert_eq!(cache.window_collisions(), 2);
     }
 
     #[test]

@@ -201,6 +201,54 @@ fn every_vector_op_fuses_bit_identically_across_sews() {
     }
 }
 
+/// A straight-line kernel whose single fusion window genuinely mixes
+/// element widths: unchanged-`vl` `vsetvli`s retarget SEW mid-window
+/// without flushing, so the e32, e16 and e8 ops all land in one fused
+/// super-program.
+fn mixed_sew_program(n: usize) -> Program {
+    let mut p = Program::builder();
+    p.li(Reg::S0, n as i64);
+    p.li(Reg::S1, IN_A as i64);
+    p.li(Reg::S2, IN_B as i64);
+    p.li(Reg::S3, OUT as i64);
+    p.li(Reg::S4, 29);
+    p.li(Reg::A0, SCALAR_OUT as i64);
+    p.vsetvli_sew(Reg::T0, Reg::S0, Sew::E32);
+    p.vle32(VReg::V1, Reg::S1);
+    p.vle32(VReg::V2, Reg::S2);
+    p.vadd_vv(VReg::V3, VReg::V1, VReg::V2);
+    p.vxor_vv(VReg::V4, VReg::V3, VReg::V1);
+    p.vsetvli_sew(Reg::T1, Reg::S0, Sew::E16); // same vl: joins the window
+    p.vop_vv(VAluOp::Sub, VReg::V5, VReg::V4, VReg::V2);
+    p.vop_vv(VAluOp::And, VReg::V6, VReg::V5, VReg::V3);
+    p.vsetvli_sew(Reg::T1, Reg::S0, Sew::E8); // same vl again
+    p.vop_vx(VAluOp::Add, VReg::V7, VReg::V1, Reg::S4);
+    p.vxor_vv(VReg::V8, VReg::V7, VReg::V6);
+    p.vsetvli_sew(Reg::T1, Reg::S0, Sew::E32);
+    p.vse32(VReg::V8, Reg::S3); // VMU barrier: the window lands here
+    p.vredsum(VReg::V9, VReg::V8, VReg::V3);
+    p.vmv_xs(Reg::T4, VReg::V9);
+    p.sw(Reg::T4, 0, Reg::A0);
+    p.halt();
+    p.build().expect("builds")
+}
+
+#[test]
+fn mixed_sew_windows_fuse_without_a_vsetvli_flush() {
+    let n = 64;
+    let program = mixed_sew_program(n);
+    let (fused_mem, fused) = run_with(32, &program, n);
+    let (plain_mem, plain) = run_with(1, &program, n);
+    assert_reports_identical(&fused, &plain, "mixed sew");
+    assert_memories_identical(&fused_mem, &plain_mem, n, "mixed sew");
+    // All six compute ops — spanning three element widths — formed one
+    // window, and no vsetvli ever flushed it.
+    assert_eq!(fused.fused_windows, 1, "one mixed-SEW window");
+    assert_eq!(fused.fused_ops, 6);
+    assert_eq!(fused.window_flushes.vsetvli, 0, "no effective vl change");
+    assert_eq!(fused.window_flushes.vmu, 1, "the store flushed it");
+}
+
 /// Counter fields a sliced, context-switched run must reproduce exactly
 /// (fusion bookkeeping excluded — that is the one intentional delta).
 fn assert_counters_identical(fused: &MachineCounters, plain: &MachineCounters, what: &str) {
